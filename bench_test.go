@@ -1,0 +1,281 @@
+package vnpu
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its experiment end to end — workload generation, allocation,
+// simulation — and reports the headline number of that figure as a custom
+// metric, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/experiments"
+)
+
+// BenchmarkFig02Evolution regenerates the NPU resource survey (Fig 2).
+func BenchmarkFig02Evolution(b *testing.B) {
+	var gens int
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2()
+		gens = len(r.Generations)
+	}
+	b.ReportMetric(float64(gens), "chips")
+}
+
+// BenchmarkFig03Utilization regenerates the TPU FLOPS-utilization sweep
+// (Fig 3) and reports the fraction of models under 50% at batch 1.
+func BenchmarkFig03Utilization(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3()
+		frac = r.FractionUnder50AtBatch1()
+	}
+	b.ReportMetric(frac*100, "%under50")
+}
+
+// BenchmarkFig06MemTrace regenerates the ResNet DMA address trace (Fig 6)
+// and reports the number of traced bursts.
+func BenchmarkFig06MemTrace(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.MonotonicOK || !r.RepeatsOK {
+			b.Fatal("access patterns violated")
+		}
+		points = len(r.Recorder.Points())
+	}
+	b.ReportMetric(float64(points), "bursts")
+}
+
+// BenchmarkFig11RoutingTableConfig regenerates the routing-table setup
+// sweep (Fig 11) and reports the 8-core total in clocks.
+func BenchmarkFig11RoutingTableConfig(b *testing.B) {
+	var total int64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = int64(r.Points[len(r.Points)-1].Total())
+	}
+	b.ReportMetric(float64(total), "clk@8cores")
+}
+
+// BenchmarkFig12InstructionDispatch regenerates the dispatch-latency
+// comparison (Fig 12) and reports the kernel/dispatch ratio.
+func BenchmarkFig12InstructionDispatch(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.MinRatio()
+	}
+	b.ReportMetric(ratio, "kernel/dispatch")
+}
+
+// BenchmarkTable3NoCVirtualization regenerates the vSend/vReceive
+// micro-test (Table 3) and reports the worst-case overhead percentage on
+// transfers of 10+ packets.
+func BenchmarkTable3NoCVirtualization(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = 0
+		for _, row := range r.Rows[1:] {
+			if p := row.SendOverheadPct(); p > pct {
+				pct = p
+			}
+		}
+	}
+	b.ReportMetric(pct, "%overhead")
+}
+
+// BenchmarkFig13Broadcast regenerates the broadcast comparison (Fig 13)
+// and reports the average vRouter speedup over memory synchronization.
+func BenchmarkFig13Broadcast(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.AvgSpeedup()
+	}
+	b.ReportMetric(speedup, "x")
+}
+
+// BenchmarkFig14MemoryVirtualization regenerates the translation-mechanism
+// comparison (Fig 14) and reports the IOTLB4 overhead percentage.
+func BenchmarkFig14MemoryVirtualization(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = r.AvgOverheadPct("IOTLB4")
+	}
+	b.ReportMetric(pct, "%iotlb4")
+}
+
+// BenchmarkFig15VersusUVM regenerates the UVM comparison (Fig 15) and
+// reports the best transformer speedup.
+func BenchmarkFig15VersusUVM(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, c := range r.Single {
+			if len(name) > 11 && name[:11] == "Transformer" && c.Speedup() > speedup {
+				speedup = c.Speedup()
+			}
+		}
+	}
+	b.ReportMetric(speedup, "x_transformer")
+}
+
+// BenchmarkFig16VersusMIG regenerates the MIG comparison (Fig 16) and
+// reports the GPT2-large speedup over the TDM'd MIG slice.
+func BenchmarkFig16VersusMIG(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Scenarios[1].Results[1].SpeedupVsMIG()
+	}
+	b.ReportMetric(speedup, "x_gpt2l")
+}
+
+// BenchmarkFig17MappingView regenerates the mapping illustration (Fig 17)
+// and reports the straightforward mapping's edit-distance penalty.
+func BenchmarkFig17MappingView(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = r.StraightCost - r.SimilarCost
+	}
+	b.ReportMetric(penalty, "TED_penalty")
+}
+
+// BenchmarkFig18TopologyMapping regenerates the mapping-strategy sweep
+// (Fig 18) and reports the peak ResNet improvement percentage.
+func BenchmarkFig18TopologyMapping(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, p := range r.Points {
+			if imp := p.ImprovementPct(); imp > best {
+				best = imp
+			}
+		}
+	}
+	b.ReportMetric(best, "%peak")
+}
+
+// BenchmarkFig19HardwareCost regenerates the resource cost model (Fig 19)
+// and reports the maximum percentage across structures.
+func BenchmarkFig19HardwareCost(b *testing.B) {
+	var max float64
+	for i := 0; i < b.N; i++ {
+		max = experiments.RunFig19().MaxPct()
+	}
+	b.ReportMetric(max, "%max")
+}
+
+// BenchmarkTable1Taxonomy regenerates the qualitative comparison (Table 1).
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.RunTable1().Rows)
+	}
+	b.ReportMetric(float64(rows), "mechanisms")
+}
+
+// Ablation and extension benches: the design-space probes beyond the
+// paper's own figures (see DESIGN.md).
+
+// BenchmarkAblLastV measures the last_v assist's probe reduction.
+func BenchmarkAblLastV(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblLastV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = r.Improvement()
+	}
+	b.ReportMetric(imp, "x_probes")
+}
+
+// BenchmarkAblRandomAccess measures the §7 random-access caveat: the
+// stall ratio of fragmented range translation over page translation.
+func BenchmarkAblRandomAccess(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblRandom()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.RangeStallPerAccess / r.PageStallPerAccess
+	}
+	b.ReportMetric(ratio, "range/page")
+}
+
+// BenchmarkExtHeterogeneousCores measures the kind-aware mapping speedup
+// on a hybrid SA/VU chip (§7).
+func BenchmarkExtHeterogeneousCores(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunExtHetero()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup()
+	}
+	b.ReportMetric(speedup, "x_aware")
+}
+
+// BenchmarkExtTimeShare measures the fine-grained temporal sharing
+// overhead (§7).
+func BenchmarkExtTimeShare(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunExtTimeShare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = r.Points[0].OverheadPct
+	}
+	b.ReportMetric(pct, "%finest")
+}
+
+// BenchmarkExtDecode measures KV-cache decode throughput (§7).
+func BenchmarkExtDecode(b *testing.B) {
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunExtDecode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tps = r.TokensPerSec
+	}
+	b.ReportMetric(tps, "tok/s")
+}

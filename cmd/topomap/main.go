@@ -1,0 +1,137 @@
+// Command topomap visualizes virtual NPU core allocation on the physical
+// mesh — the Fig 17 view of the paper: which strategy places a request
+// where, around pre-occupied cores.
+//
+// Usage:
+//
+//	topomap -rows 5 -cols 5 -request 3x3 -occupied 0,24
+//	topomap -rows 6 -cols 6 -request 13 -occupied 3,4,9,10,15,16 -strategy straightforward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+func main() {
+	rows := flag.Int("rows", 6, "physical mesh rows")
+	cols := flag.Int("cols", 6, "physical mesh cols")
+	request := flag.String("request", "3x3", "requested topology: RxC mesh or a plain core count")
+	occupied := flag.String("occupied", "", "comma-separated pre-occupied node IDs")
+	strategy := flag.String("strategy", "", "one strategy only (default: show similar and straightforward)")
+	flag.Parse()
+
+	if err := run(*rows, *cols, *request, *occupied, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "topomap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows, cols int, request, occupied, strategy string) error {
+	phys := topo.Mesh2D(rows, cols)
+	occ := map[topo.NodeID]bool{}
+	if occupied != "" {
+		for _, part := range strings.Split(occupied, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad occupied id %q", part)
+			}
+			occ[topo.NodeID(id)] = true
+		}
+	}
+	var free []topo.NodeID
+	for _, n := range phys.Nodes() {
+		if !occ[n] {
+			free = append(free, n)
+		}
+	}
+
+	req, err := parseRequest(request)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("physical mesh %dx%d, %d occupied, request: %d cores\n\n",
+		rows, cols, len(occ), req.NumNodes())
+
+	strategies := []core.Strategy{core.StrategySimilar, core.StrategyStraightforward}
+	if strategy != "" {
+		s, err := parseStrategy(strategy)
+		if err != nil {
+			return err
+		}
+		strategies = []core.Strategy{s}
+	}
+	for _, strat := range strategies {
+		res, err := core.MapTopology(phys, free, req, strat, ged.Options{})
+		if err != nil {
+			fmt.Printf("%s: allocation failed: %v\n\n", strat, err)
+			continue
+		}
+		fmt.Printf("%s mapping (edit distance %.1f, connected=%v):\n", strat, res.Cost, res.Connected)
+		render(os.Stdout, phys, cols, occ, res.Nodes)
+		fmt.Println()
+	}
+	return nil
+}
+
+// render draws the mesh: XX for occupied nodes, the virtual core number
+// (from 1, as the paper's figures count) for allocated ones, and dots for
+// free cores.
+func render(w *os.File, phys *topo.Graph, cols int, occ map[topo.NodeID]bool, alloc []topo.NodeID) {
+	vOf := map[topo.NodeID]int{}
+	for v, n := range alloc {
+		vOf[n] = v + 1
+	}
+	for _, n := range phys.Nodes() {
+		c, _ := phys.CoordOf(n)
+		switch {
+		case occ[n]:
+			fmt.Fprintf(w, " XX")
+		case vOf[n] != 0:
+			fmt.Fprintf(w, " %2d", vOf[n])
+		default:
+			fmt.Fprintf(w, "  .")
+		}
+		if c.X == cols-1 {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func parseRequest(s string) (*topo.Graph, error) {
+	if r, c, ok := strings.Cut(s, "x"); ok {
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil || rows < 1 || cols < 1 {
+			return nil, fmt.Errorf("bad request %q", s)
+		}
+		return topo.Mesh2D(rows, cols), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad request %q", s)
+	}
+	return topo.NearMesh(n), nil
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "similar":
+		return core.StrategySimilar, nil
+	case "exact":
+		return core.StrategyExact, nil
+	case "straightforward":
+		return core.StrategyStraightforward, nil
+	case "fragment":
+		return core.StrategyFragment, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,41 @@
+// Command vnpu-experiments regenerates the paper's evaluation: every table
+// and figure of "Topology-Aware Virtualization over Inter-Core Connected
+// Neural Processing Units" (ISCA '25) has a corresponding experiment.
+//
+// Usage:
+//
+//	vnpu-experiments            # run everything
+//	vnpu-experiments -list      # list experiment IDs
+//	vnpu-experiments -run fig14 # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vnpu-sim/vnpu/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "run a single experiment by ID (default: all)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.List() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		if err := experiments.Run(os.Stdout, *run); err != nil {
+			fmt.Fprintln(os.Stderr, "vnpu-experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vnpu-experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

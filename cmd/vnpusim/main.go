@@ -1,0 +1,123 @@
+// Command vnpusim runs one ML workload on one virtual NPU and reports
+// throughput — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	vnpusim -model resnet18 -chip sim -rows 3 -cols 4 -iters 8
+//	vnpusim -model gpt2-small -chip sim48 -rows 3 -cols 4 -strategy exact
+//	vnpusim -model yololite -chip fpga -rows 2 -cols 2 -translation page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/vnpu-sim/vnpu"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "workload: "+strings.Join(vnpu.ModelNames(), ", "))
+	chip := flag.String("chip", "sim", "chip config: fpga, sim, sim48")
+	rows := flag.Int("rows", 3, "virtual topology rows")
+	cols := flag.Int("cols", 4, "virtual topology cols")
+	iters := flag.Int("iters", 4, "inference iterations")
+	strategy := flag.String("strategy", "similar", "allocation: similar, exact, straightforward, fragment")
+	translation := flag.String("translation", "range", "memory virtualization: range, page, none")
+	confined := flag.Bool("confined", true, "confine NoC traffic to the vNPU's cores")
+	flag.Parse()
+
+	if err := run(*model, *chip, *rows, *cols, *iters, *strategy, *translation, *confined); err != nil {
+		fmt.Fprintln(os.Stderr, "vnpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, chip string, rows, cols, iters int, strategy, translation string, confined bool) error {
+	var cfg vnpu.Config
+	switch chip {
+	case "fpga":
+		cfg = vnpu.FPGAConfig()
+	case "sim":
+		cfg = vnpu.SimConfig()
+	case "sim48":
+		cfg = vnpu.SimConfig48()
+	default:
+		return fmt.Errorf("unknown chip %q", chip)
+	}
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	mode, err := parseTranslation(translation)
+	if err != nil {
+		return err
+	}
+	m, err := vnpu.ModelByName(model)
+	if err != nil {
+		return err
+	}
+
+	sys, err := vnpu.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	cores := rows * cols
+	memBytes, err := sys.ModelMemoryBytes(m, cores)
+	if err != nil {
+		return err
+	}
+	v, err := sys.Create(vnpu.Request{
+		Topology:    vnpu.Mesh(rows, cols),
+		Strategy:    strat,
+		Confined:    confined,
+		MemoryBytes: memBytes,
+		Translation: mode,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := sys.RunModel(v, m, iters)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("chip        %s (%d cores, %d MHz)\n", cfg.Name, cfg.Cores(), cfg.FreqMHz)
+	fmt.Printf("vNPU        %d cores, strategy=%s, translation=%s, edit distance=%.1f\n",
+		v.NumCores(), strat, mode, v.MapCost())
+	fmt.Printf("model       %s (%.2f GFLOPs, %d MB weights)\n",
+		m.Name, float64(m.TotalFLOPs())/1e9, m.WeightBytes()>>20)
+	fmt.Printf("warm-up     %d clk\n", rep.WarmupCycles)
+	fmt.Printf("execution   %d clk for %d iterations (streaming=%v)\n", rep.Cycles, rep.Iterations, rep.Streaming)
+	fmt.Printf("throughput  %.2f FPS\n", rep.FPS)
+	return nil
+}
+
+func parseStrategy(s string) (vnpu.Strategy, error) {
+	switch s {
+	case "similar":
+		return vnpu.StrategySimilar, nil
+	case "exact":
+		return vnpu.StrategyExact, nil
+	case "straightforward":
+		return vnpu.StrategyStraightforward, nil
+	case "fragment":
+		return vnpu.StrategyFragment, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func parseTranslation(s string) (vnpu.TranslationMode, error) {
+	switch s {
+	case "range":
+		return vnpu.TranslationRange, nil
+	case "page":
+		return vnpu.TranslationPage, nil
+	case "none":
+		return vnpu.TranslationNone, nil
+	default:
+		return 0, fmt.Errorf("unknown translation %q", s)
+	}
+}

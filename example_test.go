@@ -1,0 +1,72 @@
+package vnpu_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vnpu-sim/vnpu"
+)
+
+// Example boots a chip, carves out a virtual NPU and runs a model on it.
+func Example() {
+	sys, err := vnpu.NewSystem(vnpu.SimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := vnpu.ModelByName("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem, err := sys.ModelMemoryBytes(model, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := sys.Create(vnpu.Request{
+		Topology:    vnpu.Mesh(3, 4),
+		Confined:    true,
+		MemoryBytes: mem,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.RunModel(v, model, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores: %d\n", v.NumCores())
+	fmt.Printf("exact topology: %v\n", v.MapCost() == 0)
+	fmt.Printf("made progress: %v\n", rep.FPS > 0)
+	// Output:
+	// cores: 12
+	// exact topology: true
+	// made progress: true
+}
+
+// ExampleSystem_Create shows the topology lock-in problem and the
+// best-effort mapping that resolves it.
+func ExampleSystem_Create() {
+	cfg := vnpu.SimConfig()
+	cfg.MeshRows, cfg.MeshCols = 5, 5
+	sys, err := vnpu.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// First tenant takes an exact 3x3.
+	if _, err := sys.Create(vnpu.Request{Topology: vnpu.Mesh(3, 3), Strategy: vnpu.StrategyExact}); err != nil {
+		log.Fatal(err)
+	}
+	// No intact 3x3 remains: exact mapping locks in.
+	_, err = sys.Create(vnpu.Request{Topology: vnpu.Mesh(3, 3), Strategy: vnpu.StrategyExact})
+	fmt.Printf("exact fails: %v\n", err != nil)
+	// Best-effort similar mapping still serves the tenant.
+	v, err := sys.Create(vnpu.Request{Topology: vnpu.Mesh(3, 3), Strategy: vnpu.StrategySimilar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("similar cores: %d (connected: %v)\n", v.NumCores(), v.Connected())
+	fmt.Printf("utilization: %.0f%%\n", sys.Utilization()*100)
+	// Output:
+	// exact fails: true
+	// similar cores: 9 (connected: true)
+	// utilization: 72%
+}

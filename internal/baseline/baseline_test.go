@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+func TestUVMFabricStagesThroughMemory(t *testing.T) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUVM(dev)
+	inst, err := u.CreateInstance(2, 1<<20, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := inst.Fabric().Transfer(0, inst.Nodes()[0], inst.Nodes()[1], 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store (2048/16 + 30 latency = 158) + sync 400 + L2 bank load
+	// (2048/16 = 128) = 686.
+	if done != 686 {
+		t.Fatalf("UVM transfer = %v, want 686", done)
+	}
+	// The instance runtime mediates exchanges: a second transfer requested
+	// at time 0 starts only after the first completes.
+	done2, err := inst.Fabric().Transfer(0, inst.Nodes()[0], inst.Nodes()[1], 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2 <= done {
+		t.Fatalf("second exchange = %v, want serialized after %v", done2, done)
+	}
+	// Compare against direct NoC transfer: UVM must be slower.
+	nocFab := &npu.NoCFabric{Net: dev.NoC()}
+	nocDone, err := nocFab.Transfer(0, 0, 1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= nocDone {
+		t.Fatalf("UVM (%v) must be slower than NoC (%v)", done, nocDone)
+	}
+}
+
+func TestUVMInstanceLifecycle(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.FPGAConfig())
+	u := NewUVM(dev)
+	a, err := u.CreateInstance(4, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.CreateInstance(4, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.CreateInstance(1, 0, 4); err == nil {
+		t.Fatal("chip is full")
+	}
+	seen := map[int]bool{}
+	for _, n := range append(append([]int{}, asInts(a.Nodes())...), asInts(b.Nodes())...) {
+		if seen[n] {
+			t.Fatalf("node %d double-allocated", n)
+		}
+		seen[n] = true
+	}
+	u.Destroy(a)
+	if _, err := u.CreateInstance(2, 0, 4); err != nil {
+		t.Fatalf("after destroy: %v", err)
+	}
+}
+
+func asInts[T ~int](xs []T) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func TestUVMPlacement(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.FPGAConfig())
+	u := NewUVM(dev)
+	inst, _ := u.CreateInstance(3, 0, 4)
+	pl := inst.Placement()
+	if n, err := pl.Node(isa.CoreID(2)); err != nil || n != inst.Nodes()[2] {
+		t.Fatalf("Node(2) = %v, %v", n, err)
+	}
+	if _, err := pl.Node(isa.CoreID(5)); err == nil {
+		t.Fatal("out-of-range vCore must fail")
+	}
+}
+
+func TestUVMTranslationInstalled(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.FPGAConfig())
+	u := NewUVM(dev)
+	inst, err := u.CreateInstance(1, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := dev.Core(inst.Nodes()[0])
+	if _, _, err := c.Translator().Translate(inst.MemBase()); err != nil {
+		t.Fatalf("instance base must translate: %v", err)
+	}
+	if _, _, err := c.Translator().Translate(0xdeadbeef0000); err == nil {
+		t.Fatal("foreign address must not translate")
+	}
+}
+
+func TestMIGPartitioning(t *testing.T) {
+	dev, err := npu.NewDevice(npu.SimConfig()) // 6x6
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMIG(dev, []int{4, 2}) // 24 + 12 cores
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.Partitions()
+	if len(ps) != 2 || ps[0].Size() != 24 || ps[1].Size() != 12 {
+		t.Fatalf("partitions = %v", ps)
+	}
+	// No overlap.
+	seen := map[int]bool{}
+	for _, p := range ps {
+		for _, n := range p.Nodes {
+			if seen[int(n)] {
+				t.Fatalf("node %d in two partitions", n)
+			}
+			seen[int(n)] = true
+		}
+	}
+}
+
+func TestMIGAllocateSmallestFit(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.SimConfig())
+	m, _ := NewMIG(dev, []int{4, 2})
+	// GPT2-small needs 12: gets the 12-core slice, no waste.
+	inst, err := m.Allocate(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Size() != 12 || inst.WastedCores() != 0 || inst.TDMFactor() != 1 {
+		t.Fatalf("inst = %+v", inst)
+	}
+	// Second tenant needs 12 but only the 24-core slice remains: 12 wasted.
+	inst2, err := m.Allocate(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Size() != 24 || inst2.WastedCores() != 12 {
+		t.Fatalf("inst2 waste = %d, want 12 (50%% of the slice)", inst2.WastedCores())
+	}
+	if _, err := m.Allocate(1); err == nil {
+		t.Fatal("no partitions left")
+	}
+	m.Release(inst)
+	if _, err := m.Allocate(1); err != nil {
+		t.Fatal("release must free the partition")
+	}
+}
+
+func TestMIGTDM(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.SimConfig())
+	m, _ := NewMIG(dev, []int{4, 2})
+	// GPT2-large needs 36 cores; best slice has 24: TDM 1.5x.
+	inst, err := m.Allocate(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Size() != 24 {
+		t.Fatalf("slice = %d, want 24 (largest)", inst.Size())
+	}
+	if f := inst.TDMFactor(); f != 1.5 {
+		t.Fatalf("TDM factor = %v, want 1.5", f)
+	}
+	base := sim.Cycles(3_000_000)
+	eff := inst.EffectiveCycles(base, 10, dev.Config())
+	slowdown := float64(eff) / float64(base)
+	// Fig 16: up to 1.92x degradation = TDM stretch + context switches.
+	if slowdown < 1.5 || slowdown > 2.5 {
+		t.Fatalf("TDM slowdown = %.2fx, want within [1.5, 2.5]", slowdown)
+	}
+	// No TDM: base passes through unchanged.
+	fit, _ := m.Allocate(10)
+	if got := fit.EffectiveCycles(base, 10, dev.Config()); got != base {
+		t.Fatalf("non-TDM EffectiveCycles = %v, want %v", got, base)
+	}
+}
+
+func TestMIGWarmupShare(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.SimConfig())
+	m, _ := NewMIG(dev, []int{4, 2})
+	big, _ := m.Allocate(24)
+	small, _ := m.Allocate(12)
+	const weights = 128 << 20
+	wb := big.WarmupCycles(weights, dev.Config())
+	ws := small.WarmupCycles(weights, dev.Config())
+	if wb >= ws {
+		t.Fatalf("bigger slice must warm up faster: 24c=%v 12c=%v", wb, ws)
+	}
+	if big.WarmupCycles(0, dev.Config()) != 0 {
+		t.Fatal("zero weights need no warmup")
+	}
+}
+
+func TestMIGPlacementWraps(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.SimConfig())
+	m, _ := NewMIG(dev, []int{2})
+	inst, _ := m.Allocate(15) // 12-core slice, TDM
+	if inst.PlacementNode(0) != inst.PlacementNode(12) {
+		t.Fatal("TDM placement must wrap around the slice")
+	}
+}
+
+func TestMIGValidation(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.SimConfig())
+	if _, err := NewMIG(dev, []int{7}); err == nil {
+		t.Fatal("partition wider than mesh must fail")
+	}
+	if _, err := NewMIG(dev, []int{0}); err == nil {
+		t.Fatal("zero-width partition must fail")
+	}
+}

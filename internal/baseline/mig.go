@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Partition is one fixed MIG slice: an axis-aligned rectangle of the mesh
+// with a predetermined sub-topology.
+type Partition struct {
+	Name       string
+	Rows, Cols int
+	Nodes      []topo.NodeID
+}
+
+// Size reports the partition's core count.
+func (p Partition) Size() int { return len(p.Nodes) }
+
+// MIGNPU is the fixed-partition virtual NPU of §6.3.2: the chip is carved
+// into predefined rectangles; each instance gets exactly one rectangle,
+// whatever it asked for.
+type MIGNPU struct {
+	dev        *npu.Device
+	partitions []Partition
+	used       []bool
+}
+
+// NewMIG carves the device into vertical slices of the given column
+// widths (each slice spans all mesh rows). Widths must sum to at most the
+// mesh width. For the 36-core chip the paper's configurations are
+// {3, 3} (18+18 cores) or {4, 2} (24+12 cores).
+func NewMIG(dev *npu.Device, colWidths []int) (*MIGNPU, error) {
+	cfg := dev.Config()
+	total := 0
+	for _, w := range colWidths {
+		if w < 1 {
+			return nil, fmt.Errorf("baseline: bad partition width %d", w)
+		}
+		total += w
+	}
+	if total > cfg.MeshCols {
+		return nil, fmt.Errorf("baseline: partitions span %d columns, mesh has %d", total, cfg.MeshCols)
+	}
+	m := &MIGNPU{dev: dev}
+	x := 0
+	for i, w := range colWidths {
+		var nodes []topo.NodeID
+		for y := 0; y < cfg.MeshRows; y++ {
+			for dx := 0; dx < w; dx++ {
+				nodes = append(nodes, topo.NodeID(y*cfg.MeshCols+x+dx))
+			}
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		m.partitions = append(m.partitions, Partition{
+			Name: fmt.Sprintf("mig%d(%dx%d)", i, cfg.MeshRows, w),
+			Rows: cfg.MeshRows, Cols: w,
+			Nodes: nodes,
+		})
+		x += w
+	}
+	m.used = make([]bool, len(m.partitions))
+	return m, nil
+}
+
+// Partitions lists the fixed slices.
+func (m *MIGNPU) Partitions() []Partition { return m.partitions }
+
+// MIGInstance is one allocated slice. When the tenant needed more virtual
+// cores than the slice holds, physical cores are time-division multiplexed
+// (TDMFactor > 1); when it needed fewer, the surplus is stranded
+// (WastedCores > 0). Both are the rigidity costs Fig 16 quantifies.
+type MIGInstance struct {
+	Partition
+	RequiredCores int
+	partIdx       int
+}
+
+// Allocate hands out the smallest unused partition with at least cores
+// cores; if none is large enough it falls back to the largest unused
+// partition with TDM.
+func (m *MIGNPU) Allocate(cores int) (*MIGInstance, error) {
+	best := -1
+	for i, p := range m.partitions {
+		if m.used[i] {
+			continue
+		}
+		if p.Size() >= cores {
+			if best < 0 || p.Size() < m.partitions[best].Size() {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		// No partition fits: take the largest free one and time-share.
+		for i, p := range m.partitions {
+			if m.used[i] {
+				continue
+			}
+			if best < 0 || p.Size() > m.partitions[best].Size() {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("baseline: no free MIG partition")
+	}
+	m.used[best] = true
+	return &MIGInstance{Partition: m.partitions[best], RequiredCores: cores, partIdx: best}, nil
+}
+
+// Release returns the instance's partition to the pool.
+func (m *MIGNPU) Release(inst *MIGInstance) { m.used[inst.partIdx] = false }
+
+// TDMFactor is the time-multiplexing ratio: >1 when the tenant needed more
+// virtual cores than the partition provides.
+func (i *MIGInstance) TDMFactor() float64 {
+	if i.RequiredCores <= i.Size() {
+		return 1
+	}
+	return float64(i.RequiredCores) / float64(i.Size())
+}
+
+// WastedCores reports stranded cores when the request was smaller than the
+// fixed slice (e.g. 12 cores requested from an 18-core partition).
+func (i *MIGInstance) WastedCores() int {
+	if i.RequiredCores >= i.Size() {
+		return 0
+	}
+	return i.Size() - i.RequiredCores
+}
+
+// tdmWorkingSetFraction is the share of the scratchpad that must be
+// swapped on a TDM context switch. NPU context switches are expensive
+// precisely because the "context" includes scratchpad-resident tensors
+// (§7, "Temporal sharing v.s. spatial sharing").
+const tdmWorkingSetFraction = 8
+
+// EffectiveCycles converts the cycles the workload needs on its full
+// virtual topology into the cycles it takes on this instance:
+// the TDM factor stretches execution, and every oversubscribed virtual
+// core pays a scratchpad working-set swap per iteration.
+func (i *MIGInstance) EffectiveCycles(base sim.Cycles, iterations int, cfg npu.Config) sim.Cycles {
+	f := i.TDMFactor()
+	if f == 1 {
+		return base
+	}
+	stretched := sim.Cycles(float64(base) * f)
+	over := i.RequiredCores - i.Size()
+	swapBytes := cfg.ScratchpadBytes / tdmWorkingSetFraction
+	bw := int64(cfg.HBMChannels * cfg.HBMBytesPerCycle)
+	swapCost := sim.Cycles((swapBytes + bw - 1) / bw)
+	if iterations < 1 {
+		iterations = 1
+	}
+	return stretched + sim.Cycles(iterations)*sim.Cycles(2*over)*swapCost
+}
+
+// WarmupCycles models weight loading through the partition's share of the
+// memory interfaces (proportional to its size, like vNPU's).
+func (i *MIGInstance) WarmupCycles(weightBytes int64, cfg npu.Config) sim.Cycles {
+	if weightBytes <= 0 {
+		return 0
+	}
+	share := float64(i.Size()) / float64(cfg.Cores())
+	bw := float64(cfg.HBMChannels*cfg.HBMBytesPerCycle) * share
+	if bw < 1 {
+		bw = 1
+	}
+	return sim.Cycles(float64(weightBytes)/bw) + cfg.HBMLatency
+}
+
+// Placement places virtual core v on the v-th partition node, wrapping
+// when TDM oversubscribes the slice. Wrapped placements cannot run on the
+// rendezvous executor (two streams would share a node); use
+// EffectiveCycles on the full-topology result instead — this method's
+// wrap-around is exposed for tools that visualize the sharing.
+func (i *MIGInstance) PlacementNode(v int) topo.NodeID {
+	return i.Nodes[v%len(i.Nodes)]
+}

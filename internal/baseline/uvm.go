@@ -1,0 +1,195 @@
+// Package baseline implements the two comparison systems of §6.1:
+//
+//   - UVM-NPU: the unified-virtual-memory virtual NPU of prior work
+//     (AuRORA, V10): no inter-core connections, so intermediate results
+//     synchronize through global memory, with page-based translation.
+//   - MIG-NPU: fixed-partition virtualization in the style of NVIDIA MIG /
+//     TPU-v6e: strong isolation but only predefined sub-topologies, with
+//     time-division multiplexing when a partition is too small.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// UVMSyncCycles is the software synchronization cost of one producer-
+// consumer exchange through global memory: the producer writes a flag
+// behind its data (one memory round trip), the consumer discovers it on a
+// polling interval and re-reads the flag — several hundred cycles end to
+// end on a DRAM-backed system.
+const UVMSyncCycles sim.Cycles = 400
+
+// Shared-L2 geometry of the UVM configuration (Table 2: 2 MiB, 8 banks).
+const (
+	UVML2Banks             = 8
+	UVML2BankBytesPerCycle = 16
+)
+
+// UVMFabric implements npu.Fabric by staging every transfer through global
+// memory: the producer stores the tensor to HBM, the consumer loads the
+// L2-resident copy back after a synchronization handshake. This is the
+// §6.2.3 "memory synchronization" path.
+//
+// Exchanges of one instance serialize on the instance's runtime (LastDone):
+// prior-work NPU virtualization mediates transfers through a single
+// user-space runtime, so exchanges cannot overlap the way hardware
+// send/receive engines do.
+type UVMFabric struct {
+	// Port is the HBM port used for staging. Instances sharing channels
+	// contend here — the §6.3.1 multi-instance interference.
+	Port *mem.Port
+	// L2 is the chip-shared banked L2 the consumer reads staged data from;
+	// instances contend on its banks.
+	L2 *sim.Channels
+
+	lastDone sim.Cycles
+}
+
+// Transfer implements npu.Fabric.
+func (f *UVMFabric) Transfer(start sim.Cycles, src, dst topo.NodeID, size int) (sim.Cycles, error) {
+	if f.Port == nil {
+		return start, fmt.Errorf("baseline: UVM fabric has no port")
+	}
+	if f.lastDone > start {
+		start = f.lastDone // runtime mediation: one exchange at a time
+	}
+	stored := f.Port.Transfer(start, size)
+	synced := stored + UVMSyncCycles
+	var done sim.Cycles
+	if f.L2 != nil {
+		dur := sim.Cycles((size + UVML2BankBytesPerCycle - 1) / UVML2BankBytesPerCycle)
+		done = f.L2.Reserve(synced, dur) + dur
+	} else {
+		done = synced + sim.Cycles((size+UVML2BankBytesPerCycle-1)/UVML2BankBytesPerCycle)
+	}
+	f.lastDone = done
+	return done, nil
+}
+
+// UVMNPU manages UVM-based virtual NPU instances on a device.
+type UVMNPU struct {
+	dev    *npu.Device
+	free   map[topo.NodeID]bool
+	l2     *sim.Channels // chip-shared banked L2
+	cursor uint64        // physical bump allocator for staging + weights
+	nextVM int
+}
+
+// NewUVM wraps a device with the UVM virtualization model.
+func NewUVM(dev *npu.Device) *UVMNPU {
+	u := &UVMNPU{
+		dev:    dev,
+		free:   make(map[topo.NodeID]bool),
+		l2:     sim.NewChannels(UVML2Banks),
+		nextVM: 1,
+	}
+	for _, id := range dev.Graph().Nodes() {
+		u.free[id] = true
+	}
+	return u
+}
+
+// UVMInstance is one UVM-based virtual NPU: a set of cores without any
+// topology, page-translated memory, and a memory-synchronization fabric.
+type UVMInstance struct {
+	VM      int
+	nodes   []topo.NodeID
+	fabric  *UVMFabric
+	memBase uint64
+	memSize uint64
+}
+
+// CreateInstance allocates cores (no topology constraints — UVM treats
+// cores as interchangeable) and memBytes of page-mapped global memory with
+// tlbEntries-entry IOTLBs per core.
+func (u *UVMNPU) CreateInstance(cores int, memBytes uint64, tlbEntries int) (*UVMInstance, error) {
+	var chosen []topo.NodeID
+	var freeIDs []topo.NodeID
+	for id, ok := range u.free {
+		if ok {
+			freeIDs = append(freeIDs, id)
+		}
+	}
+	sort.Slice(freeIDs, func(i, j int) bool { return freeIDs[i] < freeIDs[j] })
+	if len(freeIDs) < cores {
+		return nil, fmt.Errorf("baseline: %d cores requested, %d free", cores, len(freeIDs))
+	}
+	chosen = freeIDs[:cores]
+
+	// Page-map the instance memory at a fresh physical region.
+	base := u.cursor
+	size := (memBytes + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	u.cursor += size + mem.PageSize
+	pt := mem.NewPageTable()
+	vaBase := uint64(u.nextVM) << 33
+	if size > 0 {
+		if err := pt.Map(vaBase, base, size, mem.PermRW); err != nil {
+			return nil, err
+		}
+	}
+	if tlbEntries <= 0 {
+		tlbEntries = 32
+	}
+
+	port, err := u.dev.HBM().Port() // all channels: shared, contended
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range chosen {
+		c, err := u.dev.Core(node)
+		if err != nil {
+			return nil, err
+		}
+		corePort, err := u.dev.HBM().Port()
+		if err != nil {
+			return nil, err
+		}
+		c.SetPort(corePort)
+		c.SetTranslator(mem.NewPageTranslator(pt, tlbEntries))
+		u.free[node] = false
+	}
+	inst := &UVMInstance{
+		VM:      u.nextVM,
+		nodes:   chosen,
+		fabric:  &UVMFabric{Port: port, L2: u.l2},
+		memBase: vaBase,
+		memSize: size,
+	}
+	u.nextVM++
+	return inst, nil
+}
+
+// Destroy releases an instance's cores.
+func (u *UVMNPU) Destroy(inst *UVMInstance) {
+	for _, node := range inst.nodes {
+		u.free[node] = true
+	}
+}
+
+// Nodes returns the instance's physical cores.
+func (i *UVMInstance) Nodes() []topo.NodeID { return i.nodes }
+
+// MemBase returns the instance's guest virtual base address.
+func (i *UVMInstance) MemBase() uint64 { return i.memBase }
+
+// Fabric returns the memory-synchronization fabric.
+func (i *UVMInstance) Fabric() npu.Fabric { return i.fabric }
+
+// Placement maps virtual core v to the v-th allocated node.
+func (i *UVMInstance) Placement() npu.Placement { return uvmPlacement{nodes: i.nodes} }
+
+type uvmPlacement struct{ nodes []topo.NodeID }
+
+func (p uvmPlacement) Node(id isa.CoreID) (topo.NodeID, error) {
+	if int(id) < 0 || int(id) >= len(p.nodes) {
+		return 0, fmt.Errorf("baseline: vCore %d out of range", id)
+	}
+	return p.nodes[id], nil
+}

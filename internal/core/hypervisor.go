@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Request describes the virtual NPU a tenant asks for (§5.2: core count,
+// topology, memory size, plus policy knobs).
+type Request struct {
+	// Topology is the requested virtual topology; its node IDs must be
+	// 0..n-1 and become the virtual core IDs.
+	Topology *topo.Graph
+	// Strategy picks the core-allocation policy (default StrategySimilar).
+	Strategy Strategy
+	// Confined requests NoC non-interference: packets never leave the
+	// vNPU's cores (§4.1.2).
+	Confined bool
+	// MemoryBytes of global memory to allocate (0 = none).
+	MemoryBytes uint64
+	// Translation selects the memory-virtualization mode (default vChunk).
+	Translation TranslationMode
+	// PageTLBEntries sizes the IOTLB in TranslationPage mode (default 32).
+	PageTLBEntries int
+	// MemChannels is the number of HBM interfaces to span (0 = a share
+	// proportional to the core count).
+	MemChannels int
+	// BandwidthCapBytes/BandwidthWindow install a vChunk access-counter
+	// bandwidth cap when both are positive.
+	BandwidthCapBytes int64
+	BandwidthWindow   sim.Cycles
+	// KVBufferBytes reserves a fixed-size KV-cache buffer in every core's
+	// scratchpad for decode-phase transformer workloads (§7: commercial
+	// NPUs pre-allocate a fixed KV buffer). The weight zone shrinks
+	// accordingly.
+	KVBufferBytes int64
+	// MapOptions customizes edit-distance costs (heterogeneous nodes,
+	// critical edges). The zero value is the paper's default.
+	MapOptions ged.Options
+}
+
+// minMemBlock is the smallest buddy block (and RTT range granularity).
+const minMemBlock = 64 << 10
+
+// guestVABase spaces each vNPU's virtual address space.
+const guestVABase = 1 << 32
+
+// Hypervisor owns the physical NPU's virtualization state: free cores,
+// meta tables, and the buddy allocator over HBM (§5.2). It is the only
+// component allowed to drive the controller's hyper-mode operations.
+type Hypervisor struct {
+	dev    *npu.Device
+	free   map[topo.NodeID]bool
+	vms    map[VMID]*VNPU
+	nextVM VMID
+	buddy  *mem.Buddy
+	nextCh int
+}
+
+// NewHypervisor takes ownership of the device: it enters hyper mode and
+// claims every core's meta zone.
+func NewHypervisor(dev *npu.Device) (*Hypervisor, error) {
+	cap := uint64(dev.Config().HBMCapacityBytes)
+	// Buddy pools must be a power of two; use the largest one that fits.
+	pool := uint64(1) << (63 - bits.LeadingZeros64(cap))
+	buddy, err := mem.NewBuddy(pool, minMemBlock)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hypervisor{
+		dev:    dev,
+		free:   make(map[topo.NodeID]bool),
+		vms:    make(map[VMID]*VNPU),
+		nextVM: 1,
+		buddy:  buddy,
+	}
+	for _, id := range dev.Graph().Nodes() {
+		h.free[id] = true
+		c, err := dev.Core(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.ReserveMetaZone(dev.Config().MetaZoneBytes); err != nil {
+			return nil, err
+		}
+	}
+	dev.Controller().EnterHyperMode()
+	return h, nil
+}
+
+// Device returns the managed device.
+func (h *Hypervisor) Device() *npu.Device { return h.dev }
+
+// FreeCores lists currently unallocated cores in ascending order.
+func (h *Hypervisor) FreeCores() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(h.free))
+	for id, ok := range h.free {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Utilization reports the fraction of cores currently allocated.
+func (h *Hypervisor) Utilization() float64 {
+	total := h.dev.Config().Cores()
+	return float64(total-len(h.FreeCores())) / float64(total)
+}
+
+// VNPUs lists live virtual NPUs in creation order.
+func (h *Hypervisor) VNPUs() []*VNPU {
+	ids := make([]VMID, 0, len(h.vms))
+	for id := range h.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*VNPU, len(ids))
+	for i, id := range ids {
+		out[i] = h.vms[id]
+	}
+	return out
+}
+
+// Reserve marks cores as unavailable without creating a vNPU — used to
+// model pre-occupied chips (the red nodes of Fig 18).
+func (h *Hypervisor) Reserve(nodes ...topo.NodeID) error {
+	for _, n := range nodes {
+		if !h.free[n] {
+			return fmt.Errorf("core: node %d is not free", n)
+		}
+	}
+	for _, n := range nodes {
+		h.free[n] = false
+	}
+	return nil
+}
+
+// CreateVNPU allocates cores, memory and meta tables for a new virtual
+// NPU according to the request.
+func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: request needs a topology")
+	}
+	mapRes, err := MapTopology(h.dev.Graph(), h.FreeCores(), req.Topology, req.Strategy, req.MapOptions)
+	if err != nil {
+		return nil, err
+	}
+	k := len(mapRes.Nodes)
+	ctrl := h.dev.Controller()
+
+	// Controller-side setup cost (Fig 11): availability query over the
+	// free pool plus routing-table configuration.
+	setup, err := ctrl.QueryAvailability(k)
+	if err != nil {
+		return nil, err
+	}
+	vm := h.nextVM
+	rt := buildRoutingTable(vm, h.dev.Graph(), req.Topology, mapRes.Nodes, h.dev.Config().MeshCols)
+	cfgCycles, err := ctrl.ConfigureRoutingTable(rt.HardwareEntries())
+	if err != nil {
+		return nil, err
+	}
+	setup += cfgCycles
+
+	// Global memory: buddy blocks become RTT ranges directly (§5.2).
+	blocks, err := h.allocMemory(vm, req.MemoryBytes)
+	if err != nil {
+		return nil, err
+	}
+	rollbackMem := func() {
+		for _, b := range blocks {
+			_ = h.buddy.Free(b.pa)
+		}
+	}
+
+	// Meta-zone budget: routing table + RTT must fit the reserved zone.
+	metaBits := rt.SizeBits() + len(blocks)*mem.RTTEntryBits
+	if int64(metaBits/8) > h.dev.Config().MetaZoneBytes {
+		rollbackMem()
+		return nil, fmt.Errorf("core: meta tables need %d bits, zone holds %d bytes", metaBits, h.dev.Config().MetaZoneBytes)
+	}
+
+	// Memory interfaces: a share proportional to the core count unless
+	// pinned, assigned round-robin.
+	channels := req.MemChannels
+	totalCh := h.dev.Config().HBMChannels
+	if channels <= 0 {
+		channels = (totalCh*k + h.dev.Config().Cores() - 1) / h.dev.Config().Cores()
+		if channels < 1 {
+			channels = 1
+		}
+	}
+	if channels > totalCh {
+		channels = totalCh
+	}
+	chIdx := make([]int, channels)
+	for i := range chIdx {
+		chIdx[i] = (h.nextCh + i) % totalCh
+	}
+	h.nextCh = (h.nextCh + channels) % totalCh
+
+	v := &VNPU{
+		id:          vm,
+		dev:         h.dev,
+		rt:          rt,
+		vtopo:       req.Topology.Clone(),
+		nodes:       mapRes.Nodes,
+		allowed:     make(map[topo.NodeID]bool, k),
+		confined:    req.Confined,
+		connected:   mapRes.Connected,
+		mapCost:     mapRes.Cost,
+		translation: req.Translation,
+		memBytes:    req.MemoryBytes,
+		kvBytes:     req.KVBufferBytes,
+		rttEntries:  len(blocks),
+		blocks:      blocks,
+		interfering: !mapRes.Connected,
+	}
+	if len(blocks) > 0 {
+		v.memBase = blocks[0].va
+	}
+
+	// Per-core configuration: ownership, ports, translators, RTT copies.
+	var pageTable *mem.PageTable
+	if req.Translation == TranslationPage && len(blocks) > 0 {
+		pageTable = mem.NewPageTable()
+		for _, b := range blocks {
+			if err := pageTable.Map(b.va, b.pa, b.size, mem.PermRW); err != nil {
+				rollbackMem()
+				return nil, err
+			}
+		}
+	}
+	for _, node := range mapRes.Nodes {
+		v.allowed[node] = true
+	}
+	// The access counter budgets the whole vNPU: one shared counter across
+	// all its ports (§4.2).
+	var sharedCap *mem.AccessCounter
+	if req.BandwidthCapBytes > 0 && req.BandwidthWindow > 0 {
+		sharedCap = &mem.AccessCounter{MaxBytes: req.BandwidthCapBytes, Window: req.BandwidthWindow}
+	}
+	if req.KVBufferBytes < 0 || h.dev.Config().MetaZoneBytes+req.KVBufferBytes >= h.dev.Config().ScratchpadBytes {
+		rollbackMem()
+		return nil, fmt.Errorf("core: KV buffer %d does not fit the scratchpad", req.KVBufferBytes)
+	}
+	for _, node := range mapRes.Nodes {
+		coreObj, err := h.dev.Core(node)
+		if err != nil {
+			rollbackMem()
+			return nil, err
+		}
+		if req.KVBufferBytes > 0 {
+			if err := coreObj.ReserveMetaZone(h.dev.Config().MetaZoneBytes + req.KVBufferBytes); err != nil {
+				rollbackMem()
+				return nil, err
+			}
+		}
+		port, err := h.dev.HBM().Port(chIdx...)
+		if err != nil {
+			rollbackMem()
+			return nil, err
+		}
+		if sharedCap != nil {
+			port.SetCounter(sharedCap)
+		}
+		coreObj.SetPort(port)
+		if v.port == nil {
+			v.port = port
+		}
+		switch req.Translation {
+		case TranslationNone:
+			coreObj.SetTranslator(&mem.Identity{})
+		case TranslationPage:
+			entries := req.PageTLBEntries
+			if entries <= 0 {
+				entries = 32
+			}
+			coreObj.SetTranslator(mem.NewPageTranslator(pageTable, entries))
+		default:
+			rttEntries := make([]mem.RTTEntry, len(blocks))
+			for i, b := range blocks {
+				rttEntries[i] = mem.RTTEntry{VA: b.va, PA: b.pa, Size: b.size, Perm: mem.PermRW, LastV: -1}
+			}
+			rtt, err := mem.NewRTT(rttEntries)
+			if err != nil {
+				rollbackMem()
+				return nil, err
+			}
+			coreObj.SetTranslator(mem.NewRangeTranslator(rtt))
+		}
+		h.free[node] = false
+		h.dev.NoC().SetOwner(node, int(vm))
+		rttCycles, err := ctrl.ConfigureRTT(len(blocks))
+		if err != nil {
+			rollbackMem()
+			return nil, err
+		}
+		setup += rttCycles
+	}
+	v.setup = setup
+	h.vms[vm] = v
+	h.nextVM++
+	return v, nil
+}
+
+// Destroy releases a vNPU's cores, memory and meta tables.
+func (h *Hypervisor) Destroy(vm VMID) error {
+	v, ok := h.vms[vm]
+	if !ok {
+		return fmt.Errorf("core: no vNPU %d", vm)
+	}
+	for _, node := range v.nodes {
+		h.free[node] = true
+		h.dev.NoC().SetOwner(node, noc.Unowned)
+		coreObj, err := h.dev.Core(node)
+		if err != nil {
+			return err
+		}
+		if v.kvBytes > 0 {
+			if err := coreObj.ReserveMetaZone(h.dev.Config().MetaZoneBytes); err != nil {
+				return err
+			}
+		}
+		port, err := h.dev.HBM().Port()
+		if err != nil {
+			return err
+		}
+		coreObj.SetPort(port)
+		coreObj.SetTranslator(&mem.Identity{})
+	}
+	for _, b := range v.blocks {
+		if err := h.buddy.Free(b.pa); err != nil {
+			return err
+		}
+	}
+	delete(h.vms, vm)
+	return nil
+}
+
+// allocMemory carves size bytes into power-of-two buddy blocks and assigns
+// them consecutive guest virtual addresses. Each block becomes one RTT
+// entry — the whole point of range translation (§5.2: "maps an entire
+// block directly into the RTT entry").
+func (h *Hypervisor) allocMemory(vm VMID, size uint64) ([]memBlock, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	// Round up to the minimum block and split into the binary
+	// decomposition, largest blocks first.
+	rounded := (size + minMemBlock - 1) &^ uint64(minMemBlock-1)
+	var blocks []memBlock
+	va := uint64(vm) * guestVABase
+	for rem := rounded; rem > 0; {
+		block := uint64(1) << (63 - bits.LeadingZeros64(rem))
+		if block < minMemBlock {
+			block = minMemBlock
+		}
+		pa, err := h.buddy.Alloc(block)
+		if err != nil {
+			for _, b := range blocks {
+				_ = h.buddy.Free(b.pa)
+			}
+			return nil, fmt.Errorf("core: allocating %d bytes for vNPU %d: %w", size, vm, err)
+		}
+		blocks = append(blocks, memBlock{va: va, pa: pa, size: block})
+		va += block
+		if rem <= block {
+			break
+		}
+		rem -= block
+	}
+	return blocks, nil
+}
+
+// buildRoutingTable picks the shaped single-entry format when the request
+// is a full rows x cols mesh mapped row-major onto an axis-aligned
+// physical rectangle, and the standard per-core format otherwise (Fig 4).
+func buildRoutingTable(vm VMID, phys, req *topo.Graph, nodes []topo.NodeID, meshCols int) *RoutingTable {
+	if rows, cols, ok := rectangleRowMajor(phys, req, nodes); ok {
+		if rt, err := NewShapedRT(vm, 0, nodes[0], rows, cols, meshCols); err == nil {
+			return rt
+		}
+	}
+	m := make(map[isa.CoreID]topo.NodeID, len(nodes))
+	for v, p := range nodes {
+		m[isa.CoreID(v)] = p
+	}
+	return NewStandardRT(vm, m)
+}
+
+// rectangleRowMajor reports whether nodes form an axis-aligned rectangle
+// traversed row-major, and whether the request is the matching full mesh.
+func rectangleRowMajor(phys, req *topo.Graph, nodes []topo.NodeID) (rows, cols int, ok bool) {
+	sub := phys.Induced(nodes)
+	min, max, has := topo.MeshBounds(sub)
+	if !has {
+		return 0, 0, false
+	}
+	rows = max.Y - min.Y + 1
+	cols = max.X - min.X + 1
+	if rows*cols != len(nodes) {
+		return 0, 0, false
+	}
+	// Request must be the full rows x cols mesh.
+	if topo.Signature(req, 0) != topo.Signature(topo.Mesh2D(rows, cols), 0) {
+		return 0, 0, false
+	}
+	// Mapping must be row-major over the rectangle.
+	for v, p := range nodes {
+		c, has := phys.CoordOf(p)
+		if !has {
+			return 0, 0, false
+		}
+		wantX := min.X + v%cols
+		wantY := min.Y + v/cols
+		if c.X != wantX || c.Y != wantY {
+			return 0, 0, false
+		}
+	}
+	return rows, cols, true
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Strategy selects the NPU core allocation policy (§4.3, Fig 8).
+type Strategy uint8
+
+// Allocation strategies.
+const (
+	// StrategySimilar allocates the connected free region with minimum
+	// topology edit distance to the request — the paper's best-effort
+	// mapping (Algorithm 1).
+	StrategySimilar Strategy = iota
+	// StrategyExact only accepts a region isomorphic to the request;
+	// allocation fails otherwise (topology lock-in).
+	StrategyExact
+	// StrategyStraightforward takes the free cores with the smallest IDs
+	// first (row-major order), ignoring topology — the naive allocation of
+	// Fig 8 that Fig 18 compares against.
+	StrategyStraightforward
+	// StrategyFragment behaves like StrategySimilar but accepts a
+	// disconnected region when no connected one exists, trading NoC
+	// interference for utilization (§4.3, "Topology fragmentation").
+	StrategyFragment
+)
+
+var strategyNames = [...]string{"similar", "exact", "straightforward", "fragment"}
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// MapResult is the outcome of a topology mapping.
+type MapResult struct {
+	// Nodes holds the physical node hosting each virtual core: Nodes[v]
+	// hosts vCore v (requested-topology node v).
+	Nodes []topo.NodeID
+	// Cost is the topology edit distance between the request and the
+	// allocated region under the chosen assignment (0 = exact match).
+	Cost float64
+	// Candidates reports how many candidate regions were evaluated.
+	Candidates int
+	// Connected reports whether the allocated region is connected (R-3).
+	Connected bool
+}
+
+// enumeration budgets: exhaustive ESU enumeration is exponential, so it is
+// only attempted for small requests and capped; region growing covers the
+// rest (the paper prunes the same way, §4.3).
+const (
+	exactEnumMaxK    = 10
+	exactEnumLimit   = 3000
+	maxGEDCandidates = 512
+)
+
+// MapTopology allocates req.NumNodes() cores from the free nodes of phys
+// according to the strategy. The requested topology's node IDs must be
+// 0..n-1 (they become the virtual core IDs). opt customizes edit costs
+// (heterogeneous nodes, critical edges); the zero Options give the paper's
+// defaults.
+func MapTopology(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, strat Strategy, opt ged.Options) (MapResult, error) {
+	k := req.NumNodes()
+	if k == 0 {
+		return MapResult{}, fmt.Errorf("core: empty topology request")
+	}
+	for i := 0; i < k; i++ {
+		if !req.HasNode(topo.NodeID(i)) {
+			return MapResult{}, fmt.Errorf("core: request nodes must be 0..%d (missing %d)", k-1, i)
+		}
+	}
+	if len(free) < k {
+		return MapResult{}, fmt.Errorf("core: %d cores requested, %d free", k, len(free))
+	}
+
+	switch strat {
+	case StrategyStraightforward:
+		return mapStraightforward(phys, free, req, opt)
+	case StrategyExact:
+		res, err := mapSimilar(phys, free, req, opt)
+		if err != nil {
+			return res, err
+		}
+		if res.Cost != 0 {
+			return MapResult{}, fmt.Errorf("core: no exact %d-core topology available (best edit distance %.1f): topology lock-in", k, res.Cost)
+		}
+		return res, nil
+	case StrategyFragment:
+		res, err := mapSimilar(phys, free, req, opt)
+		if err == nil {
+			return res, nil
+		}
+		return mapFragment(phys, free, req, opt)
+	default: // StrategySimilar
+		return mapSimilar(phys, free, req, opt)
+	}
+}
+
+// mapStraightforward implements the smallest-ID-first baseline: free cores
+// are taken in ascending physical ID (row-major) order and virtual core i
+// lands on the i-th one.
+func mapStraightforward(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.Options) (MapResult, error) {
+	k := req.NumNodes()
+	chosen := idOrderNodes(free, k)
+	if len(chosen) < k {
+		return MapResult{}, fmt.Errorf("core: only %d free cores for %d-core request", len(chosen), k)
+	}
+	m := make(ged.Mapping, k)
+	for i, node := range chosen {
+		m[topo.NodeID(i)] = node
+	}
+	sub := phys.Induced(chosen)
+	return MapResult{
+		Nodes:      chosen,
+		Cost:       ged.PathCost(req, sub, m, opt),
+		Candidates: 1,
+		Connected:  sub.Connected(),
+	}, nil
+}
+
+// idOrderNodes returns the k smallest free node IDs in ascending order.
+func idOrderNodes(free []topo.NodeID, k int) []topo.NodeID {
+	sorted := make([]topo.NodeID, len(free))
+	copy(sorted, free)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// mapSimilar implements Algorithm 1: enumerate connected candidate regions,
+// prune duplicates by topology signature, return early on an exact match,
+// otherwise compute edit distances in parallel and keep the minimum.
+func mapSimilar(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.Options) (MapResult, error) {
+	k := req.NumNodes()
+	candidates := gatherCandidates(phys, free, k)
+	if len(candidates) == 0 {
+		return MapResult{}, fmt.Errorf("core: no connected %d-core region available", k)
+	}
+
+	// Signature dedup is only sound when the cost model is purely
+	// structural; positional penalties distinguish same-shape regions.
+	dedup := opt.ExtraNodePenalty == nil
+	reqSig := topo.Signature(req, 0)
+	seen := make(map[string]bool)
+	var kept []candidate
+	for _, c := range candidates {
+		sub := phys.Induced(c.nodes)
+		sig := topo.Signature(sub, 0)
+		if sig == reqSig {
+			// Algorithm 1 line 22: exact topology, return immediately.
+			cost, mapping := ged.Distance(req, sub, opt)
+			if cost == 0 {
+				return MapResult{
+					Nodes:      orderByMapping(req, mapping, c.nodes),
+					Cost:       0,
+					Candidates: len(kept) + 1,
+					Connected:  true,
+				}, nil
+			}
+			// Rare signature collision: fall through to scoring.
+		}
+		if dedup {
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+		}
+		kept = append(kept, candidate{nodes: c.nodes, sub: sub})
+		if len(kept) >= maxGEDCandidates {
+			break
+		}
+	}
+
+	// Algorithm 1 lines 30-32: score candidates in parallel, keep the
+	// minimum (deterministic: results indexed, ties to lowest index).
+	type scored struct {
+		cost    float64
+		mapping ged.Mapping
+	}
+	results := make([]scored, len(kept))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range kept {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cost, mapping := ged.Distance(req, kept[i].sub, opt)
+			results[i] = scored{cost, mapping}
+		}(i)
+	}
+	wg.Wait()
+
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].cost < results[best].cost {
+			best = i
+		}
+	}
+	cost, mapping := results[best].cost, results[best].mapping
+	bestNodes := kept[best].nodes
+	if k > 10 {
+		// Beyond the exact solver's reach the bipartite assignment can be
+		// loose; tighten the winning candidate with local search.
+		cost, mapping = ged.Refine(req, kept[best].sub, mapping, opt, 6)
+	}
+	// The naive ID-order region is always a legal candidate; never return
+	// something worse than what the straightforward strategy would get
+	// refined (Algorithm 1 minimizes over all candidates).
+	if straight, err := mapStraightforward(phys, free, req, opt); err == nil && straight.Connected {
+		sSub := phys.Induced(straight.Nodes)
+		sMap := make(ged.Mapping, k)
+		for i, n := range straight.Nodes {
+			sMap[topo.NodeID(i)] = n
+		}
+		sCost := straight.Cost
+		if k > 10 {
+			sCost, sMap = ged.Refine(req, sSub, sMap, opt, 6)
+		}
+		if sCost < cost {
+			cost, mapping = sCost, sMap
+			bestNodes = straight.Nodes
+		}
+	}
+	return MapResult{
+		Nodes:      orderByMapping(req, mapping, bestNodes),
+		Cost:       cost,
+		Candidates: len(kept) + 1,
+		Connected:  true,
+	}, nil
+}
+
+// mapFragment relaxes the connectivity requirement: grab the zig-zag-first
+// free cores and score the (possibly disconnected) region.
+func mapFragment(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.Options) (MapResult, error) {
+	res, err := mapStraightforward(phys, free, req, opt)
+	if err != nil {
+		return res, err
+	}
+	// Re-derive the assignment with the edit-distance solver so the
+	// fragment still gets the best achievable internal mapping.
+	sub := phys.Induced(res.Nodes)
+	cost, mapping := ged.Distance(req, sub, opt)
+	return MapResult{
+		Nodes:      orderByMapping(req, mapping, res.Nodes),
+		Cost:       cost,
+		Candidates: 1,
+		Connected:  sub.Connected(),
+	}, nil
+}
+
+type candidate struct {
+	nodes []topo.NodeID
+	sub   *topo.Graph
+}
+
+// gatherCandidates produces connected size-k regions of the free set:
+// exhaustive enumeration when feasible, seeded region growing otherwise,
+// deduplicated by node set.
+func gatherCandidates(phys *topo.Graph, free []topo.NodeID, k int) []candidate {
+	var sets [][]topo.NodeID
+	if k <= exactEnumMaxK {
+		enum, complete := topo.ConnectedSubgraphs(phys, free, k, exactEnumLimit)
+		sets = enum
+		if !complete {
+			sets = append(sets, topo.GrowRegions(phys, free, k)...)
+		}
+	} else {
+		sets = topo.GrowRegions(phys, free, k)
+	}
+	seen := make(map[string]bool, len(sets))
+	out := make([]candidate, 0, len(sets))
+	for _, s := range sets {
+		key := nodeSetKey(s)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, candidate{nodes: s})
+	}
+	return out
+}
+
+func nodeSetKey(ids []topo.NodeID) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), ';')
+	}
+	return string(b)
+}
+
+// orderByMapping converts a GED mapping into the Nodes slice (vCore order).
+// Virtual cores the solver left unmapped are assigned leftover region
+// nodes deterministically.
+func orderByMapping(req *topo.Graph, m ged.Mapping, region []topo.NodeID) []topo.NodeID {
+	k := req.NumNodes()
+	out := make([]topo.NodeID, k)
+	used := make(map[topo.NodeID]bool, k)
+	missing := make([]int, 0)
+	for v := 0; v < k; v++ {
+		if p, ok := m[topo.NodeID(v)]; ok {
+			out[v] = p
+			used[p] = true
+		} else {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) > 0 {
+		var leftovers []topo.NodeID
+		for _, p := range region {
+			if !used[p] {
+				leftovers = append(leftovers, p)
+			}
+		}
+		sort.Slice(leftovers, func(i, j int) bool { return leftovers[i] < leftovers[j] })
+		for i, v := range missing {
+			out[v] = leftovers[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+func TestNoCTableRegularTopologyUsesDOR(t *testing.T) {
+	h := newHV(t, npu.FPGAConfig())
+	v, err := h.CreateVNPU(Request{Topology: topo.Mesh2D(2, 2), Confined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := v.NoCTableFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (one per other vCore)", len(table.Entries))
+	}
+	// A rectangular vNPU needs no direction overrides: confined shortest
+	// paths coincide with DOR.
+	for _, e := range table.Entries {
+		if e.Direction != noc.DirNone {
+			t.Fatalf("regular topology should use NULL directions, got %s", e)
+		}
+	}
+	if table.SizeBits() != 3*nocEntryBits {
+		t.Fatalf("SizeBits = %d", table.SizeBits())
+	}
+}
+
+func TestNoCTableIrregularTopologyOverridesDOR(t *testing.T) {
+	// Build an L-shaped confined vNPU: DOR between the L's ends would cut
+	// the corner through a foreign core, so the table must record an
+	// explicit direction (Fig 5's "NoC non-interference").
+	h := newHV(t, npu.FPGAConfig()) // 2x4 mesh
+	// Reserve so the only 3-core region is the L {0,4,5} or similar.
+	if err := h.Reserve(1, 2, 3, 6, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.CreateVNPU(Request{Topology: topo.Chain(3), Confined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a (src,dst) pair whose confined first hop differs from DOR.
+	overrides := 0
+	for _, vc := range v.RoutingTable().VirtualCores() {
+		table, err := v.NoCTableFor(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range table.Entries {
+			if e.Direction != noc.DirNone {
+				overrides++
+			}
+		}
+	}
+	if overrides == 0 {
+		t.Fatal("L-shaped confined vNPU should need at least one direction override")
+	}
+	bits, err := v.NoCMetaBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 3*2*nocEntryBits {
+		t.Fatalf("NoCMetaBits = %d", bits)
+	}
+}
+
+func TestNoCTableUnknownCore(t *testing.T) {
+	h := newHV(t, npu.FPGAConfig())
+	v, err := h.CreateVNPU(Request{Topology: topo.Mesh2D(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.NoCTableFor(isa.CoreID(42)); err == nil {
+		t.Fatal("unknown vCore must fail")
+	}
+}

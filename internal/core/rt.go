@@ -1,0 +1,164 @@
+// Package core implements vNPU, the paper's contribution: topology-aware
+// virtualization for inter-core connected NPUs. It provides
+//
+//   - the vRouter routing tables that redirect instructions and NoC packets
+//     from virtual to physical cores (§4.1),
+//   - the vChunk memory-virtualization setup over range translation tables
+//     (§4.2),
+//   - the topology-mapping strategies for core allocation, including the
+//     minimum-topology-edit-distance mapping (§4.3, Algorithm 1), and
+//   - the hypervisor that owns the meta tables and hardware resources of
+//     every virtual NPU (§5.2).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// VMID identifies a virtual machine / virtual NPU. VMID 0 is reserved for
+// "no owner" (bare metal).
+type VMID int
+
+// RTType selects the routing-table organization of Fig 4.
+type RTType uint8
+
+// Routing-table organizations.
+const (
+	// RTStandard records one (v_CoreID -> p_CoreID) entry per virtual core.
+	RTStandard RTType = iota
+	// RTShaped records only the base virtual ID, base physical core and the
+	// [rows, cols] shape of a regular 2D-mesh region — one entry total.
+	RTShaped
+)
+
+// String names the routing-table type as in Fig 4.
+func (t RTType) String() string {
+	if t == RTShaped {
+		return "2D Mesh"
+	}
+	return "Standard"
+}
+
+// RoutingTable is the vRouter's instruction-routing table: it translates
+// virtual NPU core IDs to physical ones (§4.1.1). It lives in controller
+// SRAM and is written only by the hyper-mode controller.
+type RoutingTable struct {
+	VM   VMID
+	Type RTType
+
+	// Standard form.
+	entries map[isa.CoreID]topo.NodeID
+
+	// Shaped form: virtual core v (0-based, row-major over rows x cols)
+	// maps to physical node baseP + (v/cols)*meshCols + v%cols.
+	baseV      isa.CoreID
+	baseP      topo.NodeID
+	rows, cols int
+	meshCols   int
+}
+
+// NewStandardRT builds a standard routing table from an explicit mapping.
+// The mapping is copied.
+func NewStandardRT(vm VMID, mapping map[isa.CoreID]topo.NodeID) *RoutingTable {
+	m := make(map[isa.CoreID]topo.NodeID, len(mapping))
+	for v, p := range mapping {
+		m[v] = p
+	}
+	return &RoutingTable{VM: vm, Type: RTStandard, entries: m}
+}
+
+// NewShapedRT builds the compressed single-entry table for a rows x cols
+// mesh region of a physical mesh with meshCols columns, starting at
+// physical node baseP and virtual ID baseV (Fig 4, "Type: 2D Mesh,
+// 1 Entry").
+func NewShapedRT(vm VMID, baseV isa.CoreID, baseP topo.NodeID, rows, cols, meshCols int) (*RoutingTable, error) {
+	if rows < 1 || cols < 1 || meshCols < cols {
+		return nil, fmt.Errorf("core: bad shaped RT %dx%d on mesh width %d", rows, cols, meshCols)
+	}
+	return &RoutingTable{
+		VM: vm, Type: RTShaped,
+		baseV: baseV, baseP: baseP, rows: rows, cols: cols, meshCols: meshCols,
+	}, nil
+}
+
+// Lookup translates a virtual core ID to its physical node.
+func (rt *RoutingTable) Lookup(v isa.CoreID) (topo.NodeID, error) {
+	switch rt.Type {
+	case RTShaped:
+		idx := int(v - rt.baseV)
+		if idx < 0 || idx >= rt.rows*rt.cols {
+			return 0, fmt.Errorf("core: vCore %d outside shaped table [%d,%d)", v, rt.baseV, int(rt.baseV)+rt.rows*rt.cols)
+		}
+		r, c := idx/rt.cols, idx%rt.cols
+		return rt.baseP + topo.NodeID(r*rt.meshCols+c), nil
+	default:
+		p, ok := rt.entries[v]
+		if !ok {
+			return 0, fmt.Errorf("core: vCore %d not in routing table of VM %d", v, rt.VM)
+		}
+		return p, nil
+	}
+}
+
+// NumVirtualCores reports how many virtual cores the table covers.
+func (rt *RoutingTable) NumVirtualCores() int {
+	if rt.Type == RTShaped {
+		return rt.rows * rt.cols
+	}
+	return len(rt.entries)
+}
+
+// HardwareEntries reports how many SRAM entries the table occupies — the
+// shaped form needs one regardless of region size (Fig 4).
+func (rt *RoutingTable) HardwareEntries() int {
+	if rt.Type == RTShaped {
+		return 1
+	}
+	return len(rt.entries)
+}
+
+// rtEntryBits is the storage cost of one standard routing-table entry:
+// 8-bit vID + 8-bit pID + 3-bit direction + valid bit, rounded to 20 bits.
+const rtEntryBits = 20
+
+// SizeBits reports the table's SRAM footprint in bits, used by the Fig 19
+// hardware-cost model.
+func (rt *RoutingTable) SizeBits() int {
+	if rt.Type == RTShaped {
+		// base vID + base pID + rows + cols, 8 bits each.
+		return 32
+	}
+	return len(rt.entries) * rtEntryBits
+}
+
+// VirtualCores lists the table's virtual core IDs in ascending order.
+func (rt *RoutingTable) VirtualCores() []isa.CoreID {
+	if rt.Type == RTShaped {
+		out := make([]isa.CoreID, rt.rows*rt.cols)
+		for i := range out {
+			out[i] = rt.baseV + isa.CoreID(i)
+		}
+		return out
+	}
+	out := make([]isa.CoreID, 0, len(rt.entries))
+	for v := range rt.entries {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PhysicalNodes lists the physical nodes in virtual-core order.
+func (rt *RoutingTable) PhysicalNodes() []topo.NodeID {
+	vs := rt.VirtualCores()
+	out := make([]topo.NodeID, len(vs))
+	for i, v := range vs {
+		p, _ := rt.Lookup(v)
+		out[i] = p
+	}
+	return out
+}

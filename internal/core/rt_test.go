@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+func TestStandardRTLookup(t *testing.T) {
+	rt := NewStandardRT(1, map[isa.CoreID]topo.NodeID{0: 1, 1: 2, 2: 4, 3: 5})
+	p, err := rt.Lookup(2)
+	if err != nil || p != 4 {
+		t.Fatalf("Lookup(2) = %v, %v", p, err)
+	}
+	if _, err := rt.Lookup(9); err == nil {
+		t.Fatal("expected missing-entry error")
+	}
+	if rt.NumVirtualCores() != 4 || rt.HardwareEntries() != 4 {
+		t.Fatalf("sizes = %d, %d", rt.NumVirtualCores(), rt.HardwareEntries())
+	}
+	if rt.Type.String() != "Standard" {
+		t.Fatalf("type = %s", rt.Type)
+	}
+}
+
+func TestShapedRTLookup(t *testing.T) {
+	// Fig 4's vNPU1: a 2x2 virtual mesh starting at physical node 1 on a
+	// 3-column physical mesh: vIDs 0,1,2,3 -> pIDs 1,2,4,5.
+	rt, err := NewShapedRT(1, 0, 1, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topo.NodeID{1, 2, 4, 5}
+	for v, wantP := range want {
+		p, err := rt.Lookup(isa.CoreID(v))
+		if err != nil || p != wantP {
+			t.Fatalf("Lookup(%d) = %v, %v; want %v", v, p, err, wantP)
+		}
+	}
+	if _, err := rt.Lookup(4); err == nil {
+		t.Fatal("out-of-shape lookup must fail")
+	}
+	if rt.HardwareEntries() != 1 {
+		t.Fatalf("shaped table must need exactly 1 entry, got %d", rt.HardwareEntries())
+	}
+	if rt.NumVirtualCores() != 4 {
+		t.Fatalf("NumVirtualCores = %d", rt.NumVirtualCores())
+	}
+	if rt.Type.String() != "2D Mesh" {
+		t.Fatalf("type = %s", rt.Type)
+	}
+}
+
+func TestShapedRTValidation(t *testing.T) {
+	if _, err := NewShapedRT(1, 0, 0, 0, 2, 4); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+	if _, err := NewShapedRT(1, 0, 0, 2, 5, 4); err == nil {
+		t.Fatal("cols wider than mesh must fail")
+	}
+}
+
+func TestRTSizeBits(t *testing.T) {
+	std := NewStandardRT(1, map[isa.CoreID]topo.NodeID{0: 0, 1: 1, 2: 2, 3: 3})
+	shaped, _ := NewShapedRT(1, 0, 0, 2, 2, 4)
+	if std.SizeBits() <= shaped.SizeBits() {
+		t.Fatalf("standard table (%d bits) must cost more than shaped (%d bits)",
+			std.SizeBits(), shaped.SizeBits())
+	}
+}
+
+func TestRTVirtualCoresAndPhysicalNodes(t *testing.T) {
+	rt := NewStandardRT(2, map[isa.CoreID]topo.NodeID{2: 7, 0: 3, 1: 5})
+	vs := rt.VirtualCores()
+	if len(vs) != 3 || vs[0] != 0 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("VirtualCores = %v", vs)
+	}
+	ps := rt.PhysicalNodes()
+	if ps[0] != 3 || ps[1] != 5 || ps[2] != 7 {
+		t.Fatalf("PhysicalNodes = %v", ps)
+	}
+	shaped, _ := NewShapedRT(1, 10, 0, 1, 3, 4)
+	vs2 := shaped.VirtualCores()
+	if len(vs2) != 3 || vs2[0] != 10 || vs2[2] != 12 {
+		t.Fatalf("shaped VirtualCores = %v", vs2)
+	}
+}

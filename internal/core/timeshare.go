@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// Temporal sharing (§7): vNPU primarily shares the chip spatially because
+// an NPU context switch must swap the scratchpad-resident model data, but
+// cloud vendors may still over-provision by time-slicing one region
+// between tenants. TimeShare quantifies that trade so the hypervisor (or
+// an operator) can decide whether over-provisioning pays.
+
+// TimeSharePlan describes slicing one core region between two tenants.
+type TimeSharePlan struct {
+	// SliceCycles is the scheduling quantum each tenant runs per turn.
+	SliceCycles sim.Cycles
+	// WorkingSetBytes is the per-core scratchpad state swapped on every
+	// context switch (weights + live activations). 0 selects the whole
+	// weight zone — the conservative upper bound the paper's argument
+	// rests on.
+	WorkingSetBytes int64
+}
+
+// TimeShareResult reports the cost of a time-shared schedule.
+type TimeShareResult struct {
+	// TenantCycles is each tenant's wall-clock completion time under
+	// round-robin slicing.
+	TenantCycles [2]sim.Cycles
+	// SwitchCycles is the cost of one context switch (scratchpad swap out
+	// + swap in through the region's memory bandwidth).
+	SwitchCycles sim.Cycles
+	// Switches is the number of context switches performed.
+	Switches int
+	// OverheadPct is the fraction of total busy time spent switching.
+	OverheadPct float64
+}
+
+// TimeShare computes the round-robin schedule of two tenants with solo
+// runtimes a and b on a region of `cores` cores of the given chip. It
+// models what the paper argues qualitatively: with multi-megabyte
+// scratchpads the swap cost makes fine-grained temporal sharing
+// prohibitively expensive, so slices must be long (or sharing spatial).
+func TimeShare(a, b sim.Cycles, cores int, cfg npu.Config, plan TimeSharePlan) (TimeShareResult, error) {
+	if a < 0 || b < 0 || cores < 1 {
+		return TimeShareResult{}, fmt.Errorf("core: bad time-share inputs (a=%v b=%v cores=%d)", a, b, cores)
+	}
+	if plan.SliceCycles <= 0 {
+		return TimeShareResult{}, fmt.Errorf("core: slice must be positive")
+	}
+	ws := plan.WorkingSetBytes
+	if ws <= 0 {
+		ws = cfg.ScratchpadBytes - cfg.MetaZoneBytes
+	}
+	// Swap = write old working set out + read new one in, across all
+	// cores of the region, through the chip's total memory bandwidth.
+	bw := int64(cfg.HBMChannels * cfg.HBMBytesPerCycle)
+	swap := sim.Cycles(2 * ws * int64(cores) / bw)
+
+	remaining := [2]sim.Cycles{a, b}
+	var finish [2]sim.Cycles
+	var clock sim.Cycles
+	switches := 0
+	turn := 0
+	for remaining[0] > 0 || remaining[1] > 0 {
+		if remaining[turn] == 0 {
+			turn = 1 - turn
+			continue
+		}
+		// Context switch before the slice when the other tenant also has
+		// work (state must be swapped in).
+		if remaining[1-turn] > 0 || switches > 0 {
+			clock += swap
+			switches++
+		}
+		run := plan.SliceCycles
+		if run > remaining[turn] {
+			run = remaining[turn]
+		}
+		clock += run
+		remaining[turn] -= run
+		if remaining[turn] == 0 {
+			finish[turn] = clock
+		}
+		turn = 1 - turn
+	}
+	busy := a + b
+	total := clock
+	var overhead float64
+	if total > 0 {
+		overhead = float64(total-busy) / float64(total) * 100
+	}
+	return TimeShareResult{
+		TenantCycles: finish,
+		SwitchCycles: swap,
+		Switches:     switches,
+		OverheadPct:  overhead,
+	}, nil
+}

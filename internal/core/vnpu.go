@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// TranslationMode selects how a virtual NPU's global memory is virtualized
+// (the Fig 14 comparison).
+type TranslationMode uint8
+
+// Translation modes.
+const (
+	// TranslationRange is vChunk: range translation table + range TLB.
+	TranslationRange TranslationMode = iota
+	// TranslationPage is the page-based IOTLB baseline.
+	TranslationPage
+	// TranslationNone passes physical addresses through (bare-metal
+	// reference, "Physical Mem" in Fig 14).
+	TranslationNone
+)
+
+// String names the mode.
+func (m TranslationMode) String() string {
+	switch m {
+	case TranslationPage:
+		return "page"
+	case TranslationNone:
+		return "physical"
+	default:
+		return "range"
+	}
+}
+
+// VRouterNoCOverheadCycles is the flat per-transfer cost the NoC vRouter
+// adds: fetching the routing-table entry from the core's meta zone and
+// rewriting the destination core ID. Table 3 measures ~30 extra cycles on
+// a vSend, i.e. 1–2% of a small transfer and noise on larger ones.
+const VRouterNoCOverheadCycles sim.Cycles = 30
+
+// VNPU is one virtual NPU: a set of physical cores presented to the guest
+// as virtual cores 0..n-1 with a virtual topology, plus virtualized memory
+// and interconnect (§3.2).
+type VNPU struct {
+	id          VMID
+	dev         *npu.Device
+	rt          *RoutingTable
+	vtopo       *topo.Graph
+	nodes       []topo.NodeID
+	allowed     map[topo.NodeID]bool
+	confined    bool
+	connected   bool
+	mapCost     float64
+	setup       sim.Cycles
+	translation TranslationMode
+	memBase     uint64
+	memBytes    uint64
+	rttEntries  int
+	blocks      []memBlock
+	paths       map[[2]topo.NodeID][]topo.NodeID
+	interfering bool // true when confined routing was impossible (fragments)
+	port        *mem.Port
+	kvBytes     int64
+}
+
+type memBlock struct {
+	va, pa, size uint64
+}
+
+// ID returns the virtual machine identifier.
+func (v *VNPU) ID() VMID { return v.id }
+
+// Nodes returns the physical nodes in virtual-core order (Nodes[i] hosts
+// vCore i). The slice is owned by the VNPU.
+func (v *VNPU) Nodes() []topo.NodeID { return v.nodes }
+
+// NumCores reports the virtual core count.
+func (v *VNPU) NumCores() int { return len(v.nodes) }
+
+// VirtualTopology returns the requested topology (virtual core IDs).
+func (v *VNPU) VirtualTopology() *topo.Graph { return v.vtopo }
+
+// RoutingTable returns the instruction-router table.
+func (v *VNPU) RoutingTable() *RoutingTable { return v.rt }
+
+// MapCost reports the topology edit distance of the allocation.
+func (v *VNPU) MapCost() float64 { return v.mapCost }
+
+// Connected reports whether the allocated region is connected.
+func (v *VNPU) Connected() bool { return v.connected }
+
+// SetupCycles reports the controller cycles spent creating this vNPU
+// (availability query + routing-table and RTT configuration; Fig 11).
+func (v *VNPU) SetupCycles() sim.Cycles { return v.setup }
+
+// Translation reports the memory-virtualization mode.
+func (v *VNPU) Translation() TranslationMode { return v.translation }
+
+// MemBase returns the guest-visible base address of the vNPU's memory.
+func (v *VNPU) MemBase() uint64 { return v.memBase }
+
+// MemBytes returns the allocated memory size.
+func (v *VNPU) MemBytes() uint64 { return v.memBytes }
+
+// RTTEntries reports how many range-translation entries back the memory.
+func (v *VNPU) RTTEntries() int { return v.rttEntries }
+
+// KVBufferBytes reports the per-core KV-cache reservation (0 when none).
+func (v *VNPU) KVBufferBytes() int64 { return v.kvBytes }
+
+// Placement returns the executor placement backed by the routing table:
+// every instruction stream's virtual core ID is translated through the
+// vRouter.
+func (v *VNPU) Placement() npu.Placement { return vnpuPlacement{rt: v.rt} }
+
+type vnpuPlacement struct{ rt *RoutingTable }
+
+func (p vnpuPlacement) Node(id isa.CoreID) (topo.NodeID, error) { return p.rt.Lookup(id) }
+
+// Fabric returns the NoC fabric with vRouter semantics: per-transfer
+// routing-table overhead, and — when the vNPU was created with
+// NoC confinement — paths constrained to the vNPU's own cores.
+func (v *VNPU) Fabric() npu.Fabric { return &vnpuFabric{v: v} }
+
+type vnpuFabric struct{ v *VNPU }
+
+func (f *vnpuFabric) Transfer(start sim.Cycles, src, dst topo.NodeID, size int) (sim.Cycles, error) {
+	path, err := f.v.path(src, dst)
+	if err != nil {
+		return start, err
+	}
+	return f.v.dev.NoC().Transfer(start+VRouterNoCOverheadCycles, path, size, int(f.v.id))
+}
+
+// path returns (and caches) the route between two of the vNPU's physical
+// cores: a confined shortest path when non-interference was requested and
+// the region allows it, DOR otherwise (§4.1.2's two routing strategies).
+func (v *VNPU) path(src, dst topo.NodeID) ([]topo.NodeID, error) {
+	key := [2]topo.NodeID{src, dst}
+	if p, ok := v.paths[key]; ok {
+		return p, nil
+	}
+	g := v.dev.Graph()
+	var p []topo.NodeID
+	var err error
+	if v.confined && !v.interfering {
+		p, err = noc.ConstrainedPath(g, src, dst, v.allowed)
+		if err != nil {
+			return nil, fmt.Errorf("core: vNPU %d: %w", v.id, err)
+		}
+	} else {
+		p, err = noc.DORPath(g, src, dst)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if v.paths == nil {
+		v.paths = make(map[[2]topo.NodeID][]topo.NodeID)
+	}
+	v.paths[key] = p
+	return p, nil
+}
+
+// Interfering reports whether this vNPU's traffic may cross foreign cores
+// (true for disconnected fragment allocations or unconfined routing).
+func (v *VNPU) Interfering() bool { return v.interfering || !v.confined }
+
+// WarmupCycles models loading weightBytes of model weights from global
+// memory into the scratchpads before execution starts (§6.3.4). Bandwidth
+// is proportional to the vNPU's memory interfaces.
+func (v *VNPU) WarmupCycles(weightBytes int64) sim.Cycles {
+	if weightBytes <= 0 || v.port == nil {
+		return 0
+	}
+	bw := v.port.Bandwidth()
+	return sim.Cycles((weightBytes+int64(bw)-1)/int64(bw)) + v.dev.Config().HBMLatency
+}
+
+// MemChannels reports how many HBM interfaces the vNPU spans.
+func (v *VNPU) MemChannels() int {
+	if v.port == nil {
+		return 0
+	}
+	return v.port.NumChannels()
+}

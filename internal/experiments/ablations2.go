@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// ------------------------------------------------------------ fragment
+
+// AblFragmentResult evaluates §4.3's fragmentation trade-off: accepting a
+// disconnected region converts stranded cores into throughput, at the
+// cost of NoC interference.
+type AblFragmentResult struct {
+	// ConnectedFails reports that the similar strategy could not allocate.
+	ConnectedFails bool
+	// FragmentCycles is the workload's runtime on the disconnected region.
+	FragmentCycles sim.Cycles
+	// CompactCycles is the same workload on an ideal compact region of an
+	// empty chip — the interference-free reference.
+	CompactCycles sim.Cycles
+	// InterferenceHops counts fragment packets crossing foreign cores.
+	InterferenceHops uint64
+}
+
+// PenaltyPct is the fragmentation slowdown versus the compact reference.
+func (r AblFragmentResult) PenaltyPct() float64 {
+	return (float64(r.FragmentCycles)/float64(r.CompactCycles) - 1) * 100
+}
+
+// RunAblFragment carves the chip so that 8 free cores remain but no
+// connected 8-core region exists, then allocates with StrategyFragment
+// and runs a pipeline across the fragments. The middle of the chip is a
+// live tenant, so the fragment's cross-island routes contend with real
+// NoC traffic — the interference half of the trade.
+func RunAblFragment() (AblFragmentResult, error) {
+	chip := npu.SimConfig()
+	// A communication-heavy workload: 800 KB activations cross every stage
+	// boundary, so the island-to-island hop carries real traffic.
+	m := workload.ResNetBlock(56, 64)
+
+	dev, err := npu.NewDevice(chip)
+	if err != nil {
+		return AblFragmentResult{}, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return AblFragmentResult{}, err
+	}
+	// Occupy everything except two disjoint 2x2 islands in opposite
+	// corners: {0,1,6,7} and {28,29,34,35}.
+	island := map[topo.NodeID]bool{0: true, 1: true, 6: true, 7: true, 28: true, 29: true, 34: true, 35: true}
+	var occupied []topo.NodeID
+	for _, n := range dev.Graph().Nodes() {
+		if !island[n] {
+			occupied = append(occupied, n)
+		}
+	}
+	if err := hv.Reserve(occupied...); err != nil {
+		return AblFragmentResult{}, err
+	}
+
+	var res AblFragmentResult
+	// The connected strategies hit topology lock-in.
+	_, err = hv.CreateVNPU(core.Request{Topology: topo.NearMesh(8)})
+	res.ConnectedFails = err != nil
+	if !res.ConnectedFails {
+		return res, fmt.Errorf("expected connected allocation to fail")
+	}
+
+	run, err := setupVNPUOn(hv, m, core.Request{
+		Topology: topo.NearMesh(8),
+		Strategy: core.StrategyFragment,
+	}, workload.CompileOptions{})
+	if err != nil {
+		return res, err
+	}
+
+	// A live tenant occupies the corridor the island-to-island DOR routes
+	// cross (row 1 / column 4 of the mesh).
+	bgProg, _, err := workload.Compile(workload.ResNetBlock(56, 64),
+		workload.CompileOptions{Cores: 6})
+	if err != nil {
+		return res, err
+	}
+	bgNodes := []topo.NodeID{8, 9, 10, 16, 15, 14} // snake through the corridor
+	const bgVM = 999
+	for _, n := range bgNodes {
+		dev.NoC().SetOwner(n, bgVM)
+	}
+	bgFab := &npu.NoCFabric{Net: dev.NoC(), VM: bgVM}
+
+	dev.NoC().ResetStats()
+	finishes, err := runCombined(dev, []instance{
+		{Prog: run.Prog, Placement: run.V.Placement(), Fabric: run.V.Fabric()},
+		{Prog: bgProg, Placement: nodeListPlacement(bgNodes), Fabric: bgFab},
+	}, 3)
+	if err != nil {
+		return res, err
+	}
+	res.FragmentCycles = finishes[0]
+	res.InterferenceHops = dev.NoC().Stats().InterferenceHops
+
+	// Reference: the same request on an empty chip.
+	ref, err := setupVNPURun(chip, m, core.Request{Topology: topo.NearMesh(8), Confined: true},
+		workload.CompileOptions{})
+	if err != nil {
+		return res, err
+	}
+	rr, err := ref.Run(3, npu.RunOptions{})
+	if err != nil {
+		return res, err
+	}
+	res.CompactCycles = rr.Cycles
+	return res, nil
+}
+
+// --------------------------------------------------------------- bwcap
+
+// AblBWCapResult evaluates the vChunk access counter (§4.2): protecting a
+// victim tenant from a bandwidth hog by capping the hog's memory rate.
+type AblBWCapResult struct {
+	// VictimSolo is the victim's runtime alone on the chip.
+	VictimSolo sim.Cycles
+	// VictimUncapped is the victim co-running with an uncapped hog.
+	VictimUncapped sim.Cycles
+	// VictimCapped is the victim co-running with the hog rate-limited.
+	VictimCapped sim.Cycles
+}
+
+// ProtectionPct reports how much of the contention loss the cap recovers.
+func (r AblBWCapResult) ProtectionPct() float64 {
+	loss := float64(r.VictimUncapped - r.VictimSolo)
+	if loss <= 0 {
+		return 100
+	}
+	recovered := float64(r.VictimUncapped - r.VictimCapped)
+	return recovered / loss * 100
+}
+
+// RunAblBWCap runs a streaming victim next to a streaming hog on the
+// FPGA-scale chip (one memory interface, so contention is brutal), with
+// and without an access-counter cap on the hog.
+func RunAblBWCap() (AblBWCapResult, error) {
+	victim := workload.YOLOLite()
+	hog := workload.AlexNet() // 244 MB of weights streamed per iteration
+
+	solo, err := ablRun(victim, core.Request{Topology: topo.Mesh2D(2, 2)})
+	if err != nil {
+		return AblBWCapResult{}, err
+	}
+	uncapped, err := runVictimWithHog(victim, hog, 0)
+	if err != nil {
+		return AblBWCapResult{}, err
+	}
+	// Cap the hog to ~6% of the channel (1 B/cycle avg over 64k windows).
+	capped, err := runVictimWithHog(victim, hog, 65536)
+	if err != nil {
+		return AblBWCapResult{}, err
+	}
+	return AblBWCapResult{VictimSolo: solo, VictimUncapped: uncapped, VictimCapped: capped}, nil
+}
+
+func runVictimWithHog(victim, hog workload.Model, hogCapBytes int64) (sim.Cycles, error) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		return 0, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return 0, err
+	}
+	vr, err := setupVNPUOn(hv, victim, core.Request{Topology: topo.Mesh2D(2, 2)},
+		workload.CompileOptions{ForceStreaming: true})
+	if err != nil {
+		return 0, err
+	}
+	hogReq := core.Request{Topology: topo.Mesh2D(2, 2)}
+	if hogCapBytes > 0 {
+		hogReq.BandwidthCapBytes = hogCapBytes
+		hogReq.BandwidthWindow = 65536
+	}
+	hr, err := setupVNPUOn(hv, hog, hogReq, workload.CompileOptions{ForceStreaming: true})
+	if err != nil {
+		return 0, err
+	}
+	finishes, err := runCombined(dev, []instance{
+		{Prog: vr.Prog, Placement: vr.V.Placement(), Fabric: vr.V.Fabric()},
+		{Prog: hr.Prog, Placement: hr.V.Placement(), Fabric: hr.V.Fabric()},
+	}, 2)
+	if err != nil {
+		return 0, err
+	}
+	return finishes[0], nil
+}
+
+// --------------------------------------------------------------- print
+
+func init() {
+	register("abl-fragment", "ablation: fragmented allocation trade-off", func(w io.Writer) error {
+		r, err := RunAblFragment()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w,
+			"8 free cores in two disconnected islands:\n  connected strategies: allocation fails (lock-in)\n  fragment strategy:    runs at %d clk (+%.1f%% vs compact %d clk, %d interference hops)\n(fragmentation turns stranded cores into throughput at an interference cost; §4.3)\n",
+			int64(r.FragmentCycles), r.PenaltyPct(), int64(r.CompactCycles), r.InterferenceHops)
+		return err
+	})
+	register("abl-bwcap", "ablation: access-counter bandwidth caps", func(w io.Writer) error {
+		r, err := RunAblBWCap()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w,
+			"victim (YOLO-Lite, streamed) next to a 244 MB/iter hog on one memory interface:\n  solo:          %d clk\n  hog uncapped:  %d clk (+%.1f%%)\n  hog capped:    %d clk (+%.1f%%) - cap recovers %.0f%% of the loss\n(the vChunk access counter bounds memory interference; §4.2)\n",
+			int64(r.VictimSolo),
+			int64(r.VictimUncapped), (float64(r.VictimUncapped)/float64(r.VictimSolo)-1)*100,
+			int64(r.VictimCapped), (float64(r.VictimCapped)/float64(r.VictimSolo)-1)*100,
+			r.ProtectionPct())
+		return err
+	})
+}

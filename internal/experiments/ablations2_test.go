@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestAblFragmentShape(t *testing.T) {
+	r, err := RunAblFragment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ConnectedFails {
+		t.Fatal("connected allocation should hit lock-in")
+	}
+	// The trade-off of §4.3: fragmentation enables the allocation but pays
+	// an interference/latency penalty versus a compact region.
+	if p := r.PenaltyPct(); p < 3 || p > 150 {
+		t.Fatalf("fragmentation penalty = %.1f%%, want a visible but bounded cost", p)
+	}
+	if r.InterferenceHops == 0 {
+		t.Fatal("cross-island routes must cross foreign cores")
+	}
+}
+
+func TestAblBWCapShape(t *testing.T) {
+	r, err := RunAblBWCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VictimUncapped <= r.VictimSolo {
+		t.Fatal("the hog must hurt the victim when uncapped")
+	}
+	if r.VictimCapped >= r.VictimUncapped {
+		t.Fatal("capping the hog must help the victim")
+	}
+	// The cap should recover most of the contention loss (§4.2: "without
+	// these memory rate restrictions, virtual NPUs may experience
+	// performance degradation due to memory interference").
+	if p := r.ProtectionPct(); p < 50 {
+		t.Fatalf("cap recovers only %.0f%% of the loss", p)
+	}
+}

@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 motivation and §6). Each experiment is a pure function
+// returning a structured result with a Print method; the registry lets
+// cmd/vnpu-experiments run them by ID. DESIGN.md's per-experiment index
+// maps IDs to the paper's figures.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment and writes its paper-style output.
+type Runner func(w io.Writer) error
+
+type entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry []entry
+
+func register(id, title string, run Runner) {
+	registry = append(registry, entry{ID: id, Title: title, Run: run})
+	sort.Slice(registry, func(i, j int) bool { return registry[i].ID < registry[j].ID })
+}
+
+// List returns the registered experiment IDs and titles in ID order.
+func List() []struct{ ID, Title string } {
+	out := make([]struct{ ID, Title string }, len(registry))
+	for i, e := range registry {
+		out[i].ID = e.ID
+		out[i].Title = e.Title
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(w io.Writer, id string) error {
+	for _, e := range registry {
+		if e.ID == id {
+			if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
+				return err
+			}
+			return e.Run(w)
+		}
+	}
+	return fmt.Errorf("experiments: unknown id %q (try: %v)", id, ids())
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer) error {
+	for _, e := range registry {
+		if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+func ids() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}

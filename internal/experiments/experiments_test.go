@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape* of every reproduced result — who wins, in
+// which direction, and within which band — so a regression in any model
+// breaks the build rather than silently bending the curves.
+
+func TestRegistryRunsEverything(t *testing.T) {
+	ids := List()
+	if len(ids) < 13 {
+		t.Fatalf("registered experiments = %d, want >= 13", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := Run(&buf, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "IPU") {
+		t.Fatal("fig2 output missing expected content")
+	}
+	if err := Run(&buf, "nope"); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := RunFig2()
+	if len(r.Generations) < 10 {
+		t.Fatalf("generations = %d", len(r.Generations))
+	}
+	// The survey's point: both FLOPS and SRAM grew by >5x over the period.
+	first, last := r.Generations[0], r.Generations[len(r.Generations)-1]
+	if last.Year <= first.Year {
+		t.Fatal("generations must be chronological")
+	}
+	var maxT, maxS float64
+	for _, g := range r.Generations {
+		if g.TFLOPS > maxT {
+			maxT = g.TFLOPS
+		}
+		if g.SRAMMB > maxS {
+			maxS = g.SRAMMB
+		}
+	}
+	if maxT < 5*first.TFLOPS || maxS < 5*first.SRAMMB {
+		t.Fatalf("expected >5x growth: TFLOPS max %v, SRAM max %v", maxT, maxS)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := RunFig3()
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(r.Rows))
+	}
+	// Headline: the majority of classic models sit under 50% at batch 1.
+	if frac := r.FractionUnder50AtBatch1(); frac < 0.5 {
+		t.Fatalf("under-50%% fraction = %v, want majority", frac)
+	}
+	// Batching helps but does not reach 100%.
+	for _, row := range r.Rows {
+		if row.Utilization[32] < row.Utilization[1] {
+			t.Fatalf("%s: batching must not reduce utilization", row.Model)
+		}
+		if row.Utilization[32] > 0.7 {
+			t.Fatalf("%s: utilization %v exceeds realistic ceiling", row.Model, row.Utilization[32])
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.MonotonicOK {
+		t.Fatalf("Pattern-2 violated: %v", r.MonotonicErr)
+	}
+	if !r.RepeatsOK {
+		t.Fatalf("Pattern-3 violated: %v", r.RepeatsErr)
+	}
+	if len(r.Recorder.Cores()) != 4 {
+		t.Fatalf("cores traced = %d, want 4", len(r.Recorder.Cores()))
+	}
+	if len(r.Recorder.Points()) < 100 {
+		t.Fatalf("trace points = %d, want a real trace", len(r.Recorder.Points()))
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Monotonic in core count, and a few hundred cycles total at 8 cores.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Total() <= r.Points[i-1].Total() {
+			t.Fatal("config cost must grow with cores")
+		}
+	}
+	total8 := r.Points[7].Total()
+	if total8 < 100 || total8 > 500 {
+		t.Fatalf("8-core setup = %v, want a few hundred clocks", total8)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := RunFig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NoCByCore) != 8 {
+		t.Fatalf("NoC dispatch points = %d", len(r.NoCByCore))
+	}
+	// Kernel execution is 2-3 orders of magnitude above dispatch.
+	if ratio := r.MinRatio(); ratio < 100 {
+		t.Fatalf("kernel/dispatch ratio = %v, want >= 100", ratio)
+	}
+	// The instruction NoC latency varies with distance; IBUS does not.
+	if r.NoCByCore[7] <= r.NoCByCore[0] {
+		t.Fatal("far cores must cost more over the instruction NoC")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.VSend <= row.Send || row.VReceive <= row.Receive {
+			t.Fatalf("virtualized transfers must cost more: %+v", row)
+		}
+		if row.Receive <= row.Send {
+			t.Fatalf("receive completes after send: %+v", row)
+		}
+	}
+	// The overhead claim: 1-2% for transfers of 10+ packets.
+	for _, row := range r.Rows[1:] {
+		if pct := row.SendOverheadPct(); pct > 2.5 {
+			t.Fatalf("%d packets: overhead %v%% exceeds the 1-2%% claim", row.Packets, pct)
+		}
+	}
+	// Magnitudes follow Table 3 (~300 clk at 2 packets, ~4200 at 30).
+	if r.Rows[0].Send < 200 || r.Rows[0].Send > 450 {
+		t.Fatalf("2-packet send = %v, want ~300", r.Rows[0].Send)
+	}
+	if r.Rows[3].Send < 3500 || r.Rows[3].Send > 5000 {
+		t.Fatalf("30-packet send = %v, want ~4200", r.Rows[3].Send)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r, err := RunFig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("kernels = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		last := row.Points[len(row.Points)-1]
+		first := row.Points[0]
+		// UVM-sync cost grows with receiver count; vRouter broadcast must
+		// beat it at every ratio.
+		if last.UVMSync <= first.UVMSync {
+			t.Fatalf("%s: UVM broadcast must grow with receivers", row.Kernel.Name)
+		}
+		for _, p := range row.Points {
+			if p.VRouter >= p.UVMSync {
+				t.Fatalf("%s 1:%d: vRouter %v must beat UVM %v", row.Kernel.Name, p.Receivers, p.VRouter, p.UVMSync)
+			}
+		}
+		// vRouter broadcast stays below kernel compute (overlappable).
+		if row.Points[3].VRouter >= row.Kernel.Compute {
+			t.Fatalf("%s: vRouter broadcast must stay below compute", row.Kernel.Name)
+		}
+	}
+	// Average advantage in the right band (paper: 4.24x).
+	if s := r.AvgSpeedup(); s < 2 || s > 7 {
+		t.Fatalf("avg speedup = %v, want within [2, 7]", s)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r, err := RunFig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("models = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		ours := row.NormalizedFPS["Ours"]
+		p32 := row.NormalizedFPS["IOTLB32"]
+		p4 := row.NormalizedFPS["IOTLB4"]
+		if !(ours > p32 && p32 > p4) {
+			t.Fatalf("%s: ordering must be vChunk > IOTLB32 > IOTLB4 (got %v, %v, %v)",
+				row.Model, ours, p32, p4)
+		}
+	}
+	// Bands: vChunk < 4.3%, IOTLB32 ~9.2%, IOTLB4 ~20%.
+	if o := r.AvgOverheadPct("Ours"); o > 4.3 {
+		t.Fatalf("vChunk overhead %v%% exceeds the paper bound 4.3%%", o)
+	}
+	if o := r.AvgOverheadPct("IOTLB32"); o < 5 || o > 14 {
+		t.Fatalf("IOTLB32 overhead %v%%, want ~9.2%%", o)
+	}
+	if o := r.AvgOverheadPct("IOTLB4"); o < 12 || o > 28 {
+		t.Fatalf("IOTLB4 overhead %v%%, want ~20%%", o)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := RunFig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Single) != 4 {
+		t.Fatalf("workloads = %d", len(r.Single))
+	}
+	var trMax, rnMax float64
+	for name, c := range r.Single {
+		if c.Speedup() < 1 {
+			t.Fatalf("%s: vNPU must beat UVM (speedup %v)", name, c.Speedup())
+		}
+		if strings.HasPrefix(name, "Transformer") && c.Speedup() > trMax {
+			trMax = c.Speedup()
+		}
+		if strings.HasPrefix(name, "ResNet") && c.Speedup() > rnMax {
+			rnMax = c.Speedup()
+		}
+	}
+	// Transformers benefit more from direct inter-core transfer than
+	// ResNet blocks (paper: 2.29x vs 1.054x).
+	if trMax <= rnMax {
+		t.Fatalf("transformer speedup (%v) must exceed resnet speedup (%v)", trMax, rnMax)
+	}
+	// Multi-instance: UVM suffers memory contention, vNPU is isolated.
+	if r.MultiDegradationPct["vNPU"] > 1.5 {
+		t.Fatalf("vNPU multi-instance degradation = %v%%, want ~0", r.MultiDegradationPct["vNPU"])
+	}
+	if r.MultiDegradationPct["UVM"] < 2 {
+		t.Fatalf("UVM multi-instance degradation = %v%%, want visible contention", r.MultiDegradationPct["UVM"])
+	}
+	if r.MultiDegradationPct["UVM"] <= 2*r.MultiDegradationPct["vNPU"] {
+		t.Fatal("UVM degradation must dwarf vNPU degradation")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := RunFig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(r.Scenarios))
+	}
+	for _, sc := range r.Scenarios {
+		for _, tr := range sc.Results {
+			// vNPU never loses to MIG, and virtualization overhead < 1%.
+			if tr.SpeedupVsMIG() < 1 {
+				t.Fatalf("%s %s: MIG must not beat vNPU", sc.Chip, tr.Task)
+			}
+			if o := tr.VirtOverheadPct(); o < -0.5 || o >= 1 {
+				t.Fatalf("%s %s: virtualization overhead %v%%, paper says <1%%", sc.Chip, tr.Task, o)
+			}
+		}
+	}
+	// The oversubscribed GPT2-large pays TDM: speedup in the 1.3-2.1 band
+	// (paper: up to 1.92x).
+	large := r.Scenarios[1].Results[1]
+	if large.MIGTDMFactor != 1.5 {
+		t.Fatalf("GPT2-l TDM factor = %v, want 1.5 (36 cores on a 24-core slice)", large.MIGTDMFactor)
+	}
+	if s := large.SpeedupVsMIG(); s < 1.3 || s > 2.1 {
+		t.Fatalf("GPT2-l speedup = %v, want within [1.3, 2.1]", s)
+	}
+	// GPT2-small wastes half the 24-core slice on the 48-core chip.
+	small48 := r.Scenarios[1].Results[0]
+	if small48.MIGWasted != 12 {
+		t.Fatalf("GPT2-s wasted cores = %d, want 12 (50%%)", small48.MIGWasted)
+	}
+	// Warm-up bandwidth is proportional to memory interfaces: the MIG
+	// slice for GPT2-s spans more interfaces than the exact 12-core vNPU.
+	if small48.MIGWarmup >= small48.VNPUWarmup {
+		t.Fatal("bigger MIG slice must warm GPT2-s faster")
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	r, err := RunFig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 10 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	var resnetMax, gptMax float64
+	positive := 0
+	for _, p := range r.Points {
+		imp := p.ImprovementPct()
+		if imp > -3 {
+			positive++
+		}
+		if strings.HasPrefix(p.Model, "ResNet") && imp > resnetMax {
+			resnetMax = imp
+		}
+		if strings.HasPrefix(p.Model, "GPT") && imp > gptMax {
+			gptMax = imp
+		}
+		// The similar mapping never produces a worse edit distance when
+		// connected regions exist for both.
+		if p.SimilarTED > p.StraightTED && p.ImprovementPct() < -5 {
+			t.Fatalf("%s@%d: similar mapping lost badly (TED %v vs %v, %.1f%%)",
+				p.Model, p.Cores, p.SimilarTED, p.StraightTED, p.ImprovementPct())
+		}
+	}
+	if positive < 8 {
+		t.Fatalf("similar mapping should win or tie almost everywhere (%d/10)", positive)
+	}
+	// ResNet is far more mapping-sensitive than GPT (paper: 40%+ vs ~11%).
+	if resnetMax < 15 {
+		t.Fatalf("peak ResNet improvement = %.1f%%, want a pronounced gap", resnetMax)
+	}
+	if gptMax >= resnetMax {
+		t.Fatalf("GPT (%v%%) must be less mapping-sensitive than ResNet (%v%%)", gptMax, resnetMax)
+	}
+	if !strings.Contains(r.CoreTrace, "C") || !strings.Contains(r.CoreTrace, "S") {
+		t.Fatal("core trace must show compute and send lanes")
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	r := RunFig19()
+	if len(r.Entries) != 5 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// Everything stays under ~10% and the routing table is nearly free.
+	if m := r.MaxPct(); m > 10 {
+		t.Fatalf("max cost = %v%%, want small", m)
+	}
+	rt := r.Entries[4]
+	if rt.TotalLUTs > 1 || rt.FFs > 1 {
+		t.Fatalf("routing table must be nearly free: %+v", rt)
+	}
+	// vNPU's core additions are no more expensive than Kim's UVM ones.
+	kim, vnpu := r.Entries[2], r.Entries[3]
+	if vnpu.TotalLUTs > kim.TotalLUTs+1 {
+		t.Fatalf("vNPU core LUTs (%v%%) should be comparable to Kim's (%v%%)", vnpu.TotalLUTs, kim.TotalLUTs)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := RunTable1()
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if got := r.OnlyInterconnectVirtualizer(); got != "vNPU (this work)" {
+		t.Fatalf("interconnect virtualizer = %q", got)
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig2", "fig3", "fig6", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig18", "fig19", "table1", "table3"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// The paper's §7 discussion sketches three extensions; this file
+// implements and evaluates all of them.
+
+// ------------------------------------------------------------- hetero
+
+// Core kinds for the §7 hybrid-core chip.
+const (
+	KindSA = "sa" // matrix-optimized: fast systolic array, slow vector unit
+	KindVU = "vu" // vector-optimized: the reverse
+)
+
+// ExtHeteroResult compares kind-aware and kind-blind topology mapping on
+// a chip with hybrid cores.
+type ExtHeteroResult struct {
+	AwareCycles sim.Cycles
+	BlindCycles sim.Cycles
+	// AwareMatches/BlindMatches count stages whose dominant compute kind
+	// landed on a matching core.
+	AwareMatches int
+	BlindMatches int
+	Stages       int
+}
+
+// Speedup is the kind-aware advantage.
+func (r ExtHeteroResult) Speedup() float64 {
+	return float64(r.BlindCycles) / float64(r.AwareCycles)
+}
+
+// heteroConfig is an FPGA-scale chip whose left half is matrix-optimized
+// and right half vector-optimized: SA cores run matmuls at full speed but
+// vector work 4x slower, VU cores the reverse.
+func heteroConfig() npu.Config {
+	cfg := npu.FPGAConfig()
+	cfg.Kinds = map[string]npu.KindProfile{
+		KindSA: {MatmulScale: 1, VectorScale: 4},
+		KindVU: {MatmulScale: 4, VectorScale: 1},
+	}
+	return cfg
+}
+
+func heteroDevice() (*npu.Device, error) {
+	dev, err := npu.NewDevice(heteroConfig())
+	if err != nil {
+		return nil, err
+	}
+	// 2x4 mesh: columns 0-1 are SA cores, columns 2-3 VU cores.
+	for _, n := range dev.Graph().Nodes() {
+		c, _ := dev.Graph().CoordOf(n)
+		kind := KindSA
+		if c.X >= 2 {
+			kind = KindVU
+		}
+		if err := dev.SetCoreKind(n, kind); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+// heteroModel alternates matrix-heavy and vector-heavy layers so half the
+// pipeline stages want each core kind.
+func heteroModel() workload.Model {
+	m := workload.Model{Name: "hetero-mixed", InputBytes: 64 << 10}
+	for i := 0; i < 4; i++ {
+		m.Layers = append(m.Layers,
+			workload.MatmulLayer(fmt.Sprintf("mm%d", i), 64, 512, 64),
+			workload.VectorLayerN(fmt.Sprintf("vec%d", i), 512<<10),
+		)
+	}
+	return m
+}
+
+// RunExtHetero maps the mixed workload onto the hybrid chip twice: once
+// with a kind-annotated request (the mapper's NodeMatch penalty steers
+// stages onto matching cores, §4.3 "heterogeneous topology mapping") and
+// once kind-blind.
+func RunExtHetero() (ExtHeteroResult, error) {
+	m := heteroModel()
+	const cores = 8
+
+	// Determine each stage's dominant kind from its layer mix.
+	part, err := workload.PartitionModel(&m, cores, 0)
+	if err != nil {
+		return ExtHeteroResult{}, err
+	}
+	wantKind := make([]string, len(part.Stages))
+	for si, st := range part.Stages {
+		var mmFLOPs, vecFLOPs int64
+		for li := st.First; li <= st.Last; li++ {
+			l := m.Layers[li]
+			if l.Instr.Op == isa.OpVector {
+				vecFLOPs += l.FLOPs()
+			} else {
+				mmFLOPs += l.FLOPs()
+			}
+		}
+		if vecFLOPs > mmFLOPs {
+			wantKind[si] = KindVU
+		} else {
+			wantKind[si] = KindSA
+		}
+	}
+
+	aware, awareMatch, err := runHetero(m, part, wantKind, true)
+	if err != nil {
+		return ExtHeteroResult{}, err
+	}
+	blind, blindMatch, err := runHetero(m, part, wantKind, false)
+	if err != nil {
+		return ExtHeteroResult{}, err
+	}
+	return ExtHeteroResult{
+		AwareCycles: aware, BlindCycles: blind,
+		AwareMatches: awareMatch, BlindMatches: blindMatch,
+		Stages: len(part.Stages),
+	}, nil
+}
+
+func runHetero(m workload.Model, part workload.Partition, wantKind []string, aware bool) (sim.Cycles, int, error) {
+	dev, err := heteroDevice()
+	if err != nil {
+		return 0, 0, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Request topology: a chain whose nodes carry the desired kind when
+	// mapping kind-aware, and the plain core kind otherwise.
+	req := topo.Chain(len(wantKind))
+	if aware {
+		for si, kind := range wantKind {
+			req.AddNode(topo.NodeID(si), kind)
+		}
+	}
+	run, err := setupVNPUOn(hv, m, core.Request{
+		Topology: req,
+		// Kind mismatches dominate edge edits so placement follows kinds.
+		MapOptions: ged.Options{NodeSubst: func(a, b string) float64 {
+			if a == b {
+				return 0
+			}
+			return 10
+		}},
+	}, workload.CompileOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := run.Run(3, npu.RunOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	matches := 0
+	for si, kind := range wantKind {
+		c, err := dev.Core(run.V.Nodes()[si])
+		if err != nil {
+			return 0, 0, err
+		}
+		if c.Kind() == kind {
+			matches++
+		}
+	}
+	return res.Cycles, matches, nil
+}
+
+// ----------------------------------------------------------- timeshare
+
+// ExtTimeShareResult evaluates §7 temporal sharing across slice lengths.
+type ExtTimeShareResult struct {
+	SoloCycles sim.Cycles
+	Points     []ExtTimeSharePoint
+}
+
+// ExtTimeSharePoint is one slice-length measurement.
+type ExtTimeSharePoint struct {
+	SliceCycles sim.Cycles
+	OverheadPct float64
+	Switches    int
+}
+
+// RunExtTimeShare time-shares two equal tenants on an FPGA-scale region
+// and sweeps the scheduling quantum, quantifying why the paper prefers
+// spatial sharing: short slices drown in scratchpad swaps.
+func RunExtTimeShare() (ExtTimeShareResult, error) {
+	cfg := npu.FPGAConfig()
+	m := workload.YOLOLite()
+	solo, err := ablRun(m, core.Request{Topology: topo.Mesh2D(2, 2)})
+	if err != nil {
+		return ExtTimeShareResult{}, err
+	}
+	res := ExtTimeShareResult{SoloCycles: solo}
+	for _, slice := range []sim.Cycles{10_000, 100_000, 1_000_000} {
+		ts, err := core.TimeShare(solo, solo, 4, cfg, core.TimeSharePlan{SliceCycles: slice})
+		if err != nil {
+			return ExtTimeShareResult{}, err
+		}
+		res.Points = append(res.Points, ExtTimeSharePoint{
+			SliceCycles: slice,
+			OverheadPct: ts.OverheadPct,
+			Switches:    ts.Switches,
+		})
+	}
+	return res, nil
+}
+
+// -------------------------------------------------------------- decode
+
+// ExtDecodeResult evaluates §7's fixed-size KV buffer support.
+type ExtDecodeResult struct {
+	KVPerCore    int64
+	TokensPerSec float64
+	Intensity    float64 // FLOPs per weight byte (decode is memory-bound)
+	PrefillInt   float64 // the same model's prefill-phase intensity
+}
+
+// RunExtDecode runs GPT-2 decode (one token against a 256-token KV cache)
+// on a vNPU with per-core KV buffers reserved in the scratchpads.
+func RunExtDecode() (ExtDecodeResult, error) {
+	const blocks, dim, kvLen = 12, 768, 256
+	m := workload.GPT2Decode(blocks, dim, kvLen)
+	const cores = 12
+	kv := workload.KVBufferBytesPerCore(blocks, dim, kvLen, cores)
+
+	chip := npu.SimConfig()
+	dev, err := npu.NewDevice(chip)
+	if err != nil {
+		return ExtDecodeResult{}, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return ExtDecodeResult{}, err
+	}
+	run, err := setupVNPUOn(hv, m, core.Request{
+		Topology:      topo.Mesh2D(3, 4),
+		Confined:      true,
+		KVBufferBytes: kv,
+	}, workload.CompileOptions{})
+	if err != nil {
+		return ExtDecodeResult{}, err
+	}
+	if run.V.KVBufferBytes() != kv {
+		return ExtDecodeResult{}, fmt.Errorf("KV reservation lost")
+	}
+	res, err := run.Run(8, npu.RunOptions{})
+	if err != nil {
+		return ExtDecodeResult{}, err
+	}
+	prefill := workload.GPT2Small(kvLen)
+	return ExtDecodeResult{
+		KVPerCore:    kv,
+		TokensPerSec: res.FPSAt(chip.FreqMHz),
+		Intensity:    m.ArithmeticIntensity(),
+		PrefillInt:   prefill.ArithmeticIntensity(),
+	}, nil
+}
+
+// --------------------------------------------------------------- print
+
+func init() {
+	register("ext-hetero", "§7: hybrid cores + kind-aware mapping", func(w io.Writer) error {
+		r, err := RunExtHetero()
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable("kind-aware vs kind-blind mapping on a hybrid SA/VU chip",
+			"mapping", "cycles", "stage-kind matches")
+		t.AddRow("kind-aware", int64(r.AwareCycles), fmt.Sprintf("%d/%d", r.AwareMatches, r.Stages))
+		t.AddRow("kind-blind", int64(r.BlindCycles), fmt.Sprintf("%d/%d", r.BlindMatches, r.Stages))
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "kind-aware speedup: %sx\n", metrics.FormatFloat(r.Speedup()))
+		return err
+	})
+	register("ext-timeshare", "§7: temporal sharing cost", func(w io.Writer) error {
+		r, err := RunExtTimeShare()
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("time-sharing two tenants (solo runtime %d clk each)", int64(r.SoloCycles)),
+			"slice (clk)", "switches", "switch overhead %")
+		for _, p := range r.Points {
+			t.AddRow(int64(p.SliceCycles), p.Switches, p.OverheadPct)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, "scratchpad swap costs make fine-grained temporal sharing prohibitive;\nvNPU therefore shares spatially (§7)\n")
+		return err
+	})
+	register("ext-decode", "§7: KV-cache decode phase", func(w io.Writer) error {
+		r, err := RunExtDecode()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w,
+			"GPT2-small decode, 256-token KV cache on 12 cores (weights tensor-partitioned, SRAM-resident):\n  KV buffer per core: %d KiB (reserved in scratchpad)\n  decode throughput:  %.1f tokens/s\n  arithmetic intensity: decode %.2f vs prefill %.1f FLOPs/weight-byte\n  (decode is memory-bound, prefill compute-bound - the phase imbalance of §2.2)\n",
+			r.KVPerCore>>10, r.TokensPerSec, r.Intensity, r.PrefillInt)
+		return err
+	})
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig17Shape(t *testing.T) {
+	r, err := RunFig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimilarCost >= r.StraightCost {
+		t.Fatalf("similar cost %v must beat straightforward %v", r.SimilarCost, r.StraightCost)
+	}
+	if !r.SimilarConnect {
+		t.Fatal("similar mapping must stay connected (R-3)")
+	}
+	for _, m := range []string{r.SimilarMap, r.StraightMap} {
+		if !strings.Contains(m, "XX") || !strings.Contains(m, "1") {
+			t.Fatalf("rendered map missing content:\n%s", m)
+		}
+	}
+}
+
+func TestAblLastVShape(t *testing.T) {
+	r, err := RunAblLastV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProbesWithLastV >= r.ProbesWithoutLast {
+		t.Fatalf("last_v must reduce probes: %d vs %d", r.ProbesWithLastV, r.ProbesWithoutLast)
+	}
+	if imp := r.Improvement(); imp < 1.1 {
+		t.Fatalf("improvement %vx, want a visible effect", imp)
+	}
+}
+
+func TestAblRTLBShape(t *testing.T) {
+	r, err := RunAblRTLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Overheads shrink (weakly) with TLB size and stay below the paper's
+	// 4.3% bound at every size - the RTT itself carries the design.
+	for i, p := range r.Points {
+		if p.OverheadPct > 4.3 {
+			t.Fatalf("%d entries: overhead %v%% above bound", p.Entries, p.OverheadPct)
+		}
+		if i > 0 && p.OverheadPct > r.Points[i-1].OverheadPct+0.01 {
+			t.Fatalf("overhead must not grow with entries: %+v", r.Points)
+		}
+	}
+}
+
+func TestAblShapedShape(t *testing.T) {
+	r, err := RunAblShaped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		if p.ShapedBits >= p.StandardBits {
+			t.Fatalf("%d cores: shaped %d bits must beat standard %d", p.Cores, p.ShapedBits, p.StandardBits)
+		}
+		if p.ShapedClk >= p.StandardClk {
+			t.Fatalf("%d cores: shaped config must be faster", p.Cores)
+		}
+	}
+	// The shaped format is constant-size; the standard format grows.
+	last := r.Points[len(r.Points)-1]
+	first := r.Points[0]
+	if last.ShapedBits != first.ShapedBits {
+		t.Fatal("shaped table must be constant size")
+	}
+	if last.StandardBits <= first.StandardBits {
+		t.Fatal("standard table must grow with cores")
+	}
+}
+
+func TestAblGEDShape(t *testing.T) {
+	r, err := RunAblGED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Candidates < 10 {
+		t.Fatalf("candidates = %d", r.Candidates)
+	}
+	// The exact solver should find improvements on a solid majority of
+	// irregular candidates, justifying its use below ExactLimit.
+	if float64(r.ExactWins) < 0.5*float64(r.Candidates) {
+		t.Fatalf("exact wins %d/%d, expected a majority", r.ExactWins, r.Candidates)
+	}
+	if r.MeanGapPct <= 0 {
+		t.Fatalf("mean gap = %v%%", r.MeanGapPct)
+	}
+}
+
+func TestAblRandomShape(t *testing.T) {
+	r, err := RunAblRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential streaming: range translation is nearly free.
+	if r.RangeStallSequential > 1 {
+		t.Fatalf("sequential range stall = %v clk/access", r.RangeStallSequential)
+	}
+	// Random gathers: the §7 caveat - page translation wins.
+	if r.PageStallPerAccess >= r.RangeStallPerAccess {
+		t.Fatalf("random access: page (%v) should beat fragmented range (%v)",
+			r.PageStallPerAccess, r.RangeStallPerAccess)
+	}
+}
+
+func TestExtHeteroShape(t *testing.T) {
+	r, err := RunExtHetero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AwareMatches != r.Stages {
+		t.Fatalf("kind-aware mapping matched %d/%d stages", r.AwareMatches, r.Stages)
+	}
+	if r.BlindMatches >= r.AwareMatches {
+		t.Fatalf("blind mapping matched %d, aware %d", r.BlindMatches, r.AwareMatches)
+	}
+	if s := r.Speedup(); s < 1.05 {
+		t.Fatalf("kind-aware speedup = %v, want a real gain", s)
+	}
+}
+
+func TestExtTimeShareShape(t *testing.T) {
+	r, err := RunExtTimeShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Overhead decreases with slice length but stays substantial even at
+	// million-cycle slices - the §7 argument for spatial sharing.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].OverheadPct >= r.Points[i-1].OverheadPct {
+			t.Fatal("overhead must shrink with slice length")
+		}
+	}
+	if r.Points[0].OverheadPct < 50 {
+		t.Fatalf("fine-grained slicing overhead = %v%%, expected prohibitive", r.Points[0].OverheadPct)
+	}
+	if r.Points[2].OverheadPct < 5 {
+		t.Fatalf("even coarse slicing should cost something: %v%%", r.Points[2].OverheadPct)
+	}
+}
+
+func TestExtDecodeShape(t *testing.T) {
+	r, err := RunExtDecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KVPerCore <= 0 {
+		t.Fatal("KV buffer must be reserved")
+	}
+	if r.TokensPerSec <= 0 {
+		t.Fatal("decode must make progress")
+	}
+	// §2.2's phase imbalance: prefill intensity dwarfs decode.
+	if r.PrefillInt < 50*r.Intensity {
+		t.Fatalf("prefill intensity %v vs decode %v: imbalance missing", r.PrefillInt, r.Intensity)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+)
+
+// NPUGeneration is one data point of Fig 2: the resource evolution of
+// shipping NPUs/accelerators 2017-2024.
+type NPUGeneration struct {
+	Year   int
+	Name   string
+	TFLOPS float64
+	SRAMMB float64
+}
+
+// Fig2Result is the NPU evolution survey.
+type Fig2Result struct {
+	Generations []NPUGeneration
+}
+
+// RunFig2 returns the Fig 2 survey data: FLOPS and on-chip SRAM of
+// inter-core connected NPUs and contemporary accelerators, 2017-2024.
+func RunFig2() Fig2Result {
+	return Fig2Result{Generations: []NPUGeneration{
+		{2017, "TPU-v2", 46, 32},
+		{2017, "V100 (GPU)", 125, 21},
+		{2018, "IPU Mk1 (GC2)", 125, 304},
+		{2019, "TPU-v3", 123, 32},
+		{2020, "IPU Mk2 (GC200)", 250, 900},
+		{2020, "A100 (GPU)", 312, 40},
+		{2021, "Tenstorrent Grayskull", 92, 120},
+		{2021, "Tesla D1", 362, 440},
+		{2022, "Groq LPU", 188, 230},
+		{2022, "H100 (GPU)", 989, 50},
+		{2023, "TPU-v5e", 197, 48},
+		{2024, "Tenstorrent Blackhole", 372, 210},
+	}}
+}
+
+// Print renders the Fig 2 table.
+func (r Fig2Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 2: evolution of NPU hardware resources (2017-2024)",
+		"year", "chip", "TFLOPS", "SRAM (MB)")
+	for _, g := range r.Generations {
+		t.AddRow(g.Year, g.Name, g.TFLOPS, g.SRAMMB)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("fig2", "NPU resource evolution survey", func(w io.Writer) error {
+		return RunFig2().Print(w)
+	})
+}

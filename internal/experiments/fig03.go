@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// Fig3Batches are the batch sizes swept in Fig 3.
+var Fig3Batches = []int{1, 8, 32}
+
+// Fig3Row is the utilization of one model across batch sizes.
+type Fig3Row struct {
+	Model       string
+	Utilization map[int]float64 // batch -> fraction of peak FLOPS
+}
+
+// Fig3Result is the TPU FLOPS-utilization sweep.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// RunFig3 evaluates FLOPS utilization of the classic ML models on a
+// TPU-class accelerator via the roofline model (§2.2).
+func RunFig3() Fig3Result {
+	tpu := workload.DefaultTPU()
+	var rows []Fig3Row
+	for _, m := range workload.Fig3Models() {
+		row := Fig3Row{Model: m.Name, Utilization: make(map[int]float64, len(Fig3Batches))}
+		for _, b := range Fig3Batches {
+			row.Utilization[b] = tpu.Utilization(m, b)
+		}
+		rows = append(rows, row)
+	}
+	return Fig3Result{Rows: rows}
+}
+
+// FractionUnder50AtBatch1 reports the share of models below 50% FLOPS
+// utilization at batch 1 — Fig 3's headline observation.
+func (r Fig3Result) FractionUnder50AtBatch1() float64 {
+	under := 0
+	for _, row := range r.Rows {
+		if row.Utilization[1] < 0.5 {
+			under++
+		}
+	}
+	return float64(under) / float64(len(r.Rows))
+}
+
+// Print renders the Fig 3 table.
+func (r Fig3Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 3: FLOPS utilization on a TPU-class NPU (%)",
+		"model", "batch 1", "batch 8", "batch 32")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model,
+			row.Utilization[1]*100, row.Utilization[8]*100, row.Utilization[32]*100)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("fig3", "TPU FLOPS utilization of classic ML models", func(w io.Writer) error {
+		return RunFig3().Print(w)
+	})
+}

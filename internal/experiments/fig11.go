@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// Fig11Point is the routing-table configuration cost for one vNPU size.
+type Fig11Point struct {
+	Cores  int
+	Query  sim.Cycles
+	Config sim.Cycles
+}
+
+// Total is the end-to-end initialization cost.
+func (p Fig11Point) Total() sim.Cycles { return p.Query + p.Config }
+
+// Fig11Result sweeps virtual NPU sizes 1-8.
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// RunFig11 measures the hyper-mode controller cycles spent initializing a
+// virtual NPU's routing table: core-availability query plus table writes.
+func RunFig11() (Fig11Result, error) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	ctrl := dev.Controller()
+	ctrl.EnterHyperMode()
+	var res Fig11Result
+	for n := 1; n <= 8; n++ {
+		q, err := ctrl.QueryAvailability(n)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		c, err := ctrl.ConfigureRoutingTable(n)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		res.Points = append(res.Points, Fig11Point{Cores: n, Query: q, Config: c})
+	}
+	return res, nil
+}
+
+// Print renders the Fig 11 table.
+func (r Fig11Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 11: routing table configuration overhead (clocks)",
+		"NPU cores", "query", "configure", "total")
+	for _, p := range r.Points {
+		t.AddRow(p.Cores, int64(p.Query), int64(p.Config), int64(p.Total()))
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("fig11", "routing table configuration overhead", func(w io.Writer) error {
+		r, err := RunFig11()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

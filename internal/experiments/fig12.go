@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Fig12Result compares instruction-dispatch latencies against kernel
+// execution times.
+type Fig12Result struct {
+	IBUS       sim.Cycles
+	NoCByCore  []sim.Cycles // dispatch latency to cores 1..8 over the instruction NoC
+	ConvExec   sim.Cycles   // Conv32hw16c_16oc3k
+	MatmulExec sim.Cycles   // Matmul_128m_128k_128n
+}
+
+// MinRatio reports how many times longer the faster kernel runs than the
+// slowest dispatch — the "2 to 3 orders of magnitude" margin of §6.2.1.
+func (r Fig12Result) MinRatio() float64 {
+	worst := r.IBUS
+	for _, d := range r.NoCByCore {
+		if d > worst {
+			worst = d
+		}
+	}
+	fastest := r.ConvExec
+	if r.MatmulExec < fastest {
+		fastest = r.MatmulExec
+	}
+	return float64(fastest) / float64(worst)
+}
+
+// RunFig12 measures dispatch latency per core (instruction bus vs
+// instruction NoC) and the execution time of the two reference kernels.
+func RunFig12() (Fig12Result, error) {
+	cfg := npu.FPGAConfig()
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	ctrl := dev.Controller()
+	res := Fig12Result{
+		IBUS:       ctrl.DispatchIBUS(),
+		ConvExec:   cfg.ConvCycles(32, 32, 16, 16, 3),
+		MatmulExec: cfg.MatmulCycles(128, 128, 128),
+	}
+	for n := 0; n < cfg.Cores(); n++ {
+		d, err := ctrl.DispatchNoC(topo.NodeID(n))
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		res.NoCByCore = append(res.NoCByCore, d)
+	}
+	return res, nil
+}
+
+// Print renders the Fig 12 table.
+func (r Fig12Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 12: instruction dispatch latency vs kernel execution (clocks)",
+		"path", "clocks")
+	t.AddRow("IBUS", int64(r.IBUS))
+	for i, d := range r.NoCByCore {
+		t.AddRow(sprintfNoC(i+1), int64(d))
+	}
+	t.AddRow("Conv32hw16c_16oc3k", int64(r.ConvExec))
+	t.AddRow("Matmul_128m_128k_128n", int64(r.MatmulExec))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "kernel/dispatch ratio: "+metrics.FormatFloat(r.MinRatio())+"x\n")
+	return err
+}
+
+func sprintfNoC(i int) string {
+	return "NoC#" + string(rune('0'+i))
+}
+
+func init() {
+	register("fig12", "instruction dispatch latency", func(w io.Writer) error {
+		r, err := RunFig12()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/baseline"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Fig13Kernel is one NPU kernel of the broadcast comparison.
+type Fig13Kernel struct {
+	Name     string
+	Compute  sim.Cycles
+	OutBytes int
+}
+
+// Fig13Point is the broadcast cost at one sender:receiver ratio.
+type Fig13Point struct {
+	Receivers int
+	VRouter   sim.Cycles
+	UVMSync   sim.Cycles
+}
+
+// Fig13Row holds a kernel's sweep over 1:1 .. 1:4.
+type Fig13Row struct {
+	Kernel Fig13Kernel
+	Points []Fig13Point
+}
+
+// Fig13Result compares vRouter broadcast with global-memory
+// synchronization (§6.2.3).
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// fig13Kernels reproduces the kernel set of Fig 13 with the FPGA timing
+// model; output bytes follow the kernels' output tensor shapes.
+func fig13Kernels(cfg npu.Config) []Fig13Kernel {
+	return []Fig13Kernel{
+		{"Conv32hw16c_16oc3k", cfg.ConvCycles(32, 32, 16, 16, 3), 32 * 32 * 16 * 4},
+		{"Matmul_128m_128k_128n", cfg.MatmulCycles(128, 128, 128), 128 * 128 * 4},
+		{"Conv16hw64c_128oc3k", cfg.ConvCycles(16, 16, 64, 128, 3), 16 * 16 * 128 * 4},
+		{"Matmul_64m_512k_32n", cfg.MatmulCycles(64, 512, 32), 64 * 32 * 4},
+	}
+}
+
+// RunFig13 measures broadcasting one kernel's output from the mesh center
+// to n receivers, via direct NoC transfers (vRouter) and via store-then-
+// load global-memory synchronization (UVM).
+func RunFig13() (Fig13Result, error) {
+	cfg := npu.FPGAConfig()
+	var res Fig13Result
+	for _, k := range fig13Kernels(cfg) {
+		row := Fig13Row{Kernel: k}
+		for n := 1; n <= 4; n++ {
+			v, err := vRouterBroadcast(cfg, k.OutBytes, n)
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			u, err := uvmSyncBroadcast(cfg, k.OutBytes, n)
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			row.Points = append(row.Points, Fig13Point{Receivers: n, VRouter: v, UVMSync: u})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// vRouterBroadcast sends the payload from core 5 (an interior node of the
+// 2x4 mesh) to its n nearest cores; transfers leaving through different
+// mesh ports proceed in parallel, so cost is the slowest branch.
+func vRouterBroadcast(cfg npu.Config, bytes, n int) (sim.Cycles, error) {
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return 0, err
+	}
+	src := topo.NodeID(5)
+	dsts := []topo.NodeID{1, 4, 6, 2}[:n] // neighbors first, then diagonal
+	var worst sim.Cycles
+	for _, dst := range dsts {
+		path, err := noc.DORPath(dev.Graph(), src, dst)
+		if err != nil {
+			return 0, err
+		}
+		done, err := dev.NoC().Transfer(core0Overhead, path, bytes, 1)
+		if err != nil {
+			return 0, err
+		}
+		if done > worst {
+			worst = done
+		}
+	}
+	return worst, nil
+}
+
+// core0Overhead is the vRouter table fetch before the broadcast starts.
+const core0Overhead = 30
+
+// uvmSyncBroadcast stores the payload to global memory once, then each
+// receiver synchronizes and loads it back; loads serialize on the shared
+// memory interface.
+func uvmSyncBroadcast(cfg npu.Config, bytes, n int) (sim.Cycles, error) {
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return 0, err
+	}
+	port, err := dev.HBM().Port()
+	if err != nil {
+		return 0, err
+	}
+	stored := port.Transfer(0, bytes)
+	var done sim.Cycles
+	for i := 0; i < n; i++ {
+		done = port.Transfer(stored+baseline.UVMSyncCycles, bytes)
+	}
+	return done, nil
+}
+
+// AvgSpeedup is the mean vRouter advantage across kernels and ratios
+// (the paper reports 4.24x).
+func (r Fig13Result) AvgSpeedup() float64 {
+	var ratios []float64
+	for _, row := range r.Rows {
+		for _, p := range row.Points {
+			ratios = append(ratios, float64(p.UVMSync)/float64(p.VRouter))
+		}
+	}
+	return metrics.GeoMean(ratios)
+}
+
+// Print renders the Fig 13 table with costs normalized to compute time.
+func (r Fig13Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 13: broadcast cost normalized to kernel compute time",
+		"kernel", "ratio", "comp (clk)", "vRouter", "UVM-sync")
+	for _, row := range r.Rows {
+		for _, p := range row.Points {
+			t.AddRow(row.Kernel.Name, fmt.Sprintf("1:%d", p.Receivers),
+				int64(row.Kernel.Compute),
+				float64(p.VRouter)/float64(row.Kernel.Compute),
+				float64(p.UVMSync)/float64(row.Kernel.Compute))
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "average vRouter speedup over UVM-sync: %sx (paper: 4.24x)\n",
+		metrics.FormatFloat(r.AvgSpeedup()))
+	return err
+}
+
+func init() {
+	register("fig13", "vRouter vs memory-synchronization broadcast", func(w io.Writer) error {
+		r, err := RunFig13()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// Fig14Configs are the translation mechanisms compared in Fig 14.
+var Fig14Configs = []string{"Physical Mem", "Ours", "IOTLB32", "IOTLB4"}
+
+// Fig14Row is one workload's normalized throughput per mechanism.
+type Fig14Row struct {
+	Model string
+	// NormalizedFPS is keyed by Fig14Configs; Physical Mem is 1.0.
+	NormalizedFPS map[string]float64
+}
+
+// Fig14Result is the memory-virtualization comparison.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// fig14Models lists the Fig 14 workloads.
+var fig14Models = []string{"alexnet", "resnet18", "googlenet", "mobilenet", "yololite", "transformer"}
+
+// RunFig14 runs each model on an 8-core FPGA-scale vNPU with weights
+// streamed from global memory, under four translation mechanisms:
+// physical addresses (ideal), vChunk range translation, and page IOTLBs
+// with 32 and 4 entries.
+func RunFig14() (Fig14Result, error) {
+	var res Fig14Result
+	for _, name := range fig14Models {
+		m, err := workload.ByName(name)
+		if err != nil {
+			return Fig14Result{}, err
+		}
+		row := Fig14Row{Model: m.Name, NormalizedFPS: make(map[string]float64)}
+		cycles := make(map[string]float64)
+		for _, cfg := range Fig14Configs {
+			req := core.Request{Topology: topo.Mesh2D(2, 4)}
+			switch cfg {
+			case "Physical Mem":
+				req.Translation = core.TranslationNone
+			case "Ours":
+				req.Translation = core.TranslationRange
+			case "IOTLB32":
+				req.Translation = core.TranslationPage
+				req.PageTLBEntries = 32
+			case "IOTLB4":
+				req.Translation = core.TranslationPage
+				req.PageTLBEntries = 4
+			}
+			run, err := setupVNPURun(npu.FPGAConfig(), m, req,
+				workload.CompileOptions{ForceStreaming: true})
+			if err != nil {
+				return Fig14Result{}, err
+			}
+			r, err := run.Run(1, npu.RunOptions{})
+			if err != nil {
+				return Fig14Result{}, fmt.Errorf("%s/%s: %w", name, cfg, err)
+			}
+			cycles[cfg] = float64(r.Cycles)
+		}
+		for _, cfg := range Fig14Configs {
+			row.NormalizedFPS[cfg] = cycles["Physical Mem"] / cycles[cfg]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AvgOverheadPct reports the mean throughput loss versus physical
+// addressing for one mechanism (paper: IOTLB4 ~20%, IOTLB32 ~9.2%,
+// vChunk <4.3%).
+func (r Fig14Result) AvgOverheadPct(config string) float64 {
+	var sum float64
+	for _, row := range r.Rows {
+		sum += (1 - row.NormalizedFPS[config]) * 100
+	}
+	return sum / float64(len(r.Rows))
+}
+
+// Print renders the Fig 14 table.
+func (r Fig14Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 14: normalized throughput under memory virtualization",
+		"model", Fig14Configs[0], Fig14Configs[1], Fig14Configs[2], Fig14Configs[3])
+	for _, row := range r.Rows {
+		t.AddRow(row.Model,
+			row.NormalizedFPS["Physical Mem"], row.NormalizedFPS["Ours"],
+			row.NormalizedFPS["IOTLB32"], row.NormalizedFPS["IOTLB4"])
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "avg overhead: vChunk %s%%, IOTLB32 %s%%, IOTLB4 %s%% (paper: <4.3%%, 9.2%%, ~20%%)\n",
+		metrics.FormatFloat(r.AvgOverheadPct("Ours")),
+		metrics.FormatFloat(r.AvgOverheadPct("IOTLB32")),
+		metrics.FormatFloat(r.AvgOverheadPct("IOTLB4")))
+	return err
+}
+
+func init() {
+	register("fig14", "memory virtualization mechanisms", func(w io.Writer) error {
+		r, err := RunFig14()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/baseline"
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// fig15Iters is the iteration count of every Fig 15 run.
+const fig15Iters = 4
+
+// Fig15Workloads are the four micro-workloads of Fig 15, each on a 4-core
+// instance.
+func Fig15Workloads() []workload.Model {
+	return []workload.Model{
+		workload.TransformerBlock(128, 16),
+		workload.TransformerBlock(64, 16),
+		workload.ResNetBlock(16, 64),
+		workload.ResNetBlock(20, 32),
+	}
+}
+
+// Fig15Cell compares the two virtualization mechanisms on one workload.
+type Fig15Cell struct {
+	VNPU sim.Cycles
+	UVM  sim.Cycles
+}
+
+// Speedup is the vNPU advantage.
+func (c Fig15Cell) Speedup() float64 { return float64(c.UVM) / float64(c.VNPU) }
+
+// Fig15Result holds single-instance comparisons plus the multi-instance
+// interference measurement (Transformer 128 + ResNet block 16 sharing one
+// chip).
+type Fig15Result struct {
+	Single map[string]Fig15Cell
+	// MultiDegradationPct maps mechanism -> mean slowdown of the two
+	// co-running instances relative to their single-instance runs.
+	MultiDegradationPct map[string]float64
+}
+
+// RunFig15 compares vNPU against the UVM-based virtual NPU in single- and
+// multi-instance scenarios (§6.3.1).
+func RunFig15() (Fig15Result, error) {
+	res := Fig15Result{
+		Single:              make(map[string]Fig15Cell),
+		MultiDegradationPct: make(map[string]float64),
+	}
+	for _, m := range Fig15Workloads() {
+		vn, err := runFig15VNPU(m)
+		if err != nil {
+			return res, fmt.Errorf("vNPU %s: %w", m.Name, err)
+		}
+		uv, err := runFig15UVM(m)
+		if err != nil {
+			return res, fmt.Errorf("UVM %s: %w", m.Name, err)
+		}
+		res.Single[m.Name] = Fig15Cell{VNPU: vn, UVM: uv}
+	}
+
+	// Multi-instance: Transformer(128,16) and ResNetBlock(16,64) share the
+	// 8-core chip, 4 cores each.
+	wlA := workload.TransformerBlock(128, 16)
+	wlB := workload.ResNetBlock(16, 64)
+
+	multiV, err := runFig15MultiVNPU(wlA, wlB)
+	if err != nil {
+		return res, err
+	}
+	multiU, err := runFig15MultiUVM(wlA, wlB)
+	if err != nil {
+		return res, err
+	}
+	singles := res.Single
+	res.MultiDegradationPct["vNPU"] = meanDegradation(
+		[]sim.Cycles{multiV[0], multiV[1]},
+		[]sim.Cycles{singles[wlA.Name].VNPU, singles[wlB.Name].VNPU})
+	res.MultiDegradationPct["UVM"] = meanDegradation(
+		[]sim.Cycles{multiU[0], multiU[1]},
+		[]sim.Cycles{singles[wlA.Name].UVM, singles[wlB.Name].UVM})
+	return res, nil
+}
+
+func runFig15VNPU(m workload.Model) (sim.Cycles, error) {
+	run, err := setupVNPURun(npu.FPGAConfig(), m,
+		core.Request{Topology: topo.Mesh2D(2, 2), Confined: true},
+		workload.CompileOptions{})
+	if err != nil {
+		return 0, err
+	}
+	r, err := run.Run(fig15Iters, npu.RunOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+func runFig15UVM(m workload.Model) (sim.Cycles, error) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		return 0, err
+	}
+	u := baseline.NewUVM(dev)
+	prog, inst, err := compileForUVM(u, m, 4)
+	if err != nil {
+		return 0, err
+	}
+	r, err := dev.Run(prog, inst.Placement(), inst.Fabric(), npu.RunOptions{Iterations: fig15Iters})
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// compileForUVM sizes, allocates and compiles a model for a UVM instance.
+func compileForUVM(u *baseline.UVMNPU, m workload.Model, cores int) (prog *isa.Program, inst *baseline.UVMInstance, err error) {
+	_, info, err := workload.Compile(m, workload.CompileOptions{Cores: cores})
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err = u.CreateInstance(cores, info.MemBytes, 32)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, _, err := workload.Compile(m, workload.CompileOptions{Cores: cores, VABase: inst.MemBase()})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, inst, nil
+}
+
+func runFig15MultiVNPU(a, b workload.Model) ([]sim.Cycles, error) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		return nil, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return nil, err
+	}
+	ra, err := setupVNPUOn(hv, a, core.Request{Topology: topo.Mesh2D(2, 2), Confined: true}, workload.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := setupVNPUOn(hv, b, core.Request{Topology: topo.Mesh2D(2, 2), Confined: true}, workload.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return runCombined(dev, []instance{
+		{Prog: ra.Prog, Placement: ra.V.Placement(), Fabric: ra.V.Fabric()},
+		{Prog: rb.Prog, Placement: rb.V.Placement(), Fabric: rb.V.Fabric()},
+	}, fig15Iters)
+}
+
+func runFig15MultiUVM(a, b workload.Model) ([]sim.Cycles, error) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		return nil, err
+	}
+	u := baseline.NewUVM(dev)
+	pa, ia, err := compileForUVM(u, a, 4)
+	if err != nil {
+		return nil, err
+	}
+	pb, ib, err := compileForUVM(u, b, 4)
+	if err != nil {
+		return nil, err
+	}
+	return runCombined(dev, []instance{
+		{Prog: pa, Placement: ia.Placement(), Fabric: ia.Fabric()},
+		{Prog: pb, Placement: ib.Placement(), Fabric: ib.Fabric()},
+	}, fig15Iters)
+}
+
+func meanDegradation(multi, single []sim.Cycles) float64 {
+	var sum float64
+	for i := range multi {
+		sum += (float64(multi[i])/float64(single[i]) - 1) * 100
+	}
+	return sum / float64(len(multi))
+}
+
+// Print renders the Fig 15 tables.
+func (r Fig15Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 15: vNPU vs UVM-based virtual NPU (4 cores per instance, clocks)",
+		"workload", "vNPU", "UVM", "vNPU speedup")
+	for _, m := range Fig15Workloads() {
+		c := r.Single[m.Name]
+		t.AddRow(m.Name, int64(c.VNPU), int64(c.UVM), c.Speedup())
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "multi-instance degradation: vNPU %s%%, UVM %s%% (paper: ~0%%, ~24%%)\n",
+		metrics.FormatFloat(r.MultiDegradationPct["vNPU"]),
+		metrics.FormatFloat(r.MultiDegradationPct["UVM"]))
+	return err
+}
+
+func init() {
+	register("fig15", "vNPU vs UVM-based virtualization", func(w io.Writer) error {
+		r, err := RunFig15()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

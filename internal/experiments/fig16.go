@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/baseline"
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// fig16Iters is the iteration count for Fig 16 measurements.
+const fig16Iters = 3
+
+// Fig16Task is one tenant of a Fig 16 scenario.
+type Fig16Task struct {
+	Name  string
+	Cores int
+	Shape *topo.Graph
+	Model workload.Model
+}
+
+// Fig16TaskResult compares one task across the three systems.
+type Fig16TaskResult struct {
+	Task string
+	// Execution cycles for fig16Iters inferences.
+	VNPU sim.Cycles
+	MIG  sim.Cycles
+	Bare sim.Cycles
+	// Warm-up: initial weight load through each system's memory share.
+	VNPUWarmup sim.Cycles
+	MIGWarmup  sim.Cycles
+	// MIG rigidity costs.
+	MIGTDMFactor float64
+	MIGWasted    int
+}
+
+// SpeedupVsMIG is the vNPU throughput advantage.
+func (r Fig16TaskResult) SpeedupVsMIG() float64 { return float64(r.MIG) / float64(r.VNPU) }
+
+// VirtOverheadPct is the vNPU cost over bare metal on the same cores
+// (§6.3.3; the paper reports <1%).
+func (r Fig16TaskResult) VirtOverheadPct() float64 {
+	return (float64(r.VNPU)/float64(r.Bare) - 1) * 100
+}
+
+// Fig16Scenario is one chip configuration with two co-resident tenants.
+type Fig16Scenario struct {
+	Chip    string
+	Cores   int
+	Results []Fig16TaskResult
+}
+
+// Fig16Result covers both Fig 16 chip configurations.
+type Fig16Result struct {
+	Scenarios []Fig16Scenario
+}
+
+// RunFig16 reproduces Fig 16: two tenants per chip, vNPU's flexible
+// topologies versus MIG's fixed partitions (with TDM when a partition is
+// too small), plus warm-up times and the bare-metal overhead check.
+func RunFig16() (Fig16Result, error) {
+	gptSeq := int32(64)
+	scen36 := fig16Scenario{
+		chip: npu.SimConfig(), migCols: []int{3, 3}, // 18 + 18 partitions
+		tasks: []Fig16Task{
+			{Name: "GPT2-s", Cores: 12, Shape: topo.Mesh2D(3, 4), Model: workload.GPT2Small(gptSeq)},
+			{Name: "ResNet34", Cores: 24, Shape: topo.Mesh2D(4, 6), Model: workload.ResNet34()},
+		},
+	}
+	scen48 := fig16Scenario{
+		chip: npu.SimConfig48(), migCols: []int{4, 4}, // 24 + 24 partitions
+		tasks: []Fig16Task{
+			{Name: "GPT2-s", Cores: 12, Shape: topo.Mesh2D(3, 4), Model: workload.GPT2Small(gptSeq)},
+			{Name: "GPT2-l", Cores: 36, Shape: topo.Mesh2D(6, 6), Model: workload.GPT2Large(gptSeq)},
+		},
+	}
+	var res Fig16Result
+	for _, sc := range []fig16Scenario{scen36, scen48} {
+		out, err := runFig16Scenario(sc)
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		res.Scenarios = append(res.Scenarios, out)
+	}
+	return res, nil
+}
+
+type fig16Scenario struct {
+	chip    npu.Config
+	migCols []int
+	tasks   []Fig16Task
+}
+
+func runFig16Scenario(sc fig16Scenario) (Fig16Scenario, error) {
+	out := Fig16Scenario{Chip: sc.chip.Name, Cores: sc.chip.Cores()}
+
+	// MIG partition manager on a dedicated device (allocation bookkeeping
+	// only; execution happens on per-task devices below).
+	migDev, err := npu.NewDevice(sc.chip)
+	if err != nil {
+		return out, err
+	}
+	mig, err := baseline.NewMIG(migDev, sc.migCols)
+	if err != nil {
+		return out, err
+	}
+
+	// vNPU hypervisor hosting both tenants simultaneously.
+	vDev, err := npu.NewDevice(sc.chip)
+	if err != nil {
+		return out, err
+	}
+	hv, err := core.NewHypervisor(vDev)
+	if err != nil {
+		return out, err
+	}
+
+	for _, task := range sc.tasks {
+		run, err := setupVNPUOn(hv, task.Model, core.Request{Topology: task.Shape, Confined: true},
+			workload.CompileOptions{})
+		if err != nil {
+			return out, fmt.Errorf("vNPU %s: %w", task.Name, err)
+		}
+		vRes, err := run.Run(fig16Iters, npu.RunOptions{})
+		if err != nil {
+			return out, fmt.Errorf("vNPU %s: %w", task.Name, err)
+		}
+
+		// Bare metal on the same physical cores: same placement, plain NoC
+		// fabric, no vRouter overhead.
+		bare, err := runBareOnNodes(sc.chip, run.Prog, run.V.Nodes())
+		if err != nil {
+			return out, fmt.Errorf("bare %s: %w", task.Name, err)
+		}
+
+		// MIG: the task gets a fixed partition. Tasks that fit run at
+		// vNPU-equivalent speed on the slice (the slice is a regular
+		// rectangle); oversubscribed tasks pay TDM plus context switches.
+		migInst, err := mig.Allocate(task.Cores)
+		if err != nil {
+			return out, fmt.Errorf("MIG %s: %w", task.Name, err)
+		}
+		migCycles := migInst.EffectiveCycles(vRes.Cycles, fig16Iters, sc.chip)
+
+		weights := task.Model.WeightBytes()
+		out.Results = append(out.Results, Fig16TaskResult{
+			Task:         fmt.Sprintf("%s@%dc", task.Name, task.Cores),
+			VNPU:         vRes.Cycles,
+			MIG:          migCycles,
+			Bare:         bare,
+			VNPUWarmup:   run.V.WarmupCycles(weights),
+			MIGWarmup:    migInst.WarmupCycles(weights, sc.chip),
+			MIGTDMFactor: migInst.TDMFactor(),
+			MIGWasted:    migInst.WastedCores(),
+		})
+	}
+	return out, nil
+}
+
+// runBareOnNodes executes the program on a fresh device with the streams
+// pinned to the given physical nodes and no virtualization anywhere.
+func runBareOnNodes(cfg npu.Config, prog *isa.Program, nodes []topo.NodeID) (sim.Cycles, error) {
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return 0, err
+	}
+	pl := nodeListPlacement(nodes)
+	fab := &npu.NoCFabric{Net: dev.NoC()}
+	res, err := dev.Run(prog, pl, fab, npu.RunOptions{Iterations: fig16Iters})
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+type nodeListPlacement []topo.NodeID
+
+func (p nodeListPlacement) Node(id isa.CoreID) (topo.NodeID, error) {
+	if int(id) < 0 || int(id) >= len(p) {
+		return 0, fmt.Errorf("experiments: vCore %d out of range", id)
+	}
+	return p[id], nil
+}
+
+// Print renders the Fig 16 tables.
+func (r Fig16Result) Print(w io.Writer) error {
+	for _, sc := range r.Scenarios {
+		t := metrics.NewTable(
+			fmt.Sprintf("Fig 16: vNPU vs MIG on the %d-core chip (%s)", sc.Cores, sc.Chip),
+			"task", "vNPU (clk)", "MIG (clk)", "speedup", "TDM", "wasted cores",
+			"warmup vNPU", "warmup MIG", "virt overhead%")
+		for _, tr := range sc.Results {
+			t.AddRow(tr.Task, int64(tr.VNPU), int64(tr.MIG), tr.SpeedupVsMIG(),
+				tr.MIGTDMFactor, tr.MIGWasted,
+				int64(tr.VNPUWarmup), int64(tr.MIGWarmup), tr.VirtOverheadPct())
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	register("fig16", "vNPU vs MIG-based virtualization", func(w io.Writer) error {
+		r, err := RunFig16()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Fig17Result renders the paper's mapping illustration: where each
+// strategy places a 3x3 request on a 5x5 mesh whose upper-left and
+// bottom-right cores are already allocated.
+type Fig17Result struct {
+	SimilarMap     string
+	StraightMap    string
+	SimilarCost    float64
+	StraightCost   float64
+	SimilarConnect bool
+}
+
+// fig17Occupied mirrors Fig 17: upper-left and bottom-right corners taken.
+var fig17Occupied = []topo.NodeID{0, 1, 5, 19, 23, 24}
+
+// RunFig17 computes both placements and renders them as mesh diagrams.
+func RunFig17() (Fig17Result, error) {
+	phys := topo.Mesh2D(5, 5)
+	occ := map[topo.NodeID]bool{}
+	for _, n := range fig17Occupied {
+		occ[n] = true
+	}
+	var free []topo.NodeID
+	for _, n := range phys.Nodes() {
+		if !occ[n] {
+			free = append(free, n)
+		}
+	}
+	req := topo.NearMesh(9)
+
+	similar, err := core.MapTopology(phys, free, req, core.StrategySimilar, ged.Options{})
+	if err != nil {
+		return Fig17Result{}, err
+	}
+	straight, err := core.MapTopology(phys, free, req, core.StrategyStraightforward, ged.Options{})
+	if err != nil {
+		return Fig17Result{}, err
+	}
+	return Fig17Result{
+		SimilarMap:     renderMesh(phys, 5, occ, similar.Nodes),
+		StraightMap:    renderMesh(phys, 5, occ, straight.Nodes),
+		SimilarCost:    similar.Cost,
+		StraightCost:   straight.Cost,
+		SimilarConnect: similar.Connected,
+	}, nil
+}
+
+// renderMesh draws the allocation: XX occupied, virtual core numbers for
+// allocated nodes, dots for free ones.
+func renderMesh(phys *topo.Graph, cols int, occ map[topo.NodeID]bool, alloc []topo.NodeID) string {
+	vOf := map[topo.NodeID]int{}
+	for v, n := range alloc {
+		vOf[n] = v + 1 // paper numbers cores from 1
+	}
+	var buf bytes.Buffer
+	for _, n := range phys.Nodes() {
+		c, _ := phys.CoordOf(n)
+		switch {
+		case occ[n]:
+			buf.WriteString(" XX")
+		case vOf[n] != 0:
+			fmt.Fprintf(&buf, " %2d", vOf[n])
+		default:
+			buf.WriteString("  .")
+		}
+		if c.X == cols-1 {
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.String()
+}
+
+// Print renders both placements.
+func (r Fig17Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig 17: 9-core request on a fragmented 5x5 mesh (XX = unavailable)\n\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "similar topology mapping (edit distance %.0f, connected=%v):\n%s\n",
+		r.SimilarCost, r.SimilarConnect, r.SimilarMap); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "straightforward mapping (edit distance %.0f):\n%s",
+		r.StraightCost, r.StraightMap)
+	return err
+}
+
+func init() {
+	register("fig17", "mapping strategies illustration", func(w io.Writer) error {
+		r, err := RunFig17()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

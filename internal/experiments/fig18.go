@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/trace"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// fig18Occupied are the pre-allocated cores of the 6x6 chip (the red nodes
+// of Fig 18): a tenant holding a 2x3 block in the upper middle, so
+// ID-order allocation straddles it and confined routes must detour.
+var fig18Occupied = []topo.NodeID{3, 4, 9, 10, 15, 16}
+
+// fig18Iters is the iteration count per measurement.
+const fig18Iters = 3
+
+// Fig18Point compares the two mapping strategies for one (model, cores)
+// configuration.
+type Fig18Point struct {
+	Model string
+	Cores int
+	// FPS under each strategy at the SIM clock (500 MHz).
+	SimilarFPS  float64
+	StraightFPS float64
+	// Topology edit distance of each allocation.
+	SimilarTED  float64
+	StraightTED float64
+}
+
+// ImprovementPct is the similar-topology advantage over zig-zag.
+func (p Fig18Point) ImprovementPct() float64 {
+	return (p.SimilarFPS/p.StraightFPS - 1) * 100
+}
+
+// Fig18Result is the strategy sweep plus a rendered core trace.
+type Fig18Result struct {
+	Points []Fig18Point
+	// CoreTrace is the Fig 18 bottom panel: the per-core COMP/SEND/RECEIVE
+	// timeline of one representative run.
+	CoreTrace string
+}
+
+// RunFig18 sweeps ResNet-18/34 and GPT-2 over virtual NPU sizes on a
+// partially occupied 36-core chip, comparing the similar-topology mapping
+// with the straightforward zig-zag mapping (§6.3.5).
+func RunFig18() (Fig18Result, error) {
+	type cfg struct {
+		name  string
+		model workload.Model
+		cores []int
+	}
+	sweeps := []cfg{
+		{"ResNet18", workload.ResNet18(), []int{9, 13, 16, 28}},
+		{"ResNet34", workload.ResNet34(), []int{9, 13, 16, 28}},
+		{"GPT2-s", workload.GPT2Small(64), []int{12, 24}},
+	}
+	var res Fig18Result
+	for _, sw := range sweeps {
+		for _, n := range sw.cores {
+			p, err := runFig18Point(sw.name, sw.model, n)
+			if err != nil {
+				return Fig18Result{}, fmt.Errorf("%s@%d: %w", sw.name, n, err)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+
+	// Bottom panel: core trace of ResNet18 on 12 cores, similar mapping.
+	var rec trace.SpanRecorder
+	if _, _, err := fig18Run(workload.ResNet18(), 12, core.StrategySimilar, &rec); err != nil {
+		return Fig18Result{}, err
+	}
+	var buf bytes.Buffer
+	if err := rec.RenderTimeline(&buf, 100); err != nil {
+		return Fig18Result{}, err
+	}
+	res.CoreTrace = buf.String()
+	return res, nil
+}
+
+func runFig18Point(name string, m workload.Model, cores int) (Fig18Point, error) {
+	simFPS, simTED, err := fig18Run(m, cores, core.StrategySimilar, nil)
+	if err != nil {
+		return Fig18Point{}, err
+	}
+	strFPS, strTED, err := fig18Run(m, cores, core.StrategyStraightforward, nil)
+	if err != nil {
+		return Fig18Point{}, err
+	}
+	return Fig18Point{
+		Model: name, Cores: cores,
+		SimilarFPS: simFPS, StraightFPS: strFPS,
+		SimilarTED: simTED, StraightTED: strTED,
+	}, nil
+}
+
+func fig18Run(m workload.Model, cores int, strat core.Strategy, rec *trace.SpanRecorder) (fps, ted float64, err error) {
+	chip := npu.SimConfig()
+	dev, err := npu.NewDevice(chip)
+	if err != nil {
+		return 0, 0, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := hv.Reserve(fig18Occupied...); err != nil {
+		return 0, 0, err
+	}
+	run, err := setupVNPUOn(hv, m, core.Request{
+		Topology: topo.NearMesh(cores),
+		Strategy: strat,
+		Confined: true,
+	}, workload.CompileOptions{MaxStages: (cores + 1) / 2})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	if rec != nil {
+		// Trace runs measure the foreground instance alone.
+		r, err := run.Run(fig18Iters, npu.RunOptions{Span: rec.Record})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.FPSAt(chip.FreqMHz), run.V.MapCost(), nil
+	}
+
+	// The occupied block is a live tenant, not idle silicon: it runs its
+	// own model on its own cores, so routes that cut through it (the DOR
+	// fallback of a fragmented straightforward allocation) contend with
+	// real NoC traffic — the interference the similar mapping's confined
+	// routing avoids (§4.1.2).
+	bgProg, _, err := workload.Compile(workload.ResNetBlock(56, 64),
+		workload.CompileOptions{Cores: len(fig18Occupied)})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Snake order through the 2x3 block keeps the background pipeline's
+	// neighbors adjacent.
+	bgNodes := []topo.NodeID{3, 4, 10, 9, 15, 16}
+	const bgVM = 999
+	for _, n := range bgNodes {
+		dev.NoC().SetOwner(n, bgVM)
+	}
+	bgFab := &npu.NoCFabric{Net: dev.NoC(), VM: bgVM}
+
+	finishes, err := runCombined(dev, []instance{
+		{Prog: run.Prog, Placement: run.V.Placement(), Fabric: run.V.Fabric()},
+		{Prog: bgProg, Placement: nodeListPlacement(bgNodes), Fabric: bgFab},
+	}, fig18Iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	fg := finishes[0]
+	if fg <= 0 {
+		return 0, 0, fmt.Errorf("experiments: empty foreground run")
+	}
+	fps = float64(fig18Iters) * float64(chip.FreqMHz) * 1e6 / float64(fg)
+	return fps, run.V.MapCost(), nil
+}
+
+// ImprovementAt returns the similar-vs-zigzag improvement for one config.
+func (r Fig18Result) ImprovementAt(model string, cores int) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Model == model && p.Cores == cores {
+			return p.ImprovementPct(), true
+		}
+	}
+	return 0, false
+}
+
+// Print renders the Fig 18 table and core trace.
+func (r Fig18Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 18: similar-topology vs straightforward (zig-zag) mapping",
+		"model", "cores", "similar FPS", "zigzag FPS", "improvement%", "TED similar", "TED zigzag")
+	for _, p := range r.Points {
+		t.AddRow(p.Model, p.Cores, p.SimilarFPS, p.StraightFPS, p.ImprovementPct(),
+			p.SimilarTED, p.StraightTED)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\ncore trace (ResNet18 @ 12 cores, similar mapping):"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, r.CoreTrace)
+	return err
+}
+
+func init() {
+	register("fig18", "topology mapping strategies", func(w io.Writer) error {
+		r, err := RunFig18()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+)
+
+// Fig 19 hardware cost model. The paper synthesizes the vNPU extensions on
+// an FPGA; with no synthesis toolchain here, resource use is estimated
+// from first principles: flip-flops track storage bits, LUTs track
+// comparator/mux bits (one 6-input LUT per ~2 compared bits plus control),
+// and LUTRAMs hold the larger SRAM-mapped tables. Baselines are a
+// Gemmini-class core and NPU controller. The claim under test is the
+// paper's: both virtualization schemes cost ~2% extra, and a 128-entry
+// routing table is nearly free.
+
+// Fig19Baseline is the resource budget of the unmodified design.
+type Fig19Baseline struct {
+	CoreLUTs, CoreFFs             int
+	ControllerLUTs, ControllerFFs int
+}
+
+// DefaultFig19Baseline approximates a Gemmini 16x16 tile and its
+// controller.
+func DefaultFig19Baseline() Fig19Baseline {
+	return Fig19Baseline{
+		CoreLUTs: 42000, CoreFFs: 31000,
+		ControllerLUTs: 14000, ControllerFFs: 9000,
+	}
+}
+
+// Fig19Entry is the added cost of one structure, as percentages of its
+// host block's baseline.
+type Fig19Entry struct {
+	Name      string
+	TotalLUTs float64
+	LogicLUTs float64
+	LUTRAMs   float64
+	FFs       float64
+}
+
+// Fig19Result is the resource comparison of the two virtualization
+// schemes.
+type Fig19Result struct {
+	Entries []Fig19Entry
+}
+
+// Structure sizes (bits) of the vNPU extensions.
+const (
+	rtEntries    = 128
+	rtEntryBits  = 20 // vID(8) + pID(8) + direction(3) + valid(1)
+	rangeTLBBits = 4 * mem.RTTEntryBits
+	hyperRegBits = 4 * 64 // RTT base/end/cur + RT base registers
+	// Kim's UVM additions per core: 32-entry IOTLB (VA tag 36 + PA 24 +
+	// flags 4 = 64 bits each) plus a page walker state machine.
+	iotlbBits      = 32 * 64
+	walkerStateFFs = 220
+)
+
+// RunFig19 evaluates the cost model.
+func RunFig19() Fig19Result {
+	base := DefaultFig19Baseline()
+
+	pct := func(v, base int) float64 { return float64(v) / float64(base) * 100 }
+	// LUT estimate: one LUT per two comparator bits plus fixed control.
+	luts := func(cmpBits, control int) int { return cmpBits/2 + control }
+
+	// vNPU controller: vRouter instruction-redirect (VMID+vID comparators
+	// over the active entry) + table walk control. The table itself lives
+	// in SRAM/LUTRAM.
+	vCtrlLogic := luts(2*16, 180)
+	vCtrlRAM := rtEntries * rtEntryBits / 64 // LUTRAM-mapped table
+	vCtrlFFs := 160                          // command/state registers
+
+	// Kim's controller: UVM command queue + IOMMU interface.
+	kCtrlLogic := luts(2*24, 240)
+	kCtrlRAM := 0
+	kCtrlFFs := 300
+
+	// vNPU core: NoC vRouter rewrite (dst compare/mux) + vChunk range TLB
+	// (4 comparator pairs over 48-bit bounds) + hyper registers.
+	vCoreLogic := luts(4*2*48, 260) + luts(2*8, 60)
+	vCoreRAM := 0
+	vCoreFFs := rangeTLBBits + hyperRegBits + 120
+
+	// Kim's core: 32-entry fully-associative IOTLB (CAM comparators) +
+	// walker.
+	kCoreLogic := luts(32*36, 320)
+	kCoreRAM := iotlbBits / 64
+	kCoreFFs := iotlbBits + walkerStateFFs
+
+	// Routing table alone (the paper's fifth bar): storage only.
+	rtRAM := rtEntries * rtEntryBits / 64
+	rtFFs := 40 // head/base pointers
+
+	entries := []Fig19Entry{
+		{
+			Name:      "NPU controller (Kim's)",
+			TotalLUTs: pct(kCtrlLogic+kCtrlRAM, base.ControllerLUTs),
+			LogicLUTs: pct(kCtrlLogic, base.ControllerLUTs),
+			LUTRAMs:   pct(kCtrlRAM, base.ControllerLUTs),
+			FFs:       pct(kCtrlFFs, base.ControllerFFs),
+		},
+		{
+			Name:      "NPU controller (vNPU)",
+			TotalLUTs: pct(vCtrlLogic+vCtrlRAM, base.ControllerLUTs),
+			LogicLUTs: pct(vCtrlLogic, base.ControllerLUTs),
+			LUTRAMs:   pct(vCtrlRAM, base.ControllerLUTs),
+			FFs:       pct(vCtrlFFs, base.ControllerFFs),
+		},
+		{
+			Name:      "NPU core (Kim's)",
+			TotalLUTs: pct(kCoreLogic+kCoreRAM, base.CoreLUTs),
+			LogicLUTs: pct(kCoreLogic, base.CoreLUTs),
+			LUTRAMs:   pct(kCoreRAM, base.CoreLUTs),
+			FFs:       pct(kCoreFFs, base.CoreFFs),
+		},
+		{
+			Name:      "NPU core (vNPU)",
+			TotalLUTs: pct(vCoreLogic+vCoreRAM, base.CoreLUTs),
+			LogicLUTs: pct(vCoreLogic, base.CoreLUTs),
+			LUTRAMs:   pct(vCoreRAM, base.CoreLUTs),
+			FFs:       pct(vCoreFFs, base.CoreFFs),
+		},
+		{
+			Name:      "Routing table (128 entries)",
+			TotalLUTs: pct(rtRAM, base.ControllerLUTs),
+			LogicLUTs: 0,
+			LUTRAMs:   pct(rtRAM, base.ControllerLUTs),
+			FFs:       pct(rtFFs, base.ControllerFFs),
+		},
+	}
+	return Fig19Result{Entries: entries}
+}
+
+// MaxPct returns the largest percentage across all entries and categories.
+func (r Fig19Result) MaxPct() float64 {
+	var m float64
+	for _, e := range r.Entries {
+		for _, v := range []float64{e.TotalLUTs, e.LogicLUTs, e.LUTRAMs, e.FFs} {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Print renders the Fig 19 table.
+func (r Fig19Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Fig 19: additional FPGA resources (% of host block)",
+		"structure", "Total LUTs", "Logic LUTs", "LUTRAMs", "FFs")
+	for _, e := range r.Entries {
+		t.AddRow(e.Name, e.TotalLUTs, e.LogicLUTs, e.LUTRAMs, e.FFs)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("fig19", "hardware resource cost model", func(w io.Writer) error {
+		return RunFig19().Print(w)
+	})
+}

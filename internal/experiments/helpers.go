@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// vnpuRun bundles everything needed to execute one workload on one virtual
+// NPU instance.
+type vnpuRun struct {
+	Dev  *npu.Device
+	HV   *core.Hypervisor
+	V    *core.VNPU
+	Prog *isa.Program
+	Info workload.Info
+}
+
+// setupVNPURun builds a fresh device + hypervisor, allocates a vNPU per
+// the request, and compiles the model against the vNPU's memory base.
+// req.Topology defaults to the most compact shape for the core count.
+func setupVNPURun(cfg npu.Config, m workload.Model, req core.Request, copt workload.CompileOptions) (*vnpuRun, error) {
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return nil, err
+	}
+	return setupVNPUOn(hv, m, req, copt)
+}
+
+// setupVNPUOn allocates a vNPU on an existing hypervisor (so several
+// instances can share one chip) and compiles the model for it.
+func setupVNPUOn(hv *core.Hypervisor, m workload.Model, req core.Request, copt workload.CompileOptions) (*vnpuRun, error) {
+	if req.Topology == nil {
+		return nil, fmt.Errorf("experiments: request needs a topology")
+	}
+	copt.Cores = req.Topology.NumNodes()
+	// Dry compile at base 0 to size the memory request.
+	_, info, err := workload.Compile(m, copt)
+	if err != nil {
+		return nil, err
+	}
+	if req.MemoryBytes == 0 {
+		req.MemoryBytes = info.MemBytes
+	}
+	v, err := hv.CreateVNPU(req)
+	if err != nil {
+		return nil, err
+	}
+	copt.VABase = v.MemBase()
+	prog, info, err := workload.Compile(m, copt)
+	if err != nil {
+		return nil, err
+	}
+	return &vnpuRun{Dev: hv.Device(), HV: hv, V: v, Prog: prog, Info: info}, nil
+}
+
+// Run executes the instance's program for the given iterations.
+func (r *vnpuRun) Run(iters int, opts npu.RunOptions) (npu.Result, error) {
+	opts.Iterations = iters
+	return r.Dev.Run(r.Prog, r.V.Placement(), r.V.Fabric(), opts)
+}
+
+// instance pairs a program with its placement and fabric for combined
+// multi-tenant execution.
+type instance struct {
+	Prog      *isa.Program
+	Placement npu.Placement
+	Fabric    npu.Fabric
+}
+
+// runCombined executes several instances concurrently on one device by
+// merging their programs under disjoint core-ID ranges. Cross-instance
+// interference (HBM channels, NoC links) emerges from the shared resource
+// models. It returns the per-instance makespans.
+func runCombined(dev *npu.Device, insts []instance, iters int) ([]sim.Cycles, error) {
+	const stride = 4096
+	merged := isa.NewProgram()
+	for i, inst := range insts {
+		off := isa.CoreID(i * stride)
+		re := inst.Prog.Remap(func(id isa.CoreID) isa.CoreID { return id + off })
+		for _, id := range re.Cores() {
+			for _, in := range re.Stream(id) {
+				merged.Append(id, in)
+			}
+		}
+	}
+	pl := combinedPlacement{insts: insts, stride: stride}
+	// Route each transfer through the fabric of the instance owning the
+	// source node; instances occupy disjoint node sets.
+	fabByNode := make(map[topo.NodeID]npu.Fabric)
+	for _, inst := range insts {
+		for _, id := range inst.Prog.Cores() {
+			n, err := inst.Placement.Node(id)
+			if err != nil {
+				return nil, err
+			}
+			fabByNode[n] = inst.Fabric
+		}
+	}
+	fab := combinedFabric{byNode: fabByNode}
+	res, err := dev.Run(merged, pl, fab, npu.RunOptions{Iterations: iters})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Cycles, len(insts))
+	for id, st := range res.PerCore {
+		i := int(id) / stride
+		if st.Finish > out[i] {
+			out[i] = st.Finish
+		}
+	}
+	return out, nil
+}
+
+type combinedPlacement struct {
+	insts  []instance
+	stride int
+}
+
+func (p combinedPlacement) Node(id isa.CoreID) (topo.NodeID, error) {
+	i := int(id) / p.stride
+	if i < 0 || i >= len(p.insts) {
+		return 0, fmt.Errorf("experiments: core %d outside instance ranges", id)
+	}
+	return p.insts[i].Placement.Node(id % isa.CoreID(p.stride))
+}
+
+type combinedFabric struct {
+	byNode map[topo.NodeID]npu.Fabric
+}
+
+func (f combinedFabric) Transfer(start sim.Cycles, src, dst topo.NodeID, size int) (sim.Cycles, error) {
+	fab, ok := f.byNode[src]
+	if !ok {
+		return start, fmt.Errorf("experiments: no instance owns node %d", src)
+	}
+	return fab.Transfer(start, src, dst, size)
+}

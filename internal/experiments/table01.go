@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+)
+
+// Table1Row is one virtualization mechanism in the qualitative comparison.
+type Table1Row struct {
+	Accelerator    string
+	Method         string
+	Virtualization string // Full or Para
+	ThreatModel    string // which component enforces isolation
+	Instruction    bool
+	Memory         bool
+	Interconnect   bool
+	NumVirtual     string
+}
+
+// Table1Result is the qualitative mechanism comparison of Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 returns Table 1 verbatim from the paper's taxonomy.
+func RunTable1() Table1Result {
+	return Table1Result{Rows: []Table1Row{
+		{"GPU", "API Forwarding", "Para", "API server", true, true, false, "Unlimited"},
+		{"GPU", "MPS", "Para", "MPS server", true, true, false, "Unlimited"},
+		{"GPU", "MIG", "Full", "Hypervisor", true, true, false, "Limited, 7 in A100"},
+		{"GPU", "Time-sliced", "Full", "Scheduler", false, false, false, "Unlimited"},
+		{"NPU", "AuRORA", "Para", "Runtime", true, true, false, "Unlimited"},
+		{"NPU", "V10", "Para", "Hypervisor", true, true, false, "Unlimited"},
+		{"NPU", "vNPU (this work)", "Full", "Hypervisor", true, true, true, "Unlimited"},
+	}}
+}
+
+// OnlyInterconnectVirtualizer reports the single mechanism that
+// virtualizes the interconnection — the paper's differentiator.
+func (r Table1Result) OnlyInterconnectVirtualizer() string {
+	name := ""
+	for _, row := range r.Rows {
+		if row.Interconnect {
+			if name != "" {
+				return "" // not unique
+			}
+			name = row.Method
+		}
+	}
+	return name
+}
+
+// Print renders Table 1.
+func (r Table1Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Table 1: virtualization mechanisms for AI accelerators",
+		"acc", "method", "virt", "threat model", "instr", "mem", "interconnect", "# virtual")
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Accelerator, row.Method, row.Virtualization, row.ThreatModel,
+			yn(row.Instruction), yn(row.Memory), yn(row.Interconnect), row.NumVirtual)
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("table1", "virtualization mechanism taxonomy", func(w io.Writer) error {
+		return RunTable1().Print(w)
+	})
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// routingPacketBytes is the routing-packet size of §6.2.2.
+const routingPacketBytes = 2048
+
+// recvDrain mirrors the receiver-side drain cost of the executor; the
+// Receive columns of Table 3 sit a couple of cycles above Send.
+const recvDrain sim.Cycles = 2
+
+// Table3Row is one packet-count measurement.
+type Table3Row struct {
+	Packets  int
+	Send     sim.Cycles
+	Receive  sim.Cycles
+	VSend    sim.Cycles
+	VReceive sim.Cycles
+}
+
+// SendOverheadPct is the vSend overhead relative to Send.
+func (r Table3Row) SendOverheadPct() float64 {
+	return float64(r.VSend-r.Send) / float64(r.Send) * 100
+}
+
+// Table3Result compares virtualized and bare NoC transfers.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 measures one-hop data transfers of 2/10/20/30 routing packets
+// with and without the NoC vRouter. Virtualized sends pay the routing-
+// table fetch in the sender's meta zone; virtualized receives pay the same
+// on the receiver side.
+func RunTable3() (Table3Result, error) {
+	var res Table3Result
+	for _, n := range []int{2, 10, 20, 30} {
+		bytes := n * routingPacketBytes
+		// Fresh device per measurement so link state never leaks between
+		// rows.
+		dev, err := npu.NewDevice(npu.FPGAConfig())
+		if err != nil {
+			return Table3Result{}, err
+		}
+		fab := &npu.NoCFabric{Net: dev.NoC()}
+		send, err := fab.Transfer(0, topo.NodeID(0), topo.NodeID(1), bytes)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		vSend := send + core.VRouterNoCOverheadCycles
+		res.Rows = append(res.Rows, Table3Row{
+			Packets:  n,
+			Send:     send,
+			Receive:  send + recvDrain,
+			VSend:    vSend,
+			VReceive: vSend + core.VRouterNoCOverheadCycles + recvDrain,
+		})
+	}
+	return res, nil
+}
+
+// MaxSendOverheadPct is the worst-case virtualization overhead across
+// rows; the paper reports 1-2%.
+func (r Table3Result) MaxSendOverheadPct() float64 {
+	var worst float64
+	for _, row := range r.Rows {
+		if p := row.SendOverheadPct(); p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// Print renders Table 3.
+func (r Table3Result) Print(w io.Writer) error {
+	t := metrics.NewTable("Table 3: NoC virtualization micro-test (clocks)",
+		"packets", "Send", "Receive", "vSend", "vReceive", "overhead%")
+	for _, row := range r.Rows {
+		t.AddRow(row.Packets, int64(row.Send), int64(row.Receive),
+			int64(row.VSend), int64(row.VReceive), row.SendOverheadPct())
+	}
+	return t.Render(w)
+}
+
+func init() {
+	register("table3", "vRouter NoC transfer overhead", func(w io.Writer) error {
+		r, err := RunTable3()
+		if err != nil {
+			return err
+		}
+		return r.Print(w)
+	})
+}

@@ -1,0 +1,433 @@
+// Package ged computes the (topology) graph edit distance used by the
+// paper's similar-topology mapping strategy (§4.3, Algorithm 1, Fig 9).
+//
+// The edit distance between two topologies is the minimum total cost of
+// node substitutions/insertions/deletions and edge insertions/deletions
+// that transform one into the other. Exact computation is NP-hard, so the
+// package provides both an exact branch-and-bound solver for small graphs
+// (candidate regions of a virtual NPU request) and the bipartite
+// approximation of Riesen & Bunke — cited by the paper — for larger ones.
+//
+// Cost customization mirrors Algorithm 1's NodeMatch and EdgeMatch hooks:
+// heterogeneous node kinds incur a substitution penalty, and critical edges
+// (e.g. links on an all-reduce path) can carry higher deletion costs.
+package ged
+
+import (
+	"math"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Mapping assigns nodes of the first graph to nodes of the second. A node
+// absent from the map was deleted; second-graph nodes not in the image were
+// inserted.
+type Mapping map[topo.NodeID]topo.NodeID
+
+// Options customizes edit costs. The zero value selects the defaults used
+// throughout the paper's evaluation: unit node operations, kind-mismatch
+// substitution penalty, and per-edge costs taken from the edge weights.
+type Options struct {
+	// NodeSubst returns the cost of matching a node of kind a to a node of
+	// kind b. Default: 0 when kinds match, NodeCost otherwise (Algorithm 1,
+	// NodeMatch).
+	NodeSubst func(a, b string) float64
+	// NodeInsDel is the cost of inserting or deleting a node. Default 1.
+	NodeInsDel float64
+	// EdgeDel returns the cost of deleting an edge with weight w — the
+	// penalty when the required topology has a link the candidate lacks
+	// (Algorithm 1, EdgeMatch: "return E1.cost"). Default: w.
+	EdgeDel func(w float64) float64
+	// EdgeIns returns the cost of inserting an edge with weight w. Default: w.
+	EdgeIns func(w float64) float64
+	// ExtraNodePenalty, when non-nil, adds a per-assignment penalty for
+	// mapping node a of the first graph onto node b of the second. The
+	// paper uses this for heterogeneous topologies, e.g. penalizing
+	// assignments whose distance to the memory interface differs.
+	ExtraNodePenalty func(a, b topo.NodeID) float64
+}
+
+// NodeCost is the default penalty for substituting nodes of differing kinds.
+const NodeCost = 1.0
+
+// ExactLimit is the largest graph size (nodes of either graph) for which
+// Distance uses the exact solver before falling back to the approximation.
+const ExactLimit = 10
+
+func (o Options) norm() Options {
+	if o.NodeSubst == nil {
+		o.NodeSubst = func(a, b string) float64 {
+			if a == b {
+				return 0
+			}
+			return NodeCost
+		}
+	}
+	if o.NodeInsDel == 0 {
+		o.NodeInsDel = 1
+	}
+	if o.EdgeDel == nil {
+		o.EdgeDel = func(w float64) float64 { return w }
+	}
+	if o.EdgeIns == nil {
+		o.EdgeIns = func(w float64) float64 { return w }
+	}
+	return o
+}
+
+// Distance computes the edit distance from g1 to g2, exact when both graphs
+// have at most ExactLimit nodes and the bipartite upper bound otherwise.
+func Distance(g1, g2 *topo.Graph, opt Options) (float64, Mapping) {
+	if g1.NumNodes() <= ExactLimit && g2.NumNodes() <= ExactLimit {
+		return Exact(g1, g2, opt)
+	}
+	return Approx(g1, g2, opt)
+}
+
+// PathCost evaluates the total edit cost of a specific mapping — the cost of
+// the concrete edit path it induces. It is the objective both solvers
+// minimize and is exported so callers can score externally-produced
+// mappings (e.g. a zig-zag allocation).
+func PathCost(g1, g2 *topo.Graph, m Mapping, opt Options) float64 {
+	opt = opt.norm()
+	var cost float64
+	used := make(map[topo.NodeID]bool, len(m))
+
+	n1 := g1.Nodes()
+	for _, u := range n1 {
+		v, ok := m[u]
+		if !ok {
+			cost += opt.NodeInsDel // node deletion
+			continue
+		}
+		used[v] = true
+		cost += opt.NodeSubst(g1.KindOf(u), g2.KindOf(v))
+		if opt.ExtraNodePenalty != nil {
+			cost += opt.ExtraNodePenalty(u, v)
+		}
+	}
+	for _, v := range g2.Nodes() {
+		if !used[v] {
+			cost += opt.NodeInsDel // node insertion
+		}
+	}
+	// Edge deletions/substitutions: iterate g1 edges.
+	for _, e := range g1.Edges() {
+		va, aok := m[e.A]
+		vb, bok := m[e.B]
+		if aok && bok && g2.HasEdge(va, vb) {
+			continue // matched edge, substitution cost 0
+		}
+		cost += opt.EdgeDel(e.Cost)
+	}
+	// Edge insertions: g2 edges with no matched preimage.
+	inv := make(map[topo.NodeID]topo.NodeID, len(m))
+	for u, v := range m {
+		inv[v] = u
+	}
+	for _, e := range g2.Edges() {
+		ua, aok := inv[e.A]
+		ub, bok := inv[e.B]
+		if aok && bok && g1.HasEdge(ua, ub) {
+			continue
+		}
+		cost += opt.EdgeIns(e.Cost)
+	}
+	return cost
+}
+
+// Exact computes the exact edit distance via depth-first branch and bound,
+// seeded with the bipartite approximation as the initial upper bound. It is
+// intended for graphs of at most ExactLimit-ish nodes; beyond that the
+// search space explodes.
+func Exact(g1, g2 *topo.Graph, opt Options) (float64, Mapping) {
+	opt = opt.norm()
+	n1 := g1.Nodes()
+	n2 := g2.Nodes()
+
+	bestCost, bestMap := Approx(g1, g2, opt)
+
+	// assigned[i] = index into n2, or -1 for deletion.
+	assigned := make([]int, len(n1))
+	usedV := make([]bool, len(n2))
+
+	// stepCost computes the incremental cost of assigning n1[i] -> choice
+	// (index in n2, or -1), given assignments 0..i-1.
+	stepCost := func(i, choice int) float64 {
+		var c float64
+		u := n1[i]
+		if choice < 0 {
+			c += opt.NodeInsDel
+		} else {
+			v := n2[choice]
+			c += opt.NodeSubst(g1.KindOf(u), g2.KindOf(v))
+			if opt.ExtraNodePenalty != nil {
+				c += opt.ExtraNodePenalty(u, v)
+			}
+		}
+		for j := 0; j < i; j++ {
+			uj := n1[j]
+			w1, has1 := g1.EdgeCost(u, uj)
+			var has2 bool
+			var w2 float64
+			if choice >= 0 && assigned[j] >= 0 {
+				w2, has2 = g2.EdgeCost(n2[choice], n2[assigned[j]])
+			}
+			switch {
+			case has1 && !has2:
+				c += opt.EdgeDel(w1)
+			case !has1 && has2:
+				c += opt.EdgeIns(w2)
+			}
+		}
+		return c
+	}
+
+	// completionCost: all n1 nodes assigned; remaining unused n2 nodes are
+	// inserted along with their edges to used/inserted nodes.
+	completionCost := func() float64 {
+		var c float64
+		inserted := make([]topo.NodeID, 0)
+		for j, used := range usedV {
+			if !used {
+				c += opt.NodeInsDel
+				inserted = append(inserted, n2[j])
+			}
+		}
+		isInserted := make(map[topo.NodeID]bool, len(inserted))
+		for _, v := range inserted {
+			isInserted[v] = true
+		}
+		for _, v := range inserted {
+			for _, nb := range g2.Neighbors(v) {
+				if isInserted[nb] {
+					if v < nb { // count inserted-inserted edges once
+						w, _ := g2.EdgeCost(v, nb)
+						c += opt.EdgeIns(w)
+					}
+					continue
+				}
+				w, _ := g2.EdgeCost(v, nb)
+				c += opt.EdgeIns(w)
+			}
+		}
+		return c
+	}
+
+	// Admissible remaining-cost lower bound: node count imbalance only.
+	lowerBound := func(i int) float64 {
+		rem1 := len(n1) - i
+		rem2 := 0
+		for _, used := range usedV {
+			if !used {
+				rem2++
+			}
+		}
+		diff := rem1 - rem2
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) * opt.NodeInsDel
+	}
+
+	var dfs func(i int, acc float64)
+	dfs = func(i int, acc float64) {
+		if acc+lowerBound(i) >= bestCost {
+			return
+		}
+		if i == len(n1) {
+			total := acc + completionCost()
+			if total < bestCost {
+				bestCost = total
+				m := make(Mapping, len(n1))
+				for k, ch := range assigned {
+					if ch >= 0 {
+						m[n1[k]] = n2[ch]
+					}
+				}
+				bestMap = m
+			}
+			return
+		}
+		// Order candidate choices by incremental cost so good solutions are
+		// found early and pruning bites.
+		type cand struct {
+			choice int
+			cost   float64
+		}
+		cands := make([]cand, 0, len(n2)+1)
+		for j := range n2 {
+			if !usedV[j] {
+				cands = append(cands, cand{j, stepCost(i, j)})
+			}
+		}
+		cands = append(cands, cand{-1, stepCost(i, -1)})
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].cost < cands[b].cost })
+		for _, cd := range cands {
+			assigned[i] = cd.choice
+			if cd.choice >= 0 {
+				usedV[cd.choice] = true
+			}
+			dfs(i+1, acc+cd.cost)
+			if cd.choice >= 0 {
+				usedV[cd.choice] = false
+			}
+		}
+		assigned[i] = -1
+	}
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	dfs(0, 0)
+	return bestCost, bestMap
+}
+
+// Refine improves a mapping by deterministic local search: it repeatedly
+// applies the best image-swap between two mapped source nodes, or the best
+// relocation of one source node to an unused target node, until no move
+// lowers PathCost or maxPasses passes complete. It returns the refined
+// mapping and its cost.
+//
+// The exact solver does not need this; it tightens the bipartite
+// approximation on graphs beyond ExactLimit, where assignment quality
+// directly decides virtual-to-physical core placement.
+func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64, Mapping) {
+	opt = opt.norm()
+	cur := make(Mapping, len(m))
+	for k, v := range m {
+		cur[k] = v
+	}
+	cost := PathCost(g1, g2, cur, opt)
+	n1 := g1.Nodes()
+	if maxPasses <= 0 {
+		maxPasses = 4
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		// Unused target nodes (recomputed per pass).
+		used := make(map[topo.NodeID]bool, len(cur))
+		for _, v := range cur {
+			used[v] = true
+		}
+		var freeT []topo.NodeID
+		for _, v := range g2.Nodes() {
+			if !used[v] {
+				freeT = append(freeT, v)
+			}
+		}
+		for i := 0; i < len(n1); i++ {
+			a := n1[i]
+			va, hasA := cur[a]
+			if !hasA {
+				continue
+			}
+			// Swap with a later mapped node.
+			for j := i + 1; j < len(n1); j++ {
+				b := n1[j]
+				vb, hasB := cur[b]
+				if !hasB {
+					continue
+				}
+				cur[a], cur[b] = vb, va
+				if c := PathCost(g1, g2, cur, opt); c < cost {
+					cost = c
+					va = vb
+					improved = true
+				} else {
+					cur[a], cur[b] = va, vb
+				}
+			}
+			// Relocate to an unused target.
+			for k, vt := range freeT {
+				cur[a] = vt
+				if c := PathCost(g1, g2, cur, opt); c < cost {
+					cost = c
+					freeT[k] = va
+					va = vt
+					improved = true
+				} else {
+					cur[a] = va
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cost, cur
+}
+
+// Approx computes an upper bound on the edit distance using the bipartite
+// assignment method of Riesen & Bunke: a (n1+n2) x (n1+n2) cost matrix of
+// node operations enriched with local edge-structure estimates is solved
+// optimally with the Hungarian algorithm, and the induced edit path is then
+// scored exactly with PathCost.
+func Approx(g1, g2 *topo.Graph, opt Options) (float64, Mapping) {
+	opt = opt.norm()
+	n1 := g1.Nodes()
+	n2 := g2.Nodes()
+	n := len(n1) + len(n2)
+	if n == 0 {
+		return 0, Mapping{}
+	}
+
+	const inf = math.MaxFloat64 / 4
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	avgEdge := func(g *topo.Graph, id topo.NodeID, f func(float64) float64) float64 {
+		var s float64
+		for _, nb := range g.Neighbors(id) {
+			w, _ := g.EdgeCost(id, nb)
+			s += f(w)
+		}
+		return s / 2 // each unmatched edge is counted at both endpoints
+	}
+	for i, u := range n1 {
+		for j, v := range n2 {
+			c := opt.NodeSubst(g1.KindOf(u), g2.KindOf(v))
+			if opt.ExtraNodePenalty != nil {
+				c += opt.ExtraNodePenalty(u, v)
+			}
+			// Local structure estimate: degree imbalance costs edge edits.
+			d1, d2 := g1.Degree(u), g2.Degree(v)
+			if d1 > d2 {
+				c += float64(d1-d2) * 0.5
+			} else {
+				c += float64(d2-d1) * 0.5
+			}
+			cost[i][j] = c
+		}
+		for j := range n1 { // deletion block
+			if i == j {
+				cost[i][len(n2)+j] = opt.NodeInsDel + avgEdge(g1, u, opt.EdgeDel)
+			} else {
+				cost[i][len(n2)+j] = inf
+			}
+		}
+	}
+	for i := range n2 { // insertion block
+		for j, v := range n2 {
+			if i == j {
+				cost[len(n1)+i][j] = opt.NodeInsDel + avgEdge(g2, v, opt.EdgeIns)
+			} else {
+				cost[len(n1)+i][j] = inf
+			}
+		}
+		// epsilon-to-epsilon corner: free
+		for j := range n1 {
+			cost[len(n1)+i][len(n2)+j] = 0
+		}
+	}
+
+	assign := hungarian(cost)
+	m := make(Mapping)
+	for i, u := range n1 {
+		if j := assign[i]; j < len(n2) {
+			m[u] = n2[j]
+		}
+	}
+	return PathCost(g1, g2, m, opt), m
+}

@@ -1,0 +1,372 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+func TestHungarianIdentity(t *testing.T) {
+	cost := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	a := hungarian(cost)
+	for i := range a {
+		if a[i] != i {
+			t.Fatalf("assign = %v, want identity", a)
+		}
+	}
+}
+
+func TestHungarianAntiDiagonal(t *testing.T) {
+	cost := [][]float64{
+		{9, 9, 0},
+		{9, 0, 9},
+		{0, 9, 9},
+	}
+	a := hungarian(cost)
+	want := []int{2, 1, 0}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestHungarianOptimality(t *testing.T) {
+	// Brute-force verify optimal total cost on random matrices.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(20))
+			}
+		}
+		a := hungarian(cost)
+		var got float64
+		seen := make([]bool, n)
+		for i, j := range a {
+			got += cost[i][j]
+			if seen[j] {
+				t.Fatalf("column %d assigned twice", j)
+			}
+			seen[j] = true
+		}
+		best := bruteForceAssign(cost)
+		if got != best {
+			t.Fatalf("hungarian cost = %v, brute force = %v (n=%d)", got, best, n)
+		}
+	}
+}
+
+func bruteForceAssign(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1e18
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if i == n {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i+1, acc+cost[i][perm[i]])
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestExactIdenticalGraphsIsZero(t *testing.T) {
+	g := topo.Mesh2D(2, 3)
+	d, m := Exact(g, g.Clone(), Options{})
+	if d != 0 {
+		t.Fatalf("distance = %v, want 0", d)
+	}
+	if len(m) != g.NumNodes() {
+		t.Fatalf("mapping covers %d nodes, want %d", len(m), g.NumNodes())
+	}
+}
+
+func TestExactChainVsTriangle(t *testing.T) {
+	chain := topo.Chain(3)
+	tri := topo.Ring(3)
+	d, _ := Exact(chain, tri, Options{})
+	if d != 1 { // one edge insertion turns a 3-chain into a triangle
+		t.Fatalf("chain3 -> triangle distance = %v, want 1", d)
+	}
+}
+
+func TestExactChainVsStar(t *testing.T) {
+	chain := topo.Chain(4)
+	star := topo.New()
+	star.AddEdge(0, 1, 1)
+	star.AddEdge(0, 2, 1)
+	star.AddEdge(0, 3, 1)
+	d, _ := Exact(chain, star, Options{})
+	if d != 2 { // one edge deletion + one edge insertion
+		t.Fatalf("chain4 -> star4 distance = %v, want 2", d)
+	}
+}
+
+func TestExactNodeCountMismatch(t *testing.T) {
+	a := topo.Chain(3)
+	b := topo.Chain(4)
+	d, _ := Exact(a, b, Options{})
+	// Insert one node and one edge: cost 2.
+	if d != 2 {
+		t.Fatalf("chain3 -> chain4 distance = %v, want 2", d)
+	}
+}
+
+func TestExactHeterogeneousNodePenalty(t *testing.T) {
+	a := topo.New()
+	a.AddNode(0, "core")
+	a.AddNode(1, "memif")
+	a.AddEdge(0, 1, 1)
+	b := topo.New()
+	b.AddNode(0, "core")
+	b.AddNode(1, "core")
+	b.AddEdge(0, 1, 1)
+	d, _ := Exact(a, b, Options{})
+	if d != NodeCost { // exactly one kind substitution
+		t.Fatalf("distance = %v, want %v", d, NodeCost)
+	}
+}
+
+func TestCriticalEdgePenalty(t *testing.T) {
+	// The required topology has one critical (cost 5) edge; candidates
+	// lacking it must be penalized by 5 rather than 1 (Algorithm 1,
+	// EdgeMatch with per-edge importance).
+	req := topo.New()
+	req.AddEdge(0, 1, 5) // critical
+	req.AddEdge(1, 2, 1)
+	candA := topo.Chain(3) // has both edges
+	dA, _ := Exact(req, candA, Options{})
+	if dA != 0 {
+		t.Fatalf("exact-shape candidate distance = %v, want 0", dA)
+	}
+	candB := topo.New() // only one edge: any mapping loses one req edge
+	candB.AddNode(0, topo.KindCore)
+	candB.AddEdge(1, 2, 1)
+	dB, _ := Exact(req, candB, Options{})
+	// The solver remaps nodes so the critical edge survives and only the
+	// cheap edge is deleted: cost 1, not 5.
+	if dB != 1 {
+		t.Fatalf("one-edge candidate distance = %v, want 1", dB)
+	}
+	// Forcing the identity mapping instead deletes the critical edge.
+	ident := Mapping{0: 0, 1: 1, 2: 2}
+	if pc := PathCost(req, candB, ident, Options{}); pc != 5 {
+		t.Fatalf("identity path cost = %v, want 5 (critical edge deleted)", pc)
+	}
+	candC := topo.New() // no edges at all: both edges deleted, 5 + 1
+	candC.AddNode(0, topo.KindCore)
+	candC.AddNode(1, topo.KindCore)
+	candC.AddNode(2, topo.KindCore)
+	dC, _ := Exact(req, candC, Options{})
+	if dC != 6 {
+		t.Fatalf("edgeless candidate distance = %v, want 6", dC)
+	}
+}
+
+func TestExtraNodePenalty(t *testing.T) {
+	a := topo.Chain(2)
+	b := topo.Chain(2)
+	opt := Options{ExtraNodePenalty: func(u, v topo.NodeID) float64 {
+		if u != v {
+			return 10
+		}
+		return 0
+	}}
+	d, m := Exact(a, b, opt)
+	if d != 0 {
+		t.Fatalf("distance = %v, want 0 (identity map avoids penalties)", d)
+	}
+	for u, v := range m {
+		if u != v {
+			t.Fatalf("mapping %v -> %v should be identity", u, v)
+		}
+	}
+}
+
+func TestApproxIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g1 := randomGraph(rng, 2+rng.Intn(5))
+		g2 := randomGraph(rng, 2+rng.Intn(5))
+		exact, _ := Exact(g1, g2, Options{})
+		approx, _ := Approx(g1, g2, Options{})
+		if approx < exact-1e-9 {
+			t.Fatalf("approx %v < exact %v", approx, exact)
+		}
+	}
+}
+
+func TestApproxEmptyGraphs(t *testing.T) {
+	d, m := Approx(topo.New(), topo.New(), Options{})
+	if d != 0 || len(m) != 0 {
+		t.Fatalf("empty graphs: d=%v m=%v", d, m)
+	}
+}
+
+func TestDistanceSelectsSolver(t *testing.T) {
+	small := topo.Mesh2D(2, 2)
+	d, _ := Distance(small, small.Clone(), Options{})
+	if d != 0 {
+		t.Fatalf("small distance = %v, want 0", d)
+	}
+	big := topo.Mesh2D(4, 4) // 16 nodes > ExactLimit -> approx path
+	d2, _ := Distance(big, big.Clone(), Options{})
+	if d2 != 0 {
+		t.Fatalf("big identical distance = %v, want 0 even via approx", d2)
+	}
+}
+
+func TestPathCostMatchesExactAtOptimum(t *testing.T) {
+	a := topo.Chain(4)
+	b := topo.Ring(4)
+	d, m := Exact(a, b, Options{})
+	if pc := PathCost(a, b, m, Options{}); pc != d {
+		t.Fatalf("PathCost(optimal mapping) = %v, exact = %v", pc, d)
+	}
+}
+
+func TestPathCostEmptyMappingIsFullRebuild(t *testing.T) {
+	a := topo.Chain(3) // 3 nodes, 2 edges
+	b := topo.Ring(3)  // 3 nodes, 3 edges
+	got := PathCost(a, b, Mapping{}, Options{})
+	want := 3.0 + 2.0 + 3.0 + 3.0 // delete 3 nodes + 2 edges, insert 3 nodes + 3 edges
+	if got != want {
+		t.Fatalf("PathCost(empty) = %v, want %v", got, want)
+	}
+}
+
+func TestRefineImprovesLooseMapping(t *testing.T) {
+	// Start from a deliberately bad mapping of a 3x3 mesh onto itself
+	// (reversed node order) and let Refine recover it.
+	g := topo.Mesh2D(3, 3)
+	bad := Mapping{}
+	for i := 0; i < 9; i++ {
+		bad[topo.NodeID(i)] = topo.NodeID(8 - i)
+	}
+	// The reversal is an isomorphism (180-degree rotation): cost 0 already.
+	if c := PathCost(g, g, bad, Options{}); c != 0 {
+		t.Fatalf("rotation cost = %v, want 0 (sanity)", c)
+	}
+	// A genuinely bad start: swap two non-equivalent nodes (corner and
+	// center).
+	bad[0], bad[4] = bad[4], bad[0]
+	start := PathCost(g, g, bad, Options{})
+	if start == 0 {
+		t.Fatal("corner/center swap must cost something")
+	}
+	cost, refined := Refine(g, g.Clone(), bad, Options{}, 8)
+	if cost != 0 {
+		t.Fatalf("Refine left cost %v, want 0", cost)
+	}
+	if got := PathCost(g, g, refined, Options{}); got != cost {
+		t.Fatalf("returned cost %v does not match mapping cost %v", cost, got)
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		g1 := randomGraph(rng, 4+rng.Intn(5))
+		g2 := randomGraph(rng, 4+rng.Intn(5))
+		_, m := Approx(g1, g2, Options{})
+		before := PathCost(g1, g2, m, Options{})
+		after, refined := Refine(g1, g2, m, Options{}, 4)
+		if after > before {
+			t.Fatalf("Refine worsened: %v -> %v", before, after)
+		}
+		if got := PathCost(g1, g2, refined, Options{}); math_abs(got-after) > 1e-9 {
+			t.Fatalf("cost/mapping mismatch: %v vs %v", after, got)
+		}
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	g1 := topo.Mesh2D(3, 4)
+	g2 := topo.Mesh2D(4, 3)
+	_, m := Approx(g1, g2, Options{})
+	c1, r1 := Refine(g1, g2, m, Options{}, 6)
+	c2, r2 := Refine(g1, g2, m, Options{}, 6)
+	if c1 != c2 {
+		t.Fatalf("non-deterministic cost: %v vs %v", c1, c2)
+	}
+	for k, v := range r1 {
+		if r2[k] != v {
+			t.Fatal("non-deterministic mapping")
+		}
+	}
+	// The input mapping must not be mutated.
+	if got := PathCost(g1, g2, m, Options{}); got < c1 {
+		t.Fatal("Refine mutated its input")
+	}
+}
+
+// Property: exact distance is symmetric under default (symmetric) costs.
+func TestExactSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomGraph(rng, 2+rng.Intn(4))
+		g2 := randomGraph(rng, 2+rng.Intn(4))
+		d12, _ := Exact(g1, g2, Options{})
+		d21, _ := Exact(g2, g1, Options{})
+		return math_abs(d12-d21) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance to self is always zero.
+func TestExactIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(6))
+		d, _ := Exact(g, g.Clone(), Options{})
+		return d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func math_abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func randomGraph(rng *rand.Rand, n int) *topo.Graph {
+	g := topo.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(topo.NodeID(i), topo.KindCore)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				g.AddEdge(topo.NodeID(i), topo.NodeID(j), 1)
+			}
+		}
+	}
+	return g
+}

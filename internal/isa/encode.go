@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// instrWireSize is the fixed width of one encoded instruction in bytes:
+// a real NPU controller dispatches fixed-width instruction words, and the
+// instruction-dispatch experiments (Fig 12) charge per-word costs.
+//
+// Layout (little endian):
+//
+//	op(1) pad(1) tag(2) size(4) vaddr(8) spaddr(4) peer(4)
+//	m(4) k(4) n(4) h(4) w(4) c(4) oc(4) kdim(4)
+const instrWireSize = 56
+
+// ErrTruncated is returned when decoding input that is not a whole number
+// of instruction words.
+var ErrTruncated = errors.New("isa: truncated instruction stream")
+
+// Encode serializes an instruction stream into fixed-width words.
+func Encode(stream []Instr) []byte {
+	buf := make([]byte, 0, len(stream)*instrWireSize)
+	var w [instrWireSize]byte
+	for _, in := range stream {
+		w[0] = byte(in.Op)
+		w[1] = 0
+		binary.LittleEndian.PutUint16(w[2:], in.Tag)
+		binary.LittleEndian.PutUint32(w[4:], in.Size)
+		binary.LittleEndian.PutUint64(w[8:], in.VAddr)
+		binary.LittleEndian.PutUint32(w[16:], in.SPAddr)
+		binary.LittleEndian.PutUint32(w[20:], uint32(int32(in.Peer)))
+		binary.LittleEndian.PutUint32(w[24:], uint32(in.M))
+		binary.LittleEndian.PutUint32(w[28:], uint32(in.K))
+		binary.LittleEndian.PutUint32(w[32:], uint32(in.N))
+		binary.LittleEndian.PutUint32(w[36:], uint32(in.H))
+		binary.LittleEndian.PutUint32(w[40:], uint32(in.W))
+		binary.LittleEndian.PutUint32(w[44:], uint32(in.C))
+		binary.LittleEndian.PutUint32(w[48:], uint32(in.OC))
+		binary.LittleEndian.PutUint32(w[52:], uint32(in.KDim))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+// Decode parses a stream produced by Encode.
+func Decode(buf []byte) ([]Instr, error) {
+	if len(buf)%instrWireSize != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	out := make([]Instr, 0, len(buf)/instrWireSize)
+	for off := 0; off < len(buf); off += instrWireSize {
+		w := buf[off : off+instrWireSize]
+		in := Instr{
+			Op:     Opcode(w[0]),
+			Tag:    binary.LittleEndian.Uint16(w[2:]),
+			Size:   binary.LittleEndian.Uint32(w[4:]),
+			VAddr:  binary.LittleEndian.Uint64(w[8:]),
+			SPAddr: binary.LittleEndian.Uint32(w[16:]),
+			Peer:   CoreID(int32(binary.LittleEndian.Uint32(w[20:]))),
+			M:      int32(binary.LittleEndian.Uint32(w[24:])),
+			K:      int32(binary.LittleEndian.Uint32(w[28:])),
+			N:      int32(binary.LittleEndian.Uint32(w[32:])),
+			H:      int32(binary.LittleEndian.Uint32(w[36:])),
+			W:      int32(binary.LittleEndian.Uint32(w[40:])),
+			C:      int32(binary.LittleEndian.Uint32(w[44:])),
+			OC:     int32(binary.LittleEndian.Uint32(w[48:])),
+			KDim:   int32(binary.LittleEndian.Uint32(w[52:])),
+		}
+		if !in.Op.Valid() {
+			return nil, fmt.Errorf("isa: invalid opcode %d at offset %d", w[0], off)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// WireSize returns the encoded size in bytes of n instructions.
+func WireSize(n int) int { return n * instrWireSize }

@@ -1,0 +1,134 @@
+// Package isa defines the instruction set of the simulated inter-core
+// connected NPU and per-core programs built from it.
+//
+// The ISA mirrors the programming model of §3.1: every instruction is
+// addressed to a specific NPU core (spatial programming), DMA instructions
+// move whole tensors between global memory and the core's scratchpad, and
+// send/receive instructions move intermediate results directly between
+// cores over the NoC without touching global memory.
+package isa
+
+import "fmt"
+
+// CoreID identifies an NPU core at the ISA level. In a virtualized program
+// the IDs are virtual core IDs that the vRouter translates to physical
+// ones; on bare metal they are physical IDs.
+type CoreID int
+
+// Opcode enumerates the NPU instruction types.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpNop Opcode = iota
+	// OpDMALoad transfers Size bytes from global memory address VAddr into
+	// the core's scratchpad at SPAddr (weights, inputs).
+	OpDMALoad
+	// OpDMAStore transfers Size bytes from scratchpad SPAddr to global
+	// memory address VAddr (final results).
+	OpDMAStore
+	// OpMatmul multiplies an M x K by a K x N matrix on the systolic array.
+	OpMatmul
+	// OpConv runs an H x W x C convolution with OC output channels and a
+	// KDim x KDim kernel (stride 1, same padding) on the systolic array via
+	// im2col.
+	OpConv
+	// OpVector applies an elementwise vector-unit operation over Size bytes
+	// (activation functions, layer norm, residual adds).
+	OpVector
+	// OpSend transmits Size bytes from scratchpad to core Peer over the
+	// NoC, matching a receive with the same Tag.
+	OpSend
+	// OpRecv blocks until Size bytes with matching Tag arrive from core
+	// Peer.
+	OpRecv
+	// OpBarrier synchronizes all cores of the program.
+	OpBarrier
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpNop:      "nop",
+	OpDMALoad:  "dma.load",
+	OpDMAStore: "dma.store",
+	OpMatmul:   "matmul",
+	OpConv:     "conv",
+	OpVector:   "vector",
+	OpSend:     "send",
+	OpRecv:     "recv",
+	OpBarrier:  "barrier",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { return o < numOpcodes }
+
+// Instr is one NPU instruction. Field use depends on Op; unused fields are
+// zero. The struct is deliberately flat — it models a fixed-width hardware
+// instruction word, not a software AST.
+type Instr struct {
+	Op Opcode
+
+	// Memory operands (OpDMALoad, OpDMAStore).
+	VAddr  uint64 // virtual global-memory address
+	Size   uint32 // bytes (also used by OpVector, OpSend, OpRecv)
+	SPAddr uint32 // scratchpad offset
+
+	// Matmul operands.
+	M, K, N int32
+
+	// Conv operands.
+	H, W, C, OC, KDim int32
+
+	// Communication operands (OpSend, OpRecv).
+	Peer CoreID
+	Tag  uint16
+}
+
+// String renders the instruction in a compact assembler-like form.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpDMALoad, OpDMAStore:
+		return fmt.Sprintf("%s va=%#x sp=%#x size=%d", in.Op, in.VAddr, in.SPAddr, in.Size)
+	case OpMatmul:
+		return fmt.Sprintf("matmul m=%d k=%d n=%d", in.M, in.K, in.N)
+	case OpConv:
+		return fmt.Sprintf("conv h=%d w=%d c=%d oc=%d k=%d", in.H, in.W, in.C, in.OC, in.KDim)
+	case OpVector:
+		return fmt.Sprintf("vector size=%d", in.Size)
+	case OpSend, OpRecv:
+		return fmt.Sprintf("%s peer=%d tag=%d size=%d", in.Op, in.Peer, in.Tag, in.Size)
+	default:
+		return in.Op.String()
+	}
+}
+
+// FLOPs returns the floating-point operation count of a compute
+// instruction, or 0 for non-compute instructions. Conv counts im2col
+// matmul FLOPs; Vector counts one op per element (4-byte elements).
+func (in Instr) FLOPs() int64 {
+	switch in.Op {
+	case OpMatmul:
+		return 2 * int64(in.M) * int64(in.K) * int64(in.N)
+	case OpConv:
+		m, k, n := in.ConvAsMatmul()
+		return 2 * int64(m) * int64(k) * int64(n)
+	case OpVector:
+		return int64(in.Size / 4)
+	default:
+		return 0
+	}
+}
+
+// ConvAsMatmul returns the im2col matmul dimensions of a conv instruction:
+// M = H*W output positions, K = C*KDim*KDim, N = OC.
+func (in Instr) ConvAsMatmul() (m, k, n int32) {
+	return in.H * in.W, in.C * in.KDim * in.KDim, in.OC
+}

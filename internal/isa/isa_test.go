@@ -1,0 +1,259 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	cases := map[Opcode]string{
+		OpNop:      "nop",
+		OpDMALoad:  "dma.load",
+		OpDMAStore: "dma.store",
+		OpMatmul:   "matmul",
+		OpConv:     "conv",
+		OpVector:   "vector",
+		OpSend:     "send",
+		OpRecv:     "recv",
+		OpBarrier:  "barrier",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+	}
+	if Opcode(200).Valid() {
+		t.Error("opcode 200 should be invalid")
+	}
+	if !strings.Contains(Opcode(200).String(), "200") {
+		t.Error("invalid opcode string should include the number")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpSend, Peer: 3, Tag: 7, Size: 2048}
+	if got := in.String(); !strings.Contains(got, "peer=3") || !strings.Contains(got, "tag=7") {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Instr{Op: OpMatmul, M: 8, K: 16, N: 32}).String(); !strings.Contains(got, "m=8") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFLOPs(t *testing.T) {
+	mm := Instr{Op: OpMatmul, M: 4, K: 5, N: 6}
+	if got := mm.FLOPs(); got != 2*4*5*6 {
+		t.Fatalf("matmul FLOPs = %d", got)
+	}
+	conv := Instr{Op: OpConv, H: 8, W: 8, C: 3, OC: 16, KDim: 3}
+	m, k, n := conv.ConvAsMatmul()
+	if m != 64 || k != 27 || n != 16 {
+		t.Fatalf("ConvAsMatmul = %d,%d,%d", m, k, n)
+	}
+	if got := conv.FLOPs(); got != 2*64*27*16 {
+		t.Fatalf("conv FLOPs = %d", got)
+	}
+	vec := Instr{Op: OpVector, Size: 400}
+	if got := vec.FLOPs(); got != 100 {
+		t.Fatalf("vector FLOPs = %d", got)
+	}
+	if got := (Instr{Op: OpSend, Size: 100}).FLOPs(); got != 0 {
+		t.Fatalf("send FLOPs = %d, want 0", got)
+	}
+}
+
+func TestProgramAccounting(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpDMALoad, Size: 1024})
+	p.Append(0, Instr{Op: OpMatmul, M: 2, K: 2, N: 2})
+	p.Append(1, Instr{Op: OpDMAStore, Size: 512})
+	p.Append(1, Instr{Op: OpSend, Peer: 0, Tag: 1, Size: 256})
+	p.Append(0, Instr{Op: OpRecv, Peer: 1, Tag: 1, Size: 256})
+
+	if got := p.NumInstrs(); got != 5 {
+		t.Fatalf("NumInstrs = %d", got)
+	}
+	if got := p.DMABytes(); got != 1536 {
+		t.Fatalf("DMABytes = %d", got)
+	}
+	if got := p.NoCBytes(); got != 256 {
+		t.Fatalf("NoCBytes = %d", got)
+	}
+	if got := p.TotalFLOPs(); got != 16 {
+		t.Fatalf("TotalFLOPs = %d", got)
+	}
+	cores := p.Cores()
+	if len(cores) != 2 || cores[0] != 0 || cores[1] != 1 {
+		t.Fatalf("Cores = %v", cores)
+	}
+}
+
+func TestValidateMatchedProgram(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpSend, Peer: 1, Tag: 5, Size: 64})
+	p.Append(1, Instr{Op: OpRecv, Peer: 0, Tag: 5, Size: 64})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate = %v, want nil", err)
+	}
+}
+
+func TestValidateUnmatchedSend(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpSend, Peer: 1, Tag: 5, Size: 64})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected unmatched-send error")
+	}
+}
+
+func TestValidateUnmatchedRecv(t *testing.T) {
+	p := NewProgram()
+	p.Append(1, Instr{Op: OpRecv, Peer: 0, Tag: 5, Size: 64})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected recv-without-send error")
+	}
+}
+
+func TestValidateSizeMismatch(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpSend, Peer: 1, Tag: 5, Size: 64})
+	p.Append(1, Instr{Op: OpRecv, Peer: 0, Tag: 5, Size: 65})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestValidateSelfSend(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpSend, Peer: 0, Tag: 1, Size: 64})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected send-to-self error")
+	}
+}
+
+func TestValidateZeroDims(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpMatmul, M: 0, K: 2, N: 2})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected zero-dim error")
+	}
+	q := NewProgram()
+	q.Append(0, Instr{Op: OpConv, H: 1, W: 1, C: 1, OC: 0, KDim: 3})
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected zero conv dim error")
+	}
+}
+
+func TestValidateInvalidOpcode(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: Opcode(99)})
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected invalid-opcode error")
+	}
+}
+
+func TestRemapTranslatesPeers(t *testing.T) {
+	p := NewProgram()
+	p.Append(0, Instr{Op: OpSend, Peer: 1, Tag: 1, Size: 8})
+	p.Append(1, Instr{Op: OpRecv, Peer: 0, Tag: 1, Size: 8})
+	shift := func(id CoreID) CoreID { return id + 10 }
+	q := p.Remap(shift)
+	if got := q.Cores(); len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("remapped cores = %v", got)
+	}
+	if q.Stream(10)[0].Peer != 11 {
+		t.Fatalf("send peer = %d, want 11", q.Stream(10)[0].Peer)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("remapped program invalid: %v", err)
+	}
+	// Original must be untouched.
+	if p.Stream(0)[0].Peer != 1 {
+		t.Fatal("Remap mutated the original program")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	stream := []Instr{
+		{Op: OpDMALoad, VAddr: 0x10000, SPAddr: 0x40, Size: 4096},
+		{Op: OpConv, H: 32, W: 32, C: 16, OC: 16, KDim: 3},
+		{Op: OpSend, Peer: 7, Tag: 42, Size: 2048},
+		{Op: OpBarrier},
+	}
+	buf := Encode(stream)
+	if len(buf) != WireSize(len(stream)) {
+		t.Fatalf("encoded size = %d, want %d", len(buf), WireSize(len(stream)))
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stream, got) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, stream)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf := Encode([]Instr{{Op: OpNop}})
+	if _, err := Decode(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	buf := Encode([]Instr{{Op: OpNop}})
+	buf[0] = 250
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("expected invalid opcode error")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary valid instructions,
+// including negative peers (used as sentinel values by some compilers).
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		stream := make([]Instr, n)
+		for i := range stream {
+			stream[i] = Instr{
+				Op:     Opcode(rng.Intn(int(numOpcodes))),
+				VAddr:  rng.Uint64(),
+				Size:   rng.Uint32(),
+				SPAddr: rng.Uint32(),
+				Peer:   CoreID(int32(rng.Uint32())),
+				Tag:    uint16(rng.Uint32()),
+				M:      int32(rng.Uint32()),
+				K:      int32(rng.Uint32()),
+				N:      int32(rng.Uint32()),
+				H:      int32(rng.Uint32()),
+				W:      int32(rng.Uint32()),
+				C:      int32(rng.Uint32()),
+				OC:     int32(rng.Uint32()),
+				KDim:   int32(rng.Uint32()),
+			}
+		}
+		got, err := Decode(Encode(stream))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(stream) {
+			return false
+		}
+		for i := range got {
+			if got[i] != stream[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

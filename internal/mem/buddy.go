@@ -1,0 +1,140 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Buddy is the power-of-two buddy allocator the hypervisor uses to carve
+// HBM physical memory for virtual NPUs (§5.2). Unlike a page-backed
+// allocator, whole blocks map directly to single RTT entries, so a model's
+// weights need a handful of ranges instead of thousands of pages.
+type Buddy struct {
+	total    uint64
+	minBlock uint64
+	orders   int
+	free     [][]uint64     // free[o] = sorted offsets of free blocks of order o
+	alloced  map[uint64]int // offset -> order of live allocations
+}
+
+// NewBuddy builds an allocator over total bytes with the given minimum
+// block size. Both must be powers of two with total >= minBlock.
+func NewBuddy(total, minBlock uint64) (*Buddy, error) {
+	if total == 0 || minBlock == 0 || total&(total-1) != 0 || minBlock&(minBlock-1) != 0 {
+		return nil, fmt.Errorf("mem: buddy sizes must be powers of two (total=%d min=%d)", total, minBlock)
+	}
+	if minBlock > total {
+		return nil, fmt.Errorf("mem: min block %d exceeds total %d", minBlock, total)
+	}
+	orders := bits.TrailingZeros64(total) - bits.TrailingZeros64(minBlock) + 1
+	b := &Buddy{
+		total:    total,
+		minBlock: minBlock,
+		orders:   orders,
+		free:     make([][]uint64, orders),
+		alloced:  make(map[uint64]int),
+	}
+	b.free[orders-1] = []uint64{0} // one maximal block
+	return b, nil
+}
+
+// blockSize returns the byte size of blocks of the given order.
+func (b *Buddy) blockSize(order int) uint64 { return b.minBlock << uint(order) }
+
+// orderFor returns the smallest order whose block size fits size.
+func (b *Buddy) orderFor(size uint64) int {
+	o := 0
+	for b.blockSize(o) < size {
+		o++
+	}
+	return o
+}
+
+// Alloc reserves a block of at least size bytes and returns its offset.
+// The returned block size is BlockSizeFor(size).
+func (b *Buddy) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("mem: zero-size allocation")
+	}
+	if size > b.total {
+		return 0, fmt.Errorf("mem: allocation %d exceeds pool %d", size, b.total)
+	}
+	want := b.orderFor(size)
+	// Find the smallest free order >= want.
+	o := want
+	for o < b.orders && len(b.free[o]) == 0 {
+		o++
+	}
+	if o == b.orders {
+		return 0, fmt.Errorf("mem: out of memory for %d bytes", size)
+	}
+	// Take the lowest-offset block for determinism.
+	off := b.free[o][0]
+	b.free[o] = b.free[o][1:]
+	// Split down to the wanted order, returning upper halves to free lists.
+	for o > want {
+		o--
+		buddyOff := off + b.blockSize(o)
+		b.insertFree(o, buddyOff)
+	}
+	b.alloced[off] = want
+	return off, nil
+}
+
+// BlockSizeFor reports the actual block size Alloc would reserve for size.
+func (b *Buddy) BlockSizeFor(size uint64) uint64 { return b.blockSize(b.orderFor(size)) }
+
+// Free releases the block at offset, coalescing buddies where possible.
+func (b *Buddy) Free(offset uint64) error {
+	order, ok := b.alloced[offset]
+	if !ok {
+		return fmt.Errorf("mem: free of unallocated offset %#x", offset)
+	}
+	delete(b.alloced, offset)
+	// Coalesce upward.
+	for order < b.orders-1 {
+		buddy := offset ^ b.blockSize(order)
+		idx := b.findFree(order, buddy)
+		if idx < 0 {
+			break
+		}
+		b.free[order] = append(b.free[order][:idx], b.free[order][idx+1:]...)
+		if buddy < offset {
+			offset = buddy
+		}
+		order++
+	}
+	b.insertFree(order, offset)
+	return nil
+}
+
+// FreeBytes reports the total free capacity.
+func (b *Buddy) FreeBytes() uint64 {
+	var total uint64
+	for o, list := range b.free {
+		total += uint64(len(list)) * b.blockSize(o)
+	}
+	return total
+}
+
+// LiveBlocks reports the number of outstanding allocations.
+func (b *Buddy) LiveBlocks() int { return len(b.alloced) }
+
+func (b *Buddy) insertFree(order int, off uint64) {
+	list := b.free[order]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= off })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = off
+	b.free[order] = list
+}
+
+func (b *Buddy) findFree(order int, off uint64) int {
+	list := b.free[order]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= off })
+	if i < len(list) && list[i] == off {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuddyBasicAllocFree(t *testing.T) {
+	b, err := NewBuddy(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := b.Alloc(100) // rounds to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BlockSizeFor(100) != 128 {
+		t.Fatalf("BlockSizeFor(100) = %d", b.BlockSizeFor(100))
+	}
+	if b.FreeBytes() != 1024-128 {
+		t.Fatalf("FreeBytes = %d", b.FreeBytes())
+	}
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreeBytes() != 1024 {
+		t.Fatalf("FreeBytes after free = %d", b.FreeBytes())
+	}
+	if b.LiveBlocks() != 0 {
+		t.Fatalf("LiveBlocks = %d", b.LiveBlocks())
+	}
+}
+
+func TestBuddyRejectsBadSizes(t *testing.T) {
+	if _, err := NewBuddy(1000, 64); err == nil {
+		t.Fatal("non-power-of-two total must fail")
+	}
+	if _, err := NewBuddy(1024, 63); err == nil {
+		t.Fatal("non-power-of-two min must fail")
+	}
+	if _, err := NewBuddy(64, 128); err == nil {
+		t.Fatal("min > total must fail")
+	}
+	b, _ := NewBuddy(1024, 64)
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero alloc must fail")
+	}
+	if _, err := b.Alloc(2048); err == nil {
+		t.Fatal("oversized alloc must fail")
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b, _ := NewBuddy(256, 64)
+	var offs []uint64
+	for i := 0; i < 4; i++ {
+		off, err := b.Alloc(64)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	if _, err := b.Alloc(64); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+	for _, off := range offs {
+		if err := b.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything, a maximal block must be allocatable again
+	// (coalescing works).
+	if _, err := b.Alloc(256); err != nil {
+		t.Fatalf("coalesced alloc failed: %v", err)
+	}
+}
+
+func TestBuddyDoubleFree(t *testing.T) {
+	b, _ := NewBuddy(256, 64)
+	off, _ := b.Alloc(64)
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(off); err == nil {
+		t.Fatal("double free must fail")
+	}
+	if err := b.Free(12345); err == nil {
+		t.Fatal("bogus free must fail")
+	}
+}
+
+func TestBuddyDeterministicLowestFirst(t *testing.T) {
+	b, _ := NewBuddy(1024, 64)
+	o1, _ := b.Alloc(64)
+	o2, _ := b.Alloc(64)
+	if o1 != 0 || o2 != 64 {
+		t.Fatalf("offsets = %d,%d; want 0,64", o1, o2)
+	}
+}
+
+// Property: live allocations never overlap and are always aligned to their
+// block size, under random alloc/free sequences.
+func TestBuddyInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBuddy(1<<16, 256)
+		if err != nil {
+			return false
+		}
+		type block struct{ off, size uint64 }
+		var live []block
+		for step := 0; step < 200; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := uint64(1 + rng.Intn(4096))
+				off, err := b.Alloc(size)
+				if err != nil {
+					continue // pool full: fine
+				}
+				bs := b.BlockSizeFor(size)
+				if off%bs != 0 {
+					return false // misaligned
+				}
+				for _, l := range live {
+					if off < l.off+l.size && l.off < off+bs {
+						return false // overlap
+					}
+				}
+				live = append(live, block{off, bs})
+			} else {
+				i := rng.Intn(len(live))
+				if err := b.Free(live[i].off); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Conservation: free + live == total.
+		var liveBytes uint64
+		for _, l := range live {
+			liveBytes += l.size
+		}
+		return b.FreeBytes()+liveBytes == 1<<16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// DefaultBurstBytes is the granularity of DMA requests issued to the HBM:
+// each burst needs one address translation, producing the "translation
+// request every few cycles" load described in §4.2.
+const DefaultBurstBytes = 512
+
+// DMAEngine moves tensors between global memory and a core's scratchpad.
+// It splits transfers into bursts, translates each burst address (charging
+// translation stalls to the pipeline) and streams data through its HBM
+// port. One engine belongs to one NPU core.
+type DMAEngine struct {
+	Port       *Port
+	Translator Translator
+	BurstBytes int // 0 selects DefaultBurstBytes
+
+	// Trace, when non-nil, receives every burst's virtual address and
+	// issue time. Used to reproduce the Fig 6 address traces.
+	Trace func(va uint64, at sim.Cycles)
+
+	stats DMAStats
+}
+
+// DMAStats aggregates transfer activity.
+type DMAStats struct {
+	Transfers   uint64
+	Bytes       int64
+	Bursts      uint64
+	StallCycles sim.Cycles // translation stalls
+	BusyCycles  sim.Cycles // total transfer occupancy including stalls
+}
+
+// NewDMAEngine builds an engine over the given port and translator.
+func NewDMAEngine(port *Port, tr Translator) *DMAEngine {
+	return &DMAEngine{Port: port, Translator: tr}
+}
+
+// Transfer moves size bytes starting at virtual address va, beginning no
+// earlier than `at`. It returns the completion time. Translation stalls
+// serialize with the data bursts — a TLB miss blocks all subsequent
+// bursts, the behaviour that motivates vChunk (§4.2).
+func (d *DMAEngine) Transfer(at sim.Cycles, va uint64, size int) (done sim.Cycles, err error) {
+	if size <= 0 {
+		return at, nil
+	}
+	burst := d.BurstBytes
+	if burst <= 0 {
+		burst = DefaultBurstBytes
+	}
+	start := at
+	cursor := at
+	remaining := size
+	addr := va
+	for remaining > 0 {
+		n := burst
+		if n > remaining {
+			n = remaining
+		}
+		if d.Trace != nil {
+			d.Trace(addr, cursor)
+		}
+		_, stall, terr := d.Translator.Translate(addr)
+		if terr != nil {
+			return cursor, terr
+		}
+		cursor += stall // walk blocks the DMA pipeline
+		cursor = d.Port.Transfer(cursor, n)
+		d.stats.Bursts++
+		d.stats.StallCycles += stall
+		addr += uint64(n)
+		remaining -= n
+	}
+	d.stats.Transfers++
+	d.stats.Bytes += int64(size)
+	d.stats.BusyCycles += cursor - start
+	return cursor, nil
+}
+
+// Stats returns cumulative engine statistics.
+func (d *DMAEngine) Stats() DMAStats { return d.stats }

@@ -1,0 +1,188 @@
+// Package mem models the SRAM-centric NPU memory system of §2.1 and §4.2:
+// high-capacity global memory (HBM/DRAM) reached through DMA engines, with
+// two alternative address-translation mechanisms — the page-based IOTLB
+// baseline and the paper's range-based vChunk (Range Translation Table) —
+// plus the buddy allocator the hypervisor uses to back virtual NPU memory
+// and the per-vNPU access counter that enforces bandwidth caps.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// HBM models the global memory: a set of independent memory interfaces
+// (channels), each providing bytesPerCycle of bandwidth, plus a fixed
+// access latency. Virtual NPUs attach through Ports that are restricted to
+// a subset of channels; ports sharing channels contend naturally.
+type HBM struct {
+	channels      []sim.Calendar
+	bytesPerCycle int
+	latency       sim.Cycles
+}
+
+// NewHBM builds a memory with the given channel count, per-channel
+// bandwidth in bytes per cycle, and fixed access latency in cycles.
+func NewHBM(channels, bytesPerCycle int, latency sim.Cycles) *HBM {
+	if channels < 1 {
+		channels = 1
+	}
+	if bytesPerCycle < 1 {
+		bytesPerCycle = 1
+	}
+	return &HBM{
+		channels:      make([]sim.Calendar, channels),
+		bytesPerCycle: bytesPerCycle,
+		latency:       latency,
+	}
+}
+
+// NumChannels reports the number of memory interfaces.
+func (h *HBM) NumChannels() int { return len(h.channels) }
+
+// BytesPerCycle reports per-channel bandwidth.
+func (h *HBM) BytesPerCycle() int { return h.bytesPerCycle }
+
+// TotalBandwidth reports aggregate bandwidth in bytes per cycle.
+func (h *HBM) TotalBandwidth() int { return h.bytesPerCycle * len(h.channels) }
+
+// Port returns a port restricted to the given channel indices. An empty
+// list grants access to every channel. Out-of-range indices are an error.
+func (h *HBM) Port(channels ...int) (*Port, error) {
+	if len(channels) == 0 {
+		channels = make([]int, len(h.channels))
+		for i := range channels {
+			channels[i] = i
+		}
+	}
+	for _, c := range channels {
+		if c < 0 || c >= len(h.channels) {
+			return nil, fmt.Errorf("mem: channel %d out of range [0,%d)", c, len(h.channels))
+		}
+	}
+	return &Port{hbm: h, channels: channels}, nil
+}
+
+// Reset clears all channel reservations for a fresh run.
+func (h *HBM) Reset() {
+	for i := range h.channels {
+		h.channels[i].Reset()
+	}
+}
+
+// Port is a virtual NPU's view of the HBM: a channel subset and an
+// optional bandwidth cap (the vChunk access counter, §4.2).
+type Port struct {
+	hbm      *HBM
+	channels []int
+	counter  *AccessCounter
+	bytes    int64
+}
+
+// SetBandwidthCap installs an access counter limiting this port to
+// maxBytes per window of windowCycles. A nil-safe zero maxBytes removes
+// the cap.
+func (p *Port) SetBandwidthCap(maxBytes int64, window sim.Cycles) {
+	if maxBytes <= 0 || window <= 0 {
+		p.counter = nil
+		return
+	}
+	p.counter = &AccessCounter{MaxBytes: maxBytes, Window: window}
+}
+
+// SetCounter attaches a (possibly shared) access counter. The paper's
+// access counter budgets a whole virtual NPU, so the hypervisor attaches
+// one counter to every port of the vNPU (§4.2).
+func (p *Port) SetCounter(c *AccessCounter) { p.counter = c }
+
+// Transfer moves size bytes through the port starting no earlier than at,
+// and returns when the transfer completes. Transfers serialize on the
+// earliest-free channel of the port's subset; the access counter may delay
+// the start to enforce the bandwidth cap.
+func (p *Port) Transfer(at sim.Cycles, size int) (done sim.Cycles) {
+	if size <= 0 {
+		return at
+	}
+	if p.counter != nil {
+		at = p.counter.Admit(at, int64(size))
+	}
+	dur := sim.Cycles((size + p.hbm.bytesPerCycle - 1) / p.hbm.bytesPerCycle)
+	// Place the burst in the earliest idle gap across the port's channels
+	// (ties to the lowest channel index, keeping runs deterministic).
+	best := p.channels[0]
+	bestStart := p.hbm.channels[best].Probe(at, dur)
+	for _, c := range p.channels[1:] {
+		if s := p.hbm.channels[c].Probe(at, dur); s < bestStart {
+			best, bestStart = c, s
+		}
+	}
+	start := p.hbm.channels[best].Reserve(at, dur)
+	p.bytes += int64(size)
+	return start + dur + p.hbm.latency
+}
+
+// NumChannels reports how many memory interfaces this port spans — the
+// paper makes warm-up bandwidth proportional to this (§6.3.4).
+func (p *Port) NumChannels() int { return len(p.channels) }
+
+// BytesMoved reports the cumulative traffic through this port.
+func (p *Port) BytesMoved() int64 { return p.bytes }
+
+// Bandwidth reports the port's peak bandwidth in bytes per cycle.
+func (p *Port) Bandwidth() int { return len(p.channels) * p.hbm.bytesPerCycle }
+
+// AccessCounter implements the vChunk bandwidth limiter (§4.2, "Access
+// Counter") as a token bucket: the virtual NPU earns MaxBytes of budget
+// per Window cycles, with at most MaxBytes of accumulated burst. Requests
+// are paced smoothly to the average rate rather than released in
+// window-sized clumps — clumped release would head-of-line-block other
+// tenants on the shared memory interface instead of protecting them.
+type AccessCounter struct {
+	MaxBytes int64
+	Window   sim.Cycles
+
+	level   int64 // available tokens; may go negative for oversize debt
+	last    sim.Cycles
+	started bool
+	delayed uint64
+}
+
+// Admit returns the earliest start time at or after `at` at which a
+// transfer of size bytes may begin without exceeding the rate. Requests
+// larger than the bucket are admitted once the bucket is full and leave a
+// debt that later requests pay off.
+func (a *AccessCounter) Admit(at sim.Cycles, size int64) sim.Cycles {
+	if !a.started {
+		a.level = a.MaxBytes // the bucket starts full
+		a.started = true
+	}
+	if at > a.last {
+		a.level += int64(at-a.last) * a.MaxBytes / int64(a.Window)
+		if a.level > a.MaxBytes {
+			a.level = a.MaxBytes
+		}
+		a.last = at
+	}
+	required := size
+	if required > a.MaxBytes {
+		required = a.MaxBytes
+	}
+	if a.level < required {
+		need := required - a.level
+		dt := sim.Cycles((need*int64(a.Window) + a.MaxBytes - 1) / a.MaxBytes)
+		at += dt
+		a.level += int64(dt) * a.MaxBytes / int64(a.Window)
+		if a.level > a.MaxBytes {
+			a.level = a.MaxBytes
+		}
+		a.last = at
+		a.delayed++
+	}
+	a.level -= size
+	return at
+}
+
+// Delayed reports how many requests the counter paced to a later time — a
+// direct measure of throttling.
+func (a *AccessCounter) Delayed() uint64 { return a.delayed }

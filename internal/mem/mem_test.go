@@ -1,0 +1,439 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+func TestHBMPortBandwidth(t *testing.T) {
+	h := NewHBM(2, 16, 10)
+	p, err := h.Port()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1600 bytes at 16 B/cycle = 100 cycles + 10 latency.
+	done := p.Transfer(0, 1600)
+	if done != 110 {
+		t.Fatalf("done = %v, want 110", done)
+	}
+	if p.BytesMoved() != 1600 {
+		t.Fatalf("BytesMoved = %d", p.BytesMoved())
+	}
+}
+
+func TestHBMChannelsParallel(t *testing.T) {
+	h := NewHBM(2, 16, 0)
+	p, _ := h.Port()
+	d1 := p.Transfer(0, 160) // channel 0: 0..10
+	d2 := p.Transfer(0, 160) // channel 1: 0..10
+	d3 := p.Transfer(0, 160) // back to channel 0: 10..20
+	if d1 != 10 || d2 != 10 || d3 != 20 {
+		t.Fatalf("done = %v,%v,%v; want 10,10,20", d1, d2, d3)
+	}
+}
+
+func TestHBMPortSubset(t *testing.T) {
+	h := NewHBM(4, 16, 0)
+	p1, err := h.Port(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := h.Port(1, 2, 3)
+	if p1.NumChannels() != 1 || p2.NumChannels() != 3 {
+		t.Fatalf("channels = %d,%d", p1.NumChannels(), p2.NumChannels())
+	}
+	if p1.Bandwidth() != 16 || p2.Bandwidth() != 48 {
+		t.Fatalf("bandwidth = %d,%d", p1.Bandwidth(), p2.Bandwidth())
+	}
+	// Ports on disjoint channels do not contend.
+	d1 := p1.Transfer(0, 160)
+	d2 := p1.Transfer(0, 160)
+	d3 := p2.Transfer(0, 160)
+	if d1 != 10 || d2 != 20 || d3 != 10 {
+		t.Fatalf("done = %v,%v,%v", d1, d2, d3)
+	}
+}
+
+func TestHBMPortContention(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	a, _ := h.Port()
+	b, _ := h.Port()
+	d1 := a.Transfer(0, 160)
+	d2 := b.Transfer(0, 160) // same channel: serialized
+	if d1 != 10 || d2 != 20 {
+		t.Fatalf("done = %v,%v; want 10,20", d1, d2)
+	}
+}
+
+func TestHBMPortRangeError(t *testing.T) {
+	h := NewHBM(2, 16, 0)
+	if _, err := h.Port(5); err == nil {
+		t.Fatal("expected out-of-range channel error")
+	}
+}
+
+func TestAccessCounterPacesToRate(t *testing.T) {
+	var a AccessCounter
+	a.MaxBytes = 1000 // 10 bytes/cycle average
+	a.Window = 100
+	if got := a.Admit(0, 600); got != 0 {
+		t.Fatalf("first admit = %v, want 0 (bucket starts full)", got)
+	}
+	// 400 tokens remain; at t=10 the bucket has 400+100=500 of the 600
+	// needed: wait ceil(100/10) = 10 more cycles.
+	if got := a.Admit(10, 600); got != 20 {
+		t.Fatalf("paced admit = %v, want 20", got)
+	}
+	if a.Delayed() != 1 {
+		t.Fatalf("Delayed = %d, want 1", a.Delayed())
+	}
+	// After a long idle period the bucket refills (but never above max).
+	if got := a.Admit(1000, 600); got != 1000 {
+		t.Fatalf("post-idle admit = %v, want 1000", got)
+	}
+}
+
+func TestAccessCounterOversizeRequest(t *testing.T) {
+	var a AccessCounter
+	a.MaxBytes = 100
+	a.Window = 50
+	// A request larger than the bucket is admitted once the bucket is
+	// full (immediately here) and leaves a debt.
+	if got := a.Admit(0, 500); got != 0 {
+		t.Fatalf("oversize admit = %v, want 0", got)
+	}
+	// The debt (400 bytes = 200 cycles at 2 B/cycle) delays the next
+	// request: it needs the bucket back to 100 tokens, i.e. 500 bytes of
+	// refill = 250 cycles.
+	if got := a.Admit(0, 100); got != 250 {
+		t.Fatalf("post-debt admit = %v, want 250", got)
+	}
+}
+
+func TestAccessCounterSmoothNoBursts(t *testing.T) {
+	// A saturating stream of 512-byte requests at 1/4 the channel rate
+	// must be paced evenly, not released in window bursts: consecutive
+	// admissions are >= size/rate apart once the initial burst drains.
+	var a AccessCounter
+	a.MaxBytes = 4 * 65536 // 4 B/cycle
+	a.Window = 65536
+	var prev sim.Cycles
+	for i := 0; i < 1000; i++ {
+		at := a.Admit(prev, 512)
+		if i > 600 { // well past the initial bucket
+			if gap := at - prev; gap < 128 {
+				t.Fatalf("request %d admitted %v after previous, want >= 128 (paced)", i, gap)
+			}
+		}
+		prev = at
+	}
+}
+
+func TestPortBandwidthCap(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	p, _ := h.Port()
+	p.SetBandwidthCap(160, 100) // 1.6 B/cycle average
+	d1 := p.Transfer(0, 160)    // fills window 0
+	d2 := p.Transfer(d1, 160)   // pushed to window 1
+	if d1 != 10 {
+		t.Fatalf("d1 = %v, want 10", d1)
+	}
+	if d2 != 110 {
+		t.Fatalf("d2 = %v, want 110 (throttled to next window)", d2)
+	}
+	p.SetBandwidthCap(0, 0) // remove cap
+	d3 := p.Transfer(d2, 160)
+	if d3 != d2+10 {
+		t.Fatalf("d3 = %v, want %v", d3, d2+10)
+	}
+}
+
+func TestIdentityTranslator(t *testing.T) {
+	var id Identity
+	pa, stall, err := id.Translate(0xdead)
+	if err != nil || pa != 0xdead || stall != 0 {
+		t.Fatalf("identity: %v %v %v", pa, stall, err)
+	}
+	if id.Stats().HitRate() != 1 {
+		t.Fatalf("hit rate = %v", id.Stats().HitRate())
+	}
+}
+
+func TestPageTableMapAndAlignment(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0x1000, 0x8000, 2*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if pt.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", pt.NumPages())
+	}
+	if err := pt.Map(0x1001, 0x8000, PageSize, PermRW); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+func TestPageTranslatorHitMiss(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0x10000, 0x90000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPageTranslator(pt, 4)
+	pa, stall, err := tr.Translate(0x10010)
+	if err != nil || pa != 0x90010 {
+		t.Fatalf("translate: pa=%#x err=%v", pa, err)
+	}
+	if stall == 0 {
+		t.Fatal("first access must miss")
+	}
+	_, stall2, _ := tr.Translate(0x10020) // same page: hit
+	if stall2 != 0 {
+		t.Fatalf("hit stall = %v, want 0", stall2)
+	}
+	s := tr.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPageTranslatorUnmapped(t *testing.T) {
+	tr := NewPageTranslator(NewPageTable(), 4)
+	if _, _, err := tr.Translate(0x1234); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestPageTranslatorLRUEviction(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 0x100000, 8*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPageTranslator(pt, 2)
+	tr.Translate(0 * PageSize)
+	tr.Translate(1 * PageSize)
+	tr.Translate(2 * PageSize) // evicts page 0
+	if _, stall, _ := tr.Translate(0 * PageSize); stall == 0 {
+		t.Fatal("page 0 should have been evicted (miss expected)")
+	}
+	if _, stall, _ := tr.Translate(2 * PageSize); stall != 0 {
+		t.Fatal("page 2 should still be resident")
+	}
+}
+
+func TestPageTranslatorPrefetchHeadroom(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0, 0x100000, 16*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	small := NewPageTranslator(pt, 4)  // no headroom vs 4 streams
+	large := NewPageTranslator(pt, 32) // headroom: overlapped walks
+	_, s1, _ := small.Translate(0)
+	_, s2, _ := large.Translate(0)
+	if s2 >= s1 {
+		t.Fatalf("headroom TLB stall %v must be < small TLB stall %v", s2, s1)
+	}
+}
+
+func TestRTTRejectsOverlap(t *testing.T) {
+	_, err := NewRTT([]RTTEntry{
+		{VA: 0x1000, PA: 0x2000, Size: 0x1000, Perm: PermRW},
+		{VA: 0x1800, PA: 0x9000, Size: 0x1000, Perm: PermRW},
+	})
+	if err == nil {
+		t.Fatal("expected overlap error")
+	}
+	_, err = NewRTT([]RTTEntry{{VA: 0x1000, Size: 0, Perm: PermRW}})
+	if err == nil {
+		t.Fatal("expected empty-range error")
+	}
+}
+
+func TestRTTLookupMonotonicPattern(t *testing.T) {
+	rtt, err := NewRTT([]RTTEntry{
+		{VA: 0x1000, PA: 0xa000, Size: 0x1000, Perm: PermRW},
+		{VA: 0x2000, PA: 0xb000, Size: 0x1000, Perm: PermRead},
+		{VA: 0x3000, PA: 0xc000, Size: 0x1000, Perm: PermRead},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotonic walk: each step beyond the current entry costs few probes.
+	idx, probes, found := rtt.lookup(0x1008)
+	if !found || idx != 0 || probes != 1 {
+		t.Fatalf("step1: idx=%d probes=%d found=%v", idx, probes, found)
+	}
+	idx, probes, found = rtt.lookup(0x2008)
+	if !found || idx != 1 {
+		t.Fatalf("step2: idx=%d found=%v", idx, found)
+	}
+	if probes > 2 {
+		t.Fatalf("monotonic next entry took %d probes, want <= 2", probes)
+	}
+	idx, _, found = rtt.lookup(0x3008)
+	if !found || idx != 2 {
+		t.Fatalf("step3: idx=%d", idx)
+	}
+}
+
+func TestRTTLastVIterationRestart(t *testing.T) {
+	// Five ranges, but the loop only touches the first three (the trailing
+	// ranges belong to other tensors of the same core). Restarting the
+	// iteration from entry 2 must scan past entries 3 and 4 the first
+	// time; last_v short-circuits that on later iterations (Pattern-3).
+	rtt, err := NewRTT([]RTTEntry{
+		{VA: 0x1000, PA: 0xa000, Size: 0x1000},
+		{VA: 0x2000, PA: 0xb000, Size: 0x1000},
+		{VA: 0x3000, PA: 0xc000, Size: 0x1000},
+		{VA: 0x8000, PA: 0xd000, Size: 0x1000},
+		{VA: 0x9000, PA: 0xe000, Size: 0x1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 1: touch entries 0,1,2.
+	rtt.lookup(0x1000)
+	rtt.lookup(0x2000)
+	rtt.lookup(0x3000)
+	// Iteration 2 restart: circular scan 3 -> 4 -> 0 (4 probes), teaches
+	// entry 2's last_v.
+	_, probesFirstWrap, found := rtt.lookup(0x1000)
+	if !found || probesFirstWrap != 4 {
+		t.Fatalf("first wrap probes = %d, want 4", probesFirstWrap)
+	}
+	rtt.lookup(0x2000)
+	rtt.lookup(0x3000)
+	// Iteration 3 restart: last_v of entry 2 now points at entry 0.
+	_, probesSecondWrap, _ := rtt.lookup(0x1000)
+	if probesSecondWrap != 2 {
+		t.Fatalf("last_v restart took %d probes, want 2", probesSecondWrap)
+	}
+}
+
+func TestRangeTranslatorHitAfterMiss(t *testing.T) {
+	rtt, _ := NewRTT([]RTTEntry{
+		{VA: 0x1000, PA: 0xa000, Size: 0x2000, Perm: PermRW},
+	})
+	tr := NewRangeTranslator(rtt)
+	pa, stall, err := tr.Translate(0x1800)
+	if err != nil || pa != 0xa800 {
+		t.Fatalf("pa=%#x err=%v", pa, err)
+	}
+	if stall == 0 {
+		t.Fatal("first translate must miss")
+	}
+	pa2, stall2, _ := tr.Translate(0x2000)
+	if pa2 != 0xb000 || stall2 != 0 {
+		t.Fatalf("second translate pa=%#x stall=%v, want hit", pa2, stall2)
+	}
+	s := tr.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRangeTranslatorUnmapped(t *testing.T) {
+	rtt, _ := NewRTT([]RTTEntry{{VA: 0x1000, PA: 0xa000, Size: 0x1000}})
+	tr := NewRangeTranslator(rtt)
+	if _, _, err := tr.Translate(0x9999999); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestRangeTranslatorBeatsPageOnStreaming(t *testing.T) {
+	// A 1 MiB tensor streamed burst by burst: vChunk should charge far
+	// less stall than a 4-entry page TLB — the core claim of Fig 14.
+	const tensor = 1 << 20
+	pt := NewPageTable()
+	if err := pt.Map(0, 1<<30, tensor, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	pageTr := NewPageTranslator(pt, 4)
+	rtt, _ := NewRTT([]RTTEntry{{VA: 0, PA: 1 << 30, Size: tensor, Perm: PermRead}})
+	rangeTr := NewRangeTranslator(rtt)
+
+	var pageStall, rangeStall sim.Cycles
+	for off := 0; off < tensor; off += DefaultBurstBytes {
+		_, s1, err1 := pageTr.Translate(uint64(off))
+		_, s2, err2 := rangeTr.Translate(uint64(off))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		pageStall += s1
+		rangeStall += s2
+	}
+	if rangeStall*10 >= pageStall {
+		t.Fatalf("range stall %v should be <10%% of page stall %v", rangeStall, pageStall)
+	}
+}
+
+func TestDMAEngineTransfer(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	p, _ := h.Port()
+	var id Identity
+	d := NewDMAEngine(p, &id)
+	done, err := d.Transfer(0, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 64 { // 1024/16
+		t.Fatalf("done = %v, want 64", done)
+	}
+	s := d.Stats()
+	if s.Transfers != 1 || s.Bytes != 1024 || s.Bursts != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDMAEngineStallsSerializeWithBursts(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	p, _ := h.Port()
+	pt := NewPageTable()
+	if err := pt.Map(0, 0x100000, 8*PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPageTranslator(pt, 4)
+	d := NewDMAEngine(p, tr)
+	done, err := d.Transfer(0, 0, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := sim.Cycles(2 * PageSize / 16)
+	if done <= ideal {
+		t.Fatalf("done = %v must exceed ideal %v due to walks", done, ideal)
+	}
+	if d.Stats().StallCycles == 0 {
+		t.Fatal("expected translation stalls")
+	}
+}
+
+func TestDMAEngineTraceCallback(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	p, _ := h.Port()
+	var id Identity
+	d := NewDMAEngine(p, &id)
+	var addrs []uint64
+	d.Trace = func(va uint64, at sim.Cycles) { addrs = append(addrs, va) }
+	if _, err := d.Transfer(0, 0x4000, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != 0x4000 || addrs[1] != 0x4200 {
+		t.Fatalf("trace = %#x", addrs)
+	}
+}
+
+func TestDMAEngineErrorPropagates(t *testing.T) {
+	h := NewHBM(1, 16, 0)
+	p, _ := h.Port()
+	tr := NewPageTranslator(NewPageTable(), 4)
+	d := NewDMAEngine(p, tr)
+	if _, err := d.Transfer(0, 0xbad000, 64); err == nil {
+		t.Fatal("expected unmapped error")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRW.String() != "W/R" || PermRead.String() != "R" || PermWrite.String() != "W" || Perm(0).String() != "-" {
+		t.Fatal("perm strings wrong")
+	}
+}

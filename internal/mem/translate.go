@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// Translator converts virtual global-memory addresses to physical ones and
+// charges the translation stall observed by the DMA pipeline. A translator
+// belongs to one DMA engine (one NPU core), matching the per-core local
+// TLBs of Figure 1.
+type Translator interface {
+	// Translate maps one burst address. stall is the pipeline stall in
+	// cycles caused by this translation (0 on a TLB hit).
+	Translate(va uint64) (pa uint64, stall sim.Cycles, err error)
+	// Stats reports cumulative hit/miss counters.
+	Stats() TranslateStats
+}
+
+// TranslateStats counts translation outcomes.
+type TranslateStats struct {
+	Hits   uint64
+	Misses uint64
+	// Probes counts table entries touched during misses (range walks or
+	// page walks).
+	Probes uint64
+	// StallCycles accumulates all translation stalls charged.
+	StallCycles sim.Cycles
+}
+
+// HitRate returns hits / (hits+misses), or 1 when there were no lookups.
+func (s TranslateStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ErrUnmapped is returned for addresses no table entry covers.
+var ErrUnmapped = errors.New("mem: unmapped address")
+
+// ErrPermission is returned when an access violates entry permissions.
+var ErrPermission = errors.New("mem: permission denied")
+
+// Identity is the no-translation baseline ("Physical Mem" in Fig 14):
+// virtual addresses are physical addresses and no stall is ever charged.
+type Identity struct{ stats TranslateStats }
+
+// Translate implements Translator with zero cost.
+func (t *Identity) Translate(va uint64) (uint64, sim.Cycles, error) {
+	t.stats.Hits++
+	return va, 0, nil
+}
+
+// Stats implements Translator.
+func (t *Identity) Stats() TranslateStats { return t.stats }
+
+// Perm is an RTT permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermRW = PermRead | PermWrite
+)
+
+// String renders the permission bits as in Figure 7 ("W/R", "R", ...).
+func (p Perm) String() string {
+	switch p {
+	case PermRW:
+		return "W/R"
+	case PermRead:
+		return "R"
+	case PermWrite:
+		return "W"
+	default:
+		return "-"
+	}
+}
+
+func fmtRange(va uint64, size uint64) string {
+	return fmt.Sprintf("[%#x,%#x)", va, va+size)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X: demo", "model", "fps", "speedup")
+	tb.AddRow("resnet", 120.5, 1.2839)
+	tb.AddRow("gpt2-small-long-name", 3.0, 1.0)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table X: demo", "model", "resnet", "120.5", "1.284", "gpt2-small-long-name"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: every line after the separator starts with the padded
+	// first column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:     "1",
+		1.5:     "1.5",
+		1.2839:  "1.284",
+		0.125:   "0.125",
+		100.001: "100.001",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("divide by zero must be +Inf")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{50, 100, 150}, 100)
+	want := []float64{0.5, 1, 1.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	zero := Normalize([]float64{1}, 0)
+	if zero[0] != 0 {
+		t.Fatal("zero reference must yield zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty must be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive values must yield 0")
+	}
+}

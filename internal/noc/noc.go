@@ -1,0 +1,194 @@
+// Package noc models the network-on-chip that connects NPU cores (§4.1.2):
+// a packet-switched 2D-mesh with dimension-order routing, per-link
+// bandwidth and contention, and the accounting needed to observe NoC
+// interference between virtual NPUs.
+//
+// Routing policy lives with the caller: the physical device uses DOR paths
+// (DORPath), while the vRouter confines packets to a virtual NPU's cores
+// with ConstrainedPath — the two strategies of §4.1.2. The network itself
+// just moves packets along explicit paths, reserving each directed link.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Config sets the NoC timing parameters. The defaults reproduce the
+// magnitudes of Table 3 (about 140 cycles per 2 KiB routing packet,
+// roughly 1–2%% of which is virtualization overhead when vRouter lookups
+// are added by the caller).
+type Config struct {
+	// LinkBytesPerCycle is per-link bandwidth. 0 selects 16.
+	LinkBytesPerCycle int
+	// HopCycles is the router traversal latency per hop. 0 selects 3.
+	HopCycles sim.Cycles
+	// IssueCycles is the per-packet send-engine issue overhead. 0 selects 12.
+	IssueCycles sim.Cycles
+	// HandshakeCycles is the one-time send/receive handshake cost per
+	// Transfer call. 0 selects 20.
+	HandshakeCycles sim.Cycles
+	// PacketBytes is the maximum payload of one routing packet. 0 selects
+	// 2048, the routing-packet size used in §6.2.2.
+	PacketBytes int
+}
+
+func (c Config) norm() Config {
+	if c.LinkBytesPerCycle <= 0 {
+		c.LinkBytesPerCycle = 16
+	}
+	if c.HopCycles == 0 {
+		c.HopCycles = 3
+	}
+	if c.IssueCycles == 0 {
+		c.IssueCycles = 12
+	}
+	if c.HandshakeCycles == 0 {
+		c.HandshakeCycles = 20
+	}
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = 2048
+	}
+	return c
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Transfers uint64
+	Packets   uint64
+	Bytes     int64
+	// InterferenceHops counts path hops that crossed a router owned by a
+	// different virtual NPU than the packet's — the "NoC interference" of
+	// §4.1.2.
+	InterferenceHops uint64
+}
+
+// Unowned marks a core that belongs to no virtual NPU.
+const Unowned = 0
+
+// Network is a NoC over a physical topology. Links are directed: the a->b
+// and b->a directions of a mesh link have independent bandwidth, as in
+// real full-duplex NoCs.
+type Network struct {
+	graph *topo.Graph
+	cfg   Config
+	links map[[2]topo.NodeID]*sim.Resource
+	owner map[topo.NodeID]int // core -> virtual NPU tag (Unowned = none)
+	stats Stats
+}
+
+// New builds a network over the given topology.
+func New(g *topo.Graph, cfg Config) *Network {
+	return &Network{
+		graph: g,
+		cfg:   cfg.norm(),
+		links: make(map[[2]topo.NodeID]*sim.Resource),
+		owner: make(map[topo.NodeID]int),
+	}
+}
+
+// Graph returns the underlying physical topology.
+func (n *Network) Graph() *topo.Graph { return n.graph }
+
+// Config returns the normalized configuration in use.
+func (n *Network) Config() Config { return n.cfg }
+
+// SetOwner tags a core as belonging to virtual NPU vm (Unowned clears).
+// Ownership only affects interference accounting, never routing.
+func (n *Network) SetOwner(core topo.NodeID, vm int) {
+	if vm == Unowned {
+		delete(n.owner, core)
+		return
+	}
+	n.owner[core] = vm
+}
+
+// Owner reports the virtual NPU tag of a core.
+func (n *Network) Owner(core topo.NodeID) int { return n.owner[core] }
+
+// Stats returns cumulative network statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats clears counters but keeps link state.
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+func (n *Network) link(a, b topo.NodeID) *sim.Resource {
+	key := [2]topo.NodeID{a, b}
+	l, ok := n.links[key]
+	if !ok {
+		l = &sim.Resource{}
+		n.links[key] = l
+	}
+	return l
+}
+
+// Transfer moves size bytes along path (a sequence of adjacent cores,
+// path[0] = source, path[len-1] = destination) starting no earlier than
+// `at`, splitting the payload into routing packets. It returns the arrival
+// time of the last byte at the destination. vm tags the owning virtual NPU
+// for interference accounting (Unowned for bare metal).
+//
+// Timing models wormhole switching: one handshake per call, then per
+// packet an issue overhead and a traversal that holds every directed link
+// of the path for the packet's serialization time (staggered by HopCycles
+// per hop) — a packet in flight occupies its whole path, so longer routes
+// consume proportionally more aggregate link time and contention between
+// crossing flows grows with path length, the effect that punishes poor
+// topology mappings in Fig 18.
+func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) (sim.Cycles, error) {
+	if len(path) < 2 {
+		return at, fmt.Errorf("noc: path needs at least 2 nodes, got %d", len(path))
+	}
+	hops := len(path) - 1
+	links := make([]*sim.Resource, hops)
+	for i := 0; i+1 < len(path); i++ {
+		if !n.graph.HasEdge(path[i], path[i+1]) {
+			return at, fmt.Errorf("noc: no link %d -> %d", path[i], path[i+1])
+		}
+		links[i] = n.link(path[i], path[i+1])
+	}
+	if size <= 0 {
+		return at + n.cfg.HandshakeCycles, nil
+	}
+
+	// Interference: hops through routers owned by someone else. The source
+	// and destination belong to the flow, intermediate routers may not.
+	for _, node := range path[1 : len(path)-1] {
+		if o := n.owner[node]; o != Unowned && o != vm {
+			n.stats.InterferenceHops++
+		}
+	}
+
+	cursor := at + n.cfg.HandshakeCycles
+	var arrival sim.Cycles
+	remaining := size
+	for remaining > 0 {
+		pkt := n.cfg.PacketBytes
+		if pkt > remaining {
+			pkt = remaining
+		}
+		dur := sim.Cycles((pkt + n.cfg.LinkBytesPerCycle - 1) / n.cfg.LinkBytesPerCycle)
+		cursor += n.cfg.IssueCycles
+		// Wormhole allocation: the packet needs every link of the path,
+		// link i starting i*HopCycles after the header leaves the source.
+		start := cursor
+		for i, l := range links {
+			if t := l.FreeAt() - sim.Cycles(i)*n.cfg.HopCycles; t > start {
+				start = t
+			}
+		}
+		for i, l := range links {
+			l.Reserve(start+sim.Cycles(i)*n.cfg.HopCycles, dur)
+		}
+		arrival = start + sim.Cycles(hops)*n.cfg.HopCycles + dur
+		// The next packet can inject once the first link frees.
+		cursor = start + dur
+		n.stats.Packets++
+		remaining -= pkt
+	}
+	n.stats.Transfers++
+	n.stats.Bytes += int64(size)
+	return arrival, nil
+}

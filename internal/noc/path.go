@@ -1,0 +1,171 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// DORPath computes the dimension-order route (X first, then Y) between two
+// mesh nodes — the deadlock-free default routing of §4.1.2. Both nodes
+// must carry mesh coordinates, and the mesh must contain every
+// intermediate node; otherwise an error is returned.
+func DORPath(g *topo.Graph, src, dst topo.NodeID) ([]topo.NodeID, error) {
+	if src == dst {
+		return []topo.NodeID{src}, nil
+	}
+	sc, ok1 := g.CoordOf(src)
+	dc, ok2 := g.CoordOf(dst)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("noc: DOR needs mesh coordinates for %d and %d", src, dst)
+	}
+	byCoord := make(map[topo.Coord]topo.NodeID, g.NumNodes())
+	for _, id := range g.Nodes() {
+		if c, ok := g.CoordOf(id); ok {
+			byCoord[c] = id
+		}
+	}
+	path := []topo.NodeID{src}
+	cur := sc
+	step := func(next topo.Coord) error {
+		id, ok := byCoord[next]
+		if !ok {
+			return fmt.Errorf("noc: DOR path leaves the mesh at (%d,%d)", next.X, next.Y)
+		}
+		if !g.HasEdge(path[len(path)-1], id) {
+			return fmt.Errorf("noc: missing mesh link %d -> %d", path[len(path)-1], id)
+		}
+		path = append(path, id)
+		cur = next
+		return nil
+	}
+	for cur.X != dc.X {
+		next := cur
+		if dc.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		if err := step(next); err != nil {
+			return nil, err
+		}
+	}
+	for cur.Y != dc.Y {
+		next := cur
+		if dc.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		if err := step(next); err != nil {
+			return nil, err
+		}
+	}
+	return path, nil
+}
+
+// ConstrainedPath computes a shortest path from src to dst that stays
+// inside the allowed node set — the paper's second routing strategy, where
+// predefined directions in the routing table keep NoC packets confined to
+// the virtual topology (§4.1.2, "NoC non-interference"). It returns nil
+// with an error when dst is unreachable within the constraint (e.g. a
+// disconnected fragment allocation).
+//
+// Ties are broken deterministically by preferring lower node IDs, so the
+// same virtual NPU always gets the same routes.
+func ConstrainedPath(g *topo.Graph, src, dst topo.NodeID, allowed map[topo.NodeID]bool) ([]topo.NodeID, error) {
+	if !allowed[src] || !allowed[dst] {
+		return nil, fmt.Errorf("noc: endpoints %d,%d not in allowed set", src, dst)
+	}
+	if src == dst {
+		return []topo.NodeID{src}, nil
+	}
+	prev := map[topo.NodeID]topo.NodeID{src: src}
+	frontier := []topo.NodeID{src}
+	for len(frontier) > 0 {
+		if _, done := prev[dst]; done {
+			break
+		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		var next []topo.NodeID
+		for _, cur := range frontier {
+			for _, nb := range g.Neighbors(cur) {
+				if !allowed[nb] {
+					continue
+				}
+				if _, seen := prev[nb]; seen {
+					continue
+				}
+				prev[nb] = cur
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil, fmt.Errorf("noc: %d unreachable from %d within virtual topology", dst, src)
+	}
+	// Reconstruct.
+	var rev []topo.NodeID
+	for cur := dst; cur != src; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// PathDirections converts a path into the per-hop directions stored in the
+// NoC routing table (Fig 5's Direction column). Nodes need coordinates.
+func PathDirections(g *topo.Graph, path []topo.NodeID) ([]Direction, error) {
+	if len(path) < 2 {
+		return nil, nil
+	}
+	dirs := make([]Direction, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		a, ok1 := g.CoordOf(path[i])
+		b, ok2 := g.CoordOf(path[i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("noc: node %d or %d lacks coordinates", path[i], path[i+1])
+		}
+		switch {
+		case b.X == a.X-1 && b.Y == a.Y:
+			dirs = append(dirs, DirLeft)
+		case b.X == a.X+1 && b.Y == a.Y:
+			dirs = append(dirs, DirRight)
+		case b.Y == a.Y-1 && b.X == a.X:
+			dirs = append(dirs, DirUp)
+		case b.Y == a.Y+1 && b.X == a.X:
+			dirs = append(dirs, DirDown)
+		default:
+			return nil, fmt.Errorf("noc: path step %d -> %d is not a mesh hop", path[i], path[i+1])
+		}
+	}
+	return dirs, nil
+}
+
+// Direction is a mesh routing direction as stored in the per-core NoC
+// routing tables (Fig 5).
+type Direction uint8
+
+// Mesh directions. DirNone means "local delivery / use default DOR".
+const (
+	DirNone Direction = iota
+	DirLeft
+	DirRight
+	DirUp
+	DirDown
+)
+
+var directionNames = [...]string{"NULL", "Left", "Right", "Up", "Bottom"}
+
+// String renders the direction using the paper's Fig 5 vocabulary.
+func (d Direction) String() string {
+	if int(d) < len(directionNames) {
+		return directionNames[d]
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}

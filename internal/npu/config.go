@@ -1,0 +1,136 @@
+// Package npu models the inter-core connected NPU device of §2.1 and §5.1:
+// a 2D mesh of cores, each with a systolic array, a vector unit, a
+// scratchpad split into weight and meta zones, and a DMA engine to global
+// memory; plus the NPU controller that dispatches instructions and (in
+// hyper mode) configures virtualization meta tables.
+//
+// The execution model is cycle-approximate and fully deterministic: per-core
+// instruction streams run in order, send/receive pairs rendezvous over a
+// pluggable Fabric, and all contention (NoC links, HBM channels) comes from
+// the shared resource models.
+package npu
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// Config describes an NPU chip. FPGAConfig and SimConfig reproduce the two
+// columns of Table 2.
+type Config struct {
+	Name string
+	// Mesh geometry; Cores = MeshRows * MeshCols.
+	MeshRows, MeshCols int
+	// SystolicDim is the systolic array dimension per tile (16 or 128).
+	SystolicDim int
+	// VectorLanes is the vector unit width in 4-byte elements per cycle.
+	VectorLanes int
+	// ScratchpadBytes is per-tile SRAM capacity.
+	ScratchpadBytes int64
+	// MetaZoneBytes is the per-tile SRAM reserved for virtualization meta
+	// tables (routing table, RTT) when a hypervisor claims it (§5.1).
+	MetaZoneBytes int64
+	// HBMChannels and HBMBytesPerCycle set global-memory interfaces and
+	// per-interface bandwidth.
+	HBMChannels      int
+	HBMBytesPerCycle int
+	HBMLatency       sim.Cycles
+	// HBMCapacityBytes is the global-memory capacity the hypervisor can
+	// hand out to virtual NPUs.
+	HBMCapacityBytes int64
+	// NoC holds network timing parameters.
+	NoC noc.Config
+	// FreqMHz is informational (cycle counts are frequency-agnostic).
+	FreqMHz int
+	// Kinds optionally defines heterogeneous core profiles (§7: hybrid
+	// NPU cores, one kind optimized for matrix work and one for vector
+	// work). The map key is the core kind; missing kinds use scale 1.
+	Kinds map[string]KindProfile
+}
+
+// KindProfile scales one core kind's compute latency: >1 slows the unit
+// down, <1 speeds it up relative to the baseline core.
+type KindProfile struct {
+	// MatmulScale multiplies systolic-array (matmul/conv) cycles.
+	MatmulScale float64
+	// VectorScale multiplies vector-unit cycles.
+	VectorScale float64
+}
+
+// Cores reports the tile count.
+func (c Config) Cores() int { return c.MeshRows * c.MeshCols }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MeshRows < 1 || c.MeshCols < 1:
+		return fmt.Errorf("npu: bad mesh %dx%d", c.MeshRows, c.MeshCols)
+	case c.SystolicDim < 1:
+		return fmt.Errorf("npu: bad systolic dim %d", c.SystolicDim)
+	case c.VectorLanes < 1:
+		return fmt.Errorf("npu: bad vector lanes %d", c.VectorLanes)
+	case c.ScratchpadBytes < 1:
+		return fmt.Errorf("npu: bad scratchpad size %d", c.ScratchpadBytes)
+	case c.MetaZoneBytes < 0 || c.MetaZoneBytes >= c.ScratchpadBytes:
+		return fmt.Errorf("npu: meta zone %d must fit in scratchpad %d", c.MetaZoneBytes, c.ScratchpadBytes)
+	case c.HBMChannels < 1 || c.HBMBytesPerCycle < 1:
+		return fmt.Errorf("npu: bad HBM config %d x %d", c.HBMChannels, c.HBMBytesPerCycle)
+	case c.HBMCapacityBytes < 1:
+		return fmt.Errorf("npu: bad HBM capacity %d", c.HBMCapacityBytes)
+	}
+	return nil
+}
+
+// FPGAConfig is the Chipyard/FireSim prototype of Table 2: 8 tiles with
+// 16x16 systolic arrays, 512 KiB scratchpads, 16 GB/s DRAM at 1 GHz
+// (16 bytes/cycle).
+func FPGAConfig() Config {
+	return Config{
+		Name:             "FPGA",
+		MeshRows:         2,
+		MeshCols:         4,
+		SystolicDim:      16,
+		VectorLanes:      16,
+		ScratchpadBytes:  512 << 10,
+		MetaZoneBytes:    32 << 10,
+		HBMChannels:      1,
+		HBMBytesPerCycle: 16,
+		HBMLatency:       30,
+		HBMCapacityBytes: 4 << 30,
+		NoC:              noc.Config{LinkBytesPerCycle: 16},
+		FreqMHz:          1000,
+	}
+}
+
+// SimConfig is the DCRA large-chip configuration of Table 2: 36 tiles with
+// 128x128 systolic arrays, 30 MiB scratchpads (1080 MiB total), 360 GB/s
+// HBM at 500 MHz (720 bytes/cycle over 8 interfaces).
+func SimConfig() Config {
+	return Config{
+		Name:             "SIM",
+		MeshRows:         6,
+		MeshCols:         6,
+		SystolicDim:      128,
+		VectorLanes:      128,
+		ScratchpadBytes:  30 << 20,
+		MetaZoneBytes:    1 << 20,
+		HBMChannels:      8,
+		HBMBytesPerCycle: 90,
+		HBMLatency:       60,
+		HBMCapacityBytes: 64 << 30,
+		NoC:              noc.Config{LinkBytesPerCycle: 16},
+		FreqMHz:          500,
+	}
+}
+
+// SimConfig48 is the 48-core variant used in the right half of Fig 16
+// (6x8 mesh, 1440 MiB total SRAM).
+func SimConfig48() Config {
+	c := SimConfig()
+	c.Name = "SIM48"
+	c.MeshRows = 6
+	c.MeshCols = 8
+	return c
+}

@@ -1,0 +1,102 @@
+package npu
+
+import (
+	"errors"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Controller is the NPU controller of Fig 10: it dispatches instructions
+// to cores (over a dedicated instruction bus or instruction NoC) and, when
+// in hyper mode, writes the virtualization meta tables. Only the
+// hypervisor may enter hyper mode; guest VMs see the table-write entry
+// points fail (§5.1).
+type Controller struct {
+	dev   *Device
+	hyper bool
+}
+
+// ErrNotHyperMode is returned when a table-configuration operation is
+// attempted outside hyper mode.
+var ErrNotHyperMode = errors.New("npu: controller not in hyper mode")
+
+// Dispatch timing constants, calibrated to Fig 12: IBUS latency is fixed
+// and short; instruction-NoC latency grows with hop distance from the
+// controller, and both are 2–3 orders of magnitude below kernel execution
+// times.
+const (
+	// IBusDispatchCycles is the fixed instruction-bus dispatch latency.
+	IBusDispatchCycles sim.Cycles = 15
+	// instrNoCBaseCycles is the injection cost of the dedicated
+	// instruction NoC.
+	instrNoCBaseCycles sim.Cycles = 10
+	// instrNoCHopCycles is the per-hop latency of the instruction NoC.
+	instrNoCHopCycles sim.Cycles = 5
+)
+
+// Routing-table maintenance cost model (Fig 11): configuring a virtual NPU
+// requires querying core availability and writing one routing-table entry
+// per core, a few tens of cycles each — a few hundred cycles total for an
+// 8-core virtual NPU.
+const (
+	rtQueryBaseCycles  sim.Cycles = 12
+	rtQueryPerCore     sim.Cycles = 9
+	rtConfigBaseCycles sim.Cycles = 8
+	rtConfigPerEntry   sim.Cycles = 22
+	rttConfigPerEntry  sim.Cycles = 18
+)
+
+// EnterHyperMode switches the controller to hypervisor operation.
+func (c *Controller) EnterHyperMode() { c.hyper = true }
+
+// ExitHyperMode returns the controller to guest operation.
+func (c *Controller) ExitHyperMode() { c.hyper = false }
+
+// HyperMode reports whether hyper mode is active.
+func (c *Controller) HyperMode() bool { return c.hyper }
+
+// DispatchIBUS returns the latency of dispatching one instruction over the
+// shared instruction bus. The bus has fixed latency but does not scale
+// with core count (§6.2.1).
+func (c *Controller) DispatchIBUS() sim.Cycles { return IBusDispatchCycles }
+
+// DispatchNoC returns the latency of dispatching one instruction to the
+// given core over the dedicated instruction NoC. The controller injects at
+// the mesh corner next to node 0, so latency grows with Manhattan
+// distance.
+func (c *Controller) DispatchNoC(node topo.NodeID) (sim.Cycles, error) {
+	coord, ok := c.dev.graph.CoordOf(node)
+	if !ok {
+		return 0, errors.New("npu: node lacks mesh coordinates")
+	}
+	hops := topo.Manhattan(topo.Coord{X: 0, Y: 0}, coord) + 1
+	return instrNoCBaseCycles + sim.Cycles(hops)*instrNoCHopCycles, nil
+}
+
+// QueryAvailability returns the cycles spent checking n cores for
+// availability during virtual NPU creation. Requires hyper mode.
+func (c *Controller) QueryAvailability(n int) (sim.Cycles, error) {
+	if !c.hyper {
+		return 0, ErrNotHyperMode
+	}
+	return rtQueryBaseCycles + sim.Cycles(n)*rtQueryPerCore, nil
+}
+
+// ConfigureRoutingTable returns the cycles spent writing n routing-table
+// entries into controller SRAM. Requires hyper mode.
+func (c *Controller) ConfigureRoutingTable(n int) (sim.Cycles, error) {
+	if !c.hyper {
+		return 0, ErrNotHyperMode
+	}
+	return rtConfigBaseCycles + sim.Cycles(n)*rtConfigPerEntry, nil
+}
+
+// ConfigureRTT returns the cycles spent writing n range-translation-table
+// entries into a core's meta zone. Requires hyper mode.
+func (c *Controller) ConfigureRTT(n int) (sim.Cycles, error) {
+	if !c.hyper {
+		return 0, ErrNotHyperMode
+	}
+	return rtConfigBaseCycles + sim.Cycles(n)*rttConfigPerEntry, nil
+}

@@ -1,0 +1,134 @@
+package npu
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/noc"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Device is one physical inter-core connected NPU chip.
+type Device struct {
+	cfg   Config
+	graph *topo.Graph
+	net   *noc.Network
+	hbm   *mem.HBM
+	cores map[topo.NodeID]*Core
+	ctrl  *Controller
+}
+
+// NewDevice builds a chip from the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := topo.Mesh2D(cfg.MeshRows, cfg.MeshCols)
+	d := &Device{
+		cfg:   cfg,
+		graph: g,
+		net:   noc.New(g, cfg.NoC),
+		hbm:   mem.NewHBM(cfg.HBMChannels, cfg.HBMBytesPerCycle, cfg.HBMLatency),
+		cores: make(map[topo.NodeID]*Core, cfg.Cores()),
+	}
+	for _, id := range g.Nodes() {
+		port, err := d.hbm.Port() // default: all channels
+		if err != nil {
+			return nil, err
+		}
+		var ident mem.Identity
+		d.cores[id] = &Core{
+			node: id,
+			dev:  d,
+			dma:  mem.NewDMAEngine(port, &ident),
+		}
+	}
+	d.ctrl = &Controller{dev: d}
+	return d, nil
+}
+
+// Config returns the chip configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Graph returns the physical topology.
+func (d *Device) Graph() *topo.Graph { return d.graph }
+
+// NoC returns the on-chip network.
+func (d *Device) NoC() *noc.Network { return d.net }
+
+// HBM returns the global memory.
+func (d *Device) HBM() *mem.HBM { return d.hbm }
+
+// Controller returns the NPU controller.
+func (d *Device) Controller() *Controller { return d.ctrl }
+
+// Core returns the core at the given mesh node.
+func (d *Device) Core(node topo.NodeID) (*Core, error) {
+	c, ok := d.cores[node]
+	if !ok {
+		return nil, fmt.Errorf("npu: no core at node %d", node)
+	}
+	return c, nil
+}
+
+// SetCoreKind assigns a heterogeneous kind to a core (§7 hybrid cores).
+// The kind changes both the compute timing (via Config.Kinds) and the
+// topology node's attribute, so kind-aware mapping can see it.
+func (d *Device) SetCoreKind(node topo.NodeID, kind string) error {
+	c, err := d.Core(node)
+	if err != nil {
+		return err
+	}
+	c.kind = kind
+	d.graph.AddNode(node, kind)
+	return nil
+}
+
+// Core is one NPU tile: scratchpad, compute units (modeled analytically in
+// timing.go) and a DMA engine with a pluggable address translator.
+type Core struct {
+	node topo.NodeID
+	dev  *Device
+	dma  *mem.DMAEngine
+	meta int64  // reserved meta-zone bytes
+	kind string // heterogeneous core kind ("" = baseline)
+}
+
+// Node reports the core's mesh position.
+func (c *Core) Node() topo.NodeID { return c.node }
+
+// Kind reports the core's heterogeneous kind ("" for the baseline core).
+func (c *Core) Kind() string { return c.kind }
+
+// DMA returns the core's DMA engine.
+func (c *Core) DMA() *mem.DMAEngine { return c.dma }
+
+// SetTranslator installs an address translator (vChunk range translator,
+// page IOTLB, or identity) on the core's DMA path.
+func (c *Core) SetTranslator(t mem.Translator) { c.dma.Translator = t }
+
+// Translator returns the active translator.
+func (c *Core) Translator() mem.Translator { return c.dma.Translator }
+
+// SetPort restricts the core's global-memory port (e.g. to a vNPU's
+// memory-interface subset, or to a bandwidth-capped port).
+func (c *Core) SetPort(p *mem.Port) { c.dma.Port = p }
+
+// Port returns the active HBM port.
+func (c *Core) Port() *mem.Port { return c.dma.Port }
+
+// ReserveMetaZone carves bytes of scratchpad for hypervisor meta tables
+// (§5.1). The weight zone shrinks accordingly.
+func (c *Core) ReserveMetaZone(bytes int64) error {
+	if bytes < 0 || bytes >= c.dev.cfg.ScratchpadBytes {
+		return fmt.Errorf("npu: meta zone %d does not fit scratchpad %d", bytes, c.dev.cfg.ScratchpadBytes)
+	}
+	c.meta = bytes
+	return nil
+}
+
+// MetaZoneBytes reports the reserved meta-zone size.
+func (c *Core) MetaZoneBytes() int64 { return c.meta }
+
+// WeightZoneBytes reports scratchpad capacity available to the program.
+func (c *Core) WeightZoneBytes() int64 { return c.dev.cfg.ScratchpadBytes - c.meta }

@@ -1,0 +1,422 @@
+package npu
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+func TestConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{FPGAConfig(), SimConfig(), SimConfig48()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	if FPGAConfig().Cores() != 8 {
+		t.Fatalf("FPGA cores = %d, want 8 (Table 2)", FPGAConfig().Cores())
+	}
+	if SimConfig().Cores() != 36 || SimConfig48().Cores() != 48 {
+		t.Fatal("SIM core counts must match Table 2 / Fig 16")
+	}
+	if SimConfig().ScratchpadBytes*36 != 1080<<20 {
+		t.Fatal("SIM total SRAM must be 1080 MiB")
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	bad := FPGAConfig()
+	bad.MeshRows = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected mesh error")
+	}
+	bad = FPGAConfig()
+	bad.MetaZoneBytes = bad.ScratchpadBytes
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected meta-zone error")
+	}
+}
+
+func TestComputeTimingMagnitudes(t *testing.T) {
+	cfg := FPGAConfig()
+	// Fig 13 kernel labels give the expected order of magnitude.
+	cases := []struct {
+		name   string
+		got    sim.Cycles
+		lo, hi sim.Cycles
+	}{
+		{"Matmul_128m_128k_128n", cfg.MatmulCycles(128, 128, 128), 4_000, 20_000},
+		{"Conv32hw16c_16oc3k", cfg.ConvCycles(32, 32, 16, 16, 3), 8_000, 30_000},
+		{"Conv16hw64c_128oc3k", cfg.ConvCycles(16, 16, 64, 128, 3), 50_000, 150_000},
+		{"Matmul_64m_512k_32n", cfg.MatmulCycles(64, 512, 32), 3_000, 12_000},
+	}
+	for _, c := range cases {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %v, want within [%v, %v]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+	// Compute times must dwarf dispatch latencies (Fig 12's 2-3 orders).
+	if cfg.MatmulCycles(128, 128, 128) < 100*IBusDispatchCycles {
+		t.Error("kernel execution should be orders of magnitude above dispatch")
+	}
+}
+
+func TestVectorCycles(t *testing.T) {
+	cfg := FPGAConfig()
+	c1 := cfg.VectorCycles(64 * 4)   // 64 elems / 16 lanes = 4 + 10
+	c2 := cfg.VectorCycles(1024 * 4) // 64 + 10
+	if c1 != 14 || c2 != 74 {
+		t.Fatalf("vector cycles = %v, %v", c1, c2)
+	}
+}
+
+func TestPeakFLOPs(t *testing.T) {
+	if got := FPGAConfig().PeakFLOPsPerCycle(); got != 2*16*16*8 {
+		t.Fatalf("FPGA peak = %d", got)
+	}
+}
+
+func TestControllerDispatchScaling(t *testing.T) {
+	d, err := NewDevice(FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := d.Controller()
+	if ctrl.DispatchIBUS() != IBusDispatchCycles {
+		t.Fatal("IBUS latency must be fixed")
+	}
+	near, err := ctrl.DispatchNoC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := ctrl.DispatchNoC(7) // farthest corner of the 2x4 mesh
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far <= near {
+		t.Fatalf("far dispatch %v must exceed near dispatch %v", far, near)
+	}
+}
+
+func TestControllerHyperModeGating(t *testing.T) {
+	d, _ := NewDevice(FPGAConfig())
+	ctrl := d.Controller()
+	if _, err := ctrl.ConfigureRoutingTable(4); err != ErrNotHyperMode {
+		t.Fatalf("err = %v, want ErrNotHyperMode", err)
+	}
+	if _, err := ctrl.QueryAvailability(4); err != ErrNotHyperMode {
+		t.Fatal("query must require hyper mode")
+	}
+	if _, err := ctrl.ConfigureRTT(4); err != ErrNotHyperMode {
+		t.Fatal("RTT config must require hyper mode")
+	}
+	ctrl.EnterHyperMode()
+	if !ctrl.HyperMode() {
+		t.Fatal("hyper mode should be on")
+	}
+	q, err := ctrl.QueryAvailability(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctrl.ConfigureRoutingTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := q + c
+	// Fig 11: a few hundred cycles for 8 cores.
+	if total < 100 || total > 500 {
+		t.Fatalf("8-core routing table setup = %v, want a few hundred cycles", total)
+	}
+	ctrl.ExitHyperMode()
+	if _, err := ctrl.ConfigureRoutingTable(1); err == nil {
+		t.Fatal("gating must re-engage after exit")
+	}
+}
+
+func TestHeterogeneousCoreKinds(t *testing.T) {
+	cfg := FPGAConfig()
+	cfg.Kinds = map[string]KindProfile{
+		"sa": {MatmulScale: 1, VectorScale: 4},
+		"vu": {MatmulScale: 4, VectorScale: 1},
+	}
+	mm := isa.Instr{Op: isa.OpMatmul, M: 64, K: 64, N: 64}
+	vec := isa.Instr{Op: isa.OpVector, Size: 64 << 10}
+	// Baseline kind: unscaled.
+	if cfg.ComputeCyclesOn("", mm) != cfg.ComputeCycles(mm) {
+		t.Fatal("unknown kind must use baseline timing")
+	}
+	// SA cores: fast matmul, slow vector.
+	if cfg.ComputeCyclesOn("sa", mm) != cfg.ComputeCycles(mm) {
+		t.Fatal("sa matmul must be unscaled")
+	}
+	if got, want := cfg.ComputeCyclesOn("sa", vec), 4*cfg.ComputeCycles(vec); got != want {
+		t.Fatalf("sa vector = %v, want %v", got, want)
+	}
+	// VU cores: the reverse.
+	if got, want := cfg.ComputeCyclesOn("vu", mm), 4*cfg.ComputeCycles(mm); got != want {
+		t.Fatalf("vu matmul = %v, want %v", got, want)
+	}
+
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetCoreKind(0, "vu"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := dev.Core(0)
+	if c.Kind() != "vu" {
+		t.Fatalf("Kind = %q", c.Kind())
+	}
+	// The topology node kind follows, so kind-aware mapping can see it.
+	if dev.Graph().KindOf(0) != "vu" {
+		t.Fatal("graph node kind must track the core kind")
+	}
+	if err := dev.SetCoreKind(99, "sa"); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	// Execution uses the kind: a vector op on the VU core runs at full
+	// speed while the same op on a default ("sa"-profile-less) core...
+	p := isa.NewProgram()
+	p.Append(0, vec)
+	res, err := dev.Run(p, IdentityPlacement{Graph: dev.Graph()}, &NoCFabric{Net: dev.NoC()}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != cfg.ComputeCyclesOn("vu", vec) {
+		t.Fatalf("executed cycles = %v, want VU timing %v", res.Cycles, cfg.ComputeCyclesOn("vu", vec))
+	}
+}
+
+func TestDeviceCoreAccess(t *testing.T) {
+	d, _ := NewDevice(FPGAConfig())
+	if _, err := d.Core(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Core(99); err == nil {
+		t.Fatal("expected missing-core error")
+	}
+}
+
+func TestMetaZoneReservation(t *testing.T) {
+	d, _ := NewDevice(FPGAConfig())
+	c, _ := d.Core(0)
+	if err := c.ReserveMetaZone(32 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.WeightZoneBytes() != (512<<10)-(32<<10) {
+		t.Fatalf("weight zone = %d", c.WeightZoneBytes())
+	}
+	if err := c.ReserveMetaZone(1 << 30); err == nil {
+		t.Fatal("oversized meta zone must fail")
+	}
+}
+
+func bareMetal(t *testing.T, cfg Config) (*Device, Placement, Fabric) {
+	t.Helper()
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, IdentityPlacement{Graph: d.Graph()}, &NoCFabric{Net: d.NoC()}
+}
+
+func TestRunComputeOnly(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpMatmul, M: 16, K: 16, N: 16})
+	res, err := d.Run(p, pl, fab, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Config().MatmulCycles(16, 16, 16)
+	if res.Cycles != want {
+		t.Fatalf("cycles = %v, want %v", res.Cycles, want)
+	}
+	if res.PerCore[0].Compute != want || res.PerCore[0].Instrs != 1 {
+		t.Fatalf("per-core stats = %+v", res.PerCore[0])
+	}
+}
+
+func TestRunSendRecvRendezvous(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpMatmul, M: 16, K: 128, N: 16})
+	p.Append(0, isa.Instr{Op: isa.OpSend, Peer: 1, Tag: 1, Size: 1024})
+	p.Append(1, isa.Instr{Op: isa.OpRecv, Peer: 0, Tag: 1, Size: 1024})
+	p.Append(1, isa.Instr{Op: isa.OpMatmul, M: 16, K: 128, N: 16})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(p, pl, fab, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline: compute then transfer then compute; total > 2x compute.
+	comp := d.Config().MatmulCycles(16, 128, 16)
+	if res.Cycles <= 2*comp {
+		t.Fatalf("cycles = %v, want > %v (transfer adds time)", res.Cycles, 2*comp)
+	}
+	if res.PerCore[1].Comm == 0 {
+		t.Fatal("receiver must record comm time")
+	}
+}
+
+func TestRunIterationsPipeline(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpMatmul, M: 16, K: 16, N: 16})
+	one, err := d.Run(p, pl, fab, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, pl2, fab2 := bareMetal(t, FPGAConfig())
+	ten, err := d2.Run(p, pl2, fab2, RunOptions{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Cycles != 10*one.Cycles {
+		t.Fatalf("10 iterations = %v, want %v", ten.Cycles, 10*one.Cycles)
+	}
+	if ten.Iterations != 10 {
+		t.Fatalf("Iterations = %d", ten.Iterations)
+	}
+}
+
+func TestRunBarrier(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpMatmul, M: 64, K: 64, N: 64}) // slow
+	p.Append(0, isa.Instr{Op: isa.OpBarrier})
+	p.Append(1, isa.Instr{Op: isa.OpNop}) // fast
+	p.Append(1, isa.Instr{Op: isa.OpBarrier})
+	res, err := d.Run(p, pl, fab, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := d.Config().MatmulCycles(64, 64, 64)
+	if res.PerCore[1].Finish != slow+barrierCycles {
+		t.Fatalf("fast core finish = %v, want %v (synced to slow core)", res.PerCore[1].Finish, slow+barrierCycles)
+	}
+}
+
+func TestRunDeadlockDetected(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	// Tag mismatch: genuine deadlock.
+	p.Append(0, isa.Instr{Op: isa.OpSend, Peer: 1, Tag: 1, Size: 64})
+	p.Append(1, isa.Instr{Op: isa.OpRecv, Peer: 0, Tag: 2, Size: 64})
+	_, err := d.Run(p, pl, fab, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestRunCrossSendDeadlockDetected(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	// Both cores send first: rendezvous semantics deadlock.
+	p.Append(0, isa.Instr{Op: isa.OpSend, Peer: 1, Tag: 1, Size: 64})
+	p.Append(0, isa.Instr{Op: isa.OpRecv, Peer: 1, Tag: 2, Size: 64})
+	p.Append(1, isa.Instr{Op: isa.OpSend, Peer: 0, Tag: 2, Size: 64})
+	p.Append(1, isa.Instr{Op: isa.OpRecv, Peer: 0, Tag: 1, Size: 64})
+	_, err := d.Run(p, pl, fab, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestRunPlacementClash(t *testing.T) {
+	d, _, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpNop})
+	p.Append(1, isa.Instr{Op: isa.OpNop})
+	clash := placementFunc(func(id isa.CoreID) (topo.NodeID, error) { return 0, nil })
+	if _, err := d.Run(p, clash, fab, RunOptions{}); err == nil {
+		t.Fatal("expected placement clash error")
+	}
+}
+
+type placementFunc func(isa.CoreID) (topo.NodeID, error)
+
+func (f placementFunc) Node(id isa.CoreID) (topo.NodeID, error) { return f(id) }
+
+func TestRunScratchpadOverflow(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpDMALoad, VAddr: 0, Size: 1 << 20, SPAddr: 0}) // 1 MiB > 512 KiB
+	if _, err := d.Run(p, pl, fab, RunOptions{}); err == nil {
+		t.Fatal("expected weight-zone overflow error")
+	}
+}
+
+func TestRunMemTraceAndSpans(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	p := isa.NewProgram()
+	p.Append(0, isa.Instr{Op: isa.OpDMALoad, VAddr: 0x1000, Size: 1024})
+	p.Append(0, isa.Instr{Op: isa.OpMatmul, M: 16, K: 16, N: 16})
+	p.Append(0, isa.Instr{Op: isa.OpSend, Peer: 1, Tag: 3, Size: 512})
+	p.Append(1, isa.Instr{Op: isa.OpRecv, Peer: 0, Tag: 3, Size: 512})
+
+	var traced []uint64
+	var spans []SpanKind
+	opts := RunOptions{
+		Iterations: 2,
+		MemTrace:   func(core isa.CoreID, iter int, va uint64, at sim.Cycles) { traced = append(traced, va) },
+		Span:       func(core isa.CoreID, kind SpanKind, start, end sim.Cycles) { spans = append(spans, kind) },
+	}
+	if _, err := d.Run(p, pl, fab, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 4 { // 2 bursts x 2 iterations
+		t.Fatalf("traced %d bursts, want 4", len(traced))
+	}
+	var haveComp, haveDMA, haveSend, haveRecv bool
+	for _, k := range spans {
+		switch k {
+		case SpanCompute:
+			haveComp = true
+		case SpanDMA:
+			haveDMA = true
+		case SpanSend:
+			haveSend = true
+		case SpanRecv:
+			haveRecv = true
+		}
+	}
+	if !haveComp || !haveDMA || !haveSend || !haveRecv {
+		t.Fatalf("missing span kinds: %v", spans)
+	}
+	if SpanCompute.String() != "COMP" || SpanRecv.String() != "RECEIVE" {
+		t.Fatal("span names must match Fig 18 labels")
+	}
+}
+
+func TestRunEmptyProgram(t *testing.T) {
+	d, pl, fab := bareMetal(t, FPGAConfig())
+	res, err := d.Run(isa.NewProgram(), pl, fab, RunOptions{})
+	if err != nil || res.Cycles != 0 {
+		t.Fatalf("empty program: %v %v", res, err)
+	}
+}
+
+func TestFPSAt(t *testing.T) {
+	r := Result{Cycles: 1_000_000, Iterations: 1}
+	if got := r.FPSAt(1000); got != 1000 {
+		t.Fatalf("FPS = %v, want 1000", got)
+	}
+	r2 := Result{Cycles: 0}
+	if r2.FPSAt(1000) != 0 {
+		t.Fatal("zero cycles must give zero FPS")
+	}
+}
+
+func TestIdentityPlacementUnknownCore(t *testing.T) {
+	d, _, _ := bareMetal(t, FPGAConfig())
+	pl := IdentityPlacement{Graph: d.Graph()}
+	if _, err := pl.Node(isa.CoreID(99)); err == nil {
+		t.Fatal("expected unknown-core error")
+	}
+}

@@ -1,0 +1,77 @@
+package npu
+
+import (
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// computeSetupCycles is the fixed decode/configure cost of launching one
+// compute instruction on a core.
+const computeSetupCycles = 40
+
+// MatmulCycles models a tiled weight-stationary systolic-array matmul:
+// each SxS output tile streams K elements plus 2S fill/drain cycles.
+// For the FPGA config this yields ~10k cycles for Matmul_128m_128k_128n and
+// ~78k for Conv16hw64c_128oc3k, matching the magnitudes in Figs 12–13.
+func (c Config) MatmulCycles(m, k, n int32) sim.Cycles {
+	s := int64(c.SystolicDim)
+	tm := (int64(m) + s - 1) / s
+	tn := (int64(n) + s - 1) / s
+	if tm < 1 {
+		tm = 1
+	}
+	if tn < 1 {
+		tn = 1
+	}
+	return sim.Cycles(tm*tn*(int64(k)+2*s)) + computeSetupCycles
+}
+
+// ConvCycles models convolution lowered to matmul via im2col.
+func (c Config) ConvCycles(h, w, ch, oc, kdim int32) sim.Cycles {
+	m := h * w
+	k := ch * kdim * kdim
+	return c.MatmulCycles(m, k, oc)
+}
+
+// VectorCycles models an elementwise vector-unit pass over size bytes of
+// 4-byte elements.
+func (c Config) VectorCycles(size uint32) sim.Cycles {
+	elems := int64(size) / 4
+	lanes := int64(c.VectorLanes)
+	return sim.Cycles((elems+lanes-1)/lanes) + 10
+}
+
+// ComputeCycles dispatches on the instruction type; zero for non-compute
+// instructions.
+func (c Config) ComputeCycles(in isa.Instr) sim.Cycles {
+	return c.ComputeCyclesOn("", in)
+}
+
+// ComputeCyclesOn is ComputeCycles for a core of the given kind: the
+// kind's profile scales matrix and vector latency independently, modeling
+// the §7 hybrid cores (matrix-optimized vs vector-optimized).
+func (c Config) ComputeCyclesOn(kind string, in isa.Instr) sim.Cycles {
+	prof, ok := c.Kinds[kind]
+	scale := func(base sim.Cycles, s float64) sim.Cycles {
+		if !ok || s == 0 {
+			return base
+		}
+		return sim.Cycles(float64(base) * s)
+	}
+	switch in.Op {
+	case isa.OpMatmul:
+		return scale(c.MatmulCycles(in.M, in.K, in.N), prof.MatmulScale)
+	case isa.OpConv:
+		return scale(c.ConvCycles(in.H, in.W, in.C, in.OC, in.KDim), prof.MatmulScale)
+	case isa.OpVector:
+		return scale(c.VectorCycles(in.Size), prof.VectorScale)
+	default:
+		return 0
+	}
+}
+
+// PeakFLOPsPerCycle reports the chip's peak MAC throughput in FLOPs per
+// cycle (2 ops per MAC per systolic cell, all tiles).
+func (c Config) PeakFLOPsPerCycle() int64 {
+	return 2 * int64(c.SystolicDim) * int64(c.SystolicDim) * int64(c.Cores())
+}

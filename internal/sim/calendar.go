@@ -1,0 +1,83 @@
+package sim
+
+import "sort"
+
+// Calendar is a serially-reusable resource with gap-filling reservations:
+// unlike Resource (FIFO by reservation order), a Calendar keeps the actual
+// schedule and places each reservation in the earliest idle gap at or
+// after the requested time. Use it where requesters' clocks can run far
+// apart — e.g. HBM channels shared by differently-paced tenants — so a
+// future-time reservation never blocks an earlier-time one.
+type Calendar struct {
+	busy      []ival // sorted, disjoint, coalesced
+	busyTotal Cycles
+	grants    uint64
+}
+
+type ival struct{ start, end Cycles }
+
+// Probe returns the start of the earliest gap of length dur at or after
+// `at`, without reserving it.
+func (c *Calendar) Probe(at, dur Cycles) Cycles {
+	if dur < 0 {
+		dur = 0
+	}
+	start := at
+	// Skip intervals ending at or before the requested time, then walk
+	// forward until a gap fits. Insertion keeps busy sorted by start (and,
+	// being disjoint, by end), so the skip is a binary search.
+	i := sort.Search(len(c.busy), func(i int) bool { return c.busy[i].end > start })
+	for ; i < len(c.busy); i++ {
+		iv := c.busy[i]
+		if iv.start >= start+dur {
+			break // the gap before iv fits
+		}
+		if start < iv.end {
+			start = iv.end
+		}
+	}
+	return start
+}
+
+// Reserve books dur cycles in the earliest gap at or after `at` and
+// returns the actual start time.
+func (c *Calendar) Reserve(at, dur Cycles) Cycles {
+	if dur < 0 {
+		dur = 0
+	}
+	start := c.Probe(at, dur)
+	c.grants++
+	c.busyTotal += dur
+	if dur == 0 {
+		return start
+	}
+	// Insert [start, start+dur) keeping order, then coalesce neighbors.
+	idx := sort.Search(len(c.busy), func(i int) bool { return c.busy[i].start > start })
+	c.busy = append(c.busy, ival{})
+	copy(c.busy[idx+1:], c.busy[idx:])
+	c.busy[idx] = ival{start: start, end: start + dur}
+	// Coalesce with the previous and following intervals when adjacent.
+	if idx > 0 && c.busy[idx-1].end == c.busy[idx].start {
+		c.busy[idx-1].end = c.busy[idx].end
+		c.busy = append(c.busy[:idx], c.busy[idx+1:]...)
+		idx--
+	}
+	if idx+1 < len(c.busy) && c.busy[idx].end == c.busy[idx+1].start {
+		c.busy[idx].end = c.busy[idx+1].end
+		c.busy = append(c.busy[:idx+1], c.busy[idx+2:]...)
+	}
+	return start
+}
+
+// BusyTotal reports cumulative reserved cycles.
+func (c *Calendar) BusyTotal() Cycles { return c.busyTotal }
+
+// Grants reports how many reservations have been made.
+func (c *Calendar) Grants() uint64 { return c.grants }
+
+// Spans reports how many disjoint busy intervals the schedule holds
+// (diagnostic; coalescing keeps this small for streaming workloads).
+func (c *Calendar) Spans() int { return len(c.busy) }
+
+// Reset clears the schedule.
+func (c *Calendar) Reset() { *c = Calendar{} }

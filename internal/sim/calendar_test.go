@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarBasicReserve(t *testing.T) {
+	var c Calendar
+	if s := c.Reserve(0, 10); s != 0 {
+		t.Fatalf("first reserve = %v", s)
+	}
+	if s := c.Reserve(0, 10); s != 10 {
+		t.Fatalf("second reserve = %v, want 10 (queued)", s)
+	}
+	if s := c.Reserve(25, 5); s != 25 {
+		t.Fatalf("future reserve = %v, want 25", s)
+	}
+	if c.BusyTotal() != 25 || c.Grants() != 3 {
+		t.Fatalf("totals: %v busy, %v grants", c.BusyTotal(), c.Grants())
+	}
+}
+
+func TestCalendarBackfillsGaps(t *testing.T) {
+	var c Calendar
+	c.Reserve(100, 50) // a future tenant books [100,150)
+	// An earlier-time request must use the idle gap before it, not queue
+	// behind it — the property Resource lacks.
+	if s := c.Reserve(0, 30); s != 0 {
+		t.Fatalf("backfill start = %v, want 0", s)
+	}
+	// A request too big for the remaining gap goes after the booking.
+	if s := c.Reserve(40, 80); s != 150 {
+		t.Fatalf("oversized gap request = %v, want 150", s)
+	}
+}
+
+func TestCalendarCoalesces(t *testing.T) {
+	var c Calendar
+	c.Reserve(0, 10)
+	c.Reserve(10, 10)
+	c.Reserve(20, 10)
+	if c.Spans() != 1 {
+		t.Fatalf("adjacent reservations must coalesce: %d spans", c.Spans())
+	}
+	c.Reserve(100, 10)
+	if c.Spans() != 2 {
+		t.Fatalf("spans = %d, want 2", c.Spans())
+	}
+	// Filling the hole merges everything.
+	c.Reserve(30, 70)
+	if c.Spans() != 1 {
+		t.Fatalf("hole fill must coalesce to 1, got %d", c.Spans())
+	}
+}
+
+func TestCalendarProbeDoesNotCommit(t *testing.T) {
+	var c Calendar
+	c.Reserve(0, 10)
+	if p := c.Probe(0, 5); p != 10 {
+		t.Fatalf("probe = %v, want 10", p)
+	}
+	if c.Grants() != 1 {
+		t.Fatal("probe must not reserve")
+	}
+	c.Reset()
+	if c.Spans() != 0 || c.BusyTotal() != 0 {
+		t.Fatal("reset must clear")
+	}
+}
+
+// Property: reservations never overlap, regardless of request order.
+func TestCalendarNoOverlapProperty(t *testing.T) {
+	type req struct{ at, dur Cycles }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c Calendar
+		var placed []req
+		for i := 0; i < 120; i++ {
+			at := Cycles(rng.Intn(2000))
+			dur := Cycles(1 + rng.Intn(40))
+			start := c.Reserve(at, dur)
+			if start < at {
+				return false
+			}
+			for _, p := range placed {
+				if start < p.at+p.dur && p.at < start+dur {
+					return false // overlap
+				}
+			}
+			placed = append(placed, req{start, dur})
+		}
+		// Conservation: busyTotal equals the sum of durations.
+		var sum Cycles
+		for _, p := range placed {
+			sum += p.dur
+		}
+		return c.BusyTotal() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a calendar never schedules a request later than a FIFO
+// resource would (gap-filling only helps).
+func TestCalendarNoWorseThanResourceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c Calendar
+		var r Resource
+		for i := 0; i < 80; i++ {
+			at := Cycles(rng.Intn(1000))
+			dur := Cycles(1 + rng.Intn(30))
+			if c.Reserve(at, dur) > r.Reserve(at, dur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every hardware model in this repository runs
+// on: NPU cores, the network-on-chip, DMA engines and the HBM controller all
+// schedule work as events on a shared Engine. Time is measured in clock
+// cycles (Cycles). Events that share a timestamp fire in the order they were
+// scheduled, which makes every simulation in the repository fully
+// deterministic: the same inputs always produce the same cycle counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a point in simulated time or a duration, measured in clock
+// cycles of the simulated device.
+type Cycles int64
+
+// String renders the cycle count with a "clk" suffix, matching how the
+// paper labels its measurements.
+func (c Cycles) String() string { return fmt.Sprintf("%d clk", int64(c)) }
+
+// event is a scheduled callback. seq breaks ties between events that share
+// a timestamp so that heap ordering is deterministic.
+type event struct {
+	at   Cycles
+	seq  uint64
+	call func()
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. Engine is not safe for concurrent use; all models belonging to one
+// simulated device must share a single goroutine.
+type Engine struct {
+	now    Cycles
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Fired reports how many events have executed so far. It is mainly useful
+// for tests and for guarding against runaway simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to execute.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for call to run delay cycles from now. A negative delay
+// is treated as zero. Events scheduled for the same cycle run in scheduling
+// order.
+func (e *Engine) Schedule(delay Cycles, call func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, call: call})
+}
+
+// At arranges for call to run at absolute time at. If at is in the past the
+// event runs at the current time.
+func (e *Engine) At(at Cycles, call func()) {
+	delay := at - e.now
+	if delay < 0 {
+		delay = 0
+	}
+	e.Schedule(delay, call)
+}
+
+// Halt stops the current Run call after the in-flight event completes.
+// Remaining events stay queued and a subsequent Run resumes them.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns the time of the last executed event (the makespan).
+func (e *Engine) Run() Cycles {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.call()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. It returns the current time, which is
+// min(deadline, time of last event) when the queue drains early.
+func (e *Engine) RunUntil(deadline Cycles) Cycles {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.call()
+	}
+	if e.now < deadline && len(e.queue) > 0 {
+		e.now = deadline
+	}
+	return e.now
+}

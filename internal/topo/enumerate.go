@@ -1,0 +1,225 @@
+package topo
+
+import "sort"
+
+// ConnectedSubgraphs enumerates the node sets of connected induced
+// subgraphs of size k restricted to the allowed nodes. Each set is reported
+// exactly once, in a deterministic order, using the ESU (Wernicke)
+// enumeration scheme. Enumeration stops once limit sets have been produced;
+// complete reports whether the enumeration finished exhaustively.
+//
+// This implements the candidate-generation step of the paper's topology
+// mapping algorithm (Algorithm 1, lines 20–29): candidate topologies are
+// connected regions of the free portion of the physical mesh.
+func ConnectedSubgraphs(g *Graph, allowed []NodeID, k, limit int) (sets [][]NodeID, complete bool) {
+	if k <= 0 || limit == 0 {
+		return nil, true
+	}
+	ok := make(map[NodeID]bool, len(allowed))
+	for _, id := range allowed {
+		if g.HasNode(id) {
+			ok[id] = true
+		}
+	}
+	roots := make([]NodeID, 0, len(ok))
+	for id := range ok {
+		roots = append(roots, id)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	complete = true
+	var sub []NodeID
+	inSub := make(map[NodeID]bool)
+
+	var extend func(root NodeID, ext []NodeID) bool
+	extend = func(root NodeID, ext []NodeID) bool {
+		if len(sub) == k {
+			set := make([]NodeID, len(sub))
+			copy(set, sub)
+			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+			sets = append(sets, set)
+			return limit < 0 || len(sets) < limit
+		}
+		for i := 0; i < len(ext); i++ {
+			w := ext[i]
+			// Extension set for the recursive call: remaining candidates plus
+			// w's exclusive neighbors (> root, allowed, not adjacent to or in sub).
+			next := make([]NodeID, 0, len(ext)-i-1+g.Degree(w))
+			next = append(next, ext[i+1:]...)
+			inExt := make(map[NodeID]bool, len(next))
+			for _, id := range next {
+				inExt[id] = true
+			}
+			for _, u := range g.Neighbors(w) {
+				if u <= root || !ok[u] || inSub[u] || inExt[u] {
+					continue
+				}
+				// exclusive: u must not neighbor any node already in sub
+				exclusive := true
+				for _, s := range sub {
+					if g.HasEdge(u, s) {
+						exclusive = false
+						break
+					}
+				}
+				if exclusive {
+					next = append(next, u)
+				}
+			}
+			sub = append(sub, w)
+			inSub[w] = true
+			cont := extend(root, next)
+			sub = sub[:len(sub)-1]
+			delete(inSub, w)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, root := range roots {
+		var ext []NodeID
+		for _, nb := range g.Neighbors(root) {
+			if nb > root && ok[nb] {
+				ext = append(ext, nb)
+			}
+		}
+		sub = append(sub[:0], root)
+		inSub = map[NodeID]bool{root: true}
+		if !extend(root, ext) {
+			complete = false
+			break
+		}
+		sub = sub[:0]
+		delete(inSub, root)
+	}
+	return sets, complete
+}
+
+// GrowRegions produces candidate connected regions of size k within the
+// allowed nodes using deterministic seeded region growing. It is the
+// fallback when exhaustive enumeration is infeasible (the paper notes the
+// minimum-edit-distance problem is NP-hard and prunes aggressively). Each
+// allowed node seeds several growths with different frontier priorities:
+//
+//   - compact: prefer the frontier node with the most neighbors already in
+//     the region (keeps regions blocky, mesh-like);
+//   - sweep: prefer the lowest-ID frontier node (zig-zag-like);
+//   - anti-sweep: prefer the highest-ID frontier node.
+//
+// Duplicate regions are removed. Results are deterministic.
+func GrowRegions(g *Graph, allowed []NodeID, k int) [][]NodeID {
+	if k <= 0 {
+		return nil
+	}
+	ok := make(map[NodeID]bool, len(allowed))
+	for _, id := range allowed {
+		if g.HasNode(id) {
+			ok[id] = true
+		}
+	}
+	if len(ok) < k {
+		return nil
+	}
+	seeds := make([]NodeID, 0, len(ok))
+	for id := range ok {
+		seeds = append(seeds, id)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+
+	type priority int
+	const (
+		compact priority = iota
+		sweep
+		antiSweep
+		numPriorities
+	)
+
+	seen := make(map[string]bool)
+	var out [][]NodeID
+	for _, seed := range seeds {
+		for p := priority(0); p < numPriorities; p++ {
+			region := growOne(g, ok, seed, k, func(frontier []NodeID, in map[NodeID]bool) NodeID {
+				switch p {
+				case sweep:
+					return minID(frontier)
+				case antiSweep:
+					return maxID(frontier)
+				default:
+					return mostConnected(g, frontier, in)
+				}
+			})
+			if len(region) != k {
+				continue
+			}
+			key := setKey(region)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, region)
+			}
+		}
+	}
+	return out
+}
+
+func growOne(g *Graph, ok map[NodeID]bool, seed NodeID, k int, pick func([]NodeID, map[NodeID]bool) NodeID) []NodeID {
+	in := map[NodeID]bool{seed: true}
+	region := []NodeID{seed}
+	frontier := map[NodeID]bool{}
+	for _, nb := range g.Neighbors(seed) {
+		if ok[nb] {
+			frontier[nb] = true
+		}
+	}
+	for len(region) < k && len(frontier) > 0 {
+		fr := make([]NodeID, 0, len(frontier))
+		for id := range frontier {
+			fr = append(fr, id)
+		}
+		sort.Slice(fr, func(i, j int) bool { return fr[i] < fr[j] })
+		chosen := pick(fr, in)
+		delete(frontier, chosen)
+		in[chosen] = true
+		region = append(region, chosen)
+		for _, nb := range g.Neighbors(chosen) {
+			if ok[nb] && !in[nb] {
+				frontier[nb] = true
+			}
+		}
+	}
+	if len(region) != k {
+		return nil
+	}
+	sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
+	return region
+}
+
+func minID(ids []NodeID) NodeID { return ids[0] }
+
+func maxID(ids []NodeID) NodeID { return ids[len(ids)-1] }
+
+func mostConnected(g *Graph, frontier []NodeID, in map[NodeID]bool) NodeID {
+	best := frontier[0]
+	bestScore := -1
+	for _, id := range frontier {
+		score := 0
+		for _, nb := range g.Neighbors(id) {
+			if in[nb] {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+func setKey(ids []NodeID) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), ',')
+	}
+	return string(b)
+}

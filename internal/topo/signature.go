@@ -1,0 +1,72 @@
+package topo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Signature returns a Weisfeiler–Lehman style topology signature. It is
+// invariant under node relabeling: two isomorphic graphs always produce the
+// same signature, so it can be used to deduplicate candidate topologies
+// (Algorithm 1, line 25 of the paper). Like all WL refinements it may
+// collide for some non-isomorphic graphs, which is acceptable for dedup —
+// it only means one extra candidate is pruned conservatively kept or
+// dropped; correctness of mapping never depends on it.
+//
+// iterations controls refinement depth; 0 selects a default of 3, which
+// distinguishes all topologies that arise from small 2D-mesh regions.
+func Signature(g *Graph, iterations int) string {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	ids := g.Nodes()
+	labels := make(map[NodeID]uint64, len(ids))
+	for _, id := range ids {
+		labels[id] = hash64(fmt.Sprintf("k=%s;d=%d", g.KindOf(id), g.Degree(id)))
+	}
+	for it := 0; it < iterations; it++ {
+		next := make(map[NodeID]uint64, len(ids))
+		for _, id := range ids {
+			nbs := g.Neighbors(id)
+			nbLabels := make([]uint64, len(nbs))
+			for i, nb := range nbs {
+				nbLabels[i] = labels[nb]
+			}
+			sort.Slice(nbLabels, func(i, j int) bool { return nbLabels[i] < nbLabels[j] })
+			h := fnv.New64a()
+			writeU64(h, labels[id])
+			for _, l := range nbLabels {
+				writeU64(h, l)
+			}
+			next[id] = h.Sum64()
+		}
+		labels = next
+	}
+	final := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		final = append(final, labels[id])
+	}
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	h := fnv.New64a()
+	writeU64(h, uint64(g.NumNodes()))
+	writeU64(h, uint64(g.NumEdges()))
+	for _, l := range final {
+		writeU64(h, l)
+	}
+	return fmt.Sprintf("wl:%d:%d:%016x", g.NumNodes(), g.NumEdges(), h.Sum64())
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}

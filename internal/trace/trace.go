@@ -1,0 +1,260 @@
+// Package trace collects execution traces from simulator runs: DMA
+// address traces (Fig 6) and per-core busy-span timelines (the
+// COMP/SEND/RECEIVE lanes of Fig 18), with the invariant checks the paper
+// derives its vChunk design from.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// MemPoint is one DMA burst observation.
+type MemPoint struct {
+	Core isa.CoreID
+	Iter int
+	VA   uint64
+	At   sim.Cycles
+}
+
+// MemRecorder accumulates DMA address traces. Wire its Record method into
+// npu.RunOptions.MemTrace.
+type MemRecorder struct {
+	points []MemPoint
+}
+
+// Record appends one observation.
+func (r *MemRecorder) Record(core isa.CoreID, iter int, va uint64, at sim.Cycles) {
+	r.points = append(r.points, MemPoint{Core: core, Iter: iter, VA: va, At: at})
+}
+
+// Points returns all observations in record order.
+func (r *MemRecorder) Points() []MemPoint { return r.points }
+
+// Cores lists the cores observed, ascending.
+func (r *MemRecorder) Cores() []isa.CoreID {
+	seen := map[isa.CoreID]bool{}
+	for _, p := range r.points {
+		seen[p.Core] = true
+	}
+	out := make([]isa.CoreID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// perCoreIter returns the VA sequence of one core in one iteration, in
+// record (time) order.
+func (r *MemRecorder) perCoreIter(core isa.CoreID, iter int) []uint64 {
+	var vas []uint64
+	for _, p := range r.points {
+		if p.Core == core && p.Iter == iter {
+			vas = append(vas, p.VA)
+		}
+	}
+	return vas
+}
+
+// CheckMonotonic verifies Pattern-2 (§4.2): within each iteration, each
+// core's accessed addresses increase monotonically. It returns the first
+// violation found.
+func (r *MemRecorder) CheckMonotonic() error {
+	type key struct {
+		core isa.CoreID
+		iter int
+	}
+	last := map[key]uint64{}
+	for _, p := range r.points {
+		k := key{p.Core, p.Iter}
+		if prev, ok := last[k]; ok && p.VA < prev {
+			return fmt.Errorf("trace: core %d iter %d: address %#x after %#x", p.Core, p.Iter, p.VA, prev)
+		}
+		last[k] = p.VA
+	}
+	return nil
+}
+
+// CheckIterationsRepeat verifies Pattern-3 (§4.2): every iteration of a
+// core touches exactly the same address sequence.
+func (r *MemRecorder) CheckIterationsRepeat() error {
+	iters := map[int]bool{}
+	for _, p := range r.points {
+		iters[p.Iter] = true
+	}
+	if len(iters) < 2 {
+		return nil
+	}
+	for _, core := range r.Cores() {
+		ref := r.perCoreIter(core, 0)
+		for it := range iters {
+			if it == 0 {
+				continue
+			}
+			got := r.perCoreIter(core, it)
+			if len(got) != len(ref) {
+				return fmt.Errorf("trace: core %d iter %d has %d accesses, iter 0 had %d", core, it, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					return fmt.Errorf("trace: core %d iter %d access %d is %#x, iter 0 had %#x", core, it, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the Fig 6 style address/time scatter: one row band per
+// core, time on the X axis, address (normalized per core) on the Y axis
+// within the band.
+func (r *MemRecorder) RenderASCII(w io.Writer, width, bandHeight int) error {
+	if len(r.points) == 0 {
+		_, err := fmt.Fprintln(w, "(no trace points)")
+		return err
+	}
+	if width < 16 {
+		width = 16
+	}
+	if bandHeight < 3 {
+		bandHeight = 3
+	}
+	var maxT sim.Cycles
+	for _, p := range r.points {
+		if p.At > maxT {
+			maxT = p.At
+		}
+	}
+	for _, core := range r.Cores() {
+		var pts []MemPoint
+		minVA, maxVA := ^uint64(0), uint64(0)
+		for _, p := range r.points {
+			if p.Core != core {
+				continue
+			}
+			pts = append(pts, p)
+			if p.VA < minVA {
+				minVA = p.VA
+			}
+			if p.VA > maxVA {
+				maxVA = p.VA
+			}
+		}
+		grid := make([][]byte, bandHeight)
+		for i := range grid {
+			grid[i] = make([]byte, width)
+			for j := range grid[i] {
+				grid[i][j] = ' '
+			}
+		}
+		span := maxVA - minVA
+		for _, p := range pts {
+			x := int(int64(p.At) * int64(width-1) / int64(maxT+1))
+			y := 0
+			if span > 0 {
+				y = int((p.VA - minVA) * uint64(bandHeight-1) / span)
+			}
+			grid[bandHeight-1-y][x] = '*'
+		}
+		if _, err := fmt.Fprintf(w, "core %d  [%#x .. %#x]\n", core, minVA, maxVA); err != nil {
+			return err
+		}
+		for _, row := range grid {
+			if _, err := fmt.Fprintf(w, "  |%s|\n", row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Span is one recorded execution interval.
+type Span struct {
+	Core  isa.CoreID
+	Kind  npu.SpanKind
+	Start sim.Cycles
+	End   sim.Cycles
+}
+
+// SpanRecorder accumulates execution spans. Wire its Record method into
+// npu.RunOptions.Span.
+type SpanRecorder struct {
+	spans []Span
+}
+
+// Record appends one span.
+func (r *SpanRecorder) Record(core isa.CoreID, kind npu.SpanKind, start, end sim.Cycles) {
+	r.spans = append(r.spans, Span{Core: core, Kind: kind, Start: start, End: end})
+}
+
+// Spans returns all spans in record order.
+func (r *SpanRecorder) Spans() []Span { return r.spans }
+
+// BusyCycles sums span durations of one kind on one core.
+func (r *SpanRecorder) BusyCycles(core isa.CoreID, kind npu.SpanKind) sim.Cycles {
+	var total sim.Cycles
+	for _, s := range r.spans {
+		if s.Core == core && s.Kind == kind {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// RenderTimeline draws the Fig 18 style per-core trace: one lane per core,
+// C for compute, S for send, R for receive, D for DMA, B for barrier.
+func (r *SpanRecorder) RenderTimeline(w io.Writer, width int) error {
+	if len(r.spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	if width < 16 {
+		width = 16
+	}
+	var maxT sim.Cycles
+	cores := map[isa.CoreID]bool{}
+	for _, s := range r.spans {
+		if s.End > maxT {
+			maxT = s.End
+		}
+		cores[s.Core] = true
+	}
+	ids := make([]isa.CoreID, 0, len(cores))
+	for c := range cores {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	glyph := map[npu.SpanKind]byte{
+		npu.SpanCompute: 'C',
+		npu.SpanDMA:     'D',
+		npu.SpanSend:    'S',
+		npu.SpanRecv:    'R',
+		npu.SpanBarrier: 'B',
+	}
+	for _, id := range ids {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, s := range r.spans {
+			if s.Core != id {
+				continue
+			}
+			x0 := int(int64(s.Start) * int64(width-1) / int64(maxT+1))
+			x1 := int(int64(s.End) * int64(width-1) / int64(maxT+1))
+			for x := x0; x <= x1 && x < width; x++ {
+				lane[x] = glyph[s.Kind]
+			}
+		}
+		if _, err := fmt.Fprintf(w, "core %2d |%s|\n", id, lane); err != nil {
+			return err
+		}
+	}
+	return nil
+}

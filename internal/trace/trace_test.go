@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+func TestMemRecorderChecks(t *testing.T) {
+	var r MemRecorder
+	// Two cores, two identical iterations, monotonic within each.
+	for iter := 0; iter < 2; iter++ {
+		base := uint64(0x1000)
+		for i := 0; i < 4; i++ {
+			r.Record(0, iter, base+uint64(i)*512, 0)
+			r.Record(1, iter, base+0x9000+uint64(i)*512, 0)
+		}
+	}
+	if err := r.CheckMonotonic(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckIterationsRepeat(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores()) != 2 {
+		t.Fatalf("cores = %v", r.Cores())
+	}
+	if len(r.Points()) != 16 {
+		t.Fatalf("points = %d", len(r.Points()))
+	}
+}
+
+func TestMemRecorderDetectsNonMonotonic(t *testing.T) {
+	var r MemRecorder
+	r.Record(0, 0, 0x2000, 0)
+	r.Record(0, 0, 0x1000, 1)
+	if err := r.CheckMonotonic(); err == nil {
+		t.Fatal("expected monotonicity violation")
+	}
+}
+
+func TestMemRecorderDetectsIterationDrift(t *testing.T) {
+	var r MemRecorder
+	r.Record(0, 0, 0x1000, 0)
+	r.Record(0, 1, 0x2000, 1)
+	if err := r.CheckIterationsRepeat(); err == nil {
+		t.Fatal("expected iteration mismatch")
+	}
+	var r2 MemRecorder
+	r2.Record(0, 0, 0x1000, 0)
+	r2.Record(0, 0, 0x2000, 0)
+	r2.Record(0, 1, 0x1000, 1)
+	if err := r2.CheckIterationsRepeat(); err == nil {
+		t.Fatal("expected length mismatch")
+	}
+}
+
+func TestMemRecorderRenderASCII(t *testing.T) {
+	var r MemRecorder
+	for i := 0; i < 8; i++ {
+		r.Record(0, 0, uint64(i)*4096, sim.Cycles(i*100))
+	}
+	var buf bytes.Buffer
+	if err := r.RenderASCII(&buf, 40, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "core 0") || !strings.Contains(out, "*") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	var empty MemRecorder
+	buf.Reset()
+	if err := empty.RenderASCII(&buf, 40, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace points") {
+		t.Fatal("empty recorder must say so")
+	}
+}
+
+func TestSpanRecorder(t *testing.T) {
+	var r SpanRecorder
+	r.Record(0, npu.SpanCompute, 0, 100)
+	r.Record(0, npu.SpanSend, 100, 150)
+	r.Record(1, npu.SpanRecv, 100, 152)
+	r.Record(1, npu.SpanCompute, 152, 400)
+	if got := r.BusyCycles(0, npu.SpanCompute); got != 100 {
+		t.Fatalf("compute busy = %v", got)
+	}
+	if got := r.BusyCycles(1, npu.SpanRecv); got != 52 {
+		t.Fatalf("recv busy = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.RenderTimeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"core  0", "core  1", "C", "S", "R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	var empty SpanRecorder
+	buf.Reset()
+	if err := empty.RenderTimeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Fatal("empty recorder must say so")
+	}
+}

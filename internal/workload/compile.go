@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+)
+
+// CompileOptions tunes program generation.
+type CompileOptions struct {
+	// Cores is the number of virtual cores to compile for.
+	Cores int
+	// WeightZoneBytes is the per-core scratchpad capacity available for
+	// tensors. When a stage's weights exceed half of it, weights are
+	// streamed from global memory every iteration (the FPGA-scale regime
+	// of Figs 6 and 14); otherwise they are assumed warm in SRAM and only
+	// activations move (the big-SRAM regime of §6.3.4).
+	WeightZoneBytes int64
+	// ForceStreaming streams weights regardless of fit, used by the memory
+	// virtualization experiments.
+	ForceStreaming bool
+	// MaxStages caps the pipeline depth; surplus cores become data-parallel
+	// group members within stages (0 = one stage per layer when cores
+	// allow).
+	MaxStages int
+	// VABase is the guest virtual address where the compiled program's
+	// memory region starts (weights, then input, then output).
+	VABase uint64
+}
+
+// Info describes the compiled program's resource layout.
+type Info struct {
+	Partition Partition
+	// Streaming reports whether weights are re-loaded every iteration.
+	Streaming bool
+	// MemBytes is the total guest memory the program addresses; the
+	// hypervisor must allocate at least this much at VABase.
+	MemBytes uint64
+	// WeightBytes is the model's parameter footprint (warmup traffic).
+	WeightBytes int64
+}
+
+// spChunk is the scratchpad double-buffer granularity for streamed weight
+// loads: each DMA instruction moves at most this much into SPAddr 0.
+const spChunk = 128 << 10
+
+// Compile lowers a model onto a virtual NPU: it partitions the layer chain
+// into a pipeline over opt.Cores cores and emits one instruction stream
+// per virtual core. The generated program is deadlock-free by
+// construction: cross-stage exchanges follow a single global
+// (boundary, destination, source) order.
+func Compile(m Model, opt CompileOptions) (*isa.Program, Info, error) {
+	part, err := PartitionModel(&m, opt.Cores, opt.MaxStages)
+	if err != nil {
+		return nil, Info{}, err
+	}
+
+	// Memory layout: [input][weights][output], each layer's weights
+	// contiguous in layer order. Stage 0 reads the input first and then
+	// its weights, so every core's addresses increase monotonically within
+	// an iteration (Pattern-2 of §4.2, the Fig 6 trace shape).
+	cursor := opt.VABase
+	inputVA := cursor
+	cursor += uint64(m.InputBytes)
+	weightVA := make([]uint64, len(m.Layers))
+	for i, l := range m.Layers {
+		weightVA[i] = cursor
+		cursor += uint64(l.WeightBytes)
+	}
+	outputVA := cursor
+	cursor += uint64(m.OutputBytes())
+
+	streaming := opt.ForceStreaming
+	if !streaming && opt.WeightZoneBytes > 0 && part.MaxCoreWeightBytes() > opt.WeightZoneBytes/2 {
+		streaming = true
+	}
+
+	info := Info{
+		Partition:   part,
+		Streaming:   streaming,
+		MemBytes:    cursor - opt.VABase,
+		WeightBytes: m.WeightBytes(),
+	}
+
+	prog := isa.NewProgram()
+	for si, stage := range part.Stages {
+		g := len(stage.Cores)
+		for gi, vcore := range stage.Cores {
+			id := isa.CoreID(vcore)
+
+			// 1. Receive phase: stage 0 loads the input slice; later
+			// stages receive from every core of the previous stage, in
+			// ascending source order.
+			if si == 0 {
+				slice := sliceBytes(m.InputBytes, g, gi)
+				emitChunkedDMA(prog, id, isa.OpDMALoad, inputVA+uint64(gi)*uint64(slice), slice)
+			} else {
+				prev := part.Stages[si-1]
+				cross := prev.OutBytes
+				per := pairBytes(cross, len(prev.Cores), g)
+				for _, src := range prev.Cores {
+					prog.Append(id, isa.Instr{
+						Op: isa.OpRecv, Peer: isa.CoreID(src),
+						Tag: uint16(si - 1), Size: uint32(per),
+					})
+				}
+			}
+
+			// 2. Compute phase: per layer, optionally stream weights
+			// (chunked for double buffering), then the compute op with the
+			// data-parallel axis divided by the group size, then the
+			// residual merge.
+			for li := stage.First; li <= stage.Last; li++ {
+				l := m.Layers[li]
+				if streaming && l.WeightBytes > 0 {
+					emitChunkedDMA(prog, id, isa.OpDMALoad, weightVA[li], l.WeightBytes)
+				}
+				prog.Append(id, splitInstr(l.Instr, g))
+				if l.AddBytes > 0 {
+					prog.Append(id, isa.Instr{
+						Op: isa.OpVector, Size: uint32(sliceBytes(l.AddBytes, g, gi)),
+					})
+				}
+			}
+
+			// 3. Send phase: last stage stores the output slice; earlier
+			// stages send to every core of the next stage, ascending.
+			if si == len(part.Stages)-1 {
+				slice := sliceBytes(m.OutputBytes(), g, gi)
+				emitChunkedDMA(prog, id, isa.OpDMAStore, outputVA+uint64(gi)*uint64(slice), slice)
+			} else {
+				next := part.Stages[si+1]
+				per := pairBytes(stage.OutBytes, g, len(next.Cores))
+				for _, dst := range next.Cores {
+					prog.Append(id, isa.Instr{
+						Op: isa.OpSend, Peer: isa.CoreID(dst),
+						Tag: uint16(si), Size: uint32(per),
+					})
+				}
+			}
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, Info{}, fmt.Errorf("workload: compiled program invalid: %w", err)
+	}
+	return prog, info, nil
+}
+
+// emitChunkedDMA splits a tensor transfer into scratchpad-double-buffer
+// chunks, each one DMA instruction — the coarse-grained, monotonically
+// addressed DMA stream of §4.2.
+func emitChunkedDMA(prog *isa.Program, id isa.CoreID, op isa.Opcode, va uint64, size int64) {
+	for rem := size; rem > 0; {
+		n := int64(spChunk)
+		if n > rem {
+			n = rem
+		}
+		prog.Append(id, isa.Instr{Op: op, VAddr: va, SPAddr: 0, Size: uint32(n)})
+		va += uint64(n)
+		rem -= n
+	}
+}
+
+// sliceBytes divides total bytes across a group, giving member gi its
+// share (last member absorbs the remainder; shares stay element-aligned).
+func sliceBytes(total int64, g, gi int) int64 {
+	if g <= 1 {
+		return total
+	}
+	per := (total / int64(g)) &^ (ElemBytes - 1)
+	if gi == g-1 {
+		return total - per*int64(g-1)
+	}
+	return per
+}
+
+// pairBytes is the payload of one (src, dst) exchange when crossing bytes
+// fan out from gs producers to gd consumers.
+func pairBytes(cross int64, gs, gd int) int64 {
+	per := cross / int64(gs*gd)
+	if per < ElemBytes {
+		per = ElemBytes
+	}
+	return per &^ (ElemBytes - 1)
+}
+
+// splitInstr divides a compute instruction's data-parallel axis by g.
+func splitInstr(in isa.Instr, g int) isa.Instr {
+	if g <= 1 {
+		return in
+	}
+	switch in.Op {
+	case isa.OpMatmul:
+		in.M = divCeil32(in.M, int32(g))
+	case isa.OpConv:
+		in.H = divCeil32(in.H, int32(g))
+	case isa.OpVector:
+		sz := int64(in.Size) / int64(g)
+		if sz < ElemBytes {
+			sz = ElemBytes
+		}
+		in.Size = uint32(sz) &^ (ElemBytes - 1)
+	}
+	return in
+}
+
+func divCeil32(a, b int32) int32 {
+	v := (a + b - 1) / b
+	if v < 1 {
+		return 1
+	}
+	return v
+}

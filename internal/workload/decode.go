@@ -1,0 +1,71 @@
+package workload
+
+import "fmt"
+
+// Decode-phase transformer workloads (§2.2: the decode phase is
+// memory-intensive; §7: commercial NPUs pre-allocate a fixed-size KV
+// buffer in SRAM). One decode step processes a single token: every matmul
+// has M=1, and the attention reads the KV cache of all kvLen previous
+// tokens from the per-core KV buffer.
+
+// decodeBlockLayers emits one transformer block in decode form.
+func decodeBlockLayers(prefix string, dim, kvLen int32) []Layer {
+	tokBytes := int64(dim) * ElemBytes
+	layers := []Layer{
+		vecLayer(prefix+"ln1", tokBytes),
+		fc(prefix+"qkv", 1, dim, 3*dim),
+		fc(prefix+"scores", 1, dim, kvLen), // q x K^T over the cache
+		fc(prefix+"attnv", 1, kvLen, dim),  // softmax(scores) x V
+		withAdd(fc(prefix+"proj", 1, dim, dim), tokBytes),
+		vecLayer(prefix+"ln2", tokBytes),
+		fc(prefix+"mlp1", 1, dim, 4*dim),
+		withAdd(fc(prefix+"mlp2", 1, 4*dim, dim), tokBytes),
+	}
+	layers[2].WeightBytes = 0 // cache reads, not weights
+	layers[3].WeightBytes = 0
+	return layers
+}
+
+// GPT2Decode builds the decode phase of a GPT-2 style model: blocks
+// transformer blocks of the given width generating one token against a
+// KV cache of kvLen tokens.
+func GPT2Decode(blocks int, dim, kvLen int32) Model {
+	m := Model{
+		Name:       fmt.Sprintf("GPT2-decode-%db-%dd-kv%d", blocks, dim, kvLen),
+		InputBytes: int64(dim) * ElemBytes,
+	}
+	m.Layers = append(m.Layers, fc("embed", 1, dim, dim))
+	for b := 0; b < blocks; b++ {
+		m.Layers = append(m.Layers, decodeBlockLayers(fmt.Sprintf("b%d_", b), dim, kvLen)...)
+	}
+	return m
+}
+
+// KVBytesPerBlock is the KV-cache footprint of one block at the given
+// width and context length: keys and values, kvLen x dim each.
+func KVBytesPerBlock(dim, kvLen int32) int64 {
+	return 2 * int64(kvLen) * int64(dim) * ElemBytes
+}
+
+// KVBufferBytesPerCore sizes the per-core KV reservation for a decode
+// model pipelined over the given core count: each core holds the cache of
+// the blocks in its stages.
+func KVBufferBytesPerCore(blocks int, dim, kvLen int32, cores int) int64 {
+	if cores < 1 {
+		cores = 1
+	}
+	perBlock := KVBytesPerBlock(dim, kvLen)
+	blocksPerCore := (blocks + cores - 1) / cores
+	return int64(blocksPerCore) * perBlock
+}
+
+// ArithmeticIntensity returns FLOPs per byte of weight traffic — the
+// quantity that makes prefill compute-bound and decode memory-bound
+// (§2.2). For decode every weight byte is used once per token.
+func (m Model) ArithmeticIntensity() float64 {
+	w := m.WeightBytes()
+	if w == 0 {
+		return 0
+	}
+	return float64(m.TotalFLOPs()) / float64(w)
+}

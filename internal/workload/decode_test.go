@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/npu"
+)
+
+func TestGPT2DecodeStructure(t *testing.T) {
+	m := GPT2Decode(12, 768, 256)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Decode has the same depth as prefill: embed + 12 blocks x 8 layers.
+	if len(m.Layers) != 1+12*8 {
+		t.Fatalf("layers = %d", len(m.Layers))
+	}
+	// Every matmul processes a single token.
+	for _, l := range m.Layers {
+		if l.Instr.M > 1 {
+			t.Fatalf("%s: decode matmul M = %d, want 1", l.Name, l.Instr.M)
+		}
+	}
+}
+
+func TestDecodeIsMemoryBound(t *testing.T) {
+	decode := GPT2Decode(12, 768, 256)
+	prefill := GPT2Small(256)
+	di := decode.ArithmeticIntensity()
+	pi := prefill.ArithmeticIntensity()
+	if di <= 0 || pi <= 0 {
+		t.Fatalf("intensities: decode=%v prefill=%v", di, pi)
+	}
+	// §2.2: decode reuses each weight once per token; prefill amortizes
+	// weights over the whole sequence.
+	if pi < 50*di {
+		t.Fatalf("prefill intensity %v should dwarf decode %v", pi, di)
+	}
+}
+
+func TestKVBufferSizing(t *testing.T) {
+	// One block at dim 768, 256 tokens: K and V, 256x768 floats each.
+	want := int64(2 * 256 * 768 * 4)
+	if got := KVBytesPerBlock(768, 256); got != want {
+		t.Fatalf("KVBytesPerBlock = %d, want %d", got, want)
+	}
+	// 12 blocks over 12 cores: one block per core.
+	if got := KVBufferBytesPerCore(12, 768, 256, 12); got != want {
+		t.Fatalf("per-core = %d, want %d", got, want)
+	}
+	// 12 blocks over 4 cores: three blocks per core.
+	if got := KVBufferBytesPerCore(12, 768, 256, 4); got != 3*want {
+		t.Fatalf("per-core = %d, want %d", got, 3*want)
+	}
+	if got := KVBufferBytesPerCore(12, 768, 256, 0); got != 12*want {
+		t.Fatalf("zero cores must clamp to one: %d", got)
+	}
+}
+
+func TestDecodeCompilesAndRuns(t *testing.T) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GPT2Decode(2, 128, 64)
+	prog, _, err := Compile(m, CompileOptions{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := npu.IdentityPlacement{Graph: dev.Graph()}
+	fab := &npu.NoCFabric{Net: dev.NoC()}
+	res, err := dev.Run(prog, pl, fab, npu.RunOptions{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestExportedLayerConstructors(t *testing.T) {
+	mm := MatmulLayer("mm", 4, 8, 16)
+	if mm.Instr.M != 4 || mm.WeightBytes != 8*16*ElemBytes {
+		t.Fatalf("MatmulLayer = %+v", mm)
+	}
+	cv := ConvLayer("cv", 8, 8, 3, 16, 3)
+	if cv.Instr.OC != 16 || cv.WeightBytes != 3*16*9*ElemBytes {
+		t.Fatalf("ConvLayer = %+v", cv)
+	}
+	vl := VectorLayerN("v", 1024)
+	if vl.OutBytes != 1024 || vl.WeightBytes != 0 {
+		t.Fatalf("VectorLayerN = %+v", vl)
+	}
+}

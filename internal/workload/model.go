@@ -1,0 +1,112 @@
+// Package workload provides the ML models of the paper's evaluation as
+// layer graphs, a pipeline partitioner that maps them onto virtual NPU
+// cores, and a compiler that lowers the result to per-core isa programs.
+//
+// Models are linear layer chains with optional skip (residual) edges —
+// enough structure to reproduce every workload the paper measures:
+// CNNs (AlexNet, ResNet-18/34/50, GoogLeNet, MobileNet, YOLO-Lite),
+// Transformer blocks and the GPT-2 family.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+)
+
+// ElemBytes is the element size of all tensors (fp32).
+const ElemBytes = 4
+
+// Layer is one compute step of a model.
+type Layer struct {
+	Name string
+	// Instr is the compute instruction representing the layer. Its M
+	// dimension (H for convs, M for matmuls, Size for vector ops) is the
+	// data-parallel axis the partitioner may split across a core group.
+	Instr isa.Instr
+	// WeightBytes is the parameter footprint of the layer.
+	WeightBytes int64
+	// OutBytes is the activation output size feeding the next layer.
+	OutBytes int64
+	// AddBytes, when non-zero, models a residual merge: a vector op over
+	// this many bytes runs after the layer's main compute.
+	AddBytes int64
+}
+
+// FLOPs counts the layer's arithmetic including the residual merge.
+func (l Layer) FLOPs() int64 { return l.Instr.FLOPs() + l.AddBytes/ElemBytes }
+
+// Skip is a residual edge: the output of layer From is consumed again by
+// layer To (To > From+1). When From and To land in different pipeline
+// stages the skipped activation is relayed across every boundary between
+// them.
+type Skip struct {
+	From, To int
+}
+
+// Model is a layer chain with skip edges.
+type Model struct {
+	Name       string
+	Layers     []Layer
+	Skips      []Skip
+	InputBytes int64
+}
+
+// Validate reports structural problems.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("workload: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		switch l.Instr.Op {
+		case isa.OpMatmul, isa.OpConv, isa.OpVector:
+		default:
+			return fmt.Errorf("workload: %s layer %d (%s) has non-compute op %v", m.Name, i, l.Name, l.Instr.Op)
+		}
+		if l.OutBytes <= 0 {
+			return fmt.Errorf("workload: %s layer %d (%s) has no output", m.Name, i, l.Name)
+		}
+	}
+	for _, s := range m.Skips {
+		if s.From < 0 || s.To >= len(m.Layers) || s.To <= s.From+1 {
+			return fmt.Errorf("workload: %s has invalid skip %d->%d", m.Name, s.From, s.To)
+		}
+	}
+	return nil
+}
+
+// TotalFLOPs sums all layers' arithmetic for one inference.
+func (m Model) TotalFLOPs() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// WeightBytes sums the model's parameter footprint.
+func (m Model) WeightBytes() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.WeightBytes
+	}
+	return total
+}
+
+// OutputBytes is the final layer's activation size.
+func (m Model) OutputBytes() int64 { return m.Layers[len(m.Layers)-1].OutBytes }
+
+// crossingBytes computes the activation traffic over the boundary between
+// layer index b and b+1: the linear edge plus every skip edge relayed
+// across it. A skip originating exactly at b rides along with the linear
+// edge (same tensor, sent once); skips from earlier layers must cross
+// again.
+func (m Model) crossingBytes(b int) int64 {
+	total := m.Layers[b].OutBytes
+	for _, s := range m.Skips {
+		if s.From < b && s.To > b {
+			total += m.Layers[s.From].OutBytes
+		}
+	}
+	return total
+}

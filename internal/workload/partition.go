@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// Stage is one pipeline stage: a contiguous layer range executed by a
+// group of data-parallel cores (the group splits each layer's output rows;
+// weights are replicated within the group).
+type Stage struct {
+	// First and Last delimit the layer range [First, Last].
+	First, Last int
+	// Cores lists the virtual core IDs of the stage's group, ascending.
+	Cores []int
+	// FLOPs is the stage's total arithmetic per inference.
+	FLOPs int64
+	// WeightBytes is the stage's parameter footprint (held by every core
+	// of the group).
+	WeightBytes int64
+	// OutBytes is the traffic crossing the boundary to the next stage.
+	OutBytes int64
+}
+
+// Partition is a model mapped onto a virtual NPU: an ordered pipeline of
+// stages covering all layers, using exactly Cores virtual cores.
+type Partition struct {
+	Model  *Model
+	Stages []Stage
+}
+
+// NumCores reports the total virtual cores used.
+func (p Partition) NumCores() int {
+	total := 0
+	for _, s := range p.Stages {
+		total += len(s.Cores)
+	}
+	return total
+}
+
+// StageOfCore returns the index of the stage owning virtual core v, or -1.
+func (p Partition) StageOfCore(v int) int {
+	for i, s := range p.Stages {
+		for _, c := range s.Cores {
+			if c == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// MaxCoreWeightBytes reports the largest per-core weight footprint — the
+// quantity that decides whether weights fit in the scratchpad or must be
+// streamed every iteration.
+func (p Partition) MaxCoreWeightBytes() int64 {
+	var m int64
+	for _, s := range p.Stages {
+		if s.WeightBytes > m {
+			m = s.WeightBytes
+		}
+	}
+	return m
+}
+
+// PartitionModel splits the model into a pipeline over the given number
+// of virtual cores:
+//
+//  1. The layer chain is cut into min(cores, layers, maxStages) contiguous
+//     stages with approximately balanced FLOPs (greedy proportional cut).
+//     maxStages <= 0 means unlimited.
+//  2. Remaining cores are assigned to the stages with the highest
+//     per-core FLOPs, exploiting data parallelism within a stage.
+//
+// Virtual core IDs are assigned to stages in order: stage 0 gets cores
+// 0..g0-1, stage 1 the next g1, and so on — so a chain-shaped virtual
+// topology keeps pipeline neighbors adjacent. Capping maxStages below the
+// core count yields a hybrid pipeline/data-parallel mapping where
+// consecutive stage groups exchange tensors all-to-all.
+func PartitionModel(m *Model, cores, maxStages int) (Partition, error) {
+	if err := m.Validate(); err != nil {
+		return Partition{}, err
+	}
+	if cores < 1 {
+		return Partition{}, fmt.Errorf("workload: need at least 1 core")
+	}
+	numStages := cores
+	if numStages > len(m.Layers) {
+		numStages = len(m.Layers)
+	}
+	if maxStages > 0 && numStages > maxStages {
+		numStages = maxStages
+	}
+
+	// Greedy balanced cut: close a stage once its FLOPs reach the average
+	// of the remaining work, while leaving enough layers for the remaining
+	// stages.
+	var remaining int64 = m.TotalFLOPs()
+	stages := make([]Stage, 0, numStages)
+	layer := 0
+	for s := 0; s < numStages; s++ {
+		stagesLeft := numStages - s
+		target := remaining / int64(stagesLeft)
+		first := layer
+		var acc int64
+		for {
+			acc += m.Layers[layer].FLOPs()
+			layer++
+			layersLeft := len(m.Layers) - layer
+			if layersLeft == stagesLeft-1 {
+				// Must stop: exactly one layer left per remaining stage.
+				break
+			}
+			if acc >= target && stagesLeft > 1 {
+				break
+			}
+		}
+		st := Stage{First: first, Last: layer - 1, FLOPs: acc}
+		for i := first; i < layer; i++ {
+			st.WeightBytes += m.Layers[i].WeightBytes
+		}
+		if layer < len(m.Layers) {
+			st.OutBytes = m.crossingBytes(layer - 1)
+		}
+		stages = append(stages, st)
+		remaining -= acc
+	}
+
+	// Distribute surplus cores to the stages with the highest per-core
+	// load.
+	groups := make([]int, len(stages))
+	for i := range groups {
+		groups[i] = 1
+	}
+	for extra := cores - len(stages); extra > 0; extra-- {
+		best := 0
+		var bestLoad float64 = -1
+		for i, s := range stages {
+			load := float64(s.FLOPs) / float64(groups[i])
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		groups[best]++
+	}
+	v := 0
+	for i := range stages {
+		for g := 0; g < groups[i]; g++ {
+			stages[i].Cores = append(stages[i].Cores, v)
+			v++
+		}
+	}
+	return Partition{Model: m, Stages: stages}, nil
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/vnpu-sim/vnpu/internal/npu"
+)
+
+// randomModel builds a small synthetic model with arbitrary layer mixes
+// and skip edges — the space the compiler must never deadlock on.
+func randomModel(rng *rand.Rand) Model {
+	n := 3 + rng.Intn(10)
+	m := Model{Name: "random", InputBytes: int64(256 << rng.Intn(4))}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			m.Layers = append(m.Layers, MatmulLayer("mm", int32(1+rng.Intn(32)),
+				int32(8+rng.Intn(128)), int32(8+rng.Intn(128))))
+		case 1:
+			m.Layers = append(m.Layers, ConvLayer("cv", int32(4+rng.Intn(12)),
+				int32(4+rng.Intn(12)), int32(1+rng.Intn(16)), int32(1+rng.Intn(16)), 3))
+		default:
+			m.Layers = append(m.Layers, VectorLayerN("v", int64(256<<rng.Intn(6))))
+		}
+	}
+	// Random skip edges (From < To-1).
+	for i := 0; i < rng.Intn(3); i++ {
+		from := rng.Intn(n - 2)
+		to := from + 2 + rng.Intn(n-from-2)
+		m.Skips = append(m.Skips, Skip{From: from, To: to})
+	}
+	return m
+}
+
+// Property: every compiled program validates and runs to completion — no
+// deadlocks, whatever the layer mix, skip edges, core count or stage cap.
+func TestCompileNeverDeadlocksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		cores := 1 + rng.Intn(8)
+		maxStages := 0
+		if rng.Intn(2) == 0 {
+			maxStages = 1 + rng.Intn(cores)
+		}
+		prog, _, err := Compile(m, CompileOptions{
+			Cores:     cores,
+			MaxStages: maxStages,
+		})
+		if err != nil {
+			return false
+		}
+		if err := prog.Validate(); err != nil {
+			return false
+		}
+		dev, err := npu.NewDevice(npu.FPGAConfig())
+		if err != nil {
+			return false
+		}
+		pl := npu.IdentityPlacement{Graph: dev.Graph()}
+		fab := &npu.NoCFabric{Net: dev.NoC()}
+		res, err := dev.Run(prog, pl, fab, npu.RunOptions{Iterations: 2})
+		return err == nil && res.Cycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: execution is deterministic — the same program on a fresh
+// device always produces identical cycle counts.
+func TestRunDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		cores := 2 + rng.Intn(6)
+		prog, _, err := Compile(m, CompileOptions{Cores: cores})
+		if err != nil {
+			return false
+		}
+		run := func() (int64, error) {
+			dev, err := npu.NewDevice(npu.FPGAConfig())
+			if err != nil {
+				return 0, err
+			}
+			res, err := dev.Run(prog, npu.IdentityPlacement{Graph: dev.Graph()},
+				&npu.NoCFabric{Net: dev.NoC()}, npu.RunOptions{Iterations: 3})
+			return int64(res.Cycles), err
+		}
+		a, err1 := run()
+		b, err2 := run()
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compiled DMA/NoC byte accounting is conserved: the program
+// moves at least the model's weights (when streaming) plus its input and
+// output, and never a negative amount.
+func TestCompileByteAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		cores := 1 + rng.Intn(6)
+		prog, info, err := Compile(m, CompileOptions{Cores: cores, ForceStreaming: true})
+		if err != nil {
+			return false
+		}
+		if !info.Streaming {
+			return false
+		}
+		// DMA covers input + all weights + output at minimum.
+		minBytes := m.InputBytes + m.WeightBytes() + m.OutputBytes()
+		if prog.DMABytes() < minBytes {
+			return false
+		}
+		// NoC traffic exists whenever there is more than one stage.
+		if len(info.Partition.Stages) > 1 && prog.NoCBytes() == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+// Roofline accounting for Fig 3: FLOPS utilization of classic ML models on
+// a large cloud NPU (Google TPU). Utilization is bounded both by the
+// roofline (arithmetic intensity vs machine balance) and by a per-model
+// compute-efficiency ceiling — systolic arrays rarely sustain peak on
+// convolutions with awkward shapes.
+
+// RooflineModel carries the per-inference traffic and arithmetic of one
+// model plus its achievable-efficiency ceiling.
+type RooflineModel struct {
+	Name string
+	// FLOPs per inference at batch 1.
+	FLOPs float64
+	// WeightBytes is read once per batch; ActBytes once per sample.
+	WeightBytes float64
+	ActBytes    float64
+	// EffCap is the fraction of peak the compute units can sustain on this
+	// model's kernel shapes.
+	EffCap float64
+}
+
+// TPU describes the accelerator of Fig 3 (TPU-v3-class: 123 TFLOPS peak,
+// 900 GB/s HBM).
+type TPU struct {
+	PeakFLOPS float64
+	MemBWBps  float64
+}
+
+// DefaultTPU is the Fig 3 target.
+func DefaultTPU() TPU { return TPU{PeakFLOPS: 123e12, MemBWBps: 900e9} }
+
+// Utilization returns the fraction of peak FLOPS the model achieves at the
+// given batch size: min(roofline bound, efficiency cap).
+func (t TPU) Utilization(m RooflineModel, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	b := float64(batch)
+	intensity := b * m.FLOPs / (m.WeightBytes + b*m.ActBytes)
+	balance := t.PeakFLOPS / t.MemBWBps
+	u := intensity / balance
+	if u > m.EffCap {
+		u = m.EffCap
+	}
+	return u
+}
+
+// Fig3Models returns the workloads of Fig 3 with literature-derived
+// per-inference FLOPs and byte footprints.
+func Fig3Models() []RooflineModel {
+	return []RooflineModel{
+		{Name: "Bert", FLOPs: 22.5e9, WeightBytes: 440e6, ActBytes: 55e6, EffCap: 0.50},
+		{Name: "DLRM", FLOPs: 0.6e9, WeightBytes: 2.0e9, ActBytes: 8e6, EffCap: 0.40},
+		{Name: "EfficientNet", FLOPs: 0.8e9, WeightBytes: 21e6, ActBytes: 43e6, EffCap: 0.45},
+		{Name: "AlexNet", FLOPs: 1.4e9, WeightBytes: 244e6, ActBytes: 4e6, EffCap: 0.55},
+		{Name: "Resnet", FLOPs: 8.2e9, WeightBytes: 102e6, ActBytes: 30e6, EffCap: 0.57},
+		{Name: "RetinaNet", FLOPs: 97e9, WeightBytes: 136e6, ActBytes: 250e6, EffCap: 0.62},
+		{Name: "Resnet-RS", FLOPs: 18e9, WeightBytes: 166e6, ActBytes: 61e6, EffCap: 0.58},
+	}
+}

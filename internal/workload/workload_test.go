@@ -1,0 +1,372 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+)
+
+func TestZooModelsValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.TotalFLOPs() <= 0 || m.WeightBytes() < 0 {
+			t.Fatalf("%s: FLOPs=%d weights=%d", name, m.TotalFLOPs(), m.WeightBytes())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestModelSizesAreSane(t *testing.T) {
+	// Parameter counts within 2x of the literature values (fp32 bytes).
+	cases := []struct {
+		m          Model
+		loMB, hiMB int64
+	}{
+		{ResNet18(), 30, 100},       // ~11M params = 44 MB
+		{ResNet34(), 60, 170},       // ~21M params = 84 MB
+		{AlexNet(), 150, 400},       // ~61M params = 244 MB
+		{MobileNet(), 8, 40},        // ~4.2M params = 17 MB
+		{GPT2Small(64), 250, 700},   // ~117M params in blocks
+		{GPT2Large(64), 2000, 4500}, // ~700M params in blocks
+	}
+	for _, c := range cases {
+		mb := c.m.WeightBytes() >> 20
+		if mb < c.loMB || mb > c.hiMB {
+			t.Errorf("%s weights = %d MB, want [%d, %d]", c.m.Name, mb, c.loMB, c.hiMB)
+		}
+	}
+	// ResNet18 FLOPs ~ 3.6 GFLOPs (2 per MAC).
+	fl := ResNet18().TotalFLOPs()
+	if fl < 2e9 || fl > 8e9 {
+		t.Errorf("ResNet18 FLOPs = %d, want ~3.6e9", fl)
+	}
+	// GPT2 depth scales: large has 3x the blocks of small.
+	if len(GPT2Large(64).Layers) <= 2*len(GPT2Small(64).Layers) {
+		t.Error("GPT2-large must be much deeper than small")
+	}
+}
+
+func TestExtendedZooModels(t *testing.T) {
+	// The Fig 3 workloads exist as runnable graphs too.
+	bert := BERTBase(128)
+	if err := bert.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// BERT-base: ~110M params = 440 MB fp32.
+	if mb := bert.WeightBytes() >> 20; mb < 250 || mb > 700 {
+		t.Fatalf("BERT weights = %d MB", mb)
+	}
+	dlrm := DLRM()
+	if err := dlrm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// DLRM's dense compute is tiny relative to CNNs.
+	if dlrm.TotalFLOPs() > ResNet18().TotalFLOPs() {
+		t.Fatal("DLRM dense FLOPs should be far below ResNet18")
+	}
+	eff := EfficientNetB0()
+	if err := eff.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// EfficientNet-B0: ~5M params, <1 GFLOPs... our approximation within 4x.
+	if fl := eff.TotalFLOPs(); fl < 2e8 || fl > 4e9 {
+		t.Fatalf("EfficientNet FLOPs = %d", fl)
+	}
+	ret := RetinaNet()
+	if err := ret.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// RetinaNet carries detection heads on top of the backbone.
+	if ret.TotalFLOPs() < ResNet50().TotalFLOPs() {
+		t.Fatal("RetinaNet must out-compute its backbone")
+	}
+	// All reachable via ByName and runnable through the compiler.
+	for _, name := range []string{"bert-base", "dlrm", "efficientnet-b0", "retinanet"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := Compile(m, CompileOptions{Cores: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCrossingBytesWithSkips(t *testing.T) {
+	m := ResNet18()
+	// Boundary inside a residual block must carry both the linear edge and
+	// the relayed skip activation.
+	var skip Skip
+	for _, s := range m.Skips {
+		if s.To > s.From+2 {
+			skip = s
+			break
+		}
+	}
+	if skip.To == 0 {
+		// All resnet skips span exactly 2 layers: take any and use its
+		// inner boundary.
+		skip = m.Skips[0]
+	}
+	inner := skip.From + 1 // boundary between From+1 and From+2
+	withSkip := m.crossingBytes(inner)
+	linearOnly := m.Layers[inner].OutBytes
+	if withSkip <= linearOnly {
+		t.Fatalf("boundary %d: crossing %d must exceed linear %d (skip relay)", inner, withSkip, linearOnly)
+	}
+}
+
+func TestPartitionBalancesFLOPs(t *testing.T) {
+	m := ResNet34()
+	part, err := PartitionModel(&m, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Stages) != 8 || part.NumCores() != 8 {
+		t.Fatalf("stages=%d cores=%d", len(part.Stages), part.NumCores())
+	}
+	// Stage ranges must tile the layer list.
+	next := 0
+	var maxF, minF int64 = 0, 1 << 62
+	for _, s := range part.Stages {
+		if s.First != next {
+			t.Fatalf("stage starts at %d, want %d", s.First, next)
+		}
+		next = s.Last + 1
+		if s.FLOPs > maxF {
+			maxF = s.FLOPs
+		}
+		if s.FLOPs < minF {
+			minF = s.FLOPs
+		}
+	}
+	if next != len(m.Layers) {
+		t.Fatalf("stages end at %d, want %d", next, len(m.Layers))
+	}
+	// Balance within an order of magnitude (layers are coarse).
+	if maxF > 20*minF {
+		t.Fatalf("stage imbalance: max %d vs min %d", maxF, minF)
+	}
+}
+
+func TestPartitionMoreCoresThanLayers(t *testing.T) {
+	m := YOLOLite() // 7 layers
+	part, err := PartitionModel(&m, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Stages) != 7 {
+		t.Fatalf("stages = %d, want 7 (one per layer)", len(part.Stages))
+	}
+	if part.NumCores() != 12 {
+		t.Fatalf("cores = %d, want 12", part.NumCores())
+	}
+	// Extra cores go to the heaviest stages.
+	groups := 0
+	for _, s := range part.Stages {
+		if len(s.Cores) > 1 {
+			groups++
+		}
+	}
+	if groups == 0 {
+		t.Fatal("some stage must have a multi-core group")
+	}
+	// vCore IDs are 0..11 in stage order.
+	want := 0
+	for _, s := range part.Stages {
+		for _, c := range s.Cores {
+			if c != want {
+				t.Fatalf("vCore ordering broken: got %d want %d", c, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestPartitionSingleCore(t *testing.T) {
+	m := AlexNet()
+	part, err := PartitionModel(&m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Stages) != 1 || part.Stages[0].Last != len(m.Layers)-1 {
+		t.Fatalf("single-core partition = %+v", part.Stages)
+	}
+	if part.StageOfCore(0) != 0 || part.StageOfCore(99) != -1 {
+		t.Fatal("StageOfCore broken")
+	}
+}
+
+func TestCompileProducesValidProgram(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		m := ResNet18()
+		prog, info, err := Compile(m, CompileOptions{Cores: cores, VABase: 0x10000})
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if got := len(prog.Cores()); got != cores {
+			t.Fatalf("cores=%d: program uses %d streams", cores, got)
+		}
+		if info.MemBytes == 0 || info.WeightBytes != m.WeightBytes() {
+			t.Fatalf("info = %+v", info)
+		}
+	}
+}
+
+func TestCompileStreamingDecision(t *testing.T) {
+	m := ResNet18()
+	// Tiny weight zone: must stream.
+	_, infoSmall, err := Compile(m, CompileOptions{Cores: 4, WeightZoneBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoSmall.Streaming {
+		t.Fatal("256 KiB zone must stream ResNet18 weights")
+	}
+	// Huge zone: weights stay resident.
+	_, infoBig, err := Compile(m, CompileOptions{Cores: 4, WeightZoneBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoBig.Streaming {
+		t.Fatal("1 GiB zone must not stream")
+	}
+	// Forced streaming wins.
+	_, infoForced, err := Compile(m, CompileOptions{Cores: 4, WeightZoneBytes: 1 << 30, ForceStreaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoForced.Streaming {
+		t.Fatal("ForceStreaming must stream")
+	}
+}
+
+func TestCompiledStreamingAddressesAreMonotonic(t *testing.T) {
+	// Pattern-2 of §4.2: within one iteration each core's weight DMA
+	// addresses increase monotonically.
+	m := YOLOLite()
+	prog, info, err := Compile(m, CompileOptions{Cores: 4, ForceStreaming: true, VABase: 0x40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Streaming {
+		t.Fatal("expected streaming")
+	}
+	for _, id := range prog.Cores() {
+		var last uint64
+		for _, in := range prog.Stream(id) {
+			if in.Op != isa.OpDMALoad {
+				continue
+			}
+			if in.VAddr < last {
+				t.Fatalf("core %d: DMA address %#x after %#x (not monotonic)", id, in.VAddr, last)
+			}
+			last = in.VAddr
+		}
+	}
+}
+
+func TestCompiledProgramRunsOnDevice(t *testing.T) {
+	dev, err := npu.NewDevice(npu.FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := YOLOLite()
+	prog, _, err := Compile(m, CompileOptions{Cores: 4, ForceStreaming: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := npu.IdentityPlacement{Graph: dev.Graph()}
+	fab := &npu.NoCFabric{Net: dev.NoC()}
+	res, err := dev.Run(prog, pl, fab, npu.RunOptions{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no progress")
+	}
+	// Pipeline sanity: every core did work.
+	for id, st := range res.PerCore {
+		if st.Instrs == 0 {
+			t.Fatalf("core %d executed nothing", id)
+		}
+	}
+}
+
+func TestCompiledTransformerBlockRuns(t *testing.T) {
+	dev, _ := npu.NewDevice(npu.FPGAConfig())
+	m := TransformerBlock(128, 16)
+	prog, _, err := Compile(m, CompileOptions{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := npu.IdentityPlacement{Graph: dev.Graph()}
+	fab := &npu.NoCFabric{Net: dev.NoC()}
+	if _, err := dev.Run(prog, pl, fab, npu.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	m := AlexNet()
+	if _, _, err := Compile(m, CompileOptions{Cores: 0}); err == nil {
+		t.Fatal("zero cores must fail")
+	}
+	bad := Model{Name: "bad"}
+	if _, _, err := Compile(bad, CompileOptions{Cores: 1}); err == nil {
+		t.Fatal("empty model must fail")
+	}
+}
+
+func TestRooflineUtilization(t *testing.T) {
+	tpu := DefaultTPU()
+	models := Fig3Models()
+	if len(models) != 7 {
+		t.Fatalf("Fig 3 has 7 workloads, got %d", len(models))
+	}
+	// Fig 3's headline: the majority of models stay under 50% at batch 1.
+	under50 := 0
+	for _, m := range models {
+		u := tpu.Utilization(m, 1)
+		if u < 0 || u > 1 {
+			t.Fatalf("%s: utilization %v out of range", m.Name, u)
+		}
+		if u < 0.5 {
+			under50++
+		}
+	}
+	if under50 < 4 {
+		t.Fatalf("only %d/7 models under 50%% at batch 1; Fig 3 shows a majority", under50)
+	}
+	// Batching raises utilization but never past the efficiency cap.
+	for _, m := range models {
+		u1, u32 := tpu.Utilization(m, 1), tpu.Utilization(m, 32)
+		if u32 < u1 {
+			t.Fatalf("%s: batch 32 utilization %v below batch 1 %v", m.Name, u32, u1)
+		}
+		if u32 > m.EffCap {
+			t.Fatalf("%s: utilization %v exceeds cap %v", m.Name, u32, m.EffCap)
+		}
+	}
+	// DLRM is embedding-dominated: memory bound even at batch 32.
+	dlrm := models[1]
+	if u := tpu.Utilization(dlrm, 32); u > 0.2 {
+		t.Fatalf("DLRM batch-32 utilization = %v, want memory-bound (<0.2)", u)
+	}
+}

@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+)
+
+// Layer constructors. Dimensions follow the conventions of isa: convs are
+// H x W x C with OC output channels and KDim x KDim kernels (stride 1,
+// same padding baked into H/W choices); matmuls are M x K x N.
+
+func conv(name string, h, w, c, oc, k int32) Layer {
+	return Layer{
+		Name:        name,
+		Instr:       isa.Instr{Op: isa.OpConv, H: h, W: w, C: c, OC: oc, KDim: k},
+		WeightBytes: int64(c) * int64(oc) * int64(k) * int64(k) * ElemBytes,
+		OutBytes:    int64(h) * int64(w) * int64(oc) * ElemBytes,
+	}
+}
+
+// dwConv is a depthwise convolution: each of the c channels is convolved
+// independently (C=1 per output channel in im2col terms).
+func dwConv(name string, h, w, c, k int32) Layer {
+	return Layer{
+		Name:        name,
+		Instr:       isa.Instr{Op: isa.OpConv, H: h, W: w, C: 1, OC: c, KDim: k},
+		WeightBytes: int64(c) * int64(k) * int64(k) * ElemBytes,
+		OutBytes:    int64(h) * int64(w) * int64(c) * ElemBytes,
+	}
+}
+
+func fc(name string, batchM, in, out int32) Layer {
+	return Layer{
+		Name:        name,
+		Instr:       isa.Instr{Op: isa.OpMatmul, M: batchM, K: in, N: out},
+		WeightBytes: int64(in) * int64(out) * ElemBytes,
+		OutBytes:    int64(batchM) * int64(out) * ElemBytes,
+	}
+}
+
+func vecLayer(name string, bytes int64) Layer {
+	return Layer{
+		Name:     name,
+		Instr:    isa.Instr{Op: isa.OpVector, Size: uint32(bytes)},
+		OutBytes: bytes,
+	}
+}
+
+// withAdd marks a layer as ending in a residual merge of addBytes.
+func withAdd(l Layer, addBytes int64) Layer {
+	l.AddBytes = addBytes
+	return l
+}
+
+// AlexNet is the 5-conv + 3-FC classifier of Krizhevsky et al.
+func AlexNet() Model {
+	return Model{
+		Name:       "AlexNet",
+		InputBytes: 227 * 227 * 3 * ElemBytes,
+		Layers: []Layer{
+			conv("conv1", 55, 55, 3, 96, 11),
+			conv("conv2", 27, 27, 96, 256, 5),
+			conv("conv3", 13, 13, 256, 384, 3),
+			conv("conv4", 13, 13, 384, 384, 3),
+			conv("conv5", 13, 13, 384, 256, 3),
+			fc("fc6", 1, 9216, 4096),
+			fc("fc7", 1, 4096, 4096),
+			fc("fc8", 1, 4096, 1000),
+		},
+	}
+}
+
+// resNetStage appends n basic blocks (two 3x3 convs + residual add) and
+// records their skip edges.
+func resNetStage(m *Model, hw, c int32, blocks int, prefix string) {
+	for b := 0; b < blocks; b++ {
+		from := len(m.Layers) - 1
+		c1 := conv(fmt.Sprintf("%s_b%d_conv1", prefix, b), hw, hw, c, c, 3)
+		c2 := withAdd(conv(fmt.Sprintf("%s_b%d_conv2", prefix, b), hw, hw, c, c, 3),
+			int64(hw)*int64(hw)*int64(c)*ElemBytes)
+		m.Layers = append(m.Layers, c1, c2)
+		if from >= 0 {
+			m.Skips = append(m.Skips, Skip{From: from, To: len(m.Layers) - 1})
+		}
+	}
+}
+
+func resNet(name string, blocks [4]int) Model {
+	m := Model{Name: name, InputBytes: 224 * 224 * 3 * ElemBytes}
+	m.Layers = append(m.Layers, conv("stem", 112, 112, 3, 64, 7))
+	resNetStage(&m, 56, 64, blocks[0], "s1")
+	resNetStage(&m, 28, 128, blocks[1], "s2")
+	resNetStage(&m, 14, 256, blocks[2], "s3")
+	resNetStage(&m, 7, 512, blocks[3], "s4")
+	m.Layers = append(m.Layers, fc("fc", 1, 512, 1000))
+	return m
+}
+
+// ResNet18 is the 18-layer residual network (2-2-2-2 basic blocks).
+func ResNet18() Model { return resNet("ResNet18", [4]int{2, 2, 2, 2}) }
+
+// ResNet34 is the 34-layer residual network (3-4-6-3 basic blocks).
+func ResNet34() Model { return resNet("ResNet34", [4]int{3, 4, 6, 3}) }
+
+// ResNet50 approximates the bottleneck variant with 1x1-3x3-1x1 triples.
+func ResNet50() Model {
+	m := Model{Name: "ResNet50", InputBytes: 224 * 224 * 3 * ElemBytes}
+	m.Layers = append(m.Layers, conv("stem", 112, 112, 3, 64, 7))
+	stage := func(hw, mid, out int32, blocks int, prefix string) {
+		for b := 0; b < blocks; b++ {
+			from := len(m.Layers) - 1
+			m.Layers = append(m.Layers,
+				conv(fmt.Sprintf("%s_b%d_c1", prefix, b), hw, hw, out, mid, 1),
+				conv(fmt.Sprintf("%s_b%d_c2", prefix, b), hw, hw, mid, mid, 3),
+				withAdd(conv(fmt.Sprintf("%s_b%d_c3", prefix, b), hw, hw, mid, out, 1),
+					int64(hw)*int64(hw)*int64(out)*ElemBytes),
+			)
+			m.Skips = append(m.Skips, Skip{From: from, To: len(m.Layers) - 1})
+		}
+	}
+	stage(56, 64, 256, 3, "s1")
+	stage(28, 128, 512, 4, "s2")
+	stage(14, 256, 1024, 6, "s3")
+	stage(7, 512, 2048, 3, "s4")
+	m.Layers = append(m.Layers, fc("fc", 1, 2048, 1000))
+	return m
+}
+
+// GoogLeNet approximates the inception network as a conv chain whose
+// per-stage FLOPs and parameter counts match the summed inception
+// branches.
+func GoogLeNet() Model {
+	return Model{
+		Name:       "GoogLeNet",
+		InputBytes: 224 * 224 * 3 * ElemBytes,
+		Layers: []Layer{
+			conv("stem1", 112, 112, 3, 64, 7),
+			conv("stem2", 56, 56, 64, 192, 3),
+			conv("inc3a", 28, 28, 192, 256, 3),
+			conv("inc3b", 28, 28, 256, 480, 3),
+			conv("inc4a", 14, 14, 480, 512, 3),
+			conv("inc4b", 14, 14, 512, 512, 3),
+			conv("inc4c", 14, 14, 512, 512, 3),
+			conv("inc4d", 14, 14, 512, 528, 3),
+			conv("inc4e", 14, 14, 528, 832, 3),
+			conv("inc5a", 7, 7, 832, 832, 3),
+			conv("inc5b", 7, 7, 832, 1024, 3),
+			fc("fc", 1, 1024, 1000),
+		},
+	}
+}
+
+// MobileNet is MobileNetV1: depthwise-separable conv pairs.
+func MobileNet() Model {
+	m := Model{Name: "MobileNet", InputBytes: 224 * 224 * 3 * ElemBytes}
+	m.Layers = append(m.Layers, conv("stem", 112, 112, 3, 32, 3))
+	type ds struct {
+		hw, c, oc int32
+	}
+	specs := []ds{
+		{112, 32, 64}, {56, 64, 128}, {56, 128, 128}, {28, 128, 256},
+		{28, 256, 256}, {14, 256, 512},
+		{14, 512, 512}, {14, 512, 512}, {14, 512, 512}, {14, 512, 512}, {14, 512, 512},
+		{7, 512, 1024}, {7, 1024, 1024},
+	}
+	for i, s := range specs {
+		m.Layers = append(m.Layers,
+			dwConv(fmt.Sprintf("dw%d", i), s.hw, s.hw, s.c, 3),
+			conv(fmt.Sprintf("pw%d", i), s.hw, s.hw, s.c, s.oc, 1),
+		)
+	}
+	m.Layers = append(m.Layers, fc("fc", 1, 1024, 1000))
+	return m
+}
+
+// YOLOLite is the 7-conv real-time detector of Huang et al.
+func YOLOLite() Model {
+	return Model{
+		Name:       "YOLO-Lite",
+		InputBytes: 224 * 224 * 3 * ElemBytes,
+		Layers: []Layer{
+			conv("c1", 112, 112, 3, 16, 3),
+			conv("c2", 56, 56, 16, 32, 3),
+			conv("c3", 28, 28, 32, 64, 3),
+			conv("c4", 14, 14, 64, 128, 3),
+			conv("c5", 7, 7, 128, 128, 3),
+			conv("c6", 7, 7, 128, 256, 3),
+			conv("c7", 7, 7, 256, 125, 1),
+		},
+	}
+}
+
+// transformerBlockLayers emits one pre-norm transformer block: QKV
+// projection, attention score/value matmuls, output projection and the
+// two MLP matmuls, with layer norms and softmax as vector ops and the two
+// residual adds attached to the projections.
+func transformerBlockLayers(prefix string, seq, dim int32) ([]Layer, []Skip) {
+	actBytes := int64(seq) * int64(dim) * ElemBytes
+	layers := []Layer{
+		vecLayer(prefix+"ln1", actBytes),
+		fc(prefix+"qkv", seq, dim, 3*dim),
+		fc(prefix+"scores", seq, dim, seq), // Q x K^T across heads
+		fc(prefix+"attnv", seq, seq, dim),  // softmax(scores) x V
+		withAdd(fc(prefix+"proj", seq, dim, dim), actBytes),
+		vecLayer(prefix+"ln2", actBytes),
+		fc(prefix+"mlp1", seq, dim, 4*dim),
+		withAdd(fc(prefix+"mlp2", seq, 4*dim, dim), actBytes),
+	}
+	// scores and attnv multiply activations by activations: no weights.
+	layers[2].WeightBytes = 0
+	layers[3].WeightBytes = 0
+	skips := []Skip{
+		{From: 0, To: 4}, // residual around attention
+		{From: 4, To: 7}, // residual around the MLP
+	}
+	return layers, skips
+}
+
+// TransformerBlock is a single block, the Fig 15 microscale workload
+// ("128dim_16slen", "64dim_16slen").
+func TransformerBlock(dim, seq int32) Model {
+	layers, skips := transformerBlockLayers("", seq, dim)
+	return Model{
+		Name:       fmt.Sprintf("Transformer_%ddim_%dslen", dim, seq),
+		InputBytes: int64(seq) * int64(dim) * ElemBytes,
+		Layers:     layers,
+		Skips:      skips,
+	}
+}
+
+// Transformer is a small 4-block encoder used as the "Transformer" entry
+// of Fig 14.
+func Transformer() Model {
+	return gptLike("Transformer", 4, 256, 64)
+}
+
+func gptLike(name string, blocks int, dim, seq int32) Model {
+	m := Model{Name: name, InputBytes: int64(seq) * int64(dim) * ElemBytes}
+	m.Layers = append(m.Layers, fc("embed", seq, dim, dim))
+	for b := 0; b < blocks; b++ {
+		base := len(m.Layers)
+		layers, skips := transformerBlockLayers(fmt.Sprintf("b%d_", b), seq, dim)
+		m.Layers = append(m.Layers, layers...)
+		for _, s := range skips {
+			m.Skips = append(m.Skips, Skip{From: base + s.From, To: base + s.To})
+		}
+	}
+	return m
+}
+
+// GPT2Small is the 12-block, 768-dim GPT-2 (the paper runs it on 12
+// cores).
+func GPT2Small(seq int32) Model { return gptLike("GPT2-small", 12, 768, seq) }
+
+// GPT2Medium is the 24-block, 1024-dim GPT-2.
+func GPT2Medium(seq int32) Model { return gptLike("GPT2-medium", 24, 1024, seq) }
+
+// GPT2Large is the 36-block, 1280-dim GPT-2 (36 cores in Fig 16).
+func GPT2Large(seq int32) Model { return gptLike("GPT2-large", 36, 1280, seq) }
+
+// ResNetBlock is a single residual basic block, the Fig 15 microscale
+// workload ("16wh_64c", "20wh_32c").
+func ResNetBlock(hw, c int32) Model {
+	m := Model{
+		Name:       fmt.Sprintf("ResNetBlock_%dwh_%dc", hw, c),
+		InputBytes: int64(hw) * int64(hw) * int64(c) * ElemBytes,
+	}
+	m.Layers = append(m.Layers,
+		conv("conv0", hw, hw, c, c, 3),
+		conv("conv1", hw, hw, c, c, 3),
+		withAdd(conv("conv2", hw, hw, c, c, 3), int64(hw)*int64(hw)*int64(c)*ElemBytes),
+		conv("conv3", hw, hw, c, c, 3),
+	)
+	m.Skips = append(m.Skips, Skip{From: 0, To: 2})
+	return m
+}
+
+// ByName returns a zoo model by its canonical name.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "alexnet":
+		return AlexNet(), nil
+	case "resnet18":
+		return ResNet18(), nil
+	case "resnet34":
+		return ResNet34(), nil
+	case "resnet50":
+		return ResNet50(), nil
+	case "googlenet":
+		return GoogLeNet(), nil
+	case "mobilenet":
+		return MobileNet(), nil
+	case "yololite":
+		return YOLOLite(), nil
+	case "transformer":
+		return Transformer(), nil
+	case "gpt2-small":
+		return GPT2Small(64), nil
+	case "gpt2-medium":
+		return GPT2Medium(64), nil
+	case "gpt2-large":
+		return GPT2Large(64), nil
+	case "bert-base":
+		return BERTBase(128), nil
+	case "dlrm":
+		return DLRM(), nil
+	case "efficientnet-b0":
+		return EfficientNetB0(), nil
+	case "retinanet":
+		return RetinaNet(), nil
+	default:
+		return Model{}, fmt.Errorf("workload: unknown model %q", name)
+	}
+}
+
+// Names lists the models ByName accepts.
+func Names() []string {
+	return []string{
+		"alexnet", "resnet18", "resnet34", "resnet50", "googlenet",
+		"mobilenet", "yololite", "transformer", "gpt2-small",
+		"gpt2-medium", "gpt2-large", "bert-base", "dlrm",
+		"efficientnet-b0", "retinanet",
+	}
+}
+
+// Exported layer constructors for synthetic workloads (ablations,
+// heterogeneous-core studies, user-defined models).
+
+// MatmulLayer builds a bare M x K x N matmul layer.
+func MatmulLayer(name string, m, k, n int32) Layer { return fc(name, m, k, n) }
+
+// ConvLayer builds a bare H x W x C conv layer with OC output channels and
+// a KDim x KDim kernel.
+func ConvLayer(name string, h, w, c, oc, kdim int32) Layer { return conv(name, h, w, c, oc, kdim) }
+
+// VectorLayerN builds a bare elementwise layer over the given bytes.
+func VectorLayerN(name string, bytes int64) Layer { return vecLayer(name, bytes) }

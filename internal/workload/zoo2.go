@@ -1,0 +1,118 @@
+package workload
+
+import "fmt"
+
+// The remaining Fig 3 workloads as runnable layer graphs (their roofline
+// entries in roofline.go are used for Fig 3 itself; these graphs let them
+// run on the simulator like every other zoo model).
+
+// BERTBase is the 12-block, 768-dim encoder (Devlin et al.) at the given
+// sequence length. Structurally it is the GPT-2-small block stack; the
+// models differ in training objective, not in the compute graph the NPU
+// sees.
+func BERTBase(seq int32) Model {
+	m := gptLike("BERT-base", 12, 768, seq)
+	return m
+}
+
+// DLRM is the deep learning recommendation model: embedding-table gathers
+// (memory-bound vector work standing in for the sparse lookups), a bottom
+// MLP over dense features, feature interaction, and a top MLP.
+func DLRM() Model {
+	const (
+		denseIn   = 13
+		embDim    = 64
+		numTables = 26
+		batch     = 32
+	)
+	m := Model{Name: "DLRM", InputBytes: batch * (denseIn + numTables) * ElemBytes}
+	// Embedding gathers: one vector pass per table over the gathered rows.
+	for t := 0; t < numTables; t++ {
+		m.Layers = append(m.Layers,
+			vecLayer(fmt.Sprintf("emb%d", t), int64(batch)*embDim*ElemBytes))
+	}
+	// Bottom MLP: 13 -> 512 -> 256 -> 64.
+	m.Layers = append(m.Layers,
+		fc("bot1", batch, denseIn, 512),
+		fc("bot2", batch, 512, 256),
+		fc("bot3", batch, 256, embDim),
+	)
+	// Pairwise feature interaction of the 27 embedding-dim vectors.
+	m.Layers = append(m.Layers,
+		fc("interact", batch*(numTables+1), embDim, numTables+1))
+	// Top MLP: interactions + dense -> 512 -> 256 -> 1.
+	inTop := int32((numTables+1)*(numTables+2)/2 + embDim)
+	m.Layers = append(m.Layers,
+		fc("top1", batch, inTop, 512),
+		fc("top2", batch, 512, 256),
+		fc("top3", batch, 256, 1),
+	)
+	return m
+}
+
+// EfficientNetB0 approximates the MBConv backbone: each block is an
+// expansion pointwise conv, a depthwise conv, a squeeze-excite vector
+// pass, and a projection pointwise conv.
+func EfficientNetB0() Model {
+	m := Model{Name: "EfficientNet-B0", InputBytes: 224 * 224 * 3 * ElemBytes}
+	m.Layers = append(m.Layers, conv("stem", 112, 112, 3, 32, 3))
+	type mb struct {
+		hw, in, out, expand int32
+		repeat              int
+	}
+	blocks := []mb{
+		{112, 32, 16, 1, 1},
+		{56, 16, 24, 6, 2},
+		{28, 24, 40, 6, 2},
+		{14, 40, 80, 6, 3},
+		{14, 80, 112, 6, 3},
+		{7, 112, 192, 6, 4},
+		{7, 192, 320, 6, 1},
+	}
+	for bi, b := range blocks {
+		in := b.in
+		for r := 0; r < b.repeat; r++ {
+			mid := in * b.expand
+			prefix := fmt.Sprintf("mb%d_%d_", bi, r)
+			if b.expand > 1 {
+				m.Layers = append(m.Layers, conv(prefix+"expand", b.hw, b.hw, in, mid, 1))
+			}
+			m.Layers = append(m.Layers,
+				dwConv(prefix+"dw", b.hw, b.hw, mid, 3),
+				vecLayer(prefix+"se", int64(b.hw)*int64(b.hw)*int64(mid)*ElemBytes),
+				conv(prefix+"proj", b.hw, b.hw, mid, b.out, 1),
+			)
+			in = b.out
+		}
+	}
+	m.Layers = append(m.Layers, fc("fc", 1, 320, 1000))
+	return m
+}
+
+// RetinaNet approximates the one-stage detector: a ResNet-50 backbone,
+// a feature pyramid, and classification/box conv heads over the pyramid
+// levels.
+func RetinaNet() Model {
+	m := ResNet50()
+	m.Name = "RetinaNet"
+	m.InputBytes = 640 * 640 * 3 * ElemBytes
+	// Drop the classifier head; detection heads replace it.
+	m.Layers = m.Layers[:len(m.Layers)-1]
+	// FPN lateral + output convs over three pyramid levels.
+	type lvl struct{ hw, c int32 }
+	levels := []lvl{{80, 256}, {40, 256}, {20, 256}}
+	for i, l := range levels {
+		m.Layers = append(m.Layers,
+			conv(fmt.Sprintf("fpn%d_lat", i), l.hw, l.hw, 512, l.c, 1),
+			conv(fmt.Sprintf("fpn%d_out", i), l.hw, l.hw, l.c, l.c, 3),
+		)
+		// Shared heads: 4 conv layers each for class and box branches.
+		for h := 0; h < 4; h++ {
+			m.Layers = append(m.Layers,
+				conv(fmt.Sprintf("cls%d_%d", i, h), l.hw, l.hw, l.c, l.c, 3),
+				conv(fmt.Sprintf("box%d_%d", i, h), l.hw, l.hw, l.c, l.c, 3),
+			)
+		}
+	}
+	return m
+}

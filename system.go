@@ -1,0 +1,119 @@
+package vnpu
+
+import (
+	"fmt"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/workload"
+)
+
+// System is a physical NPU chip under hypervisor control — the top-level
+// object applications interact with.
+type System struct {
+	dev *npu.Device
+	hv  *core.Hypervisor
+}
+
+// NewSystem boots a chip with the given configuration and takes hypervisor
+// ownership of it (hyper mode, meta zones).
+func NewSystem(cfg Config) (*System, error) {
+	dev, err := npu.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := core.NewHypervisor(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &System{dev: dev, hv: hv}, nil
+}
+
+// Config returns the chip configuration.
+func (s *System) Config() Config { return s.dev.Config() }
+
+// Create allocates a virtual NPU. When the request does not name a memory
+// size, workloads started with RunModel size it automatically — pass
+// MemoryBytes explicitly to preallocate.
+func (s *System) Create(req Request) (*VirtualNPU, error) {
+	return s.hv.CreateVNPU(req)
+}
+
+// Destroy releases a virtual NPU's cores, memory and meta tables.
+func (s *System) Destroy(v *VirtualNPU) error { return s.hv.Destroy(v.ID()) }
+
+// Utilization reports the fraction of physical cores currently allocated.
+func (s *System) Utilization() float64 { return s.hv.Utilization() }
+
+// FreeCores reports how many cores remain unallocated.
+func (s *System) FreeCores() int { return len(s.hv.FreeCores()) }
+
+// VirtualNPUs lists live virtual NPUs in creation order.
+func (s *System) VirtualNPUs() []*VirtualNPU { return s.hv.VNPUs() }
+
+// Report summarizes one workload execution.
+type Report struct {
+	// Cycles is the total makespan of all iterations.
+	Cycles int64
+	// Iterations echoes the run length.
+	Iterations int
+	// FPS is inference throughput at the chip clock.
+	FPS float64
+	// WarmupCycles is the initial weight-load time through the virtual
+	// NPU's memory interfaces.
+	WarmupCycles int64
+	// Streaming reports whether weights were re-streamed every iteration
+	// (small-scratchpad regime) or stayed resident after warm-up.
+	Streaming bool
+}
+
+// RunModel compiles the model for the virtual NPU (pipelining its layers
+// over the virtual cores) and executes iters inferences, returning the
+// performance report.
+//
+// RunModel requires the virtual NPU to have enough memory for the model's
+// weights and I/O. A vNPU created without MemoryBytes cannot hold any —
+// size the request with ModelMemoryBytes or set Request.MemoryBytes.
+func (s *System) RunModel(v *VirtualNPU, m Model, iters int) (Report, error) {
+	prog, info, err := workload.Compile(m, workload.CompileOptions{
+		Cores:           v.NumCores(),
+		VABase:          v.MemBase(),
+		WeightZoneBytes: s.weightZone(),
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if uint64(info.MemBytes) > v.MemBytes() {
+		return Report{}, fmt.Errorf("vnpu: model needs %d bytes, vNPU has %d (size the Request with ModelMemoryBytes)",
+			info.MemBytes, v.MemBytes())
+	}
+	res, err := s.dev.Run(prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Cycles:       int64(res.Cycles),
+		Iterations:   res.Iterations,
+		FPS:          res.FPSAt(s.dev.Config().FreqMHz),
+		WarmupCycles: int64(v.WarmupCycles(m.WeightBytes())),
+		Streaming:    info.Streaming,
+	}, nil
+}
+
+// ModelMemoryBytes reports the global memory a model needs on a virtual
+// NPU with the given core count — use it to size Request.MemoryBytes.
+func (s *System) ModelMemoryBytes(m Model, cores int) (uint64, error) {
+	_, info, err := workload.Compile(m, workload.CompileOptions{
+		Cores:           cores,
+		WeightZoneBytes: s.weightZone(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return info.MemBytes, nil
+}
+
+func (s *System) weightZone() int64 {
+	cfg := s.dev.Config()
+	return cfg.ScratchpadBytes - cfg.MetaZoneBytes
+}
