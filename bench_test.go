@@ -6,7 +6,11 @@ package vnpu
 // metric, so `go test -bench=. -benchmem` reproduces the whole evaluation.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/experiments"
 )
@@ -207,6 +211,71 @@ func BenchmarkTable1Taxonomy(b *testing.B) {
 		rows = len(experiments.RunTable1().Rows)
 	}
 	b.ReportMetric(float64(rows), "mechanisms")
+}
+
+// BenchmarkClusterThroughput measures the serving path end to end — a
+// 4-chip cluster fed by 64 tenants submitting mixed zoo models — and
+// reports completed jobs per wall-clock second. This is the perf baseline
+// for future serving-path PRs.
+func BenchmarkClusterThroughput(b *testing.B) {
+	cluster, err := NewCluster(SimConfig(), 4, WithQueueDepth(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+
+	type mix struct {
+		model Model
+		topo  *Topology
+	}
+	names := []string{"alexnet", "resnet18", "mobilenet", "googlenet", "resnet34", "gpt2-small"}
+	topos := []*Topology{Mesh(2, 2), Mesh(2, 3), Mesh(3, 3), Mesh(3, 4), Chain(4), Mesh(2, 3)}
+	mixes := make([]mix, len(names))
+	for i, n := range names {
+		m, err := ModelByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mixes[i] = mix{m, topos[i]}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	b.ResetTimer()
+	var handles []*Handle
+	for i := 0; i < b.N; i++ {
+		mx := mixes[i%len(mixes)]
+		job := Job{
+			Tenant:   fmt.Sprintf("tenant-%02d", i%64),
+			Model:    mx.model,
+			Topology: mx.topo,
+		}
+		for {
+			h, err := cluster.Submit(ctx, job)
+			if err == nil {
+				handles = append(handles, h)
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				b.Fatal(err)
+			}
+			// Backpressure: drain the oldest outstanding job, then retry.
+			if len(handles) > 0 {
+				if _, werr := handles[0].Wait(ctx); werr != nil {
+					b.Fatal(werr)
+				}
+				handles = handles[1:]
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	for _, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
 }
 
 // Ablation and extension benches: the design-space probes beyond the

@@ -1,0 +1,242 @@
+package vnpu
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/sched"
+)
+
+// Cluster is the serving front-end over multiple NPU chips: jobs are
+// submitted asynchronously, pass admission control (a bounded FIFO queue
+// plus per-tenant in-flight quotas), and are placed on the chip whose free
+// region matches the requested topology best (minimum topology edit
+// distance). One worker goroutine per chip executes placed jobs in order;
+// when no chip can host a job, dispatch parks until a finishing job frees
+// capacity.
+//
+// A Cluster of size 1 is the serving wrapper around a single System; the
+// System API remains available as the synchronous single-chip building
+// block.
+//
+// All methods are safe for concurrent use.
+type Cluster struct {
+	systems []*System
+	disp    *sched.Dispatcher[Job, *VirtualNPU, JobReport]
+
+	// testExecHook, when set before any Submit, runs at the start of every
+	// job execution — a test seam for holding jobs on their chips.
+	testExecHook func(chip int)
+}
+
+// ClusterOption tunes cluster admission control.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	queueDepth  int
+	tenantQuota int
+}
+
+// WithQueueDepth bounds the admission queue (default
+// DefaultQueueDepth). Submissions beyond it fail with ErrQueueFull.
+func WithQueueDepth(n int) ClusterOption {
+	return func(c *clusterConfig) { c.queueDepth = n }
+}
+
+// WithTenantQuota caps each tenant's in-flight jobs, queued plus running
+// (default unlimited). Submissions beyond it fail with ErrQuotaExceeded.
+// A canceled job's slot is reclaimed when the job drains from the FIFO
+// queue, not at cancellation time.
+func WithTenantQuota(n int) ClusterOption {
+	return func(c *clusterConfig) { c.tenantQuota = n }
+}
+
+// DefaultQueueDepth is the admission-queue bound when none is given.
+const DefaultQueueDepth = sched.DefaultQueueDepth
+
+// NewCluster boots the given number of identical NPU chips under one
+// serving front-end. Close the cluster to stop its goroutines.
+func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) {
+	if chips < 1 {
+		return nil, fmt.Errorf("vnpu: cluster needs at least one chip, got %d", chips)
+	}
+	var cc clusterConfig
+	for _, opt := range opts {
+		opt(&cc)
+	}
+	c := &Cluster{systems: make([]*System, chips)}
+	for i := range c.systems {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("vnpu: booting chip %d: %w", i, err)
+		}
+		c.systems[i] = sys
+	}
+	disp, err := sched.New[Job, *VirtualNPU, JobReport](
+		(*clusterExec)(c),
+		sched.Config{Chips: chips, QueueDepth: cc.queueDepth, TenantQuota: cc.tenantQuota},
+	)
+	if err != nil {
+		return nil, err
+	}
+	c.disp = disp
+	return c, nil
+}
+
+// Submit validates the job, applies admission control and enqueues it,
+// returning immediately. Admission errors wrap ErrQueueFull,
+// ErrQuotaExceeded or ErrDestroyed (closed cluster); a malformed job (nil
+// topology, invalid model) fails with a plain validation error. The
+// context governs the job's whole lifetime: canceling it abandons the job
+// whether queued or awaiting capacity.
+func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
+	if job.Topology == nil || job.Topology.NumNodes() == 0 {
+		return nil, fmt.Errorf("vnpu: job needs a topology")
+	}
+	if err := job.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("vnpu: job model: %w", err)
+	}
+	// A topology larger than a whole chip can never be placed; reject it
+	// here rather than letting it head-of-line-block the FIFO dispatcher
+	// until the cluster drains.
+	if n, cores := job.Topology.NumNodes(), c.systems[0].Config().Cores(); n > cores {
+		return nil, fmt.Errorf("vnpu: job topology needs %d cores, chips have %d: %w",
+			n, cores, ErrTopologyUnsatisfiable)
+	}
+	// Size the job's memory from its model once, up front on the caller's
+	// goroutine: chips are identical, so the footprint is chip-invariant,
+	// and Place must not re-compile the workload per placement attempt.
+	req := job.request()
+	if req.MemoryBytes == 0 {
+		bytes, err := c.systems[0].ModelMemoryBytes(job.Model, job.Topology.NumNodes())
+		if err != nil {
+			return nil, fmt.Errorf("vnpu: sizing job memory: %w", err)
+		}
+		req.MemoryBytes = bytes
+		opts := job.Options
+		job.Options = append(opts[:len(opts):len(opts)], WithMemory(bytes))
+	}
+	// Like the core-count guard: memory beyond a whole chip's HBM pool can
+	// never be allocated, so fail at Submit instead of parking dispatch.
+	if cap := c.systems[0].hv.MemCapacity(); req.MemoryBytes > cap {
+		return nil, fmt.Errorf("vnpu: job needs %d bytes of memory, chips have %d: %w",
+			req.MemoryBytes, cap, ErrMemoryExceeded)
+	}
+	h, err := c.disp.Submit(ctx, job.tenant(), job)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// Chips reports the number of chips in the cluster.
+func (c *Cluster) Chips() int { return len(c.systems) }
+
+// Chip returns the i-th chip's System for direct (synchronous) use or
+// inspection. Mixing direct Create/RunModel calls with an active job
+// stream on the same chip is not supported.
+func (c *Cluster) Chip(i int) *System { return c.systems[i] }
+
+// Utilization reports the fraction of allocated cores per chip.
+func (c *Cluster) Utilization() []float64 {
+	out := make([]float64, len(c.systems))
+	for i, sys := range c.systems {
+		out[i] = sys.Utilization()
+	}
+	return out
+}
+
+// Close stops intake, waits for every admitted job to finish, and shuts
+// down the dispatcher and chip workers. Submissions after Close fail with
+// ErrDestroyed.
+func (c *Cluster) Close() error { return c.disp.Close() }
+
+// ClusterStats is a snapshot of serving counters.
+type ClusterStats struct {
+	// Submitted counts jobs admitted past quota and queue checks.
+	Submitted uint64
+	// RejectedQueueFull counts submissions refused with ErrQueueFull.
+	RejectedQueueFull uint64
+	// RejectedQuota counts submissions refused with ErrQuotaExceeded.
+	RejectedQuota uint64
+	// Completed counts jobs that finished successfully.
+	Completed uint64
+	// Failed counts jobs that finished with an error (including
+	// cancellations).
+	Failed uint64
+	// ChipJobs counts executed jobs per chip.
+	ChipJobs []int
+	// ChipBusy is the cumulative wall-clock execution time per chip.
+	ChipBusy []time.Duration
+}
+
+// Stats returns a snapshot of the cluster's serving counters.
+func (c *Cluster) Stats() ClusterStats {
+	// Structural conversion: ClusterStats mirrors sched.Stats field for
+	// field, and the dispatcher already returns defensive slice copies.
+	return ClusterStats(c.disp.Stats())
+}
+
+// clusterExec adapts the Cluster to the dispatcher's Executor interface.
+// Score and Place run on the dispatcher goroutine, Execute and Release on
+// the owning chip's worker — the hypervisor's own lock covers that
+// concurrency, and execution itself is serialized per chip by design.
+type clusterExec Cluster
+
+// Score is a dry-run topology mapping over the chip's current free cores:
+// the dispatcher sends each job to the chip that can realize its topology
+// with the smallest edit distance. A load term — the chip's resident core
+// allocation blended with its worker backlog — breaks exact cost ties, so
+// equally-good placements spread across chips instead of piling onto the
+// first one; it can never override a cost difference, however small.
+func (e *clusterExec) Score(chip int, job Job) (sched.Score, error) {
+	sys := e.systems[chip]
+	req := job.request()
+	res, err := core.MapTopology(sys.dev.Graph(), sys.hv.FreeCores(), req.Topology, req.Strategy, req.MapOptions)
+	if err != nil {
+		return sched.Score{}, err
+	}
+	backlog := float64(e.disp.Backlog(chip))
+	return sched.Score{
+		Cost: res.Cost,
+		Load: (sys.Utilization() + backlog/(backlog+1)) / 2,
+	}, nil
+}
+
+// Place creates the job's vNPU on the chosen chip. The request's memory
+// was already sized at Submit, so this stays cheap on the dispatch path.
+func (e *clusterExec) Place(chip int, job Job) (*VirtualNPU, error) {
+	return e.systems[chip].Create(job.request())
+}
+
+// Execute runs the job on its placed vNPU. The chip's transient timing
+// state is reset first: each time-multiplexed job gets a fresh cycle
+// timeline (execution on a chip is serialized by its worker).
+func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job Job) (JobReport, error) {
+	if e.testExecHook != nil {
+		e.testExecHook(chip)
+	}
+	if err := ctx.Err(); err != nil {
+		return JobReport{}, err
+	}
+	sys := e.systems[chip]
+	sys.dev.ResetTiming()
+	rep, err := sys.RunModel(v, job.Model, job.Iterations)
+	if err != nil {
+		return JobReport{}, err
+	}
+	return JobReport{
+		Report:  rep,
+		Chip:    chip,
+		Tenant:  job.tenant(),
+		Model:   job.Model.Name,
+		MapCost: v.MapCost(),
+	}, nil
+}
+
+// Release destroys the job's vNPU, returning its cores and memory.
+func (e *clusterExec) Release(chip int, v *VirtualNPU) error {
+	return e.systems[chip].Destroy(v)
+}

@@ -1,0 +1,223 @@
+// vnpuserve is the serving-path load generator: it drives a multi-chip
+// vnpu.Cluster with a Poisson arrival trace of mixed model/topology jobs
+// from many tenants and reports throughput, queueing-latency percentiles
+// and per-chip utilization — the serving analogue of cmd/vnpu-experiments.
+//
+// Example:
+//
+//	vnpuserve -chips 4 -jobs 256 -rate 300 -tenants 8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/vnpu-sim/vnpu"
+)
+
+func main() {
+	var (
+		chips    = flag.Int("chips", 4, "number of NPU chips in the cluster")
+		chipName = flag.String("chip", "sim", "chip configuration: fpga, sim or sim48")
+		jobs     = flag.Int("jobs", 256, "total jobs to submit")
+		rate     = flag.Float64("rate", 300, "mean Poisson arrival rate in jobs/s (0 = open throttle)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = default)")
+		quota    = flag.Int("quota", 0, "per-tenant in-flight quota (0 = unlimited)")
+		tenants  = flag.Int("tenants", 8, "number of tenants generating load")
+		iters    = flag.Int("iters", 1, "inference iterations per job")
+		seed     = flag.Int64("seed", 1, "random seed for the arrival trace")
+		confine  = flag.Bool("confine", false, "request NoC confinement for every job")
+		verbose  = flag.Bool("v", false, "log every job completion")
+	)
+	flag.Parse()
+	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// workloadMix pairs zoo models with topologies that fit the chip.
+type workloadMix struct {
+	model vnpu.Model
+	topo  *vnpu.Topology
+	shape string
+}
+
+func buildMix(cores int) ([]workloadMix, error) {
+	type entry struct {
+		model string
+		topo  *vnpu.Topology
+		shape string
+	}
+	var entries []entry
+	if cores >= 36 {
+		entries = []entry{
+			{"alexnet", vnpu.Mesh(2, 2), "2x2"},
+			{"mobilenet", vnpu.Chain(4), "1x4"},
+			{"resnet18", vnpu.Mesh(2, 3), "2x3"},
+			{"resnet34", vnpu.Mesh(3, 3), "3x3"},
+			{"googlenet", vnpu.Mesh(2, 4), "2x4"},
+			{"gpt2-small", vnpu.Mesh(3, 4), "3x4"},
+		}
+	} else {
+		entries = []entry{
+			{"alexnet", vnpu.Mesh(2, 2), "2x2"},
+			{"mobilenet", vnpu.Chain(3), "1x3"},
+			{"resnet18", vnpu.Mesh(2, 3), "2x3"},
+			{"googlenet", vnpu.Mesh(2, 4), "2x4"},
+		}
+	}
+	mixes := make([]workloadMix, len(entries))
+	for i, e := range entries {
+		m, err := vnpu.ModelByName(e.model)
+		if err != nil {
+			return nil, err
+		}
+		mixes[i] = workloadMix{model: m, topo: e.topo, shape: e.shape}
+	}
+	return mixes, nil
+}
+
+func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, verbose bool) error {
+	var cfg vnpu.Config
+	switch chipName {
+	case "fpga":
+		cfg = vnpu.FPGAConfig()
+	case "sim":
+		cfg = vnpu.SimConfig()
+	case "sim48":
+		cfg = vnpu.SimConfig48()
+	default:
+		return fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", chipName)
+	}
+	var opts []vnpu.ClusterOption
+	if queue > 0 {
+		opts = append(opts, vnpu.WithQueueDepth(queue))
+	} else {
+		// Default: admit the whole trace so rejections only appear when
+		// the operator asks for a tighter queue.
+		opts = append(opts, vnpu.WithQueueDepth(jobs))
+	}
+	if quota > 0 {
+		opts = append(opts, vnpu.WithTenantQuota(quota))
+	}
+	cluster, err := vnpu.NewCluster(cfg, chips, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	mixes, err := buildMix(cfg.Cores())
+	if err != nil {
+		return err
+	}
+	var jobOpts []vnpu.Option
+	if confine {
+		jobOpts = append(jobOpts, vnpu.WithConfinement(true))
+	}
+
+	fmt.Printf("vnpuserve: %d chips (%s, %d cores), %d jobs, %d tenants, rate %.0f jobs/s, quota %d\n",
+		chips, chipName, cfg.Cores(), jobs, tenants, rate, quota)
+
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	start := time.Now()
+	handles := make([]*vnpu.Handle, 0, jobs)
+	var rejectedQueue, rejectedQuota int
+	for i := 0; i < jobs; i++ {
+		if rate > 0 && i > 0 {
+			time.Sleep(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		}
+		mx := mixes[rng.Intn(len(mixes))]
+		job := vnpu.Job{
+			Tenant:     fmt.Sprintf("tenant-%02d", rng.Intn(tenants)),
+			Model:      mx.model,
+			Iterations: iters,
+			Topology:   mx.topo,
+			Options:    jobOpts,
+		}
+		h, err := cluster.Submit(ctx, job)
+		switch {
+		case err == nil:
+			handles = append(handles, h)
+		case errors.Is(err, vnpu.ErrQueueFull):
+			rejectedQueue++
+		case errors.Is(err, vnpu.ErrQuotaExceeded):
+			rejectedQuota++
+		default:
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+
+	var (
+		waits  []time.Duration
+		failed int
+	)
+	for i, h := range handles {
+		rep, err := h.Wait(ctx)
+		if err != nil {
+			failed++
+			if verbose {
+				fmt.Fprintf(os.Stderr, "job %d failed: %v\n", i, err)
+			}
+			continue
+		}
+		waits = append(waits, rep.QueueWait)
+		if verbose {
+			fmt.Printf("job %3d %-24s chip %d  queued %8s  %8.1f FPS (TED %.1f)\n",
+				i, rep.Tenant, rep.Chip, rep.QueueWait.Round(time.Microsecond), rep.FPS, rep.MapCost)
+		}
+	}
+	wall := time.Since(start)
+
+	stats := cluster.Stats()
+	fmt.Printf("\ncompleted %d jobs (%d failed, %d shed on queue, %d shed on quota) in %s\n",
+		len(waits), failed, rejectedQueue, rejectedQuota, wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Printf("throughput:    %.1f jobs/s\n", float64(len(waits))/wall.Seconds())
+	}
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		fmt.Printf("queueing:      p50 %s   p99 %s   max %s\n",
+			percentile(waits, 0.50).Round(time.Microsecond),
+			percentile(waits, 0.99).Round(time.Microsecond),
+			waits[len(waits)-1].Round(time.Microsecond))
+	}
+	fmt.Println("per chip:")
+	util := cluster.Utilization()
+	for i := 0; i < cluster.Chips(); i++ {
+		busyPct := 0.0
+		if wall > 0 {
+			busyPct = float64(stats.ChipBusy[i]) / float64(wall) * 100
+		}
+		fmt.Printf("  chip %d: %4d jobs   busy %5.1f%%   final core alloc %3.0f%%\n",
+			i, stats.ChipJobs[i], busyPct, util[i]*100)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d jobs failed", failed)
+	}
+	return nil
+}
+
+// percentile returns the q-quantile of sorted durations by the
+// nearest-rank (ceiling) method, so p99 never understates the tail.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

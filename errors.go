@@ -1,0 +1,50 @@
+package vnpu
+
+import "github.com/vnpu-sim/vnpu/internal/core"
+
+// The public error taxonomy. Every allocation, admission and serving
+// failure surfaced by System, Cluster and Handle wraps exactly one of
+// these sentinels, so callers branch with errors.Is instead of matching
+// message strings. (Malformed requests — a nil topology, an invalid
+// model — fail with plain validation errors: they are caller bugs, not
+// serving conditions to branch on.)
+//
+//	h, err := cluster.Submit(ctx, job)
+//	switch {
+//	case errors.Is(err, vnpu.ErrQueueFull):     // shed load, retry later
+//	case errors.Is(err, vnpu.ErrQuotaExceeded): // this tenant must drain first
+//	}
+//	rep, err := h.Wait(ctx)
+//	switch {
+//	case errors.Is(err, vnpu.ErrNoCapacity):            // cluster too busy/small
+//	case errors.Is(err, vnpu.ErrTopologyUnsatisfiable): // ask for another shape
+//	case errors.Is(err, vnpu.ErrMemoryExceeded):        // model outgrew the vNPU
+//	}
+var (
+	// ErrNoCapacity: the chip (or every chip of the cluster) lacks the
+	// free cores or free global memory the request needs right now. The
+	// condition is transient — destroying a vNPU may clear it.
+	ErrNoCapacity = core.ErrNoCapacity
+
+	// ErrTopologyUnsatisfiable: the requested topology cannot be realized
+	// under the chosen strategy (StrategyExact found no isomorphic region,
+	// or no connected region of that size exists).
+	ErrTopologyUnsatisfiable = core.ErrTopologyUnsatisfiable
+
+	// ErrMemoryExceeded: a memory-budget violation — a model larger than
+	// its vNPU's memory, meta tables overflowing the meta zone, or a KV
+	// buffer that does not fit the scratchpad.
+	ErrMemoryExceeded = core.ErrMemoryExceeded
+
+	// ErrDestroyed: an operation on a vNPU that no longer exists or on a
+	// closed Cluster.
+	ErrDestroyed = core.ErrDestroyed
+
+	// ErrQueueFull: the cluster's bounded admission queue rejected the
+	// submission — the serving front-end's backpressure signal.
+	ErrQueueFull = core.ErrQueueFull
+
+	// ErrQuotaExceeded: the submitting tenant already has its maximum
+	// number of jobs in flight.
+	ErrQuotaExceeded = core.ErrQuotaExceeded
+)

@@ -1,13 +1,15 @@
-// Multitenant: two tenants share one 36-core chip — a GPT-2 service and a
-// ResNet-34 vision service — each in its own virtual NPU with confined NoC
-// routing, the Fig 16 scenario of the paper.
+// Multitenant: a GPT-2 service and a ResNet-34 vision service share a
+// two-chip cluster through the serving API — the Fig 16 scenario of the
+// paper, grown from one chip to a concurrent multi-chip front-end.
 //
-// The example shows the utilization upside of flexible topologies: the
-// tenants ask for exactly the cores they need (12 + 24 = the whole chip),
-// something fixed MIG-style partitions cannot do.
+// Each tenant submits jobs asynchronously; the cluster places every job on
+// the chip whose free cores match its topology best, applies a per-tenant
+// in-flight quota, and reports where each job ran and how long it queued.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -15,10 +17,14 @@ import (
 )
 
 func main() {
-	sys, err := vnpu.NewSystem(vnpu.SimConfig())
+	cluster, err := vnpu.NewCluster(vnpu.SimConfig(), 2,
+		vnpu.WithQueueDepth(32),
+		vnpu.WithTenantQuota(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
 	gpt, err := vnpu.ModelByName("gpt2-small")
 	if err != nil {
@@ -29,53 +35,62 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Tenant A: a 3x4 virtual NPU for GPT-2 small.
-	gptMem, err := sys.ModelMemoryBytes(gpt, 12)
-	if err != nil {
-		log.Fatal(err)
+	// Both tenants submit a burst of jobs up front; Submit returns
+	// immediately with a handle per job.
+	ctx := context.Background()
+	var handles []*vnpu.Handle
+	for i := 0; i < 3; i++ {
+		h, err := cluster.Submit(ctx, vnpu.Job{
+			Tenant:     "llm",
+			Model:      gpt,
+			Iterations: 2,
+			Topology:   vnpu.Mesh(3, 4),
+			Options:    []vnpu.Option{vnpu.WithConfinement(true)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
+
+		h, err = cluster.Submit(ctx, vnpu.Job{
+			Tenant:     "vision",
+			Model:      resnet,
+			Iterations: 2,
+			Topology:   vnpu.Mesh(4, 6),
+			Options:    []vnpu.Option{vnpu.WithConfinement(true)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
 	}
-	a, err := sys.Create(vnpu.Request{
-		Topology:    vnpu.Mesh(3, 4),
-		Confined:    true,
-		MemoryBytes: gptMem,
+
+	// A fourth in-flight job for the same tenant trips its quota — the
+	// admission-control errors are typed and errors.Is-matchable.
+	h4, err := cluster.Submit(ctx, vnpu.Job{
+		Tenant: "llm", Model: gpt, Topology: vnpu.Mesh(3, 4),
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, vnpu.ErrQuotaExceeded):
+		fmt.Println("llm's 4th concurrent job was shed: quota of 3 in flight")
+	case err == nil:
+		// An earlier llm job already drained, so the quota had room.
+		fmt.Println("llm's 4th job was admitted (an earlier one already finished)")
+		handles = append(handles, h4)
+	default:
 		log.Fatal(err)
 	}
 
-	// Tenant B: a 4x6 virtual NPU for ResNet-34 on the remaining cores.
-	rnMem, err := sys.ModelMemoryBytes(resnet, 24)
-	if err != nil {
-		log.Fatal(err)
+	for _, h := range handles {
+		rep, err := h.Wait(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %-12s chip %d  queued %10s  %7.2f FPS\n",
+			rep.Tenant, rep.Model, rep.Chip, rep.QueueWait, rep.FPS)
 	}
-	b, err := sys.Create(vnpu.Request{
-		Topology:    vnpu.Mesh(4, 6),
-		Confined:    true,
-		MemoryBytes: rnMem,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("tenant A: vNPU %d, %d cores at %v\n", a.ID(), a.NumCores(), a.Nodes())
-	fmt.Printf("tenant B: vNPU %d, %d cores at %v\n", b.ID(), b.NumCores(), b.Nodes())
-	fmt.Printf("chip utilization: %.0f%% (a fixed 18+18 MIG split would strand 6 cores\n", sys.Utilization()*100)
-	fmt.Println("and time-share the other tenant; see cmd/vnpu-experiments -run fig16)")
 
-	repA, err := sys.RunModel(a, gpt, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	repB, err := sys.RunModel(b, resnet, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("tenant A (%s): %.2f FPS\n", gpt.Name, repA.FPS)
-	fmt.Printf("tenant B (%s): %.2f FPS\n", resnet.Name, repB.FPS)
-
-	// Tear down tenant A; its cores and memory return to the pool.
-	if err := sys.Destroy(a); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("after tenant A leaves: %d cores free, utilization %.0f%%\n",
-		sys.FreeCores(), sys.Utilization()*100)
+	stats := cluster.Stats()
+	fmt.Printf("served %d jobs (%d shed): chip0 ran %d, chip1 ran %d\n",
+		stats.Completed, stats.RejectedQuota, stats.ChipJobs[0], stats.ChipJobs[1])
 }

@@ -1,0 +1,3 @@
+module github.com/vnpu-sim/vnpu
+
+go 1.21

@@ -1,0 +1,36 @@
+package core
+
+import "errors"
+
+// The typed error taxonomy of the virtualization layer. Every allocation
+// and serving failure wraps exactly one of these sentinels, so callers at
+// any layer — hypervisor, cluster dispatcher, or the public vnpu package —
+// can branch with errors.Is instead of matching message strings.
+var (
+	// ErrNoCapacity reports that the chip lacks the free cores or free
+	// global memory the request needs right now. The condition is
+	// transient: destroying a vNPU may clear it.
+	ErrNoCapacity = errors.New("insufficient free capacity")
+
+	// ErrTopologyUnsatisfiable reports that the requested topology cannot
+	// be realized under the chosen strategy (e.g. StrategyExact found no
+	// isomorphic region, or no connected region exists).
+	ErrTopologyUnsatisfiable = errors.New("topology unsatisfiable")
+
+	// ErrMemoryExceeded reports a memory-budget violation: a workload
+	// larger than its vNPU's memory, meta tables overflowing the meta
+	// zone, or a KV buffer that does not fit the scratchpad.
+	ErrMemoryExceeded = errors.New("memory budget exceeded")
+
+	// ErrDestroyed reports an operation on a vNPU that no longer exists or
+	// on a cluster that has been closed.
+	ErrDestroyed = errors.New("destroyed")
+
+	// ErrQueueFull reports that the cluster's bounded admission queue is
+	// full — the backpressure signal of the serving front-end.
+	ErrQueueFull = errors.New("admission queue full")
+
+	// ErrQuotaExceeded reports that a tenant already has its maximum
+	// number of jobs in flight.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"github.com/vnpu-sim/vnpu/internal/ged"
 	"github.com/vnpu-sim/vnpu/internal/isa"
@@ -57,8 +58,16 @@ const guestVABase = 1 << 32
 // Hypervisor owns the physical NPU's virtualization state: free cores,
 // meta tables, and the buddy allocator over HBM (§5.2). It is the only
 // component allowed to drive the controller's hyper-mode operations.
+//
+// A Hypervisor is safe for concurrent use: CreateVNPU, Destroy, Reserve
+// and the read-side accessors may be called from multiple goroutines (the
+// cluster dispatcher places vNPUs while chip workers destroy finished
+// ones). Executing workloads on the device is not covered by this lock —
+// the serving layer serializes execution per chip.
 type Hypervisor struct {
-	dev    *npu.Device
+	dev *npu.Device
+
+	mu     sync.Mutex
 	free   map[topo.NodeID]bool
 	vms    map[VMID]*VNPU
 	nextVM VMID
@@ -100,8 +109,18 @@ func NewHypervisor(dev *npu.Device) (*Hypervisor, error) {
 // Device returns the managed device.
 func (h *Hypervisor) Device() *npu.Device { return h.dev }
 
+// MemCapacity reports the total HBM pool the hypervisor can allocate from
+// — an upper bound on any single request's MemoryBytes.
+func (h *Hypervisor) MemCapacity() uint64 { return h.buddy.Total() }
+
 // FreeCores lists currently unallocated cores in ascending order.
 func (h *Hypervisor) FreeCores() []topo.NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.freeCoresLocked()
+}
+
+func (h *Hypervisor) freeCoresLocked() []topo.NodeID {
 	out := make([]topo.NodeID, 0, len(h.free))
 	for id, ok := range h.free {
 		if ok {
@@ -114,12 +133,16 @@ func (h *Hypervisor) FreeCores() []topo.NodeID {
 
 // Utilization reports the fraction of cores currently allocated.
 func (h *Hypervisor) Utilization() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	total := h.dev.Config().Cores()
-	return float64(total-len(h.FreeCores())) / float64(total)
+	return float64(total-len(h.freeCoresLocked())) / float64(total)
 }
 
 // VNPUs lists live virtual NPUs in creation order.
 func (h *Hypervisor) VNPUs() []*VNPU {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	ids := make([]VMID, 0, len(h.vms))
 	for id := range h.vms {
 		ids = append(ids, id)
@@ -135,9 +158,11 @@ func (h *Hypervisor) VNPUs() []*VNPU {
 // Reserve marks cores as unavailable without creating a vNPU — used to
 // model pre-occupied chips (the red nodes of Fig 18).
 func (h *Hypervisor) Reserve(nodes ...topo.NodeID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, n := range nodes {
 		if !h.free[n] {
-			return fmt.Errorf("core: node %d is not free", n)
+			return fmt.Errorf("core: node %d is not free: %w", n, ErrNoCapacity)
 		}
 	}
 	for _, n := range nodes {
@@ -147,12 +172,15 @@ func (h *Hypervisor) Reserve(nodes ...topo.NodeID) error {
 }
 
 // CreateVNPU allocates cores, memory and meta tables for a new virtual
-// NPU according to the request.
+// NPU according to the request. Failures roll back every partial
+// allocation (cores, memory, meta zones), leaving the chip unchanged.
 func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: request needs a topology")
 	}
-	mapRes, err := MapTopology(h.dev.Graph(), h.FreeCores(), req.Topology, req.Strategy, req.MapOptions)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mapRes, err := MapTopology(h.dev.Graph(), h.freeCoresLocked(), req.Topology, req.Strategy, req.MapOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -178,17 +206,24 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	rollbackMem := func() {
+	// rollback undoes every allocation made so far: memory blocks plus any
+	// cores already configured, restoring them to bare-metal state.
+	var configured []topo.NodeID
+	rollback := func() {
 		for _, b := range blocks {
 			_ = h.buddy.Free(b.pa)
+		}
+		for _, node := range configured {
+			_ = h.releaseCore(node)
 		}
 	}
 
 	// Meta-zone budget: routing table + RTT must fit the reserved zone.
 	metaBits := rt.SizeBits() + len(blocks)*mem.RTTEntryBits
 	if int64(metaBits/8) > h.dev.Config().MetaZoneBytes {
-		rollbackMem()
-		return nil, fmt.Errorf("core: meta tables need %d bits, zone holds %d bytes", metaBits, h.dev.Config().MetaZoneBytes)
+		rollback()
+		return nil, fmt.Errorf("core: meta tables need %d bits, zone holds %d bytes: %w",
+			metaBits, h.dev.Config().MetaZoneBytes, ErrMemoryExceeded)
 	}
 
 	// Memory interfaces: a share proportional to the core count unless
@@ -237,7 +272,7 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 		pageTable = mem.NewPageTable()
 		for _, b := range blocks {
 			if err := pageTable.Map(b.va, b.pa, b.size, mem.PermRW); err != nil {
-				rollbackMem()
+				rollback()
 				return nil, err
 			}
 		}
@@ -252,24 +287,28 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 		sharedCap = &mem.AccessCounter{MaxBytes: req.BandwidthCapBytes, Window: req.BandwidthWindow}
 	}
 	if req.KVBufferBytes < 0 || h.dev.Config().MetaZoneBytes+req.KVBufferBytes >= h.dev.Config().ScratchpadBytes {
-		rollbackMem()
-		return nil, fmt.Errorf("core: KV buffer %d does not fit the scratchpad", req.KVBufferBytes)
+		rollback()
+		return nil, fmt.Errorf("core: KV buffer %d does not fit the scratchpad: %w",
+			req.KVBufferBytes, ErrMemoryExceeded)
 	}
 	for _, node := range mapRes.Nodes {
 		coreObj, err := h.dev.Core(node)
 		if err != nil {
-			rollbackMem()
+			rollback()
 			return nil, err
 		}
+		h.free[node] = false
+		h.dev.NoC().SetOwner(node, int(vm))
+		configured = append(configured, node)
 		if req.KVBufferBytes > 0 {
 			if err := coreObj.ReserveMetaZone(h.dev.Config().MetaZoneBytes + req.KVBufferBytes); err != nil {
-				rollbackMem()
+				rollback()
 				return nil, err
 			}
 		}
 		port, err := h.dev.HBM().Port(chIdx...)
 		if err != nil {
-			rollbackMem()
+			rollback()
 			return nil, err
 		}
 		if sharedCap != nil {
@@ -295,16 +334,14 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 			}
 			rtt, err := mem.NewRTT(rttEntries)
 			if err != nil {
-				rollbackMem()
+				rollback()
 				return nil, err
 			}
 			coreObj.SetTranslator(mem.NewRangeTranslator(rtt))
 		}
-		h.free[node] = false
-		h.dev.NoC().SetOwner(node, int(vm))
 		rttCycles, err := ctrl.ConfigureRTT(len(blocks))
 		if err != nil {
-			rollbackMem()
+			rollback()
 			return nil, err
 		}
 		setup += rttCycles
@@ -315,30 +352,20 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 	return v, nil
 }
 
-// Destroy releases a vNPU's cores, memory and meta tables.
+// Destroy releases a vNPU's cores, memory and meta tables. Destroying a
+// vNPU that does not exist (or was already destroyed) returns an error
+// matching ErrDestroyed.
 func (h *Hypervisor) Destroy(vm VMID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	v, ok := h.vms[vm]
 	if !ok {
-		return fmt.Errorf("core: no vNPU %d", vm)
+		return fmt.Errorf("core: no vNPU %d: %w", vm, ErrDestroyed)
 	}
 	for _, node := range v.nodes {
-		h.free[node] = true
-		h.dev.NoC().SetOwner(node, noc.Unowned)
-		coreObj, err := h.dev.Core(node)
-		if err != nil {
+		if err := h.releaseCore(node); err != nil {
 			return err
 		}
-		if v.kvBytes > 0 {
-			if err := coreObj.ReserveMetaZone(h.dev.Config().MetaZoneBytes); err != nil {
-				return err
-			}
-		}
-		port, err := h.dev.HBM().Port()
-		if err != nil {
-			return err
-		}
-		coreObj.SetPort(port)
-		coreObj.SetTranslator(&mem.Identity{})
 	}
 	for _, b := range v.blocks {
 		if err := h.buddy.Free(b.pa); err != nil {
@@ -349,6 +376,29 @@ func (h *Hypervisor) Destroy(vm VMID) error {
 	return nil
 }
 
+// releaseCore returns one core to bare-metal state — free pool, unowned,
+// base meta zone, all-channel port, identity translation — the inverse of
+// the per-core setup in CreateVNPU. Both Destroy and the create rollback
+// go through it so teardown cannot drift between the two paths.
+func (h *Hypervisor) releaseCore(node topo.NodeID) error {
+	h.free[node] = true
+	h.dev.NoC().SetOwner(node, noc.Unowned)
+	coreObj, err := h.dev.Core(node)
+	if err != nil {
+		return err
+	}
+	if err := coreObj.ReserveMetaZone(h.dev.Config().MetaZoneBytes); err != nil {
+		return err
+	}
+	port, err := h.dev.HBM().Port()
+	if err != nil {
+		return err
+	}
+	coreObj.SetPort(port)
+	coreObj.SetTranslator(&mem.Identity{})
+	return nil
+}
+
 // allocMemory carves size bytes into power-of-two buddy blocks and assigns
 // them consecutive guest virtual addresses. Each block becomes one RTT
 // entry — the whole point of range translation (§5.2: "maps an entire
@@ -356,6 +406,13 @@ func (h *Hypervisor) Destroy(vm VMID) error {
 func (h *Hypervisor) allocMemory(vm VMID, size uint64) ([]memBlock, error) {
 	if size == 0 {
 		return nil, nil
+	}
+	// A request beyond the whole pool can never succeed — that is a
+	// budget violation, not the transient ErrNoCapacity, which would
+	// steer retry loops into spinning forever.
+	if size > h.buddy.Total() {
+		return nil, fmt.Errorf("core: vNPU %d requests %d bytes, pool holds %d: %w",
+			vm, size, h.buddy.Total(), ErrMemoryExceeded)
 	}
 	// Round up to the minimum block and split into the binary
 	// decomposition, largest blocks first.
@@ -372,7 +429,7 @@ func (h *Hypervisor) allocMemory(vm VMID, size uint64) ([]memBlock, error) {
 			for _, b := range blocks {
 				_ = h.buddy.Free(b.pa)
 			}
-			return nil, fmt.Errorf("core: allocating %d bytes for vNPU %d: %w", size, vm, err)
+			return nil, fmt.Errorf("core: allocating %d bytes for vNPU %d: %v: %w", size, vm, err, ErrNoCapacity)
 		}
 		blocks = append(blocks, memBlock{va: va, pa: pa, size: block})
 		va += block

@@ -81,7 +81,7 @@ func MapTopology(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, strat St
 		}
 	}
 	if len(free) < k {
-		return MapResult{}, fmt.Errorf("core: %d cores requested, %d free", k, len(free))
+		return MapResult{}, fmt.Errorf("core: %d cores requested, %d free: %w", k, len(free), ErrNoCapacity)
 	}
 
 	switch strat {
@@ -93,7 +93,7 @@ func MapTopology(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, strat St
 			return res, err
 		}
 		if res.Cost != 0 {
-			return MapResult{}, fmt.Errorf("core: no exact %d-core topology available (best edit distance %.1f): topology lock-in", k, res.Cost)
+			return MapResult{}, fmt.Errorf("core: no exact %d-core topology available (best edit distance %.1f): topology lock-in: %w", k, res.Cost, ErrTopologyUnsatisfiable)
 		}
 		return res, nil
 	case StrategyFragment:
@@ -114,7 +114,7 @@ func mapStraightforward(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, o
 	k := req.NumNodes()
 	chosen := idOrderNodes(free, k)
 	if len(chosen) < k {
-		return MapResult{}, fmt.Errorf("core: only %d free cores for %d-core request", len(chosen), k)
+		return MapResult{}, fmt.Errorf("core: only %d free cores for %d-core request: %w", len(chosen), k, ErrNoCapacity)
 	}
 	m := make(ged.Mapping, k)
 	for i, node := range chosen {
@@ -147,7 +147,7 @@ func mapSimilar(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.O
 	k := req.NumNodes()
 	candidates := gatherCandidates(phys, free, k)
 	if len(candidates) == 0 {
-		return MapResult{}, fmt.Errorf("core: no connected %d-core region available", k)
+		return MapResult{}, fmt.Errorf("core: no connected %d-core region available: %w", k, ErrTopologyUnsatisfiable)
 	}
 
 	// Signature dedup is only sound when the cost model is purely

@@ -39,6 +39,9 @@ func NewBuddy(total, minBlock uint64) (*Buddy, error) {
 	return b, nil
 }
 
+// Total reports the pool size the allocator manages.
+func (b *Buddy) Total() uint64 { return b.total }
+
 // blockSize returns the byte size of blocks of the given order.
 func (b *Buddy) blockSize(order int) uint64 { return b.minBlock << uint(order) }
 

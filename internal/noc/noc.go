@@ -11,6 +11,7 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/vnpu-sim/vnpu/internal/sim"
 	"github.com/vnpu-sim/vnpu/internal/topo"
@@ -71,12 +72,19 @@ const Unowned = 0
 // Network is a NoC over a physical topology. Links are directed: the a->b
 // and b->a directions of a mesh link have independent bandwidth, as in
 // real full-duplex NoCs.
+//
+// Transfer is not safe for concurrent use (execution on a chip is
+// serialized by the caller), but ownership tags are: the hypervisor may
+// SetOwner from one goroutine while a transfer reads owners from another,
+// so the owner map carries its own lock.
 type Network struct {
 	graph *topo.Graph
 	cfg   Config
 	links map[[2]topo.NodeID]*sim.Resource
-	owner map[topo.NodeID]int // core -> virtual NPU tag (Unowned = none)
 	stats Stats
+
+	ownerMu sync.Mutex
+	owner   map[topo.NodeID]int // core -> virtual NPU tag (Unowned = none)
 }
 
 // New builds a network over the given topology.
@@ -98,6 +106,8 @@ func (n *Network) Config() Config { return n.cfg }
 // SetOwner tags a core as belonging to virtual NPU vm (Unowned clears).
 // Ownership only affects interference accounting, never routing.
 func (n *Network) SetOwner(core topo.NodeID, vm int) {
+	n.ownerMu.Lock()
+	defer n.ownerMu.Unlock()
 	if vm == Unowned {
 		delete(n.owner, core)
 		return
@@ -106,13 +116,27 @@ func (n *Network) SetOwner(core topo.NodeID, vm int) {
 }
 
 // Owner reports the virtual NPU tag of a core.
-func (n *Network) Owner(core topo.NodeID) int { return n.owner[core] }
+func (n *Network) Owner(core topo.NodeID) int {
+	n.ownerMu.Lock()
+	defer n.ownerMu.Unlock()
+	return n.owner[core]
+}
 
 // Stats returns cumulative network statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
 // ResetStats clears counters but keeps link state.
 func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// ResetTiming clears every link's reservation calendar so a fresh
+// execution can start from cycle zero. Ownership tags and statistics are
+// kept. The serving layer calls this between time-multiplexed jobs on a
+// chip; it must not run concurrently with a Transfer.
+func (n *Network) ResetTiming() {
+	for _, l := range n.links {
+		l.Reset()
+	}
+}
 
 func (n *Network) link(a, b topo.NodeID) *sim.Resource {
 	key := [2]topo.NodeID{a, b}
@@ -155,11 +179,13 @@ func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) 
 
 	// Interference: hops through routers owned by someone else. The source
 	// and destination belong to the flow, intermediate routers may not.
+	n.ownerMu.Lock()
 	for _, node := range path[1 : len(path)-1] {
 		if o := n.owner[node]; o != Unowned && o != vm {
 			n.stats.InterferenceHops++
 		}
 	}
+	n.ownerMu.Unlock()
 
 	cursor := at + n.cfg.HandshakeCycles
 	var arrival sim.Cycles

@@ -62,6 +62,16 @@ func (d *Device) HBM() *mem.HBM { return d.hbm }
 // Controller returns the NPU controller.
 func (d *Device) Controller() *Controller { return d.ctrl }
 
+// ResetTiming clears the transient reservation state of the chip's shared
+// resources — HBM channel calendars and NoC links — so the next Run starts
+// from cycle zero. vNPU allocations, ownership tags and translator state
+// are untouched. The serving layer calls this between time-multiplexed
+// jobs; it must not run concurrently with an active Run on this device.
+func (d *Device) ResetTiming() {
+	d.hbm.Reset()
+	d.net.ResetTiming()
+}
+
 // Core returns the core at the given mesh node.
 func (d *Device) Core(node topo.NodeID) (*Core, error) {
 	c, ok := d.cores[node]

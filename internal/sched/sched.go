@@ -1,0 +1,482 @@
+// Package sched implements the serving front-end of a multi-chip vNPU
+// cluster: a bounded FIFO admission queue, per-tenant in-flight quotas,
+// placement scoring across chips, and one worker goroutine per chip that
+// executes placed jobs in order.
+//
+// The dispatcher is generic over the job, placement and result types so it
+// stays independent of the virtualization layer; the public vnpu package
+// instantiates it with its own Job/vNPU/Report types. Admission failures
+// and lifecycle errors wrap the typed sentinels of internal/core
+// (ErrQueueFull, ErrQuotaExceeded, ErrDestroyed, ...), keeping the whole
+// stack errors.Is-matchable.
+//
+// Lifecycle of a job:
+//
+//	Submit ──quota+queue check──▶ FIFO queue ──dispatcher──▶ Place(best chip)
+//	        ──worker[chip]──▶ Execute ──▶ Release ──▶ Handle resolves
+//
+// Placement claims chip resources immediately (Place), so several jobs can
+// be resident on a chip while its worker executes them one at a time —
+// the time-multiplexing model of the underlying simulator. When no chip
+// can host the queue head, the dispatcher parks until some worker releases
+// a placement (retry-on-destroy backpressure) or the job's context is
+// canceled; if nothing is in flight anywhere, the failure is terminal and
+// the job fails with the placement error.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+)
+
+// Score ranks a prospective placement. Cost is the primary criterion
+// (lower is better; the cluster uses topology edit distance); Load breaks
+// ties between equal costs, so a load term can never override even a
+// fractional cost difference.
+type Score struct {
+	Cost float64
+	Load float64
+}
+
+func (s Score) less(o Score) bool {
+	if s.Cost != o.Cost {
+		return s.Cost < o.Cost
+	}
+	return s.Load < o.Load
+}
+
+// Executor abstracts the chips the dispatcher schedules over. All methods
+// may be called concurrently: Score and Place from the dispatcher
+// goroutine, Execute and Release from per-chip workers.
+type Executor[Job, Placement, Result any] interface {
+	// Score reports the placement fitness of job on chip. An error means
+	// the chip cannot host the job right now.
+	Score(chip int, job Job) (Score, error)
+	// Place claims resources for job on chip (e.g. creates the vNPU).
+	Place(chip int, job Job) (Placement, error)
+	// Execute runs a placed job to completion on its chip.
+	Execute(ctx context.Context, chip int, pl Placement, job Job) (Result, error)
+	// Release frees the placement's resources (e.g. destroys the vNPU).
+	Release(chip int, pl Placement) error
+}
+
+// Config tunes the dispatcher.
+type Config struct {
+	// Chips is the number of chips (worker goroutines). Must be >= 1.
+	Chips int
+	// QueueDepth bounds the FIFO admission queue. <= 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// TenantQuota caps each tenant's in-flight jobs (queued + running).
+	// <= 0 means unlimited. A canceled job's slot is reclaimed when the
+	// job drains from the FIFO queue, not at cancellation time.
+	TenantQuota int
+}
+
+// DefaultQueueDepth is the admission queue bound when none is given.
+const DefaultQueueDepth = 64
+
+// Stats is a snapshot of dispatcher counters.
+type Stats struct {
+	// Submitted counts jobs admitted past quota and queue checks.
+	Submitted uint64
+	// RejectedQueueFull counts submissions refused with ErrQueueFull.
+	RejectedQueueFull uint64
+	// RejectedQuota counts submissions refused with ErrQuotaExceeded.
+	RejectedQuota uint64
+	// Completed counts jobs that finished successfully.
+	Completed uint64
+	// Failed counts jobs that finished with an error (including
+	// cancellation).
+	Failed uint64
+	// ChipJobs counts jobs executed per chip.
+	ChipJobs []int
+	// ChipBusy is the cumulative wall-clock execution time per chip; over
+	// a load generator's run it yields per-chip utilization.
+	ChipBusy []time.Duration
+}
+
+// Handle tracks one submitted job.
+type Handle[Result any] struct {
+	tenant    string
+	submitted time.Time
+
+	started chan struct{} // closed when the job is placed on a chip
+	done    chan struct{} // closed when the job finishes
+
+	// Written once before the respective channel closes.
+	chip     int
+	placedAt time.Time
+	finished time.Time
+	res      Result
+	err      error
+}
+
+// Tenant reports the submitting tenant.
+func (h *Handle[Result]) Tenant() string { return h.tenant }
+
+// Started is closed once the job's resources have been claimed on a chip
+// (the moment it leaves the queue). In the rare case that the job is
+// canceled after placement but before its chip worker picks it up, the
+// placement is rolled back and Wait returns the cancellation error even
+// though Started closed.
+func (h *Handle[Result]) Started() <-chan struct{} { return h.started }
+
+// Done is closed once the job has finished (successfully or not).
+func (h *Handle[Result]) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes or ctx is done, returning the result.
+// A ctx expiry only abandons the wait — the job keeps running; cancel the
+// submission context to cancel the job itself.
+func (h *Handle[Result]) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		var zero Result
+		return zero, ctx.Err()
+	}
+}
+
+// Chip reports the chip the job was placed on (-1 before placement).
+func (h *Handle[Result]) Chip() int {
+	select {
+	case <-h.started:
+		return h.chip
+	default:
+		return -1
+	}
+}
+
+// QueueWait reports how long the job sat in the admission queue before
+// being placed on a chip. It is meaningful once Started is closed; for a
+// job that failed before placement it covers submit to failure.
+func (h *Handle[Result]) QueueWait() time.Duration {
+	// Check placement first: for a finished job both channels are closed
+	// and a combined select would pick a branch at random.
+	select {
+	case <-h.started:
+		return h.placedAt.Sub(h.submitted)
+	default:
+	}
+	select {
+	case <-h.done:
+		return h.finished.Sub(h.submitted)
+	default:
+		return time.Since(h.submitted)
+	}
+}
+
+type task[Job, Result any] struct {
+	ctx context.Context
+	job Job
+	h   *Handle[Result]
+}
+
+type placed[Job, Placement, Result any] struct {
+	t  *task[Job, Result]
+	pl Placement
+}
+
+// Dispatcher schedules jobs across chips. Create one with New, feed it
+// with Submit, and shut it down with Close.
+type Dispatcher[Job, Placement, Result any] struct {
+	exec Executor[Job, Placement, Result]
+	cfg  Config
+
+	queue chan *task[Job, Result]
+	work  []chan placed[Job, Placement, Result]
+	freed chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int // placed but not yet released
+	tenants  map[string]int
+	stats    Stats
+
+	dispatcherDone chan struct{}
+	workersDone    sync.WaitGroup
+}
+
+// New starts a dispatcher: one dispatcher goroutine plus one worker per
+// chip. The caller must Close it to stop them.
+func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg Config) (*Dispatcher[Job, Placement, Result], error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("sched: config needs at least one chip, got %d", cfg.Chips)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	d := &Dispatcher[Job, Placement, Result]{
+		exec:           exec,
+		cfg:            cfg,
+		queue:          make(chan *task[Job, Result], cfg.QueueDepth),
+		work:           make([]chan placed[Job, Placement, Result], cfg.Chips),
+		freed:          make(chan struct{}, 1),
+		tenants:        make(map[string]int),
+		dispatcherDone: make(chan struct{}),
+	}
+	d.stats.ChipJobs = make([]int, cfg.Chips)
+	d.stats.ChipBusy = make([]time.Duration, cfg.Chips)
+	for i := range d.work {
+		// One queue's worth of buffered placements per chip; a chip that
+		// accumulates more than that backpressures the dispatcher (the
+		// send in place() blocks, but stays cancelable).
+		d.work[i] = make(chan placed[Job, Placement, Result], cfg.QueueDepth)
+		d.workersDone.Add(1)
+		go d.worker(i)
+	}
+	go d.dispatch()
+	return d, nil
+}
+
+// Submit applies admission control and enqueues the job. It returns
+// immediately with a Handle, or with an error wrapping ErrQueueFull,
+// ErrQuotaExceeded or ErrDestroyed when the job was not admitted.
+func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant string, job Job) (*Handle[Result], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("sched: dispatcher closed: %w", core.ErrDestroyed)
+	}
+	if d.cfg.TenantQuota > 0 && d.tenants[tenant] >= d.cfg.TenantQuota {
+		d.stats.RejectedQuota++
+		n := d.tenants[tenant]
+		d.mu.Unlock()
+		return nil, fmt.Errorf("sched: tenant %q has %d jobs in flight (quota %d): %w",
+			tenant, n, d.cfg.TenantQuota, core.ErrQuotaExceeded)
+	}
+	h := &Handle[Result]{
+		tenant:    tenant,
+		submitted: time.Now(),
+		started:   make(chan struct{}),
+		done:      make(chan struct{}),
+		chip:      -1,
+	}
+	t := &task[Job, Result]{ctx: ctx, job: job, h: h}
+	select {
+	case d.queue <- t:
+		d.tenants[tenant]++
+		d.stats.Submitted++
+		d.mu.Unlock()
+		return h, nil
+	default:
+		d.stats.RejectedQueueFull++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("sched: queue of %d jobs is full: %w", d.cfg.QueueDepth, core.ErrQueueFull)
+	}
+}
+
+// Close stops intake, waits for every admitted job to finish, and shuts
+// down the dispatcher and worker goroutines. It is safe to call once.
+func (d *Dispatcher[Job, Placement, Result]) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("sched: dispatcher closed: %w", core.ErrDestroyed)
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.queue)
+	<-d.dispatcherDone
+	for _, ch := range d.work {
+		close(ch)
+	}
+	d.workersDone.Wait()
+	return nil
+}
+
+// Backlog reports how many placed jobs are waiting in a chip worker's
+// channel (not counting one currently executing). Executors can fold it
+// into their placement score to spread load.
+func (d *Dispatcher[Job, Placement, Result]) Backlog(chip int) int {
+	return len(d.work[chip])
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Dispatcher[Job, Placement, Result]) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.ChipJobs = append([]int(nil), d.stats.ChipJobs...)
+	s.ChipBusy = append([]time.Duration(nil), d.stats.ChipBusy...)
+	return s
+}
+
+// dispatch pops tasks in FIFO order and places each on the best-scoring
+// chip, parking on backpressure until a worker frees capacity.
+func (d *Dispatcher[Job, Placement, Result]) dispatch() {
+	defer close(d.dispatcherDone)
+	for t := range d.queue {
+		if err := t.ctx.Err(); err != nil {
+			d.finish(t, *new(Result), fmt.Errorf("sched: job canceled while queued: %w", err))
+			continue
+		}
+		d.place(t)
+	}
+}
+
+// place scores every chip, claims the best available one, and hands the
+// job to that chip's worker. When no chip can host the job it waits for a
+// release and retries; with nothing in flight the failure is terminal.
+func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
+	for {
+		// Score all chips concurrently — a score is a dry-run topology
+		// mapping, the expensive part of dispatch.
+		scores := make([]Score, d.cfg.Chips)
+		errs := make([]error, d.cfg.Chips)
+		var wg sync.WaitGroup
+		for chip := 0; chip < d.cfg.Chips; chip++ {
+			wg.Add(1)
+			go func(chip int) {
+				defer wg.Done()
+				scores[chip], errs[chip] = d.exec.Score(chip, t.job)
+			}(chip)
+		}
+		wg.Wait()
+		var lastErr error
+		order := make([]int, 0, d.cfg.Chips)
+		for chip, err := range errs {
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			order = append(order, chip)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return scores[order[i]].less(scores[order[j]])
+		})
+		// Try chips in ranked order: Place can fail for reasons a score
+		// cannot see (e.g. memory exhaustion), so fall through to the
+		// next-best chip instead of parking on the first failure.
+		for _, chip := range order {
+			pl, err := d.exec.Place(chip, t.job)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			d.mu.Lock()
+			d.inflight++
+			d.mu.Unlock()
+			t.h.chip = chip
+			t.h.placedAt = time.Now()
+			close(t.h.started)
+			// The send blocks when a chip has accumulated a full buffer
+			// of placements — acceptable backpressure on the FIFO
+			// dispatcher — but must stay cancelable.
+			select {
+			case d.work[chip] <- placed[Job, Placement, Result]{t: t, pl: pl}:
+			case <-t.ctx.Done():
+				relErr := d.exec.Release(chip, pl)
+				// The freed signal must be pending before any observer can
+				// see inflight==0, so decrement and send under one lock.
+				d.mu.Lock()
+				d.inflight--
+				select {
+				case d.freed <- struct{}{}:
+				default:
+				}
+				d.mu.Unlock()
+				err := fmt.Errorf("sched: job canceled awaiting its chip worker: %w", t.ctx.Err())
+				if relErr != nil {
+					err = fmt.Errorf("%w (release: %v)", err, relErr)
+				}
+				d.finish(t, *new(Result), err)
+			}
+			return
+		}
+		// No chip can host the job right now. If nothing is in flight no
+		// future Release can change that — fail fast instead of deadlocking.
+		d.mu.Lock()
+		idle := d.inflight == 0
+		d.mu.Unlock()
+		if idle {
+			// A release may have landed between scoring and the idle
+			// check; drain its pending signal and rescore once more
+			// before declaring the failure terminal.
+			select {
+			case <-d.freed:
+				continue
+			default:
+			}
+			d.finish(t, *new(Result), fmt.Errorf("sched: unplaceable on an idle cluster: %w", lastErr))
+			return
+		}
+		select {
+		case <-d.freed:
+			// A placement was released; rescore.
+		case <-t.ctx.Done():
+			d.finish(t, *new(Result), fmt.Errorf("sched: job canceled awaiting capacity: %w", t.ctx.Err()))
+			return
+		}
+	}
+}
+
+// worker executes placed jobs for one chip, in placement order.
+func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
+	defer d.workersDone.Done()
+	for p := range d.work[chip] {
+		t := p.t
+		var res Result
+		executed := false
+		err := t.ctx.Err()
+		start := time.Now()
+		if err == nil {
+			res, err = d.exec.Execute(t.ctx, chip, p.pl, t.job)
+			executed = true
+		} else {
+			err = fmt.Errorf("sched: job canceled before execution: %w", err)
+		}
+		busy := time.Since(start)
+		// A Release failure means the chip leaked the placement — never
+		// swallow it, even when Execute already failed.
+		if relErr := d.exec.Release(chip, p.pl); relErr != nil {
+			if err == nil {
+				err = relErr
+			} else {
+				err = fmt.Errorf("%w (release: %v)", err, relErr)
+			}
+		}
+		// Decrement and signal under one lock: the dispatcher's idle check
+		// must never observe inflight==0 with an empty freed channel after
+		// a release, or it would terminally fail a now-placeable job.
+		d.mu.Lock()
+		d.inflight--
+		if executed {
+			d.stats.ChipJobs[chip]++
+			d.stats.ChipBusy[chip] += busy
+		}
+		select {
+		case d.freed <- struct{}{}:
+		default:
+		}
+		d.mu.Unlock()
+		d.finish(t, res, err)
+	}
+}
+
+// finish resolves a task's handle and returns its quota slot.
+func (d *Dispatcher[Job, Placement, Result]) finish(t *task[Job, Result], res Result, err error) {
+	d.mu.Lock()
+	if d.tenants[t.h.tenant]--; d.tenants[t.h.tenant] <= 0 {
+		delete(d.tenants, t.h.tenant)
+	}
+	if err == nil {
+		d.stats.Completed++
+	} else {
+		d.stats.Failed++
+	}
+	d.mu.Unlock()
+	t.h.res = res
+	t.h.err = err
+	t.h.finished = time.Now()
+	close(t.h.done)
+}

@@ -1,0 +1,332 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+)
+
+// fakeJob drives the fake executor: size is the capacity it claims, costs
+// and loads (optional) fix the per-chip placement score, block (optional)
+// parks Execute until closed, fail makes Execute return an error.
+type fakeJob struct {
+	size  int
+	costs []float64
+	loads []float64
+	block chan struct{}
+	fail  error
+}
+
+// fakeExec models chips as integer capacity pools. placeFail forces Place
+// (but not Score) to fail on specific chips.
+type fakeExec struct {
+	mu        sync.Mutex
+	free      []int
+	placeFail map[int]error
+}
+
+func (e *fakeExec) avail(chip, size int) error {
+	if size > e.free[chip] {
+		return fmt.Errorf("chip %d has %d free, job needs %d: %w", chip, e.free[chip], size, core.ErrNoCapacity)
+	}
+	return nil
+}
+
+func (e *fakeExec) Score(chip int, j *fakeJob) (Score, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.avail(chip, j.size); err != nil {
+		return Score{}, err
+	}
+	var s Score
+	if j.costs != nil {
+		s.Cost = j.costs[chip]
+	}
+	if j.loads != nil {
+		s.Load = j.loads[chip]
+	}
+	return s, nil
+}
+
+func (e *fakeExec) Place(chip int, j *fakeJob) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err, ok := e.placeFail[chip]; ok {
+		return 0, err
+	}
+	if err := e.avail(chip, j.size); err != nil {
+		return 0, err
+	}
+	e.free[chip] -= j.size
+	return j.size, nil
+}
+
+func (e *fakeExec) Execute(ctx context.Context, chip int, pl int, j *fakeJob) (string, error) {
+	if j.block != nil {
+		select {
+		case <-j.block:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	return "ok", j.fail
+}
+
+func (e *fakeExec) Release(chip int, pl int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.free[chip] += pl
+	return nil
+}
+
+func newTestDispatcher(t *testing.T, exec *fakeExec, cfg Config) *Dispatcher[*fakeJob, int, string] {
+	t.Helper()
+	d, err := New[*fakeJob, int, string](exec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlacementPicksBestScore(t *testing.T) {
+	exec := &fakeExec{free: []int{10, 10, 10}}
+	d := newTestDispatcher(t, exec, Config{Chips: 3})
+	defer d.Close()
+
+	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, costs: []float64{2, 0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 1 {
+		t.Fatalf("placed on chip %d, want best-scoring chip 1", h.Chip())
+	}
+}
+
+// TestPlacementLoadBreaksTiesOnly: load decides between equal costs but
+// can never override a cost difference, however small.
+func TestPlacementLoadBreaksTiesOnly(t *testing.T) {
+	exec := &fakeExec{free: []int{10, 10, 10}}
+	d := newTestDispatcher(t, exec, Config{Chips: 3})
+	defer d.Close()
+
+	// Chips 0 and 2 tie on cost; chip 2 is less loaded.
+	h, err := d.Submit(context.Background(), "a",
+		&fakeJob{size: 1, costs: []float64{1, 2, 1}, loads: []float64{0.9, 0, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 2 {
+		t.Fatalf("placed on chip %d, want tie broken to chip 2", h.Chip())
+	}
+	// A fractionally better cost beats any load advantage.
+	h, err = d.Submit(context.Background(), "a",
+		&fakeJob{size: 1, costs: []float64{0.5, 1, 0.6}, loads: []float64{0.99, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 0 {
+		t.Fatalf("placed on chip %d, want lowest-cost chip 0 despite load", h.Chip())
+	}
+}
+
+// TestPlaceFallsBackToNextChip: a Place failure on the best-scoring chip
+// (e.g. memory a score cannot see) falls through to the runner-up instead
+// of parking the dispatcher.
+func TestPlaceFallsBackToNextChip(t *testing.T) {
+	exec := &fakeExec{
+		free:      []int{10, 10},
+		placeFail: map[int]error{0: fmt.Errorf("chip 0 memory exhausted: %w", core.ErrNoCapacity)},
+	}
+	d := newTestDispatcher(t, exec, Config{Chips: 2})
+	defer d.Close()
+
+	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, costs: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 1 {
+		t.Fatalf("placed on chip %d, want fallback chip 1", h.Chip())
+	}
+}
+
+func TestBackpressureRetriesAfterRelease(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+	// h2 cannot be placed until h1 releases the chip's only capacity unit.
+	h2, err := d.Submit(context.Background(), "a", &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h2.Started():
+		t.Fatal("h2 placed while chip was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if _, err := h2.Wait(context.Background()); err != nil {
+		t.Fatalf("h2 after release: %v", err)
+	}
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnplaceableJobFailsOnIdleCluster(t *testing.T) {
+	exec := &fakeExec{free: []int{4, 4}}
+	d := newTestDispatcher(t, exec, Config{Chips: 2})
+	defer d.Close()
+
+	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); !errors.Is(err, core.ErrNoCapacity) {
+		t.Fatalf("got %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1, QueueDepth: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	defer close(gate)
+	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+	// h2 parks in the dispatcher awaiting capacity; everything beyond the
+	// single queue slot must be rejected.
+	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rejected bool
+	for i := 0; i < 2; i++ {
+		if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); errors.Is(err, core.ErrQueueFull) {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("no submission was rejected with ErrQueueFull")
+	}
+	if s := d.Stats(); s.RejectedQueueFull == 0 {
+		t.Fatal("stats did not count the queue-full rejection")
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1, TenantQuota: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrQuotaExceeded) {
+		t.Fatalf("tenant a second submit: got %v, want ErrQuotaExceeded", err)
+	}
+	// Another tenant is unaffected.
+	hb, err := d.Submit(context.Background(), "b", &fakeJob{size: 1})
+	if err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	close(gate)
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Quota slot is returned after completion.
+	h3, err := d.Submit(context.Background(), "a", &fakeJob{size: 1})
+	if err != nil {
+		t.Fatalf("tenant a after drain: %v", err)
+	}
+	if _, err := h3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	defer close(gate)
+	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+	ctx, cancel := context.WithCancel(context.Background())
+	h2, err := d.Submit(ctx, "a", &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := h2.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	exec := &fakeExec{free: []int{2, 2}}
+	d := newTestDispatcher(t, exec, Config{Chips: 2})
+
+	var handles []*Handle[string]
+	for i := 0; i < 8; i++ {
+		h, err := d.Submit(context.Background(), fmt.Sprintf("t%d", i%3), &fakeJob{size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d after Close: %v", i, err)
+		}
+	}
+	s := d.Stats()
+	if s.Completed != 8 || s.Failed != 0 {
+		t.Fatalf("stats completed=%d failed=%d, want 8/0", s.Completed, s.Failed)
+	}
+	if s.ChipJobs[0]+s.ChipJobs[1] != 8 {
+		t.Fatalf("chip jobs %v do not sum to 8", s.ChipJobs)
+	}
+	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrDestroyed) {
+		t.Fatalf("submit after close: got %v, want ErrDestroyed", err)
+	}
+}

@@ -1,0 +1,90 @@
+package vnpu
+
+import (
+	"context"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/sched"
+)
+
+// Job is one unit of serving work: run a model for a number of iterations
+// on a virtual NPU of the requested topology. Submit it to a Cluster.
+type Job struct {
+	// Tenant identifies the submitter for quota accounting and reporting.
+	// Empty means the shared "default" tenant.
+	Tenant string
+	// Model is the workload to run.
+	Model Model
+	// Iterations repeats the inference (0 means 1).
+	Iterations int
+	// Topology is the virtual NPU shape the job wants.
+	Topology *Topology
+	// Options tune the underlying Request (strategy, memory, confinement,
+	// bandwidth caps, ...). Memory defaults to the model's footprint on
+	// the requested core count.
+	Options []Option
+}
+
+// request materializes the job's Request by layering its options.
+func (j Job) request() Request {
+	return NewRequest(j.Topology, j.Options...)
+}
+
+// tenant returns the quota-accounting key.
+func (j Job) tenant() string {
+	if j.Tenant == "" {
+		return "default"
+	}
+	return j.Tenant
+}
+
+// JobReport extends the single-run Report with serving-side facts.
+type JobReport struct {
+	Report
+	// Chip is the index of the chip that executed the job.
+	Chip int
+	// Tenant echoes the submitting tenant.
+	Tenant string
+	// Model echoes the workload's name.
+	Model string
+	// MapCost is the topology edit distance of the placement (0 = the
+	// exact requested topology).
+	MapCost float64
+	// QueueWait is the wall-clock time the job spent queued before being
+	// placed on its chip.
+	QueueWait time.Duration
+}
+
+// Handle tracks one submitted job. Obtain one from Cluster.Submit, then
+// Wait on it (or select on Done) for the JobReport.
+type Handle struct {
+	h *sched.Handle[JobReport]
+}
+
+// Wait blocks until the job finishes or ctx is done. A ctx expiry only
+// abandons the wait — the job keeps running; cancel the context passed to
+// Submit to cancel the job itself.
+func (h *Handle) Wait(ctx context.Context) (JobReport, error) {
+	rep, err := h.h.Wait(ctx)
+	if err != nil {
+		return rep, err
+	}
+	rep.QueueWait = h.h.QueueWait()
+	return rep, nil
+}
+
+// Done is closed when the job has finished (successfully or not).
+func (h *Handle) Done() <-chan struct{} { return h.h.Done() }
+
+// Started is closed when the job has been placed on a chip.
+func (h *Handle) Started() <-chan struct{} { return h.h.Started() }
+
+// Chip reports the chip the job was placed on (-1 before placement).
+func (h *Handle) Chip() int { return h.h.Chip() }
+
+// Tenant reports the submitting tenant.
+func (h *Handle) Tenant() string { return h.h.Tenant() }
+
+// QueueWait reports how long the job waited in the admission queue before
+// reaching a chip (time so far, while still queued).
+func (h *Handle) QueueWait() time.Duration { return h.h.QueueWait() }

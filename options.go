@@ -1,0 +1,72 @@
+package vnpu
+
+import "github.com/vnpu-sim/vnpu/internal/sim"
+
+// Option configures the virtual NPU a tenant asks for. Options layer over
+// the plain Request struct: NewRequest (and Job.Options) applies them in
+// order, so later options win. The struct remains available for callers
+// that prefer to fill fields directly.
+type Option func(*Request)
+
+// NewRequest builds a Request for the given topology with the options
+// applied.
+func NewRequest(t *Topology, opts ...Option) Request {
+	req := Request{Topology: t}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&req)
+		}
+	}
+	return req
+}
+
+// WithStrategy selects the core-allocation policy (default
+// StrategySimilar, the paper's best-effort edit-distance mapping).
+func WithStrategy(s Strategy) Option {
+	return func(r *Request) { r.Strategy = s }
+}
+
+// WithMemory preallocates the given bytes of global memory. Cluster jobs
+// that omit it are sized automatically from the model's footprint.
+func WithMemory(bytes uint64) Option {
+	return func(r *Request) { r.MemoryBytes = bytes }
+}
+
+// WithConfinement requests NoC non-interference: the vNPU's packets never
+// cross foreign cores (§4.1.2).
+func WithConfinement(confined bool) Option {
+	return func(r *Request) { r.Confined = confined }
+}
+
+// WithTranslation selects the memory-virtualization mode (default
+// TranslationRange, the paper's vChunk).
+func WithTranslation(m TranslationMode) Option {
+	return func(r *Request) { r.Translation = m }
+}
+
+// WithPageTLBEntries sizes the IOTLB in TranslationPage mode.
+func WithPageTLBEntries(n int) Option {
+	return func(r *Request) { r.PageTLBEntries = n }
+}
+
+// WithMemChannels pins the number of HBM interfaces the vNPU spans
+// (default: a share proportional to its core count).
+func WithMemChannels(n int) Option {
+	return func(r *Request) { r.MemChannels = n }
+}
+
+// WithBandwidthCap installs the vChunk access-counter bandwidth cap:
+// at most maxBytes of global-memory traffic per window of windowCycles.
+func WithBandwidthCap(maxBytes, windowCycles int64) Option {
+	return func(r *Request) {
+		r.BandwidthCapBytes = maxBytes
+		r.BandwidthWindow = sim.Cycles(windowCycles)
+	}
+}
+
+// WithKVBuffer reserves bytes of every core's scratchpad as a fixed KV
+// cache buffer for decode-phase transformer workloads (§7); size it with
+// KVBufferBytesPerCore.
+func WithKVBuffer(bytes int64) Option {
+	return func(r *Request) { r.KVBufferBytes = bytes }
+}

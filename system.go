@@ -32,9 +32,11 @@ func NewSystem(cfg Config) (*System, error) {
 // Config returns the chip configuration.
 func (s *System) Config() Config { return s.dev.Config() }
 
-// Create allocates a virtual NPU. When the request does not name a memory
-// size, workloads started with RunModel size it automatically — pass
-// MemoryBytes explicitly to preallocate.
+// Create allocates a virtual NPU. A request without MemoryBytes gets no
+// global memory, so a workload cannot run on it — size the request with
+// ModelMemoryBytes (Cluster jobs are sized automatically). Create is safe
+// for concurrent use; failures wrap the package's typed errors
+// (ErrNoCapacity, ErrTopologyUnsatisfiable, ErrMemoryExceeded).
 func (s *System) Create(req Request) (*VirtualNPU, error) {
 	return s.hv.CreateVNPU(req)
 }
@@ -72,8 +74,9 @@ type Report struct {
 // performance report.
 //
 // RunModel requires the virtual NPU to have enough memory for the model's
-// weights and I/O. A vNPU created without MemoryBytes cannot hold any —
-// size the request with ModelMemoryBytes or set Request.MemoryBytes.
+// weights and I/O — a shortfall fails with ErrMemoryExceeded. A vNPU
+// created without Request.MemoryBytes cannot hold any; size the request
+// with System.ModelMemoryBytes before Create.
 func (s *System) RunModel(v *VirtualNPU, m Model, iters int) (Report, error) {
 	prog, info, err := workload.Compile(m, workload.CompileOptions{
 		Cores:           v.NumCores(),
@@ -84,8 +87,8 @@ func (s *System) RunModel(v *VirtualNPU, m Model, iters int) (Report, error) {
 		return Report{}, err
 	}
 	if uint64(info.MemBytes) > v.MemBytes() {
-		return Report{}, fmt.Errorf("vnpu: model needs %d bytes, vNPU has %d (size the Request with ModelMemoryBytes)",
-			info.MemBytes, v.MemBytes())
+		return Report{}, fmt.Errorf("vnpu: model %q needs %d bytes, vNPU has %d (set Request.MemoryBytes, e.g. from System.ModelMemoryBytes): %w",
+			m.Name, info.MemBytes, v.MemBytes(), ErrMemoryExceeded)
 	}
 	res, err := s.dev.Run(prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters})
 	if err != nil {
