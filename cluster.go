@@ -2,20 +2,33 @@ package vnpu
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sync"
 	"time"
 
-	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
+	"github.com/vnpu-sim/vnpu/internal/topo"
 )
 
 // Cluster is the serving front-end over multiple NPU chips: jobs are
 // submitted asynchronously, pass admission control (a bounded FIFO queue
-// plus per-tenant in-flight quotas), and are placed on the chip whose free
-// region matches the requested topology best (minimum topology edit
-// distance). One worker goroutine per chip executes placed jobs in order;
-// when no chip can host a job, dispatch parks until a finishing job frees
-// capacity.
+// plus per-tenant in-flight quotas), and are placed by the placement
+// engine — the chip whose free region matches the requested topology best
+// (minimum topology edit distance), with ties going to the cheapest chip
+// class and then the least-loaded chip. One worker goroutine per chip
+// executes placed jobs in order; when no chip can host a job, dispatch
+// parks until a finishing job frees capacity.
+//
+// Placement decisions are cached: scored topology mappings are memoized
+// per (chip class, free-set signature, requested topology, strategy) and
+// the free-set signatures are maintained incrementally on create/destroy
+// deltas, so steady-state dispatch rarely runs the topology mapper at all
+// (PlacementStats reports the hit rate). Chips may be heterogeneous — see
+// WithChipProfiles.
 //
 // A Cluster of size 1 is the serving wrapper around a single System; the
 // System API remains available as the synchronous single-chip building
@@ -23,20 +36,52 @@ import (
 //
 // All methods are safe for concurrent use.
 type Cluster struct {
-	systems []*System
-	disp    *sched.Dispatcher[Job, *VirtualNPU, JobReport]
+	systems  []*System
+	engine   *place.Engine
+	disp     *sched.Dispatcher[Job, *VirtualNPU, JobReport]
+	maxCores int
+	// chipCaps holds each chip's admission-relevant limits (core count
+	// and the profile's memory bound). Submit must reject a job no single
+	// chip jointly satisfies — checking cluster-wide maxima independently
+	// would admit jobs that then head-of-line-block the FIFO dispatcher.
+	chipCaps []chipCap
+
+	// memMu guards memBytes, the Submit-side memoization of model memory
+	// footprints (see modelMemoryBytes).
+	memMu    sync.Mutex
+	memBytes map[memoKey]uint64
 
 	// testExecHook, when set before any Submit, runs at the start of every
 	// job execution — a test seam for holding jobs on their chips.
 	testExecHook func(chip int)
 }
 
-// ClusterOption tunes cluster admission control.
+// ChipProfile is the placement cost model of one chip class (compute
+// throughput, NoC and memory bandwidth, memory pool). The engine prefers
+// the cheapest chip that satisfies a job's topology; see WithChipProfiles.
+type ChipProfile = place.ChipProfile
+
+// ProfileFromConfig derives a chip's default cost model from its
+// configuration. Override individual fields (e.g. CostPerCore) to encode
+// operator-defined pricing.
+func ProfileFromConfig(cfg Config) ChipProfile { return place.FromConfig(cfg) }
+
+// ChipSpec describes one chip of a heterogeneous cluster: its hardware
+// configuration plus an optional cost-model override (zero profile fields
+// are derived from the configuration).
+type ChipSpec struct {
+	Config  Config
+	Profile ChipProfile
+}
+
+// ClusterOption tunes cluster admission control and placement.
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
 	queueDepth  int
 	tenantQuota int
+	specs       []ChipSpec
+	cacheSize   *int
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -53,30 +98,92 @@ func WithTenantQuota(n int) ClusterOption {
 	return func(c *clusterConfig) { c.tenantQuota = n }
 }
 
+// WithChipProfiles boots a heterogeneous cluster: one chip per spec, in
+// order, each with its own configuration and placement cost model. When
+// this option is given, NewCluster's cfg and chips arguments only
+// validate (chips is ignored; cfg is unused) — the specs define the
+// cluster. Placement sends each job to the chip realizing its topology
+// with the lowest edit distance, breaking ties toward the cheapest chip
+// class, so small jobs gravitate to FPGA-scale chips while DCRA-scale
+// chips stay free for topologies only they can host.
+func WithChipProfiles(specs ...ChipSpec) ClusterOption {
+	return func(c *clusterConfig) { c.specs = append([]ChipSpec(nil), specs...) }
+}
+
+// WithPlacementCacheSize bounds the placement engine's mapping cache
+// (default place.DefaultCacheSize entries); n <= 0 disables caching, so
+// every dispatch scores chips cold — useful to quantify the cache's win.
+func WithPlacementCacheSize(n int) ClusterOption {
+	return func(c *clusterConfig) { c.cacheSize = &n }
+}
+
 // DefaultQueueDepth is the admission-queue bound when none is given.
 const DefaultQueueDepth = sched.DefaultQueueDepth
 
+// PlacementStats is a snapshot of the placement engine's counters: cache
+// hits/misses/evictions and placement-decision latency.
+type PlacementStats = metrics.PlacementStats
+
 // NewCluster boots the given number of identical NPU chips under one
-// serving front-end. Close the cluster to stop its goroutines.
+// serving front-end (or the heterogeneous chips of WithChipProfiles).
+// Close the cluster to stop its goroutines.
 func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) {
-	if chips < 1 {
-		return nil, fmt.Errorf("vnpu: cluster needs at least one chip, got %d", chips)
-	}
 	var cc clusterConfig
 	for _, opt := range opts {
 		opt(&cc)
 	}
-	c := &Cluster{systems: make([]*System, chips)}
-	for i := range c.systems {
-		sys, err := NewSystem(cfg)
+	specs := cc.specs
+	if len(specs) == 0 {
+		if chips < 1 {
+			return nil, fmt.Errorf("vnpu: cluster needs at least one chip, got %d", chips)
+		}
+		specs = make([]ChipSpec, chips)
+		for i := range specs {
+			specs[i] = ChipSpec{Config: cfg}
+		}
+	}
+	c := &Cluster{
+		systems:  make([]*System, len(specs)),
+		memBytes: make(map[memoKey]uint64),
+	}
+	engineChips := make([]place.Chip, len(specs))
+	for i, spec := range specs {
+		sys, err := NewSystem(spec.Config)
 		if err != nil {
 			return nil, fmt.Errorf("vnpu: booting chip %d: %w", i, err)
 		}
 		c.systems[i] = sys
+		if n := spec.Config.Cores(); n > c.maxCores {
+			c.maxCores = n
+		}
+		// The derived memory filter must match what the hypervisor can
+		// actually hand out (its buddy pool), not the raw HBM capacity; an
+		// explicit spec override is honored but capped at the pool.
+		derived := place.FromConfig(spec.Config)
+		derived.MemoryBytes = sys.hv.MemCapacity()
+		profile := spec.Profile.WithDefaults(derived)
+		if profile.MemoryBytes > sys.hv.MemCapacity() {
+			profile.MemoryBytes = sys.hv.MemCapacity()
+		}
+		c.chipCaps = append(c.chipCaps, chipCap{cores: spec.Config.Cores(), mem: profile.MemoryBytes})
+		engineChips[i] = place.Chip{
+			Graph:   sys.dev.Graph(),
+			Free:    sys.hv.FreeCores(),
+			Profile: profile,
+		}
 	}
+	var engineOpts []place.Option
+	if cc.cacheSize != nil {
+		engineOpts = append(engineOpts, place.WithCacheSize(*cc.cacheSize))
+	}
+	engine, err := place.New(engineChips, engineOpts...)
+	if err != nil {
+		return nil, err
+	}
+	c.engine = engine
 	disp, err := sched.New[Job, *VirtualNPU, JobReport](
 		(*clusterExec)(c),
-		sched.Config{Chips: chips, QueueDepth: cc.queueDepth, TenantQuota: cc.tenantQuota},
+		sched.Config{Chips: len(specs), QueueDepth: cc.queueDepth, TenantQuota: cc.tenantQuota},
 	)
 	if err != nil {
 		return nil, err
@@ -84,6 +191,85 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	c.disp = disp
 	return c, nil
 }
+
+// chipCap is one chip's admission-relevant limits.
+type chipCap struct {
+	cores int
+	mem   uint64
+}
+
+// memoKey identifies a model's memory footprint: the name plus a content
+// fingerprint over the layer structure, so two different caller-built
+// models sharing a name (or aggregate totals) do not alias, and the
+// pipeline width, which changes the per-core partition.
+type memoKey struct {
+	name     string
+	modelSig uint64
+	cores    int
+}
+
+// modelSignature fingerprints the model content that determines its
+// compiled footprint: per-layer shape, weights and activation sizes, and
+// the skip edges. Per-layer resolution matters — two models with equal
+// totals but different splits partition differently. Every field is
+// length- or position-delimited so variable-length names cannot make two
+// different models produce the same byte stream.
+func modelSignature(m Model) uint64 {
+	h := fnv.New64a()
+	fold := func(vs ...int64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	fold(m.InputBytes, int64(len(m.Layers)))
+	for _, l := range m.Layers {
+		fold(int64(len(l.Name)))
+		h.Write([]byte(l.Name))
+		fold(l.WeightBytes, l.OutBytes, l.AddBytes, l.FLOPs())
+	}
+	for _, s := range m.Skips {
+		fold(int64(s.From), int64(s.To))
+	}
+	return h.Sum64()
+}
+
+// modelMemoryBytes sizes a model's global-memory footprint for the given
+// core count, memoized per (model fingerprint, core count) so repeated
+// submissions of the same workload stop recompiling it at admission. The
+// footprint (input + weights + output) is chip-invariant — per-chip
+// scratchpad differences only flip the compiler's streaming decision —
+// so any chip can size it.
+func (c *Cluster) modelMemoryBytes(m Model, cores int) (uint64, error) {
+	key := memoKey{name: m.Name, modelSig: modelSignature(m), cores: cores}
+	c.memMu.Lock()
+	bytes, ok := c.memBytes[key]
+	c.memMu.Unlock()
+	if ok {
+		return bytes, nil
+	}
+	bytes, err := c.systems[0].ModelMemoryBytes(m, cores)
+	if err != nil {
+		return 0, err
+	}
+	c.memMu.Lock()
+	// Bound the memo so distinct caller-built models cannot grow it
+	// forever; evicting an arbitrary entry is fine for a recomputable
+	// memo under steady traffic of few shapes.
+	if len(c.memBytes) >= memoLimit {
+		for k := range c.memBytes {
+			delete(c.memBytes, k)
+			break
+		}
+	}
+	c.memBytes[key] = bytes
+	c.memMu.Unlock()
+	return bytes, nil
+}
+
+// memoLimit bounds the admission memo (distinct model/core-count pairs).
+const memoLimit = 4096
 
 // Submit validates the job, applies admission control and enqueues it,
 // returning immediately. Admission errors wrap ErrQueueFull,
@@ -98,19 +284,20 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 	if err := job.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("vnpu: job model: %w", err)
 	}
-	// A topology larger than a whole chip can never be placed; reject it
-	// here rather than letting it head-of-line-block the FIFO dispatcher
-	// until the cluster drains.
-	if n, cores := job.Topology.NumNodes(), c.systems[0].Config().Cores(); n > cores {
-		return nil, fmt.Errorf("vnpu: job topology needs %d cores, chips have %d: %w",
-			n, cores, ErrTopologyUnsatisfiable)
+	// A topology larger than the largest chip can never be placed; reject
+	// it here rather than letting it head-of-line-block the FIFO
+	// dispatcher until the cluster drains.
+	if n := job.Topology.NumNodes(); n > c.maxCores {
+		return nil, fmt.Errorf("vnpu: job topology needs %d cores, largest chip has %d: %w",
+			n, c.maxCores, ErrTopologyUnsatisfiable)
 	}
 	// Size the job's memory from its model once, up front on the caller's
-	// goroutine: chips are identical, so the footprint is chip-invariant,
-	// and Place must not re-compile the workload per placement attempt.
+	// goroutine — memoized across submissions, so steady-state admission
+	// does not recompile the workload at all. Place must never compile on
+	// the dispatch path.
 	req := job.request()
 	if req.MemoryBytes == 0 {
-		bytes, err := c.systems[0].ModelMemoryBytes(job.Model, job.Topology.NumNodes())
+		bytes, err := c.modelMemoryBytes(job.Model, job.Topology.NumNodes())
 		if err != nil {
 			return nil, fmt.Errorf("vnpu: sizing job memory: %w", err)
 		}
@@ -118,11 +305,21 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 		opts := job.Options
 		job.Options = append(opts[:len(opts):len(opts)], WithMemory(bytes))
 	}
-	// Like the core-count guard: memory beyond a whole chip's HBM pool can
-	// never be allocated, so fail at Submit instead of parking dispatch.
-	if cap := c.systems[0].hv.MemCapacity(); req.MemoryBytes > cap {
-		return nil, fmt.Errorf("vnpu: job needs %d bytes of memory, chips have %d: %w",
-			req.MemoryBytes, cap, ErrMemoryExceeded)
+	// Like the core-count guard, but joint: some single chip must satisfy
+	// BOTH the core count and the memory bound, or no placement can ever
+	// succeed — checking the two against independent cluster-wide maxima
+	// would admit such a job on any heterogeneous fleet where one chip
+	// has the cores and a different one has the memory.
+	fits := false
+	for _, cap := range c.chipCaps {
+		if job.Topology.NumNodes() <= cap.cores && req.MemoryBytes <= cap.mem {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return nil, fmt.Errorf("vnpu: no chip has both %d cores and %d bytes of memory: %w",
+			job.Topology.NumNodes(), req.MemoryBytes, ErrMemoryExceeded)
 	}
 	h, err := c.disp.Submit(ctx, job.tenant(), job)
 	if err != nil {
@@ -136,7 +333,8 @@ func (c *Cluster) Chips() int { return len(c.systems) }
 
 // Chip returns the i-th chip's System for direct (synchronous) use or
 // inspection. Mixing direct Create/RunModel calls with an active job
-// stream on the same chip is not supported.
+// stream on the same chip is not supported (direct creates bypass the
+// placement engine's view of the chip's free cores).
 func (c *Cluster) Chip(i int) *System { return c.systems[i] }
 
 // Utilization reports the fraction of allocated cores per chip.
@@ -179,36 +377,74 @@ func (c *Cluster) Stats() ClusterStats {
 	return ClusterStats(c.disp.Stats())
 }
 
+// PlacementStats returns a snapshot of the placement engine's counters:
+// mapping-cache hits, misses and evictions, plus cumulative and average
+// placement-decision latency.
+func (c *Cluster) PlacementStats() PlacementStats { return c.engine.Stats() }
+
 // clusterExec adapts the Cluster to the dispatcher's Executor interface.
-// Score and Place run on the dispatcher goroutine, Execute and Release on
-// the owning chip's worker — the hypervisor's own lock covers that
-// concurrency, and execution itself is serialized per chip by design.
+// Rank and Place run on the dispatcher goroutine, Execute and Release on
+// the owning chip's worker — the hypervisor's and engine's own locks cover
+// that concurrency, and execution itself is serialized per chip by design.
 type clusterExec Cluster
 
-// Score is a dry-run topology mapping over the chip's current free cores:
-// the dispatcher sends each job to the chip that can realize its topology
-// with the smallest edit distance. A load term — the chip's resident core
-// allocation blended with its worker backlog — breaks exact cost ties, so
-// equally-good placements spread across chips instead of piling onto the
-// first one; it can never override a cost difference, however small.
-func (e *clusterExec) Score(chip int, job Job) (sched.Score, error) {
-	sys := e.systems[chip]
-	req := job.request()
-	res, err := core.MapTopology(sys.dev.Graph(), sys.hv.FreeCores(), req.Topology, req.Strategy, req.MapOptions)
-	if err != nil {
-		return sched.Score{}, err
+// placeRequest projects a job's Request onto the placement engine's.
+func placeRequest(req Request) place.Request {
+	return place.Request{
+		Topology:    req.Topology,
+		Strategy:    req.Strategy,
+		MapOptions:  req.MapOptions,
+		MemoryBytes: req.MemoryBytes,
 	}
-	backlog := float64(e.disp.Backlog(chip))
-	return sched.Score{
-		Cost: res.Cost,
-		Load: (sys.Utilization() + backlog/(backlog+1)) / 2,
-	}, nil
 }
 
-// Place creates the job's vNPU on the chosen chip. The request's memory
-// was already sized at Submit, so this stays cheap on the dispatch path.
+// Rank asks the placement engine for every chip that can host the job,
+// scored by topology edit distance then chip price (both cache-served on
+// the hot path). A load term — the chip's resident core allocation
+// blended with its worker backlog — breaks exact ties, so equally-good
+// placements spread across chips instead of piling onto the first one; it
+// can never override a cost or price difference, however small.
+func (e *clusterExec) Rank(job Job) ([]sched.Candidate, error) {
+	cands, err := e.engine.Place(placeRequest(job.request()))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sched.Candidate, len(cands))
+	for i, c := range cands {
+		backlog := float64(e.disp.Backlog(c.Chip))
+		out[i] = sched.Candidate{
+			Chip: c.Chip,
+			Score: sched.Score{
+				Cost:  c.Cost,
+				Price: c.Price,
+				Load:  (e.systems[c.Chip].Utilization() + backlog/(backlog+1)) / 2,
+			},
+		}
+	}
+	return out, nil
+}
+
+// Place creates the job's vNPU on the chosen chip, reusing the engine's
+// resolved mapping so the hypervisor never re-runs the topology mapper on
+// the dispatch path; the engine's free-set mirror is committed in the
+// same step. The request's memory was already sized at Submit.
 func (e *clusterExec) Place(chip int, job Job) (*VirtualNPU, error) {
-	return e.systems[chip].Create(job.request())
+	req := job.request()
+	mapRes, err := e.engine.Resolve(chip, placeRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.systems[chip].hv.CreateVNPUPlaced(req, mapRes)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.engine.Commit(chip, v.Nodes()); err != nil {
+		// The engine's mirror disagrees with the hypervisor — undo the
+		// create rather than serve from a corrupted placement view.
+		_ = e.systems[chip].Destroy(v)
+		return nil, err
+	}
+	return v, nil
 }
 
 // Execute runs the job on its placed vNPU. The chip's transient timing
@@ -236,7 +472,12 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 	}, nil
 }
 
-// Release destroys the job's vNPU, returning its cores and memory.
+// Release destroys the job's vNPU, returning its cores and memory to the
+// chip and the freed cores to the engine's mirror.
 func (e *clusterExec) Release(chip int, v *VirtualNPU) error {
-	return e.systems[chip].Destroy(v)
+	nodes := append([]topo.NodeID(nil), v.Nodes()...)
+	if err := e.systems[chip].Destroy(v); err != nil {
+		return err
+	}
+	return e.engine.Release(chip, nodes)
 }

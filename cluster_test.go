@@ -354,6 +354,220 @@ func TestClusterConcurrentSubmitters(t *testing.T) {
 	}
 }
 
+// TestClusterHeterogeneousPlacement boots a mixed DCRA/FPGA cluster and
+// checks the cost-model routing: a small job both chips host exactly goes
+// to the cheaper FPGA-scale chip, while a topology only the big chip can
+// hold lands there.
+func TestClusterHeterogeneousPlacement(t *testing.T) {
+	cluster, err := NewCluster(Config{}, 0, WithChipProfiles(
+		ChipSpec{Config: SimConfig()},
+		ChipSpec{Config: FPGAConfig()},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.Chips() != 2 {
+		t.Fatalf("cluster has %d chips, want the 2 specs", cluster.Chips())
+	}
+
+	small, err := cluster.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := small.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chip != 1 {
+		t.Fatalf("small job on chip %d, want cheap FPGA chip 1", rep.Chip)
+	}
+	if rep.MapCost != 0 {
+		t.Fatalf("small job map cost %v on an idle chip, want 0", rep.MapCost)
+	}
+
+	big, err := cluster.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "resnet18"), Topology: Mesh(3, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = big.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chip != 0 {
+		t.Fatalf("12-core job on chip %d, want the only big chip 0", rep.Chip)
+	}
+}
+
+// TestClusterProfileMemoryOverride: an operator-set ChipSpec profile
+// memory bound is honored by the placement filter — jobs whose footprint
+// exceeds it avoid that chip even though its hardware pool is larger.
+func TestClusterProfileMemoryOverride(t *testing.T) {
+	cluster, err := NewCluster(Config{}, 0, WithChipProfiles(
+		ChipSpec{Config: SimConfig(), Profile: ChipProfile{MemoryBytes: 64 << 10}},
+		ChipSpec{Config: SimConfig()},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// alexnet's footprint is far beyond 64 KiB, so only chip 1 qualifies.
+	for i := 0; i < 2; i++ {
+		h, err := cluster.Submit(context.Background(), Job{
+			Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Chip != 1 {
+			t.Fatalf("job %d on chip %d, want chip 1 (chip 0's profile caps memory)", i, rep.Chip)
+		}
+	}
+
+	// When EVERY profile's bound is below the footprint, the job must be
+	// rejected at Submit — admitting it would head-of-line-block the FIFO
+	// dispatcher on a placement no chip will ever accept.
+	capped, err := NewCluster(Config{}, 0, WithChipProfiles(
+		ChipSpec{Config: SimConfig(), Profile: ChipProfile{MemoryBytes: 64 << 10}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capped.Close()
+	_, err = capped.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+	})
+	if !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("got %v, want ErrMemoryExceeded at Submit (profile bound)", err)
+	}
+
+	// Joint satisfiability: one chip has the cores (but capped memory),
+	// another has the memory (but too few cores). Independently both
+	// maxima pass; no single chip fits, so Submit must reject rather than
+	// park the dispatcher forever.
+	split, err := NewCluster(Config{}, 0, WithChipProfiles(
+		ChipSpec{Config: SimConfig(), Profile: ChipProfile{MemoryBytes: 64 << 10}},
+		ChipSpec{Config: FPGAConfig()},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer split.Close()
+	_, err = split.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "resnet18"), Topology: Mesh(3, 4),
+	})
+	if !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("got %v, want ErrMemoryExceeded for a jointly unsatisfiable job", err)
+	}
+}
+
+// TestClusterPlacementCacheServesRepeatTraffic: repeated identical jobs
+// are placed from the mapping cache, and the counters surface it.
+func TestClusterPlacementCacheServesRepeatTraffic(t *testing.T) {
+	cluster, err := NewCluster(SimConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	model := mustModel(t, "alexnet")
+	for i := 0; i < 4; i++ {
+		h, err := cluster.Submit(context.Background(), Job{
+			Tenant: "a", Model: model, Topology: Mesh(2, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serialize so every dispatch sees fully-free chips — the same
+		// free-set signature every time.
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := cluster.PlacementStats()
+	if ps.Placements < 4 {
+		t.Fatalf("placements = %d, want >= 4", ps.Placements)
+	}
+	if ps.CacheHits == 0 {
+		t.Fatalf("no cache hits across identical dispatches: %+v", ps)
+	}
+	if ps.HitRate() <= 0.5 {
+		t.Fatalf("hit rate %.2f, want > 0.5 for repeat traffic: %+v", ps.HitRate(), ps)
+	}
+	// Cold clusters are available for comparison.
+	cold, err := NewCluster(SimConfig(), 1, WithPlacementCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	h, err := cold.Submit(context.Background(), Job{Tenant: "a", Model: model, Topology: Mesh(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ps := cold.PlacementStats(); ps.CacheHits != 0 {
+		t.Fatalf("cold cluster hit its cache: %+v", ps)
+	}
+}
+
+// TestClusterMemoizesModelSizing: admission compiles a given (model, core
+// count) workload once; subsequent submissions reuse the memoized
+// footprint instead of recompiling.
+func TestClusterMemoizesModelSizing(t *testing.T) {
+	cluster, err := NewCluster(SimConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	model := mustModel(t, "resnet18")
+	var handles []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := cluster.Submit(context.Background(), Job{
+			Tenant: "a", Model: model, Topology: Mesh(2, 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	cluster.memMu.Lock()
+	entries := len(cluster.memBytes)
+	cluster.memMu.Unlock()
+	if entries != 1 {
+		t.Fatalf("memo holds %d entries after 3 identical submissions, want 1", entries)
+	}
+	// A different core count is a different footprint.
+	h, err := cluster.Submit(context.Background(), Job{
+		Tenant: "a", Model: model, Topology: Mesh(2, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles = append(handles, h)
+	cluster.memMu.Lock()
+	entries = len(cluster.memBytes)
+	cluster.memMu.Unlock()
+	if entries != 2 {
+		t.Fatalf("memo holds %d entries after a second shape, want 2", entries)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
 // TestHandleWaitTimeout checks that an expired wait context abandons the
 // wait without killing the job.
 func TestHandleWaitTimeout(t *testing.T) {

@@ -35,10 +35,11 @@ func main() {
 		iters    = flag.Int("iters", 1, "inference iterations per job")
 		seed     = flag.Int64("seed", 1, "random seed for the arrival trace")
 		confine  = flag.Bool("confine", false, "request NoC confinement for every job")
+		hetero   = flag.Bool("hetero", false, "boot a mixed cluster: odd chips use the FPGA-scale config, so the cost model routes small jobs there")
 		verbose  = flag.Bool("v", false, "log every job completion")
 	)
 	flag.Parse()
-	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *verbose); err != nil {
+	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *hetero, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -85,7 +86,7 @@ func buildMix(cores int) ([]workloadMix, error) {
 	return mixes, nil
 }
 
-func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, verbose bool) error {
+func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, hetero, verbose bool) error {
 	var cfg vnpu.Config
 	switch chipName {
 	case "fpga":
@@ -108,13 +109,39 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 	if quota > 0 {
 		opts = append(opts, vnpu.WithTenantQuota(quota))
 	}
+	mixCores := cfg.Cores()
+	kind := chipName
+	if hetero {
+		// Mixed fleet: odd chips boot the small FPGA-scale config. The
+		// placement cost model routes jobs that fit both chip classes to
+		// the cheap chips, keeping the big ones free for large topologies.
+		specs := make([]vnpu.ChipSpec, chips)
+		names := map[string]bool{}
+		for i := range specs {
+			if i%2 == 1 {
+				specs[i] = vnpu.ChipSpec{Config: vnpu.FPGAConfig()}
+			} else {
+				specs[i] = vnpu.ChipSpec{Config: cfg}
+			}
+			if n := specs[i].Config.Cores(); n > mixCores {
+				mixCores = n
+			}
+			names[specs[i].Config.Name] = true
+		}
+		// Label the fleet by what was actually booted: -chips 1 never
+		// reaches an odd index, and -chip fpga -hetero is homogeneous.
+		if len(names) > 1 {
+			kind = chipName + "+fpga"
+		}
+		opts = append(opts, vnpu.WithChipProfiles(specs...))
+	}
 	cluster, err := vnpu.NewCluster(cfg, chips, opts...)
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
 
-	mixes, err := buildMix(cfg.Cores())
+	mixes, err := buildMix(mixCores)
 	if err != nil {
 		return err
 	}
@@ -123,8 +150,8 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		jobOpts = append(jobOpts, vnpu.WithConfinement(true))
 	}
 
-	fmt.Printf("vnpuserve: %d chips (%s, %d cores), %d jobs, %d tenants, rate %.0f jobs/s, quota %d\n",
-		chips, chipName, cfg.Cores(), jobs, tenants, rate, quota)
+	fmt.Printf("vnpuserve: %d chips (%s), %d jobs, %d tenants, rate %.0f jobs/s, quota %d\n",
+		cluster.Chips(), kind, jobs, tenants, rate, quota)
 
 	rng := rand.New(rand.NewSource(seed))
 	ctx := context.Background()
@@ -190,6 +217,10 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 			percentile(waits, 0.99).Round(time.Microsecond),
 			waits[len(waits)-1].Round(time.Microsecond))
 	}
+	ps := cluster.PlacementStats()
+	fmt.Printf("placement:     %d decisions, avg %s   cache %.1f%% hit (%d hit / %d miss, %d evicted)\n",
+		ps.Placements, ps.AvgPlaceTime().Round(time.Microsecond),
+		ps.HitRate()*100, ps.CacheHits, ps.CacheMisses, ps.CacheEvictions)
 	fmt.Println("per chip:")
 	util := cluster.Utilization()
 	for i := 0; i < cluster.Chips(); i++ {
@@ -197,8 +228,9 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		if wall > 0 {
 			busyPct = float64(stats.ChipBusy[i]) / float64(wall) * 100
 		}
-		fmt.Printf("  chip %d: %4d jobs   busy %5.1f%%   final core alloc %3.0f%%\n",
-			i, stats.ChipJobs[i], busyPct, util[i]*100)
+		chipCfg := cluster.Chip(i).Config()
+		fmt.Printf("  chip %d (%-5s %2d cores): %4d jobs   busy %5.1f%%   final core alloc %3.0f%%\n",
+			i, chipCfg.Name, chipCfg.Cores(), stats.ChipJobs[i], busyPct, util[i]*100)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d jobs failed", failed)

@@ -78,9 +78,8 @@ type Hypervisor struct {
 // NewHypervisor takes ownership of the device: it enters hyper mode and
 // claims every core's meta zone.
 func NewHypervisor(dev *npu.Device) (*Hypervisor, error) {
-	cap := uint64(dev.Config().HBMCapacityBytes)
 	// Buddy pools must be a power of two; use the largest one that fits.
-	pool := uint64(1) << (63 - bits.LeadingZeros64(cap))
+	pool := mem.PoolSize(uint64(dev.Config().HBMCapacityBytes))
 	buddy, err := mem.NewBuddy(pool, minMemBlock)
 	if err != nil {
 		return nil, err
@@ -184,6 +183,41 @@ func (h *Hypervisor) CreateVNPU(req Request) (*VNPU, error) {
 	if err != nil {
 		return nil, err
 	}
+	return h.createMappedLocked(req, mapRes)
+}
+
+// CreateVNPUPlaced creates a vNPU on a precomputed topology mapping (e.g.
+// one resolved by the placement engine) instead of re-running MapTopology
+// on the dispatch path. The placement is validated against the current
+// free set under the hypervisor lock: a stale mapping — any core no longer
+// free — fails with ErrNoCapacity and leaves the chip unchanged, so a
+// cached decision can go stale but never double-allocate a core.
+func (h *Hypervisor) CreateVNPUPlaced(req Request, mapRes MapResult) (*VNPU, error) {
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: request needs a topology")
+	}
+	if got, want := len(mapRes.Nodes), req.Topology.NumNodes(); got != want {
+		return nil, fmt.Errorf("core: placement has %d nodes for a %d-core topology", got, want)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[topo.NodeID]bool, len(mapRes.Nodes))
+	for _, n := range mapRes.Nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("core: placement maps node %d twice", n)
+		}
+		seen[n] = true
+		if !h.free[n] {
+			return nil, fmt.Errorf("core: placed node %d is not free (stale placement): %w", n, ErrNoCapacity)
+		}
+	}
+	return h.createMappedLocked(req, mapRes)
+}
+
+// createMappedLocked materializes a vNPU for an already-chosen core
+// mapping: controller setup, memory, meta tables, per-core configuration.
+// The caller holds the hypervisor lock and has validated the mapping.
+func (h *Hypervisor) createMappedLocked(req Request, mapRes MapResult) (*VNPU, error) {
 	k := len(mapRes.Nodes)
 	ctrl := h.dev.Controller()
 

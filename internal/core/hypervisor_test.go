@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
@@ -388,5 +389,64 @@ func TestOutOfMemory(t *testing.T) {
 	// Failed creation must not leak cores.
 	if len(h.FreeCores()) != 8 {
 		t.Fatalf("free cores = %d after failed create, want 8", len(h.FreeCores()))
+	}
+}
+
+// TestCreateVNPUPlaced: a precomputed mapping (the placement engine's
+// path) creates a vNPU without re-running MapTopology, and a stale
+// mapping — cores taken since it was computed — fails typed without
+// touching the chip.
+func TestCreateVNPUPlaced(t *testing.T) {
+	h := newHV(t, npu.FPGAConfig())
+	req := Request{Topology: topo.Mesh2D(2, 2), MemoryBytes: 1 << 20}
+	mapRes, err := MapTopology(h.Device().Graph(), h.FreeCores(), req.Topology, req.Strategy, req.MapOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := h.CreateVNPUPlaced(req, mapRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(v.Nodes()), len(mapRes.Nodes); got != want {
+		t.Fatalf("vNPU spans %d cores, want %d", got, want)
+	}
+	for i, n := range v.Nodes() {
+		if n != mapRes.Nodes[i] {
+			t.Fatalf("vCore %d on node %d, placement said %d", i, n, mapRes.Nodes[i])
+		}
+	}
+	if v.MapCost() != mapRes.Cost {
+		t.Fatalf("map cost %v, want the placement's %v", v.MapCost(), mapRes.Cost)
+	}
+
+	// The same mapping is now stale: its cores are allocated.
+	if _, err := h.CreateVNPUPlaced(req, mapRes); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("stale placement: got %v, want ErrNoCapacity", err)
+	}
+	free := len(h.FreeCores())
+	if free != 4 {
+		t.Fatalf("stale create changed the chip: %d free cores, want 4", free)
+	}
+
+	// After destroy the identical mapping is valid again.
+	if err := h.Destroy(v.ID()); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := h.CreateVNPUPlaced(req, mapRes)
+	if err != nil {
+		t.Fatalf("placed create after destroy: %v", err)
+	}
+	if err := h.Destroy(v2.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed placements are rejected up front.
+	if _, err := h.CreateVNPUPlaced(req, MapResult{Nodes: mapRes.Nodes[:2]}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	dup := MapResult{Nodes: []topo.NodeID{0, 0, 1, 2}}
+	if _, err := h.CreateVNPUPlaced(req, dup); err == nil {
+		t.Fatal("duplicate-node placement accepted")
 	}
 }

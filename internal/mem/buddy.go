@@ -18,6 +18,17 @@ type Buddy struct {
 	alloced  map[uint64]int // offset -> order of live allocations
 }
 
+// PoolSize is the buddy pool a capacity of raw bytes yields: the largest
+// power of two that fits. The hypervisor sizes its allocator with it, and
+// the placement cost model derives chip memory bounds from it — both
+// must agree on what is actually allocatable.
+func PoolSize(capacity uint64) uint64 {
+	if capacity == 0 {
+		return 0
+	}
+	return uint64(1) << (63 - bits.LeadingZeros64(capacity))
+}
+
 // NewBuddy builds an allocator over total bytes with the given minimum
 // block size. Both must be powers of two with total >= minBlock.
 func NewBuddy(total, minBlock uint64) (*Buddy, error) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -79,5 +80,24 @@ func TestGeoMean(t *testing.T) {
 	}
 	if GeoMean([]float64{1, -1}) != 0 {
 		t.Fatal("non-positive values must yield 0")
+	}
+}
+
+func TestPlacementStatsDerivedMetrics(t *testing.T) {
+	var zero PlacementStats
+	if zero.HitRate() != 0 || zero.AvgPlaceTime() != 0 {
+		t.Fatalf("zero stats: hit rate %v, avg %v, want 0/0", zero.HitRate(), zero.AvgPlaceTime())
+	}
+	s := PlacementStats{
+		Placements:  4,
+		CacheHits:   6,
+		CacheMisses: 2,
+		PlaceTime:   200 * time.Millisecond,
+	}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", got)
+	}
+	if got := s.AvgPlaceTime(); got != 50*time.Millisecond {
+		t.Fatalf("avg place time %v, want 50ms", got)
 	}
 }

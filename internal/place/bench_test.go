@@ -1,0 +1,87 @@
+package place_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/place"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// benchmarkPlacement drives the dispatch-path loop — rank, resolve,
+// commit, release — over a 4-chip cluster with a mixed topology workload,
+// keeping several placements live so the free sets churn realistically.
+func benchmarkPlacement(b *testing.B, opts ...place.Option) {
+	chips := make([]place.Chip, 4)
+	for i := range chips {
+		chips[i] = simChip()
+	}
+	e, err := place.New(chips, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := []place.Request{
+		{Topology: topo.Mesh2D(2, 2)},
+		{Topology: topo.Mesh2D(2, 3)},
+		{Topology: topo.Mesh2D(3, 3)},
+		{Topology: topo.Chain(4)},
+	}
+
+	type livePlacement struct {
+		chip  int
+		nodes []topo.NodeID
+	}
+	var live []livePlacement
+	release := func() {
+		p := live[0]
+		live = live[1:]
+		if err := e.Release(p.chip, p.nodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := reqs[i%len(reqs)]
+		cands, err := e.Place(req)
+		if err != nil {
+			if errors.Is(err, core.ErrNoCapacity) && len(live) > 0 {
+				release()
+				continue
+			}
+			b.Fatal(err)
+		}
+		chip := cands[0].Chip
+		res, err := e.Resolve(chip, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Commit(chip, res.Nodes); err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, livePlacement{chip: chip, nodes: res.Nodes})
+		if len(live) > 8 {
+			release()
+		}
+	}
+	b.StopTimer()
+	s := e.Stats()
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		b.ReportMetric(s.HitRate()*100, "%hit")
+	}
+}
+
+// BenchmarkPlacementCached measures the dispatch path with the mapping
+// cache on — the serving configuration.
+func BenchmarkPlacementCached(b *testing.B) {
+	benchmarkPlacement(b)
+}
+
+// BenchmarkPlacementCold measures the same loop with caching disabled:
+// every decision re-runs candidate enumeration and edit-distance scoring,
+// the PR 1 dispatch cost. The gap to BenchmarkPlacementCached is the
+// cache's win; CI runs both at -benchtime=50x so dispatch-path
+// regressions stay visible.
+func BenchmarkPlacementCold(b *testing.B) {
+	benchmarkPlacement(b, place.WithCacheSize(0))
+}

@@ -1,0 +1,491 @@
+// Package place is the placement engine of a multi-chip vNPU cluster: it
+// owns every "which cores on which chip" decision so the serving dispatch
+// path stops dry-running the topology mapper against each chip on each
+// job.
+//
+// Three ideas make placement cheap enough to run online (the paper's own
+// requirement for topology-aware mapping):
+//
+//   - Caching: scored MapTopology outcomes are memoized per (chip class,
+//     free-set signature, request-topology signature, strategy). Serving
+//     traffic revisits a small set of free-set shapes, so steady state is
+//     almost all cache hits.
+//   - Incremental free sets: each chip's free-set signature is maintained
+//     by XOR deltas on Commit/Release instead of being recomputed from the
+//     hypervisor on every dispatch.
+//   - Heterogeneity: every chip carries a ChipProfile cost model, and
+//     candidates are ranked by topology fit first, then resource price —
+//     the cheapest chip that satisfies the topology wins, so an FPGA-scale
+//     chip absorbs small jobs while DCRA-scale chips stay free for large
+//     ones.
+//
+// Concurrency: Place/Resolve may run while other goroutines Commit and
+// Release. A resolution is computed from a snapshot of the free set; the
+// hypervisor re-validates node freeness when the placement is actually
+// created, so a stale decision can fail but can never double-allocate.
+package place
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// Chip describes one chip handed to the engine at construction time.
+type Chip struct {
+	// Graph is the chip's physical topology. The engine reads it
+	// concurrently; it must not be mutated afterwards.
+	Graph *topo.Graph
+	// Free lists the initially unallocated cores.
+	Free []topo.NodeID
+	// Profile is the chip's cost model (zero fields are derived from
+	// nothing here — fill them, e.g. via FromConfig, before handing over).
+	Profile ChipProfile
+}
+
+// Request describes one placement request.
+type Request struct {
+	// Topology is the requested virtual topology (node IDs 0..n-1). It
+	// must not be mutated while a request referencing it is in flight.
+	Topology *topo.Graph
+	// Strategy picks the core-allocation policy.
+	Strategy core.Strategy
+	// MapOptions customizes edit costs. Requests carrying callback-based
+	// costs bypass the cache (their outcome is not a pure function of the
+	// cacheable key).
+	MapOptions ged.Options
+	// MemoryBytes is the request's global-memory footprint; chips whose
+	// pool cannot hold it are excluded.
+	MemoryBytes uint64
+}
+
+// cacheable reports whether the request's mapping outcome is a pure
+// function of (free set, topology signature, strategy, NodeInsDel) — any
+// callback cost makes it position- or caller-dependent.
+func (r Request) cacheable() bool {
+	o := r.MapOptions
+	return o.NodeSubst == nil && o.EdgeDel == nil && o.EdgeIns == nil && o.ExtraNodePenalty == nil
+}
+
+// Candidate is one chip that can host a request, with its ranking terms.
+type Candidate struct {
+	// Chip indexes the engine's chip list.
+	Chip int
+	// Cost is the topology edit distance of the best mapping on the chip.
+	Cost float64
+	// Price is the chip-profile resource price of the occupied cores.
+	Price float64
+}
+
+// chipState is the engine's mirror of one chip's allocation state.
+type chipState struct {
+	graph   *topo.Graph
+	profile ChipProfile
+	class   uint64
+
+	// Guarded by the engine mutex.
+	free      map[topo.NodeID]bool
+	freeCount int
+	freeSig   uint64 // XOR of nodeHash over free nodes, updated per delta
+}
+
+func (cs *chipState) freeListLocked() []topo.NodeID {
+	out := make([]topo.NodeID, 0, cs.freeCount)
+	for id, ok := range cs.free {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (cs *chipState) allFreeLocked(nodes []topo.NodeID) bool {
+	for _, n := range nodes {
+		if !cs.free[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalKey is an exact, labeling-sensitive encoding of a graph: node
+// IDs with kinds and coordinates in ID order, then the sorted edge list
+// with costs. Cache keys must NOT use the WL topo.Signature here — it is
+// relabeling-invariant and collision-tolerant by design, while a cached
+// assignment (Nodes[v] indexed by virtual core ID) is labeling-dependent:
+// two isomorphic-but-relabeled requests need different entries or one
+// would be served the other's virtual-to-physical wiring.
+func canonicalKey(g *topo.Graph) string {
+	var sb strings.Builder
+	for _, id := range g.Nodes() {
+		fmt.Fprintf(&sb, "%d:%s", id, g.KindOf(id))
+		if c, ok := g.CoordOf(id); ok {
+			fmt.Fprintf(&sb, "@%d,%d", c.X, c.Y)
+		}
+		sb.WriteByte(';')
+	}
+	sb.WriteByte('|')
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "%d-%d:%g;", e.A, e.B, e.Cost)
+	}
+	return sb.String()
+}
+
+// hash64 digests a string to 64 bits (FNV-1a).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// nodeHash spreads a node ID over 64 bits (splitmix64 finalizer) so the
+// XOR-folded free-set signature is collision-resistant under deltas.
+func nodeHash(id topo.NodeID) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// flight is one in-progress mapping computation; concurrent resolutions of
+// the same key wait on it instead of duplicating the work (N identical
+// idle chips cost one MapTopology, not N).
+type flight struct {
+	done chan struct{}
+}
+
+// DefaultCacheSize bounds the mapping cache when no option overrides it.
+const DefaultCacheSize = 4096
+
+// Engine owns placement decisions for a set of chips. Create one with New;
+// all methods are safe for concurrent use.
+type Engine struct {
+	chips []*chipState
+
+	mu        sync.Mutex
+	cache     *mapCache // nil when caching is disabled
+	flights   map[cacheKey]*flight
+	stats     metrics.PlacementStats
+	cacheSize int
+}
+
+// Option tunes the engine.
+type Option func(*Engine)
+
+// WithCacheSize bounds the mapping cache to n entries; n <= 0 disables
+// caching entirely (every resolution runs the mapper — the "cold" engine
+// of the equivalence tests and benchmarks).
+func WithCacheSize(n int) Option {
+	return func(e *Engine) { e.cacheSize = n }
+}
+
+// New builds an engine over the given chips.
+func New(chips []Chip, opts ...Option) (*Engine, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("place: engine needs at least one chip")
+	}
+	e := &Engine{
+		flights:   make(map[cacheKey]*flight),
+		cacheSize: DefaultCacheSize,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.cacheSize > 0 {
+		e.cache = newMapCache(e.cacheSize)
+	}
+	for i, c := range chips {
+		if c.Graph == nil || c.Graph.NumNodes() == 0 {
+			return nil, fmt.Errorf("place: chip %d has no topology", i)
+		}
+		cs := &chipState{
+			graph:   c.Graph,
+			profile: c.Profile,
+			// The class digests the profile name with the exact graph
+			// encoding, so differently-shaped chips do not alias each
+			// other's cache entries even under a shared name, while
+			// per-lookup key hashing stays fixed-size.
+			class: hash64(c.Profile.Name + "/" + canonicalKey(c.Graph)),
+			free:  make(map[topo.NodeID]bool, len(c.Free)),
+		}
+		for _, id := range c.Free {
+			if !c.Graph.HasNode(id) {
+				return nil, fmt.Errorf("place: chip %d free node %d not in topology", i, id)
+			}
+			if cs.free[id] {
+				return nil, fmt.Errorf("place: chip %d free node %d listed twice", i, id)
+			}
+			cs.free[id] = true
+			cs.freeCount++
+			cs.freeSig ^= nodeHash(id)
+		}
+		e.chips = append(e.chips, cs)
+	}
+	return e, nil
+}
+
+// Chips reports the number of chips the engine places over.
+func (e *Engine) Chips() int { return len(e.chips) }
+
+// Profile returns the cost model of one chip.
+func (e *Engine) Profile(chip int) ChipProfile { return e.chips[chip].profile }
+
+// FreeCount reports the engine's view of a chip's unallocated cores.
+func (e *Engine) FreeCount(chip int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.chips[chip].freeCount
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() metrics.PlacementStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	if e.cache != nil {
+		s.CacheSize = e.cache.len()
+	}
+	return s
+}
+
+// Place ranks every chip that can host the request, best first: minimum
+// topology edit distance, then minimum resource price (cheapest adequate
+// chip), then lowest chip index. When no chip qualifies it returns the
+// last per-chip error (typed: ErrNoCapacity, ErrTopologyUnsatisfiable,
+// ErrMemoryExceeded).
+func (e *Engine) Place(req Request) ([]Candidate, error) {
+	start := time.Now()
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return nil, fmt.Errorf("place: request needs a topology")
+	}
+	sig := canonicalKey(req.Topology)
+	k := req.Topology.NumNodes()
+
+	// First pass, one lock acquisition: answer every chip the cache can.
+	// In the all-hit steady state this PR optimizes for, ranking spawns
+	// no goroutines at all; only chips that actually need the mapper fan
+	// out below.
+	results := make([]core.MapResult, len(e.chips))
+	errs := make([]error, len(e.chips))
+	var misses []int
+	cacheable := e.cache != nil && req.cacheable()
+	e.mu.Lock()
+	for i, cs := range e.chips {
+		if req.MemoryBytes > cs.profile.MemoryBytes {
+			errs[i] = fmt.Errorf("place: request needs %d bytes of memory, chip %d (%s) has %d: %w",
+				req.MemoryBytes, i, cs.profile.Name, cs.profile.MemoryBytes, core.ErrMemoryExceeded)
+			continue
+		}
+		if cacheable {
+			if ent, ok := e.cache.get(e.keyLocked(cs, req, sig)); ok {
+				if ent.err != nil {
+					e.stats.CacheHits++
+					errs[i] = ent.err
+					continue
+				}
+				if cs.allFreeLocked(ent.nodes) {
+					e.stats.CacheHits++
+					results[i] = ent.result()
+					continue
+				}
+				// Stale or colliding entry: let resolve() drop and
+				// recompute it.
+			}
+		}
+		misses = append(misses, i)
+	}
+	e.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, i := range misses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.resolve(i, req, sig)
+		}(i)
+	}
+	wg.Wait()
+
+	var cands []Candidate
+	var lastErr error
+	for i, err := range errs {
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cands = append(cands, Candidate{
+			Chip:  i,
+			Cost:  results[i].Cost,
+			Price: e.chips[i].profile.PlacementPrice(k),
+		})
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].Cost != cands[b].Cost {
+			return cands[a].Cost < cands[b].Cost
+		}
+		return cands[a].Price < cands[b].Price
+	})
+
+	e.mu.Lock()
+	e.stats.Placements++
+	e.stats.PlaceTime += time.Since(start)
+	e.mu.Unlock()
+
+	if len(cands) == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("place: no chip can host the request: %w", core.ErrNoCapacity)
+		}
+		return nil, lastErr
+	}
+	return cands, nil
+}
+
+// Resolve returns the concrete mapping for the request on one chip, from
+// the cache when the chip's free set still matches a memoized decision.
+// The returned node slice is owned by the caller.
+func (e *Engine) Resolve(chip int, req Request) (core.MapResult, error) {
+	if chip < 0 || chip >= len(e.chips) {
+		return core.MapResult{}, fmt.Errorf("place: no chip %d", chip)
+	}
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return core.MapResult{}, fmt.Errorf("place: request needs a topology")
+	}
+	return e.resolve(chip, req, canonicalKey(req.Topology))
+}
+
+// keyLocked builds the cache key for a request on one chip's current free
+// set. The caller holds the engine mutex.
+func (e *Engine) keyLocked(cs *chipState, req Request, sig string) cacheKey {
+	return cacheKey{
+		class:      cs.class,
+		freeSig:    cs.freeSig,
+		freeCount:  cs.freeCount,
+		topoSig:    sig,
+		strat:      req.Strategy,
+		nodeInsDel: req.MapOptions.NodeInsDel,
+	}
+}
+
+func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, error) {
+	cs := e.chips[chip]
+	if req.MemoryBytes > cs.profile.MemoryBytes {
+		return core.MapResult{}, fmt.Errorf("place: request needs %d bytes of memory, chip %d (%s) has %d: %w",
+			req.MemoryBytes, chip, cs.profile.Name, cs.profile.MemoryBytes, core.ErrMemoryExceeded)
+	}
+	if e.cache == nil || !req.cacheable() {
+		e.mu.Lock()
+		e.stats.CacheMisses++
+		free := cs.freeListLocked()
+		e.mu.Unlock()
+		return core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
+	}
+
+	for {
+		e.mu.Lock()
+		key := e.keyLocked(cs, req, sig)
+		if ent, ok := e.cache.get(key); ok {
+			if ent.err != nil {
+				e.stats.CacheHits++
+				e.mu.Unlock()
+				return core.MapResult{}, ent.err
+			}
+			if cs.allFreeLocked(ent.nodes) {
+				e.stats.CacheHits++
+				res := ent.result()
+				e.mu.Unlock()
+				return res, nil
+			}
+			// Signature collision (or foreign churn): the memoized nodes
+			// are not free under the current set despite the key match.
+			// Never hand out such a placement — drop the entry and fall
+			// through to a fresh computation.
+			e.cache.remove(key)
+		}
+		if f, ok := e.flights[key]; ok {
+			e.mu.Unlock()
+			<-f.done
+			// The flight populated the cache; loop to pick the entry up
+			// (or recompute under a fresh key if the free set moved on).
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		e.flights[key] = f
+		free := cs.freeListLocked()
+		e.mu.Unlock()
+
+		res, err := core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
+
+		e.mu.Lock()
+		e.stats.CacheMisses++
+		e.cache.add(key, &cacheEntry{
+			nodes:      append([]topo.NodeID(nil), res.Nodes...),
+			cost:       res.Cost,
+			candidates: res.Candidates,
+			connected:  res.Connected,
+			err:        err,
+		}, &e.stats.CacheEvictions)
+		delete(e.flights, key)
+		e.mu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+// Commit applies a create delta: the nodes leave the chip's free set. It
+// fails (leaving the state untouched) if any node is not currently free —
+// a drift between the engine's mirror and the hypervisor's truth.
+func (e *Engine) Commit(chip int, nodes []topo.NodeID) error {
+	if chip < 0 || chip >= len(e.chips) {
+		return fmt.Errorf("place: no chip %d", chip)
+	}
+	cs := e.chips[chip]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, n := range nodes {
+		if !cs.free[n] {
+			return fmt.Errorf("place: commit of non-free node %d on chip %d", n, chip)
+		}
+	}
+	for _, n := range nodes {
+		cs.free[n] = false
+		cs.freeCount--
+		cs.freeSig ^= nodeHash(n)
+	}
+	return nil
+}
+
+// Release applies a destroy delta: the nodes return to the chip's free
+// set. It fails (leaving the state untouched) if any node is already free.
+func (e *Engine) Release(chip int, nodes []topo.NodeID) error {
+	if chip < 0 || chip >= len(e.chips) {
+		return fmt.Errorf("place: no chip %d", chip)
+	}
+	cs := e.chips[chip]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, n := range nodes {
+		if !cs.graph.HasNode(n) {
+			return fmt.Errorf("place: release of unknown node %d on chip %d", n, chip)
+		}
+		if cs.free[n] {
+			return fmt.Errorf("place: release of already-free node %d on chip %d", n, chip)
+		}
+	}
+	for _, n := range nodes {
+		cs.free[n] = true
+		cs.freeCount++
+		cs.freeSig ^= nodeHash(n)
+	}
+	return nil
+}

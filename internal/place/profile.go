@@ -1,0 +1,88 @@
+package place
+
+import (
+	"github.com/vnpu-sim/vnpu/internal/mem"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+)
+
+// ChipProfile is the placement cost model of one chip class: how much
+// compute, interconnect and memory one of its cores represents. The engine
+// uses it to prefer the cheapest chip that satisfies a request's topology,
+// so heterogeneous clusters (FPGA-scale next to DCRA-scale chips, §7's
+// hybrid SA/VU configurations) do not burn big chips on small jobs a small
+// chip could host equally well.
+//
+// The zero value of any field is replaced by the value derived from the
+// chip's configuration (see FromConfig); a fully zero profile is therefore
+// "derive everything".
+type ChipProfile struct {
+	// Name labels the chip class (defaults to the config name). Chips
+	// sharing a name and topology also share mapping-cache entries.
+	Name string
+	// CoreGOPS is the peak compute throughput of one core in giga-ops/s
+	// (2 ops per MAC across the systolic array).
+	CoreGOPS float64
+	// NoCGBps is the per-link NoC bandwidth in GB/s.
+	NoCGBps float64
+	// HBMGBps is the aggregate global-memory bandwidth in GB/s.
+	HBMGBps float64
+	// MemoryBytes is the allocatable global-memory pool; requests beyond
+	// it are never placed on this chip class.
+	MemoryBytes uint64
+	// CostPerCore overrides the derived per-core resource price when
+	// positive (operators can encode real pricing here).
+	CostPerCore float64
+}
+
+// FromConfig derives the cost model of a chip configuration: peak systolic
+// throughput, NoC link bandwidth, HBM bandwidth and the hypervisor's
+// allocatable pool (the largest power-of-two slice of HBM capacity, which
+// is what the buddy allocator hands out).
+func FromConfig(cfg npu.Config) ChipProfile {
+	freqGHz := float64(cfg.FreqMHz) / 1000
+	pool := mem.PoolSize(uint64(cfg.HBMCapacityBytes))
+	return ChipProfile{
+		Name:        cfg.Name,
+		CoreGOPS:    2 * float64(cfg.SystolicDim) * float64(cfg.SystolicDim) * freqGHz,
+		NoCGBps:     float64(cfg.NoC.LinkBytesPerCycle) * freqGHz,
+		HBMGBps:     float64(cfg.HBMChannels) * float64(cfg.HBMBytesPerCycle) * freqGHz,
+		MemoryBytes: pool,
+	}
+}
+
+// WithDefaults fills the profile's zero fields from d (typically the
+// FromConfig derivation for the chip being described).
+func (p ChipProfile) WithDefaults(d ChipProfile) ChipProfile {
+	if p.Name == "" {
+		p.Name = d.Name
+	}
+	if p.CoreGOPS == 0 {
+		p.CoreGOPS = d.CoreGOPS
+	}
+	if p.NoCGBps == 0 {
+		p.NoCGBps = d.NoCGBps
+	}
+	if p.HBMGBps == 0 {
+		p.HBMGBps = d.HBMGBps
+	}
+	if p.MemoryBytes == 0 {
+		p.MemoryBytes = d.MemoryBytes
+	}
+	return p
+}
+
+// UnitCost is the relative resource price of occupying one core of this
+// class: compute throughput dominates, with memory and interconnect
+// bandwidth as secondary terms. The absolute scale is arbitrary — only
+// ratios between chip classes matter to placement.
+func (p ChipProfile) UnitCost() float64 {
+	if p.CostPerCore > 0 {
+		return p.CostPerCore
+	}
+	return p.CoreGOPS/1e3 + p.HBMGBps/1e4 + p.NoCGBps/1e4
+}
+
+// PlacementPrice is the resource price of occupying k cores of this class.
+func (p ChipProfile) PlacementPrice(k int) float64 {
+	return float64(k) * p.UnitCost()
+}

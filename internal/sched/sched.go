@@ -1,7 +1,8 @@
 // Package sched implements the serving front-end of a multi-chip vNPU
 // cluster: a bounded FIFO admission queue, per-tenant in-flight quotas,
-// placement scoring across chips, and one worker goroutine per chip that
-// executes placed jobs in order.
+// executor-ranked placement across chips (the vnpu package backs Rank
+// with the internal/place engine and its mapping cache), and one worker
+// goroutine per chip that executes placed jobs in order.
 //
 // The dispatcher is generic over the job, placement and result types so it
 // stays independent of the virtualization layer; the public vnpu package
@@ -34,29 +35,42 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/core"
 )
 
-// Score ranks a prospective placement. Cost is the primary criterion
-// (lower is better; the cluster uses topology edit distance); Load breaks
-// ties between equal costs, so a load term can never override even a
-// fractional cost difference.
+// Score ranks a prospective placement lexicographically. Cost is the
+// primary criterion (lower is better; the cluster uses topology edit
+// distance); Price separates equal costs (the cluster uses the chip
+// profile's resource price, so the cheapest adequate chip wins); Load
+// breaks remaining ties, so a load term can never override even a
+// fractional cost or price difference.
 type Score struct {
-	Cost float64
-	Load float64
+	Cost  float64
+	Price float64
+	Load  float64
 }
 
 func (s Score) less(o Score) bool {
 	if s.Cost != o.Cost {
 		return s.Cost < o.Cost
 	}
+	if s.Price != o.Price {
+		return s.Price < o.Price
+	}
 	return s.Load < o.Load
 }
 
+// Candidate is one chip a job could be placed on, with its score.
+type Candidate struct {
+	Chip  int
+	Score Score
+}
+
 // Executor abstracts the chips the dispatcher schedules over. All methods
-// may be called concurrently: Score and Place from the dispatcher
+// may be called concurrently: Rank and Place from the dispatcher
 // goroutine, Execute and Release from per-chip workers.
 type Executor[Job, Placement, Result any] interface {
-	// Score reports the placement fitness of job on chip. An error means
-	// the chip cannot host the job right now.
-	Score(chip int, job Job) (Score, error)
+	// Rank lists the chips that can host the job right now, with their
+	// scores (the dispatcher orders them itself). When it returns no
+	// candidates, the error must explain why no chip qualifies.
+	Rank(job Job) ([]Candidate, error)
 	// Place claims resources for job on chip (e.g. creates the vNPU).
 	Place(chip int, job Job) (Placement, error)
 	// Execute runs a placed job to completion on its chip.
@@ -324,40 +338,23 @@ func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 	}
 }
 
-// place scores every chip, claims the best available one, and hands the
+// place ranks the chips, claims the best available one, and hands the
 // job to that chip's worker. When no chip can host the job it waits for a
 // release and retries; with nothing in flight the failure is terminal.
 func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 	for {
-		// Score all chips concurrently — a score is a dry-run topology
-		// mapping, the expensive part of dispatch.
-		scores := make([]Score, d.cfg.Chips)
-		errs := make([]error, d.cfg.Chips)
-		var wg sync.WaitGroup
-		for chip := 0; chip < d.cfg.Chips; chip++ {
-			wg.Add(1)
-			go func(chip int) {
-				defer wg.Done()
-				scores[chip], errs[chip] = d.exec.Score(chip, t.job)
-			}(chip)
-		}
-		wg.Wait()
-		var lastErr error
-		order := make([]int, 0, d.cfg.Chips)
-		for chip, err := range errs {
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			order = append(order, chip)
-		}
-		sort.SliceStable(order, func(i, j int) bool {
-			return scores[order[i]].less(scores[order[j]])
+		// Ranking is one executor call: the placement engine behind it
+		// scores every chip from its mapping cache (the formerly dominant
+		// per-chip dry-run cost of dispatch).
+		cands, lastErr := d.exec.Rank(t.job)
+		sort.SliceStable(cands, func(i, j int) bool {
+			return cands[i].Score.less(cands[j].Score)
 		})
 		// Try chips in ranked order: Place can fail for reasons a score
 		// cannot see (e.g. memory exhaustion), so fall through to the
 		// next-best chip instead of parking on the first failure.
-		for _, chip := range order {
+		for _, c := range cands {
+			chip := c.Chip
 			pl, err := d.exec.Place(chip, t.job)
 			if err != nil {
 				lastErr = err
@@ -395,6 +392,10 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 		}
 		// No chip can host the job right now. If nothing is in flight no
 		// future Release can change that — fail fast instead of deadlocking.
+		if lastErr == nil {
+			// Defensive: Rank returned no candidates and no reason.
+			lastErr = fmt.Errorf("no chip can host the job: %w", core.ErrNoCapacity)
+		}
 		d.mu.Lock()
 		idle := d.inflight == 0
 		d.mu.Unlock()

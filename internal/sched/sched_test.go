@@ -11,19 +11,21 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/core"
 )
 
-// fakeJob drives the fake executor: size is the capacity it claims, costs
-// and loads (optional) fix the per-chip placement score, block (optional)
-// parks Execute until closed, fail makes Execute return an error.
+// fakeJob drives the fake executor: size is the capacity it claims;
+// costs, prices and loads (optional) fix the per-chip placement score;
+// block (optional) parks Execute until closed; fail makes Execute return
+// an error.
 type fakeJob struct {
-	size  int
-	costs []float64
-	loads []float64
-	block chan struct{}
-	fail  error
+	size   int
+	costs  []float64
+	prices []float64
+	loads  []float64
+	block  chan struct{}
+	fail   error
 }
 
 // fakeExec models chips as integer capacity pools. placeFail forces Place
-// (but not Score) to fail on specific chips.
+// (but not Rank) to fail on specific chips.
 type fakeExec struct {
 	mu        sync.Mutex
 	free      []int
@@ -37,20 +39,32 @@ func (e *fakeExec) avail(chip, size int) error {
 	return nil
 }
 
-func (e *fakeExec) Score(chip int, j *fakeJob) (Score, error) {
+func (e *fakeExec) Rank(j *fakeJob) ([]Candidate, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.avail(chip, j.size); err != nil {
-		return Score{}, err
+	var cands []Candidate
+	var lastErr error
+	for chip := range e.free {
+		if err := e.avail(chip, j.size); err != nil {
+			lastErr = err
+			continue
+		}
+		var s Score
+		if j.costs != nil {
+			s.Cost = j.costs[chip]
+		}
+		if j.prices != nil {
+			s.Price = j.prices[chip]
+		}
+		if j.loads != nil {
+			s.Load = j.loads[chip]
+		}
+		cands = append(cands, Candidate{Chip: chip, Score: s})
 	}
-	var s Score
-	if j.costs != nil {
-		s.Cost = j.costs[chip]
+	if len(cands) == 0 {
+		return nil, lastErr
 	}
-	if j.loads != nil {
-		s.Load = j.loads[chip]
-	}
-	return s, nil
+	return cands, nil
 }
 
 func (e *fakeExec) Place(chip int, j *fakeJob) (int, error) {
@@ -140,6 +154,49 @@ func TestPlacementLoadBreaksTiesOnly(t *testing.T) {
 	}
 	if h.Chip() != 0 {
 		t.Fatalf("placed on chip %d, want lowest-cost chip 0 despite load", h.Chip())
+	}
+}
+
+// TestPlacementPriceSeparatesEqualCosts: among equal-cost chips the
+// cheapest wins (heterogeneous clusters: don't burn an expensive chip on
+// a job a cheap one fits equally well), and price itself never overrides
+// a cost difference.
+func TestPlacementPriceSeparatesEqualCosts(t *testing.T) {
+	exec := &fakeExec{free: []int{10, 10, 10}}
+	d := newTestDispatcher(t, exec, Config{Chips: 3})
+	defer d.Close()
+
+	// Chips 0 and 2 tie on cost; chip 2 is cheaper, even though chip 0 is
+	// less loaded — price outranks load.
+	h, err := d.Submit(context.Background(), "a", &fakeJob{
+		size:   1,
+		costs:  []float64{1, 2, 1},
+		prices: []float64{16, 16, 0.5},
+		loads:  []float64{0, 0.5, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 2 {
+		t.Fatalf("placed on chip %d, want cheapest equal-cost chip 2", h.Chip())
+	}
+	// A better cost beats any price advantage.
+	h, err = d.Submit(context.Background(), "a", &fakeJob{
+		size:   1,
+		costs:  []float64{0.5, 1, 1},
+		prices: []float64{16, 0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chip() != 0 {
+		t.Fatalf("placed on chip %d, want lowest-cost chip 0 despite price", h.Chip())
 	}
 }
 

@@ -17,7 +17,9 @@ type Job struct {
 	Model Model
 	// Iterations repeats the inference (0 means 1).
 	Iterations int
-	// Topology is the virtual NPU shape the job wants.
+	// Topology is the virtual NPU shape the job wants. It must not be
+	// mutated after Submit — placement decisions (and their cache keys)
+	// are computed from it while the job is in flight.
 	Topology *Topology
 	// Options tune the underlying Request (strategy, memory, confinement,
 	// bandwidth caps, ...). Memory defaults to the model's footprint on
