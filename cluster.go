@@ -11,6 +11,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/metrics"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
+	"github.com/vnpu-sim/vnpu/internal/session"
 	"github.com/vnpu-sim/vnpu/internal/topo"
 )
 
@@ -46,6 +47,50 @@ type Cluster struct {
 	// would admit jobs that then head-of-line-block the FIFO dispatcher.
 	chipCaps []chipCap
 
+	// execMu serializes workload execution (and the timing reset before
+	// it) per chip. The dispatcher's one-worker-per-chip design used to
+	// guarantee this implicitly; session goroutines execute on chips too,
+	// so the invariant is now a lock.
+	execMu []sync.Mutex
+
+	// pool holds resident session vNPUs when WithSessionReuse is on (nil
+	// otherwise); see session.go for the serving path built on it.
+	pool        *session.Pool[*sessRes, *sessTask]
+	queueDepth  int
+	tenantQuota int
+
+	// capFreed is the session path's analogue of the dispatcher's freed
+	// signal: a one-slot edge poked whenever capacity returns anywhere
+	// (dispatcher release, session idle/evict/destroy), so session jobs
+	// parked on ErrNoCapacity rescore instead of spinning or failing.
+	capFreed chan struct{}
+
+	// sessMu guards the session path's admission state and serving
+	// counters (tenant quota slots live in the dispatcher's counter via
+	// ReserveSlot, so both paths check it atomically). sessClosed also
+	// serves as the cluster's Close-once flag.
+	sessMu        sync.Mutex
+	sessClosed    bool
+	sessInflight  int
+	sessWG        sync.WaitGroup
+	sessSubmitted uint64
+	sessCompleted uint64
+	sessFailed    uint64
+	sessChipJobs  []int
+	sessChipBusy  []time.Duration
+	// execWait accumulates, per chip, the time dispatcher jobs spent
+	// waiting on execMu while session jobs held the chip. The session
+	// holder books that time as its own busy time, so Stats subtracts it
+	// from the dispatcher's wall-clock measurement to keep per-chip busy
+	// a true occupancy (<= 100%).
+	execWait []time.Duration
+
+	// seenMu guards seen, the auto-promotion memory: session keys
+	// submitted more than once route through the pool even without
+	// Job.Reusable.
+	seenMu sync.Mutex
+	seen   map[session.Key]uint8
+
 	// memMu guards memBytes, the Submit-side memoization of model memory
 	// footprints (see modelMemoryBytes).
 	memMu    sync.Mutex
@@ -78,10 +123,14 @@ type ChipSpec struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	queueDepth  int
-	tenantQuota int
-	specs       []ChipSpec
-	cacheSize   *int
+	queueDepth   int
+	tenantQuota  int
+	specs        []ChipSpec
+	cacheSize    *int
+	sessionReuse bool
+	sessionTTL   time.Duration
+	sessionIdle  int
+	sessionMicro int
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -143,8 +192,14 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		}
 	}
 	c := &Cluster{
-		systems:  make([]*System, len(specs)),
-		memBytes: make(map[memoKey]uint64),
+		systems:      make([]*System, len(specs)),
+		execMu:       make([]sync.Mutex, len(specs)),
+		memBytes:     make(map[memoKey]uint64),
+		sessChipJobs: make([]int, len(specs)),
+		sessChipBusy: make([]time.Duration, len(specs)),
+		execWait:     make([]time.Duration, len(specs)),
+		seen:         make(map[session.Key]uint8),
+		capFreed:     make(chan struct{}, 1),
 	}
 	engineChips := make([]place.Chip, len(specs))
 	for i, spec := range specs {
@@ -181,14 +236,51 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		return nil, err
 	}
 	c.engine = engine
+	c.queueDepth = cc.queueDepth
+	if c.queueDepth <= 0 {
+		c.queueDepth = DefaultQueueDepth
+	}
+	c.tenantQuota = cc.tenantQuota
 	disp, err := sched.New[Job, *VirtualNPU, JobReport](
 		(*clusterExec)(c),
-		sched.Config{Chips: len(specs), QueueDepth: cc.queueDepth, TenantQuota: cc.tenantQuota},
+		sched.Config{
+			Chips:       len(specs),
+			QueueDepth:  cc.queueDepth,
+			TenantQuota: cc.tenantQuota,
+			// The two serving paths share the chips: busy sessions keep an
+			// unplaceable dispatcher job parked (their release Kicks)
+			// instead of failing it on an "idle" cluster, and idle warm
+			// sessions are evicted on demand when a dispatcher job cannot
+			// place — including create-stage failures like memory
+			// exhaustion that ranking cannot see. They also share the
+			// tenant quota — session jobs reserve dispatcher slots
+			// (ReserveSlot), so one counter guards both paths atomically.
+			ExternalBusy: c.sessionBusy,
+			Reclaim:      c.sessionReclaim,
+		},
 	)
 	if err != nil {
 		return nil, err
 	}
 	c.disp = disp
+	if cc.sessionReuse {
+		pool, err := session.New[*sessRes, *sessTask](session.Config[*sessRes]{
+			Destroy:         c.destroySession,
+			Cores:           func(r *sessRes) int { return r.v.NumCores() },
+			IsCapacity:      capacityCurable,
+			MaxIdle:         cc.sessionIdle,
+			TTL:             cc.sessionTTL,
+			MicroQueueDepth: cc.sessionMicro,
+			OnFree: func() {
+				disp.Kick()
+				c.pokeSessions()
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.pool = pool
+	}
 	return c, nil
 }
 
@@ -238,11 +330,12 @@ func modelSignature(m Model) uint64 {
 // modelMemoryBytes sizes a model's global-memory footprint for the given
 // core count, memoized per (model fingerprint, core count) so repeated
 // submissions of the same workload stop recompiling it at admission. The
-// footprint (input + weights + output) is chip-invariant — per-chip
-// scratchpad differences only flip the compiler's streaming decision —
-// so any chip can size it.
-func (c *Cluster) modelMemoryBytes(m Model, cores int) (uint64, error) {
-	key := memoKey{name: m.Name, modelSig: modelSignature(m), cores: cores}
+// caller supplies the fingerprint, which Submit computes once and shares
+// with the session-key computation. The footprint (input + weights +
+// output) is chip-invariant — per-chip scratchpad differences only flip
+// the compiler's streaming decision — so any chip can size it.
+func (c *Cluster) modelMemoryBytes(m Model, sig uint64, cores int) (uint64, error) {
+	key := memoKey{name: m.Name, modelSig: sig, cores: cores}
 	c.memMu.Lock()
 	bytes, ok := c.memBytes[key]
 	c.memMu.Unlock()
@@ -291,13 +384,16 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 		return nil, fmt.Errorf("vnpu: job topology needs %d cores, largest chip has %d: %w",
 			n, c.maxCores, ErrTopologyUnsatisfiable)
 	}
+	// The model fingerprint keys both the memory memo and the session
+	// class; hash the model once per Submit and share it.
+	modelSig := modelSignature(job.Model)
 	// Size the job's memory from its model once, up front on the caller's
 	// goroutine — memoized across submissions, so steady-state admission
 	// does not recompile the workload at all. Place must never compile on
 	// the dispatch path.
 	req := job.request()
 	if req.MemoryBytes == 0 {
-		bytes, err := c.modelMemoryBytes(job.Model, job.Topology.NumNodes())
+		bytes, err := c.modelMemoryBytes(job.Model, modelSig, job.Topology.NumNodes())
 		if err != nil {
 			return nil, fmt.Errorf("vnpu: sizing job memory: %w", err)
 		}
@@ -321,6 +417,15 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 		return nil, fmt.Errorf("vnpu: no chip has both %d cores and %d bytes of memory: %w",
 			job.Topology.NumNodes(), req.MemoryBytes, ErrMemoryExceeded)
 	}
+	// Session-eligible jobs lease resident vNPUs instead of paying
+	// create→map→run→destroy per job: explicit opt-in via Job.Reusable, or
+	// auto-promotion once the same (tenant, model, topology, options)
+	// fingerprint repeats. Everything else takes the dispatcher path.
+	if c.pool != nil {
+		if key, ok := sessionKeyOf(job, req, modelSig); ok && (job.Reusable || c.autoPromote(key)) {
+			return c.submitSession(ctx, job, req, key)
+		}
+	}
 	h, err := c.disp.Submit(ctx, job.tenant(), job)
 	if err != nil {
 		return nil, err
@@ -337,7 +442,11 @@ func (c *Cluster) Chips() int { return len(c.systems) }
 // placement engine's view of the chip's free cores).
 func (c *Cluster) Chip(i int) *System { return c.systems[i] }
 
-// Utilization reports the fraction of allocated cores per chip.
+// Utilization reports the fraction of allocated cores per chip. Cores
+// held by idle (warm) resident sessions count as allocated here — they
+// are, from the hypervisor's point of view — but the scheduler's load
+// tiebreak deliberately does not use this number: see CoreUsage for the
+// split between actively executing and warm-idle cores.
 func (c *Cluster) Utilization() []float64 {
 	out := make([]float64, len(c.systems))
 	for i, sys := range c.systems {
@@ -346,10 +455,30 @@ func (c *Cluster) Utilization() []float64 {
 	return out
 }
 
-// Close stops intake, waits for every admitted job to finish, and shuts
-// down the dispatcher and chip workers. Submissions after Close fail with
+// Close stops intake on both serving paths, waits for every admitted job
+// to finish, destroys the resident session vNPUs, and shuts down the
+// dispatcher and chip workers. Submissions after Close fail with
 // ErrDestroyed.
-func (c *Cluster) Close() error { return c.disp.Close() }
+func (c *Cluster) Close() error {
+	c.sessMu.Lock()
+	already := c.sessClosed
+	c.sessClosed = true
+	c.sessMu.Unlock()
+	if already {
+		return fmt.Errorf("vnpu: cluster closed: %w", ErrDestroyed)
+	}
+	// Session jobs may still be draining micro-queues; they finish (or
+	// fail on canceled contexts) on their own.
+	c.sessWG.Wait()
+	var poolErr error
+	if c.pool != nil {
+		poolErr = c.pool.Close()
+	}
+	if err := c.disp.Close(); err != nil {
+		return err
+	}
+	return poolErr
+}
 
 // ClusterStats is a snapshot of serving counters.
 type ClusterStats struct {
@@ -370,11 +499,26 @@ type ClusterStats struct {
 	ChipBusy []time.Duration
 }
 
-// Stats returns a snapshot of the cluster's serving counters.
+// Stats returns a snapshot of the cluster's serving counters, covering
+// both serving paths: dispatcher jobs and session-pool jobs alike count
+// toward Submitted/Completed/Failed and the per-chip totals.
 func (c *Cluster) Stats() ClusterStats {
 	// Structural conversion: ClusterStats mirrors sched.Stats field for
 	// field, and the dispatcher already returns defensive slice copies.
-	return ClusterStats(c.disp.Stats())
+	s := ClusterStats(c.disp.Stats())
+	c.sessMu.Lock()
+	s.Submitted += c.sessSubmitted
+	s.Completed += c.sessCompleted
+	s.Failed += c.sessFailed
+	for i := range c.sessChipJobs {
+		s.ChipJobs[i] += c.sessChipJobs[i]
+		s.ChipBusy[i] += c.sessChipBusy[i] - c.execWait[i]
+		if s.ChipBusy[i] < 0 {
+			s.ChipBusy[i] = 0
+		}
+	}
+	c.sessMu.Unlock()
+	return s
 }
 
 // PlacementStats returns a snapshot of the placement engine's counters:
@@ -400,28 +544,45 @@ func placeRequest(req Request) place.Request {
 
 // Rank asks the placement engine for every chip that can host the job,
 // scored by topology edit distance then chip price (both cache-served on
-// the hot path). A load term — the chip's resident core allocation
+// the hot path). A load term — the chip's actively executing cores
 // blended with its worker backlog — breaks exact ties, so equally-good
 // placements spread across chips instead of piling onto the first one; it
-// can never override a cost or price difference, however small.
+// can never override a cost or price difference, however small. Cores
+// held by idle warm sessions are excluded from the load term (they are
+// reclaimable, not busy) and instead feed the Warm tiebreak, so a
+// backlogged chip with a warm pool wins ties over one whose allocation is
+// all hard.
+//
+// When no chip can host the job because warm sessions hold the capacity,
+// Rank reclaims idle sessions LRU-first and rescores — queued jobs that
+// need fresh rectangles evict warm pools instead of failing with
+// ErrNoCapacity.
 func (e *clusterExec) Rank(job Job) ([]sched.Candidate, error) {
-	cands, err := e.engine.Place(placeRequest(job.request()))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]sched.Candidate, len(cands))
-	for i, c := range cands {
-		backlog := float64(e.disp.Backlog(c.Chip))
-		out[i] = sched.Candidate{
-			Chip: c.Chip,
-			Score: sched.Score{
-				Cost:  c.Cost,
-				Price: c.Price,
-				Load:  (e.systems[c.Chip].Utilization() + backlog/(backlog+1)) / 2,
-			},
+	req := placeRequest(job.request())
+	for {
+		cands, err := e.engine.Place(req)
+		if err != nil {
+			if e.pool != nil && capacityCurable(err) && e.pool.EvictIdle(1) > 0 {
+				continue
+			}
+			return nil, err
 		}
+		out := make([]sched.Candidate, len(cands))
+		for i, c := range cands {
+			backlog := float64(e.disp.Backlog(c.Chip))
+			usage := (*Cluster)(e).coreUsage(c.Chip)
+			out[i] = sched.Candidate{
+				Chip: c.Chip,
+				Score: sched.Score{
+					Cost:  c.Cost,
+					Price: c.Price,
+					Load:  (usage.ActiveFraction() + backlog/(backlog+1)) / 2,
+					Warm:  usage.WarmFraction(),
+				},
+			}
+		}
+		return out, nil
 	}
-	return out, nil
 }
 
 // Place creates the job's vNPU on the chosen chip, reusing the engine's
@@ -449,7 +610,10 @@ func (e *clusterExec) Place(chip int, job Job) (*VirtualNPU, error) {
 
 // Execute runs the job on its placed vNPU. The chip's transient timing
 // state is reset first: each time-multiplexed job gets a fresh cycle
-// timeline (execution on a chip is serialized by its worker).
+// timeline. Execution on a chip is serialized by execMu — the worker
+// goroutine alone no longer suffices, since session goroutines execute
+// on the same chips. The job's context cancels mid-run: the simulator
+// polls it between timeline events.
 func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job Job) (JobReport, error) {
 	if e.testExecHook != nil {
 		e.testExecHook(chip)
@@ -458,8 +622,26 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 		return JobReport{}, err
 	}
 	sys := e.systems[chip]
+	enter := time.Now()
+	e.execMu[chip].Lock()
+	locked := time.Now()
 	sys.dev.ResetTiming()
-	rep, err := sys.RunModel(v, job.Model, job.Iterations)
+	sys.ResetTransients(v)
+	rep, err := sys.RunModelContext(ctx, v, job.Model, job.Iterations)
+	held := time.Since(locked)
+	e.execMu[chip].Unlock()
+	// The chip worker's busy clock wraps this whole call, but only the
+	// locked region is chip occupancy: the wait for execMu is time a
+	// session holder already books as its own, and with a pool in play it
+	// would double-count. Record the non-locked remainder so Stats can
+	// take it back out of the worker's measurement.
+	if e.pool != nil {
+		if outside := time.Since(enter) - held; outside > 0 {
+			e.sessMu.Lock()
+			e.execWait[chip] += outside
+			e.sessMu.Unlock()
+		}
+	}
 	if err != nil {
 		return JobReport{}, err
 	}
@@ -479,5 +661,10 @@ func (e *clusterExec) Release(chip int, v *VirtualNPU) error {
 	if err := e.systems[chip].Destroy(v); err != nil {
 		return err
 	}
-	return e.engine.Release(chip, nodes)
+	if err := e.engine.Release(chip, nodes); err != nil {
+		return err
+	}
+	// Session jobs parked on capacity watch dispatcher releases too.
+	(*Cluster)(e).pokeSessions()
+	return nil
 }

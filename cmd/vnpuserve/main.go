@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,12 +37,32 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for the arrival trace")
 		confine  = flag.Bool("confine", false, "request NoC confinement for every job")
 		hetero   = flag.Bool("hetero", false, "boot a mixed cluster: odd chips use the FPGA-scale config, so the cost model routes small jobs there")
+		reuse    = flag.Bool("reuse", false, "enable the session pool: jobs lease resident vNPUs per (tenant, model, topology), skipping the create path on warm hits")
+		jsonPath = flag.String("json", "", "write a machine-readable run summary (jobs/s, warm-hit rate, latency percentiles) to this file")
 		verbose  = flag.Bool("v", false, "log every job completion")
 	)
 	flag.Parse()
-	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *hetero, *verbose); err != nil {
+	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *hetero, *reuse, *jsonPath, *verbose); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// summary is the -json run report, consumed by CI to track the serving
+// trajectory (BENCH_session.json).
+type summary struct {
+	Chips       int     `json:"chips"`
+	Jobs        int     `json:"jobs"`
+	Failed      int     `json:"failed"`
+	JobsPerSec  float64 `json:"jobs_per_s"`
+	P50Micros   int64   `json:"p50_us"`
+	P99Micros   int64   `json:"p99_us"`
+	Reuse       bool    `json:"reuse"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	WarmHits    uint64  `json:"warm_hits"`
+	ColdCreates uint64  `json:"cold_creates"`
+	Batched     uint64  `json:"batched"`
+	Evicted     uint64  `json:"evicted"`
+	PlaceHit    float64 `json:"placement_cache_hit_rate"`
 }
 
 // workloadMix pairs zoo models with topologies that fit the chip.
@@ -86,7 +107,7 @@ func buildMix(cores int) ([]workloadMix, error) {
 	return mixes, nil
 }
 
-func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, hetero, verbose bool) error {
+func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, hetero, reuse bool, jsonPath string, verbose bool) error {
 	var cfg vnpu.Config
 	switch chipName {
 	case "fpga":
@@ -108,6 +129,9 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 	}
 	if quota > 0 {
 		opts = append(opts, vnpu.WithTenantQuota(quota))
+	}
+	if reuse {
+		opts = append(opts, vnpu.WithSessionReuse())
 	}
 	mixCores := cfg.Cores()
 	kind := chipName
@@ -169,6 +193,7 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 			Iterations: iters,
 			Topology:   mx.topo,
 			Options:    jobOpts,
+			Reusable:   reuse,
 		}
 		h, err := cluster.Submit(ctx, job)
 		switch {
@@ -221,16 +246,57 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 	fmt.Printf("placement:     %d decisions, avg %s   cache %.1f%% hit (%d hit / %d miss, %d evicted)\n",
 		ps.Placements, ps.AvgPlaceTime().Round(time.Microsecond),
 		ps.HitRate()*100, ps.CacheHits, ps.CacheMisses, ps.CacheEvictions)
+	ss := cluster.SessionStats()
+	if reuse {
+		fmt.Printf("sessions:      %.1f%% warm (%d warm / %d batched / %d cold)   avg acquire warm %s cold %s\n",
+			ss.HitRate()*100, ss.WarmHits, ss.Batched, ss.ColdCreates,
+			ss.AvgWarmTime().Round(time.Microsecond), ss.AvgColdTime().Round(time.Microsecond))
+		fmt.Printf("               %d evicted (%d TTL, %d LRU, %d capacity pressure), %d resident at end\n",
+			ss.Evicted(), ss.EvictedTTL, ss.EvictedLRU, ss.EvictedPressure,
+			ss.IdleSessions+ss.BusySessions)
+	}
 	fmt.Println("per chip:")
-	util := cluster.Utilization()
+	usage := cluster.CoreUsage()
 	for i := 0; i < cluster.Chips(); i++ {
 		busyPct := 0.0
 		if wall > 0 {
 			busyPct = float64(stats.ChipBusy[i]) / float64(wall) * 100
 		}
 		chipCfg := cluster.Chip(i).Config()
-		fmt.Printf("  chip %d (%-5s %2d cores): %4d jobs   busy %5.1f%%   final core alloc %3.0f%%\n",
-			i, chipCfg.Name, chipCfg.Cores(), stats.ChipJobs[i], busyPct, util[i]*100)
+		fmt.Printf("  chip %d (%-5s %2d cores): %4d jobs   busy %5.1f%%   final core alloc %3.0f%%",
+			i, chipCfg.Name, chipCfg.Cores(), stats.ChipJobs[i], busyPct, usage[i].AllocatedFraction()*100)
+		if reuse {
+			fmt.Printf(" (%d warm-held)", usage[i].WarmIdle)
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		sum := summary{
+			Chips:       cluster.Chips(),
+			Jobs:        len(waits),
+			Failed:      failed,
+			Reuse:       reuse,
+			WarmHitRate: ss.HitRate(),
+			WarmHits:    ss.WarmHits,
+			ColdCreates: ss.ColdCreates,
+			Batched:     ss.Batched,
+			Evicted:     ss.Evicted(),
+			PlaceHit:    ps.HitRate(),
+		}
+		if wall > 0 {
+			sum.JobsPerSec = float64(len(waits)) / wall.Seconds()
+		}
+		if len(waits) > 0 {
+			sum.P50Micros = percentile(waits, 0.50).Microseconds()
+			sum.P99Micros = percentile(waits, 0.99).Microseconds()
+		}
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d jobs failed", failed)

@@ -47,4 +47,11 @@ var (
 	// ErrQuotaExceeded: the submitting tenant already has its maximum
 	// number of jobs in flight.
 	ErrQuotaExceeded = core.ErrQuotaExceeded
+
+	// ErrLeased: an attempt to destroy a vNPU while a serving session
+	// holds a lease on it (a job may be executing there). Session-pool
+	// eviction only targets idle sessions, so seeing this from the pool
+	// indicates a bug; direct System.Destroy callers see it when racing
+	// an active session.
+	ErrLeased = core.ErrLeased
 )

@@ -33,4 +33,10 @@ var (
 	// ErrQuotaExceeded reports that a tenant already has its maximum
 	// number of jobs in flight.
 	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+	// ErrLeased reports an attempt to destroy a vNPU that a serving
+	// session currently holds a lease on (a job may be executing on it).
+	// Release the lease — or evict the session through its pool, which
+	// only targets idle sessions — before destroying.
+	ErrLeased = errors.New("vNPU is leased")
 )

@@ -388,13 +388,19 @@ func (h *Hypervisor) createMappedLocked(req Request, mapRes MapResult) (*VNPU, e
 
 // Destroy releases a vNPU's cores, memory and meta tables. Destroying a
 // vNPU that does not exist (or was already destroyed) returns an error
-// matching ErrDestroyed.
+// matching ErrDestroyed; destroying one with an active serving lease
+// (see VNPU.Lease) fails with ErrLeased and leaves it untouched — the
+// lease-safe guard that keeps session-pool eviction from tearing down a
+// vNPU mid-execution.
 func (h *Hypervisor) Destroy(vm VMID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	v, ok := h.vms[vm]
 	if !ok {
 		return fmt.Errorf("core: no vNPU %d: %w", vm, ErrDestroyed)
+	}
+	if v.Leased() {
+		return fmt.Errorf("core: vNPU %d has an active session lease: %w", vm, ErrLeased)
 	}
 	for _, node := range v.nodes {
 		if err := h.releaseCore(node); err != nil {

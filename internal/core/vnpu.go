@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/mem"
@@ -67,6 +68,13 @@ type VNPU struct {
 	interfering bool // true when confined routing was impossible (fragments)
 	port        *mem.Port
 	kvBytes     int64
+
+	// leases counts serving-layer leases on this vNPU (a resident session
+	// holds one while a job executes on it). Destroy refuses a leased
+	// vNPU, so a pool bug — evicting a session mid-execution — surfaces
+	// as a typed ErrLeased instead of yanking cores out from under a
+	// running job.
+	leases atomic.Int32
 }
 
 type memBlock struct {
@@ -181,6 +189,21 @@ func (v *VNPU) WarmupCycles(weightBytes int64) sim.Cycles {
 	bw := v.port.Bandwidth()
 	return sim.Cycles((weightBytes+int64(bw)-1)/int64(bw)) + v.dev.Config().HBMLatency
 }
+
+// Lease takes a serving-layer lease on the vNPU. While at least one
+// lease is held, Destroy fails with ErrLeased. Leases protect resident
+// (pooled) vNPUs from being evicted while a job executes on them.
+func (v *VNPU) Lease() { v.leases.Add(1) }
+
+// Unlease drops one lease taken with Lease.
+func (v *VNPU) Unlease() {
+	if v.leases.Add(-1) < 0 {
+		panic("core: vNPU lease underflow")
+	}
+}
+
+// Leased reports whether any serving-layer lease is held.
+func (v *VNPU) Leased() bool { return v.leases.Load() > 0 }
 
 // MemChannels reports how many HBM interfaces the vNPU spans.
 func (v *VNPU) MemChannels() int {

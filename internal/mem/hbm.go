@@ -96,6 +96,15 @@ func (p *Port) SetBandwidthCap(maxBytes int64, window sim.Cycles) {
 // one counter to every port of the vNPU (§4.2).
 func (p *Port) SetCounter(c *AccessCounter) { p.counter = c }
 
+// ResetTransient resets the port's bandwidth-cap bucket, if any, for a
+// fresh per-job timeline. Idempotent across the vNPU's ports sharing one
+// counter.
+func (p *Port) ResetTransient() {
+	if p.counter != nil {
+		p.counter.ResetTransient()
+	}
+}
+
 // Transfer moves size bytes through the port starting no earlier than at,
 // and returns when the transfer completes. Transfers serialize on the
 // earliest-free channel of the port's subset; the access counter may delay
@@ -186,3 +195,14 @@ func (a *AccessCounter) Admit(at sim.Cycles, size int64) sim.Cycles {
 // Delayed reports how many requests the counter paced to a later time — a
 // direct measure of throttling.
 func (a *AccessCounter) Delayed() uint64 { return a.delayed }
+
+// ResetTransient returns the token bucket to its pre-first-admission
+// state. Required between time-multiplexed jobs on a resident vNPU: each
+// job's timeline restarts at cycle zero, and a bucket anchored to the
+// previous job's clock would mis-pace the next. The delayed statistic is
+// preserved.
+func (a *AccessCounter) ResetTransient() {
+	a.started = false
+	a.level = 0
+	a.last = 0
+}

@@ -129,6 +129,14 @@ func (t *PageTranslator) Translate(va uint64) (uint64, sim.Cycles, error) {
 // Stats implements Translator.
 func (t *PageTranslator) Stats() TranslateStats { return t.stats }
 
+// ResetTransient empties the IOTLB so the next run starts
+// translation-cold like a fresh vNPU. Cumulative statistics are
+// preserved.
+func (t *PageTranslator) ResetTransient() {
+	t.tlb.keys = t.tlb.keys[:0]
+	t.tlb.vals = t.tlb.vals[:0]
+}
+
 // lruCache is a tiny fully-associative LRU keyed by page VA. TLBs hold a
 // handful of entries, so a slice scan beats pointer-chasing structures.
 type lruCache struct {

@@ -119,6 +119,17 @@ func (r *RTT) advance(i int) {
 	r.cur = i
 }
 
+// ResetTransient forgets the learned lookup state — RTT_CUR and every
+// last_v hint — returning the table to its just-built condition. The
+// serving layer resets resident vNPUs between time-multiplexed jobs so a
+// job on a reused vNPU sees exactly the timing a fresh create would.
+func (r *RTT) ResetTransient() {
+	r.cur = 0
+	for i := range r.entries {
+		r.entries[i].LastV = -1
+	}
+}
+
 // RangeTLB parameters, calibrated to the 144-bit, 4-entry configuration of
 // §6.2.4.
 const (
@@ -185,3 +196,11 @@ func (t *RangeTranslator) Translate(va uint64) (uint64, sim.Cycles, error) {
 
 // Stats implements Translator.
 func (t *RangeTranslator) Stats() TranslateStats { return t.stats }
+
+// ResetTransient empties the range TLB and forgets the RTT's learned
+// state, so the next run starts translation-cold like a fresh vNPU.
+// Cumulative statistics are preserved.
+func (t *RangeTranslator) ResetTransient() {
+	t.tlb = t.tlb[:0]
+	t.RTT.ResetTransient()
+}

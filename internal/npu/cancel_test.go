@@ -1,0 +1,44 @@
+package npu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+)
+
+// TestRunCanceledContextAborts checks the coarse-grained cancellation
+// poll: a canceled RunOptions.Ctx aborts the execution loop with the
+// context's error instead of simulating the whole workload.
+func TestRunCanceledContextAborts(t *testing.T) {
+	dev, err := NewDevice(FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := isa.NewProgram()
+	for i := 0; i < 4*cancelCheckEvery; i++ {
+		p.Append(0, isa.Instr{Op: isa.OpNop})
+	}
+	pl := IdentityPlacement{Graph: dev.Graph()}
+	fab := &NoCFabric{Net: dev.NoC()}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dev.Run(p, pl, fab, RunOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A live context must not change the result.
+	res, err := dev.Run(p, pl, fab, RunOptions{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := dev.Run(p, pl, fab, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != bare.Cycles {
+		t.Fatalf("ctx-carrying run changed timing: %v vs %v", res.Cycles, bare.Cycles)
+	}
+}

@@ -65,11 +65,35 @@ func (d *Device) Controller() *Controller { return d.ctrl }
 // ResetTiming clears the transient reservation state of the chip's shared
 // resources — HBM channel calendars and NoC links — so the next Run starts
 // from cycle zero. vNPU allocations, ownership tags and translator state
-// are untouched. The serving layer calls this between time-multiplexed
-// jobs; it must not run concurrently with an active Run on this device.
+// are untouched (see ResetCoreTransients for per-core state). The serving
+// layer calls this between time-multiplexed jobs; it must not run
+// concurrently with an active Run on this device.
 func (d *Device) ResetTiming() {
 	d.hbm.Reset()
 	d.net.ResetTiming()
+}
+
+// ResetCoreTransients clears the per-job microarchitectural transients of
+// the given cores: translation TLBs, RTT lookup hints and bandwidth-cap
+// buckets. Together with ResetTiming it makes a resident (session-pooled)
+// vNPU timing-equivalent to a freshly created one — reuse skips the
+// create path, not the per-job state reset. Translation mappings and
+// cumulative statistics are untouched. The caller must own the cores (be
+// their vNPU's executor): unlike ResetTiming, this touches per-core state
+// that the hypervisor configures on other, unowned cores concurrently.
+func (d *Device) ResetCoreTransients(nodes []topo.NodeID) {
+	for _, n := range nodes {
+		c, ok := d.cores[n]
+		if !ok {
+			continue
+		}
+		if t, ok := c.dma.Translator.(interface{ ResetTransient() }); ok {
+			t.ResetTransient()
+		}
+		if c.dma.Port != nil {
+			c.dma.Port.ResetTransient()
+		}
+	}
 }
 
 // Core returns the core at the given mesh node.

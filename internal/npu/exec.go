@@ -1,6 +1,7 @@
 package npu
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
@@ -89,6 +90,12 @@ type RunOptions struct {
 	// Iterations repeats the program (one inference per iteration).
 	// 0 means 1.
 	Iterations int
+	// Ctx, when non-nil, makes the run cancelable: the execution loop
+	// polls it between timeline events (coarse-grained — every
+	// cancelCheckEvery instruction steps) and aborts with the context's
+	// error, so canceling a serving job frees its chip promptly instead
+	// of after the full simulated workload.
+	Ctx context.Context
 	// MemTrace, when non-nil, receives every DMA burst (Fig 6).
 	MemTrace func(core isa.CoreID, iter int, va uint64, at sim.Cycles)
 	// Span, when non-nil, receives every execution span (Fig 18 bottom).
@@ -134,6 +141,10 @@ const recvDrainCycles = 2
 
 // barrierCycles is the cost of a full-program barrier.
 const barrierCycles = 16
+
+// cancelCheckEvery bounds how many instruction steps may execute between
+// two polls of RunOptions.Ctx.
+const cancelCheckEvery = 64
 
 type coreState struct {
 	id     isa.CoreID
@@ -231,7 +242,11 @@ func (d *Device) Run(prog *isa.Program, pl Placement, fab Fabric, opts RunOption
 // the host loop. Ties break to the lowest core ID, keeping runs
 // deterministic.
 func (d *Device) execute(states []*coreState, byID map[isa.CoreID]*coreState, fab Fabric, opts RunOptions) error {
+	cancel := sim.NewCancelCheck(opts.Ctx, cancelCheckEvery)
 	for {
+		if err := cancel.Err(); err != nil {
+			return fmt.Errorf("npu: run canceled: %w", err)
+		}
 		var pick *coreState
 		allDone := true
 		for _, st := range states {

@@ -67,13 +67,18 @@ type Request struct {
 	MemoryBytes uint64
 }
 
-// cacheable reports whether the request's mapping outcome is a pure
-// function of (free set, topology signature, strategy, NodeInsDel) — any
-// callback cost makes it position- or caller-dependent.
-func (r Request) cacheable() bool {
-	o := r.MapOptions
+// PureMapOptions reports whether a mapping outcome under these options
+// is a pure function of (free set, topology, strategy, NodeInsDel) — any
+// callback cost makes it position- or caller-dependent. Both the mapping
+// cache and the session pool's key computation depend on this exact
+// predicate; keep it the single source of truth when ged.Options grows.
+func PureMapOptions(o ged.Options) bool {
 	return o.NodeSubst == nil && o.EdgeDel == nil && o.EdgeIns == nil && o.ExtraNodePenalty == nil
 }
+
+// cacheable reports whether the request's mapping outcome may be
+// memoized.
+func (r Request) cacheable() bool { return PureMapOptions(r.MapOptions) }
 
 // Candidate is one chip that can host a request, with its ranking terms.
 type Candidate struct {
@@ -95,6 +100,7 @@ type chipState struct {
 	free      map[topo.NodeID]bool
 	freeCount int
 	freeSig   uint64 // XOR of nodeHash over free nodes, updated per delta
+	held      int    // cores held by resident sessions (Reserve/Evict)
 }
 
 func (cs *chipState) freeListLocked() []topo.NodeID {
@@ -139,6 +145,12 @@ func canonicalKey(g *topo.Graph) string {
 	}
 	return sb.String()
 }
+
+// CanonicalKey is the exact, labeling-sensitive topology encoding used
+// for cache keys (see canonicalKey). The session pool shares it so two
+// isomorphic-but-relabeled request topologies never alias one resident
+// session — their virtual-to-physical wiring differs.
+func CanonicalKey(g *topo.Graph) string { return canonicalKey(g) }
 
 // hash64 digests a string to 64 bits (FNV-1a).
 func hash64(s string) uint64 {
@@ -488,4 +500,44 @@ func (e *Engine) Release(chip int, nodes []topo.NodeID) error {
 		cs.freeSig ^= nodeHash(n)
 	}
 	return nil
+}
+
+// Reserve is the session pool's create hook: like Commit it removes the
+// nodes from the chip's free set (the free-set signature moves exactly as
+// for a one-shot create, so cached mappings can never hand out a core a
+// resident session holds), but the cores are additionally tracked as
+// session-held, visible through HeldCount.
+func (e *Engine) Reserve(chip int, nodes []topo.NodeID) error {
+	if err := e.Commit(chip, nodes); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.chips[chip].held += len(nodes)
+	e.mu.Unlock()
+	return nil
+}
+
+// Evict is the session pool's destroy hook, undoing a Reserve: the cores
+// return to the chip's free set and leave the session-held count.
+func (e *Engine) Evict(chip int, nodes []topo.NodeID) error {
+	if err := e.Release(chip, nodes); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	cs := e.chips[chip]
+	cs.held -= len(nodes)
+	if cs.held < 0 {
+		cs.held = 0
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// HeldCount reports how many of a chip's cores are held by resident
+// sessions (busy or idle) — allocated from the engine's point of view,
+// but reclaimable by evicting idle sessions.
+func (e *Engine) HeldCount(chip int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.chips[chip].held
 }

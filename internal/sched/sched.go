@@ -40,11 +40,19 @@ import (
 // distance); Price separates equal costs (the cluster uses the chip
 // profile's resource price, so the cheapest adequate chip wins); Load
 // breaks remaining ties, so a load term can never override even a
-// fractional cost or price difference.
+// fractional cost or price difference. Warm (higher is better) breaks
+// exact Load ties toward chips hosting warm resident sessions: their
+// held cores are reclaimable on demand, so routing traffic there keeps
+// chips whose capacity is genuinely free intact for jobs that need
+// fresh rectangles. For the Load term to be meaningful alongside Warm,
+// executors must compute Load from actively executing cores, not from
+// raw allocation — cores held by idle sessions would otherwise make a
+// warm pool look busy (see the cluster's CoreUsage).
 type Score struct {
 	Cost  float64
 	Price float64
 	Load  float64
+	Warm  float64
 }
 
 func (s Score) less(o Score) bool {
@@ -54,7 +62,10 @@ func (s Score) less(o Score) bool {
 	if s.Price != o.Price {
 		return s.Price < o.Price
 	}
-	return s.Load < o.Load
+	if s.Load != o.Load {
+		return s.Load < o.Load
+	}
+	return s.Warm > o.Warm
 }
 
 // Candidate is one chip a job could be placed on, with its score.
@@ -86,10 +97,25 @@ type Config struct {
 	// QueueDepth bounds the FIFO admission queue. <= 0 selects
 	// DefaultQueueDepth.
 	QueueDepth int
-	// TenantQuota caps each tenant's in-flight jobs (queued + running).
+	// TenantQuota caps each tenant's in-flight jobs (queued + running),
+	// including slots reserved by external serving paths via ReserveSlot.
 	// <= 0 means unlimited. A canceled job's slot is reclaimed when the
 	// job drains from the FIFO queue, not at cancellation time.
 	TenantQuota int
+	// ExternalBusy, when non-nil, reports whether work is in flight on an
+	// external path sharing the chips (e.g. busy resident sessions). An
+	// unplaceable job then parks for a Kick instead of failing terminally
+	// on an "idle" cluster whose capacity is merely held elsewhere. The
+	// external path MUST call Kick whenever it frees capacity, or parked
+	// jobs would wait forever.
+	ExternalBusy func() bool
+	// Reclaim, when non-nil, asks the external path to give capacity
+	// back (e.g. evict one idle resident session), returning whether it
+	// freed anything. The dispatcher calls it after every ranked Place
+	// attempt failed — covering failures the ranking stage cannot see,
+	// like memory exhaustion at create time — and rescores on success,
+	// so idle warm pools are reclaimed before a job parks or fails.
+	Reclaim func() bool
 }
 
 // DefaultQueueDepth is the admission queue bound when none is given.
@@ -115,7 +141,9 @@ type Stats struct {
 	ChipBusy []time.Duration
 }
 
-// Handle tracks one submitted job.
+// Handle tracks one submitted job. Dispatcher.Submit returns handles it
+// resolves itself; NewHandle creates one resolved by the caller (the
+// session-pool serving path), so both paths hand callers the same type.
 type Handle[Result any] struct {
 	tenant    string
 	submitted time.Time
@@ -129,6 +157,38 @@ type Handle[Result any] struct {
 	finished time.Time
 	res      Result
 	err      error
+}
+
+// NewHandle creates a handle managed by the caller instead of a
+// dispatcher: the caller must call MarkStarted when the job reaches its
+// chip (optional) and Finish exactly once when it completes. The session
+// pool uses it so warm-path jobs that never enter the FIFO queue still
+// resolve through the ordinary Handle API.
+func NewHandle[Result any](tenant string) *Handle[Result] {
+	return &Handle[Result]{
+		tenant:    tenant,
+		submitted: time.Now(),
+		started:   make(chan struct{}),
+		done:      make(chan struct{}),
+		chip:      -1,
+	}
+}
+
+// MarkStarted records that the job reached its chip and closes Started.
+// It must be called at most once, before Finish.
+func (h *Handle[Result]) MarkStarted(chip int) {
+	h.chip = chip
+	h.placedAt = time.Now()
+	close(h.started)
+}
+
+// Finish resolves the handle with the job's outcome. It must be called
+// exactly once.
+func (h *Handle[Result]) Finish(res Result, err error) {
+	h.res = res
+	h.err = err
+	h.finished = time.Now()
+	close(h.done)
 }
 
 // Tenant reports the submitting tenant.
@@ -268,13 +328,7 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 		return nil, fmt.Errorf("sched: tenant %q has %d jobs in flight (quota %d): %w",
 			tenant, n, d.cfg.TenantQuota, core.ErrQuotaExceeded)
 	}
-	h := &Handle[Result]{
-		tenant:    tenant,
-		submitted: time.Now(),
-		started:   make(chan struct{}),
-		done:      make(chan struct{}),
-		chip:      -1,
-	}
+	h := NewHandle[Result](tenant)
 	t := &task[Job, Result]{ctx: ctx, job: job, h: h}
 	select {
 	case d.queue <- t:
@@ -313,6 +367,53 @@ func (d *Dispatcher[Job, Placement, Result]) Close() error {
 // into their placement score to spread load.
 func (d *Dispatcher[Job, Placement, Result]) Backlog(chip int) int {
 	return len(d.work[chip])
+}
+
+// InFlight reports placements currently claimed on chips (placed but
+// not yet released). The session path uses it to decide between parking
+// for capacity and failing terminally, the same judgment the dispatcher
+// makes for its own queue.
+func (d *Dispatcher[Job, Placement, Result]) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// ReserveSlot atomically checks the tenant quota and claims one
+// in-flight slot for a job served on an external path (the session
+// pool). The dispatcher's own Submit and external reservations share one
+// counter under one lock, so the quota cannot be oversubscribed by
+// racing the two paths. Release the slot with ReleaseSlot when the
+// external job finishes.
+func (d *Dispatcher[Job, Placement, Result]) ReserveSlot(tenant string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.TenantQuota > 0 && d.tenants[tenant] >= d.cfg.TenantQuota {
+		d.stats.RejectedQuota++
+		return fmt.Errorf("sched: tenant %q has %d jobs in flight (quota %d): %w",
+			tenant, d.tenants[tenant], d.cfg.TenantQuota, core.ErrQuotaExceeded)
+	}
+	d.tenants[tenant]++
+	return nil
+}
+
+// ReleaseSlot returns a slot claimed with ReserveSlot.
+func (d *Dispatcher[Job, Placement, Result]) ReleaseSlot(tenant string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tenants[tenant]--; d.tenants[tenant] <= 0 {
+		delete(d.tenants, tenant)
+	}
+}
+
+// Kick signals the dispatcher that capacity was freed outside its own
+// Release path — a resident session went idle or was evicted. A job
+// parked on backpressure rescores its placement. Kick never blocks.
+func (d *Dispatcher[Job, Placement, Result]) Kick() {
+	select {
+	case d.freed <- struct{}{}:
+	default:
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -363,9 +464,7 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 			d.mu.Lock()
 			d.inflight++
 			d.mu.Unlock()
-			t.h.chip = chip
-			t.h.placedAt = time.Now()
-			close(t.h.started)
+			t.h.MarkStarted(chip)
 			// The send blocks when a chip has accumulated a full buffer
 			// of placements — acceptable backpressure on the FIFO
 			// dispatcher — but must stay cancelable.
@@ -390,8 +489,16 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 			}
 			return
 		}
-		// No chip can host the job right now. If nothing is in flight no
-		// future Release can change that — fail fast instead of deadlocking.
+		// No chip can host the job right now. Before parking (or failing),
+		// ask the external path to give capacity back: Place-stage
+		// failures — e.g. the buddy allocator out of memory held by an
+		// idle warm session — never reach the ranking stage's own
+		// reclaim, so this is where idle sessions are evicted for them.
+		if d.cfg.Reclaim != nil && d.cfg.Reclaim() {
+			continue
+		}
+		// If nothing is in flight no future Release can change the
+		// situation — fail fast instead of deadlocking.
 		if lastErr == nil {
 			// Defensive: Rank returned no candidates and no reason.
 			lastErr = fmt.Errorf("no chip can host the job: %w", core.ErrNoCapacity)
@@ -399,6 +506,13 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 		d.mu.Lock()
 		idle := d.inflight == 0
 		d.mu.Unlock()
+		// Busy resident sessions hold capacity this dispatcher cannot see
+		// in its own in-flight count; their release Kicks the freed
+		// channel, so parking is safe and terminal failure would be
+		// premature.
+		if idle && d.cfg.ExternalBusy != nil && d.cfg.ExternalBusy() {
+			idle = false
+		}
 		if idle {
 			// A release may have landed between scoring and the idle
 			// check; drain its pending signal and rescore once more
@@ -476,8 +590,5 @@ func (d *Dispatcher[Job, Placement, Result]) finish(t *task[Job, Result], res Re
 		d.stats.Failed++
 	}
 	d.mu.Unlock()
-	t.h.res = res
-	t.h.err = err
-	t.h.finished = time.Now()
-	close(t.h.done)
+	t.h.Finish(res, err)
 }

@@ -1,0 +1,367 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+)
+
+// fakeRes is the pooled resource of these tests.
+type fakeRes struct {
+	id int
+}
+
+// harness wires a Pool over a fake capacity-limited backend.
+type harness struct {
+	mu       sync.Mutex
+	nextID   int
+	live     map[int]bool
+	capacity int // max live resources; creates beyond it fail ErrNoCapacity
+	destroys int
+}
+
+func (h *harness) create() (int, *fakeRes, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.live) >= h.capacity {
+		return 0, nil, fmt.Errorf("fake: %w", core.ErrNoCapacity)
+	}
+	h.nextID++
+	h.live[h.nextID] = true
+	return h.nextID % 4, &fakeRes{id: h.nextID}, nil
+}
+
+func (h *harness) destroy(chip int, r *fakeRes) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.live[r.id] {
+		return fmt.Errorf("fake: resource %d destroyed twice", r.id)
+	}
+	delete(h.live, r.id)
+	h.destroys++
+	return nil
+}
+
+func newHarness(capacity int) *harness {
+	return &harness{live: make(map[int]bool), capacity: capacity}
+}
+
+func newPool(t *testing.T, h *harness, mut func(*Config[*fakeRes])) *Pool[*fakeRes, int] {
+	t.Helper()
+	cfg := Config[*fakeRes]{
+		Destroy:    h.destroy,
+		Cores:      func(r *fakeRes) int { return 2 },
+		IsCapacity: func(err error) bool { return errors.Is(err, core.ErrNoCapacity) },
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := New[*fakeRes, int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func release(t *testing.T, l *Lease[*fakeRes, int]) {
+	t.Helper()
+	if _, ok := l.Next(); ok {
+		t.Fatal("expected empty micro-queue on release")
+	}
+}
+
+func TestAcquireWarmReuse(t *testing.T) {
+	h := newHarness(8)
+	p := newPool(t, h, nil)
+	defer p.Close()
+
+	key := Key{Tenant: "a", Model: 1}
+	l1, warm, err := p.Acquire(key, h.create)
+	if err != nil || warm {
+		t.Fatalf("first acquire: warm=%v err=%v", warm, err)
+	}
+	res := l1.Resource()
+	release(t, l1)
+
+	l2, warm, err := p.Acquire(key, h.create)
+	if err != nil || !warm {
+		t.Fatalf("second acquire: warm=%v err=%v", warm, err)
+	}
+	if l2.Resource() != res {
+		t.Fatal("warm acquire returned a different resource")
+	}
+	// A different key must not reuse the session.
+	l3, warm, err := p.Acquire(Key{Tenant: "b", Model: 1}, h.create)
+	if err != nil || warm {
+		t.Fatalf("cross-key acquire: warm=%v err=%v", warm, err)
+	}
+	release(t, l2)
+	release(t, l3)
+
+	s := p.Stats()
+	if s.WarmHits != 1 || s.ColdCreates != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.HitRate() != 1.0/3 {
+		t.Fatalf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestAcquireEvictsUnderCapacityPressure(t *testing.T) {
+	h := newHarness(2)
+	p := newPool(t, h, nil)
+	defer p.Close()
+
+	la, _, err := p.Acquire(Key{Tenant: "a"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _, err := p.Acquire(Key{Tenant: "b"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(t, la)
+	release(t, lb)
+
+	// Backend is full; acquiring a third key must evict the LRU idle
+	// session ("a") to make room.
+	lc, warm, err := p.Acquire(Key{Tenant: "c"}, h.create)
+	if err != nil || warm {
+		t.Fatalf("pressure acquire: warm=%v err=%v", warm, err)
+	}
+	release(t, lc)
+	s := p.Stats()
+	if s.EvictedPressure != 1 {
+		t.Fatalf("want 1 pressure eviction, got %+v", s)
+	}
+	// "b" must still be warm, "a" gone.
+	if _, warm, _ := p.Acquire(Key{Tenant: "b"}, h.create); !warm {
+		t.Fatal("LRU eviction removed the wrong session")
+	}
+}
+
+func TestAcquirePressureExhaustedReturnsError(t *testing.T) {
+	h := newHarness(1)
+	p := newPool(t, h, nil)
+	defer p.Close()
+
+	la, _, err := p.Acquire(Key{Tenant: "a"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" is busy (not evictable); a second session cannot be created.
+	if _, _, err := p.Acquire(Key{Tenant: "b"}, h.create); !errors.Is(err, core.ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	release(t, la)
+}
+
+func TestMaxIdleLRUBound(t *testing.T) {
+	h := newHarness(16)
+	p := newPool(t, h, func(c *Config[*fakeRes]) { c.MaxIdle = 2 })
+	defer p.Close()
+
+	var leases []*Lease[*fakeRes, int]
+	for i := 0; i < 4; i++ {
+		l, _, err := p.Acquire(Key{Tenant: fmt.Sprint(i)}, h.create)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+	}
+	for _, l := range leases {
+		release(t, l)
+	}
+	s := p.Stats()
+	if s.IdleSessions != 2 || s.EvictedLRU != 2 {
+		t.Fatalf("want 2 idle / 2 LRU-evicted, got %+v", s)
+	}
+	if s.IdleCores != 4 {
+		t.Fatalf("want 4 idle cores, got %d", s.IdleCores)
+	}
+}
+
+func TestSweepExpiresIdleSessions(t *testing.T) {
+	h := newHarness(8)
+	now := time.Unix(0, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+	p := newPool(t, h, func(c *Config[*fakeRes]) {
+		c.TTL = time.Minute
+		c.Now = clock
+	})
+	defer p.Close()
+
+	l, _, err := p.Acquire(Key{Tenant: "a"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(t, l)
+	if n := p.Sweep(); n != 0 {
+		t.Fatalf("premature sweep evicted %d", n)
+	}
+	nowMu.Lock()
+	now = now.Add(2 * time.Minute)
+	nowMu.Unlock()
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("want 1 TTL eviction, got %d", n)
+	}
+	if s := p.Stats(); s.EvictedTTL != 1 || s.IdleSessions != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestAttachAndNextDrainMicroQueue(t *testing.T) {
+	h := newHarness(8)
+	p := newPool(t, h, func(c *Config[*fakeRes]) { c.MicroQueueDepth = 2 })
+	defer p.Close()
+
+	key := Key{Tenant: "a"}
+	if p.Attach(key, 1) {
+		t.Fatal("attach must fail with no busy session")
+	}
+	l, _, err := p.Acquire(key, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Attach(key, 1) || !p.Attach(key, 2) {
+		t.Fatal("attach to busy session failed")
+	}
+	if p.Attach(key, 3) {
+		t.Fatal("attach beyond micro-queue depth must fail")
+	}
+	if item, ok := l.Next(); !ok || item != 1 {
+		t.Fatalf("next: %v %v", item, ok)
+	}
+	if item, ok := l.Next(); !ok || item != 2 {
+		t.Fatalf("next: %v %v", item, ok)
+	}
+	if _, ok := l.Next(); ok {
+		t.Fatal("drained session must release")
+	}
+	// After release the session is idle: attach must fail, acquire is warm.
+	if p.Attach(key, 4) {
+		t.Fatal("attach to idle session must fail")
+	}
+	if s := p.Stats(); s.Batched != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestDiscardReturnsQueuedItems(t *testing.T) {
+	h := newHarness(8)
+	p := newPool(t, h, nil)
+	defer p.Close()
+
+	key := Key{Tenant: "a"}
+	l, _, err := p.Acquire(key, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attach(key, 7)
+	items := l.Discard()
+	if len(items) != 1 || items[0] != 7 {
+		t.Fatalf("discard returned %v", items)
+	}
+	if s := p.Stats(); s.IdleSessions != 0 || s.BusySessions != 0 {
+		t.Fatalf("discarded session still resident: %+v", s)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.destroys != 1 {
+		t.Fatalf("want 1 destroy, got %d", h.destroys)
+	}
+}
+
+func TestCloseDestroysIdleAndRejectsAcquire(t *testing.T) {
+	h := newHarness(8)
+	p := newPool(t, h, nil)
+	l, _, err := p.Acquire(Key{Tenant: "a"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(t, l)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Acquire(Key{Tenant: "a"}, h.create); !errors.Is(err, core.ErrDestroyed) {
+		t.Fatalf("want ErrDestroyed, got %v", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.live) != 0 {
+		t.Fatalf("%d resources leaked past Close", len(h.live))
+	}
+}
+
+// TestChurnRace hammers Acquire/Attach/Next/EvictIdle/Sweep from many
+// goroutines under capacity pressure; run with -race. Every created
+// resource must be destroyed exactly once by Close.
+func TestChurnRace(t *testing.T) {
+	h := newHarness(6)
+	p := newPool(t, h, func(c *Config[*fakeRes]) {
+		c.MaxIdle = 4
+		c.TTL = time.Millisecond
+	})
+
+	var handled atomic.Int64
+	const goroutines = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < rounds; i++ {
+				key := Key{Tenant: fmt.Sprint(rng.Intn(4))}
+				if p.Attach(key, i) {
+					continue // the holder consumes it
+				}
+				l, _, err := p.Acquire(key, h.create)
+				if err != nil {
+					if !errors.Is(err, core.ErrNoCapacity) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					continue
+				}
+				handled.Add(1)
+				for {
+					if _, ok := l.Next(); !ok {
+						break
+					}
+					handled.Add(1)
+				}
+				if rng.Intn(8) == 0 {
+					p.EvictIdle(1)
+				}
+				if rng.Intn(16) == 0 {
+					p.Sweep()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if handled.Load() == 0 {
+		t.Fatal("no work handled")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.live) != 0 {
+		t.Fatalf("%d resources leaked", len(h.live))
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "context"
+
+// CancelCheck polls a context at a bounded rate from a hot simulation
+// loop. Checking ctx.Err() on every timeline event would put a mutex-
+// protected load on the innermost loop of every run; CancelCheck
+// amortizes it to one real check per `every` calls, which keeps
+// cancellation latency coarse-grained (a handful of timeline events)
+// while costing the loop a single counter increment.
+//
+// A zero or nil CancelCheck never cancels, so uncancellable callers pass
+// nothing and pay nothing.
+type CancelCheck struct {
+	ctx   context.Context
+	every uint32
+	n     uint32
+}
+
+// NewCancelCheck builds a checker that polls ctx once per `every` calls
+// to Err (minimum 1). A nil ctx yields a checker that never cancels.
+func NewCancelCheck(ctx context.Context, every uint32) *CancelCheck {
+	if every < 1 {
+		every = 1
+	}
+	return &CancelCheck{ctx: ctx, every: every}
+}
+
+// Err returns the context's error once it is canceled, polling the
+// context on the first call and then once per `every` calls.
+func (c *CancelCheck) Err() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	c.n++
+	if c.n != 1 && c.n%c.every != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -25,6 +25,17 @@ type Job struct {
 	// bandwidth caps, ...). Memory defaults to the model's footprint on
 	// the requested core count.
 	Options []Option
+	// Reusable marks the job session-eligible: on a cluster with
+	// WithSessionReuse, it runs on a resident vNPU leased per (tenant,
+	// model, topology, options) — warm jobs skip placement, creation and
+	// compilation, and bursts of identical jobs are continuously batched
+	// back-to-back on one resident vNPU. Non-reusable jobs keep the
+	// create/run/destroy path, though repeated identical submissions are
+	// auto-promoted to the session path once the cluster has seen their
+	// fingerprint before. Decode-phase transformer traffic is the
+	// intended user; jobs with callback-based mapping options are never
+	// pooled.
+	Reusable bool
 }
 
 // request materializes the job's Request by layering its options.
@@ -55,6 +66,10 @@ type JobReport struct {
 	// QueueWait is the wall-clock time the job spent queued before being
 	// placed on its chip.
 	QueueWait time.Duration
+	// Warm reports that the job ran on an already-resident session vNPU
+	// (warm lease or micro-queue batch) — no placement, create or
+	// compile happened on its account.
+	Warm bool
 }
 
 // Handle tracks one submitted job. Obtain one from Cluster.Submit, then

@@ -1,0 +1,519 @@
+package vnpu
+
+// The session serving path: resident vNPU leases with continuous
+// batching, built on internal/session. A cluster with WithSessionReuse
+// keeps the vNPU of a finished session-eligible job resident instead of
+// destroying it; the next job of the same (tenant, model, topology,
+// options) class leases it warm — no placement decision, no create, no
+// compile — and bursts of identical jobs are co-scheduled back-to-back
+// on one resident vNPU through a per-session micro-queue. Idle sessions
+// expire on a TTL, are bounded LRU-wide, and are evicted on demand when
+// any job (pooled or not) cannot otherwise be placed, so warm pools
+// never starve jobs that need fresh rectangles.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/place"
+	"github.com/vnpu-sim/vnpu/internal/sched"
+	"github.com/vnpu-sim/vnpu/internal/session"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// SessionStats is a snapshot of the session pool's counters: warm hits,
+// cold creates, micro-queue batches, evictions by cause, resident-session
+// gauges, and warm-vs-cold acquisition latency.
+type SessionStats = metrics.SessionStats
+
+// WithSessionReuse enables the session pool: session-eligible jobs (see
+// Job.Reusable) lease resident vNPUs instead of paying the
+// create→map→run→destroy path per job. SessionStats reports the warm-hit
+// rate; tune the pool with WithSessionIdleTTL, WithSessionMaxIdle and
+// WithSessionMicroQueue.
+func WithSessionReuse() ClusterOption {
+	return func(c *clusterConfig) { c.sessionReuse = true }
+}
+
+// WithSessionIdleTTL bounds how long a session may sit idle before its
+// vNPU is destroyed (default session.DefaultTTL). Shorter TTLs return
+// capacity sooner; longer ones raise the warm-hit rate on sparse
+// traffic.
+func WithSessionIdleTTL(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.sessionTTL = d }
+}
+
+// WithSessionMaxIdle bounds idle resident sessions cluster-wide (default
+// session.DefaultMaxIdle); beyond it the least-recently-used idle
+// session is destroyed.
+func WithSessionMaxIdle(n int) ClusterOption {
+	return func(c *clusterConfig) { c.sessionIdle = n }
+}
+
+// WithSessionMicroQueue bounds each busy session's micro-queue — how
+// many compatible jobs may wait to be continuously batched onto the
+// resident vNPU (default session.DefaultMicroQueueDepth).
+func WithSessionMicroQueue(n int) ClusterOption {
+	return func(c *clusterConfig) { c.sessionMicro = n }
+}
+
+// SessionStats returns a snapshot of the session pool's counters (zero
+// when WithSessionReuse is off).
+func (c *Cluster) SessionStats() SessionStats {
+	if c.pool == nil {
+		return SessionStats{}
+	}
+	return c.pool.Stats()
+}
+
+// CoreUsage splits one chip's cores by serving state: Allocated counts
+// every core some vNPU holds, WarmIdle the subset held by idle resident
+// sessions — allocated from the hypervisor's point of view but
+// reclaimable on demand. The difference, Active, is what the scheduler's
+// load tiebreak uses: a warm pool must not make a chip look busy.
+type CoreUsage struct {
+	// Cores is the chip's total core count.
+	Cores int
+	// Allocated counts cores held by any vNPU (running jobs, queued
+	// placements, and resident sessions alike).
+	Allocated int
+	// WarmIdle counts cores held by idle (warm) resident sessions.
+	WarmIdle int
+}
+
+// Active reports cores allocated to something other than an idle warm
+// session.
+func (u CoreUsage) Active() int { return u.Allocated - u.WarmIdle }
+
+// ActiveFraction reports Active over the chip's core count.
+func (u CoreUsage) ActiveFraction() float64 {
+	if u.Cores == 0 {
+		return 0
+	}
+	return float64(u.Active()) / float64(u.Cores)
+}
+
+// WarmFraction reports WarmIdle over the chip's core count.
+func (u CoreUsage) WarmFraction() float64 {
+	if u.Cores == 0 {
+		return 0
+	}
+	return float64(u.WarmIdle) / float64(u.Cores)
+}
+
+// AllocatedFraction reports Allocated over the chip's core count — the
+// same number Utilization reports.
+func (u CoreUsage) AllocatedFraction() float64 {
+	if u.Cores == 0 {
+		return 0
+	}
+	return float64(u.Allocated) / float64(u.Cores)
+}
+
+// CoreUsage reports every chip's core usage split by serving state.
+func (c *Cluster) CoreUsage() []CoreUsage {
+	out := make([]CoreUsage, len(c.systems))
+	for i := range c.systems {
+		out[i] = c.coreUsage(i)
+	}
+	return out
+}
+
+func (c *Cluster) coreUsage(chip int) CoreUsage {
+	sys := c.systems[chip]
+	total := sys.Config().Cores()
+	u := CoreUsage{Cores: total, Allocated: total - sys.FreeCores()}
+	if c.pool != nil {
+		u.WarmIdle = c.pool.IdleCoresOn(chip)
+		if u.WarmIdle > u.Allocated {
+			// An eviction's hypervisor destroy landed before the pool's
+			// bookkeeping; clamp rather than report negative activity.
+			u.WarmIdle = u.Allocated
+		}
+	}
+	return u
+}
+
+// sessRes is the pooled resource: a resident vNPU plus the program
+// compiled for it, cached so warm jobs skip compilation (the session key
+// pins the model, so one slot suffices).
+type sessRes struct {
+	v  *VirtualNPU
+	cm *CompiledModel
+}
+
+// sessLease names the pool lease instantiation.
+type sessLease = session.Lease[*sessRes, *sessTask]
+
+// sessTask is one job routed through the session path; it doubles as the
+// micro-queue item.
+type sessTask struct {
+	ctx context.Context
+	job Job
+	req Request
+	key session.Key
+	h   *sched.Handle[JobReport]
+}
+
+// sessionKeyOf computes the job's session class from the model
+// fingerprint Submit already computed. ok is false when the job cannot
+// be pooled: callback-based mapping options make the created vNPU a
+// non-pure function of the key.
+func sessionKeyOf(job Job, req Request, modelSig uint64) (session.Key, bool) {
+	if !place.PureMapOptions(req.MapOptions) {
+		return session.Key{}, false
+	}
+	return session.Key{
+		Tenant: job.tenant(),
+		Model:  modelSig,
+		Topo:   place.CanonicalKey(job.Topology),
+		Opts:   requestSignature(req),
+	}, true
+}
+
+// requestSignature fingerprints every Request field that shapes the
+// created vNPU; two jobs may share a resident session only when all of
+// them match.
+func requestSignature(req Request) uint64 {
+	h := fnv.New64a()
+	fold := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	confined := uint64(0)
+	if req.Confined {
+		confined = 1
+	}
+	fold(uint64(req.Strategy), confined, req.MemoryBytes, uint64(req.Translation),
+		uint64(req.PageTLBEntries), uint64(req.MemChannels),
+		uint64(req.BandwidthCapBytes), uint64(req.BandwidthWindow),
+		uint64(req.KVBufferBytes), uint64(req.MapOptions.NodeInsDel))
+	return h.Sum64()
+}
+
+// seenLimit bounds the auto-promotion memory.
+const seenLimit = 4096
+
+// autoPromote records the key and reports whether it was submitted
+// before — repeated fingerprints are decode-phase-style traffic worth a
+// resident session even without Job.Reusable.
+func (c *Cluster) autoPromote(key session.Key) bool {
+	c.seenMu.Lock()
+	defer c.seenMu.Unlock()
+	prev := c.seen[key]
+	if prev == 0 && len(c.seen) >= seenLimit {
+		// Evicting an arbitrary entry is fine for a promotion heuristic.
+		for k := range c.seen {
+			delete(c.seen, k)
+			break
+		}
+	}
+	if prev < 255 {
+		c.seen[key] = prev + 1
+	}
+	return prev >= 1
+}
+
+// capacityCurable classifies placement errors that evicting idle
+// sessions may cure: both "no free cores/memory" and "no region realizes
+// the topology" can flip once held cores return to the free set.
+func capacityCurable(err error) bool {
+	return errors.Is(err, ErrNoCapacity) || errors.Is(err, ErrTopologyUnsatisfiable)
+}
+
+// sessionBusy reports whether any resident session is executing, for the
+// dispatcher's park-versus-terminal-failure decision.
+func (c *Cluster) sessionBusy() bool {
+	return c.pool != nil && c.pool.Busy()
+}
+
+// sessionReclaim evicts one idle warm session, reporting whether
+// anything was freed — the dispatcher's last resort before parking or
+// failing an unplaceable job.
+func (c *Cluster) sessionReclaim() bool {
+	return c.pool != nil && c.pool.EvictIdle(1) > 0
+}
+
+// pokeSessions wakes one session job parked on capacity. Non-blocking;
+// the one-slot buffer makes it an edge signal like the dispatcher's
+// freed channel.
+func (c *Cluster) pokeSessions() {
+	select {
+	case c.capFreed <- struct{}{}:
+	default:
+	}
+}
+
+// pokeAll wakes a parked job on each serving path: session exits that
+// consumed capacity-wait tokens (or whose pending create kept a
+// dispatcher job parked) must wake both sides.
+func (c *Cluster) pokeAll() {
+	c.disp.Kick()
+	c.pokeSessions()
+}
+
+// submitSession admits a session-eligible job and starts its serving
+// goroutine. Admission mirrors the dispatcher's: the in-flight bound is
+// the queue depth (ErrQueueFull beyond), and the tenant quota is one
+// shared counter with the dispatcher path — the slot is reserved
+// atomically in the dispatcher (ReserveSlot), so racing Submits on the
+// two paths cannot jointly oversubscribe a tenant.
+func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key session.Key) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tenant := job.tenant()
+	c.sessMu.Lock()
+	if c.sessClosed {
+		c.sessMu.Unlock()
+		return nil, fmt.Errorf("vnpu: cluster closed: %w", ErrDestroyed)
+	}
+	if c.sessInflight >= c.queueDepth {
+		c.sessMu.Unlock()
+		return nil, fmt.Errorf("vnpu: %d session jobs in flight: %w", c.queueDepth, ErrQueueFull)
+	}
+	if err := c.disp.ReserveSlot(tenant); err != nil {
+		c.sessMu.Unlock()
+		return nil, err
+	}
+	c.sessInflight++
+	c.sessSubmitted++
+	c.sessWG.Add(1)
+	c.sessMu.Unlock()
+	t := &sessTask{ctx: ctx, job: job, req: req, key: key, h: sched.NewHandle[JobReport](tenant)}
+	go c.sessionRun(t)
+	return &Handle{h: t.h}, nil
+}
+
+// sessionRun serves one session job: attach to a busy compatible session
+// (continuous batching — its holder runs the job), or lease a session
+// (warm or cold) and drain its micro-queue before releasing. A cold
+// acquire that fails for lack of capacity parks until capacity moves
+// anywhere in the cluster and retries — mirroring the dispatcher's
+// retry-on-release backpressure — and fails terminally only when nothing
+// in flight could ever free what the job needs.
+func (c *Cluster) sessionRun(t *sessTask) {
+	var lease *sessLease
+	var warm bool
+	for {
+		// An idle warm session of the key runs the job immediately —
+		// preferable to micro-queuing behind a busy one when concurrent
+		// cold creates left several sessions of the same key.
+		if l, ok := c.pool.AcquireWarm(t.key); ok {
+			lease, warm = l, true
+			break
+		}
+		if c.pool.Attach(t.key, t) {
+			// The handoff consumed no capacity; any wakeup token this
+			// goroutine ate while parked must pass to the next waiter.
+			c.pokeAll()
+			return
+		}
+		var err error
+		lease, warm, err = c.pool.Acquire(t.key, func() (int, *sessRes, error) {
+			return c.createSession(t.req)
+		})
+		if err == nil {
+			break
+		}
+		if !capacityCurable(err) {
+			// Exits from the parked loop that consume no capacity re-poke
+			// both paths: a token eaten on a previous iteration must not
+			// strand other parked session jobs, and a dispatcher job parked
+			// on this goroutine's pending create needs its own wakeup.
+			c.pokeAll()
+			c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: acquiring session: %w", err))
+			return
+		}
+		// Anything currently holding capacity — dispatcher placements,
+		// busy or idle sessions — will poke capFreed when it lets go. With
+		// nothing in flight anywhere the failure is structural; drain a
+		// pending poke and retry once before declaring it terminal.
+		idleSess, busySess := c.pool.Counts()
+		if c.disp.InFlight() == 0 && idleSess == 0 && busySess == 0 {
+			select {
+			case <-c.capFreed:
+				continue
+			default:
+			}
+			c.pokeAll()
+			c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: session unplaceable on an idle cluster: %w", err))
+			return
+		}
+		select {
+		case <-c.capFreed:
+		case <-t.ctx.Done():
+			c.pokeAll()
+			c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: job canceled awaiting session capacity: %w", t.ctx.Err()))
+			return
+		}
+	}
+	r := lease.Resource()
+	// Lease the vNPU only after Acquire: the session is busy (hence
+	// unevictable) from here until Next releases it, so the guard lease
+	// can safely bracket just the executions. Leasing inside the create
+	// factory would hand the pool a vNPU it cannot destroy when Acquire
+	// loses the close race.
+	r.v.Lease()
+	for {
+		fatal := c.execSession(lease.Chip(), r, t, warm)
+		// The run loop holds the vNPU's lease only while a job executes;
+		// it must drop before the session can go idle, or eviction of the
+		// just-idled session would trip the lease-safe destroy guard.
+		r.v.Unlease()
+		if fatal {
+			// The resource is suspect (non-cancellation execution error):
+			// destroy it and re-dispatch whatever was micro-queued — each
+			// job attaches elsewhere or acquires a fresh session.
+			for _, queued := range lease.Discard() {
+				go c.sessionRun(queued)
+			}
+			return
+		}
+		next, ok := lease.Next()
+		if !ok {
+			return
+		}
+		r.v.Lease()
+		t, warm = next, true
+	}
+}
+
+// execSession executes one job on the resident vNPU, compiling the model
+// for the session once and reusing the program for every later job. It
+// reports whether the session must be discarded (true on execution
+// errors that are not the job's own cancellation).
+func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fatal bool) {
+	if err := t.ctx.Err(); err != nil {
+		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: job canceled before execution: %w", err))
+		return false
+	}
+	t.h.MarkStarted(chip)
+	sys := c.systems[chip]
+	c.execMu[chip].Lock()
+	// The busy clock starts after the lock: waiting for the chip is queue
+	// time, not execution time, or per-chip busy% would exceed 100%.
+	start := time.Now()
+	if c.testExecHook != nil {
+		c.testExecHook(chip)
+	}
+	sys.dev.ResetTiming()
+	sys.ResetTransients(r.v)
+	var rep Report
+	var err error
+	if r.cm == nil {
+		r.cm, err = sys.CompileFor(r.v, t.job.Model)
+	}
+	if err == nil {
+		rep, err = sys.RunCompiled(t.ctx, r.v, r.cm, t.job.Iterations)
+	}
+	// Measure before Unlock: post-unlock descheduling would otherwise
+	// overlap the next job's locked time and push busy% past 100.
+	busy := time.Since(start)
+	c.execMu[chip].Unlock()
+	c.sessMu.Lock()
+	c.sessChipJobs[chip]++
+	c.sessChipBusy[chip] += busy
+	c.sessMu.Unlock()
+	if err != nil {
+		c.finishSess(t, JobReport{}, err)
+		return t.ctx.Err() == nil
+	}
+	c.finishSess(t, JobReport{
+		Report:  rep,
+		Chip:    chip,
+		Tenant:  t.job.tenant(),
+		Model:   t.job.Model.Name,
+		MapCost: r.v.MapCost(),
+		Warm:    warm,
+	}, nil)
+	return false
+}
+
+// finishSess resolves a session job's handle and returns its admission
+// and quota slots.
+func (c *Cluster) finishSess(t *sessTask, rep JobReport, err error) {
+	c.sessMu.Lock()
+	c.sessInflight--
+	if err == nil {
+		c.sessCompleted++
+	} else {
+		c.sessFailed++
+	}
+	c.sessMu.Unlock()
+	c.disp.ReleaseSlot(t.h.Tenant())
+	t.h.Finish(rep, err)
+	c.sessWG.Done()
+}
+
+// createSession is the pool's cold path: place and create a resident
+// vNPU for the session class. Candidates keep the engine's cost-then-
+// price order; among equals, the chip already holding the most session
+// cores wins, consolidating warm pools so whole chips stay free for
+// topologies that need fresh rectangles.
+func (c *Cluster) createSession(req Request) (int, *sessRes, error) {
+	preq := placeRequest(req)
+	cands, err := c.engine.Place(preq)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Snapshot held counts once (HeldCount takes the engine lock), then
+	// re-rank with the consolidation tiebreak as a proper lexicographic
+	// order: cost, price, then most session-held cores first.
+	held := make(map[int]int, len(cands))
+	for _, cand := range cands {
+		held[cand.Chip] = c.engine.HeldCount(cand.Chip)
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].Cost != cands[b].Cost {
+			return cands[a].Cost < cands[b].Cost
+		}
+		if cands[a].Price != cands[b].Price {
+			return cands[a].Price < cands[b].Price
+		}
+		return held[cands[a].Chip] > held[cands[b].Chip]
+	})
+	var lastErr error
+	for _, cand := range cands {
+		mapRes, err := c.engine.Resolve(cand.Chip, preq)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		v, err := c.systems[cand.Chip].hv.CreateVNPUPlaced(req, mapRes)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.engine.Reserve(cand.Chip, v.Nodes()); err != nil {
+			// The engine's mirror disagrees with the hypervisor — undo
+			// the create rather than serve from a corrupted view.
+			_ = c.systems[cand.Chip].Destroy(v)
+			return 0, nil, err
+		}
+		return cand.Chip, &sessRes{v: v}, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("vnpu: no chip can host the session: %w", ErrNoCapacity)
+	}
+	return 0, nil, lastErr
+}
+
+// destroySession is the pool's destroy hook: tear the resident vNPU down
+// and return its cores to the placement engine's mirror.
+func (c *Cluster) destroySession(chip int, r *sessRes) error {
+	nodes := append([]topo.NodeID(nil), r.v.Nodes()...)
+	if err := c.systems[chip].Destroy(r.v); err != nil {
+		return err
+	}
+	return c.engine.Evict(chip, nodes)
+}

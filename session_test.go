@@ -1,0 +1,413 @@
+package vnpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newReuseCluster boots a small cluster with the session pool on and a
+// long TTL so tests control eviction themselves.
+func newReuseCluster(t *testing.T, cfg Config, chips int, extra ...ClusterOption) *Cluster {
+	t.Helper()
+	opts := append([]ClusterOption{
+		WithSessionReuse(),
+		WithSessionIdleTTL(time.Hour),
+	}, extra...)
+	c, err := NewCluster(cfg, chips, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func submitWait(t *testing.T, c *Cluster, job Job) JobReport {
+	t.Helper()
+	h, err := c.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSessionWarmReuse(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	defer c.Close()
+
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}
+	first := submitWait(t, c, job)
+	if first.Warm {
+		t.Fatal("first job cannot be warm")
+	}
+	second := submitWait(t, c, job)
+	if !second.Warm {
+		t.Fatal("second identical job must reuse the resident session")
+	}
+	if first.Cycles != second.Cycles {
+		t.Fatalf("warm run changed cycles: %d vs %d", first.Cycles, second.Cycles)
+	}
+	s := c.SessionStats()
+	if s.ColdCreates != 1 || s.WarmHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestSessionAutoPromotion(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	defer c.Close()
+
+	// Not marked Reusable: the first submission takes the dispatcher
+	// path, the repeated fingerprint promotes the second to the pool
+	// (cold) and the third is warm.
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2)}
+	submitWait(t, c, job)
+	if s := c.SessionStats(); s.Jobs() != 0 {
+		t.Fatalf("first submission must not touch the pool: %+v", s)
+	}
+	submitWait(t, c, job)
+	if s := c.SessionStats(); s.ColdCreates != 1 {
+		t.Fatalf("second submission must be promoted: %+v", s)
+	}
+	rep := submitWait(t, c, job)
+	if !rep.Warm {
+		t.Fatal("third submission must be warm")
+	}
+}
+
+func TestSessionEvictionUnderCapacityPressure(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	defer c.Close()
+
+	// A reusable job occupies the whole 8-core chip, then idles warm.
+	big := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4), Reusable: true}
+	submitWait(t, c, big)
+	usage := c.CoreUsage()[0]
+	if usage.WarmIdle != 8 || usage.Active() != 0 {
+		t.Fatalf("usage after warm idle: %+v", usage)
+	}
+	if c.Utilization()[0] != 1 {
+		t.Fatal("warm cores must still count as allocated")
+	}
+
+	// A non-reusable job needs cores the warm session holds: placement
+	// must reclaim the idle session instead of failing ErrNoCapacity.
+	small := Job{Tenant: "u", Model: mustModel(t, "mobilenet"), Topology: Chain(3)}
+	rep := submitWait(t, c, small)
+	if rep.Warm {
+		t.Fatal("dispatcher job cannot be warm")
+	}
+	s := c.SessionStats()
+	if s.EvictedPressure < 1 {
+		t.Fatalf("want a pressure eviction, got %+v", s)
+	}
+}
+
+func TestSessionPoolPressureBetweenKeys(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	defer c.Close()
+
+	// Session A holds the whole chip warm; a cold create for session B
+	// must evict it.
+	a := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4), Reusable: true}
+	submitWait(t, c, a)
+	b := Job{Tenant: "t", Model: mustModel(t, "googlenet"), Topology: Mesh(2, 4), Reusable: true}
+	submitWait(t, c, b)
+	s := c.SessionStats()
+	if s.ColdCreates != 2 || s.EvictedPressure < 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSessionContinuousBatching(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}
+	h1, err := c.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started() // session is busy (holder gated on the chip)
+	h2, err := c.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h2 must have attached to h1's session: release the gate for both.
+	gate <- struct{}{}
+	gate <- struct{}{}
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := h2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Warm {
+		t.Fatal("micro-queued job must report warm")
+	}
+	s := c.SessionStats()
+	if s.Batched != 1 || s.ColdCreates != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.WarmHits != 0 {
+		t.Fatalf("batched job must not double-count as warm hit: %+v", s)
+	}
+}
+
+func TestSessionCancelMicroQueuedJob(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}
+	h1, err := c.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+	ctx, cancel := context.WithCancel(context.Background())
+	h2, err := c.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // canceled while waiting in the micro-queue
+	gate <- struct{}{}
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The canceled job must not have held the session: it is idle again.
+	s := c.SessionStats()
+	if s.BusySessions != 0 || s.IdleSessions != 1 {
+		t.Fatalf("session not freed: %+v", s)
+	}
+}
+
+func TestSessionCancelMidRunFreesChip(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Iterations: 64, Reusable: true}
+	h, err := c.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Started()
+	cancel()    // canceled while gated on the chip, before the run loop
+	close(gate) // let execution proceed into the simulator
+	rep, err := h.Wait(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (rep %+v)", err, rep)
+	}
+	// A fresh submission still works: the chip was freed.
+	c.testExecHook = nil
+	submitWait(t, c, Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true})
+}
+
+// TestSessionPooledMatchesNonPooled is the equivalence property: the
+// same sequential job sequence produces identical simulated cycle counts
+// with and without session reuse — resident vNPUs and cached compiled
+// programs are a serving optimization, not a semantic change.
+func TestSessionPooledMatchesNonPooled(t *testing.T) {
+	type step struct {
+		model string
+		topo  *Topology
+	}
+	steps := []step{
+		{"alexnet", Mesh(2, 2)},
+		{"resnet18", Mesh(2, 3)},
+		{"alexnet", Mesh(2, 2)},
+		{"mobilenet", Chain(4)},
+		{"alexnet", Mesh(2, 2)},
+		{"resnet18", Mesh(2, 3)},
+		{"mobilenet", Chain(4)},
+	}
+	run := func(reuse bool) []int64 {
+		var opts []ClusterOption
+		if reuse {
+			opts = append(opts, WithSessionReuse(), WithSessionIdleTTL(time.Hour))
+		}
+		c, err := NewCluster(SimConfig(), 2, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var cycles []int64
+		for _, st := range steps {
+			rep := submitWait(t, c, Job{
+				Tenant:   "t",
+				Model:    mustModel(t, st.model),
+				Topology: st.topo,
+				Reusable: true,
+			})
+			cycles = append(cycles, rep.Cycles)
+		}
+		return cycles
+	}
+	pooled := run(true)
+	plain := run(false)
+	for i := range steps {
+		if pooled[i] != plain[i] {
+			t.Fatalf("step %d (%s): pooled %d cycles, non-pooled %d",
+				i, steps[i].model, pooled[i], plain[i])
+		}
+	}
+}
+
+// TestSessionChurnRace drives mixed reusable traffic from many tenants
+// at a small cluster under capacity pressure; run with -race. It checks
+// the serving invariants, not timing: every job resolves, and the pool
+// drains cleanly on Close.
+func TestSessionChurnRace(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 2,
+		WithSessionMaxIdle(3), WithQueueDepth(256))
+	models := []string{"alexnet", "mobilenet", "resnet18"}
+	topos := []*Topology{Mesh(2, 2), Chain(3), Mesh(2, 3)}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := (g + i) % len(models)
+				job := Job{
+					Tenant:   fmt.Sprintf("tenant-%d", g%3),
+					Model:    mustModel(t, models[k]),
+					Topology: topos[k],
+					Reusable: i%2 == 0,
+				}
+				h, err := c.Submit(context.Background(), job)
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						errs <- err
+					}
+					continue
+				}
+				if _, err := h.Wait(context.Background()); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.SessionStats()
+	if s.BusySessions != 0 || s.IdleSessions != 0 {
+		t.Fatalf("sessions survived Close: %+v", s)
+	}
+}
+
+// TestDispatcherReclaimsIdleSessionMemory exercises the Reclaim hook:
+// an idle warm session holds most of the chip's HBM (but not its cores),
+// so ranking accepts the chip and the failure only appears at create
+// time, in the buddy allocator. The dispatcher must evict the idle
+// session and retry instead of failing the job terminally.
+func TestDispatcherReclaimsIdleSessionMemory(t *testing.T) {
+	cfg := FPGAConfig()
+	pool := uint64(1) << (63 - bits.LeadingZeros64(uint64(cfg.HBMCapacityBytes)))
+	mem := pool/2 + pool/4 // 3/4 of the buddy pool: two such vNPUs cannot coexist
+	c := newReuseCluster(t, cfg, 1)
+	defer c.Close()
+
+	m := mustModel(t, "alexnet")
+	warm := Job{Tenant: "t", Model: m, Topology: Mesh(2, 2), Reusable: true,
+		Options: []Option{WithMemory(mem)}}
+	submitWait(t, c, warm)
+
+	// 4 of 8 cores are free, so placement ranks the chip fine; only the
+	// buddy allocator can reject this one.
+	oneShot := Job{Tenant: "u", Model: m, Topology: Mesh(2, 2),
+		Options: []Option{WithMemory(mem)}}
+	submitWait(t, c, oneShot)
+	if s := c.SessionStats(); s.EvictedPressure < 1 {
+		t.Fatalf("want a pressure eviction for held memory, got %+v", s)
+	}
+}
+
+func TestSessionQuotaSharedWithDispatcher(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1, WithTenantQuota(1))
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	// One reusable job holds tenant t's single quota slot on the session
+	// path...
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}
+	h, err := c.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...so both paths must reject further t jobs: quota is one shared
+	// counter, not per-path.
+	if _, err := c.Submit(context.Background(), job); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("session path: want ErrQuotaExceeded, got %v", err)
+	}
+	oneShot := Job{Tenant: "t", Model: mustModel(t, "mobilenet"), Topology: Chain(3)}
+	if _, err := c.Submit(context.Background(), oneShot); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("dispatcher path: want ErrQuotaExceeded, got %v", err)
+	}
+	// Another tenant is unaffected.
+	if _, err := c.Submit(context.Background(), Job{Tenant: "u", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}); err != nil {
+		t.Fatalf("tenant u: %v", err)
+	}
+	close(gate)
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The finished job's slot frees: t can submit again.
+	if _, err := c.Submit(context.Background(), job); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestSessionTTLExpiryReturnsCapacity(t *testing.T) {
+	c, err := NewCluster(FPGAConfig(), 1,
+		WithSessionReuse(), WithSessionIdleTTL(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true}
+	submitWait(t, c, job)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := c.SessionStats(); s.EvictedTTL >= 1 && s.IdleSessions == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TTL eviction never happened: %+v", c.SessionStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Utilization()[0]; got != 0 {
+		t.Fatalf("cores not returned after TTL eviction: %v", got)
+	}
+}

@@ -1,9 +1,11 @@
 package vnpu
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/npu"
 	"github.com/vnpu-sim/vnpu/internal/workload"
 )
@@ -78,19 +80,81 @@ type Report struct {
 // created without Request.MemoryBytes cannot hold any; size the request
 // with System.ModelMemoryBytes before Create.
 func (s *System) RunModel(v *VirtualNPU, m Model, iters int) (Report, error) {
+	return s.RunModelContext(context.Background(), v, m, iters)
+}
+
+// RunModelContext is RunModel with cancellation: the simulator's
+// execution loop polls ctx between timeline events and aborts with its
+// error, so canceling a long-running job frees the chip promptly rather
+// than after the full simulated workload.
+func (s *System) RunModelContext(ctx context.Context, v *VirtualNPU, m Model, iters int) (Report, error) {
+	cm, err := s.CompileFor(v, m)
+	if err != nil {
+		return Report{}, err
+	}
+	return s.RunCompiled(ctx, v, cm, iters)
+}
+
+// CompiledModel is a model compiled for one specific virtual NPU: its
+// instruction streams address the vNPU's core count and guest memory
+// base. A resident session reuses it across jobs (compile-once), which
+// is only sound on the vNPU it was compiled for — RunCompiled enforces
+// that.
+type CompiledModel struct {
+	prog        *isa.Program
+	model       string
+	cores       int
+	vaBase      uint64
+	memBytes    uint64
+	weightBytes int64
+	streaming   bool
+}
+
+// Model reports the compiled model's name.
+func (cm *CompiledModel) Model() string { return cm.model }
+
+// Streaming reports whether the compiled program re-streams weights
+// every iteration (small-scratchpad regime).
+func (cm *CompiledModel) Streaming() bool { return cm.streaming }
+
+// CompileFor compiles the model for the given virtual NPU, validating
+// that the vNPU's memory holds the compiled footprint (ErrMemoryExceeded
+// otherwise). The result can be executed any number of times with
+// RunCompiled — the serving layer's resident sessions compile once per
+// (session, model) and skip this cost on every warm job.
+func (s *System) CompileFor(v *VirtualNPU, m Model) (*CompiledModel, error) {
 	prog, info, err := workload.Compile(m, workload.CompileOptions{
 		Cores:           v.NumCores(),
 		VABase:          v.MemBase(),
 		WeightZoneBytes: s.weightZone(),
 	})
 	if err != nil {
-		return Report{}, err
+		return nil, err
 	}
 	if uint64(info.MemBytes) > v.MemBytes() {
-		return Report{}, fmt.Errorf("vnpu: model %q needs %d bytes, vNPU has %d (set Request.MemoryBytes, e.g. from System.ModelMemoryBytes): %w",
+		return nil, fmt.Errorf("vnpu: model %q needs %d bytes, vNPU has %d (set Request.MemoryBytes, e.g. from System.ModelMemoryBytes): %w",
 			m.Name, info.MemBytes, v.MemBytes(), ErrMemoryExceeded)
 	}
-	res, err := s.dev.Run(prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters})
+	return &CompiledModel{
+		prog:        prog,
+		model:       m.Name,
+		cores:       v.NumCores(),
+		vaBase:      v.MemBase(),
+		memBytes:    info.MemBytes,
+		weightBytes: m.WeightBytes(),
+		streaming:   info.Streaming,
+	}, nil
+}
+
+// RunCompiled executes a precompiled model on the virtual NPU it was
+// compiled for; a mismatched vNPU (different core count or memory base)
+// is rejected rather than silently mis-addressed.
+func (s *System) RunCompiled(ctx context.Context, v *VirtualNPU, cm *CompiledModel, iters int) (Report, error) {
+	if cm.cores != v.NumCores() || cm.vaBase != v.MemBase() {
+		return Report{}, fmt.Errorf("vnpu: model %q was compiled for %d cores at VA 0x%x, vNPU has %d cores at 0x%x",
+			cm.model, cm.cores, cm.vaBase, v.NumCores(), v.MemBase())
+	}
+	res, err := s.dev.Run(cm.prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters, Ctx: ctx})
 	if err != nil {
 		return Report{}, err
 	}
@@ -98,9 +162,19 @@ func (s *System) RunModel(v *VirtualNPU, m Model, iters int) (Report, error) {
 		Cycles:       int64(res.Cycles),
 		Iterations:   res.Iterations,
 		FPS:          res.FPSAt(s.dev.Config().FreqMHz),
-		WarmupCycles: int64(v.WarmupCycles(m.WeightBytes())),
-		Streaming:    info.Streaming,
+		WarmupCycles: int64(v.WarmupCycles(cm.weightBytes)),
+		Streaming:    cm.streaming,
 	}, nil
+}
+
+// ResetTransients clears the vNPU's per-job microarchitectural
+// transients (translation TLBs, RTT lookup hints, bandwidth-cap
+// buckets). The serving layer calls it — together with the chip-wide
+// timing reset — before every job on a resident vNPU, so a reused vNPU
+// is cycle-identical to a freshly created one. It must not run while a
+// job executes on the vNPU.
+func (s *System) ResetTransients(v *VirtualNPU) {
+	s.dev.ResetCoreTransients(v.Nodes())
 }
 
 // ModelMemoryBytes reports the global memory a model needs on a virtual
