@@ -411,6 +411,94 @@ func BenchmarkClusterThroughputReuse(b *testing.B) {
 	b.ReportMetric(cluster.SessionStats().HitRate()*100, "%warm")
 }
 
+// BenchmarkClusterThroughputPriority is BenchmarkClusterThroughput under
+// a priority-mix workload (10% critical, 20% high, 40% normal, 30%
+// best-effort, round-robin over the same model/topology mix): aggregate
+// throughput must stay close to the FIFO-era baseline while the
+// scheduler core reorders admission. The reported p99 ratio is
+// best-effort p99 queueing latency over critical p99 (higher = stronger
+// differentiation).
+func BenchmarkClusterThroughputPriority(b *testing.B) {
+	cluster, err := NewCluster(SimConfig(), 4, WithQueueDepth(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+
+	type mix struct {
+		model Model
+		topo  *Topology
+	}
+	names := []string{"alexnet", "resnet18", "mobilenet", "googlenet", "resnet34", "gpt2-small"}
+	topos := []*Topology{Mesh(2, 2), Mesh(2, 3), Mesh(3, 3), Mesh(3, 4), Chain(4), Mesh(2, 3)}
+	mixes := make([]mix, len(names))
+	for i, n := range names {
+		m, err := ModelByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mixes[i] = mix{m, topos[i]}
+	}
+	// Deterministic mix over 10 slots: 1 critical, 2 high, 4 normal, 3
+	// best-effort.
+	prioOf := func(i int) Priority {
+		switch i % 10 {
+		case 0:
+			return PriorityCritical
+		case 1, 2:
+			return PriorityHigh
+		case 3, 4, 5, 6:
+			return PriorityNormal
+		default:
+			return PriorityBestEffort
+		}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	b.ResetTimer()
+	var handles []*Handle
+	for i := 0; i < b.N; i++ {
+		mx := mixes[i%len(mixes)]
+		job := Job{
+			Tenant:   fmt.Sprintf("tenant-%02d", i%64),
+			Model:    mx.model,
+			Topology: mx.topo,
+			Priority: prioOf(i),
+		}
+		for {
+			h, err := cluster.Submit(ctx, job)
+			if err == nil {
+				handles = append(handles, h)
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				b.Fatal(err)
+			}
+			if len(handles) > 0 {
+				if _, werr := handles[0].Wait(ctx); werr != nil {
+					b.Fatal(werr)
+				}
+				handles = handles[1:]
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	for _, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+	ss := cluster.SchedStats()
+	crit := ss.Classes[PriorityCritical.class()].P99Wait
+	be := ss.Classes[PriorityBestEffort.class()].P99Wait
+	if crit > 0 {
+		b.ReportMetric(float64(be)/float64(crit), "p99_be/crit")
+	}
+}
+
 // Ablation and extension benches: the design-space probes beyond the
 // paper's own figures (see DESIGN.md).
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
@@ -85,16 +86,31 @@ type Cluster struct {
 	// a true occupancy (<= 100%).
 	execWait []time.Duration
 
+	// defaultPriority is the class PriorityDefault resolves to;
+	// priorityCaps clamps specific tenants' classes (see
+	// WithTenantPriorityCap). Both are read-only after NewCluster.
+	defaultPriority Priority
+	priorityCaps    map[string]Priority
+
 	// seenMu guards seen, the auto-promotion memory: session keys
 	// submitted more than once route through the pool even without
 	// Job.Reusable.
 	seenMu sync.Mutex
 	seen   map[session.Key]uint8
 
-	// memMu guards memBytes, the Submit-side memoization of model memory
-	// footprints (see modelMemoryBytes).
-	memMu    sync.Mutex
-	memBytes map[memoKey]uint64
+	// prewarmSem bounds the speculative placement-prewarm goroutines the
+	// dispatcher's Prewarm hook may have in flight; when all slots are
+	// busy the speculation is simply dropped.
+	prewarmSem chan struct{}
+
+	// progMu guards progs, the compiled-program cache keyed by (model
+	// fingerprint, core count, weight zone): admission sizing compiles a
+	// workload once and keeps the sized program, and every later
+	// execution at the same shape — cold session creates and one-shot
+	// dispatcher jobs alike — reuses it, rebased to its vNPU's memory
+	// base, instead of recompiling (see compileFor).
+	progMu sync.Mutex
+	progs  map[progKey]*progEntry
 
 	// testExecHook, when set before any Submit, runs at the start of every
 	// job execution — a test seam for holding jobs on their chips.
@@ -123,14 +139,17 @@ type ChipSpec struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	queueDepth   int
-	tenantQuota  int
-	specs        []ChipSpec
-	cacheSize    *int
-	sessionReuse bool
-	sessionTTL   time.Duration
-	sessionIdle  int
-	sessionMicro int
+	queueDepth      int
+	tenantQuota     int
+	specs           []ChipSpec
+	cacheSize       *int
+	sessionReuse    bool
+	sessionTTL      time.Duration
+	sessionIdle     int
+	sessionMicro    int
+	defaultPriority Priority
+	priorityCaps    map[string]Priority
+	agingRounds     int
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -192,14 +211,20 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		}
 	}
 	c := &Cluster{
-		systems:      make([]*System, len(specs)),
-		execMu:       make([]sync.Mutex, len(specs)),
-		memBytes:     make(map[memoKey]uint64),
-		sessChipJobs: make([]int, len(specs)),
-		sessChipBusy: make([]time.Duration, len(specs)),
-		execWait:     make([]time.Duration, len(specs)),
-		seen:         make(map[session.Key]uint8),
-		capFreed:     make(chan struct{}, 1),
+		systems:         make([]*System, len(specs)),
+		execMu:          make([]sync.Mutex, len(specs)),
+		progs:           make(map[progKey]*progEntry),
+		prewarmSem:      make(chan struct{}, prewarmWorkers),
+		sessChipJobs:    make([]int, len(specs)),
+		sessChipBusy:    make([]time.Duration, len(specs)),
+		execWait:        make([]time.Duration, len(specs)),
+		seen:            make(map[session.Key]uint8),
+		capFreed:        make(chan struct{}, 1),
+		defaultPriority: cc.defaultPriority,
+		priorityCaps:    cc.priorityCaps,
+	}
+	if c.defaultPriority == PriorityDefault {
+		c.defaultPriority = PriorityNormal
 	}
 	engineChips := make([]place.Chip, len(specs))
 	for i, spec := range specs {
@@ -246,6 +271,8 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		sched.Config{
 			Chips:       len(specs),
 			QueueDepth:  cc.queueDepth,
+			Classes:     NumPriorityClasses,
+			AgingRounds: cc.agingRounds,
 			TenantQuota: cc.tenantQuota,
 			// The two serving paths share the chips: busy sessions keep an
 			// unplaceable dispatcher job parked (their release Kicks)
@@ -262,11 +289,13 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	if err != nil {
 		return nil, err
 	}
+	disp.SetPrewarm(c.prewarmPlacement)
 	c.disp = disp
 	if cc.sessionReuse {
 		pool, err := session.New[*sessRes, *sessTask](session.Config[*sessRes]{
 			Destroy:         c.destroySession,
 			Cores:           func(r *sessRes) int { return r.v.NumCores() },
+			Priority:        func(r *sessRes) int { return r.class },
 			IsCapacity:      capacityCurable,
 			MaxIdle:         cc.sessionIdle,
 			TTL:             cc.sessionTTL,
@@ -284,20 +313,56 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	return c, nil
 }
 
+// prewarmWorkers bounds concurrent speculative placement computations.
+const prewarmWorkers = 4
+
+// prewarmPlacement is the dispatcher's speculation hook: compute (and
+// cache) the job's placement scores against the current free sets on a
+// spare goroutine. Never blocks — with every worker slot busy the
+// speculation is dropped, and the engine's single-flight dedups a
+// speculative computation racing the dispatcher's own.
+func (c *Cluster) prewarmPlacement(job Job) {
+	select {
+	case c.prewarmSem <- struct{}{}:
+	default:
+		return
+	}
+	go func() {
+		defer func() { <-c.prewarmSem }()
+		c.engine.Prewarm(placeRequest(job.request()))
+	}()
+}
+
 // chipCap is one chip's admission-relevant limits.
 type chipCap struct {
 	cores int
 	mem   uint64
 }
 
-// memoKey identifies a model's memory footprint: the name plus a content
+// progKey identifies a compiled program: the model name plus a content
 // fingerprint over the layer structure, so two different caller-built
-// models sharing a name (or aggregate totals) do not alias, and the
-// pipeline width, which changes the per-core partition.
-type memoKey struct {
-	name     string
-	modelSig uint64
-	cores    int
+// models sharing a name (or aggregate totals) do not alias; the pipeline
+// width, which changes the per-core partition; and the chip's weight
+// zone, which flips the compiler's streaming decision on heterogeneous
+// fleets.
+type progKey struct {
+	name       string
+	modelSig   uint64
+	cores      int
+	weightZone int64
+}
+
+// progEntry is one cached compiled program with its resource layout. The
+// program addresses a guest region starting at vaBase; compileFor
+// rebases it to the target vNPU's memory base on reuse, so one
+// compilation serves every create at the same shape (ROADMAP
+// "compile-once execution").
+type progEntry struct {
+	prog        *isa.Program
+	vaBase      uint64
+	memBytes    uint64
+	weightBytes int64
+	streaming   bool
 }
 
 // modelSignature fingerprints the model content that determines its
@@ -327,49 +392,137 @@ func modelSignature(m Model) uint64 {
 	return h.Sum64()
 }
 
-// modelMemoryBytes sizes a model's global-memory footprint for the given
-// core count, memoized per (model fingerprint, core count) so repeated
-// submissions of the same workload stop recompiling it at admission. The
-// caller supplies the fingerprint, which Submit computes once and shares
-// with the session-key computation. The footprint (input + weights +
-// output) is chip-invariant — per-chip scratchpad differences only flip
-// the compiler's streaming decision — so any chip can size it.
-func (c *Cluster) modelMemoryBytes(m Model, sig uint64, cores int) (uint64, error) {
-	key := memoKey{name: m.Name, modelSig: sig, cores: cores}
-	c.memMu.Lock()
-	bytes, ok := c.memBytes[key]
-	c.memMu.Unlock()
-	if ok {
-		return bytes, nil
+// compileCached compiles the model for the given shape on one chip —
+// served from the program cache when the shape was compiled before
+// (admission sizing or an earlier create), so one compilation covers the
+// whole cluster's traffic at that shape. vaBase is the guest memory base
+// the caller wants the program addressed at; a cached program compiled at
+// a different base is rebased (a cheap instruction-stream copy), never
+// recompiled.
+func (c *Cluster) compileCached(chip int, m Model, sig uint64, cores int, vaBase uint64) (*progEntry, error) {
+	sys := c.systems[chip]
+	key := progKey{name: m.Name, modelSig: sig, cores: cores, weightZone: sys.weightZone()}
+	c.progMu.Lock()
+	ent, ok := c.progs[key]
+	c.progMu.Unlock()
+	if !ok {
+		prog, info, err := sys.compileAt(m, cores, vaBase)
+		if err != nil {
+			return nil, err
+		}
+		ent = &progEntry{
+			prog:        prog,
+			vaBase:      vaBase,
+			memBytes:    info.MemBytes,
+			weightBytes: info.WeightBytes,
+			streaming:   info.Streaming,
+		}
+		c.progMu.Lock()
+		// Bound the cache so distinct caller-built models cannot grow it
+		// forever; evicting an arbitrary entry is fine for a recomputable
+		// cache under steady traffic of few shapes. A racing compile of
+		// the same key keeps whichever entry lands last — both are valid.
+		if len(c.progs) >= progLimit {
+			for k := range c.progs {
+				delete(c.progs, k)
+				break
+			}
+		}
+		c.progs[key] = ent
+		c.progMu.Unlock()
 	}
-	bytes, err := c.systems[0].ModelMemoryBytes(m, cores)
+	if ent.vaBase == vaBase {
+		return ent, nil
+	}
+	return &progEntry{
+		prog:        ent.prog.Rebase(ent.vaBase, vaBase),
+		vaBase:      vaBase,
+		memBytes:    ent.memBytes,
+		weightBytes: ent.weightBytes,
+		streaming:   ent.streaming,
+	}, nil
+}
+
+// compileFor is the serving-path replacement for System.CompileFor: it
+// resolves the job's program through the cluster's compile-once cache
+// and validates it against the target vNPU, so cold session creates and
+// repeat one-shot jobs skip the compiler entirely.
+func (c *Cluster) compileFor(chip int, v *VirtualNPU, m Model, sig uint64) (*CompiledModel, error) {
+	ent, err := c.compileCached(chip, m, sig, v.NumCores(), v.MemBase())
+	if err != nil {
+		return nil, err
+	}
+	if ent.memBytes > v.MemBytes() {
+		return nil, fmt.Errorf("vnpu: model %q needs %d bytes, vNPU has %d (set Request.MemoryBytes, e.g. from System.ModelMemoryBytes): %w",
+			m.Name, ent.memBytes, v.MemBytes(), ErrMemoryExceeded)
+	}
+	return &CompiledModel{
+		prog:        ent.prog,
+		model:       m.Name,
+		cores:       v.NumCores(),
+		vaBase:      v.MemBase(),
+		memBytes:    ent.memBytes,
+		weightBytes: ent.weightBytes,
+		streaming:   ent.streaming,
+	}, nil
+}
+
+// modelMemoryBytes sizes a model's global-memory footprint for the given
+// core count. The sizing compilation is not discarded: it lands in the
+// program cache (keyed by model fingerprint, core count and weight
+// zone), so the later cold create at the same shape reuses the program
+// instead of recompiling. The caller supplies the fingerprint, which
+// Submit computes once and shares with the session-key computation. The
+// footprint (input + weights + output) is chip-invariant — per-chip
+// scratchpad differences only flip the compiler's streaming decision —
+// so chip 0 can size it.
+func (c *Cluster) modelMemoryBytes(m Model, sig uint64, cores int) (uint64, error) {
+	ent, err := c.compileCached(0, m, sig, cores, 0)
 	if err != nil {
 		return 0, err
 	}
-	c.memMu.Lock()
-	// Bound the memo so distinct caller-built models cannot grow it
-	// forever; evicting an arbitrary entry is fine for a recomputable
-	// memo under steady traffic of few shapes.
-	if len(c.memBytes) >= memoLimit {
-		for k := range c.memBytes {
-			delete(c.memBytes, k)
-			break
-		}
-	}
-	c.memBytes[key] = bytes
-	c.memMu.Unlock()
-	return bytes, nil
+	return ent.memBytes, nil
 }
 
-// memoLimit bounds the admission memo (distinct model/core-count pairs).
-const memoLimit = 4096
+// progLimit bounds the program cache (distinct model/shape pairs).
+const progLimit = 1024
+
+// resolvePriority applies the cluster default, the tenant's class cap
+// and range clamping, returning the job's effective class.
+func (c *Cluster) resolvePriority(job Job) Priority {
+	p := job.Priority
+	if p == PriorityDefault {
+		p = c.defaultPriority
+	}
+	if p < PriorityBestEffort {
+		p = PriorityBestEffort
+	}
+	if p > PriorityCritical {
+		p = PriorityCritical
+	}
+	if cap, ok := c.priorityCaps[job.tenant()]; ok && p > cap {
+		if cap < PriorityBestEffort {
+			cap = PriorityBestEffort
+		}
+		p = cap
+	}
+	return p
+}
 
 // Submit validates the job, applies admission control and enqueues it,
 // returning immediately. Admission errors wrap ErrQueueFull,
-// ErrQuotaExceeded or ErrDestroyed (closed cluster); a malformed job (nil
-// topology, invalid model) fails with a plain validation error. The
-// context governs the job's whole lifetime: canceling it abandons the job
-// whether queued or awaiting capacity.
+// ErrQuotaExceeded, ErrDeadlineExceeded (Job.Deadline already passed) or
+// ErrDestroyed (closed cluster); a malformed job (nil topology, invalid
+// model) fails with a plain validation error. The context governs the
+// job's whole lifetime: canceling it abandons the job whether queued or
+// awaiting capacity.
+//
+// Admission order is owned by one scheduler core across both serving
+// paths: higher Priority classes place first (with aging protecting
+// lower classes from starvation), earlier Deadlines first within a
+// class, admission order last — and session-eligible jobs cannot outrun
+// older queued one-shot jobs of equal-or-higher class (they wait their
+// turn on a shared sequence ticket).
 func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 	if job.Topology == nil || job.Topology.NumNodes() == 0 {
 		return nil, fmt.Errorf("vnpu: job needs a topology")
@@ -377,6 +530,10 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 	if err := job.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("vnpu: job model: %w", err)
 	}
+	// Resolve the scheduling class once; everything downstream (queue
+	// order, session eviction weight, per-class stats, JobReport) reads
+	// the resolved value.
+	job.Priority = c.resolvePriority(job)
 	// A topology larger than the largest chip can never be placed; reject
 	// it here rather than letting it head-of-line-block the FIFO
 	// dispatcher until the cluster drains.
@@ -384,9 +541,10 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 		return nil, fmt.Errorf("vnpu: job topology needs %d cores, largest chip has %d: %w",
 			n, c.maxCores, ErrTopologyUnsatisfiable)
 	}
-	// The model fingerprint keys both the memory memo and the session
+	// The model fingerprint keys the program cache and the session
 	// class; hash the model once per Submit and share it.
 	modelSig := modelSignature(job.Model)
+	job.modelSig = modelSig
 	// Size the job's memory from its model once, up front on the caller's
 	// goroutine — memoized across submissions, so steady-state admission
 	// does not recompile the workload at all. Place must never compile on
@@ -426,7 +584,7 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 			return c.submitSession(ctx, job, req, key)
 		}
 	}
-	h, err := c.disp.Submit(ctx, job.tenant(), job)
+	h, err := c.disp.Submit(ctx, job.tenant(), job.Priority.class(), job.Deadline, job)
 	if err != nil {
 		return nil, err
 	}
@@ -499,13 +657,33 @@ type ClusterStats struct {
 	ChipBusy []time.Duration
 }
 
+// SchedStats is a per-class snapshot of the scheduler core: submissions,
+// completions, deadline misses, queued-work displacements, aging
+// promotions and p50/p99 queueing latency per priority class, covering
+// BOTH serving paths. Index it with Priority.class-order (0 =
+// PriorityBestEffort ... 3 = PriorityCritical).
+type SchedStats = metrics.SchedStats
+
+// SchedStats returns the per-class scheduler counters.
+func (c *Cluster) SchedStats() SchedStats {
+	return SchedStats{Classes: c.disp.Stats().PerClass}
+}
+
 // Stats returns a snapshot of the cluster's serving counters, covering
 // both serving paths: dispatcher jobs and session-pool jobs alike count
 // toward Submitted/Completed/Failed and the per-chip totals.
 func (c *Cluster) Stats() ClusterStats {
-	// Structural conversion: ClusterStats mirrors sched.Stats field for
-	// field, and the dispatcher already returns defensive slice copies.
-	s := ClusterStats(c.disp.Stats())
+	ds := c.disp.Stats()
+	// The dispatcher already returns defensive slice copies.
+	s := ClusterStats{
+		Submitted:         ds.Submitted,
+		RejectedQueueFull: ds.RejectedQueueFull,
+		RejectedQuota:     ds.RejectedQuota,
+		Completed:         ds.Completed,
+		Failed:            ds.Failed,
+		ChipJobs:          ds.ChipJobs,
+		ChipBusy:          ds.ChipBusy,
+	}
 	c.sessMu.Lock()
 	s.Submitted += c.sessSubmitted
 	s.Completed += c.sessCompleted
@@ -567,22 +745,38 @@ func (e *clusterExec) Rank(job Job) ([]sched.Candidate, error) {
 			}
 			return nil, err
 		}
-		out := make([]sched.Candidate, len(cands))
-		for i, c := range cands {
-			backlog := float64(e.disp.Backlog(c.Chip))
-			usage := (*Cluster)(e).coreUsage(c.Chip)
-			out[i] = sched.Candidate{
-				Chip: c.Chip,
-				Score: sched.Score{
-					Cost:  c.Cost,
-					Price: c.Price,
-					Load:  (usage.ActiveFraction() + backlog/(backlog+1)) / 2,
-					Warm:  usage.WarmFraction(),
-				},
-			}
-		}
-		return out, nil
+		return e.scoreCandidates(cands), nil
 	}
+}
+
+// scoreCandidates folds the load and warm terms into the engine's
+// cost/price candidates (see Rank for the semantics of each term).
+func (e *clusterExec) scoreCandidates(cands []place.Candidate) []sched.Candidate {
+	out := make([]sched.Candidate, len(cands))
+	for i, c := range cands {
+		backlog := float64(e.disp.Backlog(c.Chip))
+		usage := (*Cluster)(e).coreUsage(c.Chip)
+		out[i] = sched.Candidate{
+			Chip: c.Chip,
+			Score: sched.Score{
+				Cost:  c.Cost,
+				Price: c.Price,
+				Load:  (usage.ActiveFraction() + backlog/(backlog+1)) / 2,
+				Warm:  usage.WarmFraction(),
+			},
+		}
+	}
+	return out
+}
+
+// RankCached is the dispatcher's backfill rank: only chips whose mapping
+// for the job is already cached (and valid under the current free sets)
+// qualify, and no mapping is ever computed — an opportunistic
+// out-of-order placement must be free to evaluate, or backfilling would
+// serialize mapper work behind the head-of-line job it is meant to
+// bypass.
+func (e *clusterExec) RankCached(job Job) []sched.Candidate {
+	return e.scoreCandidates(e.engine.PlaceCached(placeRequest(job.request())))
 }
 
 // Place creates the job's vNPU on the chosen chip, reusing the engine's
@@ -608,7 +802,10 @@ func (e *clusterExec) Place(chip int, job Job) (*VirtualNPU, error) {
 	return v, nil
 }
 
-// Execute runs the job on its placed vNPU. The chip's transient timing
+// Execute runs the job on its placed vNPU. The program comes from the
+// cluster's compile-once cache — admission sizing already compiled the
+// shape, so repeat one-shot traffic runs a cached program rebased to its
+// vNPU instead of recompiling per job. The chip's transient timing
 // state is reset first: each time-multiplexed job gets a fresh cycle
 // timeline. Execution on a chip is serialized by execMu — the worker
 // goroutine alone no longer suffices, since session goroutines execute
@@ -622,12 +819,24 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 		return JobReport{}, err
 	}
 	sys := e.systems[chip]
+	sig := job.modelSig
+	if sig == 0 {
+		// Defensive: only Submit-built jobs carry the fingerprint.
+		sig = modelSignature(job.Model)
+	}
+	// Resolve the program before taking the chip: a cache hit costs a
+	// map lookup (plus a rebase copy), and a miss compiles without
+	// holding up whatever session traffic shares the chip.
+	cm, err := (*Cluster)(e).compileFor(chip, v, job.Model, sig)
+	if err != nil {
+		return JobReport{}, err
+	}
 	enter := time.Now()
 	e.execMu[chip].Lock()
 	locked := time.Now()
 	sys.dev.ResetTiming()
 	sys.ResetTransients(v)
-	rep, err := sys.RunModelContext(ctx, v, job.Model, job.Iterations)
+	rep, err := sys.RunCompiled(ctx, v, cm, job.Iterations)
 	held := time.Since(locked)
 	e.execMu[chip].Unlock()
 	// The chip worker's busy clock wraps this whole call, but only the
@@ -646,11 +855,12 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 		return JobReport{}, err
 	}
 	return JobReport{
-		Report:  rep,
-		Chip:    chip,
-		Tenant:  job.tenant(),
-		Model:   job.Model.Name,
-		MapCost: v.MapCost(),
+		Report:   rep,
+		Chip:     chip,
+		Tenant:   job.tenant(),
+		Model:    job.Model.Name,
+		MapCost:  v.MapCost(),
+		Priority: job.Priority,
 	}, nil
 }
 

@@ -520,10 +520,11 @@ func TestClusterPlacementCacheServesRepeatTraffic(t *testing.T) {
 	}
 }
 
-// TestClusterMemoizesModelSizing: admission compiles a given (model, core
-// count) workload once; subsequent submissions reuse the memoized
-// footprint instead of recompiling.
-func TestClusterMemoizesModelSizing(t *testing.T) {
+// TestClusterCompilesModelOnce: admission compiles a given (model, core
+// count) workload once and keeps the sized program; subsequent
+// submissions — including the executions themselves — reuse the cached
+// program (rebased to their vNPU's memory base) instead of recompiling.
+func TestClusterCompilesModelOnce(t *testing.T) {
 	cluster, err := NewCluster(SimConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -541,13 +542,13 @@ func TestClusterMemoizesModelSizing(t *testing.T) {
 		}
 		handles = append(handles, h)
 	}
-	cluster.memMu.Lock()
-	entries := len(cluster.memBytes)
-	cluster.memMu.Unlock()
+	cluster.progMu.Lock()
+	entries := len(cluster.progs)
+	cluster.progMu.Unlock()
 	if entries != 1 {
-		t.Fatalf("memo holds %d entries after 3 identical submissions, want 1", entries)
+		t.Fatalf("program cache holds %d entries after 3 identical submissions, want 1", entries)
 	}
-	// A different core count is a different footprint.
+	// A different core count is a different program.
 	h, err := cluster.Submit(context.Background(), Job{
 		Tenant: "a", Model: model, Topology: Mesh(2, 2),
 	})
@@ -555,16 +556,26 @@ func TestClusterMemoizesModelSizing(t *testing.T) {
 		t.Fatal(err)
 	}
 	handles = append(handles, h)
-	cluster.memMu.Lock()
-	entries = len(cluster.memBytes)
-	cluster.memMu.Unlock()
-	if entries != 2 {
-		t.Fatalf("memo holds %d entries after a second shape, want 2", entries)
-	}
+	var reps []JobReport
 	for i, h := range handles {
-		if _, err := h.Wait(context.Background()); err != nil {
+		rep, err := h.Wait(context.Background())
+		if err != nil {
 			t.Fatalf("job %d: %v", i, err)
 		}
+		reps = append(reps, rep)
+	}
+	cluster.progMu.Lock()
+	entries = len(cluster.progs)
+	cluster.progMu.Unlock()
+	if entries != 2 {
+		t.Fatalf("program cache holds %d entries after a second shape, want 2", entries)
+	}
+	// Execution did not add entries beyond sizing: the runs were served
+	// from the admission-compiled programs, and the cached program is
+	// cycle-identical run to run.
+	if reps[0].Cycles != reps[1].Cycles || reps[1].Cycles != reps[2].Cycles {
+		t.Fatalf("cached program changed cycles: %d / %d / %d",
+			reps[0].Cycles, reps[1].Cycles, reps[2].Cycles)
 	}
 }
 
@@ -585,5 +596,105 @@ func TestHandleWaitTimeout(t *testing.T) {
 	release()
 	if _, err := h.Wait(context.Background()); err != nil {
 		t.Fatalf("job should have survived the abandoned wait: %v", err)
+	}
+}
+
+// TestClusterPriorityResolution: PriorityDefault resolves to the cluster
+// default, WithDefaultPriority overrides it, WithTenantPriorityCap
+// clamps a tenant's class, and the resolved class is echoed in the
+// JobReport.
+func TestClusterPriorityResolution(t *testing.T) {
+	cluster, err := NewCluster(FPGAConfig(), 1,
+		WithTenantPriorityCap("batch", PriorityBestEffort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	submitPrio := func(tenant string, p Priority) Priority {
+		t.Helper()
+		h, err := cluster.Submit(context.Background(), Job{
+			Tenant: tenant, Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Priority: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Priority
+	}
+	if got := submitPrio("a", PriorityDefault); got != PriorityNormal {
+		t.Fatalf("default resolved to %v, want PriorityNormal", got)
+	}
+	if got := submitPrio("a", PriorityCritical); got != PriorityCritical {
+		t.Fatalf("explicit priority resolved to %v, want PriorityCritical", got)
+	}
+	if got := submitPrio("batch", PriorityCritical); got != PriorityBestEffort {
+		t.Fatalf("capped tenant resolved to %v, want PriorityBestEffort", got)
+	}
+
+	hi, err := NewCluster(FPGAConfig(), 1, WithDefaultPriority(PriorityHigh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hi.Close()
+	h, err := hi.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Priority != PriorityHigh {
+		t.Fatalf("cluster default resolved to %v, want PriorityHigh", rep.Priority)
+	}
+	// Per-class accounting surfaced it.
+	ss := hi.SchedStats()
+	if cs := ss.Classes[PriorityHigh.class()]; cs.Completed != 1 {
+		t.Fatalf("per-class stats: %+v", ss.Classes)
+	}
+}
+
+// TestClusterDeadlineExceededTyped: a job whose Deadline passes before
+// placement fails errors.Is-matchably on both serving paths, and a
+// deadline already in the past is rejected at Submit.
+func TestClusterDeadlineExceededTyped(t *testing.T) {
+	cluster, release := holdCluster(t)
+	defer release()
+
+	past := Job{Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+		Deadline: time.Now().Add(-time.Second)}
+	if _, err := cluster.Submit(context.Background(), past); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("past deadline at submit: got %v, want ErrDeadlineExceeded", err)
+	}
+
+	// Occupy the chip, then queue a job with a tight deadline: it must
+	// fail fast with the typed error while the blocker keeps running.
+	blocker, err := cluster.Submit(context.Background(), fullChipJob(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	h, err := cluster.Submit(context.Background(), Job{
+		Tenant: "a", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2),
+		Deadline: time.Now().Add(25 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued past deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+	if got := cluster.SchedStats().DeadlineMisses(); got < 2 {
+		t.Fatalf("deadline misses = %d, want >= 2", got)
+	}
+	release()
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -3,9 +3,16 @@
 // from many tenants and reports throughput, queueing-latency percentiles
 // and per-chip utilization — the serving analogue of cmd/vnpu-experiments.
 //
+// With -priomix the trace carries a priority mix (10% critical, 20%
+// high, 40% normal, 30% best-effort, drawn from the -seed'ed RNG so runs
+// are reproducible) and the report adds per-class queueing percentiles
+// and deadline misses; -deadline attaches a scheduling SLO to the
+// high/critical classes.
+//
 // Example:
 //
 //	vnpuserve -chips 4 -jobs 256 -rate 300 -tenants 8
+//	vnpuserve -chips 2 -jobs 128 -rate 40 -priomix -json BENCH_sched.json
 package main
 
 import (
@@ -25,44 +32,80 @@ import (
 )
 
 func main() {
-	var (
-		chips    = flag.Int("chips", 4, "number of NPU chips in the cluster")
-		chipName = flag.String("chip", "sim", "chip configuration: fpga, sim or sim48")
-		jobs     = flag.Int("jobs", 256, "total jobs to submit")
-		rate     = flag.Float64("rate", 300, "mean Poisson arrival rate in jobs/s (0 = open throttle)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = default)")
-		quota    = flag.Int("quota", 0, "per-tenant in-flight quota (0 = unlimited)")
-		tenants  = flag.Int("tenants", 8, "number of tenants generating load")
-		iters    = flag.Int("iters", 1, "inference iterations per job")
-		seed     = flag.Int64("seed", 1, "random seed for the arrival trace")
-		confine  = flag.Bool("confine", false, "request NoC confinement for every job")
-		hetero   = flag.Bool("hetero", false, "boot a mixed cluster: odd chips use the FPGA-scale config, so the cost model routes small jobs there")
-		reuse    = flag.Bool("reuse", false, "enable the session pool: jobs lease resident vNPUs per (tenant, model, topology), skipping the create path on warm hits")
-		jsonPath = flag.String("json", "", "write a machine-readable run summary (jobs/s, warm-hit rate, latency percentiles) to this file")
-		verbose  = flag.Bool("v", false, "log every job completion")
-	)
+	var cfg runConfig
+	flag.IntVar(&cfg.chips, "chips", 4, "number of NPU chips in the cluster")
+	flag.StringVar(&cfg.chipName, "chip", "sim", "chip configuration: fpga, sim or sim48")
+	flag.IntVar(&cfg.jobs, "jobs", 256, "total jobs to submit")
+	flag.Float64Var(&cfg.rate, "rate", 300, "mean Poisson arrival rate in jobs/s (0 = open throttle)")
+	flag.IntVar(&cfg.queue, "queue", 0, "admission queue depth (0 = default)")
+	flag.IntVar(&cfg.quota, "quota", 0, "per-tenant in-flight quota (0 = unlimited)")
+	flag.IntVar(&cfg.tenants, "tenants", 8, "number of tenants generating load")
+	flag.IntVar(&cfg.iters, "iters", 1, "inference iterations per job")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the arrival trace and the priority mix (reproducible runs)")
+	flag.BoolVar(&cfg.confine, "confine", false, "request NoC confinement for every job")
+	flag.BoolVar(&cfg.hetero, "hetero", false, "boot a mixed cluster: odd chips use the FPGA-scale config, so the cost model routes small jobs there")
+	flag.BoolVar(&cfg.reuse, "reuse", false, "enable the session pool: jobs lease resident vNPUs per (tenant, model, topology), skipping the create path on warm hits")
+	flag.BoolVar(&cfg.priomix, "priomix", false, "draw a priority mix (10% critical / 20% high / 40% normal / 30% best-effort) from the seeded RNG and report per-class latency")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "scheduling SLO attached to high/critical priomix jobs (0 = none); missed deadlines fail fast with ErrDeadlineExceeded and are reported, not fatal")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable run summary (jobs/s, warm-hit rate, latency percentiles, per-class stats) to this file")
+	flag.BoolVar(&cfg.verbose, "v", false, "log every job completion")
 	flag.Parse()
-	if err := run(*chips, *chipName, *jobs, *rate, *queue, *quota, *tenants, *iters, *seed, *confine, *hetero, *reuse, *jsonPath, *verbose); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
+type runConfig struct {
+	chips    int
+	chipName string
+	jobs     int
+	rate     float64
+	queue    int
+	quota    int
+	tenants  int
+	iters    int
+	seed     int64
+	confine  bool
+	hetero   bool
+	reuse    bool
+	priomix  bool
+	deadline time.Duration
+	jsonPath string
+	verbose  bool
+}
+
+// classSummary is one priority class's slice of the -json report.
+type classSummary struct {
+	Class     string `json:"class"`
+	Jobs      int    `json:"jobs"`
+	P50Micros int64  `json:"p50_us"`
+	P99Micros int64  `json:"p99_us"`
+	Misses    uint64 `json:"deadline_misses"`
+}
+
 // summary is the -json run report, consumed by CI to track the serving
-// trajectory (BENCH_session.json).
+// trajectory (BENCH_session.json, BENCH_sched.json).
 type summary struct {
-	Chips       int     `json:"chips"`
-	Jobs        int     `json:"jobs"`
-	Failed      int     `json:"failed"`
-	JobsPerSec  float64 `json:"jobs_per_s"`
-	P50Micros   int64   `json:"p50_us"`
-	P99Micros   int64   `json:"p99_us"`
-	Reuse       bool    `json:"reuse"`
-	WarmHitRate float64 `json:"warm_hit_rate"`
-	WarmHits    uint64  `json:"warm_hits"`
-	ColdCreates uint64  `json:"cold_creates"`
-	Batched     uint64  `json:"batched"`
-	Evicted     uint64  `json:"evicted"`
-	PlaceHit    float64 `json:"placement_cache_hit_rate"`
+	Chips          int            `json:"chips"`
+	Jobs           int            `json:"jobs"`
+	Failed         int            `json:"failed"`
+	JobsPerSec     float64        `json:"jobs_per_s"`
+	P50Micros      int64          `json:"p50_us"`
+	P99Micros      int64          `json:"p99_us"`
+	Reuse          bool           `json:"reuse"`
+	WarmHitRate    float64        `json:"warm_hit_rate"`
+	WarmHits       uint64         `json:"warm_hits"`
+	ColdCreates    uint64         `json:"cold_creates"`
+	Batched        uint64         `json:"batched"`
+	Evicted        uint64         `json:"evicted"`
+	PlaceHit       float64        `json:"placement_cache_hit_rate"`
+	Priomix        bool           `json:"priomix"`
+	Seed           int64          `json:"seed"`
+	DeadlineMisses uint64         `json:"deadline_misses"`
+	Displaced      uint64         `json:"displaced"`
+	Promotions     uint64         `json:"aging_promotions"`
+	Backfilled     uint64         `json:"backfilled"`
+	PerClass       []classSummary `json:"per_class,omitempty"`
 }
 
 // workloadMix pairs zoo models with topologies that fit the chip.
@@ -107,9 +150,26 @@ func buildMix(cores int) ([]workloadMix, error) {
 	return mixes, nil
 }
 
-func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenants, iters int, seed int64, confine, hetero, reuse bool, jsonPath string, verbose bool) error {
+// drawPriority maps one RNG draw onto the priomix class distribution.
+func drawPriority(rng *rand.Rand) vnpu.Priority {
+	r := rng.Float64()
+	switch {
+	case r < 0.10:
+		return vnpu.PriorityCritical
+	case r < 0.30:
+		return vnpu.PriorityHigh
+	case r < 0.70:
+		return vnpu.PriorityNormal
+	default:
+		return vnpu.PriorityBestEffort
+	}
+}
+
+func priorityName(p vnpu.Priority) string { return p.String() }
+
+func run(rc runConfig) error {
 	var cfg vnpu.Config
-	switch chipName {
+	switch rc.chipName {
 	case "fpga":
 		cfg = vnpu.FPGAConfig()
 	case "sim":
@@ -117,29 +177,29 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 	case "sim48":
 		cfg = vnpu.SimConfig48()
 	default:
-		return fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", chipName)
+		return fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", rc.chipName)
 	}
 	var opts []vnpu.ClusterOption
-	if queue > 0 {
-		opts = append(opts, vnpu.WithQueueDepth(queue))
+	if rc.queue > 0 {
+		opts = append(opts, vnpu.WithQueueDepth(rc.queue))
 	} else {
 		// Default: admit the whole trace so rejections only appear when
 		// the operator asks for a tighter queue.
-		opts = append(opts, vnpu.WithQueueDepth(jobs))
+		opts = append(opts, vnpu.WithQueueDepth(rc.jobs))
 	}
-	if quota > 0 {
-		opts = append(opts, vnpu.WithTenantQuota(quota))
+	if rc.quota > 0 {
+		opts = append(opts, vnpu.WithTenantQuota(rc.quota))
 	}
-	if reuse {
+	if rc.reuse {
 		opts = append(opts, vnpu.WithSessionReuse())
 	}
 	mixCores := cfg.Cores()
-	kind := chipName
-	if hetero {
+	kind := rc.chipName
+	if rc.hetero {
 		// Mixed fleet: odd chips boot the small FPGA-scale config. The
 		// placement cost model routes jobs that fit both chip classes to
 		// the cheap chips, keeping the big ones free for large topologies.
-		specs := make([]vnpu.ChipSpec, chips)
+		specs := make([]vnpu.ChipSpec, rc.chips)
 		names := map[string]bool{}
 		for i := range specs {
 			if i%2 == 1 {
@@ -155,11 +215,11 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		// Label the fleet by what was actually booted: -chips 1 never
 		// reaches an odd index, and -chip fpga -hetero is homogeneous.
 		if len(names) > 1 {
-			kind = chipName + "+fpga"
+			kind = rc.chipName + "+fpga"
 		}
 		opts = append(opts, vnpu.WithChipProfiles(specs...))
 	}
-	cluster, err := vnpu.NewCluster(cfg, chips, opts...)
+	cluster, err := vnpu.NewCluster(cfg, rc.chips, opts...)
 	if err != nil {
 		return err
 	}
@@ -170,68 +230,96 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		return err
 	}
 	var jobOpts []vnpu.Option
-	if confine {
+	if rc.confine {
 		jobOpts = append(jobOpts, vnpu.WithConfinement(true))
 	}
 
-	fmt.Printf("vnpuserve: %d chips (%s), %d jobs, %d tenants, rate %.0f jobs/s, quota %d\n",
-		cluster.Chips(), kind, jobs, tenants, rate, quota)
+	fmt.Printf("vnpuserve: %d chips (%s), %d jobs, %d tenants, rate %.0f jobs/s, quota %d, seed %d",
+		cluster.Chips(), kind, rc.jobs, rc.tenants, rc.rate, rc.quota, rc.seed)
+	if rc.priomix {
+		fmt.Printf(", priomix")
+		if rc.deadline > 0 {
+			fmt.Printf(" (SLO %s on high+)", rc.deadline)
+		}
+	}
+	fmt.Println()
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(rc.seed))
 	ctx := context.Background()
 	start := time.Now()
-	handles := make([]*vnpu.Handle, 0, jobs)
-	var rejectedQueue, rejectedQuota int
-	for i := 0; i < jobs; i++ {
-		if rate > 0 && i > 0 {
-			time.Sleep(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+	handles := make([]*vnpu.Handle, 0, rc.jobs)
+	prios := make([]vnpu.Priority, 0, rc.jobs)
+	var rejectedQueue, rejectedQuota, missedAtSubmit int
+	for i := 0; i < rc.jobs; i++ {
+		if rc.rate > 0 && i > 0 {
+			time.Sleep(time.Duration(rng.ExpFloat64() / rc.rate * float64(time.Second)))
 		}
 		mx := mixes[rng.Intn(len(mixes))]
 		job := vnpu.Job{
-			Tenant:     fmt.Sprintf("tenant-%02d", rng.Intn(tenants)),
+			Tenant:     fmt.Sprintf("tenant-%02d", rng.Intn(rc.tenants)),
 			Model:      mx.model,
-			Iterations: iters,
+			Iterations: rc.iters,
 			Topology:   mx.topo,
 			Options:    jobOpts,
-			Reusable:   reuse,
+			Reusable:   rc.reuse,
+		}
+		if rc.priomix {
+			job.Priority = drawPriority(rng)
+			if rc.deadline > 0 && job.Priority >= vnpu.PriorityHigh {
+				job.Deadline = time.Now().Add(rc.deadline)
+			}
 		}
 		h, err := cluster.Submit(ctx, job)
 		switch {
 		case err == nil:
 			handles = append(handles, h)
+			prios = append(prios, job.Priority)
 		case errors.Is(err, vnpu.ErrQueueFull):
 			rejectedQueue++
 		case errors.Is(err, vnpu.ErrQuotaExceeded):
 			rejectedQuota++
+		case errors.Is(err, vnpu.ErrDeadlineExceeded):
+			missedAtSubmit++
 		default:
 			return fmt.Errorf("submit %d: %w", i, err)
 		}
 	}
 
 	var (
-		waits  []time.Duration
-		failed int
+		waits      []time.Duration
+		classWaits = map[vnpu.Priority][]time.Duration{}
+		classMiss  = map[vnpu.Priority]uint64{}
+		failed     int
+		missed     int
 	)
 	for i, h := range handles {
 		rep, err := h.Wait(ctx)
 		if err != nil {
-			failed++
-			if verbose {
+			if errors.Is(err, vnpu.ErrDeadlineExceeded) {
+				missed++
+				classMiss[prios[i]]++
+			} else {
+				failed++
+			}
+			if rc.verbose {
 				fmt.Fprintf(os.Stderr, "job %d failed: %v\n", i, err)
 			}
 			continue
 		}
 		waits = append(waits, rep.QueueWait)
-		if verbose {
-			fmt.Printf("job %3d %-24s chip %d  queued %8s  %8.1f FPS (TED %.1f)\n",
-				i, rep.Tenant, rep.Chip, rep.QueueWait.Round(time.Microsecond), rep.FPS, rep.MapCost)
+		if rc.priomix {
+			classWaits[rep.Priority] = append(classWaits[rep.Priority], rep.QueueWait)
+		}
+		if rc.verbose {
+			fmt.Printf("job %3d %-24s %-11s chip %d  queued %8s  %8.1f FPS (TED %.1f)\n",
+				i, rep.Tenant, rep.Priority, rep.Chip, rep.QueueWait.Round(time.Microsecond), rep.FPS, rep.MapCost)
 		}
 	}
 	wall := time.Since(start)
 
 	stats := cluster.Stats()
-	fmt.Printf("\ncompleted %d jobs (%d failed, %d shed on queue, %d shed on quota) in %s\n",
-		len(waits), failed, rejectedQueue, rejectedQuota, wall.Round(time.Millisecond))
+	fmt.Printf("\ncompleted %d jobs (%d failed, %d deadline-missed, %d shed on queue, %d shed on quota) in %s\n",
+		len(waits), failed, missed+missedAtSubmit, rejectedQueue, rejectedQuota, wall.Round(time.Millisecond))
 	if wall > 0 {
 		fmt.Printf("throughput:    %.1f jobs/s\n", float64(len(waits))/wall.Seconds())
 	}
@@ -242,18 +330,47 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 			percentile(waits, 0.99).Round(time.Microsecond),
 			waits[len(waits)-1].Round(time.Microsecond))
 	}
+	ss := cluster.SchedStats()
+	var perClass []classSummary
+	if rc.priomix {
+		var displaced, promoted, backfilled uint64
+		for _, cs := range ss.Classes {
+			displaced += cs.Displaced
+			promoted += cs.Promotions
+			backfilled += cs.Backfilled
+		}
+		fmt.Printf("scheduler:     %d displaced, %d aging promotions, %d backfilled, %d deadline misses\n",
+			displaced, promoted, backfilled, ss.DeadlineMisses())
+		fmt.Println("per class:")
+		for p := vnpu.PriorityCritical; p >= vnpu.PriorityBestEffort; p-- {
+			ws := classWaits[p]
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			fmt.Printf("  %-11s %4d jobs   p50 %10s   p99 %10s   %d missed\n",
+				priorityName(p), len(ws),
+				percentile(ws, 0.50).Round(time.Microsecond),
+				percentile(ws, 0.99).Round(time.Microsecond),
+				classMiss[p])
+			perClass = append(perClass, classSummary{
+				Class:     priorityName(p),
+				Jobs:      len(ws),
+				P50Micros: percentile(ws, 0.50).Microseconds(),
+				P99Micros: percentile(ws, 0.99).Microseconds(),
+				Misses:    classMiss[p],
+			})
+		}
+	}
 	ps := cluster.PlacementStats()
 	fmt.Printf("placement:     %d decisions, avg %s   cache %.1f%% hit (%d hit / %d miss, %d evicted)\n",
 		ps.Placements, ps.AvgPlaceTime().Round(time.Microsecond),
 		ps.HitRate()*100, ps.CacheHits, ps.CacheMisses, ps.CacheEvictions)
-	ss := cluster.SessionStats()
-	if reuse {
+	sess := cluster.SessionStats()
+	if rc.reuse {
 		fmt.Printf("sessions:      %.1f%% warm (%d warm / %d batched / %d cold)   avg acquire warm %s cold %s\n",
-			ss.HitRate()*100, ss.WarmHits, ss.Batched, ss.ColdCreates,
-			ss.AvgWarmTime().Round(time.Microsecond), ss.AvgColdTime().Round(time.Microsecond))
+			sess.HitRate()*100, sess.WarmHits, sess.Batched, sess.ColdCreates,
+			sess.AvgWarmTime().Round(time.Microsecond), sess.AvgColdTime().Round(time.Microsecond))
 		fmt.Printf("               %d evicted (%d TTL, %d LRU, %d capacity pressure), %d resident at end\n",
-			ss.Evicted(), ss.EvictedTTL, ss.EvictedLRU, ss.EvictedPressure,
-			ss.IdleSessions+ss.BusySessions)
+			sess.Evicted(), sess.EvictedTTL, sess.EvictedLRU, sess.EvictedPressure,
+			sess.IdleSessions+sess.BusySessions)
 	}
 	fmt.Println("per chip:")
 	usage := cluster.CoreUsage()
@@ -265,23 +382,36 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		chipCfg := cluster.Chip(i).Config()
 		fmt.Printf("  chip %d (%-5s %2d cores): %4d jobs   busy %5.1f%%   final core alloc %3.0f%%",
 			i, chipCfg.Name, chipCfg.Cores(), stats.ChipJobs[i], busyPct, usage[i].AllocatedFraction()*100)
-		if reuse {
+		if rc.reuse {
 			fmt.Printf(" (%d warm-held)", usage[i].WarmIdle)
 		}
 		fmt.Println()
 	}
-	if jsonPath != "" {
+	if rc.jsonPath != "" {
+		var displaced, promoted, backfilled uint64
+		for _, cs := range ss.Classes {
+			displaced += cs.Displaced
+			promoted += cs.Promotions
+			backfilled += cs.Backfilled
+		}
 		sum := summary{
-			Chips:       cluster.Chips(),
-			Jobs:        len(waits),
-			Failed:      failed,
-			Reuse:       reuse,
-			WarmHitRate: ss.HitRate(),
-			WarmHits:    ss.WarmHits,
-			ColdCreates: ss.ColdCreates,
-			Batched:     ss.Batched,
-			Evicted:     ss.Evicted(),
-			PlaceHit:    ps.HitRate(),
+			Chips:          cluster.Chips(),
+			Jobs:           len(waits),
+			Failed:         failed,
+			Reuse:          rc.reuse,
+			WarmHitRate:    sess.HitRate(),
+			WarmHits:       sess.WarmHits,
+			ColdCreates:    sess.ColdCreates,
+			Batched:        sess.Batched,
+			Evicted:        sess.Evicted(),
+			PlaceHit:       ps.HitRate(),
+			Priomix:        rc.priomix,
+			Seed:           rc.seed,
+			DeadlineMisses: ss.DeadlineMisses(),
+			Displaced:      displaced,
+			Promotions:     promoted,
+			Backfilled:     backfilled,
+			PerClass:       perClass,
 		}
 		if wall > 0 {
 			sum.JobsPerSec = float64(len(waits)) / wall.Seconds()
@@ -294,7 +424,7 @@ func run(chips int, chipName string, jobs int, rate float64, queue, quota, tenan
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -54,4 +54,12 @@ var (
 	// indicates a bug; direct System.Destroy callers see it when racing
 	// an active session.
 	ErrLeased = core.ErrLeased
+
+	// ErrDeadlineExceeded: the job's scheduling deadline (Job.Deadline)
+	// passed before the scheduler could place it on a chip — the job is
+	// failed fast instead of running after its SLO is already lost. It is
+	// distinct from context.DeadlineExceeded: the submission context may
+	// still be live, and a Wait context expiry reports the context error,
+	// not this one.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )

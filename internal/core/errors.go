@@ -39,4 +39,11 @@ var (
 	// Release the lease — or evict the session through its pool, which
 	// only targets idle sessions — before destroying.
 	ErrLeased = errors.New("vNPU is leased")
+
+	// ErrDeadlineExceeded reports that a job's scheduling deadline passed
+	// before the job could be placed on a chip: the scheduler fails such
+	// jobs fast instead of running work whose SLO is already missed. It
+	// is distinct from context.DeadlineExceeded — the job's submission
+	// context may still be live.
+	ErrDeadlineExceeded = errors.New("scheduling deadline exceeded")
 )

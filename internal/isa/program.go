@@ -155,6 +155,32 @@ func (p *Program) Validate() error {
 	return nil
 }
 
+// Rebase returns a copy of the program with every DMA virtual address
+// translated from a guest memory region starting at from to one starting
+// at to. Compiled programs address a contiguous [base, base+size) region,
+// so a program compiled once can be relocated to any vNPU's memory base
+// without re-running the compiler — the compile-once lever behind the
+// cluster's program cache. Non-DMA instructions carry no addresses and
+// are copied verbatim.
+func (p *Program) Rebase(from, to uint64) *Program {
+	if from == to {
+		return p
+	}
+	out := NewProgram()
+	delta := to - from // wraps correctly for to < from under uint64 arithmetic
+	for id, stream := range p.streams {
+		ns := make([]Instr, len(stream))
+		for i, in := range stream {
+			if in.Op == OpDMALoad || in.Op == OpDMAStore {
+				in.VAddr += delta
+			}
+			ns[i] = in
+		}
+		out.streams[id] = ns
+	}
+	return out
+}
+
 // Remap returns a copy of the program with every core ID (stream owners and
 // send/recv peers) translated through f. It is how a virtual program is
 // lowered onto physical cores when no hardware vRouter is present — the

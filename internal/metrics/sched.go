@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// SchedClassStats is one priority class's serving counters and queueing
+// latency percentiles. The dispatcher (internal/sched) fills it for both
+// serving paths — its own queue and the session pool report into the
+// same per-class accounting — and Cluster.SchedStats exposes it;
+// cmd/vnpuserve -priomix prints the per-class table.
+type SchedClassStats struct {
+	// Submitted counts jobs admitted into the class (both paths).
+	Submitted uint64
+	// Completed counts jobs of the class that finished successfully.
+	Completed uint64
+	// Failed counts jobs of the class that finished with an error,
+	// including cancellations and deadline misses.
+	Failed uint64
+	// DeadlineMisses counts jobs failed with ErrDeadlineExceeded — their
+	// deadline passed before the scheduler could place them.
+	DeadlineMisses uint64
+	// Displaced counts queued jobs pushed back past by a higher-class
+	// arrival (preemption of queued work).
+	Displaced uint64
+	// Backfilled counts jobs placed out of strict admission order
+	// because the scheduler's head-of-line job could not use the free
+	// capacity they fit into (bounded backfill keeps chips busy while a
+	// large high-class job waits for its slot).
+	Backfilled uint64
+	// Promotions counts aging promotions out of the class (starvation
+	// protection at work).
+	Promotions uint64
+	// P50Wait and P99Wait are queueing-latency percentiles over the
+	// class's recent completions (a bounded sample window).
+	P50Wait time.Duration
+	P99Wait time.Duration
+}
+
+// SchedStats is a per-class snapshot of the scheduler core's counters,
+// indexed by class (0 = lowest priority).
+type SchedStats struct {
+	Classes []SchedClassStats
+}
+
+// DeadlineMisses sums the misses across classes.
+func (s SchedStats) DeadlineMisses() uint64 {
+	var n uint64
+	for _, c := range s.Classes {
+		n += c.DeadlineMisses
+	}
+	return n
+}
+
+// DefaultLatencyWindow is the per-class sample window the scheduler
+// keeps for percentile estimation.
+const DefaultLatencyWindow = 4096
+
+// LatencyRing is a bounded ring of duration samples for percentile
+// estimation over recent traffic. It is not goroutine-safe; callers
+// guard it with their own lock.
+type LatencyRing struct {
+	samples []time.Duration
+	next    int
+	filled  bool
+}
+
+// NewLatencyRing builds a ring holding up to n samples (n <= 0 selects
+// DefaultLatencyWindow).
+func NewLatencyRing(n int) *LatencyRing {
+	if n <= 0 {
+		n = DefaultLatencyWindow
+	}
+	return &LatencyRing{samples: make([]time.Duration, 0, n)}
+}
+
+// Record adds a sample, evicting the oldest once the window is full.
+func (r *LatencyRing) Record(d time.Duration) {
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+		return
+	}
+	r.filled = true
+	r.samples[r.next] = d
+	r.next = (r.next + 1) % len(r.samples)
+}
+
+// Count reports how many samples the ring currently holds.
+func (r *LatencyRing) Count() int { return len(r.samples) }
+
+// Percentile reports the q-quantile (0 < q <= 1) of the window by the
+// nearest-rank (ceiling) method, so tails are never understated. It
+// returns 0 with no samples.
+func (r *LatencyRing) Percentile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -100,7 +100,11 @@ type chipState struct {
 	free      map[topo.NodeID]bool
 	freeCount int
 	freeSig   uint64 // XOR of nodeHash over free nodes, updated per delta
-	held      int    // cores held by resident sessions (Reserve/Evict)
+	// heldByClass tracks cores held by resident sessions (Reserve/Evict)
+	// per scheduling class, so placement policies can tell reclaimable
+	// low-class residency from high-class pools; held is the total.
+	heldByClass map[int]int
+	held        int
 }
 
 func (cs *chipState) freeListLocked() []topo.NodeID {
@@ -272,6 +276,66 @@ func (e *Engine) Stats() metrics.PlacementStats {
 	return s
 }
 
+// Prewarm computes and caches the request's mapping against every
+// chip's current free set without booking a placement decision. The
+// dispatcher speculates with it: while the head job claims its chip, the
+// next few queued jobs' mappings are computed concurrently on spare
+// cores, so their own ranking is served from the cache — most of the
+// chips' free sets are unchanged by the head's claim. Speculation never
+// claims resources; a stale entry is simply recomputed later.
+func (e *Engine) Prewarm(req Request) {
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return
+	}
+	_, _ = e.rank(req)
+}
+
+// PlaceCached ranks only the chips whose mapping for the request is
+// already memoized and still valid against the current free set — it
+// never runs the topology mapper and costs one lock acquisition. The
+// dispatcher's backfill pass uses it: opportunistic out-of-order
+// placements fill idle capacity only when they are free to compute, so
+// they can never serialize mapping work behind the head-of-line job.
+// Uncacheable requests (callback map options) and cacheless engines
+// return nil.
+func (e *Engine) PlaceCached(req Request) []Candidate {
+	if req.Topology == nil || req.Topology.NumNodes() == 0 {
+		return nil
+	}
+	if e.cache == nil || !req.cacheable() {
+		return nil
+	}
+	sig := canonicalKey(req.Topology)
+	k := req.Topology.NumNodes()
+	var cands []Candidate
+	e.mu.Lock()
+	for i, cs := range e.chips {
+		if req.MemoryBytes > cs.profile.MemoryBytes {
+			continue
+		}
+		ent, ok := e.cache.get(e.keyLocked(cs, req, sig))
+		if !ok || ent.err != nil || !cs.allFreeLocked(ent.nodes) {
+			// No mapper fallback here by design — and no hit/miss
+			// accounting either, so probe scans don't skew the serving
+			// path's cache statistics.
+			continue
+		}
+		cands = append(cands, Candidate{
+			Chip:  i,
+			Cost:  ent.cost,
+			Price: cs.profile.PlacementPrice(k),
+		})
+	}
+	e.mu.Unlock()
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].Cost != cands[b].Cost {
+			return cands[a].Cost < cands[b].Cost
+		}
+		return cands[a].Price < cands[b].Price
+	})
+	return cands
+}
+
 // Place ranks every chip that can host the request, best first: minimum
 // topology edit distance, then minimum resource price (cheapest adequate
 // chip), then lowest chip index. When no chip qualifies it returns the
@@ -282,6 +346,18 @@ func (e *Engine) Place(req Request) ([]Candidate, error) {
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
 		return nil, fmt.Errorf("place: request needs a topology")
 	}
+	cands, err := e.rank(req)
+
+	e.mu.Lock()
+	e.stats.Placements++
+	e.stats.PlaceTime += time.Since(start)
+	e.mu.Unlock()
+	return cands, err
+}
+
+// rank scores the request against every chip (cache-first, misses fanned
+// out concurrently) without touching the decision counters.
+func (e *Engine) rank(req Request) ([]Candidate, error) {
 	sig := canonicalKey(req.Topology)
 	k := req.Topology.NumNodes()
 
@@ -348,11 +424,6 @@ func (e *Engine) Place(req Request) ([]Candidate, error) {
 		}
 		return cands[a].Price < cands[b].Price
 	})
-
-	e.mu.Lock()
-	e.stats.Placements++
-	e.stats.PlaceTime += time.Since(start)
-	e.mu.Unlock()
 
 	if len(cands) == 0 {
 		if lastErr == nil {
@@ -506,20 +577,26 @@ func (e *Engine) Release(chip int, nodes []topo.NodeID) error {
 // nodes from the chip's free set (the free-set signature moves exactly as
 // for a one-shot create, so cached mappings can never hand out a core a
 // resident session holds), but the cores are additionally tracked as
-// session-held, visible through HeldCount.
-func (e *Engine) Reserve(chip int, nodes []topo.NodeID) error {
+// session-held under the session's scheduling class, visible through
+// HeldCount and HeldBelow. The class must match the later Evict.
+func (e *Engine) Reserve(chip int, nodes []topo.NodeID, class int) error {
 	if err := e.Commit(chip, nodes); err != nil {
 		return err
 	}
 	e.mu.Lock()
-	e.chips[chip].held += len(nodes)
+	cs := e.chips[chip]
+	if cs.heldByClass == nil {
+		cs.heldByClass = make(map[int]int)
+	}
+	cs.heldByClass[class] += len(nodes)
+	cs.held += len(nodes)
 	e.mu.Unlock()
 	return nil
 }
 
 // Evict is the session pool's destroy hook, undoing a Reserve: the cores
-// return to the chip's free set and leave the session-held count.
-func (e *Engine) Evict(chip int, nodes []topo.NodeID) error {
+// return to the chip's free set and leave the session-held counts.
+func (e *Engine) Evict(chip int, nodes []topo.NodeID, class int) error {
 	if err := e.Release(chip, nodes); err != nil {
 		return err
 	}
@@ -528,6 +605,11 @@ func (e *Engine) Evict(chip int, nodes []topo.NodeID) error {
 	cs.held -= len(nodes)
 	if cs.held < 0 {
 		cs.held = 0
+	}
+	if n := cs.heldByClass[class] - len(nodes); n > 0 {
+		cs.heldByClass[class] = n
+	} else {
+		delete(cs.heldByClass, class)
 	}
 	e.mu.Unlock()
 	return nil
@@ -540,4 +622,22 @@ func (e *Engine) HeldCount(chip int) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.chips[chip].held
+}
+
+// HeldBelow reports how many of a chip's cores are held by resident
+// sessions of class at or below the given class — the residency a job of
+// that class may cannibalize under capacity pressure (the pool evicts
+// lowest class first). Session placement consolidates onto chips with
+// the most such cores, keeping higher-class pools and genuinely free
+// chips intact.
+func (e *Engine) HeldBelow(chip, class int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for c, cores := range e.chips[chip].heldByClass {
+		if c <= class {
+			n += cores
+		}
+	}
+	return n
 }

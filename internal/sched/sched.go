@@ -1,38 +1,56 @@
 // Package sched implements the serving front-end of a multi-chip vNPU
-// cluster: a bounded FIFO admission queue, per-tenant in-flight quotas,
-// executor-ranked placement across chips (the vnpu package backs Rank
-// with the internal/place engine and its mapping cache), and one worker
-// goroutine per chip that executes placed jobs in order.
+// cluster: a bounded multi-class admission queue (priority classes,
+// earliest-deadline-first within a class, aging against starvation — see
+// internal/sched/queue), per-tenant in-flight quotas, executor-ranked
+// placement across chips (the vnpu package backs Rank with the
+// internal/place engine and its mapping cache), and one worker goroutine
+// per chip that executes placed jobs in order.
 //
 // The dispatcher is generic over the job, placement and result types so it
 // stays independent of the virtualization layer; the public vnpu package
 // instantiates it with its own Job/vNPU/Report types. Admission failures
 // and lifecycle errors wrap the typed sentinels of internal/core
-// (ErrQueueFull, ErrQuotaExceeded, ErrDestroyed, ...), keeping the whole
-// stack errors.Is-matchable.
+// (ErrQueueFull, ErrQuotaExceeded, ErrDeadlineExceeded, ErrDestroyed,
+// ...), keeping the whole stack errors.Is-matchable.
 //
 // Lifecycle of a job:
 //
-//	Submit ──quota+queue check──▶ FIFO queue ──dispatcher──▶ Place(best chip)
+//	Submit ──quota+queue check──▶ class queue ──dispatcher──▶ Place(best chip)
 //	        ──worker[chip]──▶ Execute ──▶ Release ──▶ Handle resolves
+//
+// Ordering is owned by one scheduler core for BOTH serving paths: the
+// dispatcher's own queue pops highest-class first (EDF inside a class,
+// admission order last), and external paths — the cluster's session
+// pool — draw sequence tickets from the same counter and block in
+// WaitTurn until no older queued job of equal-or-higher class remains,
+// so warm-hit traffic can no longer outrun queued one-shot work.
+//
+// Queued work is preemptible: a higher-class arrival displaces a job
+// parked on backpressure back into the queue (it keeps its ticket, not
+// its turn), and a job whose deadline passes before placement fails fast
+// with ErrDeadlineExceeded instead of occupying a chip after its SLO is
+// already lost.
 //
 // Placement claims chip resources immediately (Place), so several jobs can
 // be resident on a chip while its worker executes them one at a time —
 // the time-multiplexing model of the underlying simulator. When no chip
-// can host the queue head, the dispatcher parks until some worker releases
-// a placement (retry-on-destroy backpressure) or the job's context is
-// canceled; if nothing is in flight anywhere, the failure is terminal and
-// the job fails with the placement error.
+// can host the best queued job, the dispatcher parks until some worker
+// releases a placement (retry-on-destroy backpressure) or the job's
+// context is canceled; if nothing is in flight anywhere, the failure is
+// terminal and the job fails with the placement error.
 package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/sched/queue"
 )
 
 // Score ranks a prospective placement lexicographically. Cost is the
@@ -94,13 +112,20 @@ type Executor[Job, Placement, Result any] interface {
 type Config struct {
 	// Chips is the number of chips (worker goroutines). Must be >= 1.
 	Chips int
-	// QueueDepth bounds the FIFO admission queue. <= 0 selects
+	// QueueDepth bounds the admission queue. <= 0 selects
 	// DefaultQueueDepth.
 	QueueDepth int
+	// Classes is the number of priority classes (0 = lowest). <= 0
+	// selects queue.DefaultClasses.
+	Classes int
+	// AgingRounds is how many scheduling rounds a queued job waits in
+	// its class before being promoted one class (the starvation bound).
+	// 0 selects queue.DefaultAgingRounds; < 0 disables aging.
+	AgingRounds int
 	// TenantQuota caps each tenant's in-flight jobs (queued + running),
 	// including slots reserved by external serving paths via ReserveSlot.
 	// <= 0 means unlimited. A canceled job's slot is reclaimed when the
-	// job drains from the FIFO queue, not at cancellation time.
+	// job drains from the queue, not at cancellation time.
 	TenantQuota int
 	// ExternalBusy, when non-nil, reports whether work is in flight on an
 	// external path sharing the chips (e.g. busy resident sessions). An
@@ -110,11 +135,13 @@ type Config struct {
 	// jobs would wait forever.
 	ExternalBusy func() bool
 	// Reclaim, when non-nil, asks the external path to give capacity
-	// back (e.g. evict one idle resident session), returning whether it
-	// freed anything. The dispatcher calls it after every ranked Place
-	// attempt failed — covering failures the ranking stage cannot see,
-	// like memory exhaustion at create time — and rescores on success,
-	// so idle warm pools are reclaimed before a job parks or fails.
+	// back (e.g. evict one idle resident session — lowest class first,
+	// so high-priority cold jobs preempt low-priority warm residency),
+	// returning whether it freed anything. The dispatcher calls it after
+	// every ranked Place attempt failed — covering failures the ranking
+	// stage cannot see, like memory exhaustion at create time — and
+	// rescores on success, so idle warm pools are reclaimed before a job
+	// parks or fails.
 	Reclaim func() bool
 }
 
@@ -132,13 +159,18 @@ type Stats struct {
 	// Completed counts jobs that finished successfully.
 	Completed uint64
 	// Failed counts jobs that finished with an error (including
-	// cancellation).
+	// cancellation and deadline misses).
 	Failed uint64
 	// ChipJobs counts jobs executed per chip.
 	ChipJobs []int
 	// ChipBusy is the cumulative wall-clock execution time per chip; over
 	// a load generator's run it yields per-chip utilization.
 	ChipBusy []time.Duration
+	// PerClass breaks the serving counters down by priority class,
+	// covering BOTH serving paths (the session pool reports into the
+	// same accounting via ExternalSubmitted/ExternalDone), with p50/p99
+	// queueing-latency percentiles over a bounded recent window.
+	PerClass []metrics.SchedClassStats
 }
 
 // Handle tracks one submitted job. Dispatcher.Submit returns handles it
@@ -146,6 +178,7 @@ type Stats struct {
 // session-pool serving path), so both paths hand callers the same type.
 type Handle[Result any] struct {
 	tenant    string
+	class     int
 	submitted time.Time
 
 	started chan struct{} // closed when the job is placed on a chip
@@ -162,11 +195,12 @@ type Handle[Result any] struct {
 // NewHandle creates a handle managed by the caller instead of a
 // dispatcher: the caller must call MarkStarted when the job reaches its
 // chip (optional) and Finish exactly once when it completes. The session
-// pool uses it so warm-path jobs that never enter the FIFO queue still
-// resolve through the ordinary Handle API.
-func NewHandle[Result any](tenant string) *Handle[Result] {
+// pool uses it so warm-path jobs that never enter the dispatcher queue
+// still resolve through the ordinary Handle API.
+func NewHandle[Result any](tenant string, class int) *Handle[Result] {
 	return &Handle[Result]{
 		tenant:    tenant,
+		class:     class,
 		submitted: time.Now(),
 		started:   make(chan struct{}),
 		done:      make(chan struct{}),
@@ -193,6 +227,9 @@ func (h *Handle[Result]) Finish(res Result, err error) {
 
 // Tenant reports the submitting tenant.
 func (h *Handle[Result]) Tenant() string { return h.tenant }
+
+// Class reports the job's resolved priority class (0 = lowest).
+func (h *Handle[Result]) Class() int { return h.class }
 
 // Started is closed once the job's resources have been claimed on a chip
 // (the moment it leaves the queue). In the rare case that the job is
@@ -247,14 +284,37 @@ func (h *Handle[Result]) QueueWait() time.Duration {
 }
 
 type task[Job, Result any] struct {
-	ctx context.Context
-	job Job
-	h   *Handle[Result]
+	ctx      context.Context
+	job      Job
+	deadline time.Time
+	h        *Handle[Result]
 }
 
 type placed[Job, Placement, Result any] struct {
 	t  *task[Job, Result]
 	pl Placement
+}
+
+// ticket is the admission-order identity of the job the dispatcher is
+// currently trying to place (popped from the queue but not yet on a
+// chip). External WaitTurn callers treat it as still queued — a job
+// awaiting capacity has not had its turn.
+type ticket struct {
+	seq   uint64
+	class int
+}
+
+// turnWaiter is one external job blocked in WaitTurn.
+type turnWaiter struct {
+	seq   uint64
+	class int
+	ch    chan struct{}
+}
+
+// classState is one priority class's counters and latency window.
+type classState struct {
+	stats metrics.SchedClassStats
+	waits *metrics.LatencyRing
 }
 
 // Dispatcher schedules jobs across chips. Create one with New, feed it
@@ -263,15 +323,27 @@ type Dispatcher[Job, Placement, Result any] struct {
 	exec Executor[Job, Placement, Result]
 	cfg  Config
 
-	queue chan *task[Job, Result]
 	work  []chan placed[Job, Placement, Result]
 	freed chan struct{}
+	// qWake pokes the dispatcher loop when work arrives or Close stops
+	// intake; preempt pokes a parked placement attempt when a strictly
+	// higher-class job arrives behind it.
+	qWake   chan struct{}
+	preempt chan struct{}
 
 	mu       sync.Mutex
 	closed   bool
 	inflight int // placed but not yet released
 	tenants  map[string]int
 	stats    Stats
+	q        *queue.Queue[*task[Job, Result]]
+	seq      uint64
+	parked   *ticket
+	waiters  map[*turnWaiter]struct{}
+	classes  []classState
+	// prewarm, when set (SetPrewarm), is called with the next few queued
+	// jobs each time the dispatcher commits to placing one.
+	prewarm func(job Job)
 
 	dispatcherDone chan struct{}
 	workersDone    sync.WaitGroup
@@ -286,14 +358,24 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = queue.DefaultClasses
+	}
 	d := &Dispatcher[Job, Placement, Result]{
 		exec:           exec,
 		cfg:            cfg,
-		queue:          make(chan *task[Job, Result], cfg.QueueDepth),
 		work:           make([]chan placed[Job, Placement, Result], cfg.Chips),
 		freed:          make(chan struct{}, 1),
+		qWake:          make(chan struct{}, 1),
+		preempt:        make(chan struct{}, 1),
 		tenants:        make(map[string]int),
+		q:              queue.New[*task[Job, Result]](queue.Config{Classes: cfg.Classes, AgingRounds: cfg.AgingRounds}),
+		waiters:        make(map[*turnWaiter]struct{}),
+		classes:        make([]classState, cfg.Classes),
 		dispatcherDone: make(chan struct{}),
+	}
+	for i := range d.classes {
+		d.classes[i].waits = metrics.NewLatencyRing(0)
 	}
 	d.stats.ChipJobs = make([]int, cfg.Chips)
 	d.stats.ChipBusy = make([]time.Duration, cfg.Chips)
@@ -309,10 +391,23 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 	return d, nil
 }
 
-// Submit applies admission control and enqueues the job. It returns
-// immediately with a Handle, or with an error wrapping ErrQueueFull,
-// ErrQuotaExceeded or ErrDestroyed when the job was not admitted.
-func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant string, job Job) (*Handle[Result], error) {
+// clampClass restricts a class to the configured range.
+func (d *Dispatcher[Job, Placement, Result]) clampClass(class int) int {
+	if class < 0 {
+		return 0
+	}
+	if class >= d.cfg.Classes {
+		return d.cfg.Classes - 1
+	}
+	return class
+}
+
+// Submit applies admission control and enqueues the job under the given
+// priority class and optional scheduling deadline (zero = none). It
+// returns immediately with a Handle, or with an error wrapping
+// ErrQueueFull, ErrQuotaExceeded, ErrDeadlineExceeded (deadline already
+// passed) or ErrDestroyed when the job was not admitted.
+func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant string, class int, deadline time.Time, job Job) (*Handle[Result], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -321,6 +416,12 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 		d.mu.Unlock()
 		return nil, fmt.Errorf("sched: dispatcher closed: %w", core.ErrDestroyed)
 	}
+	class = d.clampClass(class)
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		d.classes[class].stats.DeadlineMisses++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("sched: job deadline already passed at submit: %w", core.ErrDeadlineExceeded)
+	}
 	if d.cfg.TenantQuota > 0 && d.tenants[tenant] >= d.cfg.TenantQuota {
 		d.stats.RejectedQuota++
 		n := d.tenants[tenant]
@@ -328,19 +429,35 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 		return nil, fmt.Errorf("sched: tenant %q has %d jobs in flight (quota %d): %w",
 			tenant, n, d.cfg.TenantQuota, core.ErrQuotaExceeded)
 	}
-	h := NewHandle[Result](tenant)
-	t := &task[Job, Result]{ctx: ctx, job: job, h: h}
-	select {
-	case d.queue <- t:
-		d.tenants[tenant]++
-		d.stats.Submitted++
-		d.mu.Unlock()
-		return h, nil
-	default:
+	if d.q.Len() >= d.cfg.QueueDepth {
 		d.stats.RejectedQueueFull++
 		d.mu.Unlock()
 		return nil, fmt.Errorf("sched: queue of %d jobs is full: %w", d.cfg.QueueDepth, core.ErrQueueFull)
 	}
+	h := NewHandle[Result](tenant, class)
+	t := &task[Job, Result]{ctx: ctx, job: job, deadline: deadline, h: h}
+	seq := d.seq
+	d.seq++
+	it := d.q.Push(t, class, deadline, seq)
+	d.tenants[tenant]++
+	d.stats.Submitted++
+	d.classes[class].stats.Submitted++
+	// An arrival that may order before the job currently parked on
+	// backpressure — higher class, or equal class with a better deadline
+	// — pokes its placement loop; yield() re-checks under the full
+	// ordering before actually displacing.
+	if d.parked != nil && it.Bucket() >= d.parked.class {
+		select {
+		case d.preempt <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case d.qWake <- struct{}{}:
+	default:
+	}
+	d.mu.Unlock()
+	return h, nil
 }
 
 // Close stops intake, waits for every admitted job to finish, and shuts
@@ -353,7 +470,10 @@ func (d *Dispatcher[Job, Placement, Result]) Close() error {
 	}
 	d.closed = true
 	d.mu.Unlock()
-	close(d.queue)
+	select {
+	case d.qWake <- struct{}{}:
+	default:
+	}
 	<-d.dispatcherDone
 	for _, ch := range d.work {
 		close(ch)
@@ -406,6 +526,133 @@ func (d *Dispatcher[Job, Placement, Result]) ReleaseSlot(tenant string) {
 	}
 }
 
+// SetPrewarm installs a speculation hook: each time the dispatcher
+// commits to placing a job, the hook is called with the next few queued
+// jobs so the executor can warm its placement caches on spare cores
+// while the head's claim is in progress. The hook must not block — run
+// the actual work asynchronously and bounded. Install it before the
+// first Submit.
+func (d *Dispatcher[Job, Placement, Result]) SetPrewarm(fn func(job Job)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.prewarm = fn
+}
+
+// Ticket issues an admission sequence ticket from the counter shared
+// with Submit. External serving paths draw one per job at admission time
+// and pass it to WaitTurn, so "older" is well defined across both paths.
+func (d *Dispatcher[Job, Placement, Result]) Ticket() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq := d.seq
+	d.seq++
+	return seq
+}
+
+// WaitTurn blocks an external job (holding a Ticket) until the
+// dispatcher's queue holds no older job of equal-or-higher effective
+// class — including the job currently parked awaiting capacity. This is
+// the admission-order fairness gate: a warm session hit must not overtake
+// one-shot work that was admitted before it at the same or higher
+// priority, while higher-class external jobs pass lower-class queued work
+// freely. It returns early when ctx is canceled, or with
+// ErrDeadlineExceeded when the job's scheduling deadline (zero = none)
+// passes while waiting.
+func (d *Dispatcher[Job, Placement, Result]) WaitTurn(ctx context.Context, seq uint64, class int, deadline time.Time) error {
+	var deadlineC <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	for {
+		d.mu.Lock()
+		class = d.clampClass(class)
+		if !d.blockedLocked(seq, class) {
+			d.mu.Unlock()
+			return nil
+		}
+		w := &turnWaiter{seq: seq, class: class, ch: make(chan struct{})}
+		d.waiters[w] = struct{}{}
+		d.mu.Unlock()
+		select {
+		case <-w.ch:
+			// Re-check: aging may have promoted another older job into a
+			// blocking class since the wakeup was decided.
+		case <-ctx.Done():
+			d.dropWaiter(w)
+			return fmt.Errorf("sched: job canceled awaiting its admission turn: %w", ctx.Err())
+		case <-deadlineC:
+			d.dropWaiter(w)
+			return fmt.Errorf("sched: deadline passed awaiting admission turn: %w", core.ErrDeadlineExceeded)
+		}
+	}
+}
+
+func (d *Dispatcher[Job, Placement, Result]) dropWaiter(w *turnWaiter) {
+	d.mu.Lock()
+	delete(d.waiters, w)
+	d.mu.Unlock()
+}
+
+// blockedLocked reports whether an external ticket must keep waiting:
+// some older equal-or-higher-class job is still queued or parked.
+// Caller holds d.mu.
+func (d *Dispatcher[Job, Placement, Result]) blockedLocked(seq uint64, class int) bool {
+	if d.parked != nil && d.parked.seq < seq && d.parked.class >= class {
+		return true
+	}
+	return d.q.HasOlderAtOrAbove(seq, class)
+}
+
+// checkTurnsLocked wakes every external waiter whose blockers have
+// drained. Caller holds d.mu; it must be called whenever a job leaves
+// the queue or the parked slot.
+func (d *Dispatcher[Job, Placement, Result]) checkTurnsLocked() {
+	for w := range d.waiters {
+		if !d.blockedLocked(w.seq, w.class) {
+			close(w.ch)
+			delete(d.waiters, w)
+		}
+	}
+}
+
+// ExternalSubmitted books an external-path admission into the per-class
+// accounting (the session pool calls it next to ReserveSlot).
+func (d *Dispatcher[Job, Placement, Result]) ExternalSubmitted(class int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.classes[d.clampClass(class)].stats.Submitted++
+}
+
+// ExternalDeadlineMiss books an external-path submission rejected
+// because its deadline had already passed — the analogue of Submit's own
+// synchronous rejection, so per-class miss counts stay comparable
+// across both paths.
+func (d *Dispatcher[Job, Placement, Result]) ExternalDeadlineMiss(class int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.classes[d.clampClass(class)].stats.DeadlineMisses++
+}
+
+// ExternalDone books an external-path completion: outcome counters, the
+// deadline-miss counter, and — on success — a queueing-latency sample,
+// so per-class percentiles cover both serving paths.
+func (d *Dispatcher[Job, Placement, Result]) ExternalDone(class int, wait time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := &d.classes[d.clampClass(class)]
+	if err == nil {
+		cs.stats.Completed++
+		cs.waits.Record(wait)
+		return
+	}
+	cs.stats.Failed++
+	if errors.Is(err, core.ErrDeadlineExceeded) {
+		cs.stats.DeadlineMisses++
+	}
+}
+
 // Kick signals the dispatcher that capacity was freed outside its own
 // Release path — a resident session went idle or was evicted. A job
 // parked on backpressure rescores its placement. Kick never blocks.
@@ -423,78 +670,284 @@ func (d *Dispatcher[Job, Placement, Result]) Stats() Stats {
 	s := d.stats
 	s.ChipJobs = append([]int(nil), d.stats.ChipJobs...)
 	s.ChipBusy = append([]time.Duration(nil), d.stats.ChipBusy...)
+	s.PerClass = make([]metrics.SchedClassStats, len(d.classes))
+	promos := d.q.Promotions()
+	for i := range d.classes {
+		cs := d.classes[i].stats
+		cs.Promotions = promos[i]
+		cs.P50Wait = d.classes[i].waits.Percentile(0.50)
+		cs.P99Wait = d.classes[i].waits.Percentile(0.99)
+		s.PerClass[i] = cs
+	}
 	return s
 }
 
-// dispatch pops tasks in FIFO order and places each on the best-scoring
-// chip, parking on backpressure until a worker frees capacity.
+// dispatch pops tasks in priority order — failing deadline-expired ones
+// fast — and places each on the best-scoring chip, parking on
+// backpressure until a worker frees capacity.
 func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 	defer close(d.dispatcherDone)
-	for t := range d.queue {
+	for {
+		d.mu.Lock()
+		expired := d.q.PopExpired(time.Now())
+		it, ok := d.q.Pop()
+		if ok {
+			d.parked = &ticket{seq: it.Seq, class: it.Bucket()}
+		}
+		d.checkTurnsLocked()
+		closed := d.closed
+		d.mu.Unlock()
+		for _, e := range expired {
+			d.finishMiss(e.Job)
+		}
+		if !ok {
+			if closed {
+				return
+			}
+			<-d.qWake
+			continue
+		}
+		t := it.Job
 		if err := t.ctx.Err(); err != nil {
+			d.unpark()
 			d.finish(t, *new(Result), fmt.Errorf("sched: job canceled while queued: %w", err))
 			continue
 		}
-		d.place(t)
+		// Speculate on the jobs next in line while this one places: their
+		// placement scores warm concurrently and are cache hits by the
+		// time they pop (placement-decision latency, not chip time, is
+		// what stalls a saturated dispatcher).
+		d.mu.Lock()
+		prewarm := d.prewarm
+		var jobs []Job
+		if prewarm != nil {
+			for _, a := range d.q.InOrder(prewarmAhead) {
+				jobs = append(jobs, a.Job.job)
+			}
+		}
+		d.mu.Unlock()
+		for _, j := range jobs {
+			prewarm(j)
+		}
+		d.place(t, it)
 	}
 }
 
-// place ranks the chips, claims the best available one, and hands the
-// job to that chip's worker. When no chip can host the job it waits for a
-// release and retries; with nothing in flight the failure is terminal.
-func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
+// prewarmAhead is how many next-in-line queued jobs are speculatively
+// prewarmed per placement.
+const prewarmAhead = 4
+
+// unpark clears the parked ticket and wakes external waiters it was
+// blocking.
+func (d *Dispatcher[Job, Placement, Result]) unpark() {
+	d.mu.Lock()
+	d.parked = nil
+	d.checkTurnsLocked()
+	d.mu.Unlock()
+}
+
+// finishMiss fails a job whose scheduling deadline passed before
+// placement.
+func (d *Dispatcher[Job, Placement, Result]) finishMiss(t *task[Job, Result]) {
+	d.finish(t, *new(Result), fmt.Errorf("sched: deadline passed after %s queued: %w",
+		time.Since(t.h.submitted).Round(time.Microsecond), core.ErrDeadlineExceeded))
+}
+
+// yield checks whether the parked job should give way to a queued job
+// that orders strictly before it — higher class, or same class with an
+// earlier deadline or older ticket; if so it requeues the job — keeping
+// its sequence ticket, so it re-enters ahead of everything newer in its
+// class — and reports true (the dispatch loop then pops the better job).
+func (d *Dispatcher[Job, Placement, Result]) yield(it *queue.Item[*task[Job, Result]]) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.q.Better(it) {
+		return false
+	}
+	d.q.Requeue(it)
+	d.parked = nil
+	d.classes[it.Bucket()].stats.Displaced++
+	return true
+}
+
+// CachedRanker is an optional Executor extension: RankCached lists only
+// the chips servable from already-computed placement state, without any
+// expensive mapping work, and may return nil when nothing is cached.
+// The dispatcher's backfill pass prefers it, so opportunistic
+// out-of-order placements never serialize placement computation behind
+// the head-of-line job.
+type CachedRanker[Job any] interface {
+	RankCached(job Job) []Candidate
+}
+
+// tryClaim ranks the chips and claims the best available one for t,
+// handing it to that chip's worker. head marks the dispatcher's
+// head-of-line attempt, whose parked ticket must clear in the same
+// critical section that claims the placement. It reports false with the
+// last placement error when no chip can host the job right now.
+func (d *Dispatcher[Job, Placement, Result]) tryClaim(t *task[Job, Result], head bool) (bool, error) {
+	// Ranking is one executor call: the placement engine behind it
+	// scores every chip from its mapping cache (the formerly dominant
+	// per-chip dry-run cost of dispatch).
+	cands, rankErr := d.exec.Rank(t.job)
+	ok, placeErr := d.claimFrom(cands, t, head)
+	if ok {
+		return true, nil
+	}
+	if placeErr != nil {
+		return false, placeErr
+	}
+	return false, rankErr
+}
+
+// claimFrom tries the candidates in score order, claiming the first
+// chip whose Place succeeds and handing the job to that chip's worker.
+// It reports the last Place error when every candidate refused.
+func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *task[Job, Result], head bool) (bool, error) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Score.less(cands[j].Score)
+	})
+	// Try chips in ranked order: Place can fail for reasons a score
+	// cannot see (e.g. memory exhaustion), so fall through to the
+	// next-best chip instead of parking on the first failure.
+	var lastErr error
+	for _, c := range cands {
+		chip := c.Chip
+		pl, err := d.exec.Place(chip, t.job)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		d.mu.Lock()
+		d.inflight++
+		if head {
+			d.parked = nil
+			d.checkTurnsLocked()
+		}
+		d.mu.Unlock()
+		t.h.MarkStarted(chip)
+		d.recordWait(t.h)
+		d.deliver(chip, t, pl)
+		return true, nil
+	}
+	return false, lastErr
+}
+
+// deliver hands a claimed placement to its chip worker. The send blocks
+// when a chip has accumulated a full buffer of placements — acceptable
+// backpressure on the dispatcher — but stays cancelable.
+func (d *Dispatcher[Job, Placement, Result]) deliver(chip int, t *task[Job, Result], pl Placement) {
+	select {
+	case d.work[chip] <- placed[Job, Placement, Result]{t: t, pl: pl}:
+	case <-t.ctx.Done():
+		relErr := d.exec.Release(chip, pl)
+		// The freed signal must be pending before any observer can
+		// see inflight==0, so decrement and send under one lock.
+		d.mu.Lock()
+		d.inflight--
+		select {
+		case d.freed <- struct{}{}:
+		default:
+		}
+		d.mu.Unlock()
+		err := fmt.Errorf("sched: job canceled awaiting its chip worker: %w", t.ctx.Err())
+		if relErr != nil {
+			err = fmt.Errorf("%w (release: %v)", err, relErr)
+		}
+		d.finish(t, *new(Result), err)
+	}
+}
+
+// backfillScan bounds how many queued jobs (in pop order) one backfill
+// pass considers; maxBackfills bounds how many jobs may jump one parked
+// head, so backfill cannot starve it indefinitely (aging and the head's
+// first claim on every freed signal bound the rest).
+const (
+	backfillScan = 32
+	maxBackfills = 64
+)
+
+// backfillOne places the best-ordered queued job that fits capacity the
+// parked head cannot use. Strict priority order would idle chips
+// whenever the head needs a bigger slot than any chip has free; bounded
+// backfill keeps them busy without giving the jumped job the head's
+// turn (external WaitTurn callers still see the parked head as the
+// oldest blocker). When the executor offers a cached rank, candidates
+// are only considered if their placement is already computed — backfill
+// is opportunistic and must never stall the dispatcher on mapping work.
+func (d *Dispatcher[Job, Placement, Result]) backfillOne() bool {
+	cr, hasCached := d.exec.(CachedRanker[Job])
+	d.mu.Lock()
+	cands := d.q.InOrder(backfillScan)
+	d.mu.Unlock()
+	// One full rank per pass: the best-ordered candidate is about to pop
+	// anyway, so computing its placement is never wasted work (it lands
+	// in the executor's cache); every further candidate must be
+	// cache-served or it is skipped.
+	fullRankSpent := false
+	for _, it := range cands {
+		t := it.Job
+		// Skip jobs the dispatch loop's own sweeps will fail.
+		if t.ctx.Err() != nil {
+			continue
+		}
+		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			continue
+		}
+		var ok bool
+		if !hasCached || !fullRankSpent {
+			fullRankSpent = true
+			ok, _ = d.tryClaim(t, false)
+		} else {
+			ok, _ = d.claimFrom(cr.RankCached(t.job), t, false)
+		}
+		if !ok {
+			continue
+		}
+		d.mu.Lock()
+		// Only the dispatcher goroutine pops or removes, so the claimed
+		// item is necessarily still queued.
+		d.q.Remove(it)
+		d.classes[it.Bucket()].stats.Backfilled++
+		d.checkTurnsLocked()
+		d.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// place claims a chip for the job the dispatcher popped. When no chip
+// can host it, it reclaims external capacity, backfills smaller queued
+// jobs into holes the head cannot use, and parks until a release —
+// unless a better-ordered arrival displaces the job back into the
+// queue, or its deadline passes first; with nothing in flight the
+// failure is terminal.
+func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *queue.Item[*task[Job, Result]]) {
+	var deadlineC <-chan time.Time
+	if !t.deadline.IsZero() {
+		timer := time.NewTimer(time.Until(t.deadline))
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	backfills := 0
 	for {
-		// Ranking is one executor call: the placement engine behind it
-		// scores every chip from its mapping cache (the formerly dominant
-		// per-chip dry-run cost of dispatch).
-		cands, lastErr := d.exec.Rank(t.job)
-		sort.SliceStable(cands, func(i, j int) bool {
-			return cands[i].Score.less(cands[j].Score)
-		})
-		// Try chips in ranked order: Place can fail for reasons a score
-		// cannot see (e.g. memory exhaustion), so fall through to the
-		// next-best chip instead of parking on the first failure.
-		for _, c := range cands {
-			chip := c.Chip
-			pl, err := d.exec.Place(chip, t.job)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			d.mu.Lock()
-			d.inflight++
-			d.mu.Unlock()
-			t.h.MarkStarted(chip)
-			// The send blocks when a chip has accumulated a full buffer
-			// of placements — acceptable backpressure on the FIFO
-			// dispatcher — but must stay cancelable.
-			select {
-			case d.work[chip] <- placed[Job, Placement, Result]{t: t, pl: pl}:
-			case <-t.ctx.Done():
-				relErr := d.exec.Release(chip, pl)
-				// The freed signal must be pending before any observer can
-				// see inflight==0, so decrement and send under one lock.
-				d.mu.Lock()
-				d.inflight--
-				select {
-				case d.freed <- struct{}{}:
-				default:
-				}
-				d.mu.Unlock()
-				err := fmt.Errorf("sched: job canceled awaiting its chip worker: %w", t.ctx.Err())
-				if relErr != nil {
-					err = fmt.Errorf("%w (release: %v)", err, relErr)
-				}
-				d.finish(t, *new(Result), err)
-			}
+		placedOK, lastErr := d.tryClaim(t, true)
+		if placedOK {
 			return
 		}
 		// No chip can host the job right now. Before parking (or failing),
 		// ask the external path to give capacity back: Place-stage
 		// failures — e.g. the buddy allocator out of memory held by an
 		// idle warm session — never reach the ranking stage's own
-		// reclaim, so this is where idle sessions are evicted for them.
+		// reclaim, so this is where idle sessions are evicted for them
+		// (lowest class first; see the session pool's eviction order).
 		if d.cfg.Reclaim != nil && d.cfg.Reclaim() {
+			continue
+		}
+		// The head keeps its turn but must not idle chips it cannot use:
+		// hand free capacity to the best queued job that fits it.
+		if backfills < maxBackfills && d.backfillOne() {
+			backfills++
 			continue
 		}
 		// If nothing is in flight no future Release can change the
@@ -505,6 +958,10 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 		}
 		d.mu.Lock()
 		idle := d.inflight == 0
+		// Queued jobs' deadlines must fire even while the head is parked
+		// with no scheduling event in sight: arm a timer on the earliest
+		// queued deadline for this wait.
+		queueDl, queueDlArmed := d.q.NextDeadline()
 		d.mu.Unlock()
 		// Busy resident sessions hold capacity this dispatcher cannot see
 		// in its own in-flight count; their release Kicks the freed
@@ -522,17 +979,64 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result]) {
 				continue
 			default:
 			}
+			d.unpark()
 			d.finish(t, *new(Result), fmt.Errorf("sched: unplaceable on an idle cluster: %w", lastErr))
 			return
 		}
+		var queueDlC <-chan time.Time
+		var queueTimer *time.Timer
+		if queueDlArmed {
+			queueTimer = time.NewTimer(time.Until(queueDl))
+			queueDlC = queueTimer.C
+		}
+		stopQueueTimer := func() {
+			if queueTimer != nil {
+				queueTimer.Stop()
+			}
+		}
 		select {
 		case <-d.freed:
-			// A placement was released; rescore.
+			// A placement was released; rescore — unless a higher-class
+			// arrival should take this scheduling round instead.
+			if d.yield(it) {
+				stopQueueTimer()
+				return
+			}
+		case <-d.preempt:
+			if d.yield(it) {
+				stopQueueTimer()
+				return
+			}
+		case <-queueDlC:
+			// A queued (non-head) job's deadline passed: fail it fast and
+			// keep trying to place the head.
+			d.mu.Lock()
+			expired := d.q.PopExpired(time.Now())
+			d.checkTurnsLocked()
+			d.mu.Unlock()
+			for _, e := range expired {
+				d.finishMiss(e.Job)
+			}
+		case <-deadlineC:
+			stopQueueTimer()
+			d.unpark()
+			d.finishMiss(t)
+			return
 		case <-t.ctx.Done():
+			stopQueueTimer()
+			d.unpark()
 			d.finish(t, *new(Result), fmt.Errorf("sched: job canceled awaiting capacity: %w", t.ctx.Err()))
 			return
 		}
+		stopQueueTimer()
 	}
+}
+
+// recordWait books a queueing-latency sample for a placed job.
+func (d *Dispatcher[Job, Placement, Result]) recordWait(h *Handle[Result]) {
+	d.mu.Lock()
+	d.classes[h.class].waits.Record(h.placedAt.Sub(h.submitted))
+	d.mu.Unlock()
 }
 
 // worker executes placed jobs for one chip, in placement order.
@@ -578,16 +1082,23 @@ func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
 	}
 }
 
-// finish resolves a task's handle and returns its quota slot.
+// finish resolves a task's handle, books the outcome into the global and
+// per-class counters, and returns its quota slot.
 func (d *Dispatcher[Job, Placement, Result]) finish(t *task[Job, Result], res Result, err error) {
 	d.mu.Lock()
 	if d.tenants[t.h.tenant]--; d.tenants[t.h.tenant] <= 0 {
 		delete(d.tenants, t.h.tenant)
 	}
+	cs := &d.classes[t.h.class].stats
 	if err == nil {
 		d.stats.Completed++
+		cs.Completed++
 	} else {
 		d.stats.Failed++
+		cs.Failed++
+		if errors.Is(err, core.ErrDeadlineExceeded) {
+			cs.DeadlineMisses++
+		}
 	}
 	d.mu.Unlock()
 	t.h.Finish(res, err)

@@ -14,8 +14,9 @@ import (
 // fakeJob drives the fake executor: size is the capacity it claims;
 // costs, prices and loads (optional) fix the per-chip placement score;
 // block (optional) parks Execute until closed; fail makes Execute return
-// an error.
+// an error; name labels the job in the executor's order log.
 type fakeJob struct {
+	name   string
 	size   int
 	costs  []float64
 	prices []float64
@@ -25,11 +26,19 @@ type fakeJob struct {
 }
 
 // fakeExec models chips as integer capacity pools. placeFail forces Place
-// (but not Rank) to fail on specific chips.
+// (but not Rank) to fail on specific chips. order logs job names in
+// execution order.
 type fakeExec struct {
 	mu        sync.Mutex
 	free      []int
 	placeFail map[int]error
+	order     []string
+}
+
+func (e *fakeExec) executionOrder() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.order...)
 }
 
 func (e *fakeExec) avail(chip, size int) error {
@@ -81,6 +90,11 @@ func (e *fakeExec) Place(chip int, j *fakeJob) (int, error) {
 }
 
 func (e *fakeExec) Execute(ctx context.Context, chip int, pl int, j *fakeJob) (string, error) {
+	if j.name != "" {
+		e.mu.Lock()
+		e.order = append(e.order, j.name)
+		e.mu.Unlock()
+	}
 	if j.block != nil {
 		select {
 		case <-j.block:
@@ -107,12 +121,18 @@ func newTestDispatcher(t *testing.T, exec *fakeExec, cfg Config) *Dispatcher[*fa
 	return d
 }
 
+// submit enqueues a job at the default class with no deadline — the
+// shape most pre-priority tests want.
+func submit(d *Dispatcher[*fakeJob, int, string], tenant string, j *fakeJob) (*Handle[string], error) {
+	return d.Submit(context.Background(), tenant, 1, time.Time{}, j)
+}
+
 func TestPlacementPicksBestScore(t *testing.T) {
 	exec := &fakeExec{free: []int{10, 10, 10}}
 	d := newTestDispatcher(t, exec, Config{Chips: 3})
 	defer d.Close()
 
-	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, costs: []float64{2, 0.5, 1}})
+	h, err := submit(d, "a", &fakeJob{size: 1, costs: []float64{2, 0.5, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +152,7 @@ func TestPlacementLoadBreaksTiesOnly(t *testing.T) {
 	defer d.Close()
 
 	// Chips 0 and 2 tie on cost; chip 2 is less loaded.
-	h, err := d.Submit(context.Background(), "a",
+	h, err := submit(d, "a",
 		&fakeJob{size: 1, costs: []float64{1, 2, 1}, loads: []float64{0.9, 0, 0.1}})
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +164,7 @@ func TestPlacementLoadBreaksTiesOnly(t *testing.T) {
 		t.Fatalf("placed on chip %d, want tie broken to chip 2", h.Chip())
 	}
 	// A fractionally better cost beats any load advantage.
-	h, err = d.Submit(context.Background(), "a",
+	h, err = submit(d, "a",
 		&fakeJob{size: 1, costs: []float64{0.5, 1, 0.6}, loads: []float64{0.99, 0, 0}})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +188,7 @@ func TestPlacementPriceSeparatesEqualCosts(t *testing.T) {
 
 	// Chips 0 and 2 tie on cost; chip 2 is cheaper, even though chip 0 is
 	// less loaded — price outranks load.
-	h, err := d.Submit(context.Background(), "a", &fakeJob{
+	h, err := submit(d, "a", &fakeJob{
 		size:   1,
 		costs:  []float64{1, 2, 1},
 		prices: []float64{16, 16, 0.5},
@@ -184,7 +204,7 @@ func TestPlacementPriceSeparatesEqualCosts(t *testing.T) {
 		t.Fatalf("placed on chip %d, want cheapest equal-cost chip 2", h.Chip())
 	}
 	// A better cost beats any price advantage.
-	h, err = d.Submit(context.Background(), "a", &fakeJob{
+	h, err = submit(d, "a", &fakeJob{
 		size:   1,
 		costs:  []float64{0.5, 1, 1},
 		prices: []float64{16, 0.5, 0.5},
@@ -211,7 +231,7 @@ func TestPlaceFallsBackToNextChip(t *testing.T) {
 	d := newTestDispatcher(t, exec, Config{Chips: 2})
 	defer d.Close()
 
-	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, costs: []float64{0, 1}})
+	h, err := submit(d, "a", &fakeJob{size: 1, costs: []float64{0, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,13 +249,13 @@ func TestBackpressureRetriesAfterRelease(t *testing.T) {
 	defer d.Close()
 
 	gate := make(chan struct{})
-	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	h1, err := submit(d, "a", &fakeJob{size: 1, block: gate})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-h1.Started()
 	// h2 cannot be placed until h1 releases the chip's only capacity unit.
-	h2, err := d.Submit(context.Background(), "a", &fakeJob{size: 1})
+	h2, err := submit(d, "a", &fakeJob{size: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +278,7 @@ func TestUnplaceableJobFailsOnIdleCluster(t *testing.T) {
 	d := newTestDispatcher(t, exec, Config{Chips: 2})
 	defer d.Close()
 
-	h, err := d.Submit(context.Background(), "a", &fakeJob{size: 5})
+	h, err := submit(d, "a", &fakeJob{size: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,19 +294,19 @@ func TestQueueFullRejection(t *testing.T) {
 
 	gate := make(chan struct{})
 	defer close(gate)
-	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	h1, err := submit(d, "a", &fakeJob{size: 1, block: gate})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-h1.Started()
 	// h2 parks in the dispatcher awaiting capacity; everything beyond the
 	// single queue slot must be rejected.
-	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); err != nil {
+	if _, err := submit(d, "a", &fakeJob{size: 1}); err != nil {
 		t.Fatal(err)
 	}
 	var rejected bool
 	for i := 0; i < 2; i++ {
-		if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); errors.Is(err, core.ErrQueueFull) {
+		if _, err := submit(d, "a", &fakeJob{size: 1}); errors.Is(err, core.ErrQueueFull) {
 			rejected = true
 		}
 	}
@@ -304,15 +324,15 @@ func TestTenantQuota(t *testing.T) {
 	defer d.Close()
 
 	gate := make(chan struct{})
-	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	h1, err := submit(d, "a", &fakeJob{size: 1, block: gate})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrQuotaExceeded) {
+	if _, err := submit(d, "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrQuotaExceeded) {
 		t.Fatalf("tenant a second submit: got %v, want ErrQuotaExceeded", err)
 	}
 	// Another tenant is unaffected.
-	hb, err := d.Submit(context.Background(), "b", &fakeJob{size: 1})
+	hb, err := submit(d, "b", &fakeJob{size: 1})
 	if err != nil {
 		t.Fatalf("tenant b: %v", err)
 	}
@@ -324,7 +344,7 @@ func TestTenantQuota(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Quota slot is returned after completion.
-	h3, err := d.Submit(context.Background(), "a", &fakeJob{size: 1})
+	h3, err := submit(d, "a", &fakeJob{size: 1})
 	if err != nil {
 		t.Fatalf("tenant a after drain: %v", err)
 	}
@@ -340,13 +360,13 @@ func TestCancelQueuedJob(t *testing.T) {
 
 	gate := make(chan struct{})
 	defer close(gate)
-	h1, err := d.Submit(context.Background(), "a", &fakeJob{size: 1, block: gate})
+	h1, err := submit(d, "a", &fakeJob{size: 1, block: gate})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-h1.Started()
 	ctx, cancel := context.WithCancel(context.Background())
-	h2, err := d.Submit(ctx, "a", &fakeJob{size: 1})
+	h2, err := d.Submit(ctx, "a", 1, time.Time{}, &fakeJob{size: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +382,7 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 
 	var handles []*Handle[string]
 	for i := 0; i < 8; i++ {
-		h, err := d.Submit(context.Background(), fmt.Sprintf("t%d", i%3), &fakeJob{size: 1})
+		h, err := submit(d, fmt.Sprintf("t%d", i%3), &fakeJob{size: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -383,7 +403,323 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 	if s.ChipJobs[0]+s.ChipJobs[1] != 8 {
 		t.Fatalf("chip jobs %v do not sum to 8", s.ChipJobs)
 	}
-	if _, err := d.Submit(context.Background(), "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrDestroyed) {
+	if _, err := submit(d, "a", &fakeJob{size: 1}); !errors.Is(err, core.ErrDestroyed) {
 		t.Fatalf("submit after close: got %v, want ErrDestroyed", err)
+	}
+}
+
+// TestPriorityOrdersQueuedJobs: with the chip held, a later high-class
+// arrival runs before earlier lower-class queued work (displacing the
+// parked job), and equal classes keep admission order.
+func TestPriorityOrdersQueuedJobs(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{name: "blocker", size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	var handles []*Handle[string]
+	for _, j := range []struct {
+		name  string
+		class int
+	}{{"low", 0}, {"high1", 3}, {"high2", 3}, {"mid", 2}} {
+		h, err := d.Submit(context.Background(), "a", j.class, time.Time{}, &fakeJob{name: j.name, size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	close(gate)
+	for _, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"blocker", "high1", "high2", "mid", "low"}
+	got := exec.executionOrder()
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEDFDisplacesParkedSameClass: within one class, a later arrival
+// with an earlier deadline displaces the parked no-deadline job and runs
+// first.
+func TestEDFDisplacesParkedSameClass(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{name: "blocker", size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	far := time.Now().Add(time.Hour)
+	near := time.Now().Add(time.Minute)
+	var handles []*Handle[string]
+	for _, j := range []struct {
+		name     string
+		deadline time.Time
+	}{{"far", far}, {"near", near}, {"none", time.Time{}}} {
+		h, err := d.Submit(context.Background(), "a", 1, j.deadline, &fakeJob{name: j.name, size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	close(gate)
+	for _, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"blocker", "near", "far", "none"}
+	got := exec.executionOrder()
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDeadlineFailsFast: a queued job whose deadline passes before
+// placement fails with ErrDeadlineExceeded while the chip stays busy,
+// and a submission whose deadline already passed is rejected
+// synchronously.
+func TestDeadlineFailsFast(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	if _, err := d.Submit(context.Background(), "a", 1, time.Now().Add(-time.Second), &fakeJob{size: 1}); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("past-deadline submit: got %v, want ErrDeadlineExceeded", err)
+	}
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	// Two queued jobs with tight deadlines: one will be parked (its
+	// deadline timer fires), the other expires inside the queue.
+	h1, err := d.Submit(context.Background(), "a", 1, time.Now().Add(20*time.Millisecond), &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := d.Submit(context.Background(), "a", 1, time.Now().Add(25*time.Millisecond), &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Wait(context.Background()); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("h1: got %v, want ErrDeadlineExceeded", err)
+	}
+	if _, err := h2.Wait(context.Background()); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("h2: got %v, want ErrDeadlineExceeded", err)
+	}
+	close(gate)
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	var misses uint64
+	for _, cs := range s.PerClass {
+		misses += cs.DeadlineMisses
+	}
+	if misses != 3 { // the synchronous rejection counts too
+		t.Fatalf("deadline misses = %d, want 3 (%+v)", misses, s.PerClass)
+	}
+}
+
+// TestWaitTurnBlocksBehindOlderQueuedWork: an external ticket holder may
+// not proceed while an older equal-class dispatcher job is queued or
+// parked, unblocks once it places, and passes lower-class queued work
+// immediately.
+func TestWaitTurnBlocksBehindOlderQueuedWork(t *testing.T) {
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	queued, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equal class, newer ticket: must wait for the queued job.
+	seq := d.Ticket()
+	turn := make(chan error, 1)
+	go func() { turn <- d.WaitTurn(context.Background(), seq, 1, time.Time{}) }()
+	select {
+	case err := <-turn:
+		t.Fatalf("WaitTurn returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Higher class passes queued lower-class work without waiting.
+	if err := d.WaitTurn(context.Background(), d.Ticket(), 3, time.Time{}); err != nil {
+		t.Fatalf("high-class WaitTurn: %v", err)
+	}
+
+	close(gate)
+	if _, err := queued.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-turn:
+		if err != nil {
+			t.Fatalf("WaitTurn after drain: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitTurn never unblocked after the older job placed")
+	}
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancellation abandons the wait with the context error.
+	gate2 := make(chan struct{})
+	b2, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 1, block: gate2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b2.Started()
+	q2, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := d.WaitTurn(ctx, d.Ticket(), 1, time.Time{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled WaitTurn: got %v, want context.Canceled", err)
+	}
+	close(gate2)
+	if _, err := b2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgingBoundsStarvation is the no-unbounded-starvation property at
+// the dispatcher level: under a backlog of sustained top-class load, an
+// admitted bottom-class job still executes within the aging bound's
+// worth of scheduling rounds.
+func TestAgingBoundsStarvation(t *testing.T) {
+	const aging = 2
+	exec := &fakeExec{free: []int{1}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1, QueueDepth: 64, AgingRounds: aging})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 3, time.Time{}, &fakeJob{name: "blocker", size: 1, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	low, err := d.Submit(context.Background(), "a", 0, time.Time{}, &fakeJob{name: "low", size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var highs []*Handle[string]
+	for i := 0; i < 24; i++ {
+		h, err := d.Submit(context.Background(), "a", 3, time.Time{}, &fakeJob{name: fmt.Sprintf("high%02d", i), size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		highs = append(highs, h)
+	}
+	close(gate)
+	if _, err := low.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range highs {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := exec.executionOrder()
+	pos := -1
+	for i, name := range order {
+		if name == "low" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatalf("low job never executed: %v", order)
+	}
+	// Three promotions (class 0 -> 3) at `aging` rounds each, plus
+	// scheduling slack: far below the 25 jobs ahead of it in strict
+	// priority order.
+	const bound = 3*aging + 6
+	if pos > bound {
+		t.Fatalf("low job executed at position %d, want <= %d (no unbounded starvation): %v", pos, bound, order)
+	}
+	s := d.Stats()
+	var promos uint64
+	for _, cs := range s.PerClass {
+		promos += cs.Promotions
+	}
+	if promos == 0 {
+		t.Fatalf("no aging promotions recorded: %+v", s.PerClass)
+	}
+}
+
+// TestQueuedDeadlineFiresWhileHeadParked: a queued job's deadline must
+// fail fast even when the dispatcher is parked on an unplaceable head
+// with no scheduling events arriving.
+func TestQueuedDeadlineFiresWhileHeadParked(t *testing.T) {
+	exec := &fakeExec{free: []int{2}}
+	d := newTestDispatcher(t, exec, Config{Chips: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	blocker, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 2, block: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+	// The head parks without a deadline of its own...
+	head, err := d.Submit(context.Background(), "a", 1, time.Time{}, &fakeJob{size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...while a queued job behind it expires.
+	queued, err := d.Submit(context.Background(), "a", 1, time.Now().Add(30*time.Millisecond), &fakeJob{size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := queued.Wait(waitCtx); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("queued job behind parked head: got %v, want ErrDeadlineExceeded before the blocker finishes", err)
+	}
+	close(gate)
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := head.Wait(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

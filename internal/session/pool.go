@@ -15,8 +15,10 @@
 //     how much capacity warm sessions may hold.
 //   - Pressure eviction: when a cold create — or any placement outside
 //     the pool — fails for lack of capacity, idle sessions are evicted
-//     LRU-first to hand their cores back, so warm pools never starve
-//     jobs that need fresh rectangles.
+//     lowest-scheduling-class first (LRU within a class) to hand their
+//     cores back, so warm pools never starve jobs that need fresh
+//     rectangles and low-priority residency is preempted before
+//     high-priority pools are touched.
 //   - Continuous batching: each busy session carries a bounded
 //     micro-queue. Attach appends a compatible job (same key — same
 //     tenant, model and topology) to a busy session; the holder drains
@@ -72,6 +74,13 @@ type Config[R any] struct {
 	// Cores reports the resource's core count, for the warm-capacity
 	// gauges (IdleCoresOn). Optional; nil reports 0.
 	Cores func(res R) int
+	// Priority reports the resource's scheduling class (higher = more
+	// important). Eviction — pressure reclaim and the MaxIdle bound —
+	// picks the lowest-class idle session first, least recently used
+	// within a class, so a high-priority cold create preempts
+	// low-priority warm residency before touching high-priority pools.
+	// Optional; nil treats every session as class 0 (pure LRU).
+	Priority func(res R) int
 	// IsCapacity classifies cold-create errors that evicting idle
 	// sessions may cure (the cluster uses ErrNoCapacity and
 	// ErrTopologyUnsatisfiable). Nil means no error is curable.
@@ -106,10 +115,14 @@ const (
 
 // sess is one resident session.
 type sess[R, Q any] struct {
-	key    Key
-	chip   int
-	res    R
-	cores  int
+	key   Key
+	chip  int
+	res   R
+	cores int
+	// prio is the session's scheduling class, fixed at create time (the
+	// class of the job whose cold create built it); eviction prefers
+	// lower classes.
+	prio   int
 	state  sessState
 	microq []Q
 	// expires and elem are meaningful while idle.
@@ -277,6 +290,9 @@ func (p *Pool[R, Q]) Acquire(key Key, create func() (int, R, error)) (*Lease[R, 
 			if p.cfg.Cores != nil {
 				s.cores = p.cfg.Cores(res)
 			}
+			if p.cfg.Priority != nil {
+				s.prio = p.cfg.Priority(res)
+			}
 			p.mu.Lock()
 			if p.closed {
 				p.mu.Unlock()
@@ -355,7 +371,7 @@ func (l *Lease[R, Q]) Next() (Q, bool) {
 	over := p.idleCount - p.cfg.MaxIdle
 	var victims []*sess[R, Q]
 	for ; over > 0; over-- {
-		victims = append(victims, p.popIdleLocked(p.idleLRU.Back()))
+		victims = append(victims, p.popIdleLocked(p.victimLocked()))
 		p.stats.EvictedLRU++
 	}
 	p.mu.Unlock()
@@ -386,22 +402,41 @@ func (l *Lease[R, Q]) Discard() []Q {
 	return items
 }
 
-// EvictIdle destroys up to n idle sessions, least recently used first,
-// returning how many it evicted. Serving paths outside the pool call it
-// when a placement fails for lack of capacity, reclaiming warm cores for
-// jobs that need fresh rectangles.
+// EvictIdle destroys up to n idle sessions — lowest scheduling class
+// first, least recently used within a class — returning how many it
+// evicted. Serving paths outside the pool call it when a placement fails
+// for lack of capacity, reclaiming warm cores for jobs that need fresh
+// rectangles; the class-weighted order means low-priority warm residency
+// is always cannibalized before high-priority pools.
 func (p *Pool[R, Q]) EvictIdle(n int) int {
 	return p.evict(n, &p.stats.EvictedPressure)
 }
 
-// evict pops up to n LRU idle sessions, counts them in the given stat
-// (which must be a field of p.stats, guarded by p.mu), and destroys them
-// outside the lock.
+// victimLocked picks the eviction victim: the idle session with the
+// lowest class; within a class, the least recently used (closest to the
+// LRU back). Caller holds p.mu; returns nil with no idle sessions.
+func (p *Pool[R, Q]) victimLocked() *list.Element {
+	var best *list.Element
+	bestPrio := 0
+	// Walk from the LRU back so the first session seen in each class is
+	// its least recently used; strict < keeps it.
+	for e := p.idleLRU.Back(); e != nil; e = e.Prev() {
+		s := e.Value.(*sess[R, Q])
+		if best == nil || s.prio < bestPrio {
+			best, bestPrio = e, s.prio
+		}
+	}
+	return best
+}
+
+// evict pops up to n idle sessions in class-weighted LRU order, counts
+// them in the given stat (which must be a field of p.stats, guarded by
+// p.mu), and destroys them outside the lock.
 func (p *Pool[R, Q]) evict(n int, counter *uint64) int {
 	p.mu.Lock()
 	var victims []*sess[R, Q]
 	for len(victims) < n {
-		e := p.idleLRU.Back()
+		e := p.victimLocked()
 		if e == nil {
 			break
 		}

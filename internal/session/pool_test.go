@@ -365,3 +365,94 @@ func TestChurnRace(t *testing.T) {
 		t.Fatalf("%d resources leaked", len(h.live))
 	}
 }
+
+// TestEvictionPrefersLowPriority: pressure eviction and the MaxIdle
+// bound pick the lowest-class idle session first (LRU within a class),
+// so high-priority warm pools survive low-priority churn.
+func TestEvictionPrefersLowPriority(t *testing.T) {
+	h := newHarness(3)
+	prio := map[int]int{} // resource id -> class
+	var prioMu sync.Mutex
+	p := newPool(t, h, func(c *Config[*fakeRes]) {
+		c.Priority = func(r *fakeRes) int {
+			prioMu.Lock()
+			defer prioMu.Unlock()
+			return prio[r.id]
+		}
+	})
+	defer p.Close()
+
+	acquire := func(tenant string, class int) *Lease[*fakeRes, int] {
+		t.Helper()
+		l, _, err := p.Acquire(Key{Tenant: tenant}, func() (int, *fakeRes, error) {
+			chip, r, err := h.create()
+			if err == nil {
+				prioMu.Lock()
+				prio[r.id] = class
+				prioMu.Unlock()
+			}
+			return chip, r, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	// Idle order (most recent first): highB, lowOld, highA — pure LRU
+	// would evict highA; class-weighted eviction must evict lowOld.
+	la := acquire("highA", 3)
+	release(t, la)
+	lo := acquire("lowOld", 0)
+	release(t, lo)
+	lb := acquire("highB", 3)
+	release(t, lb)
+
+	// The backend is full: a fourth session needs a pressure eviction.
+	lc := acquire("next", 2)
+	release(t, lc)
+	if s := p.Stats(); s.EvictedPressure != 1 {
+		t.Fatalf("want 1 pressure eviction, got %+v", s)
+	}
+	// Both high-class sessions survived; the low one is gone.
+	if _, warm, _ := p.Acquire(Key{Tenant: "highA"}, h.create); !warm {
+		t.Fatal("eviction took a high-class session instead of the low one")
+	}
+	if _, warm, _ := p.Acquire(Key{Tenant: "highB"}, h.create); !warm {
+		t.Fatal("eviction took highB")
+	}
+	p.mu.Lock()
+	_, lowAlive := p.byKey[Key{Tenant: "lowOld"}]
+	p.mu.Unlock()
+	if lowAlive {
+		t.Fatal("low-class session survived the pressure eviction")
+	}
+}
+
+// TestEvictionSamePriorityKeepsLRU: within one class the eviction order
+// stays least-recently-used.
+func TestEvictionSamePriorityKeepsLRU(t *testing.T) {
+	h := newHarness(2)
+	p := newPool(t, h, func(c *Config[*fakeRes]) {
+		c.Priority = func(r *fakeRes) int { return 1 }
+	})
+	defer p.Close()
+
+	la, _, err := p.Acquire(Key{Tenant: "a"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _, err := p.Acquire(Key{Tenant: "b"}, h.create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(t, la)
+	release(t, lb)
+	if n := p.EvictIdle(1); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	// "a" went idle first, so it must be the victim; "b" stays warm.
+	if _, warm, _ := p.Acquire(Key{Tenant: "b"}, h.create); !warm {
+		t.Fatal("same-class eviction was not LRU")
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRebaseMatchesRecompile: a program compiled at one guest base and
+// rebased to another is instruction-identical to compiling at the target
+// base directly — the property the cluster's compile-once cache rests on.
+func TestRebaseMatchesRecompile(t *testing.T) {
+	m := AlexNet()
+	for _, streaming := range []bool{false, true} {
+		opts := CompileOptions{Cores: 4, WeightZoneBytes: 1 << 20, ForceStreaming: streaming}
+
+		at0, info0, err := Compile(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const base = uint64(0x40000)
+		optsAt := opts
+		optsAt.VABase = base
+		atBase, infoB, err := Compile(m, optsAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info0.MemBytes != infoB.MemBytes {
+			t.Fatalf("footprint depends on base: %d vs %d", info0.MemBytes, infoB.MemBytes)
+		}
+
+		rebased := at0.Rebase(0, base)
+		if !reflect.DeepEqual(rebased.Cores(), atBase.Cores()) {
+			t.Fatalf("core sets differ: %v vs %v", rebased.Cores(), atBase.Cores())
+		}
+		for _, id := range atBase.Cores() {
+			if !reflect.DeepEqual(rebased.Stream(id), atBase.Stream(id)) {
+				t.Fatalf("streaming=%v: core %d streams differ after rebase", streaming, id)
+			}
+		}
+		// Rebasing back round-trips to the original.
+		back := rebased.Rebase(base, 0)
+		for _, id := range at0.Cores() {
+			if !reflect.DeepEqual(back.Stream(id), at0.Stream(id)) {
+				t.Fatalf("round-trip rebase differs on core %d", id)
+			}
+		}
+	}
+}

@@ -2,10 +2,64 @@ package vnpu
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/sched"
 )
+
+// Priority is a job's scheduling class. The cluster's scheduler core
+// orders admission by class first (higher classes place first, on both
+// serving paths), earliest deadline next, admission order last. Aging
+// protects lower classes from starvation: a queued job is promoted one
+// class after every WithAgingRounds scheduling rounds spent waiting, so
+// even sustained PriorityCritical load cannot park a PriorityBestEffort
+// job forever.
+type Priority int
+
+const (
+	// PriorityDefault resolves to the cluster's default class (see
+	// WithDefaultPriority; PriorityNormal unless overridden), so zero-value
+	// Jobs keep their pre-priority behavior.
+	PriorityDefault Priority = 0
+	// PriorityBestEffort is the lowest class: batch and backfill traffic.
+	PriorityBestEffort Priority = 1
+	// PriorityNormal is the standard serving class.
+	PriorityNormal Priority = 2
+	// PriorityHigh is for latency-sensitive traffic.
+	PriorityHigh Priority = 3
+	// PriorityCritical is the top class: SLO-critical jobs that may
+	// displace queued lower-class work.
+	PriorityCritical Priority = 4
+)
+
+// NumPriorityClasses is the number of distinct scheduling classes
+// (PriorityBestEffort through PriorityCritical).
+const NumPriorityClasses = 4
+
+// String names the class for reports.
+func (p Priority) String() string {
+	switch p {
+	case PriorityDefault:
+		return "default"
+	case PriorityBestEffort:
+		return "best-effort"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	case PriorityCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// class maps a resolved Priority onto the scheduler core's 0-based
+// class index.
+func (p Priority) class() int { return int(p) - 1 }
+
+// priorityFromClass is the inverse of Priority.class.
+func priorityFromClass(class int) Priority { return Priority(class + 1) }
 
 // Job is one unit of serving work: run a model for a number of iterations
 // on a virtual NPU of the requested topology. Submit it to a Cluster.
@@ -17,6 +71,19 @@ type Job struct {
 	Model Model
 	// Iterations repeats the inference (0 means 1).
 	Iterations int
+	// Priority is the job's scheduling class (PriorityDefault resolves
+	// to the cluster's default, normally PriorityNormal; tenants may be
+	// capped with WithTenantPriorityCap). Higher classes are placed
+	// first on both serving paths and may displace queued lower-class
+	// work.
+	Priority Priority
+	// Deadline, when non-zero, is the job's scheduling SLO: within a
+	// class, jobs place earliest-deadline-first, and a job still
+	// unplaced when its deadline passes fails fast with
+	// ErrDeadlineExceeded instead of occupying a chip late. The deadline
+	// bounds time-to-placement, not completion — a job already running
+	// is never killed by it (cancel the submission context for that).
+	Deadline time.Time
 	// Topology is the virtual NPU shape the job wants. It must not be
 	// mutated after Submit — placement decisions (and their cache keys)
 	// are computed from it while the job is in flight.
@@ -36,6 +103,11 @@ type Job struct {
 	// intended user; jobs with callback-based mapping options are never
 	// pooled.
 	Reusable bool
+
+	// modelSig is the model's content fingerprint, resolved once at
+	// Submit and threaded through so the execution paths can key the
+	// compiled-program cache without rehashing the model per job.
+	modelSig uint64
 }
 
 // request materializes the job's Request by layering its options.
@@ -63,6 +135,9 @@ type JobReport struct {
 	// MapCost is the topology edit distance of the placement (0 = the
 	// exact requested topology).
 	MapCost float64
+	// Priority is the job's resolved scheduling class (never
+	// PriorityDefault: the cluster default and tenant caps are applied).
+	Priority Priority
 	// QueueWait is the wall-clock time the job spent queued before being
 	// placed on its chip.
 	QueueWait time.Duration

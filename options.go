@@ -70,3 +70,37 @@ func WithBandwidthCap(maxBytes, windowCycles int64) Option {
 func WithKVBuffer(bytes int64) Option {
 	return func(r *Request) { r.KVBufferBytes = bytes }
 }
+
+// Scheduling options of the cluster's admission core. They are
+// ClusterOptions (not per-Request options) because ordering policy is a
+// property of the serving front-end, not of one vNPU.
+
+// WithDefaultPriority sets the class a Job with PriorityDefault resolves
+// to (default PriorityNormal). Explicit out-of-range priorities are
+// clamped to [PriorityBestEffort, PriorityCritical].
+func WithDefaultPriority(p Priority) ClusterOption {
+	return func(c *clusterConfig) { c.defaultPriority = p }
+}
+
+// WithTenantPriorityCap caps one tenant's scheduling class: jobs the
+// tenant submits above the cap are silently clamped down to it, on both
+// serving paths. Use it to keep batch tenants out of the SLO classes
+// without rejecting their traffic.
+func WithTenantPriorityCap(tenant string, max Priority) ClusterOption {
+	return func(c *clusterConfig) {
+		if c.priorityCaps == nil {
+			c.priorityCaps = make(map[string]Priority)
+		}
+		c.priorityCaps[tenant] = max
+	}
+}
+
+// WithAgingRounds tunes starvation protection: a queued job is promoted
+// one class after waiting this many scheduling rounds (pops) in its
+// class, bounding any admitted job's wait to
+// O(NumPriorityClasses x rounds) rounds regardless of higher-class
+// pressure. The default is queue.DefaultAgingRounds; negative values
+// disable aging (strict classes).
+func WithAgingRounds(rounds int) ClusterOption {
+	return func(c *clusterConfig) { c.agingRounds = rounds }
+}

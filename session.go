@@ -146,6 +146,13 @@ func (c *Cluster) coreUsage(chip int) CoreUsage {
 type sessRes struct {
 	v  *VirtualNPU
 	cm *CompiledModel
+	// class is the session's scheduling class, fixed at create time (the
+	// class of the job whose cold create built it). Eviction — pressure
+	// reclaim and the MaxIdle bound — destroys lower classes first, and
+	// the placement engine's held-core accounting files the session's
+	// cores under it. A later higher-class job leasing the session does
+	// not promote it; its residency was charged to its creator.
+	class int
 }
 
 // sessLease names the pool lease instantiation.
@@ -159,6 +166,10 @@ type sessTask struct {
 	req Request
 	key session.Key
 	h   *sched.Handle[JobReport]
+	// seq is the admission sequence ticket drawn from the dispatcher's
+	// counter: the job may not start until no older queued dispatcher
+	// job of equal-or-higher class remains (WaitTurn).
+	seq uint64
 }
 
 // sessionKeyOf computes the job's session class from the model
@@ -263,13 +274,19 @@ func (c *Cluster) pokeAll() {
 
 // submitSession admits a session-eligible job and starts its serving
 // goroutine. Admission mirrors the dispatcher's: the in-flight bound is
-// the queue depth (ErrQueueFull beyond), and the tenant quota is one
-// shared counter with the dispatcher path — the slot is reserved
-// atomically in the dispatcher (ReserveSlot), so racing Submits on the
-// two paths cannot jointly oversubscribe a tenant.
+// the queue depth (ErrQueueFull beyond), the tenant quota is one shared
+// counter with the dispatcher path — the slot is reserved atomically in
+// the dispatcher (ReserveSlot), so racing Submits on the two paths
+// cannot jointly oversubscribe a tenant — and the job draws a sequence
+// ticket from the dispatcher's admission counter, so the scheduler core
+// can order it against queued one-shot work (WaitTurn in sessionRun).
 func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key session.Key) (*Handle, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if !job.Deadline.IsZero() && time.Now().After(job.Deadline) {
+		c.disp.ExternalDeadlineMiss(job.Priority.class())
+		return nil, fmt.Errorf("vnpu: job deadline already passed at submit: %w", ErrDeadlineExceeded)
 	}
 	tenant := job.tenant()
 	c.sessMu.Lock()
@@ -289,7 +306,13 @@ func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key s
 	c.sessSubmitted++
 	c.sessWG.Add(1)
 	c.sessMu.Unlock()
-	t := &sessTask{ctx: ctx, job: job, req: req, key: key, h: sched.NewHandle[JobReport](tenant)}
+	class := job.Priority.class()
+	c.disp.ExternalSubmitted(class)
+	t := &sessTask{
+		ctx: ctx, job: job, req: req, key: key,
+		h:   sched.NewHandle[JobReport](tenant, class),
+		seq: c.disp.Ticket(),
+	}
 	go c.sessionRun(t)
 	return &Handle{h: t.h}, nil
 }
@@ -301,7 +324,23 @@ func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key s
 // anywhere in the cluster and retries — mirroring the dispatcher's
 // retry-on-release backpressure — and fails terminally only when nothing
 // in flight could ever free what the job needs.
+//
+// Before touching the pool, the job waits its admission turn: the
+// scheduler core blocks it while any older queued dispatcher job of
+// equal-or-higher class remains, so warm-hit traffic cannot pass queued
+// one-shot work (it can still pass *lower*-class queued work — that is
+// what priority classes are for).
 func (c *Cluster) sessionRun(t *sessTask) {
+	if err := c.disp.WaitTurn(t.ctx, t.seq, t.job.Priority.class(), t.job.Deadline); err != nil {
+		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: %w", err))
+		return
+	}
+	var deadlineC <-chan time.Time
+	if !t.job.Deadline.IsZero() {
+		timer := time.NewTimer(time.Until(t.job.Deadline))
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
 	var lease *sessLease
 	var warm bool
 	for {
@@ -320,7 +359,7 @@ func (c *Cluster) sessionRun(t *sessTask) {
 		}
 		var err error
 		lease, warm, err = c.pool.Acquire(t.key, func() (int, *sessRes, error) {
-			return c.createSession(t.req)
+			return c.createSession(t.req, t.job.Priority.class())
 		})
 		if err == nil {
 			break
@@ -351,6 +390,10 @@ func (c *Cluster) sessionRun(t *sessTask) {
 		}
 		select {
 		case <-c.capFreed:
+		case <-deadlineC:
+			c.pokeAll()
+			c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: deadline passed awaiting session capacity: %w", ErrDeadlineExceeded))
+			return
 		case <-t.ctx.Done():
 			c.pokeAll()
 			c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: job canceled awaiting session capacity: %w", t.ctx.Err()))
@@ -388,13 +431,19 @@ func (c *Cluster) sessionRun(t *sessTask) {
 	}
 }
 
-// execSession executes one job on the resident vNPU, compiling the model
-// for the session once and reusing the program for every later job. It
-// reports whether the session must be discarded (true on execution
-// errors that are not the job's own cancellation).
+// execSession executes one job on the resident vNPU, resolving the
+// session's program through the cluster's compile-once cache on first
+// use and reusing it for every later job. It reports whether the session
+// must be discarded (true on execution errors that are not the job's own
+// cancellation). Jobs whose scheduling deadline passed while they waited
+// — in the micro-queue or for the chip — fail fast without running.
 func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fatal bool) {
 	if err := t.ctx.Err(); err != nil {
 		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: job canceled before execution: %w", err))
+		return false
+	}
+	if !t.job.Deadline.IsZero() && time.Now().After(t.job.Deadline) {
+		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: deadline passed before execution: %w", ErrDeadlineExceeded))
 		return false
 	}
 	t.h.MarkStarted(chip)
@@ -411,7 +460,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	var rep Report
 	var err error
 	if r.cm == nil {
-		r.cm, err = sys.CompileFor(r.v, t.job.Model)
+		r.cm, err = c.compileFor(chip, r.v, t.job.Model, t.job.modelSig)
 	}
 	if err == nil {
 		rep, err = sys.RunCompiled(t.ctx, r.v, r.cm, t.job.Iterations)
@@ -429,18 +478,20 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 		return t.ctx.Err() == nil
 	}
 	c.finishSess(t, JobReport{
-		Report:  rep,
-		Chip:    chip,
-		Tenant:  t.job.tenant(),
-		Model:   t.job.Model.Name,
-		MapCost: r.v.MapCost(),
-		Warm:    warm,
+		Report:   rep,
+		Chip:     chip,
+		Tenant:   t.job.tenant(),
+		Model:    t.job.Model.Name,
+		MapCost:  r.v.MapCost(),
+		Priority: t.job.Priority,
+		Warm:     warm,
 	}, nil)
 	return false
 }
 
-// finishSess resolves a session job's handle and returns its admission
-// and quota slots.
+// finishSess resolves a session job's handle, books it into the
+// scheduler core's per-class accounting (so SchedStats covers both
+// serving paths), and returns its admission and quota slots.
 func (c *Cluster) finishSess(t *sessTask, rep JobReport, err error) {
 	c.sessMu.Lock()
 	c.sessInflight--
@@ -452,26 +503,30 @@ func (c *Cluster) finishSess(t *sessTask, rep JobReport, err error) {
 	c.sessMu.Unlock()
 	c.disp.ReleaseSlot(t.h.Tenant())
 	t.h.Finish(rep, err)
+	c.disp.ExternalDone(t.job.Priority.class(), t.h.QueueWait(), err)
 	c.sessWG.Done()
 }
 
 // createSession is the pool's cold path: place and create a resident
-// vNPU for the session class. Candidates keep the engine's cost-then-
-// price order; among equals, the chip already holding the most session
-// cores wins, consolidating warm pools so whole chips stay free for
-// topologies that need fresh rectangles.
-func (c *Cluster) createSession(req Request) (int, *sessRes, error) {
+// vNPU for the session class, filed under the creating job's scheduling
+// class. Candidates keep the engine's cost-then-price order; among
+// equals, the chip already holding the most session cores of
+// equal-or-lower class wins — consolidating onto residency this class is
+// allowed to cannibalize under pressure, while higher-class warm pools
+// and genuinely free chips stay intact for topologies that need fresh
+// rectangles.
+func (c *Cluster) createSession(req Request, class int) (int, *sessRes, error) {
 	preq := placeRequest(req)
 	cands, err := c.engine.Place(preq)
 	if err != nil {
 		return 0, nil, err
 	}
-	// Snapshot held counts once (HeldCount takes the engine lock), then
+	// Snapshot held counts once (HeldBelow takes the engine lock), then
 	// re-rank with the consolidation tiebreak as a proper lexicographic
-	// order: cost, price, then most session-held cores first.
+	// order: cost, price, then most reclaimable session-held cores first.
 	held := make(map[int]int, len(cands))
 	for _, cand := range cands {
-		held[cand.Chip] = c.engine.HeldCount(cand.Chip)
+		held[cand.Chip] = c.engine.HeldBelow(cand.Chip, class)
 	}
 	sort.SliceStable(cands, func(a, b int) bool {
 		if cands[a].Cost != cands[b].Cost {
@@ -494,13 +549,13 @@ func (c *Cluster) createSession(req Request) (int, *sessRes, error) {
 			lastErr = err
 			continue
 		}
-		if err := c.engine.Reserve(cand.Chip, v.Nodes()); err != nil {
+		if err := c.engine.Reserve(cand.Chip, v.Nodes(), class); err != nil {
 			// The engine's mirror disagrees with the hypervisor — undo
 			// the create rather than serve from a corrupted view.
 			_ = c.systems[cand.Chip].Destroy(v)
 			return 0, nil, err
 		}
-		return cand.Chip, &sessRes{v: v}, nil
+		return cand.Chip, &sessRes{v: v, class: class}, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("vnpu: no chip can host the session: %w", ErrNoCapacity)
@@ -509,11 +564,12 @@ func (c *Cluster) createSession(req Request) (int, *sessRes, error) {
 }
 
 // destroySession is the pool's destroy hook: tear the resident vNPU down
-// and return its cores to the placement engine's mirror.
+// and return its cores to the placement engine's mirror (and its class's
+// held-core account).
 func (c *Cluster) destroySession(chip int, r *sessRes) error {
 	nodes := append([]topo.NodeID(nil), r.v.Nodes()...)
 	if err := c.systems[chip].Destroy(r.v); err != nil {
 		return err
 	}
-	return c.engine.Evict(chip, nodes)
+	return c.engine.Evict(chip, nodes, r.class)
 }

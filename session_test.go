@@ -411,3 +411,221 @@ func TestSessionTTLExpiryReturnsCapacity(t *testing.T) {
 		t.Fatalf("cores not returned after TTL eviction: %v", got)
 	}
 }
+
+// TestSessionCannotPassOlderQueuedDispatcherJob is the admission-order
+// fairness property: a session-eligible job may no longer overtake an
+// older queued dispatcher job of equal priority — not even by batching
+// onto its busy resident session. The scheduler core holds it in
+// WaitTurn until the older job has been placed.
+func TestSessionCannotPassOlderQueuedDispatcherJob(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	// R occupies the whole chip on the session path and blocks on the
+	// exec hook.
+	rJob := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4), Reusable: true}
+	hR, err := c.Submit(context.Background(), rJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hR.Started()
+
+	// D is an older one-shot job that cannot place while R holds the
+	// chip: it parks in the dispatcher.
+	hD, err := c.Submit(context.Background(), Job{Tenant: "u", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// W is a newer session job of R's class. Pre-fairness it would attach
+	// to R's micro-queue and run before D; now it must wait its turn.
+	hW, err := c.Submit(context.Background(), rJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if s := c.SessionStats(); s.Batched != 0 {
+		t.Fatalf("session job batched past the queued dispatcher job: %+v", s)
+	}
+
+	// Release R: D must reclaim the idle session and take the chip; W
+	// stays unstarted until D is done.
+	gate <- struct{}{}
+	select {
+	case <-hD.Started():
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued dispatcher job never placed after the session went idle")
+	}
+	select {
+	case <-hW.Started():
+		t.Fatal("session job started before the older dispatcher job finished")
+	case <-time.After(30 * time.Millisecond):
+	}
+	gate <- struct{}{} // release D
+	if _, err := hD.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{} // release W (cold create after D freed the chip)
+	repW, err := hW.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repW.Warm {
+		t.Fatal("W cannot be warm: fairness forced it behind D, whose reclaim evicted R's session")
+	}
+	if _, err := hR.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.SessionStats(); s.Batched != 0 {
+		t.Fatalf("batching slipped past admission order: %+v", s)
+	}
+}
+
+// TestSessionHigherClassPassesQueuedLowerClass: priority classes are the
+// sanctioned overtaking lane — a high-priority session job batches onto
+// a busy session ahead of queued best-effort one-shot work.
+func TestSessionHigherClassPassesQueuedLowerClass(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	gate := make(chan struct{})
+	c.testExecHook = func(int) { <-gate }
+	defer c.Close()
+
+	rJob := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4), Reusable: true, Priority: PriorityHigh}
+	hR, err := c.Submit(context.Background(), rJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hR.Started()
+	hD, err := c.Submit(context.Background(), Job{
+		Tenant: "u", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 4), Priority: PriorityBestEffort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hW, err := c.Submit(context.Background(), rJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W (high) passes D (best-effort): it attaches to R's busy session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := c.SessionStats(); s.Batched == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("high-class session job did not batch past best-effort queued work: %+v", c.SessionStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	gate <- struct{}{} // R finishes; its holder runs W next
+	gate <- struct{}{} // W finishes
+	repW, err := hW.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repW.Warm {
+		t.Fatal("batched high-class job must report warm")
+	}
+	gate <- struct{}{} // D finally runs
+	if _, err := hD.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hR.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionEvictionPrefersLowPriorityCluster: under capacity pressure
+// the cluster evicts the low-priority warm session and keeps the
+// high-priority one, even when the high one is least recently used.
+func TestSessionEvictionPrefersLowPriorityCluster(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 1)
+	defer c.Close()
+
+	// High-class session first: pure LRU would make it the victim.
+	high := Job{Tenant: "t", Model: mustModel(t, "alexnet"), Topology: Mesh(2, 2), Reusable: true, Priority: PriorityHigh}
+	submitWait(t, c, high)
+	low := Job{Tenant: "t", Model: mustModel(t, "googlenet"), Topology: Mesh(2, 2), Reusable: true, Priority: PriorityBestEffort}
+	submitWait(t, c, low)
+
+	// 8 cores all warm-held; a 3-core one-shot needs one eviction.
+	oneShot := Job{Tenant: "u", Model: mustModel(t, "mobilenet"), Topology: Chain(3)}
+	submitWait(t, c, oneShot)
+	if s := c.SessionStats(); s.EvictedPressure < 1 {
+		t.Fatalf("want a pressure eviction, got %+v", s)
+	}
+	// The high-priority session survived and serves warm.
+	rep := submitWait(t, c, high)
+	if !rep.Warm {
+		t.Fatal("eviction took the high-priority session instead of the best-effort one")
+	}
+}
+
+// TestPriorityChurnRace mixes priorities, deadlines and reusability
+// across both serving paths from many goroutines; run with -race. It
+// checks serving invariants: every job resolves (success, queue-full or
+// a deadline miss), and the pool drains on Close.
+func TestPriorityChurnRace(t *testing.T) {
+	c := newReuseCluster(t, FPGAConfig(), 2,
+		WithSessionMaxIdle(3), WithQueueDepth(256), WithAgingRounds(4))
+	models := []string{"alexnet", "mobilenet", "resnet18"}
+	topos := []*Topology{Mesh(2, 2), Chain(3), Mesh(2, 3)}
+	prios := []Priority{PriorityBestEffort, PriorityNormal, PriorityHigh, PriorityCritical}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := (g + i) % len(models)
+				job := Job{
+					Tenant:   fmt.Sprintf("tenant-%d", g%3),
+					Model:    mustModel(t, models[k]),
+					Topology: topos[k],
+					Reusable: i%2 == 0,
+					Priority: prios[(g+i)%len(prios)],
+				}
+				if i%3 == 0 {
+					job.Deadline = time.Now().Add(30 * time.Second)
+				}
+				h, err := c.Submit(context.Background(), job)
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						errs <- err
+					}
+					continue
+				}
+				if _, err := h.Wait(context.Background()); err != nil &&
+					!errors.Is(err, ErrDeadlineExceeded) {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.SessionStats(); s.BusySessions != 0 || s.IdleSessions != 0 {
+		t.Fatalf("sessions survived Close: %+v", s)
+	}
+	// Per-class accounting covered both paths: everything submitted was
+	// accounted completed or failed.
+	ss := c.SchedStats()
+	var sub, done uint64
+	for _, cs := range ss.Classes {
+		sub += cs.Submitted
+		done += cs.Completed + cs.Failed
+	}
+	if sub == 0 || sub != done {
+		t.Fatalf("per-class accounting leaked: submitted %d, resolved %d (%+v)", sub, done, ss.Classes)
+	}
+}

@@ -180,14 +180,23 @@ func (s *System) ResetTransients(v *VirtualNPU) {
 // ModelMemoryBytes reports the global memory a model needs on a virtual
 // NPU with the given core count — use it to size Request.MemoryBytes.
 func (s *System) ModelMemoryBytes(m Model, cores int) (uint64, error) {
-	_, info, err := workload.Compile(m, workload.CompileOptions{
-		Cores:           cores,
-		WeightZoneBytes: s.weightZone(),
-	})
+	_, info, err := s.compileAt(m, cores, 0)
 	if err != nil {
 		return 0, err
 	}
 	return info.MemBytes, nil
+}
+
+// compileAt compiles the model for the given core count with its guest
+// memory region based at vaBase. The cluster's compile-once cache uses
+// it directly so it can keep the program a sizing pass produces instead
+// of discarding it.
+func (s *System) compileAt(m Model, cores int, vaBase uint64) (*isa.Program, workload.Info, error) {
+	return workload.Compile(m, workload.CompileOptions{
+		Cores:           cores,
+		VABase:          vaBase,
+		WeightZoneBytes: s.weightZone(),
+	})
 }
 
 func (s *System) weightZone() int64 {
