@@ -98,10 +98,10 @@ type Cluster struct {
 	seenMu sync.Mutex
 	seen   map[session.Key]uint8
 
-	// prewarmSem bounds the speculative placement-prewarm goroutines the
-	// dispatcher's Prewarm hook may have in flight; when all slots are
-	// busy the speculation is simply dropped.
-	prewarmSem chan struct{}
+	// regret is the hits-first tolerance: a job starts immediately on a
+	// cached placement of cost <= regret instead of waiting for its full
+	// rank (see WithPlacementRegret). Negative disables hits-first.
+	regret float64
 
 	// progMu guards progs, the compiled-program cache keyed by (model
 	// fingerprint, core count, weight zone): admission sizing compiles a
@@ -150,6 +150,8 @@ type clusterConfig struct {
 	defaultPriority Priority
 	priorityCaps    map[string]Priority
 	agingRounds     int
+	mapperWorkers   int
+	regret          *float64
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -214,7 +216,6 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		systems:         make([]*System, len(specs)),
 		execMu:          make([]sync.Mutex, len(specs)),
 		progs:           make(map[progKey]*progEntry),
-		prewarmSem:      make(chan struct{}, prewarmWorkers),
 		sessChipJobs:    make([]int, len(specs)),
 		sessChipBusy:    make([]time.Duration, len(specs)),
 		execWait:        make([]time.Duration, len(specs)),
@@ -256,11 +257,17 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	if cc.cacheSize != nil {
 		engineOpts = append(engineOpts, place.WithCacheSize(*cc.cacheSize))
 	}
+	if cc.mapperWorkers > 0 {
+		engineOpts = append(engineOpts, place.WithWorkers(cc.mapperWorkers))
+	}
 	engine, err := place.New(engineChips, engineOpts...)
 	if err != nil {
 		return nil, err
 	}
 	c.engine = engine
+	if cc.regret != nil {
+		c.regret = *cc.regret
+	}
 	c.queueDepth = cc.queueDepth
 	if c.queueDepth <= 0 {
 		c.queueDepth = DefaultQueueDepth
@@ -313,24 +320,14 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	return c, nil
 }
 
-// prewarmWorkers bounds concurrent speculative placement computations.
-const prewarmWorkers = 4
-
-// prewarmPlacement is the dispatcher's speculation hook: compute (and
-// cache) the job's placement scores against the current free sets on a
-// spare goroutine. Never blocks — with every worker slot busy the
-// speculation is dropped, and the engine's single-flight dedups a
-// speculative computation racing the dispatcher's own.
+// prewarmPlacement is the dispatcher's speculation hook: schedule the
+// job's missing mappings on the engine's async mapper workers. Never
+// blocks — with the pool saturated the speculation is dropped — and the
+// engine's single-flight dedups a speculative computation racing the
+// dispatcher's own. PlacementStats counts how speculation pays off
+// (PrewarmRuns/PrewarmHits/PrewarmWasted).
 func (c *Cluster) prewarmPlacement(job Job) {
-	select {
-	case c.prewarmSem <- struct{}{}:
-	default:
-		return
-	}
-	go func() {
-		defer func() { <-c.prewarmSem }()
-		c.engine.Prewarm(placeRequest(job.request()))
-	}()
+	c.engine.Prewarm(placeRequest(job.request()))
 }
 
 // chipCap is one chip's admission-relevant limits.
@@ -635,6 +632,9 @@ func (c *Cluster) Close() error {
 	if err := c.disp.Close(); err != nil {
 		return err
 	}
+	// The dispatcher has drained every job (including map-parked ones),
+	// so no one waits on an async mapping anymore; stop the workers last.
+	c.engine.Close()
 	return poolErr
 }
 
@@ -655,6 +655,12 @@ type ClusterStats struct {
 	ChipJobs []int
 	// ChipBusy is the cumulative wall-clock execution time per chip.
 	ChipBusy []time.Duration
+	// HitsFirst counts dispatcher jobs started through the hits-first
+	// fast path (a cached placement within the regret bound).
+	HitsFirst uint64
+	// MapParked counts dispatcher jobs that parked on an async mapping
+	// instead of blocking the dispatch loop on a mapper run.
+	MapParked uint64
 }
 
 // SchedStats is a per-class snapshot of the scheduler core: submissions,
@@ -683,6 +689,8 @@ func (c *Cluster) Stats() ClusterStats {
 		Failed:            ds.Failed,
 		ChipJobs:          ds.ChipJobs,
 		ChipBusy:          ds.ChipBusy,
+		HitsFirst:         ds.HitsFirst,
+		MapParked:         ds.MapParked,
 	}
 	c.sessMu.Lock()
 	s.Submitted += c.sessSubmitted
@@ -777,6 +785,38 @@ func (e *clusterExec) scoreCandidates(cands []place.Candidate) []sched.Candidate
 // bypass.
 func (e *clusterExec) RankCached(job Job) []sched.Candidate {
 	return e.scoreCandidates(e.engine.PlaceCached(placeRequest(job.request())))
+}
+
+// RankHit is the dispatcher's hits-first rank: the cached candidates
+// whose edit-distance cost is within the cluster's regret bound. A job
+// started from one can regret at most that bound versus the exhaustive
+// cold rank (the cold optimum is never negative), which is the
+// bounded-regret relaxation of the old cached==cold equivalence — see
+// WithPlacementRegret. Price/load tiebreaks among the returned
+// candidates are the ordinary scoring.
+func (e *clusterExec) RankHit(job Job) []sched.Candidate {
+	if e.regret < 0 {
+		return nil
+	}
+	cands := e.engine.PlaceHit(placeRequest(job.request()))
+	eligible := cands[:0]
+	for _, c := range cands {
+		if c.Cost <= e.regret {
+			eligible = append(eligible, c)
+		}
+	}
+	return e.scoreCandidates(eligible)
+}
+
+// RankAsync hands the job's missing mappings to the engine's async
+// mapper workers, returning the mapReady edge the dispatcher parks the
+// job on — or nil when every chip is already answered (or hits-first is
+// disabled), telling the dispatcher to rank synchronously.
+func (e *clusterExec) RankAsync(job Job) <-chan struct{} {
+	if e.regret < 0 {
+		return nil
+	}
+	return e.engine.MapAsync(placeRequest(job.request()))
 }
 
 // Place creates the job's vNPU on the chosen chip, reusing the engine's

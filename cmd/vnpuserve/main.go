@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -48,6 +49,9 @@ func main() {
 	flag.BoolVar(&cfg.priomix, "priomix", false, "draw a priority mix (10% critical / 20% high / 40% normal / 30% best-effort) from the seeded RNG and report per-class latency")
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "scheduling SLO attached to high/critical priomix jobs (0 = none); missed deadlines fail fast with ErrDeadlineExceeded and are reported, not fatal")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable run summary (jobs/s, warm-hit rate, latency percentiles, per-class stats) to this file")
+	flag.IntVar(&cfg.workers, "workers", 0, "async mapper worker pool size (0 = engine default); cache misses compute on these workers instead of the dispatch path")
+	flag.Float64Var(&cfg.regret, "regret", 0, "hits-first placement regret tolerance in edit-distance units (0 = exact cached fits only; negative disables hits-first dispatch)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file (for hot-path work)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every job completion")
 	flag.Parse()
 	if err := run(cfg); err != nil {
@@ -72,6 +76,10 @@ type runConfig struct {
 	deadline time.Duration
 	jsonPath string
 	verbose  bool
+
+	workers    int
+	regret     float64
+	cpuprofile string
 }
 
 // classSummary is one priority class's slice of the -json report.
@@ -106,6 +114,20 @@ type summary struct {
 	Promotions     uint64         `json:"aging_promotions"`
 	Backfilled     uint64         `json:"backfilled"`
 	PerClass       []classSummary `json:"per_class,omitempty"`
+
+	// Placement-pipeline facts (BENCH_serve.json): how dispatch latency
+	// relates to mapper latency across PRs.
+	Workers       int     `json:"mapper_workers"`
+	Regret        float64 `json:"placement_regret"`
+	HitsFirst     uint64  `json:"hits_first"`
+	MapParked     uint64  `json:"map_parked"`
+	MapMissAvgUs  int64   `json:"map_miss_avg_us"`
+	PrewarmRuns   uint64  `json:"prewarm_runs"`
+	PrewarmHits   uint64  `json:"prewarm_hits"`
+	PrewarmWasted uint64  `json:"prewarm_wasted"`
+	ColdP50Micros int64   `json:"cold_shape_p50_us"`
+	ColdP99Micros int64   `json:"cold_shape_p99_us"`
+	ColdShapeJobs int     `json:"cold_shape_jobs"`
 }
 
 // workloadMix pairs zoo models with topologies that fit the chip.
@@ -193,6 +215,21 @@ func run(rc runConfig) error {
 	if rc.reuse {
 		opts = append(opts, vnpu.WithSessionReuse())
 	}
+	if rc.workers > 0 {
+		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
+	}
+	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+	if rc.cpuprofile != "" {
+		f, err := os.Create(rc.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	mixCores := cfg.Cores()
 	kind := rc.chipName
 	if rc.hetero {
@@ -249,6 +286,8 @@ func run(rc runConfig) error {
 	start := time.Now()
 	handles := make([]*vnpu.Handle, 0, rc.jobs)
 	prios := make([]vnpu.Priority, 0, rc.jobs)
+	colds := make([]bool, 0, rc.jobs)
+	seenShapes := make(map[string]bool)
 	var rejectedQueue, rejectedQuota, missedAtSubmit int
 	for i := 0; i < rc.jobs; i++ {
 		if rc.rate > 0 && i > 0 {
@@ -274,6 +313,12 @@ func run(rc runConfig) error {
 		case err == nil:
 			handles = append(handles, h)
 			prios = append(prios, job.Priority)
+			// A shape's first submission is the trace's mapping-miss job:
+			// nothing can have warmed its placement yet. Later misses (free
+			// sets churn) hit the async mappers too, but the first-seen set
+			// is the stable cross-run cohort for time-to-start tracking.
+			colds = append(colds, !seenShapes[mx.shape])
+			seenShapes[mx.shape] = true
 		case errors.Is(err, vnpu.ErrQueueFull):
 			rejectedQueue++
 		case errors.Is(err, vnpu.ErrQuotaExceeded):
@@ -287,6 +332,7 @@ func run(rc runConfig) error {
 
 	var (
 		waits      []time.Duration
+		coldWaits  []time.Duration
 		classWaits = map[vnpu.Priority][]time.Duration{}
 		classMiss  = map[vnpu.Priority]uint64{}
 		failed     int
@@ -307,6 +353,9 @@ func run(rc runConfig) error {
 			continue
 		}
 		waits = append(waits, rep.QueueWait)
+		if colds[i] {
+			coldWaits = append(coldWaits, rep.QueueWait)
+		}
 		if rc.priomix {
 			classWaits[rep.Priority] = append(classWaits[rep.Priority], rep.QueueWait)
 		}
@@ -363,6 +412,17 @@ func run(rc runConfig) error {
 	fmt.Printf("placement:     %d decisions, avg %s   cache %.1f%% hit (%d hit / %d miss, %d evicted)\n",
 		ps.Placements, ps.AvgPlaceTime().Round(time.Microsecond),
 		ps.HitRate()*100, ps.CacheHits, ps.CacheMisses, ps.CacheEvictions)
+	fmt.Printf("mapper:        miss avg %s   %d async, %d hits-first starts, %d map-parked   prewarm %d run / %d hit / %d wasted\n",
+		ps.AvgMapTime().Round(time.Microsecond), ps.AsyncMaps,
+		stats.HitsFirst, stats.MapParked,
+		ps.PrewarmRuns, ps.PrewarmHits, ps.PrewarmWasted)
+	if len(coldWaits) > 0 {
+		sort.Slice(coldWaits, func(i, j int) bool { return coldWaits[i] < coldWaits[j] })
+		fmt.Printf("cold shapes:   %d jobs   time-to-start p50 %s   p99 %s\n",
+			len(coldWaits),
+			percentile(coldWaits, 0.50).Round(time.Microsecond),
+			percentile(coldWaits, 0.99).Round(time.Microsecond))
+	}
 	sess := cluster.SessionStats()
 	if rc.reuse {
 		fmt.Printf("sessions:      %.1f%% warm (%d warm / %d batched / %d cold)   avg acquire warm %s cold %s\n",
@@ -412,6 +472,15 @@ func run(rc runConfig) error {
 			Promotions:     promoted,
 			Backfilled:     backfilled,
 			PerClass:       perClass,
+			Workers:        rc.workers,
+			Regret:         rc.regret,
+			HitsFirst:      stats.HitsFirst,
+			MapParked:      stats.MapParked,
+			MapMissAvgUs:   ps.AvgMapTime().Microseconds(),
+			PrewarmRuns:    ps.PrewarmRuns,
+			PrewarmHits:    ps.PrewarmHits,
+			PrewarmWasted:  ps.PrewarmWasted,
+			ColdShapeJobs:  len(coldWaits),
 		}
 		if wall > 0 {
 			sum.JobsPerSec = float64(len(waits)) / wall.Seconds()
@@ -419,6 +488,10 @@ func run(rc runConfig) error {
 		if len(waits) > 0 {
 			sum.P50Micros = percentile(waits, 0.50).Microseconds()
 			sum.P99Micros = percentile(waits, 0.99).Microseconds()
+		}
+		if len(coldWaits) > 0 {
+			sum.ColdP50Micros = percentile(coldWaits, 0.50).Microseconds()
+			sum.ColdP99Micros = percentile(coldWaits, 0.99).Microseconds()
 		}
 		data, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// fragmentedFree returns the free nodes of a rows x cols mesh with a
+// deterministic scatter of allocated cores (every stride-th node taken),
+// the shape a busy serving chip presents to the mapper.
+func fragmentedFree(rows, cols, stride int) []topo.NodeID {
+	var free []topo.NodeID
+	for id := 0; id < rows*cols; id++ {
+		if id%stride == 0 {
+			continue
+		}
+		free = append(free, topo.NodeID(id))
+	}
+	return free
+}
+
+func allFree(rows, cols int) []topo.NodeID {
+	free := make([]topo.NodeID, rows*cols)
+	for i := range free {
+		free[i] = topo.NodeID(i)
+	}
+	return free
+}
+
+// BenchmarkMapMiss measures the cold topology-mapping path — the cost of
+// one placement-cache miss — on a 16x16 mesh (the paper's DCRA-scale
+// chip). The empty-mesh cases are the common serving shape (an exact
+// rectangle exists); the fragmented cases exercise candidate enumeration
+// and GED scoring with no exact fit.
+func BenchmarkMapMiss(b *testing.B) {
+	phys := topo.Mesh2D(16, 16)
+	cases := []struct {
+		name string
+		free []topo.NodeID
+		req  *topo.Graph
+	}{
+		{"empty/4x4", allFree(16, 16), topo.Mesh2D(4, 4)},
+		{"empty/3x4", allFree(16, 16), topo.Mesh2D(3, 4)},
+		{"empty/1x8", allFree(16, 16), topo.Chain(8)},
+		{"fragmented/3x4", fragmentedFree(16, 16, 5), topo.Mesh2D(3, 4)},
+		{"fragmented/4x4", fragmentedFree(16, 16, 7), topo.Mesh2D(4, 4)},
+		{"fragmented/2x3", fragmentedFree(16, 16, 3), topo.Mesh2D(2, 3)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := MapTopology(phys, c.free, c.req, StrategySimilar, ged.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}

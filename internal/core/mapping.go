@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -140,27 +141,57 @@ func idOrderNodes(free []topo.NodeID, k int) []topo.NodeID {
 	return sorted
 }
 
+// Search toggles, exported to this package's tests only: the pruned-GED
+// equivalence property test compares the pruned search against the
+// reference with each optimization disabled. Production code never flips
+// them; tests that do must not run mapping work concurrently.
+var (
+	enableRectFastPath = true
+	enableGEDPrune     = true
+)
+
 // mapSimilar implements Algorithm 1: enumerate connected candidate regions,
 // prune duplicates by topology signature, return early on an exact match,
 // otherwise compute edit distances in parallel and keep the minimum.
+//
+// Three prunings cut the miss cost without changing the returned score:
+// a free congruent rectangle short-circuits the whole search at edit
+// distance 0 (exactRectangle); candidate enumeration runs on bitsets with
+// small free components skipped (internal/topo); and candidates whose
+// admissible degree-sequence lower bound exceeds the best score found so
+// far are discarded before the edit-distance solver runs on them.
 func mapSimilar(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.Options) (MapResult, error) {
 	k := req.NumNodes()
-	candidates := gatherCandidates(phys, free, k)
+	if enableRectFastPath && opt.Structural() {
+		if res, ok := exactRectangle(phys, free, req, opt); ok {
+			return res, nil
+		}
+	}
+	// One dense index of the physical graph serves candidate enumeration
+	// and every candidate's signature.
+	host := topo.NewHost(phys)
+	candidates := gatherCandidates(host, free, k)
 	if len(candidates) == 0 {
 		return MapResult{}, fmt.Errorf("core: no connected %d-core region available: %w", k, ErrTopologyUnsatisfiable)
 	}
 
 	// Signature dedup is only sound when the cost model is purely
 	// structural; positional penalties distinguish same-shape regions.
+	// Signatures are computed in place over the host graph (SubSigner);
+	// the induced subgraph is only materialized for candidates that
+	// survive dedup — duplicates, the common case on a fragmented mesh,
+	// cost one signature and no graph construction.
 	dedup := opt.ExtraNodePenalty == nil
 	reqSig := topo.Signature(req, 0)
+	signer := host.Signer()
 	seen := make(map[string]bool)
 	var kept []candidate
 	for _, c := range candidates {
-		sub := phys.Induced(c.nodes)
-		sig := topo.Signature(sub, 0)
+		sig := signer.Signature(c.nodes, 0)
+		var sub *topo.Graph
 		if sig == reqSig {
 			// Algorithm 1 line 22: exact topology, return immediately.
+			sub = phys.Induced(c.nodes)
 			cost, mapping := ged.Distance(req, sub, opt)
 			if cost == 0 {
 				return MapResult{
@@ -178,6 +209,9 @@ func mapSimilar(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.O
 			}
 			seen[sig] = true
 		}
+		if sub == nil {
+			sub = phys.Induced(c.nodes)
+		}
 		kept = append(kept, candidate{nodes: c.nodes, sub: sub})
 		if len(kept) >= maxGEDCandidates {
 			break
@@ -186,28 +220,72 @@ func mapSimilar(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.O
 
 	// Algorithm 1 lines 30-32: score candidates in parallel, keep the
 	// minimum (deterministic: results indexed, ties to lowest index).
+	//
+	// Candidates are scored cheapest-lower-bound first in bounded waves:
+	// once some candidate's admissible bound exceeds the best score seen,
+	// its true distance can only be worse, so it (and, the order being
+	// sorted, everything after it) is skipped without running the solver.
+	// A skipped candidate's exact distance strictly exceeds the final
+	// minimum, so the minimum — and the lowest-original-index tie-break —
+	// are exactly those of the unpruned scan (property-tested).
 	type scored struct {
 		cost    float64
 		mapping ged.Mapping
 	}
 	results := make([]scored, len(kept))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range kept {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cost, mapping := ged.Distance(req, kept[i].sub, opt)
-			results[i] = scored{cost, mapping}
-		}(i)
+	valid := make([]bool, len(kept))
+	order := make([]int, len(kept))
+	for i := range order {
+		order[i] = i
 	}
-	wg.Wait()
+	var lbs []float64
+	prune := enableGEDPrune && opt.Structural()
+	if prune {
+		lber := ged.NewLowerBounder(req, opt)
+		lbs = make([]float64, len(kept))
+		for i := range kept {
+			lbs[i] = lber.Bound(kept[i].sub)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return lbs[order[a]] < lbs[order[b]] })
+	}
+	bestCost := math.Inf(1)
+	width := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for start := 0; start < len(order); start += width {
+		end := start + width
+		if end > len(order) {
+			end = len(order)
+		}
+		wave := order[start:end]
+		if prune && lbs[wave[0]] > bestCost {
+			break // sorted by bound: every remaining candidate is prunable
+		}
+		for _, i := range wave {
+			if prune && lbs[i] > bestCost {
+				continue
+			}
+			valid[i] = true
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cost, mapping := ged.Distance(req, kept[i].sub, opt)
+				results[i] = scored{cost, mapping}
+			}(i)
+		}
+		wg.Wait()
+		for _, i := range wave {
+			if valid[i] && results[i].cost < bestCost {
+				bestCost = results[i].cost
+			}
+		}
+	}
 
-	best := 0
-	for i := 1; i < len(results); i++ {
-		if results[i].cost < results[best].cost {
+	best := -1
+	for i := range kept {
+		if !valid[i] {
+			continue
+		}
+		if best < 0 || results[i].cost < results[best].cost {
 			best = i
 		}
 	}
@@ -270,17 +348,18 @@ type candidate struct {
 
 // gatherCandidates produces connected size-k regions of the free set:
 // exhaustive enumeration when feasible, seeded region growing otherwise,
-// deduplicated by node set.
-func gatherCandidates(phys *topo.Graph, free []topo.NodeID, k int) []candidate {
+// deduplicated by node set. Both enumerators run on the caller's shared
+// host index.
+func gatherCandidates(host *topo.Host, free []topo.NodeID, k int) []candidate {
 	var sets [][]topo.NodeID
 	if k <= exactEnumMaxK {
-		enum, complete := topo.ConnectedSubgraphs(phys, free, k, exactEnumLimit)
+		enum, complete := host.ConnectedSubgraphs(free, k, exactEnumLimit)
 		sets = enum
 		if !complete {
-			sets = append(sets, topo.GrowRegions(phys, free, k)...)
+			sets = append(sets, host.GrowRegions(free, k)...)
 		}
 	} else {
-		sets = topo.GrowRegions(phys, free, k)
+		sets = host.GrowRegions(free, k)
 	}
 	seen := make(map[string]bool, len(sets))
 	out := make([]candidate, 0, len(sets))

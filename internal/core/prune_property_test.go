@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// randomFree draws a random subset of the mesh's nodes of at least min
+// elements.
+func randomFree(rng *rand.Rand, total, min int) []topo.NodeID {
+	for {
+		var free []topo.NodeID
+		for id := 0; id < total; id++ {
+			if rng.Float64() < 0.7 {
+				free = append(free, topo.NodeID(id))
+			}
+		}
+		if len(free) >= min {
+			return free
+		}
+	}
+}
+
+// randomRequest draws a small mesh/chain/near-mesh request that fits the
+// free-core budget.
+func randomRequest(rng *rand.Rand, budget int) *topo.Graph {
+	for {
+		switch rng.Intn(3) {
+		case 0:
+			r, c := 1+rng.Intn(3), 1+rng.Intn(4)
+			if r*c <= budget {
+				return topo.Mesh2D(r, c)
+			}
+		case 1:
+			n := 2 + rng.Intn(8)
+			if n <= budget {
+				return topo.Chain(n)
+			}
+		default:
+			n := 3 + rng.Intn(10)
+			if n <= budget {
+				return topo.NearMesh(n)
+			}
+		}
+	}
+}
+
+// TestPrunedGEDEquivalence is the pruning soundness property: the
+// degree-sequence lower-bound pruning must return exactly the
+// edit-distance score of the unpruned candidate scan on randomized
+// meshes, free sets and requests. (The rectangle fast path is disabled on
+// both sides — it is a separate shortcut, validated by
+// TestRectFastPathValid — so the comparison isolates the pruning.)
+func TestPrunedGEDEquivalence(t *testing.T) {
+	defer func(r, p bool) { enableRectFastPath, enableGEDPrune = r, p }(enableRectFastPath, enableGEDPrune)
+	enableRectFastPath = false
+
+	rng := rand.New(rand.NewSource(7))
+	meshes := []*topo.Graph{topo.Mesh2D(4, 4), topo.Mesh2D(6, 6), topo.Mesh2D(8, 8)}
+	for trial := 0; trial < 40; trial++ {
+		phys := meshes[rng.Intn(len(meshes))]
+		free := randomFree(rng, phys.NumNodes(), 4)
+		req := randomRequest(rng, len(free))
+
+		enableGEDPrune = true
+		pruned, prunedErr := MapTopology(phys, free, req, StrategySimilar, ged.Options{})
+		enableGEDPrune = false
+		ref, refErr := MapTopology(phys, free, req, StrategySimilar, ged.Options{})
+
+		if (prunedErr == nil) != (refErr == nil) {
+			t.Fatalf("trial %d: pruned err %v, unpruned err %v", trial, prunedErr, refErr)
+		}
+		if prunedErr != nil {
+			continue
+		}
+		if pruned.Cost != ref.Cost {
+			t.Fatalf("trial %d: pruned cost %v != unpruned cost %v (req %d nodes, %d free)",
+				trial, pruned.Cost, ref.Cost, req.NumNodes(), len(free))
+		}
+		if pruned.Connected != ref.Connected {
+			t.Fatalf("trial %d: connectivity diverged: pruned %v, unpruned %v", trial, pruned.Connected, ref.Connected)
+		}
+	}
+}
+
+// TestRectFastPathValid validates the exact-rectangle early exit: when it
+// fires, the result must be a genuine zero-edit-distance placement on
+// free cores, and it can never be worse than the full search's score.
+func TestRectFastPathValid(t *testing.T) {
+	defer func(r, p bool) { enableRectFastPath, enableGEDPrune = r, p }(enableRectFastPath, enableGEDPrune)
+
+	rng := rand.New(rand.NewSource(11))
+	phys := topo.Mesh2D(8, 8)
+	for trial := 0; trial < 40; trial++ {
+		free := randomFree(rng, phys.NumNodes(), 4)
+		r, c := 1+rng.Intn(3), 1+rng.Intn(4)
+		if r*c > len(free) {
+			continue
+		}
+		req := topo.Mesh2D(r, c)
+
+		enableRectFastPath, enableGEDPrune = true, true
+		fast, fastErr := MapTopology(phys, free, req, StrategySimilar, ged.Options{})
+		enableRectFastPath, enableGEDPrune = false, false
+		ref, refErr := MapTopology(phys, free, req, StrategySimilar, ged.Options{})
+
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("trial %d: fast err %v, reference err %v", trial, fastErr, refErr)
+		}
+		if fastErr != nil {
+			continue
+		}
+		if fast.Cost > ref.Cost {
+			t.Fatalf("trial %d: fast path cost %v worse than reference %v", trial, fast.Cost, ref.Cost)
+		}
+		// Validate the returned placement independently of its Cost field.
+		freeSet := make(map[topo.NodeID]bool, len(free))
+		for _, id := range free {
+			freeSet[id] = true
+		}
+		seen := make(map[topo.NodeID]bool, len(fast.Nodes))
+		for v, p := range fast.Nodes {
+			if !freeSet[p] {
+				t.Fatalf("trial %d: vCore %d placed on non-free node %d", trial, v, p)
+			}
+			if seen[p] {
+				t.Fatalf("trial %d: node %d assigned twice", trial, p)
+			}
+			seen[p] = true
+		}
+		m := make(ged.Mapping, len(fast.Nodes))
+		for v, p := range fast.Nodes {
+			m[topo.NodeID(v)] = p
+		}
+		sub := phys.Induced(fast.Nodes)
+		if got := ged.PathCost(req, sub, m, ged.Options{}); got != fast.Cost {
+			t.Fatalf("trial %d: reported cost %v, recomputed %v", trial, fast.Cost, got)
+		}
+		if fast.Cost == 0 && !sub.Connected() {
+			t.Fatalf("trial %d: zero-cost placement is disconnected", trial)
+		}
+	}
+}
+
+// TestLowerBoundAdmissible checks the pruning bound against the exact
+// solver on random small graph pairs: the bound must never exceed the
+// exact edit distance.
+func TestLowerBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	build := func() *topo.Graph {
+		switch rng.Intn(4) {
+		case 0:
+			return topo.Mesh2D(1+rng.Intn(3), 1+rng.Intn(3))
+		case 1:
+			return topo.Chain(1 + rng.Intn(8))
+		case 2:
+			return topo.Ring(3 + rng.Intn(6))
+		default:
+			return topo.NearMesh(2 + rng.Intn(8))
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		g1, g2 := build(), build()
+		if g1.NumNodes() > ged.ExactLimit || g2.NumNodes() > ged.ExactLimit {
+			continue
+		}
+		exact, _ := ged.Exact(g1, g2, ged.Options{})
+		bound := ged.NewLowerBounder(g1, ged.Options{}).Bound(g2)
+		if bound > exact {
+			t.Fatalf("trial %d: lower bound %v exceeds exact distance %v (%v vs %v)",
+				trial, bound, exact, g1, g2)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/vnpu-sim/vnpu/internal/ged"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// exactRectangle is the zero-edit-distance fast path of the similar
+// mapper: when the request is a full W×H mesh (every node carries one
+// cell of a W×H coordinate grid) and the free portion of the physical
+// mesh contains a congruent all-free rectangle, the coordinate-aligned
+// assignment is an exact match. Under structural costs no mapping can
+// beat edit distance 0, so the mapper returns it immediately — Algorithm
+// 1's early exit, lifted in front of candidate enumeration, which a cache
+// miss otherwise pays in full even when the chip has a perfect hole.
+//
+// Geometry only nominates the assignment; ged.PathCost verifies it is
+// genuinely zero-cost (edge multiset, node kinds and edge weights all
+// match) before it is returned, so a request with non-mesh edges or
+// heterogeneous kinds simply falls through to the general search.
+func exactRectangle(phys *topo.Graph, free []topo.NodeID, req *topo.Graph, opt ged.Options) (MapResult, bool) {
+	k := req.NumNodes()
+	cellOf, w, h, ok := meshGrid(req)
+	if !ok {
+		return MapResult{}, false
+	}
+	// A true W×H mesh has exactly w(h-1)+h(w-1) edges; anything else can
+	// never verify at cost 0, so skip the anchor scan.
+	if req.NumEdges() != w*(h-1)+h*(w-1) {
+		return MapResult{}, false
+	}
+
+	freeAt := make(map[topo.Coord]topo.NodeID, len(free))
+	anchors := make([]topo.NodeID, 0, len(free))
+	for _, id := range free {
+		if c, has := phys.CoordOf(id); has {
+			freeAt[c] = id
+			anchors = append(anchors, id)
+		}
+	}
+	if len(anchors) < k {
+		return MapResult{}, false
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i] < anchors[j] })
+
+	orients := [2]bool{false, true} // transposed?
+	for _, anchor := range anchors {
+		ac, _ := phys.CoordOf(anchor)
+		for _, transposed := range orients {
+			rw, rh := w, h
+			if transposed {
+				if w == h {
+					continue
+				}
+				rw, rh = h, w
+			}
+			nodes := make([]topo.NodeID, k) // vCore order
+			match := true
+			for dy := 0; dy < rh && match; dy++ {
+				for dx := 0; dx < rw; dx++ {
+					p, has := freeAt[topo.Coord{X: ac.X + dx, Y: ac.Y + dy}]
+					if !has {
+						match = false
+						break
+					}
+					// Virtual cell (vx, vy): the request's own grid
+					// orientation, so a transposed placement maps (vx, vy)
+					// onto physical offset (dy, dx) = (vy, vx) swapped.
+					vx, vy := dx, dy
+					if transposed {
+						vx, vy = dy, dx
+					}
+					nodes[cellOf[topo.Coord{X: vx, Y: vy}]] = p
+				}
+			}
+			if !match {
+				continue
+			}
+			m := make(ged.Mapping, k)
+			for v, p := range nodes {
+				m[topo.NodeID(v)] = p
+			}
+			sub := phys.Induced(nodes)
+			if ged.PathCost(req, sub, m, opt) != 0 {
+				continue
+			}
+			return MapResult{
+				Nodes:      nodes,
+				Cost:       0,
+				Candidates: 1,
+				Connected:  true,
+			}, true
+		}
+	}
+	return MapResult{}, false
+}
+
+// meshGrid decodes the request's coordinate embedding as a full w×h grid:
+// every node carries a coordinate, the bounding box holds exactly k cells,
+// and each cell is claimed by exactly one node. It returns the cell →
+// virtual-core index map (coordinates normalized to origin).
+func meshGrid(req *topo.Graph) (cellOf map[topo.Coord]int, w, h int, ok bool) {
+	k := req.NumNodes()
+	if k == 0 {
+		return nil, 0, 0, false
+	}
+	min, max, has := topo.MeshBounds(req)
+	if !has {
+		return nil, 0, 0, false
+	}
+	w = max.X - min.X + 1
+	h = max.Y - min.Y + 1
+	if w*h != k {
+		return nil, 0, 0, false
+	}
+	cellOf = make(map[topo.Coord]int, k)
+	for _, id := range req.Nodes() {
+		// MapTopology validates dense 0..k-1 request IDs before any
+		// mapper runs; keep the guard anyway — cellOf indexes the vCore
+		// slice directly.
+		if int(id) < 0 || int(id) >= k {
+			return nil, 0, 0, false
+		}
+		c, has := req.CoordOf(id)
+		if !has {
+			return nil, 0, 0, false
+		}
+		cell := topo.Coord{X: c.X - min.X, Y: c.Y - min.Y}
+		if _, dup := cellOf[cell]; dup {
+			return nil, 0, 0, false
+		}
+		cellOf[cell] = int(id)
+	}
+	return cellOf, w, h, true
+}

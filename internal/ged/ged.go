@@ -48,6 +48,13 @@ type Options struct {
 	ExtraNodePenalty func(a, b topo.NodeID) float64
 }
 
+// Structural reports whether the options use only the default structural
+// cost model — no callback costs. Admissible lower bounds (LowerBounder)
+// are only valid then: a callback could price edits below the defaults.
+func (o Options) Structural() bool {
+	return o.NodeSubst == nil && o.EdgeDel == nil && o.EdgeIns == nil && o.ExtraNodePenalty == nil
+}
+
 // NodeCost is the default penalty for substituting nodes of differing kinds.
 const NodeCost = 1.0
 
@@ -90,11 +97,26 @@ func Distance(g1, g2 *topo.Graph, opt Options) (float64, Mapping) {
 // minimize and is exported so callers can score externally-produced
 // mappings (e.g. a zig-zag allocation).
 func PathCost(g1, g2 *topo.Graph, m Mapping, opt Options) float64 {
-	opt = opt.norm()
+	return pathCost(g1, g2, graphView{g1.Nodes(), g1.Edges()}, graphView{g2.Nodes(), g2.Edges()}, m, opt.norm())
+}
+
+// graphView caches a graph's sorted node and edge slices so repeated
+// objective evaluations skip Graph.Nodes/Edges, which re-sort per call.
+type graphView struct {
+	nodes []topo.NodeID
+	edges []topo.Edge
+}
+
+func viewOf(g *topo.Graph) graphView { return graphView{g.Nodes(), g.Edges()} }
+
+// pathCost is PathCost with the node/edge slices hoisted and the options
+// already normalized: local-search refinement evaluates the objective
+// O(k²) times per pass over fixed graphs.
+func pathCost(g1, g2 *topo.Graph, v1, v2 graphView, m Mapping, opt Options) float64 {
 	var cost float64
 	used := make(map[topo.NodeID]bool, len(m))
 
-	n1 := g1.Nodes()
+	n1 := v1.nodes
 	for _, u := range n1 {
 		v, ok := m[u]
 		if !ok {
@@ -107,13 +129,13 @@ func PathCost(g1, g2 *topo.Graph, m Mapping, opt Options) float64 {
 			cost += opt.ExtraNodePenalty(u, v)
 		}
 	}
-	for _, v := range g2.Nodes() {
+	for _, v := range v2.nodes {
 		if !used[v] {
 			cost += opt.NodeInsDel // node insertion
 		}
 	}
 	// Edge deletions/substitutions: iterate g1 edges.
-	for _, e := range g1.Edges() {
+	for _, e := range v1.edges {
 		va, aok := m[e.A]
 		vb, bok := m[e.B]
 		if aok && bok && g2.HasEdge(va, vb) {
@@ -126,7 +148,7 @@ func PathCost(g1, g2 *topo.Graph, m Mapping, opt Options) float64 {
 	for u, v := range m {
 		inv[v] = u
 	}
-	for _, e := range g2.Edges() {
+	for _, e := range v2.edges {
 		ua, aok := inv[e.A]
 		ub, bok := inv[e.B]
 		if aok && bok && g1.HasEdge(ua, ub) {
@@ -298,8 +320,9 @@ func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64,
 	for k, v := range m {
 		cur[k] = v
 	}
-	cost := PathCost(g1, g2, cur, opt)
-	n1 := g1.Nodes()
+	v1, v2 := viewOf(g1), viewOf(g2)
+	cost := pathCost(g1, g2, v1, v2, cur, opt)
+	n1 := v1.nodes
 	if maxPasses <= 0 {
 		maxPasses = 4
 	}
@@ -311,7 +334,7 @@ func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64,
 			used[v] = true
 		}
 		var freeT []topo.NodeID
-		for _, v := range g2.Nodes() {
+		for _, v := range v2.nodes {
 			if !used[v] {
 				freeT = append(freeT, v)
 			}
@@ -330,7 +353,7 @@ func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64,
 					continue
 				}
 				cur[a], cur[b] = vb, va
-				if c := PathCost(g1, g2, cur, opt); c < cost {
+				if c := pathCost(g1, g2, v1, v2, cur, opt); c < cost {
 					cost = c
 					va = vb
 					improved = true
@@ -341,7 +364,7 @@ func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64,
 			// Relocate to an unused target.
 			for k, vt := range freeT {
 				cur[a] = vt
-				if c := PathCost(g1, g2, cur, opt); c < cost {
+				if c := pathCost(g1, g2, v1, v2, cur, opt); c < cost {
 					cost = c
 					freeT[k] = va
 					va = vt
@@ -356,6 +379,97 @@ func Refine(g1, g2 *topo.Graph, m Mapping, opt Options, maxPasses int) (float64,
 		}
 	}
 	return cost, cur
+}
+
+// LowerBounder computes admissible lower bounds on the edit distance from
+// one fixed graph g1 to many candidate graphs — the degree-sequence
+// pruning of the mapping hot path: a candidate whose bound already
+// exceeds the best known distance is discarded before the Hungarian
+// assignment (or the exact branch-and-bound) ever runs.
+//
+// The bound combines two independent cost components, so it never
+// overestimates the exact distance under structural options
+// (Options.Structural must hold; NewLowerBounder panics otherwise):
+//
+//   - node imbalance: any edit path performs at least ||V1|-|V2|| node
+//     insertions/deletions, each costing NodeInsDel;
+//   - degree imbalance: a node mapping can match at most
+//     (1/2)·Σᵢ min(d1⟨i⟩, d2⟨i⟩) edges (descending-sorted degree
+//     sequences, zero-padded), so at least E1+E2 minus twice that many
+//     edge edits remain, each costing at least the cheapest edge weight
+//     of either graph. Equivalently, the remainder is
+//     (1/2)·Σᵢ |d1⟨i⟩ − d2⟨i⟩|.
+type LowerBounder struct {
+	nodeInsDel float64
+	n1         int
+	deg1       []int   // descending
+	minW1      float64 // +Inf when g1 has no edges
+}
+
+// NewLowerBounder prepares bounds against g1. opt must be structural.
+func NewLowerBounder(g1 *topo.Graph, opt Options) *LowerBounder {
+	if !opt.Structural() {
+		panic("ged: LowerBounder needs structural options")
+	}
+	opt = opt.norm()
+	lb := &LowerBounder{
+		nodeInsDel: opt.NodeInsDel,
+		n1:         g1.NumNodes(),
+		minW1:      math.Inf(1),
+	}
+	for _, id := range g1.Nodes() {
+		lb.deg1 = append(lb.deg1, g1.Degree(id))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lb.deg1)))
+	for _, e := range g1.Edges() {
+		if e.Cost < lb.minW1 {
+			lb.minW1 = e.Cost
+		}
+	}
+	return lb
+}
+
+// Bound returns the admissible lower bound on the exact edit distance
+// from the bounder's g1 to g2.
+func (lb *LowerBounder) Bound(g2 *topo.Graph) float64 {
+	n2 := g2.NumNodes()
+	deg2 := make([]int, 0, n2)
+	minW := lb.minW1
+	for _, id := range g2.Nodes() {
+		deg2 = append(deg2, g2.Degree(id))
+	}
+	for _, e := range g2.Edges() {
+		if e.Cost < minW {
+			minW = e.Cost
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg2)))
+
+	diff := lb.n1 - n2
+	if diff < 0 {
+		diff = -diff
+	}
+	bound := float64(diff) * lb.nodeInsDel
+
+	degSum := 0
+	for i := 0; i < len(lb.deg1) || i < len(deg2); i++ {
+		var d1, d2 int
+		if i < len(lb.deg1) {
+			d1 = lb.deg1[i]
+		}
+		if i < len(deg2) {
+			d2 = deg2[i]
+		}
+		if d1 > d2 {
+			degSum += d1 - d2
+		} else {
+			degSum += d2 - d1
+		}
+	}
+	if degSum > 0 && !math.IsInf(minW, 1) {
+		bound += 0.5 * minW * float64(degSum)
+	}
+	return bound
 }
 
 // Approx computes an upper bound on the edit distance using the bipartite

@@ -24,6 +24,20 @@ type PlacementStats struct {
 	// PlaceTime is the cumulative wall-clock time spent in placement
 	// decisions.
 	PlaceTime time.Duration
+	// MapTime is the cumulative wall-clock time spent inside the topology
+	// mapper itself — the cost of the misses, whichever path (inline,
+	// async worker, prewarm) paid it.
+	MapTime time.Duration
+	// AsyncMaps counts mapping computations scheduled on the async mapper
+	// workers for a dispatch-path miss (MapAsync, excluding speculation).
+	AsyncMaps uint64
+	// PrewarmRuns counts speculative mapper computations started by
+	// Prewarm; PrewarmHits counts cache hits served from an entry a
+	// speculation produced, and PrewarmWasted counts speculative entries
+	// dropped (evicted or invalidated) without ever serving a hit.
+	PrewarmRuns   uint64
+	PrewarmHits   uint64
+	PrewarmWasted uint64
 }
 
 // HitRate reports the fraction of mapping resolutions served from the
@@ -43,4 +57,13 @@ func (s PlacementStats) AvgPlaceTime() time.Duration {
 		return 0
 	}
 	return s.PlaceTime / time.Duration(s.Placements)
+}
+
+// AvgMapTime reports the mean wall-clock cost of one mapping miss — one
+// run of the topology mapper (0 before the first miss).
+func (s PlacementStats) AvgMapTime() time.Duration {
+	if s.CacheMisses == 0 {
+		return 0
+	}
+	return s.MapTime / time.Duration(s.CacheMisses)
 }

@@ -1,0 +1,283 @@
+package place_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/place"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// waitClosed blocks on an async mapping edge with a test timeout.
+func waitClosed(t *testing.T, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("async mapping never completed")
+	}
+}
+
+// TestEngineMapAsyncServesPlaceCached: MapAsync computes a request's
+// missing mappings off the caller, after which PlaceCached answers
+// without running the mapper; a second MapAsync has nothing to do.
+func TestEngineMapAsyncServesPlaceCached(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip(), fpgaChip()}, place.WithWorkers(2))
+	defer e.Close()
+	req := place.Request{Topology: topo.Mesh2D(2, 2)}
+
+	if cands := e.PlaceCached(req); cands != nil {
+		t.Fatalf("cold engine served cached candidates: %+v", cands)
+	}
+	ready := e.MapAsync(req)
+	if ready == nil {
+		t.Fatal("MapAsync returned nil with both chips unmapped")
+	}
+	waitClosed(t, ready)
+	cands := e.PlaceCached(req)
+	if len(cands) != 2 {
+		t.Fatalf("cached candidates after MapAsync = %d, want 2: %+v", len(cands), cands)
+	}
+	if again := e.MapAsync(req); again != nil {
+		t.Fatal("MapAsync found work with every chip answered")
+	}
+	st := e.Stats()
+	if st.AsyncMaps != 2 {
+		t.Fatalf("AsyncMaps = %d, want 2: %+v", st.AsyncMaps, st)
+	}
+	if st.CacheMisses != 2 {
+		t.Fatalf("CacheMisses = %d, want 2: %+v", st.CacheMisses, st)
+	}
+	if st.MapTime == 0 {
+		t.Fatalf("MapTime not accounted: %+v", st)
+	}
+}
+
+// TestEnginePrewarmStats: speculation is observable — runs are counted
+// when scheduled, hits when a real rank is served from a speculative
+// entry, and waste when the entry dies unused.
+func TestEnginePrewarmStats(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip()}, place.WithWorkers(2))
+	defer e.Close()
+	warm := place.Request{Topology: topo.Mesh2D(2, 2)}
+
+	e.Prewarm(warm)
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().CacheMisses < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prewarm never computed: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := e.Stats()
+	if st.PrewarmRuns != 1 {
+		t.Fatalf("PrewarmRuns = %d, want 1: %+v", st.PrewarmRuns, st)
+	}
+	if st.PrewarmHits != 0 {
+		t.Fatalf("PrewarmHits before any rank = %d: %+v", st.PrewarmHits, st)
+	}
+	if _, err := e.Place(warm); err != nil {
+		t.Fatal(err)
+	}
+	if st = e.Stats(); st.PrewarmHits != 1 {
+		t.Fatalf("PrewarmHits after rank = %d, want 1: %+v", st.PrewarmHits, st)
+	}
+	// A second hit on the same entry is an ordinary cache hit, not
+	// another prewarm payoff.
+	if _, err := e.Place(warm); err != nil {
+		t.Fatal(err)
+	}
+	if st = e.Stats(); st.PrewarmHits != 1 {
+		t.Fatalf("PrewarmHits double-counted: %+v", st)
+	}
+
+	// A speculative entry dropped before serving anything is wasted: with
+	// a one-entry cache, the second speculation evicts the first.
+	e2 := newEngine(t, []place.Chip{simChip()}, place.WithWorkers(2), place.WithCacheSize(1))
+	defer e2.Close()
+	e2.Prewarm(place.Request{Topology: topo.Chain(3)})
+	for e2.Stats().CacheMisses < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("speculation never computed: %+v", e2.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e2.Prewarm(place.Request{Topology: topo.Mesh2D(2, 2)})
+	for e2.Stats().PrewarmWasted < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("evicted unused speculation not counted as wasted: %+v", e2.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEngineBoundedRegretProperty is the hits-first guarantee: any
+// cached candidate whose cost is within the regret bound r scores at
+// most r worse than the exhaustive cold rank over ALL chips at the same
+// free state — the relaxation WithPlacementRegret buys is bounded.
+func TestEngineBoundedRegretProperty(t *testing.T) {
+	reqPool := []*topo.Graph{
+		topo.Mesh2D(2, 2),
+		topo.Mesh2D(2, 3),
+		topo.Chain(3),
+		topo.Chain(5),
+	}
+	for _, regret := range []float64{0, 1, 2.5} {
+		rng := rand.New(rand.NewSource(42))
+		cached, err := place.New([]place.Chip{simChip(), fpgaChip()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := place.New([]place.Chip{simChip(), fpgaChip()}, place.WithCacheSize(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type livePlacement struct {
+			chip  int
+			nodes []topo.NodeID
+		}
+		var live []livePlacement
+		for op := 0; op < 30; op++ {
+			req := place.Request{Topology: reqPool[rng.Intn(len(reqPool))]}
+			switch rng.Intn(4) {
+			case 0: // warm one chip's mapping only (partial cache)
+				chip := rng.Intn(2)
+				_, _ = cached.Resolve(chip, req)
+			case 1: // full async warm
+				if ready := cached.MapAsync(req); ready != nil {
+					waitClosed(t, ready)
+				}
+			case 2: // churn: place and commit on both engines
+				cands, err := cached.Place(req)
+				if err != nil {
+					continue
+				}
+				res, err := cached.Resolve(cands[0].Chip, req)
+				if err != nil {
+					continue
+				}
+				if err := cached.Commit(cands[0].Chip, res.Nodes); err != nil {
+					t.Fatal(err)
+				}
+				if err := cold.Commit(cands[0].Chip, res.Nodes); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, livePlacement{cands[0].Chip, res.Nodes})
+			default: // churn: release
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				p := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := cached.Release(p.chip, p.nodes); err != nil {
+					t.Fatal(err)
+				}
+				if err := cold.Release(p.chip, p.nodes); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The hits-first emulation: the best cached candidate within
+			// the regret bound, versus the exhaustive cold optimum.
+			hits := cached.PlaceCached(req)
+			var eligible []place.Candidate
+			for _, c := range hits {
+				if c.Cost <= regret {
+					eligible = append(eligible, c)
+				}
+			}
+			if len(eligible) == 0 {
+				continue
+			}
+			coldCands, err := cold.Place(req)
+			if err != nil || len(coldCands) == 0 {
+				t.Fatalf("op %d: cached rank exists but cold rank failed: %v", op, err)
+			}
+			if got, want := eligible[0].Cost, coldCands[0].Cost; got > want+regret {
+				t.Fatalf("op %d regret %v: hits-first cost %v exceeds cold optimum %v by more than the bound",
+					op, regret, got, want)
+			}
+		}
+		cold.Close()
+		cached.Close()
+	}
+}
+
+// TestEngineMapAsyncChurnRace exercises MapAsync, Prewarm and
+// PlaceCached against concurrent Commit/Release churn and blocking
+// placements under -race: async mappers share flights and the cache with
+// every other path, and the free-set mirror moves underneath them.
+func TestEngineMapAsyncChurnRace(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip(), fpgaChip()}, place.WithWorkers(3))
+	defer e.Close()
+	reqPool := []*topo.Graph{
+		topo.Mesh2D(2, 2),
+		topo.Mesh2D(2, 3),
+		topo.Chain(3),
+		topo.Chain(4),
+	}
+
+	const (
+		churners = 3
+		mappers  = 3
+		rounds   = 40
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				req := place.Request{Topology: reqPool[rng.Intn(len(reqPool))]}
+				cands, err := e.Place(req)
+				if err != nil {
+					continue
+				}
+				chip := cands[rng.Intn(len(cands))].Chip
+				res, err := e.Resolve(chip, req)
+				if err != nil {
+					continue
+				}
+				if err := e.Commit(chip, res.Nodes); err != nil {
+					continue // raced: another goroutine claimed a node
+				}
+				if rng.Intn(4) != 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+				if err := e.Release(chip, res.Nodes); err != nil {
+					t.Errorf("release of committed nodes failed: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < mappers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < rounds; i++ {
+				req := place.Request{Topology: reqPool[rng.Intn(len(reqPool))]}
+				switch rng.Intn(3) {
+				case 0:
+					if ready := e.MapAsync(req); ready != nil && rng.Intn(2) == 0 {
+						waitClosed(t, ready)
+					}
+				case 1:
+					e.Prewarm(req)
+				default:
+					for _, c := range e.PlaceCached(req) {
+						if c.Chip < 0 || c.Chip >= e.Chips() {
+							t.Errorf("cached candidate names unknown chip %d", c.Chip)
+							return
+						}
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -35,6 +35,10 @@ type cacheEntry struct {
 	candidates int
 	connected  bool
 	err        error
+	// spec marks an entry produced by Prewarm speculation that has not
+	// served a hit yet; the engine counts the flag's fate (first hit vs
+	// eviction/invalidation) into PrewarmHits/PrewarmWasted.
+	spec bool
 }
 
 // result materializes a MapResult with a private copy of the node slice,
@@ -78,28 +82,35 @@ func (c *mapCache) get(k cacheKey) (*cacheEntry, bool) {
 	return el.Value.(*cacheItem).entry, true
 }
 
-// add inserts an entry, evicting the least recently used ones beyond
-// capacity and counting each eviction into evicted.
-func (c *mapCache) add(k cacheKey, e *cacheEntry, evicted *uint64) {
+// add inserts an entry, returning the entries evicted beyond capacity so
+// the engine can account them (eviction counter, wasted speculations).
+func (c *mapCache) add(k cacheKey, e *cacheEntry) []*cacheEntry {
 	if el, ok := c.entries[k]; ok {
 		el.Value.(*cacheItem).entry = e
 		c.order.MoveToFront(el)
-		return
+		return nil
 	}
 	c.entries[k] = c.order.PushFront(&cacheItem{key: k, entry: e})
+	var evicted []*cacheEntry
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheItem).key)
-		*evicted++
+		item := last.Value.(*cacheItem)
+		delete(c.entries, item.key)
+		evicted = append(evicted, item.entry)
 	}
+	return evicted
 }
 
-func (c *mapCache) remove(k cacheKey) {
+// remove drops an entry, returning it for the engine's accounting (nil
+// when absent).
+func (c *mapCache) remove(k cacheKey) *cacheEntry {
 	if el, ok := c.entries[k]; ok {
 		c.order.Remove(el)
 		delete(c.entries, k)
+		return el.Value.(*cacheItem).entry
 	}
+	return nil
 }
 
 func (c *mapCache) len() int { return c.order.Len() }

@@ -182,19 +182,54 @@ type flight struct {
 	done chan struct{}
 }
 
+// asyncKey identifies one request across chips for MapAsync deduplication:
+// repeated async requests for the same (topology, strategy, cost scale,
+// memory) join the in-flight fan-out instead of re-scheduling it.
+type asyncKey struct {
+	topoSig    string
+	strat      core.Strategy
+	nodeInsDel float64
+	mem        uint64
+}
+
+// asyncFlight is one in-flight MapAsync fan-out: done closes when the last
+// missing chip's mapping has landed in the cache.
+type asyncFlight struct {
+	done      chan struct{}
+	remaining int // guarded by the engine mutex
+}
+
 // DefaultCacheSize bounds the mapping cache when no option overrides it.
 const DefaultCacheSize = 4096
+
+// DefaultWorkers sizes the async mapper worker pool when no option
+// overrides it.
+const DefaultWorkers = 4
 
 // Engine owns placement decisions for a set of chips. Create one with New;
 // all methods are safe for concurrent use.
 type Engine struct {
 	chips []*chipState
 
+	// tasks feeds the bounded mapper worker pool: cache misses — whether
+	// from a blocking Place, an async MapAsync fan-out or a Prewarm
+	// speculation — run here, so mapping concurrency is bounded by the
+	// worker count instead of one goroutine per (caller, chip). When the
+	// queue is full, blocking callers overflow onto their own goroutines
+	// (progress over strict bounds) and speculations are dropped.
+	tasks     chan func()
+	quit      chan struct{}
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+
 	mu        sync.Mutex
 	cache     *mapCache // nil when caching is disabled
 	flights   map[cacheKey]*flight
+	async     map[asyncKey]*asyncFlight
 	stats     metrics.PlacementStats
 	cacheSize int
+	workers   int
+	closed    bool
 }
 
 // Option tunes the engine.
@@ -207,6 +242,14 @@ func WithCacheSize(n int) Option {
 	return func(e *Engine) { e.cacheSize = n }
 }
 
+// WithWorkers sizes the async mapper worker pool (default DefaultWorkers;
+// n <= 0 selects the default). More workers let more distinct (chip,
+// topology) misses compute concurrently; the pool never runs more than n
+// mapper computations at once on behalf of async callers.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
 // New builds an engine over the given chips.
 func New(chips []Chip, opts ...Option) (*Engine, error) {
 	if len(chips) == 0 {
@@ -214,7 +257,10 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{
 		flights:   make(map[cacheKey]*flight),
+		async:     make(map[asyncKey]*asyncFlight),
 		cacheSize: DefaultCacheSize,
+		workers:   DefaultWorkers,
+		quit:      make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -222,6 +268,10 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 	if e.cacheSize > 0 {
 		e.cache = newMapCache(e.cacheSize)
 	}
+	if e.workers <= 0 {
+		e.workers = DefaultWorkers
+	}
+	e.tasks = make(chan func(), 2*e.workers)
 	for i, c := range chips {
 		if c.Graph == nil || c.Graph.NumNodes() == 0 {
 			return nil, fmt.Errorf("place: chip %d has no topology", i)
@@ -249,7 +299,89 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 		}
 		e.chips = append(e.chips, cs)
 	}
+	// Start the worker pool only once every chip validated, so an error
+	// return leaks no goroutines.
+	for i := 0; i < e.workers; i++ {
+		e.workerWG.Add(1)
+		go func() {
+			defer e.workerWG.Done()
+			for {
+				select {
+				case fn := <-e.tasks:
+					fn()
+				case <-e.quit:
+					return
+				}
+			}
+		}()
+	}
 	return e, nil
+}
+
+// Close stops the mapper worker pool. Callers must not have placements
+// or async mappings outstanding (the cluster closes its dispatcher —
+// which drains every job — before closing the engine). Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		close(e.quit)
+		e.workerWG.Wait()
+		// Run whatever was accepted into the queue but not picked up:
+		// a blocking rank or MapAsync flight that got its task enqueued
+		// must still complete (its caller may be in wg.Wait / on the
+		// done edge), and no new tasks can arrive once closed is set.
+		for {
+			select {
+			case fn := <-e.tasks:
+				fn()
+			default:
+				return
+			}
+		}
+	})
+}
+
+// trySubmit hands a task to the worker pool without blocking, reporting
+// false when the queue is full or the engine is closed. The closed check
+// and the send share the engine mutex with Close's closed-flag write, so
+// every accepted task is visible to Close's drain — a task can never be
+// enqueued after the drain has run.
+func (e *Engine) trySubmit(fn func()) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	select {
+	case e.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// specHitLocked books the first hit on a speculative (prewarmed) entry.
+// Caller holds the engine mutex.
+func (e *Engine) specHitLocked(ent *cacheEntry) {
+	if ent.spec {
+		ent.spec = false
+		e.stats.PrewarmHits++
+	}
+}
+
+// bookEvictedLocked accounts dropped cache entries: every one counts as
+// an eviction, and speculative ones that never served a hit count as
+// wasted prewarm work. Caller holds the engine mutex.
+func (e *Engine) bookEvictedLocked(entries []*cacheEntry) {
+	for _, ent := range entries {
+		e.stats.CacheEvictions++
+		if ent.spec {
+			e.stats.PrewarmWasted++
+		}
+	}
 }
 
 // Chips reports the number of chips the engine places over.
@@ -276,18 +408,117 @@ func (e *Engine) Stats() metrics.PlacementStats {
 	return s
 }
 
-// Prewarm computes and caches the request's mapping against every
-// chip's current free set without booking a placement decision. The
-// dispatcher speculates with it: while the head job claims its chip, the
-// next few queued jobs' mappings are computed concurrently on spare
-// cores, so their own ranking is served from the cache — most of the
-// chips' free sets are unchanged by the head's claim. Speculation never
-// claims resources; a stale entry is simply recomputed later.
+// Prewarm speculatively computes and caches the request's mapping
+// against every chip's current free set without booking a placement
+// decision. The dispatcher speculates with it: while the head job claims
+// its chip, the next few queued jobs' mappings compute on the async
+// mapper workers, so their own ranking is served from the cache — most
+// chips' free sets are unchanged by the head's claim. Prewarm never
+// blocks and never claims resources: with the worker pool saturated the
+// speculation is dropped, and a stale entry is simply recomputed later.
+// PlacementStats reports how speculation pays off (PrewarmRuns vs
+// PrewarmHits vs PrewarmWasted).
 func (e *Engine) Prewarm(req Request) {
+	e.mapAsync(req, true)
+}
+
+// MapAsync schedules the mapper computations the request would miss on —
+// every adequate chip whose (free set, topology) entry is absent or
+// stale — onto the bounded async worker pool, returning a channel closed
+// when the last one has landed in the cache. It returns nil when there is
+// nothing to wait for: every chip is already answered (rank away — it is
+// cache-served), or the request is uncacheable. Concurrent MapAsync calls
+// for the same request share one fan-out, and each per-chip computation
+// shares the engine's single-flight with any blocking Place racing it.
+//
+// The dispatcher's hits-first path uses it to take mapping misses off the
+// dispatch loop: the job parks on the returned edge while other work
+// dispatches, and re-ranks — by then cache-served — when it closes.
+func (e *Engine) MapAsync(req Request) <-chan struct{} {
+	return e.mapAsync(req, false)
+}
+
+func (e *Engine) mapAsync(req Request, speculative bool) <-chan struct{} {
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
-		return
+		return nil
 	}
-	_, _ = e.rank(req)
+	if e.cache == nil || !req.cacheable() {
+		// Nothing can land in a cache: async computation would be thrown
+		// away, so the caller must rank synchronously.
+		return nil
+	}
+	sig := canonicalKey(req.Topology)
+	key := asyncKey{topoSig: sig, strat: req.Strategy, nodeInsDel: req.MapOptions.NodeInsDel, mem: req.MemoryBytes}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	if f, ok := e.async[key]; ok {
+		e.mu.Unlock()
+		return f.done
+	}
+	var misses []int
+	for i, cs := range e.chips {
+		if req.MemoryBytes > cs.profile.MemoryBytes {
+			continue
+		}
+		if ent, ok := e.cache.get(e.keyLocked(cs, req, sig)); ok {
+			if ent.err != nil || cs.allFreeLocked(ent.nodes) {
+				continue // answered (result or memoized error)
+			}
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	f := &asyncFlight{done: make(chan struct{}), remaining: len(misses)}
+	e.async[key] = f
+	if speculative {
+		e.stats.PrewarmRuns += uint64(len(misses))
+	} else {
+		e.stats.AsyncMaps += uint64(len(misses))
+	}
+	e.mu.Unlock()
+
+	finishOne := func() {
+		e.mu.Lock()
+		f.remaining--
+		last := f.remaining == 0
+		if last {
+			delete(e.async, key)
+		}
+		e.mu.Unlock()
+		if last {
+			close(f.done)
+		}
+	}
+	for _, chip := range misses {
+		chip := chip
+		task := func() {
+			_, _ = e.resolve(chip, req, sig, speculative)
+			finishOne()
+		}
+		if e.trySubmit(task) {
+			continue
+		}
+		if speculative {
+			// Pool saturated: speculation is the first thing to shed.
+			e.mu.Lock()
+			e.stats.PrewarmRuns--
+			e.mu.Unlock()
+			finishOne()
+			continue
+		}
+		// A dispatch-path miss must make progress even when the pool is
+		// saturated; overflow onto a dedicated goroutine (bounded by the
+		// async dedup map — one fan-out per distinct request).
+		go task()
+	}
+	return f.done
 }
 
 // PlaceCached ranks only the chips whose mapping for the request is
@@ -299,12 +530,31 @@ func (e *Engine) Prewarm(req Request) {
 // Uncacheable requests (callback map options) and cacheless engines
 // return nil.
 func (e *Engine) PlaceCached(req Request) []Candidate {
+	// No hit/miss accounting by design: backfill probe scans must not
+	// skew the serving path's cache statistics.
+	return e.placeCached(req, false)
+}
+
+// PlaceHit is PlaceCached for the dispatcher's hits-first path: the same
+// cached-only rank, but — when it serves at least one candidate —
+// booked as a placement decision (one Placements tick, a CacheHits tick
+// per chip served). Hits-first placements ARE the serving path's
+// decisions, and without the accounting a cache that serves all traffic
+// would report zero activity; empty scans (nothing cached yet, or a
+// capacity-park retry) stay unaccounted so the decision counters track
+// served ranks, not loop iterations.
+func (e *Engine) PlaceHit(req Request) []Candidate {
+	return e.placeCached(req, true)
+}
+
+func (e *Engine) placeCached(req Request, account bool) []Candidate {
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
 		return nil
 	}
 	if e.cache == nil || !req.cacheable() {
 		return nil
 	}
+	start := time.Now()
 	sig := canonicalKey(req.Topology)
 	k := req.Topology.NumNodes()
 	var cands []Candidate
@@ -315,16 +565,21 @@ func (e *Engine) PlaceCached(req Request) []Candidate {
 		}
 		ent, ok := e.cache.get(e.keyLocked(cs, req, sig))
 		if !ok || ent.err != nil || !cs.allFreeLocked(ent.nodes) {
-			// No mapper fallback here by design — and no hit/miss
-			// accounting either, so probe scans don't skew the serving
-			// path's cache statistics.
 			continue
 		}
+		// A speculative entry serving a real cached rank is a prewarm
+		// payoff, even on the probe scans that skip hit accounting.
+		e.specHitLocked(ent)
 		cands = append(cands, Candidate{
 			Chip:  i,
 			Cost:  ent.cost,
 			Price: cs.profile.PlacementPrice(k),
 		})
+	}
+	if account && len(cands) > 0 {
+		e.stats.Placements++
+		e.stats.CacheHits += uint64(len(cands))
+		e.stats.PlaceTime += time.Since(start)
 	}
 	e.mu.Unlock()
 	sort.SliceStable(cands, func(a, b int) bool {
@@ -380,11 +635,13 @@ func (e *Engine) rank(req Request) ([]Candidate, error) {
 			if ent, ok := e.cache.get(e.keyLocked(cs, req, sig)); ok {
 				if ent.err != nil {
 					e.stats.CacheHits++
+					e.specHitLocked(ent)
 					errs[i] = ent.err
 					continue
 				}
 				if cs.allFreeLocked(ent.nodes) {
 					e.stats.CacheHits++
+					e.specHitLocked(ent)
 					results[i] = ent.result()
 					continue
 				}
@@ -395,13 +652,21 @@ func (e *Engine) rank(req Request) ([]Candidate, error) {
 		misses = append(misses, i)
 	}
 	e.mu.Unlock()
+	// Misses fan out through the bounded mapper worker pool — the same
+	// workers MapAsync and Prewarm use — overflowing onto caller-owned
+	// goroutines when the pool is saturated, so a blocking rank can never
+	// deadlock behind its own queue.
 	var wg sync.WaitGroup
 	for _, i := range misses {
+		i := i
 		wg.Add(1)
-		go func(i int) {
+		fn := func() {
 			defer wg.Done()
-			results[i], errs[i] = e.resolve(i, req, sig)
-		}(i)
+			results[i], errs[i] = e.resolve(i, req, sig, false)
+		}
+		if !e.trySubmit(fn) {
+			go fn()
+		}
 	}
 	wg.Wait()
 
@@ -444,7 +709,7 @@ func (e *Engine) Resolve(chip int, req Request) (core.MapResult, error) {
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
 		return core.MapResult{}, fmt.Errorf("place: request needs a topology")
 	}
-	return e.resolve(chip, req, canonicalKey(req.Topology))
+	return e.resolve(chip, req, canonicalKey(req.Topology), false)
 }
 
 // keyLocked builds the cache key for a request on one chip's current free
@@ -460,7 +725,7 @@ func (e *Engine) keyLocked(cs *chipState, req Request, sig string) cacheKey {
 	}
 }
 
-func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, error) {
+func (e *Engine) resolve(chip int, req Request, sig string, speculative bool) (core.MapResult, error) {
 	cs := e.chips[chip]
 	if req.MemoryBytes > cs.profile.MemoryBytes {
 		return core.MapResult{}, fmt.Errorf("place: request needs %d bytes of memory, chip %d (%s) has %d: %w",
@@ -471,7 +736,12 @@ func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, err
 		e.stats.CacheMisses++
 		free := cs.freeListLocked()
 		e.mu.Unlock()
-		return core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
+		start := time.Now()
+		res, err := core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
+		e.mu.Lock()
+		e.stats.MapTime += time.Since(start)
+		e.mu.Unlock()
+		return res, err
 	}
 
 	for {
@@ -480,11 +750,14 @@ func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, err
 		if ent, ok := e.cache.get(key); ok {
 			if ent.err != nil {
 				e.stats.CacheHits++
+				e.specHitLocked(ent)
+				err := ent.err
 				e.mu.Unlock()
-				return core.MapResult{}, ent.err
+				return core.MapResult{}, err
 			}
 			if cs.allFreeLocked(ent.nodes) {
 				e.stats.CacheHits++
+				e.specHitLocked(ent)
 				res := ent.result()
 				e.mu.Unlock()
 				return res, nil
@@ -492,8 +765,11 @@ func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, err
 			// Signature collision (or foreign churn): the memoized nodes
 			// are not free under the current set despite the key match.
 			// Never hand out such a placement — drop the entry and fall
-			// through to a fresh computation.
-			e.cache.remove(key)
+			// through to a fresh computation. (Not a capacity eviction, so
+			// only a wasted speculation is booked.)
+			if dropped := e.cache.remove(key); dropped != nil && dropped.spec {
+				e.stats.PrewarmWasted++
+			}
 		}
 		if f, ok := e.flights[key]; ok {
 			e.mu.Unlock()
@@ -507,17 +783,21 @@ func (e *Engine) resolve(chip int, req Request, sig string) (core.MapResult, err
 		free := cs.freeListLocked()
 		e.mu.Unlock()
 
+		start := time.Now()
 		res, err := core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
 
 		e.mu.Lock()
 		e.stats.CacheMisses++
-		e.cache.add(key, &cacheEntry{
+		e.stats.MapTime += time.Since(start)
+		evicted := e.cache.add(key, &cacheEntry{
 			nodes:      append([]topo.NodeID(nil), res.Nodes...),
 			cost:       res.Cost,
 			candidates: res.Candidates,
 			connected:  res.Connected,
 			err:        err,
-		}, &e.stats.CacheEvictions)
+			spec:       speculative,
+		})
+		e.bookEvictedLocked(evicted)
 		delete(e.flights, key)
 		e.mu.Unlock()
 		close(f.done)

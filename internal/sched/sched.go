@@ -166,6 +166,13 @@ type Stats struct {
 	// ChipBusy is the cumulative wall-clock execution time per chip; over
 	// a load generator's run it yields per-chip utilization.
 	ChipBusy []time.Duration
+	// HitsFirst counts jobs started through the hits-first fast path: a
+	// cached placement within the executor's regret bound, claimed
+	// without waiting for the full rank.
+	HitsFirst uint64
+	// MapParked counts jobs whose dispatch parked on an async mapping
+	// (the mapReady edge) instead of blocking the dispatch loop.
+	MapParked uint64
 	// PerClass breaks the serving counters down by priority class,
 	// covering BOTH serving paths (the session pool reports into the
 	// same accounting via ExternalSubmitted/ExternalDone), with p50/p99
@@ -341,6 +348,16 @@ type Dispatcher[Job, Placement, Result any] struct {
 	parked   *ticket
 	waiters  map[*turnWaiter]struct{}
 	classes  []classState
+	// mapWaits holds every job parked on an async mapping edge, from
+	// parkForMapping until its re-dispatch claims the parked ticket. The
+	// set keeps those jobs visible to the external fairness gate
+	// (blockedLocked) — a session job must not overtake an older
+	// equal-class job just because its mapping is computing — and keeps
+	// the dispatch loop alive across Close until they drain. mapReady is
+	// the subset whose mapping (or cancellation/deadline) has landed,
+	// queued for re-dispatch ahead of the queue.
+	mapWaits map[*queue.Item[*task[Job, Result]]]struct{}
+	mapReady []*queue.Item[*task[Job, Result]]
 	// prewarm, when set (SetPrewarm), is called with the next few queued
 	// jobs each time the dispatcher commits to placing one.
 	prewarm func(job Job)
@@ -371,6 +388,7 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 		tenants:        make(map[string]int),
 		q:              queue.New[*task[Job, Result]](queue.Config{Classes: cfg.Classes, AgingRounds: cfg.AgingRounds}),
 		waiters:        make(map[*turnWaiter]struct{}),
+		mapWaits:       make(map[*queue.Item[*task[Job, Result]]]struct{}),
 		classes:        make([]classState, cfg.Classes),
 		dispatcherDone: make(chan struct{}),
 	}
@@ -602,6 +620,11 @@ func (d *Dispatcher[Job, Placement, Result]) blockedLocked(seq uint64, class int
 	if d.parked != nil && d.parked.seq < seq && d.parked.class >= class {
 		return true
 	}
+	for it := range d.mapWaits {
+		if it.Seq < seq && it.Bucket() >= class {
+			return true
+		}
+	}
 	return d.q.HasOlderAtOrAbove(seq, class)
 }
 
@@ -684,24 +707,42 @@ func (d *Dispatcher[Job, Placement, Result]) Stats() Stats {
 
 // dispatch pops tasks in priority order — failing deadline-expired ones
 // fast — and places each on the best-scoring chip, parking on
-// backpressure until a worker frees capacity.
+// backpressure until a worker frees capacity. Jobs whose async mapping
+// completed (mapReady) re-enter ahead of the queue — unless a
+// better-ordered job arrived while they mapped, in which case they are
+// requeued with their original ticket and the better job goes first.
 func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 	defer close(d.dispatcherDone)
 	for {
 		d.mu.Lock()
 		expired := d.q.PopExpired(time.Now())
-		it, ok := d.q.Pop()
+		var it *queue.Item[*task[Job, Result]]
+		ok := false
+		if len(d.mapReady) > 0 {
+			it = d.mapReady[0]
+			d.mapReady = d.mapReady[1:]
+			delete(d.mapWaits, it)
+			ok = true
+			if d.q.Better(it) {
+				d.q.Requeue(it)
+				d.classes[it.Bucket()].stats.Displaced++
+				it, ok = d.q.Pop()
+			}
+		} else {
+			it, ok = d.q.Pop()
+		}
 		if ok {
 			d.parked = &ticket{seq: it.Seq, class: it.Bucket()}
 		}
 		d.checkTurnsLocked()
 		closed := d.closed
+		mapsOutstanding := len(d.mapWaits)
 		d.mu.Unlock()
 		for _, e := range expired {
 			d.finishMiss(e.Job)
 		}
 		if !ok {
-			if closed {
+			if closed && mapsOutstanding == 0 {
 				return
 			}
 			<-d.qWake
@@ -711,6 +752,12 @@ func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 		if err := t.ctx.Err(); err != nil {
 			d.unpark()
 			d.finish(t, *new(Result), fmt.Errorf("sched: job canceled while queued: %w", err))
+			continue
+		}
+		// Map-parked jobs bypass PopExpired; sweep their deadline here.
+		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			d.unpark()
+			d.finishMiss(t)
 			continue
 		}
 		// Speculate on the jobs next in line while this one places: their
@@ -778,6 +825,34 @@ func (d *Dispatcher[Job, Placement, Result]) yield(it *queue.Item[*task[Job, Res
 // the head-of-line job.
 type CachedRanker[Job any] interface {
 	RankCached(job Job) []Candidate
+}
+
+// AsyncRanker is an optional Executor extension enabling hits-first
+// dispatch: mapping misses move off the dispatch loop entirely.
+//
+//   - RankHit lists only candidates the executor is willing to start
+//     immediately from cached placement state — typically cached
+//     mappings whose score is within a configured regret bound of the
+//     best any chip could offer. It must be cheap (no mapping work) and
+//     may return nil.
+//   - RankAsync starts (or joins) the asynchronous computation of the
+//     job's missing mappings, returning a channel closed when they have
+//     landed — the job parks on that mapReady edge while the dispatcher
+//     keeps serving other work. It must return nil when there is nothing
+//     to compute (every chip already answered, or the job's placement is
+//     uncacheable), which tells the dispatcher to rank synchronously —
+//     by then a cheap, cache-served call.
+//
+// Hits-first relaxes the dispatcher's strict pop order for jobs whose
+// mapping is not ready: while a job is map-parked, younger QUEUED jobs
+// may place ahead of it (bounded by mapping latency — the job re-enters
+// ahead of the queue the moment its mapping lands). The external
+// fairness gate is unchanged: a map-parked job still blocks younger
+// session-path work of equal-or-lower class (mapWaits feeds
+// blockedLocked), and capacity parking keeps its ordinary semantics.
+type AsyncRanker[Job any] interface {
+	RankHit(job Job) []Candidate
+	RankAsync(job Job) <-chan struct{}
 }
 
 // tryClaim ranks the chips and claims the best available one for t,
@@ -916,13 +991,55 @@ func (d *Dispatcher[Job, Placement, Result]) backfillOne() bool {
 	return false
 }
 
-// place claims a chip for the job the dispatcher popped. When no chip
-// can host it, it reclaims external capacity, backfills smaller queued
+// parkForMapping hands a popped job to the async mappers: the dispatch
+// loop is free to serve other work while the mapping computes, and a
+// waiter goroutine re-injects the job (via mapReady) when the edge
+// closes — or when the job's context or deadline fires first, which the
+// dispatch loop's own sweeps then turn into the right failure.
+func (d *Dispatcher[Job, Placement, Result]) parkForMapping(t *task[Job, Result], it *queue.Item[*task[Job, Result]], ready <-chan struct{}) {
+	d.mu.Lock()
+	d.mapWaits[it] = struct{}{}
+	d.stats.MapParked++
+	// The parked ticket clears, but the job stays visible to the external
+	// fairness gate through mapWaits — younger session-path work cannot
+	// overtake it while its mapping computes; only the dispatcher's own
+	// queue keeps flowing.
+	d.parked = nil
+	d.checkTurnsLocked()
+	d.mu.Unlock()
+	go func() {
+		var deadlineC <-chan time.Time
+		if !t.deadline.IsZero() {
+			timer := time.NewTimer(time.Until(t.deadline))
+			defer timer.Stop()
+			deadlineC = timer.C
+		}
+		select {
+		case <-ready:
+		case <-t.ctx.Done():
+		case <-deadlineC:
+		}
+		d.mu.Lock()
+		d.mapReady = append(d.mapReady, it)
+		d.mu.Unlock()
+		select {
+		case d.qWake <- struct{}{}:
+		default:
+		}
+	}()
+}
+
+// place claims a chip for the job the dispatcher popped — hits-first
+// when the executor supports it: a cached placement within the regret
+// bound starts immediately, a mapping miss parks the job on the async
+// mappers' mapReady edge (the dispatch loop moves on). When no chip can
+// host it, it reclaims external capacity, backfills smaller queued
 // jobs into holes the head cannot use, and parks until a release —
 // unless a better-ordered arrival displaces the job back into the
 // queue, or its deadline passes first; with nothing in flight the
 // failure is terminal.
 func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *queue.Item[*task[Job, Result]]) {
+	ar, hitsFirst := d.exec.(AsyncRanker[Job])
 	var deadlineC <-chan time.Time
 	if !t.deadline.IsZero() {
 		timer := time.NewTimer(time.Until(t.deadline))
@@ -931,6 +1048,20 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 	}
 	backfills := 0
 	for {
+		if hitsFirst {
+			if cands := ar.RankHit(t.job); len(cands) > 0 {
+				if ok, _ := d.claimFrom(cands, t, true); ok {
+					d.mu.Lock()
+					d.stats.HitsFirst++
+					d.mu.Unlock()
+					return
+				}
+			}
+			if ready := ar.RankAsync(t.job); ready != nil {
+				d.parkForMapping(t, it, ready)
+				return
+			}
+		}
 		placedOK, lastErr := d.tryClaim(t, true)
 		if placedOK {
 			return

@@ -1,7 +1,5 @@
 package topo
 
-import "sort"
-
 // ConnectedSubgraphs enumerates the node sets of connected induced
 // subgraphs of size k restricted to the allowed nodes. Each set is reported
 // exactly once, in a deterministic order, using the ESU (Wernicke)
@@ -10,67 +8,88 @@ import "sort"
 //
 // This implements the candidate-generation step of the paper's topology
 // mapping algorithm (Algorithm 1, lines 20–29): candidate topologies are
-// connected regions of the free portion of the physical mesh.
+// connected regions of the free portion of the physical mesh. Membership
+// and exclusivity tests run on bitsets over a dense node index, and roots
+// whose free component holds fewer than k nodes are pruned before any
+// recursion — both cut the constant cost of a mapping miss without
+// changing the enumerated sets or their order.
 func ConnectedSubgraphs(g *Graph, allowed []NodeID, k, limit int) (sets [][]NodeID, complete bool) {
+	return NewHost(g).ConnectedSubgraphs(allowed, k, limit)
+}
+
+// Host owns the dense node index of one physical graph, shared across
+// the enumerators and the subgraph signer so one mapping miss builds it
+// once instead of per call. The graph must not be mutated while the
+// Host is in use. Not safe for concurrent use.
+type Host struct {
+	g  *Graph
+	di *denseIndex
+}
+
+// NewHost indexes the graph.
+func NewHost(g *Graph) *Host { return &Host{g: g, di: newDenseIndex(g)} }
+
+// ConnectedSubgraphs is the method form of the package function, on the
+// host's shared index.
+func (h *Host) ConnectedSubgraphs(allowed []NodeID, k, limit int) (sets [][]NodeID, complete bool) {
 	if k <= 0 || limit == 0 {
 		return nil, true
 	}
-	ok := make(map[NodeID]bool, len(allowed))
-	for _, id := range allowed {
-		if g.HasNode(id) {
-			ok[id] = true
-		}
-	}
-	roots := make([]NodeID, 0, len(ok))
-	for id := range ok {
-		roots = append(roots, id)
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	di := h.di
+	ok := di.allowedSet(allowed)
+	comp := di.componentSizes(ok)
 
 	complete = true
-	var sub []NodeID
-	inSub := make(map[NodeID]bool)
+	sub := make([]int, 0, k)
+	inSub := newBitset(len(di.ids))
+	subAdj := newBitset(len(di.ids)) // union of adjacency rows of sub
+	inExt := newBitset(len(di.ids))
+	// Per-depth snapshots of subAdj (recursion depth is bounded by k);
+	// allocating in the extension loop would churn thousands of short-
+	// lived bitsets per miss.
+	saved := make([]bitset, k+1)
+	for i := range saved {
+		saved[i] = newBitset(len(di.ids))
+	}
 
-	var extend func(root NodeID, ext []NodeID) bool
-	extend = func(root NodeID, ext []NodeID) bool {
+	var extend func(root int, ext []int) bool
+	extend = func(root int, ext []int) bool {
 		if len(sub) == k {
-			set := make([]NodeID, len(sub))
-			copy(set, sub)
-			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-			sets = append(sets, set)
+			sets = append(sets, di.sortedIDs(sub))
 			return limit < 0 || len(sets) < limit
 		}
 		for i := 0; i < len(ext); i++ {
 			w := ext[i]
 			// Extension set for the recursive call: remaining candidates plus
 			// w's exclusive neighbors (> root, allowed, not adjacent to or in sub).
-			next := make([]NodeID, 0, len(ext)-i-1+g.Degree(w))
+			next := make([]int, 0, len(ext)-i-1+len(di.nbrs[w]))
 			next = append(next, ext[i+1:]...)
-			inExt := make(map[NodeID]bool, len(next))
-			for _, id := range next {
-				inExt[id] = true
+			for _, p := range next {
+				inExt.set(p)
 			}
-			for _, u := range g.Neighbors(w) {
-				if u <= root || !ok[u] || inSub[u] || inExt[u] {
+			for _, u := range di.nbrs[w] {
+				if u <= root || !ok.test(u) || inSub.test(u) || inExt.test(u) {
 					continue
 				}
 				// exclusive: u must not neighbor any node already in sub
-				exclusive := true
-				for _, s := range sub {
-					if g.HasEdge(u, s) {
-						exclusive = false
-						break
-					}
-				}
-				if exclusive {
+				if !subAdj.test(u) {
 					next = append(next, u)
 				}
 			}
+			for _, p := range ext[i+1:] {
+				inExt.clear(p)
+			}
+			depth := len(sub)
+			copy(saved[depth], subAdj)
 			sub = append(sub, w)
-			inSub[w] = true
+			inSub.set(w)
+			for wi, word := range di.adj[w] {
+				subAdj[wi] |= word
+			}
 			cont := extend(root, next)
 			sub = sub[:len(sub)-1]
-			delete(inSub, w)
+			inSub.clear(w)
+			copy(subAdj, saved[depth])
 			if !cont {
 				return false
 			}
@@ -78,21 +97,29 @@ func ConnectedSubgraphs(g *Graph, allowed []NodeID, k, limit int) (sets [][]Node
 		return true
 	}
 
-	for _, root := range roots {
-		var ext []NodeID
-		for _, nb := range g.Neighbors(root) {
-			if nb > root && ok[nb] {
+	for root := range di.ids {
+		if !ok.test(root) || comp[root] < k {
+			continue
+		}
+		var ext []int
+		for _, nb := range di.nbrs[root] {
+			if nb > root && ok.test(nb) {
 				ext = append(ext, nb)
 			}
 		}
 		sub = append(sub[:0], root)
-		inSub = map[NodeID]bool{root: true}
-		if !extend(root, ext) {
+		inSub.set(root)
+		copy(subAdj, di.adj[root])
+		cont := extend(root, ext)
+		sub = sub[:0]
+		inSub.clear(root)
+		for wi := range subAdj {
+			subAdj[wi] = 0
+		}
+		if !cont {
 			complete = false
 			break
 		}
-		sub = sub[:0]
-		delete(inSub, root)
 	}
 	return sets, complete
 }
@@ -108,25 +135,26 @@ func ConnectedSubgraphs(g *Graph, allowed []NodeID, k, limit int) (sets [][]Node
 //   - sweep: prefer the lowest-ID frontier node (zig-zag-like);
 //   - anti-sweep: prefer the highest-ID frontier node.
 //
-// Duplicate regions are removed. Results are deterministic.
+// Duplicate regions are removed. Results are deterministic. Seeds whose
+// free component holds fewer than k nodes are pruned up front (their
+// growth could never reach size k), and the region/frontier state is
+// bitset-encoded; neither changes the produced regions.
 func GrowRegions(g *Graph, allowed []NodeID, k int) [][]NodeID {
+	return NewHost(g).GrowRegions(allowed, k)
+}
+
+// GrowRegions is the method form of the package function, on the host's
+// shared index.
+func (h *Host) GrowRegions(allowed []NodeID, k int) [][]NodeID {
 	if k <= 0 {
 		return nil
 	}
-	ok := make(map[NodeID]bool, len(allowed))
-	for _, id := range allowed {
-		if g.HasNode(id) {
-			ok[id] = true
-		}
-	}
-	if len(ok) < k {
+	di := h.di
+	ok := di.allowedSet(allowed)
+	if ok.count() < k {
 		return nil
 	}
-	seeds := make([]NodeID, 0, len(ok))
-	for id := range ok {
-		seeds = append(seeds, id)
-	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	comp := di.componentSizes(ok)
 
 	type priority int
 	const (
@@ -136,83 +164,64 @@ func GrowRegions(g *Graph, allowed []NodeID, k int) [][]NodeID {
 		numPriorities
 	)
 
+	in := newBitset(len(di.ids))
+	frontier := newBitset(len(di.ids))
+	region := make([]int, 0, k)
+
 	seen := make(map[string]bool)
 	var out [][]NodeID
-	for _, seed := range seeds {
+	for seed := range di.ids {
+		if !ok.test(seed) || comp[seed] < k {
+			continue
+		}
 		for p := priority(0); p < numPriorities; p++ {
-			region := growOne(g, ok, seed, k, func(frontier []NodeID, in map[NodeID]bool) NodeID {
+			for i := range in {
+				in[i], frontier[i] = 0, 0
+			}
+			in.set(seed)
+			region = append(region[:0], seed)
+			frontier.orAndNot(di.adj[seed], ok, in)
+			for len(region) < k && frontier.any() {
+				var chosen int
 				switch p {
 				case sweep:
-					return minID(frontier)
+					chosen = frontier.min()
 				case antiSweep:
-					return maxID(frontier)
+					chosen = frontier.max()
 				default:
-					return mostConnected(g, frontier, in)
+					chosen = mostConnectedBits(di, frontier, in)
 				}
-			})
+				frontier.clear(chosen)
+				in.set(chosen)
+				region = append(region, chosen)
+				frontier.orAndNot(di.adj[chosen], ok, in)
+			}
 			if len(region) != k {
 				continue
 			}
-			key := setKey(region)
+			ids := di.sortedIDs(region)
+			key := setKey(ids)
 			if !seen[key] {
 				seen[key] = true
-				out = append(out, region)
+				out = append(out, ids)
 			}
 		}
 	}
 	return out
 }
 
-func growOne(g *Graph, ok map[NodeID]bool, seed NodeID, k int, pick func([]NodeID, map[NodeID]bool) NodeID) []NodeID {
-	in := map[NodeID]bool{seed: true}
-	region := []NodeID{seed}
-	frontier := map[NodeID]bool{}
-	for _, nb := range g.Neighbors(seed) {
-		if ok[nb] {
-			frontier[nb] = true
-		}
-	}
-	for len(region) < k && len(frontier) > 0 {
-		fr := make([]NodeID, 0, len(frontier))
-		for id := range frontier {
-			fr = append(fr, id)
-		}
-		sort.Slice(fr, func(i, j int) bool { return fr[i] < fr[j] })
-		chosen := pick(fr, in)
-		delete(frontier, chosen)
-		in[chosen] = true
-		region = append(region, chosen)
-		for _, nb := range g.Neighbors(chosen) {
-			if ok[nb] && !in[nb] {
-				frontier[nb] = true
-			}
-		}
-	}
-	if len(region) != k {
-		return nil
-	}
-	sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
-	return region
-}
-
-func minID(ids []NodeID) NodeID { return ids[0] }
-
-func maxID(ids []NodeID) NodeID { return ids[len(ids)-1] }
-
-func mostConnected(g *Graph, frontier []NodeID, in map[NodeID]bool) NodeID {
-	best := frontier[0]
+// mostConnectedBits picks the frontier position with the most neighbors
+// already in the region, lowest position winning ties (the same rule the
+// map-based enumerator used: ascending scan, strictly-greater score).
+func mostConnectedBits(di *denseIndex, frontier, in bitset) int {
+	best := -1
 	bestScore := -1
-	for _, id := range frontier {
-		score := 0
-		for _, nb := range g.Neighbors(id) {
-			if in[nb] {
-				score++
-			}
+	frontier.forEach(func(p int) bool {
+		if score := di.adj[p].intersectCount(in); score > bestScore {
+			best, bestScore = p, score
 		}
-		if score > bestScore {
-			best, bestScore = id, score
-		}
-	}
+		return true
+	})
 	return best
 }
 

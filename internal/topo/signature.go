@@ -57,10 +57,155 @@ func Signature(g *Graph, iterations int) string {
 	return fmt.Sprintf("wl:%d:%d:%016x", g.NumNodes(), g.NumEdges(), h.Sum64())
 }
 
+// SubSigner computes the Signature of induced subgraphs of one host
+// graph without materializing them: adjacency comes from the host's
+// dense-index bitset rows restricted to the candidate set, initial WL
+// labels are cached per (kind, degree), and the label arrays are reused
+// across calls. The output is byte-identical to
+// Signature(g.Induced(nodes), iterations) — the mapping hot path
+// deduplicates hundreds of candidate regions per miss against the
+// request's own Signature, so the two computations must agree exactly.
+// Not safe for concurrent use; the mapper calls it from one goroutine.
+type SubSigner struct {
+	di    *denseIndex
+	kinds []string
+	init  map[subInitKey]uint64
+	mask  bitset
+	// labels/next are indexed by host position; only candidate positions
+	// are read or written during a call.
+	labels []uint64
+	next   []uint64
+}
+
+type subInitKey struct {
+	kind string
+	deg  int
+}
+
+// NewSubSigner prepares a signer over the host graph. The graph must not
+// be mutated while the signer is in use.
+func NewSubSigner(g *Graph) *SubSigner { return NewHost(g).Signer() }
+
+// Signer builds a subgraph signer on the host's shared index.
+func (h *Host) Signer() *SubSigner {
+	di := h.di
+	kinds := make([]string, len(di.ids))
+	for i, id := range di.ids {
+		kinds[i] = h.g.KindOf(id)
+	}
+	return &SubSigner{
+		di:     di,
+		kinds:  kinds,
+		init:   make(map[subInitKey]uint64),
+		mask:   newBitset(len(di.ids)),
+		labels: make([]uint64, len(di.ids)),
+		next:   make([]uint64, len(di.ids)),
+	}
+}
+
+// Signature computes the WL signature of the subgraph induced by nodes.
+// Unknown node IDs are ignored, matching Graph.Induced.
+func (s *SubSigner) Signature(nodes []NodeID, iterations int) string {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	pos := make([]int, 0, len(nodes))
+	for _, id := range nodes {
+		if p, ok := s.di.pos[id]; ok {
+			pos = append(pos, p)
+			s.mask.set(p)
+		}
+	}
+	sort.Ints(pos) // ascending position = ascending NodeID, Nodes() order
+	defer func() {
+		for _, p := range pos {
+			s.mask.clear(p)
+		}
+	}()
+
+	edges := 0
+	for _, p := range pos {
+		d := s.di.adj[p].intersectCount(s.mask)
+		edges += d
+		key := subInitKey{kind: s.kinds[p], deg: d}
+		l, ok := s.init[key]
+		if !ok {
+			l = hash64(fmt.Sprintf("k=%s;d=%d", key.kind, key.deg))
+			s.init[key] = l
+		}
+		s.labels[p] = l
+	}
+	edges /= 2
+
+	nbLabels := make([]uint64, 0, 8)
+	for it := 0; it < iterations; it++ {
+		for _, p := range pos {
+			nbLabels = nbLabels[:0]
+			for _, nb := range s.di.nbrs[p] {
+				if s.mask.test(nb) {
+					nbLabels = append(nbLabels, s.labels[nb])
+				}
+			}
+			sortU64(nbLabels)
+			h := fnvU64(fnvOffset64, s.labels[p])
+			for _, l := range nbLabels {
+				h = fnvU64(h, l)
+			}
+			s.next[p] = h
+		}
+		for _, p := range pos {
+			s.labels[p] = s.next[p]
+		}
+	}
+
+	final := make([]uint64, 0, len(pos))
+	for _, p := range pos {
+		final = append(final, s.labels[p])
+	}
+	sortU64(final)
+	h := fnvU64(fnvOffset64, uint64(len(pos)))
+	h = fnvU64(h, uint64(edges))
+	for _, l := range final {
+		h = fnvU64(h, l)
+	}
+	return fmt.Sprintf("wl:%d:%d:%016x", len(pos), edges, h)
+}
+
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// FNV-1a constants, for the allocation-free inline hashing of SubSigner.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvU64 folds v into an FNV-1a state byte by byte, least-significant
+// first — exactly what writeU64 feeds hash/fnv, so SubSigner's inline
+// hashing matches Signature's.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// sortU64 insertion-sorts a small label slice in place (WL neighbor lists
+// are degree-sized; a closure-based sort.Slice dominates the profile).
+func sortU64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
 
 func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {

@@ -1,0 +1,27 @@
+package topo
+
+import "testing"
+
+// TestSubSignerMatchesSignature pins the SubSigner to the reference: its
+// in-place subgraph signature must be byte-identical to running Signature
+// on the materialized induced subgraph — the mapping hot path compares the
+// two directly (candidate sigs against the request's Signature).
+func TestSubSignerMatchesSignature(t *testing.T) {
+	g := Mesh2D(6, 6)
+	signer := NewSubSigner(g)
+	subsets := [][]NodeID{
+		{0},
+		{0, 1, 2, 3},
+		{0, 1, 6, 7},
+		{5, 11, 17, 23, 29, 35},
+		{0, 7, 14, 21, 28, 35}, // diagonal: no edges
+		{10, 11, 12, 16, 17, 18, 22, 23, 24},
+	}
+	for _, nodes := range subsets {
+		want := Signature(g.Induced(nodes), 0)
+		got := signer.Signature(nodes, 0)
+		if got != want {
+			t.Errorf("SubSigner.Signature(%v) = %q, want %q", nodes, got, want)
+		}
+	}
+}

@@ -104,3 +104,33 @@ func WithTenantPriorityCap(tenant string, max Priority) ClusterOption {
 func WithAgingRounds(rounds int) ClusterOption {
 	return func(c *clusterConfig) { c.agingRounds = rounds }
 }
+
+// WithMapperWorkers sizes the placement engine's async mapper worker
+// pool (default place.DefaultWorkers; n <= 0 selects the default).
+// Mapping misses — hits-first parked jobs, prewarm speculation and
+// blocking placements alike — compute on these workers, so at most n
+// topology mappings run concurrently on behalf of the serving paths.
+// Size it to the cores you can spare beside the simulator: more workers
+// drain mapping backlogs faster under shape churn, fewer keep the mapper
+// from competing with job execution on small hosts.
+func WithMapperWorkers(n int) ClusterOption {
+	return func(c *clusterConfig) { c.mapperWorkers = n }
+}
+
+// WithPlacementRegret sets the hits-first regret tolerance in edit-
+// distance units (default 0). A job whose topology has a cached valid
+// mapping of cost <= r on some adequate chip starts there immediately —
+// without waiting for the mappings of the remaining chips — so its
+// placement cost exceeds the exhaustive cold optimum by at most r (the
+// optimum is never negative; property-tested). r = 0 admits only exact
+// (cost-0) cached placements to the fast path; larger r trades placement
+// quality for dispatch latency on fragmented fleets. A negative r
+// disables hits-first dispatch entirely: every job waits for its full
+// rank, restoring the strict cached==cold ordering of earlier releases.
+//
+// The bound covers the edit-distance score only: chip-price and load
+// tiebreaks among equal-cost placements may still differ from the cold
+// rank's choice.
+func WithPlacementRegret(r float64) ClusterOption {
+	return func(c *clusterConfig) { c.regret = &r }
+}
