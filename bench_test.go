@@ -651,3 +651,84 @@ func BenchmarkExtDecode(b *testing.B) {
 	}
 	b.ReportMetric(tps, "tok/s")
 }
+
+// BenchmarkFleetThroughput drives a 4-shard fleet through the
+// session-affine router with the reuse workload mix: reusable jobs
+// consistent-hash to their owner shard's warm pool, one-shots balance by
+// pressure. Reports aggregate jobs/s, the fleet-wide warm-hit rate, and
+// how many submissions the balancer moved.
+func BenchmarkFleetThroughput(b *testing.B) {
+	f, err := NewFleet(SimConfig(), 4, 1, WithQueueDepth(256),
+		WithSessionReuse(), WithSessionIdleTTL(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	type mix struct {
+		model Model
+		topo  *Topology
+	}
+	names := []string{"alexnet", "resnet18", "mobilenet", "googlenet", "resnet34", "gpt2-small"}
+	topos := []*Topology{Mesh(2, 2), Mesh(2, 3), Mesh(3, 3), Mesh(3, 4), Chain(4), Mesh(2, 3)}
+	mixes := make([]mix, len(names))
+	for i, n := range names {
+		m, err := ModelByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mixes[i] = mix{m, topos[i]}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	b.ResetTimer()
+	var handles []*FleetHandle
+	for i := 0; i < b.N; i++ {
+		mx := mixes[i%len(mixes)]
+		job := Job{
+			Tenant:   fmt.Sprintf("tenant-%02d", i%8),
+			Model:    mx.model,
+			Topology: mx.topo,
+			Reusable: i%3 != 0, // two thirds affine, one third load-balanced
+		}
+		for {
+			h, err := f.Submit(ctx, job)
+			if err == nil {
+				handles = append(handles, h)
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				b.Fatal(err)
+			}
+			if len(handles) > 0 {
+				if _, werr := handles[0].Wait(ctx); werr != nil {
+					b.Fatal(werr)
+				}
+				handles = handles[1:]
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	for _, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	var warm, cold, batched uint64
+	for i := 0; i < f.NumShards(); i++ {
+		ss := f.Shard(i).SessionStats()
+		warm += ss.WarmHits
+		cold += ss.ColdCreates
+		batched += ss.Batched
+	}
+	fs := f.Stats()
+	b.ReportMetric(float64(b.N)/elapsed, "jobs/s")
+	if warm+cold+batched > 0 {
+		b.ReportMetric(float64(warm+batched)/float64(warm+cold+batched)*100, "%warm")
+	}
+	b.ReportMetric(float64(fs.Steals+fs.Rerouted), "moved")
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/session"
+	"github.com/vnpu-sim/vnpu/internal/sim"
 	"github.com/vnpu-sim/vnpu/internal/topo"
 )
 
@@ -42,6 +43,10 @@ type Cluster struct {
 	engine   *place.Engine
 	disp     *sched.Dispatcher[Job, *VirtualNPU, JobReport]
 	maxCores int
+	// clk supplies time to every serving-path timestamp and timer —
+	// deadline checks, queue-wait accounting, the session TTL janitor.
+	// Wall clock unless WithClock injected another (see Clock).
+	clk sim.Clock
 	// chipCaps holds each chip's admission-relevant limits (core count
 	// and the profile's memory bound). Submit must reject a job no single
 	// chip jointly satisfies — checking cluster-wide maxima independently
@@ -152,6 +157,8 @@ type clusterConfig struct {
 	agingRounds     int
 	mapperWorkers   int
 	regret          *float64
+	clock           sim.Clock
+	negTTL          *time.Duration
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -212,7 +219,11 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			specs[i] = ChipSpec{Config: cfg}
 		}
 	}
+	if cc.clock == nil {
+		cc.clock = sim.Wall()
+	}
 	c := &Cluster{
+		clk:             cc.clock,
 		systems:         make([]*System, len(specs)),
 		execMu:          make([]sync.Mutex, len(specs)),
 		progs:           make(map[progKey]*progEntry),
@@ -260,6 +271,10 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	if cc.mapperWorkers > 0 {
 		engineOpts = append(engineOpts, place.WithWorkers(cc.mapperWorkers))
 	}
+	engineOpts = append(engineOpts, place.WithClock(cc.clock))
+	if cc.negTTL != nil {
+		engineOpts = append(engineOpts, place.WithNegativeTTL(*cc.negTTL))
+	}
 	engine, err := place.New(engineChips, engineOpts...)
 	if err != nil {
 		return nil, err
@@ -291,6 +306,7 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			// (ReserveSlot), so one counter guards both paths atomically.
 			ExternalBusy: c.sessionBusy,
 			Reclaim:      c.sessionReclaim,
+			Clock:        cc.clock,
 		},
 	)
 	if err != nil {
@@ -307,6 +323,7 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			MaxIdle:         cc.sessionIdle,
 			TTL:             cc.sessionTTL,
 			MicroQueueDepth: cc.sessionMicro,
+			Clock:           cc.clock,
 			OnFree: func() {
 				disp.Kick()
 				c.pokeSessions()
@@ -712,6 +729,52 @@ func (c *Cluster) Stats() ClusterStats {
 // placement-decision latency.
 func (c *Cluster) PlacementStats() PlacementStats { return c.engine.Stats() }
 
+// Pressure reports the cluster's serving load as a routing signal for a
+// fleet's one-shot balancer: admitted-but-unfinished work on both
+// serving paths normalized by the queue depth, plus the fraction of
+// cores any vNPU holds (running jobs and resident sessions alike — the
+// held-core term keeps traffic off shards whose capacity is pinned even
+// when their queues are short). Higher means more loaded; the scale is
+// comparable across shards of one fleet, not across differently-sized
+// clusters.
+func (c *Cluster) Pressure() float64 {
+	c.sessMu.Lock()
+	sess := c.sessInflight
+	c.sessMu.Unlock()
+	p := float64(c.disp.Pending()+sess) / float64(c.queueDepth)
+	total, held := 0, 0
+	for _, sys := range c.systems {
+		cores := sys.Config().Cores()
+		total += cores
+		held += cores - sys.FreeCores()
+	}
+	if total > 0 {
+		p += float64(held) / float64(total)
+	}
+	return p
+}
+
+// quiesced reports that the cluster owns no admitted-but-unfinished work
+// on either serving path — the drain condition a fleet waits for.
+func (c *Cluster) quiesced() bool {
+	c.sessMu.Lock()
+	sess := c.sessInflight
+	c.sessMu.Unlock()
+	return sess == 0 && c.disp.Pending() == 0
+}
+
+// flushSessions evicts every idle resident session, returning capacity
+// to the chips — a drained shard must not keep warm leases whose keys
+// now hash to another shard. Busy sessions cannot exist on a quiesced
+// cluster, so this empties the pool.
+func (c *Cluster) flushSessions() int {
+	if c.pool == nil {
+		return 0
+	}
+	const all = int(^uint(0) >> 1)
+	return c.pool.EvictIdle(all)
+}
+
 // clusterExec adapts the Cluster to the dispatcher's Executor interface.
 // Rank and Place run on the dispatcher goroutine, Execute and Release on
 // the owning chip's worker — the hypervisor's and engine's own locks cover
@@ -819,6 +882,15 @@ func (e *clusterExec) RankAsync(job Job) <-chan struct{} {
 	return e.engine.MapAsync(placeRequest(job.request()))
 }
 
+// ObserveHit samples the realized regret of a hits-first dispatch: the
+// engine finishes the async rank the job skipped and records how much
+// cheaper its eventual best mapping was than the cached candidate the
+// job started on. Bounded and fire-and-forget — see
+// place.Engine.ObserveRegret; PlacementStats reports the distribution.
+func (e *clusterExec) ObserveHit(job Job, cost float64) {
+	e.engine.ObserveRegret(placeRequest(job.request()), cost)
+}
+
 // Place creates the job's vNPU on the chosen chip, reusing the engine's
 // resolved mapping so the hypervisor never re-runs the topology mapper on
 // the dispatch path; the engine's free-set mirror is committed in the
@@ -871,13 +943,13 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 	if err != nil {
 		return JobReport{}, err
 	}
-	enter := time.Now()
+	enter := e.clk.Now()
 	e.execMu[chip].Lock()
-	locked := time.Now()
+	locked := e.clk.Now()
 	sys.dev.ResetTiming()
 	sys.ResetTransients(v)
 	rep, err := sys.RunCompiled(ctx, v, cm, job.Iterations)
-	held := time.Since(locked)
+	held := e.clk.Since(locked)
 	e.execMu[chip].Unlock()
 	// The chip worker's busy clock wraps this whole call, but only the
 	// locked region is chip occupancy: the wait for execMu is time a
@@ -885,7 +957,7 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 	// would double-count. Record the non-locked remainder so Stats can
 	// take it back out of the worker's measurement.
 	if e.pool != nil {
-		if outside := time.Since(enter) - held; outside > 0 {
+		if outside := e.clk.Since(enter) - held; outside > 0 {
 			e.sessMu.Lock()
 			e.execWait[chip] += outside
 			e.sessMu.Unlock()

@@ -9,10 +9,21 @@
 // and deadline misses; -deadline attaches a scheduling SLO to the
 // high/critical classes.
 //
+// With -shards N (N > 1) it boots a fleet of N independent cluster
+// shards behind the session-affine router: reusable jobs consistent-hash
+// to their owner shard, one-shots balance by pressure, and -drain
+// exercises a mid-trace drain/rejoin of one shard. With -virtual the
+// trace instead replays on the deterministic virtual clock — a
+// million-job multi-tenant day in seconds of wall time — and reports
+// fleet p50/p99, per-shard utilization, steal/drain counters and the
+// warm-hit rate against a single-cluster baseline (BENCH_fleet.json).
+//
 // Example:
 //
 //	vnpuserve -chips 4 -jobs 256 -rate 300 -tenants 8
 //	vnpuserve -chips 2 -jobs 128 -rate 40 -priomix -json BENCH_sched.json
+//	vnpuserve -shards 4 -chips 2 -jobs 400 -reuse -drain 1
+//	vnpuserve -shards 4 -virtual -json BENCH_fleet.json
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"time"
 
 	"github.com/vnpu-sim/vnpu"
+	"github.com/vnpu-sim/vnpu/internal/fleet"
 )
 
 func main() {
@@ -53,8 +65,28 @@ func main() {
 	flag.Float64Var(&cfg.regret, "regret", 0, "hits-first placement regret tolerance in edit-distance units (0 = exact cached fits only; negative disables hits-first dispatch)")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file (for hot-path work)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every job completion")
+	flag.IntVar(&cfg.shards, "shards", 1, "number of independent cluster shards behind the session-affine router (1 = single cluster)")
+	flag.BoolVar(&cfg.virtual, "virtual", false, "replay the trace on the deterministic virtual clock instead of wall time (fleet model; pairs with -shards)")
+	flag.IntVar(&cfg.drainShard, "drain", 1, "shard to drain and rejoin mid-trace when -shards > 1 (-1 disables)")
 	flag.Parse()
-	if err := run(cfg); err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "jobs":
+			cfg.jobsSet = true
+		case "rate":
+			cfg.rateSet = true
+		}
+	})
+	var err error
+	switch {
+	case cfg.virtual:
+		err = runVirtual(cfg)
+	case cfg.shards > 1:
+		err = runFleet(cfg)
+	default:
+		err = run(cfg)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -80,6 +112,26 @@ type runConfig struct {
 	workers    int
 	regret     float64
 	cpuprofile string
+
+	shards     int
+	virtual    bool
+	drainShard int
+	jobsSet    bool
+	rateSet    bool
+}
+
+// chipConfig resolves the -chip flag to a chip profile.
+func chipConfig(name string) (vnpu.Config, error) {
+	switch name {
+	case "fpga":
+		return vnpu.FPGAConfig(), nil
+	case "sim":
+		return vnpu.SimConfig(), nil
+	case "sim48":
+		return vnpu.SimConfig48(), nil
+	default:
+		return vnpu.Config{}, fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", name)
+	}
 }
 
 // classSummary is one priority class's slice of the -json report.
@@ -128,6 +180,14 @@ type summary struct {
 	ColdP50Micros int64   `json:"cold_shape_p50_us"`
 	ColdP99Micros int64   `json:"cold_shape_p99_us"`
 	ColdShapeJobs int     `json:"cold_shape_jobs"`
+
+	// Hits-first quality facts: how often the negative-result TTL
+	// short-circuited a doomed mapping, and how much placement cost the
+	// hits-first shortcut realized versus the async rank's eventual best.
+	NegHits       uint64  `json:"negative_ttl_hits"`
+	RegretSamples uint64  `json:"regret_samples"`
+	RegretAvg     float64 `json:"regret_avg_ted"`
+	RegretP99     float64 `json:"regret_p99_ted"`
 }
 
 // workloadMix pairs zoo models with topologies that fit the chip.
@@ -190,16 +250,9 @@ func drawPriority(rng *rand.Rand) vnpu.Priority {
 func priorityName(p vnpu.Priority) string { return p.String() }
 
 func run(rc runConfig) error {
-	var cfg vnpu.Config
-	switch rc.chipName {
-	case "fpga":
-		cfg = vnpu.FPGAConfig()
-	case "sim":
-		cfg = vnpu.SimConfig()
-	case "sim48":
-		cfg = vnpu.SimConfig48()
-	default:
-		return fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", rc.chipName)
+	cfg, err := chipConfig(rc.chipName)
+	if err != nil {
+		return err
 	}
 	var opts []vnpu.ClusterOption
 	if rc.queue > 0 {
@@ -416,6 +469,11 @@ func run(rc runConfig) error {
 		ps.AvgMapTime().Round(time.Microsecond), ps.AsyncMaps,
 		stats.HitsFirst, stats.MapParked,
 		ps.PrewarmRuns, ps.PrewarmHits, ps.PrewarmWasted)
+	if ps.NegHits > 0 || ps.RegretSamples > 0 {
+		fmt.Printf("hits-first:    %d negative-TTL hits   regret over %d samples: avg %.2f  p50 %.2f  p99 %.2f  max %.2f TED\n",
+			ps.NegHits, ps.RegretSamples,
+			ps.AvgRegret(), ps.RegretP50, ps.RegretP99, ps.RegretMax)
+	}
 	if len(coldWaits) > 0 {
 		sort.Slice(coldWaits, func(i, j int) bool { return coldWaits[i] < coldWaits[j] })
 		fmt.Printf("cold shapes:   %d jobs   time-to-start p50 %s   p99 %s\n",
@@ -481,6 +539,10 @@ func run(rc runConfig) error {
 			PrewarmHits:    ps.PrewarmHits,
 			PrewarmWasted:  ps.PrewarmWasted,
 			ColdShapeJobs:  len(coldWaits),
+			NegHits:        ps.NegHits,
+			RegretSamples:  ps.RegretSamples,
+			RegretAvg:      ps.AvgRegret(),
+			RegretP99:      ps.RegretP99,
 		}
 		if wall > 0 {
 			sum.JobsPerSec = float64(len(waits)) / wall.Seconds()
@@ -503,6 +565,359 @@ func run(rc runConfig) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d jobs failed", failed)
+	}
+	return nil
+}
+
+// shardSummary is one shard's slice of the BENCH_fleet.json report.
+type shardSummary struct {
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"completed"`
+	Rejected    int     `json:"rejected"`
+	WarmHits    int     `json:"warm_hits"`
+	StolenFrom  int     `json:"stolen_from"`
+	StolenInto  int     `json:"stolen_into"`
+	Utilization float64 `json:"utilization"`
+}
+
+// fleetSummary is the -json report of a fleet run (BENCH_fleet.json):
+// fleet-level latency percentiles, membership-churn counters, and the
+// warm-hit rate next to the single-cluster baseline.
+type fleetSummary struct {
+	Shards           int            `json:"shards"`
+	ChipsPerShard    int            `json:"chips_per_shard"`
+	CoresPerChip     int            `json:"cores_per_chip"`
+	Jobs             int            `json:"jobs"`
+	RatePerSec       float64        `json:"rate_jobs_per_s"`
+	Seed             int64          `json:"seed"`
+	Virtual          bool           `json:"virtual"`
+	WallMillis       int64          `json:"wall_ms"`
+	VirtualMillis    int64          `json:"virtual_ms"`
+	Completed        int            `json:"completed"`
+	Rejected         int            `json:"rejected"`
+	ReHomed          int            `json:"rehomed"`
+	Steals           int            `json:"steals"`
+	DrainShard       int            `json:"drain_shard"`
+	WarmHits         int            `json:"warm_hits"`
+	WarmRate         float64        `json:"warm_hit_rate"`
+	BaselineWarmRate float64        `json:"baseline_warm_hit_rate"`
+	P50Micros        int64          `json:"p50_us"`
+	P99Micros        int64          `json:"p99_us"`
+	OrderHash        string         `json:"order_hash,omitempty"`
+	PerShard         []shardSummary `json:"per_shard"`
+}
+
+// runVirtual replays the fleet trace on the deterministic virtual
+// clock: millions of jobs in seconds of wall time, plus a single-cluster
+// baseline replay of the same trace for the warm-affinity comparison.
+func runVirtual(rc runConfig) error {
+	cfg, err := chipConfig(rc.chipName)
+	if err != nil {
+		return err
+	}
+	cores := cfg.Cores()
+	jobs := rc.jobs
+	if !rc.jobsSet {
+		// Virtual time is cheap: default to the CI-scale million-job day.
+		jobs = 1_000_000
+	}
+	totalCores := rc.shards * rc.chips * cores
+	rate := rc.rate
+	if !rc.rateSet {
+		// The trace model's mean job holds ~3 cores for ~300us, but warm
+		// sessions continuous-batch on resident cores, so the sustainable
+		// rate sits well above the naive per-job estimate; 1.5x of it lands
+		// near 90% utilization with visible queueing and balancer activity.
+		rate = 1.5 * float64(totalCores) / (3 * 300e-6)
+	}
+	tc := fleet.TraceConfig{
+		Shards:        rc.shards,
+		ChipsPerShard: rc.chips,
+		CoresPerChip:  cores,
+		Jobs:          jobs,
+		RatePerSec:    rate,
+		Tenants:       rc.tenants,
+		Models:        6,
+		ReuseFraction: 0.6,
+		Seed:          rc.seed,
+		QueueDepth:    rc.queue,
+		DrainShard:    rc.drainShard,
+		DrainAtFrac:   0.4,
+		RejoinAtFrac:  0.7,
+	}
+	if tc.DrainShard >= tc.Shards {
+		tc.DrainShard = -1
+	}
+	fmt.Printf("vnpuserve -virtual: %d shards x %d chips x %d cores (%s), %d jobs at %.0f jobs/s virtual, seed %d",
+		tc.Shards, tc.ChipsPerShard, tc.CoresPerChip, cfg.Name, tc.Jobs, tc.RatePerSec, tc.Seed)
+	if tc.DrainShard >= 0 {
+		fmt.Printf(", drain shard %d at 40%% / rejoin at 70%%", tc.DrainShard)
+	}
+	fmt.Println()
+
+	start := time.Now()
+	res, err := fleet.Replay(tc)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// Same trace, one shard with the whole fleet's capacity: the warm
+	// pool has every key, so its hit rate bounds what sharding can keep.
+	base := tc
+	base.Shards = 1
+	base.ChipsPerShard = tc.ChipsPerShard * tc.Shards
+	base.DrainShard = -1
+	bres, err := fleet.Replay(base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nreplayed %d jobs in %s wall (%s virtual): %d completed, %d rejected typed, 0 lost\n",
+		res.Jobs, wall.Round(time.Millisecond), res.VirtualSpan.Round(time.Millisecond),
+		res.Completed, res.Rejected)
+	if wall > 0 {
+		fmt.Printf("replay speed:  %.0f jobs/s wall (%.0fx real time)\n",
+			float64(res.Jobs)/wall.Seconds(), float64(res.VirtualSpan)/float64(wall))
+	}
+	fmt.Printf("fleet latency: p50 %s   p99 %s (sojourn)\n",
+		res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	fmt.Printf("warm hits:     %.1f%% sharded vs %.1f%% single-cluster baseline (gap %.1f points)\n",
+		res.WarmRate*100, bres.WarmRate*100, (bres.WarmRate-res.WarmRate)*100)
+	fmt.Printf("churn:         %d steals, %d re-homed by drain   order hash %016x\n",
+		res.Steals, res.ReHomed, res.OrderHash)
+	fmt.Println("per shard:")
+	for i, sh := range res.PerShard {
+		fmt.Printf("  shard %d: %7d jobs   %7d completed   %5d rejected   warm %7d   stolen %d out / %d in   util %5.1f%%\n",
+			i, sh.Jobs, sh.Completed, sh.Rejected, sh.WarmHits, sh.StolenFrom, sh.StolenInto, sh.Utilization*100)
+	}
+
+	if rc.jsonPath != "" {
+		sum := fleetSummary{
+			Shards:           tc.Shards,
+			ChipsPerShard:    tc.ChipsPerShard,
+			CoresPerChip:     tc.CoresPerChip,
+			Jobs:             res.Jobs,
+			RatePerSec:       tc.RatePerSec,
+			Seed:             tc.Seed,
+			Virtual:          true,
+			WallMillis:       wall.Milliseconds(),
+			VirtualMillis:    res.VirtualSpan.Milliseconds(),
+			Completed:        res.Completed,
+			Rejected:         res.Rejected,
+			ReHomed:          res.ReHomed,
+			Steals:           res.Steals,
+			DrainShard:       tc.DrainShard,
+			WarmHits:         res.WarmHits,
+			WarmRate:         res.WarmRate,
+			BaselineWarmRate: bres.WarmRate,
+			P50Micros:        res.P50.Microseconds(),
+			P99Micros:        res.P99.Microseconds(),
+			OrderHash:        fmt.Sprintf("%016x", res.OrderHash),
+		}
+		for _, sh := range res.PerShard {
+			sum.PerShard = append(sum.PerShard, shardSummary{
+				Jobs:        sh.Jobs,
+				Completed:   sh.Completed,
+				Rejected:    sh.Rejected,
+				WarmHits:    sh.WarmHits,
+				StolenFrom:  sh.StolenFrom,
+				StolenInto:  sh.StolenInto,
+				Utilization: sh.Utilization,
+			})
+		}
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFleet drives a real (wall-clock) multi-shard fleet: the Poisson
+// trace submits through the session-affine router, and -drain exercises
+// a mid-trace drain/rejoin of one shard with zero lost jobs.
+func runFleet(rc runConfig) error {
+	cfg, err := chipConfig(rc.chipName)
+	if err != nil {
+		return err
+	}
+	var opts []vnpu.ClusterOption
+	if rc.queue > 0 {
+		opts = append(opts, vnpu.WithQueueDepth(rc.queue))
+	} else {
+		opts = append(opts, vnpu.WithQueueDepth(rc.jobs))
+	}
+	if rc.quota > 0 {
+		opts = append(opts, vnpu.WithTenantQuota(rc.quota))
+	}
+	if rc.reuse {
+		opts = append(opts, vnpu.WithSessionReuse())
+	}
+	if rc.workers > 0 {
+		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
+	}
+	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+
+	f, err := vnpu.NewFleet(cfg, rc.shards, rc.chips, opts...)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	mixes, err := buildMix(cfg.Cores())
+	if err != nil {
+		return err
+	}
+	var jobOpts []vnpu.Option
+	if rc.confine {
+		jobOpts = append(jobOpts, vnpu.WithConfinement(true))
+	}
+	drain := rc.drainShard
+	if drain >= rc.shards {
+		drain = -1
+	}
+	fmt.Printf("vnpuserve -shards: %d shards x %d chips (%s), %d jobs, %d tenants, rate %.0f jobs/s, seed %d",
+		rc.shards, rc.chips, cfg.Name, rc.jobs, rc.tenants, rc.rate, rc.seed)
+	if drain >= 0 {
+		fmt.Printf(", drain shard %d mid-trace", drain)
+	}
+	fmt.Println()
+
+	rng := rand.New(rand.NewSource(rc.seed))
+	ctx := context.Background()
+	start := time.Now()
+	handles := make([]*vnpu.FleetHandle, 0, rc.jobs)
+	perShardSubmits := make([]int, rc.shards)
+	var refused int
+	for i := 0; i < rc.jobs; i++ {
+		if rc.rate > 0 && i > 0 {
+			time.Sleep(time.Duration(rng.ExpFloat64() / rc.rate * float64(time.Second)))
+		}
+		if drain >= 0 && i == rc.jobs/3 {
+			if err := f.Drain(ctx, drain); err != nil {
+				return fmt.Errorf("drain shard %d: %w", drain, err)
+			}
+			fmt.Printf("-- drained shard %d at job %d\n", drain, i)
+		}
+		if drain >= 0 && i == 2*rc.jobs/3 {
+			if err := f.Rejoin(drain); err != nil {
+				return fmt.Errorf("rejoin shard %d: %w", drain, err)
+			}
+			fmt.Printf("-- rejoined shard %d at job %d\n", drain, i)
+		}
+		mx := mixes[rng.Intn(len(mixes))]
+		job := vnpu.Job{
+			Tenant:     fmt.Sprintf("tenant-%02d", rng.Intn(rc.tenants)),
+			Model:      mx.model,
+			Iterations: rc.iters,
+			Topology:   mx.topo,
+			Options:    jobOpts,
+			Reusable:   rc.reuse,
+		}
+		if rc.priomix {
+			job.Priority = drawPriority(rng)
+		}
+		h, err := f.Submit(ctx, job)
+		if err != nil {
+			if errors.Is(err, vnpu.ErrQueueFull) || errors.Is(err, vnpu.ErrQuotaExceeded) ||
+				errors.Is(err, vnpu.ErrNoActiveShards) {
+				refused++
+				continue
+			}
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		handles = append(handles, h)
+		perShardSubmits[h.Shard()]++
+	}
+
+	var waits []time.Duration
+	var failed int
+	for i, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			failed++
+			if rc.verbose {
+				fmt.Fprintf(os.Stderr, "job %d failed: %v\n", i, err)
+			}
+			continue
+		}
+		waits = append(waits, h.QueueWait())
+	}
+	wall := time.Since(start)
+
+	fs := f.Stats()
+	fmt.Printf("\ncompleted %d jobs (%d failed typed, %d refused typed, 0 lost) in %s\n",
+		len(waits), failed, refused, wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Printf("throughput:    %.1f jobs/s\n", float64(len(waits))/wall.Seconds())
+	}
+	var p50, p99 time.Duration
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		p50, p99 = percentile(waits, 0.50), percentile(waits, 0.99)
+		fmt.Printf("queueing:      p50 %s   p99 %s   max %s\n",
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			waits[len(waits)-1].Round(time.Microsecond))
+	}
+	fmt.Printf("fleet:         %d steals, %d re-homed, %d rerouted, %d drains, %d rejoins, %d shards active\n",
+		fs.Steals, fs.ReHomed, fs.Rerouted, fs.Drains, fs.Rejoins, fs.ActiveShards)
+	var warm, cold, batched uint64
+	fmt.Println("per shard:")
+	for i := 0; i < f.NumShards(); i++ {
+		ss := f.Shard(i).SessionStats()
+		warm += ss.WarmHits
+		cold += ss.ColdCreates
+		batched += ss.Batched
+		fmt.Printf("  shard %d: %4d submits   %4d completed   pressure %.2f", i, perShardSubmits[i], fs.Shards[i].Completed, fs.Pressure[i])
+		if rc.reuse {
+			fmt.Printf("   warm %.1f%%", ss.HitRate()*100)
+		}
+		fmt.Println()
+	}
+	warmRate := 0.0
+	if warm+cold+batched > 0 {
+		warmRate = float64(warm+batched) / float64(warm+cold+batched)
+	}
+	if rc.reuse {
+		fmt.Printf("sessions:      %.1f%% warm fleet-wide (%d warm / %d batched / %d cold)\n",
+			warmRate*100, warm, batched, cold)
+	}
+
+	if rc.jsonPath != "" {
+		sum := fleetSummary{
+			Shards:        rc.shards,
+			ChipsPerShard: rc.chips,
+			CoresPerChip:  cfg.Cores(),
+			Jobs:          len(handles),
+			RatePerSec:    rc.rate,
+			Seed:          rc.seed,
+			WallMillis:    wall.Milliseconds(),
+			Completed:     len(waits),
+			Rejected:      failed + refused,
+			ReHomed:       int(fs.ReHomed),
+			Steals:        int(fs.Steals),
+			DrainShard:    drain,
+			WarmHits:      int(warm),
+			WarmRate:      warmRate,
+			P50Micros:     p50.Microseconds(),
+			P99Micros:     p99.Microseconds(),
+		}
+		for i := range fs.Shards {
+			sum.PerShard = append(sum.PerShard, shardSummary{
+				Jobs:      perShardSubmits[i],
+				Completed: int(fs.Shards[i].Completed),
+			})
+		}
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -62,4 +62,14 @@ var (
 	// still be live, and a Wait context expiry reports the context error,
 	// not this one.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+	// ErrShardDraining: the fleet shard that owns the job's session key
+	// is draining — it finishes admitted work but takes no new jobs.
+	// Transient: the fleet re-homes drained keys immediately, so a retry
+	// routes to the new owner.
+	ErrShardDraining = core.ErrShardDraining
+
+	// ErrNoActiveShards: every shard of the fleet is draining; no
+	// submission can be accepted until one rejoins.
+	ErrNoActiveShards = core.ErrNoActiveShards
 )

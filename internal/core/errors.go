@@ -46,4 +46,14 @@ var (
 	// is distinct from context.DeadlineExceeded — the job's submission
 	// context may still be live.
 	ErrDeadlineExceeded = errors.New("scheduling deadline exceeded")
+
+	// ErrShardDraining reports a submission routed to a fleet shard that
+	// is draining: the shard finishes its admitted work but accepts no
+	// new jobs. Transient — the fleet re-homes the session key, so a
+	// retry lands on the new owner.
+	ErrShardDraining = errors.New("shard draining")
+
+	// ErrNoActiveShards reports a fleet whose every shard is draining or
+	// gone: no shard can accept the submission at all.
+	ErrNoActiveShards = errors.New("no active shards")
 )

@@ -1,0 +1,166 @@
+// Package fleet holds the shard-routing and trace-replay machinery of a
+// multi-cluster serving fleet: a consistent-hash session router (Router)
+// and a deterministic virtual-time replay of multi-tenant traces
+// (Replay). The fleet front-end itself lives in the root vnpu package —
+// it needs the cluster's internals — and builds on both.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the number of ring points per shard when no option
+// overrides it. 64 keeps the key-space split within a few percent of
+// even for single-digit shard counts.
+const DefaultReplicas = 64
+
+// point is one virtual node on the hash ring.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Router assigns session keys to fleet shards by consistent hashing:
+// each shard owns DefaultReplicas pseudo-random arcs of a 64-bit ring,
+// and a key belongs to the first active shard clockwise of its hash.
+// Draining a shard only re-homes the keys it owned — every other key
+// keeps its shard, which is the property that preserves warm session
+// affinity through membership churn. All methods are safe for
+// concurrent use.
+type Router struct {
+	mu      sync.RWMutex
+	points  []point // sorted by hash, immutable after NewRouter
+	active  []bool
+	nActive int
+}
+
+// NewRouter builds a ring over the given number of shards, all active.
+// replicas <= 0 selects DefaultReplicas.
+func NewRouter(shards, replicas int) *Router {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Router{
+		active:  make([]bool, shards),
+		nActive: shards,
+		points:  make([]point, 0, shards*replicas),
+	}
+	for s := 0; s < shards; s++ {
+		r.active[s] = true
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: mix(uint64(s)<<32 | uint64(v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// mix spreads a 64-bit value (splitmix64 finalizer), giving each
+// (shard, replica) pair an independent ring position.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// keyHash digests a session key onto the ring.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix(h.Sum64())
+}
+
+// Shards reports the ring's total shard count (active or not).
+func (r *Router) Shards() int { return len(r.active) }
+
+// Owner returns the active shard owning the key, walking clockwise past
+// drained shards' points. ok is false when no shard is active.
+func (r *Router) Owner(key string) (shard int, ok bool) {
+	h := keyHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.nActive == 0 {
+		return 0, false
+	}
+	n := len(r.points)
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for probe := 0; probe < n; probe++ {
+		p := r.points[(i+probe)%n]
+		if r.active[p.shard] {
+			return p.shard, true
+		}
+	}
+	return 0, false
+}
+
+// Drain marks the shard inactive: its keys re-home to the next active
+// shards clockwise immediately. Reports whether the shard was active.
+func (r *Router) Drain(shard int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= len(r.active) || !r.active[shard] {
+		return false
+	}
+	r.active[shard] = false
+	r.nActive--
+	return true
+}
+
+// Rejoin re-activates a drained shard: the keys it owned before the
+// drain come home. Reports whether the shard was inactive.
+func (r *Router) Rejoin(shard int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= len(r.active) || r.active[shard] {
+		return false
+	}
+	r.active[shard] = true
+	r.nActive++
+	return true
+}
+
+// IsActive reports whether the shard currently takes traffic.
+func (r *Router) IsActive(shard int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return shard >= 0 && shard < len(r.active) && r.active[shard]
+}
+
+// ActiveCount reports how many shards currently take traffic.
+func (r *Router) ActiveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nActive
+}
+
+// PickLeast returns the active shard with the lowest pressure (ties to
+// the lowest index) — the one-shot balancer for jobs with no session
+// affinity. ok is false when no shard is active.
+func (r *Router) PickLeast(pressure func(shard int) float64) (shard int, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best, bestP := -1, 0.0
+	for s, a := range r.active {
+		if !a {
+			continue
+		}
+		if p := pressure(s); best < 0 || p < bestP {
+			best, bestP = s, p
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

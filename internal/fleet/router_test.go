@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Keys must spread over every shard, stay put across unrelated drains,
+// and come home on rejoin.
+func TestRouterAffinityAcrossDrain(t *testing.T) {
+	const shards, keys = 4, 4096
+	r := NewRouter(shards, 0)
+	owner := make(map[string]int, keys)
+	perShard := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("tenant-%d/model-%d", i%97, i)
+		s, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner with all shards active")
+		}
+		owner[k] = s
+		perShard[s]++
+	}
+	for s, n := range perShard {
+		if n == 0 {
+			t.Fatalf("shard %d owns no keys of %d", s, keys)
+		}
+	}
+
+	if !r.Drain(2) {
+		t.Fatal("drain of active shard reported false")
+	}
+	if r.Drain(2) {
+		t.Fatal("double drain reported true")
+	}
+	moved := 0
+	for k, was := range owner {
+		s, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner with 3 shards active")
+		}
+		if was == 2 {
+			if s == 2 {
+				t.Fatalf("key %q still routes to drained shard", k)
+			}
+			moved++
+			continue
+		}
+		if s != was {
+			t.Fatalf("key %q moved %d -> %d though its shard stayed active", k, was, s)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("drained shard owned no keys")
+	}
+
+	if !r.Rejoin(2) {
+		t.Fatal("rejoin of drained shard reported false")
+	}
+	for k, was := range owner {
+		if s, _ := r.Owner(k); s != was {
+			t.Fatalf("key %q did not come home after rejoin: %d != %d", k, s, was)
+		}
+	}
+}
+
+func TestRouterAllDrained(t *testing.T) {
+	r := NewRouter(2, 8)
+	r.Drain(0)
+	r.Drain(1)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("owner found with every shard drained")
+	}
+	if _, ok := r.PickLeast(func(int) float64 { return 0 }); ok {
+		t.Fatal("PickLeast found a shard with every shard drained")
+	}
+	if r.ActiveCount() != 0 {
+		t.Fatal("ActiveCount != 0 with every shard drained")
+	}
+}
+
+func TestRouterPickLeast(t *testing.T) {
+	r := NewRouter(3, 8)
+	load := []float64{2.0, 0.5, 1.0}
+	if s, ok := r.PickLeast(func(i int) float64 { return load[i] }); !ok || s != 1 {
+		t.Fatalf("PickLeast = %d,%v, want 1,true", s, ok)
+	}
+	r.Drain(1)
+	if s, ok := r.PickLeast(func(i int) float64 { return load[i] }); !ok || s != 2 {
+		t.Fatalf("PickLeast after drain = %d,%v, want 2,true", s, ok)
+	}
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func baseTrace() TraceConfig {
+	return TraceConfig{
+		Shards:        4,
+		ChipsPerShard: 2,
+		CoresPerChip:  8,
+		Jobs:          20000,
+		RatePerSec:    200000,
+		Tenants:       8,
+		Models:        6,
+		ReuseFraction: 0.6,
+		Seed:          42,
+		DrainShard:    -1,
+	}
+}
+
+// TestReplayDeterminism: the same seed replays to the identical trace —
+// order hash, latencies, and every counter — across runs; a different
+// seed diverges.
+func TestReplayDeterminism(t *testing.T) {
+	cfg := baseTrace()
+	cfg.DrainShard = 1
+	cfg.DrainAtFrac = 0.3
+	cfg.RejoinAtFrac = 0.6
+
+	a, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OrderHash != b.OrderHash {
+		t.Fatalf("order hash diverged across identical replays: %x != %x", a.OrderHash, b.OrderHash)
+	}
+	if a.P50 != b.P50 || a.P99 != b.P99 || a.VirtualSpan != b.VirtualSpan {
+		t.Fatalf("latencies diverged: %v/%v/%v vs %v/%v/%v",
+			a.P50, a.P99, a.VirtualSpan, b.P50, b.P99, b.VirtualSpan)
+	}
+	if a.Completed != b.Completed || a.WarmHits != b.WarmHits || a.Steals != b.Steals || a.ReHomed != b.ReHomed {
+		t.Fatalf("counters diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.PerShard {
+		if a.PerShard[i] != b.PerShard[i] {
+			t.Fatalf("shard %d diverged: %+v vs %+v", i, a.PerShard[i], b.PerShard[i])
+		}
+	}
+
+	cfg.Seed = 43
+	c, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OrderHash == a.OrderHash {
+		t.Fatal("different seeds produced the same order hash")
+	}
+}
+
+// TestReplayZeroLostAcrossDrain: every job in a drain/rejoin trace is
+// accounted for — completed or rejected, never dropped — and the drain
+// actually re-homes work.
+func TestReplayZeroLostAcrossDrain(t *testing.T) {
+	cfg := baseTrace()
+	cfg.DrainShard = 2
+	cfg.DrainAtFrac = 0.25
+	cfg.RejoinAtFrac = 0.7
+	// Push the fleet hard enough that the drained shard holds a queue.
+	cfg.RatePerSec = 400000
+
+	res, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Rejected != res.Jobs {
+		t.Fatalf("lost jobs: %d completed + %d rejected != %d", res.Completed, res.Rejected, res.Jobs)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	sum := 0
+	for _, sh := range res.PerShard {
+		sum += sh.Completed + sh.Rejected
+	}
+	// Fleet-level rejections (no active shard) are not attributed to a
+	// shard, so the per-shard sum can undercount rejections but never
+	// completions.
+	if sum > res.Jobs {
+		t.Fatalf("per-shard accounting exceeds the trace: %d > %d", sum, res.Jobs)
+	}
+}
+
+// TestReplayWarmAffinity: a sharded fleet's warm-hit rate stays within 5
+// points of the single-cluster baseline — consistent hashing keeps each
+// key's traffic on one shard's warm pool.
+func TestReplayWarmAffinity(t *testing.T) {
+	cfg := baseTrace()
+	// Keep the load light enough that TTL, not queueing, decides warmth.
+	cfg.RatePerSec = 100000
+	fleet, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := cfg
+	single.Shards = 1
+	single.ChipsPerShard = cfg.ChipsPerShard * cfg.Shards
+	base, err := Replay(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fleet.WarmRate == 0 || base.WarmRate == 0 {
+		t.Fatalf("warm rates: fleet %.3f, single %.3f — expected both warm", fleet.WarmRate, base.WarmRate)
+	}
+	if diff := base.WarmRate - fleet.WarmRate; diff > 0.05 {
+		t.Fatalf("sharding cost %.1f warm points (fleet %.3f vs single %.3f), budget is 5",
+			diff*100, fleet.WarmRate, base.WarmRate)
+	}
+}
+
+// TestReplayStealsUnderSkew: one-shot best-effort load plus a hot keyed
+// tenant skews the queues; idle shards must steal.
+func TestReplayStealsUnderSkew(t *testing.T) {
+	cfg := baseTrace()
+	cfg.Tenants = 2
+	cfg.Models = 2
+	cfg.ReuseFraction = 0.5
+	cfg.RatePerSec = 600000
+	res, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 {
+		t.Fatal("no steals in a skewed overload trace")
+	}
+	into, from := 0, 0
+	for _, sh := range res.PerShard {
+		into += sh.StolenInto
+		from += sh.StolenFrom
+	}
+	if into != res.Steals || from != res.Steals {
+		t.Fatalf("steal accounting: %d into, %d from, %d total", into, from, res.Steals)
+	}
+}
+
+// TestReplayMillionJobBudget: the CI-scale trace — a million jobs —
+// replays well inside the wall-clock budget. Skipped in -short runs.
+func TestReplayMillionJobBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-job replay skipped in -short mode")
+	}
+	cfg := baseTrace()
+	cfg.Jobs = 1_000_000
+	cfg.RatePerSec = 2_000_000
+	cfg.DrainShard = 1
+	cfg.DrainAtFrac = 0.4
+	cfg.RejoinAtFrac = 0.7
+	start := time.Now()
+	res, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if res.Completed+res.Rejected != res.Jobs {
+		t.Fatalf("lost jobs at scale: %d + %d != %d", res.Completed, res.Rejected, res.Jobs)
+	}
+	if wall > 60*time.Second {
+		t.Fatalf("million-job replay took %v, budget 60s", wall)
+	}
+	t.Logf("1M jobs in %v wall (%v virtual): p50 %v p99 %v warm %.1f%% steals %d rehomed %d",
+		wall, res.VirtualSpan, res.P50, res.P99, res.WarmRate*100, res.Steals, res.ReHomed)
+}

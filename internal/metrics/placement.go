@@ -38,6 +38,20 @@ type PlacementStats struct {
 	PrewarmRuns   uint64
 	PrewarmHits   uint64
 	PrewarmWasted uint64
+	// NegHits counts per-chip mapping failures served from the engine's
+	// negative-result memo across free-set churn — each one a mapper run
+	// (and likely a map-park) the TTL coalesced away.
+	NegHits uint64
+	// Realized hits-first regret, in edit-distance units: for each sampled
+	// hits-first dispatch, how much cheaper the full rank's eventual best
+	// mapping was than the cached candidate the job actually started on
+	// (never negative). RegretSamples/RegretSum/RegretMax are cumulative;
+	// the percentiles cover a bounded window of recent samples.
+	RegretSamples uint64
+	RegretSum     float64
+	RegretMax     float64
+	RegretP50     float64
+	RegretP99     float64
 }
 
 // HitRate reports the fraction of mapping resolutions served from the
@@ -66,4 +80,13 @@ func (s PlacementStats) AvgMapTime() time.Duration {
 		return 0
 	}
 	return s.MapTime / time.Duration(s.CacheMisses)
+}
+
+// AvgRegret reports the mean realized regret of the sampled hits-first
+// dispatches (0 before the first sample).
+func (s PlacementStats) AvgRegret() float64 {
+	if s.RegretSamples == 0 {
+		return 0
+	}
+	return s.RegretSum / float64(s.RegretSamples)
 }

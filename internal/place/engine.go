@@ -26,6 +26,7 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/core"
 	"github.com/vnpu-sim/vnpu/internal/ged"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/sim"
 	"github.com/vnpu-sim/vnpu/internal/topo"
 )
 
@@ -105,6 +107,33 @@ type chipState struct {
 	// low-class residency from high-class pools; held is the total.
 	heldByClass map[int]int
 	held        int
+	// neg memoizes mapping failures per topology across free-set churn
+	// (see negGetLocked); relGen counts releases on the chip, guarding
+	// negative write-backs against a release that raced the computation.
+	neg    map[negKey]negEntry
+	relGen uint64
+}
+
+// negKey identifies a memoized mapping failure on one chip: the topology
+// and the mapping knobs, deliberately WITHOUT the free-set signature —
+// the whole point is to keep refusing an unsatisfiable shape while
+// commits elsewhere on the chip churn the signature.
+type negKey struct {
+	topoSig    string
+	strat      core.Strategy
+	nodeInsDel float64
+}
+
+// negEntry is one memoized mapping failure. It may be served while the
+// TTL has not expired AND the chip's free capacity has not grown past
+// what the failure was computed against: commits only shrink the free
+// set (a mapping that fails on a set fails on every subset), and any
+// release clears the chip's table, so a live entry always refers to a
+// subset of the free set it was computed on.
+type negEntry struct {
+	until     time.Time
+	freeCount int
+	err       error
 }
 
 func (cs *chipState) freeListLocked() []topo.NodeID {
@@ -206,6 +235,21 @@ const DefaultCacheSize = 4096
 // overrides it.
 const DefaultWorkers = 4
 
+// DefaultNegativeTTL is how long a mapping failure is refused from memory
+// (see WithNegativeTTL) when no option overrides it. A couple of
+// milliseconds covers the burst of re-ranks a parked job suffers while
+// the free sets around it churn, without outliving real capacity shifts.
+const DefaultNegativeTTL = 2 * time.Millisecond
+
+// regretObservers bounds how many ObserveRegret measurements may be in
+// flight at once; excess observations are dropped (sampling, not
+// accounting — the serving path must never block on regret).
+const regretObservers = 64
+
+// regretWindow bounds the sliding window of regret samples percentiles
+// are computed over.
+const regretWindow = 1024
+
 // Engine owns placement decisions for a set of chips. Create one with New;
 // all methods are safe for concurrent use.
 type Engine struct {
@@ -222,6 +266,12 @@ type Engine struct {
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 
+	// clk supplies every engine timestamp: latency stats and the
+	// negative-result TTL. Wall clock unless WithClock injected another.
+	clk sim.Clock
+	// negTTL is the negative-result memoization window; <= 0 disables it.
+	negTTL time.Duration
+
 	mu        sync.Mutex
 	cache     *mapCache // nil when caching is disabled
 	flights   map[cacheKey]*flight
@@ -230,6 +280,13 @@ type Engine struct {
 	cacheSize int
 	workers   int
 	closed    bool
+
+	// Realized-regret sampling (see ObserveRegret): a bounded ring of
+	// samples for percentiles, and a live-observer count bounding the
+	// measurement goroutines.
+	regretRing []float64
+	regretNext int
+	regretLive int
 }
 
 // Option tunes the engine.
@@ -250,6 +307,31 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithClock injects the clock the engine's latency stats and
+// negative-result TTL read (default: the wall clock). Inject a virtual
+// clock to drive the engine in simulated time.
+func WithClock(clk sim.Clock) Option {
+	return func(e *Engine) {
+		if clk != nil {
+			e.clk = clk
+		}
+	}
+}
+
+// WithNegativeTTL sets how long a capacity-class mapping failure
+// (ErrTopologyUnsatisfiable, ErrNoCapacity) is refused from memory
+// instead of re-running the mapper (default DefaultNegativeTTL; d <= 0
+// disables negative memoization). The memo is keyed by topology alone —
+// not the free-set signature — so a job whose free sets keep shifting
+// under foreign commits coalesces its repeated map-parks into one mapper
+// run per TTL. It is served only while the chip's free capacity has not
+// grown since the failure, and any release or session eviction on the
+// chip drops its memoized failures immediately, so a curable failure is
+// never refused stale.
+func WithNegativeTTL(d time.Duration) Option {
+	return func(e *Engine) { e.negTTL = d }
+}
+
 // New builds an engine over the given chips.
 func New(chips []Chip, opts ...Option) (*Engine, error) {
 	if len(chips) == 0 {
@@ -260,6 +342,8 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 		async:     make(map[asyncKey]*asyncFlight),
 		cacheSize: DefaultCacheSize,
 		workers:   DefaultWorkers,
+		negTTL:    DefaultNegativeTTL,
+		clk:       sim.Wall(),
 		quit:      make(chan struct{}),
 	}
 	for _, opt := range opts {
@@ -384,6 +468,44 @@ func (e *Engine) bookEvictedLocked(entries []*cacheEntry) {
 	}
 }
 
+// negGetLocked returns the chip's live memoized mapping failure for the
+// key, if any: within its TTL and with the chip's free capacity no larger
+// than the failure was computed against. Dead entries are dropped on the
+// way. Caller holds the engine mutex.
+func (e *Engine) negGetLocked(cs *chipState, key negKey) (error, bool) {
+	if e.negTTL <= 0 || cs.neg == nil {
+		return nil, false
+	}
+	ent, ok := cs.neg[key]
+	if !ok {
+		return nil, false
+	}
+	if e.clk.Now().After(ent.until) || cs.freeCount > ent.freeCount {
+		delete(cs.neg, key)
+		return nil, false
+	}
+	return ent.err, true
+}
+
+// negPutLocked memoizes a capacity-class mapping failure computed against
+// a free-set snapshot taken at (snapCount, snapGen). The entry is dropped
+// on the floor when a release raced the computation (the failure may
+// already be curable) or when the error is not capacity-class (malformed
+// requests and memory exclusions have their own, cheaper paths). Caller
+// holds the engine mutex.
+func (e *Engine) negPutLocked(cs *chipState, key negKey, snapCount int, snapGen uint64, err error) {
+	if e.negTTL <= 0 || err == nil || cs.relGen != snapGen {
+		return
+	}
+	if !errors.Is(err, core.ErrTopologyUnsatisfiable) && !errors.Is(err, core.ErrNoCapacity) {
+		return
+	}
+	if cs.neg == nil {
+		cs.neg = make(map[negKey]negEntry)
+	}
+	cs.neg[key] = negEntry{until: e.clk.Now().Add(e.negTTL), freeCount: snapCount, err: err}
+}
+
 // Chips reports the number of chips the engine places over.
 func (e *Engine) Chips() int { return len(e.chips) }
 
@@ -397,7 +519,9 @@ func (e *Engine) FreeCount(chip int) int {
 	return e.chips[chip].freeCount
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. Regret percentiles
+// are computed over the bounded window of recent samples; the cumulative
+// counters (RegretSamples/RegretSum/RegretMax) cover the whole run.
 func (e *Engine) Stats() metrics.PlacementStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -405,7 +529,65 @@ func (e *Engine) Stats() metrics.PlacementStats {
 	if e.cache != nil {
 		s.CacheSize = e.cache.len()
 	}
+	if n := len(e.regretRing); n > 0 {
+		window := append([]float64(nil), e.regretRing...)
+		sort.Float64s(window)
+		rank := func(p float64) float64 {
+			i := int(p * float64(n-1))
+			return window[i]
+		}
+		s.RegretP50 = rank(0.50)
+		s.RegretP99 = rank(0.99)
+	}
 	return s
+}
+
+// ObserveRegret measures the realized regret of one hits-first dispatch:
+// the job started on a cached candidate of cost hitCost without waiting
+// for its remaining mappings, and this reports how much better the full
+// rank would eventually have done. It schedules the request's missing
+// mappings (the async rank the job skipped), waits for them off the
+// caller's goroutine, and records max(0, hitCost - best cached cost).
+// Observation is sampling, not accounting: at most regretObservers run
+// at once and excess calls are dropped, so the dispatch path never
+// blocks — WithPlacementRegret's bound is the guarantee, this is the
+// evidence of what the bound actually cost.
+func (e *Engine) ObserveRegret(req Request, hitCost float64) {
+	e.mu.Lock()
+	if e.closed || e.regretLive >= regretObservers {
+		e.mu.Unlock()
+		return
+	}
+	e.regretLive++
+	e.mu.Unlock()
+	go func() {
+		defer func() {
+			e.mu.Lock()
+			e.regretLive--
+			e.mu.Unlock()
+		}()
+		if done := e.MapAsync(req); done != nil {
+			<-done
+		}
+		best := hitCost
+		if cands := e.placeCached(req, false); len(cands) > 0 && cands[0].Cost < best {
+			best = cands[0].Cost
+		}
+		sample := hitCost - best
+		e.mu.Lock()
+		e.stats.RegretSamples++
+		e.stats.RegretSum += sample
+		if sample > e.stats.RegretMax {
+			e.stats.RegretMax = sample
+		}
+		if len(e.regretRing) < regretWindow {
+			e.regretRing = append(e.regretRing, sample)
+		} else {
+			e.regretRing[e.regretNext] = sample
+			e.regretNext = (e.regretNext + 1) % regretWindow
+		}
+		e.mu.Unlock()
+	}()
 }
 
 // Prewarm speculatively computes and caches the request's mapping
@@ -459,6 +641,7 @@ func (e *Engine) mapAsync(req Request, speculative bool) <-chan struct{} {
 		e.mu.Unlock()
 		return f.done
 	}
+	nk := negKey{topoSig: sig, strat: req.Strategy, nodeInsDel: req.MapOptions.NodeInsDel}
 	var misses []int
 	for i, cs := range e.chips {
 		if req.MemoryBytes > cs.profile.MemoryBytes {
@@ -468,6 +651,9 @@ func (e *Engine) mapAsync(req Request, speculative bool) <-chan struct{} {
 			if ent.err != nil || cs.allFreeLocked(ent.nodes) {
 				continue // answered (result or memoized error)
 			}
+		}
+		if _, ok := e.negGetLocked(cs, nk); ok {
+			continue // answered (memoized failure across free-set churn)
 		}
 		misses = append(misses, i)
 	}
@@ -554,7 +740,7 @@ func (e *Engine) placeCached(req Request, account bool) []Candidate {
 	if e.cache == nil || !req.cacheable() {
 		return nil
 	}
-	start := time.Now()
+	start := e.clk.Now()
 	sig := canonicalKey(req.Topology)
 	k := req.Topology.NumNodes()
 	var cands []Candidate
@@ -579,7 +765,7 @@ func (e *Engine) placeCached(req Request, account bool) []Candidate {
 	if account && len(cands) > 0 {
 		e.stats.Placements++
 		e.stats.CacheHits += uint64(len(cands))
-		e.stats.PlaceTime += time.Since(start)
+		e.stats.PlaceTime += e.clk.Since(start)
 	}
 	e.mu.Unlock()
 	sort.SliceStable(cands, func(a, b int) bool {
@@ -597,7 +783,7 @@ func (e *Engine) placeCached(req Request, account bool) []Candidate {
 // last per-chip error (typed: ErrNoCapacity, ErrTopologyUnsatisfiable,
 // ErrMemoryExceeded).
 func (e *Engine) Place(req Request) ([]Candidate, error) {
-	start := time.Now()
+	start := e.clk.Now()
 	if req.Topology == nil || req.Topology.NumNodes() == 0 {
 		return nil, fmt.Errorf("place: request needs a topology")
 	}
@@ -605,7 +791,7 @@ func (e *Engine) Place(req Request) ([]Candidate, error) {
 
 	e.mu.Lock()
 	e.stats.Placements++
-	e.stats.PlaceTime += time.Since(start)
+	e.stats.PlaceTime += e.clk.Since(start)
 	e.mu.Unlock()
 	return cands, err
 }
@@ -614,6 +800,7 @@ func (e *Engine) Place(req Request) ([]Candidate, error) {
 // out concurrently) without touching the decision counters.
 func (e *Engine) rank(req Request) ([]Candidate, error) {
 	sig := canonicalKey(req.Topology)
+	nk := negKey{topoSig: sig, strat: req.Strategy, nodeInsDel: req.MapOptions.NodeInsDel}
 	k := req.Topology.NumNodes()
 
 	// First pass, one lock acquisition: answer every chip the cache can.
@@ -647,6 +834,11 @@ func (e *Engine) rank(req Request) ([]Candidate, error) {
 				}
 				// Stale or colliding entry: let resolve() drop and
 				// recompute it.
+			}
+			if err, ok := e.negGetLocked(cs, nk); ok {
+				e.stats.NegHits++
+				errs[i] = err
+				continue
 			}
 		}
 		misses = append(misses, i)
@@ -736,14 +928,15 @@ func (e *Engine) resolve(chip int, req Request, sig string, speculative bool) (c
 		e.stats.CacheMisses++
 		free := cs.freeListLocked()
 		e.mu.Unlock()
-		start := time.Now()
+		start := e.clk.Now()
 		res, err := core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
 		e.mu.Lock()
-		e.stats.MapTime += time.Since(start)
+		e.stats.MapTime += e.clk.Since(start)
 		e.mu.Unlock()
 		return res, err
 	}
 
+	nk := negKey{topoSig: sig, strat: req.Strategy, nodeInsDel: req.MapOptions.NodeInsDel}
 	for {
 		e.mu.Lock()
 		key := e.keyLocked(cs, req, sig)
@@ -771,6 +964,14 @@ func (e *Engine) resolve(chip int, req Request, sig string, speculative bool) (c
 				e.stats.PrewarmWasted++
 			}
 		}
+		// A failure memoized across free-set churn answers without a
+		// mapper run — the free-set signature moved, but the chip has no
+		// more capacity than when the topology last refused to map.
+		if err, ok := e.negGetLocked(cs, nk); ok {
+			e.stats.NegHits++
+			e.mu.Unlock()
+			return core.MapResult{}, err
+		}
 		if f, ok := e.flights[key]; ok {
 			e.mu.Unlock()
 			<-f.done
@@ -781,14 +982,16 @@ func (e *Engine) resolve(chip int, req Request, sig string, speculative bool) (c
 		f := &flight{done: make(chan struct{})}
 		e.flights[key] = f
 		free := cs.freeListLocked()
+		snapCount, snapGen := cs.freeCount, cs.relGen
 		e.mu.Unlock()
 
-		start := time.Now()
+		start := e.clk.Now()
 		res, err := core.MapTopology(cs.graph, free, req.Topology, req.Strategy, req.MapOptions)
 
 		e.mu.Lock()
 		e.stats.CacheMisses++
-		e.stats.MapTime += time.Since(start)
+		e.stats.MapTime += e.clk.Since(start)
+		e.negPutLocked(cs, nk, snapCount, snapGen, err)
 		evicted := e.cache.add(key, &cacheEntry{
 			nodes:      append([]topo.NodeID(nil), res.Nodes...),
 			cost:       res.Cost,
@@ -850,6 +1053,11 @@ func (e *Engine) Release(chip int, nodes []topo.NodeID) error {
 		cs.freeCount++
 		cs.freeSig ^= nodeHash(n)
 	}
+	// Freed capacity may cure any memoized mapping failure on this chip —
+	// drop them all, and fence racing negative write-backs (negPutLocked)
+	// whose free-set snapshot predates this release.
+	cs.neg = nil
+	cs.relGen++
 	return nil
 }
 

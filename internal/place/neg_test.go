@@ -1,0 +1,115 @@
+package place_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/core"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/place"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// smallChip builds one fully-free 2x2 chip, small enough to exhaust.
+func smallChip() place.Chip {
+	g := topo.Mesh2D(2, 2)
+	return place.Chip{Graph: g, Free: g.Nodes(), Profile: place.FromConfig(npu.FPGAConfig())}
+}
+
+// TestEngineNegativeTTLCoalescesFailures: once a topology fails to map,
+// further placements under free-set churn that only shrinks the chip are
+// refused from the memo — same error class, no mapper run — until the
+// TTL expires or a release returns capacity.
+func TestEngineNegativeTTLCoalescesFailures(t *testing.T) {
+	clk := sim.NewVirtualClock(time.Unix(0, 0))
+	e := newEngine(t, []place.Chip{smallChip()},
+		place.WithClock(clk), place.WithNegativeTTL(time.Millisecond))
+	defer e.Close()
+
+	// Take 2 of the 4 cores so a 4-core request cannot map.
+	g := topo.Mesh2D(2, 2)
+	nodes := g.Nodes()
+	if err := e.Commit(0, nodes[:2]); err != nil {
+		t.Fatal(err)
+	}
+	req := place.Request{Topology: topo.Mesh2D(2, 2)}
+
+	_, err := e.Place(req)
+	if !errors.Is(err, core.ErrNoCapacity) && !errors.Is(err, core.ErrTopologyUnsatisfiable) {
+		t.Fatalf("first placement: got %v, want a capacity-class failure", err)
+	}
+	misses := e.Stats().CacheMisses
+
+	// Churn the free set downward: the signature moves, the cache key
+	// misses, but the memo still answers — no new mapper run.
+	if err := e.Commit(0, nodes[2:3]); err != nil {
+		t.Fatal(err)
+	}
+	_, err2 := e.Place(req)
+	if (errors.Is(err2, core.ErrNoCapacity) || errors.Is(err2, core.ErrTopologyUnsatisfiable)) == false {
+		t.Fatalf("churned placement: got %v, want a capacity-class failure", err2)
+	}
+	s := e.Stats()
+	if s.CacheMisses != misses {
+		t.Fatalf("mapper ran under churn: misses %d -> %d", misses, s.CacheMisses)
+	}
+	if s.NegHits == 0 {
+		t.Fatal("no NegHits recorded for a memo-served failure")
+	}
+
+	// A release clears the memo immediately: the next placement re-runs
+	// the mapper against the grown free set.
+	if err := e.Release(0, nodes[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Place(req); err == nil {
+		t.Fatal("3 free cores of 4 should still refuse a 4-core mesh")
+	}
+	if got := e.Stats().CacheMisses; got == misses {
+		t.Fatal("release did not clear the negative memo: mapper never re-ran")
+	}
+}
+
+// TestEngineNegativeTTLExpires: the memo stops answering after the TTL,
+// even without any release.
+func TestEngineNegativeTTLExpires(t *testing.T) {
+	clk := sim.NewVirtualClock(time.Unix(0, 0))
+	e := newEngine(t, []place.Chip{smallChip()},
+		place.WithClock(clk), place.WithNegativeTTL(time.Millisecond))
+	defer e.Close()
+
+	g := topo.Mesh2D(2, 2)
+	if err := e.Commit(0, g.Nodes()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	req := place.Request{Topology: topo.Mesh2D(2, 2)}
+	if _, err := e.Place(req); err == nil {
+		t.Fatal("want failure on exhausted chip")
+	}
+	misses := e.Stats().CacheMisses
+
+	// Within the TTL the memo answers. The cache would too (same key —
+	// no churn), so churn the set first to force the memo path.
+	if err := e.Commit(0, g.Nodes()[2:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Place(req); err == nil {
+		t.Fatal("want failure on exhausted chip")
+	}
+	if got := e.Stats().CacheMisses; got != misses {
+		t.Fatalf("mapper ran within TTL: misses %d -> %d", misses, got)
+	}
+
+	clk.Advance(2 * time.Millisecond)
+	if err := e.Commit(0, g.Nodes()[3:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Place(req); err == nil {
+		t.Fatal("want failure on exhausted chip")
+	}
+	if got := e.Stats().CacheMisses; got == misses {
+		t.Fatal("expired memo still served: mapper never re-ran")
+	}
+}

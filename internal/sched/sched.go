@@ -51,6 +51,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/core"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
 	"github.com/vnpu-sim/vnpu/internal/sched/queue"
+	"github.com/vnpu-sim/vnpu/internal/sim"
 )
 
 // Score ranks a prospective placement lexicographically. Cost is the
@@ -143,6 +144,11 @@ type Config struct {
 	// rescores on success, so idle warm pools are reclaimed before a job
 	// parks or fails.
 	Reclaim func() bool
+	// Clock supplies time to every dispatcher timestamp and timer —
+	// deadline checks, queue-wait accounting, parked-deadline timers. Nil
+	// selects the wall clock; tests and the fleet's virtual-time replay
+	// inject a sim.VirtualClock.
+	Clock sim.Clock
 }
 
 // DefaultQueueDepth is the admission queue bound when none is given.
@@ -173,6 +179,11 @@ type Stats struct {
 	// MapParked counts jobs whose dispatch parked on an async mapping
 	// (the mapReady edge) instead of blocking the dispatch loop.
 	MapParked uint64
+	// Stolen counts queued jobs removed by Steal — work another shard's
+	// dispatcher took over. Stolen jobs are not counted in Submitted (the
+	// steal re-books them on the destination), so per-shard accounting
+	// still balances.
+	Stolen uint64
 	// PerClass breaks the serving counters down by priority class,
 	// covering BOTH serving paths (the session pool reports into the
 	// same accounting via ExternalSubmitted/ExternalDone), with p50/p99
@@ -186,6 +197,7 @@ type Stats struct {
 type Handle[Result any] struct {
 	tenant    string
 	class     int
+	clk       sim.Clock
 	submitted time.Time
 
 	started chan struct{} // closed when the job is placed on a chip
@@ -203,12 +215,18 @@ type Handle[Result any] struct {
 // dispatcher: the caller must call MarkStarted when the job reaches its
 // chip (optional) and Finish exactly once when it completes. The session
 // pool uses it so warm-path jobs that never enter the dispatcher queue
-// still resolve through the ordinary Handle API.
-func NewHandle[Result any](tenant string, class int) *Handle[Result] {
+// still resolve through the ordinary Handle API. The handle's timestamps
+// (submit, placement, finish) are read from clk; nil selects the wall
+// clock.
+func NewHandle[Result any](clk sim.Clock, tenant string, class int) *Handle[Result] {
+	if clk == nil {
+		clk = sim.Wall()
+	}
 	return &Handle[Result]{
 		tenant:    tenant,
 		class:     class,
-		submitted: time.Now(),
+		clk:       clk,
+		submitted: clk.Now(),
 		started:   make(chan struct{}),
 		done:      make(chan struct{}),
 		chip:      -1,
@@ -219,7 +237,7 @@ func NewHandle[Result any](tenant string, class int) *Handle[Result] {
 // It must be called at most once, before Finish.
 func (h *Handle[Result]) MarkStarted(chip int) {
 	h.chip = chip
-	h.placedAt = time.Now()
+	h.placedAt = h.clk.Now()
 	close(h.started)
 }
 
@@ -228,7 +246,7 @@ func (h *Handle[Result]) MarkStarted(chip int) {
 func (h *Handle[Result]) Finish(res Result, err error) {
 	h.res = res
 	h.err = err
-	h.finished = time.Now()
+	h.finished = h.clk.Now()
 	close(h.done)
 }
 
@@ -286,7 +304,7 @@ func (h *Handle[Result]) QueueWait() time.Duration {
 	case <-h.done:
 		return h.finished.Sub(h.submitted)
 	default:
-		return time.Since(h.submitted)
+		return h.clk.Since(h.submitted)
 	}
 }
 
@@ -378,6 +396,9 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 	if cfg.Classes <= 0 {
 		cfg.Classes = queue.DefaultClasses
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.Wall()
+	}
 	d := &Dispatcher[Job, Placement, Result]{
 		exec:           exec,
 		cfg:            cfg,
@@ -409,6 +430,14 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 	return d, nil
 }
 
+// now reads the dispatcher's clock.
+func (d *Dispatcher[Job, Placement, Result]) now() time.Time { return d.cfg.Clock.Now() }
+
+// timerUntil arms a clock timer firing at t.
+func (d *Dispatcher[Job, Placement, Result]) timerUntil(t time.Time) sim.Timer {
+	return d.cfg.Clock.NewTimer(t.Sub(d.cfg.Clock.Now()))
+}
+
 // clampClass restricts a class to the configured range.
 func (d *Dispatcher[Job, Placement, Result]) clampClass(class int) int {
 	if class < 0 {
@@ -435,7 +464,7 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 		return nil, fmt.Errorf("sched: dispatcher closed: %w", core.ErrDestroyed)
 	}
 	class = d.clampClass(class)
-	if !deadline.IsZero() && time.Now().After(deadline) {
+	if !deadline.IsZero() && d.now().After(deadline) {
 		d.classes[class].stats.DeadlineMisses++
 		d.mu.Unlock()
 		return nil, fmt.Errorf("sched: job deadline already passed at submit: %w", core.ErrDeadlineExceeded)
@@ -452,7 +481,7 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 		d.mu.Unlock()
 		return nil, fmt.Errorf("sched: queue of %d jobs is full: %w", d.cfg.QueueDepth, core.ErrQueueFull)
 	}
-	h := NewHandle[Result](tenant, class)
+	h := NewHandle[Result](d.cfg.Clock, tenant, class)
 	t := &task[Job, Result]{ctx: ctx, job: job, deadline: deadline, h: h}
 	seq := d.seq
 	d.seq++
@@ -517,6 +546,95 @@ func (d *Dispatcher[Job, Placement, Result]) InFlight() int {
 	return d.inflight
 }
 
+// QueueLen reports jobs currently sitting in the admission queue
+// (admitted, not yet popped for placement).
+func (d *Dispatcher[Job, Placement, Result]) QueueLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.q.Len()
+}
+
+// Pending reports every job the dispatcher still owns: queued, parked on
+// a mapping edge, parked on capacity, or placed but not yet released. A
+// draining shard is quiescent when Pending reaches zero (session-path
+// work is tracked separately by the cluster).
+func (d *Dispatcher[Job, Placement, Result]) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.q.Len() + len(d.mapWaits) + d.inflight
+	if d.parked != nil {
+		n++
+	}
+	return n
+}
+
+// Stolen is one queued job removed by Steal: everything the thief needs
+// to resubmit the work elsewhere, plus the original Handle so the
+// caller's Wait still resolves. The thief owns the handle's lifecycle
+// now — it must eventually call Finish (directly or by forwarding
+// another handle's outcome) exactly once.
+type Stolen[Job, Result any] struct {
+	Job      Job
+	Ctx      context.Context
+	Tenant   string
+	Class    int
+	Deadline time.Time
+	Handle   *Handle[Result]
+}
+
+// Steal removes up to max queued jobs whose effective class is at or
+// below maxClass and hands them to the caller — the fleet's work-stealing
+// hook. Victims are taken from the back of the pop order (the work that
+// would wait longest here), never the head the dispatcher is placing,
+// never map-parked jobs (their mapping is this shard's sunk cost). Each
+// stolen job's quota slot is released and its admission is un-booked, so
+// shard-level accounting balances when the destination re-books it.
+func (d *Dispatcher[Job, Placement, Result]) Steal(maxClass, max int) []Stolen[Job, Result] {
+	if max <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	items := d.q.InOrder(d.q.Len())
+	var out []Stolen[Job, Result]
+	for i := len(items) - 1; i >= 0 && len(out) < max; i-- {
+		it := items[i]
+		if it.Bucket() > maxClass {
+			continue
+		}
+		t := it.Job
+		// Leave canceled/expired jobs for the dispatcher's own sweeps:
+		// they fail with the right typed error and counters here.
+		if t.ctx.Err() != nil {
+			continue
+		}
+		if !t.deadline.IsZero() && d.cfg.Clock.Now().After(t.deadline) {
+			continue
+		}
+		if !d.q.Remove(it) {
+			continue
+		}
+		if d.tenants[t.h.tenant]--; d.tenants[t.h.tenant] <= 0 {
+			delete(d.tenants, t.h.tenant)
+		}
+		d.stats.Submitted--
+		d.stats.Stolen++
+		d.classes[t.h.class].stats.Submitted--
+		out = append(out, Stolen[Job, Result]{
+			Job:      t.job,
+			Ctx:      t.ctx,
+			Tenant:   t.h.tenant,
+			Class:    t.h.class,
+			Deadline: t.deadline,
+			Handle:   t.h,
+		})
+	}
+	if len(out) > 0 {
+		d.checkTurnsLocked()
+	}
+	return out
+}
+
 // ReserveSlot atomically checks the tenant quota and claims one
 // in-flight slot for a job served on an external path (the session
 // pool). The dispatcher's own Submit and external reservations share one
@@ -579,9 +697,9 @@ func (d *Dispatcher[Job, Placement, Result]) Ticket() uint64 {
 func (d *Dispatcher[Job, Placement, Result]) WaitTurn(ctx context.Context, seq uint64, class int, deadline time.Time) error {
 	var deadlineC <-chan time.Time
 	if !deadline.IsZero() {
-		timer := time.NewTimer(time.Until(deadline))
+		timer := d.timerUntil(deadline)
 		defer timer.Stop()
-		deadlineC = timer.C
+		deadlineC = timer.C()
 	}
 	for {
 		d.mu.Lock()
@@ -715,7 +833,7 @@ func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 	defer close(d.dispatcherDone)
 	for {
 		d.mu.Lock()
-		expired := d.q.PopExpired(time.Now())
+		expired := d.q.PopExpired(d.now())
 		var it *queue.Item[*task[Job, Result]]
 		ok := false
 		if len(d.mapReady) > 0 {
@@ -755,7 +873,7 @@ func (d *Dispatcher[Job, Placement, Result]) dispatch() {
 			continue
 		}
 		// Map-parked jobs bypass PopExpired; sweep their deadline here.
-		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if !t.deadline.IsZero() && d.now().After(t.deadline) {
 			d.unpark()
 			d.finishMiss(t)
 			continue
@@ -797,7 +915,7 @@ func (d *Dispatcher[Job, Placement, Result]) unpark() {
 // placement.
 func (d *Dispatcher[Job, Placement, Result]) finishMiss(t *task[Job, Result]) {
 	d.finish(t, *new(Result), fmt.Errorf("sched: deadline passed after %s queued: %w",
-		time.Since(t.h.submitted).Round(time.Microsecond), core.ErrDeadlineExceeded))
+		d.cfg.Clock.Since(t.h.submitted).Round(time.Microsecond), core.ErrDeadlineExceeded))
 }
 
 // yield checks whether the parked job should give way to a queued job
@@ -855,6 +973,17 @@ type AsyncRanker[Job any] interface {
 	RankAsync(job Job) <-chan struct{}
 }
 
+// HitObserver is an optional Executor extension: after a hits-first
+// dispatch claims one of RankHit's candidates, ObserveHit receives the
+// job and the claimed candidate's edit-distance cost. The placement
+// layer uses it to sample realized regret — what starting early actually
+// cost versus the full rank the job skipped. It is called outside the
+// dispatcher's lock and must not block the dispatch loop (fire-and-forget
+// measurement, not accounting).
+type HitObserver[Job any] interface {
+	ObserveHit(job Job, cost float64)
+}
+
 // tryClaim ranks the chips and claims the best available one for t,
 // handing it to that chip's worker. head marks the dispatcher's
 // head-of-line attempt, whose parked ticket must clear in the same
@@ -865,7 +994,7 @@ func (d *Dispatcher[Job, Placement, Result]) tryClaim(t *task[Job, Result], head
 	// scores every chip from its mapping cache (the formerly dominant
 	// per-chip dry-run cost of dispatch).
 	cands, rankErr := d.exec.Rank(t.job)
-	ok, placeErr := d.claimFrom(cands, t, head)
+	_, ok, placeErr := d.claimFrom(cands, t, head)
 	if ok {
 		return true, nil
 	}
@@ -876,9 +1005,11 @@ func (d *Dispatcher[Job, Placement, Result]) tryClaim(t *task[Job, Result], head
 }
 
 // claimFrom tries the candidates in score order, claiming the first
-// chip whose Place succeeds and handing the job to that chip's worker.
-// It reports the last Place error when every candidate refused.
-func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *task[Job, Result], head bool) (bool, error) {
+// chip whose Place succeeds and handing the job to that chip's worker;
+// the claimed candidate is returned so hits-first callers can report its
+// score to the executor (see HitObserver). It reports the last Place
+// error when every candidate refused.
+func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *task[Job, Result], head bool) (Candidate, bool, error) {
 	sort.SliceStable(cands, func(i, j int) bool {
 		return cands[i].Score.less(cands[j].Score)
 	})
@@ -903,9 +1034,9 @@ func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *tas
 		t.h.MarkStarted(chip)
 		d.recordWait(t.h)
 		d.deliver(chip, t, pl)
-		return true, nil
+		return c, true, nil
 	}
-	return false, lastErr
+	return Candidate{}, false, lastErr
 }
 
 // deliver hands a claimed placement to its chip worker. The send blocks
@@ -966,7 +1097,7 @@ func (d *Dispatcher[Job, Placement, Result]) backfillOne() bool {
 		if t.ctx.Err() != nil {
 			continue
 		}
-		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if !t.deadline.IsZero() && d.now().After(t.deadline) {
 			continue
 		}
 		var ok bool
@@ -974,7 +1105,7 @@ func (d *Dispatcher[Job, Placement, Result]) backfillOne() bool {
 			fullRankSpent = true
 			ok, _ = d.tryClaim(t, false)
 		} else {
-			ok, _ = d.claimFrom(cr.RankCached(t.job), t, false)
+			_, ok, _ = d.claimFrom(cr.RankCached(t.job), t, false)
 		}
 		if !ok {
 			continue
@@ -1010,9 +1141,9 @@ func (d *Dispatcher[Job, Placement, Result]) parkForMapping(t *task[Job, Result]
 	go func() {
 		var deadlineC <-chan time.Time
 		if !t.deadline.IsZero() {
-			timer := time.NewTimer(time.Until(t.deadline))
+			timer := d.timerUntil(t.deadline)
 			defer timer.Stop()
-			deadlineC = timer.C
+			deadlineC = timer.C()
 		}
 		select {
 		case <-ready:
@@ -1042,18 +1173,21 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 	ar, hitsFirst := d.exec.(AsyncRanker[Job])
 	var deadlineC <-chan time.Time
 	if !t.deadline.IsZero() {
-		timer := time.NewTimer(time.Until(t.deadline))
+		timer := d.timerUntil(t.deadline)
 		defer timer.Stop()
-		deadlineC = timer.C
+		deadlineC = timer.C()
 	}
 	backfills := 0
 	for {
 		if hitsFirst {
 			if cands := ar.RankHit(t.job); len(cands) > 0 {
-				if ok, _ := d.claimFrom(cands, t, true); ok {
+				if won, ok, _ := d.claimFrom(cands, t, true); ok {
 					d.mu.Lock()
 					d.stats.HitsFirst++
 					d.mu.Unlock()
+					if ho, obs := d.exec.(HitObserver[Job]); obs {
+						ho.ObserveHit(t.job, won.Score.Cost)
+					}
 					return
 				}
 			}
@@ -1115,10 +1249,10 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 			return
 		}
 		var queueDlC <-chan time.Time
-		var queueTimer *time.Timer
+		var queueTimer sim.Timer
 		if queueDlArmed {
-			queueTimer = time.NewTimer(time.Until(queueDl))
-			queueDlC = queueTimer.C
+			queueTimer = d.timerUntil(queueDl)
+			queueDlC = queueTimer.C()
 		}
 		stopQueueTimer := func() {
 			if queueTimer != nil {
@@ -1142,7 +1276,7 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 			// A queued (non-head) job's deadline passed: fail it fast and
 			// keep trying to place the head.
 			d.mu.Lock()
-			expired := d.q.PopExpired(time.Now())
+			expired := d.q.PopExpired(d.now())
 			d.checkTurnsLocked()
 			d.mu.Unlock()
 			for _, e := range expired {
@@ -1178,14 +1312,14 @@ func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
 		var res Result
 		executed := false
 		err := t.ctx.Err()
-		start := time.Now()
+		start := d.now()
 		if err == nil {
 			res, err = d.exec.Execute(t.ctx, chip, p.pl, t.job)
 			executed = true
 		} else {
 			err = fmt.Errorf("sched: job canceled before execution: %w", err)
 		}
-		busy := time.Since(start)
+		busy := d.cfg.Clock.Since(start)
 		// A Release failure means the chip leaked the placement — never
 		// swallow it, even when Execute already failed.
 		if relErr := d.exec.Release(chip, p.pl); relErr != nil {

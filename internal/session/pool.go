@@ -40,6 +40,7 @@ import (
 
 	"github.com/vnpu-sim/vnpu/internal/core"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/sim"
 )
 
 // Key identifies a session class. Two jobs may share a resident vNPU
@@ -95,9 +96,14 @@ type Config[R any] struct {
 	// MicroQueueDepth bounds each busy session's micro-queue. <= 0
 	// selects DefaultMicroQueueDepth.
 	MicroQueueDepth int
-	// Now overrides the clock for TTL bookkeeping (tests). Nil uses
-	// time.Now. The janitor still ticks on the real clock; tests that
-	// inject Now should call Sweep directly.
+	// Clock supplies time to the TTL bookkeeping AND the janitor's tick
+	// timer: with a sim.VirtualClock injected, idle sessions expire only
+	// as virtual time advances. Nil uses the wall clock.
+	Clock sim.Clock
+	// Now overrides just the TTL timestamp reads (tests that want to
+	// steer expiry without rewiring the janitor). It takes precedence
+	// over Clock for timestamps; the janitor always ticks on Clock.
+	// Tests that inject Now should call Sweep directly.
 	Now func() time.Time
 	// OnFree, when non-nil, runs after the pool returns capacity to the
 	// system — a session went idle (reclaimable) or was destroyed. The
@@ -169,6 +175,9 @@ func New[R, Q any](cfg Config[R]) (*Pool[R, Q], error) {
 	if cfg.MicroQueueDepth <= 0 {
 		cfg.MicroQueueDepth = DefaultMicroQueueDepth
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.Wall()
+	}
 	p := &Pool[R, Q]{
 		cfg:         cfg,
 		byKey:       make(map[Key][]*sess[R, Q]),
@@ -185,10 +194,13 @@ func (p *Pool[R, Q]) now() time.Time {
 	if p.cfg.Now != nil {
 		return p.cfg.Now()
 	}
-	return time.Now()
+	return p.cfg.Clock.Now()
 }
 
-// janitor periodically sweeps idle sessions past their TTL.
+// janitor periodically sweeps idle sessions past their TTL. It ticks on
+// the configured Clock: with a virtual clock the sweeps fire as the
+// owner advances time, so trace replays expire sessions at the right
+// simulated moments instead of wall-clock ones.
 func (p *Pool[R, Q]) janitor() {
 	defer close(p.janitorDone)
 	tick := p.cfg.TTL / 4
@@ -198,13 +210,13 @@ func (p *Pool[R, Q]) janitor() {
 	if tick > time.Second {
 		tick = time.Second
 	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
 	for {
+		t := p.cfg.Clock.NewTimer(tick)
 		select {
 		case <-p.stop:
+			t.Stop()
 			return
-		case <-t.C:
+		case <-t.C():
 			p.Sweep()
 		}
 	}
@@ -229,7 +241,7 @@ func (l *Lease[R, Q]) Resource() R { return l.s.res }
 // queuing behind a busy one when concurrent cold creates left several
 // sessions of one key.
 func (p *Pool[R, Q]) AcquireWarm(key Key) (*Lease[R, Q], bool) {
-	start := time.Now()
+	start := p.cfg.Clock.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -248,7 +260,7 @@ func (p *Pool[R, Q]) acquireWarmLocked(key Key, start time.Time) *Lease[R, Q] {
 		if s.state == stateIdle {
 			p.promoteLocked(s)
 			p.stats.WarmHits++
-			p.stats.WarmTime += time.Since(start)
+			p.stats.WarmTime += p.cfg.Clock.Since(start)
 			return &Lease[R, Q]{p: p, s: s}
 		}
 	}
@@ -262,7 +274,7 @@ func (p *Pool[R, Q]) acquireWarmLocked(key Key, start time.Time) *Lease[R, Q] {
 // without the pool lock held; two concurrent cold acquires of one key
 // may therefore create two sessions, both of which pool on release.
 func (p *Pool[R, Q]) Acquire(key Key, create func() (int, R, error)) (*Lease[R, Q], bool, error) {
-	start := time.Now()
+	start := p.cfg.Clock.Now()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -302,7 +314,7 @@ func (p *Pool[R, Q]) Acquire(key Key, create func() (int, R, error)) (*Lease[R, 
 			p.byKey[key] = append(p.byKey[key], s)
 			p.busyCount++
 			p.stats.ColdCreates++
-			p.stats.ColdTime += time.Since(start)
+			p.stats.ColdTime += p.cfg.Clock.Since(start)
 			p.mu.Unlock()
 			return &Lease[R, Q]{p: p, s: s}, false, nil
 		}

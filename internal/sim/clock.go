@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts "what time is it" and "wake me later" for the serving
+// stack. Production code runs on Wall(), a thin veneer over the time
+// package. Tests and the fleet's virtual-time replay run on a
+// VirtualClock, whose time only moves when the owning event loop advances
+// it — a calendar of pending timers ordered by (fire time, arm order),
+// the same deterministic discipline the cycle-level Engine uses for
+// hardware events. Threading a Clock through the dispatcher, the session
+// janitor and the load generator is what lets one process replay a
+// multi-million-job day in seconds of CPU time.
+type Clock interface {
+	// Now reports the current time on this clock.
+	Now() time.Time
+	// Since is Now().Sub(t) — a convenience mirroring time.Since.
+	Since(t time.Time) time.Duration
+	// NewTimer returns a Timer that delivers one tick on C after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc arranges for fn to run once d has elapsed on this clock.
+	// On a VirtualClock fn runs inline from the Advance/Step call that
+	// reaches its fire time — single-threaded, in deterministic order.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is the Clock-neutral subset of *time.Timer the serving stack
+// needs: a tick channel and cancellation.
+type Timer interface {
+	// C delivers the fire time once the timer expires. AfterFunc timers
+	// deliver on C as well as running their callback.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending (as *time.Timer.Stop does).
+	Stop() bool
+}
+
+// Wall returns the process-wide wall clock.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+func (wallClock) NewTimer(d time.Duration) Timer {
+	return wallTimer{time.NewTimer(d)}
+}
+
+func (wallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	t := time.AfterFunc(d, fn)
+	return wallTimer{t}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop() bool          { return w.t.Stop() }
+
+// VirtualClock is a Clock whose time is driven explicitly. It keeps a
+// deterministic calendar of armed timers ordered by (fire time, arm
+// sequence); Advance, AdvanceTo and Step move time forward and fire every
+// timer whose deadline is reached, in order. Channel timers receive a
+// non-blocking send (like the runtime's timers); AfterFunc callbacks run
+// inline from the advancing goroutine. Two runs that arm the same timers
+// in the same order observe the same firing order — the property the
+// fleet's trace-replay determinism test pins.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers vtimerHeap
+}
+
+// NewVirtualClock returns a VirtualClock reading start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now reports the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since is Now().Sub(t) in virtual time.
+func (c *VirtualClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// NewTimer arms a channel timer d from now. A non-positive d fires at the
+// current time on the next advance (matching time.NewTimer, which fires
+// immediately but still asynchronously).
+func (c *VirtualClock) NewTimer(d time.Duration) Timer {
+	return c.arm(d, nil)
+}
+
+// AfterFunc arms fn to run when virtual time reaches now+d. fn executes
+// inline from whichever Advance/AdvanceTo/Step call crosses the deadline.
+func (c *VirtualClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return c.arm(d, fn)
+}
+
+func (c *VirtualClock) arm(d time.Duration, fn func()) *vtimer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	t := &vtimer{
+		clock: c,
+		at:    c.now.Add(d),
+		seq:   c.seq,
+		fn:    fn,
+		ch:    make(chan time.Time, 1),
+		idx:   -1,
+	}
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// Advance moves virtual time forward by d, firing due timers in order.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.AdvanceTo(c.Now().Add(d))
+}
+
+// AdvanceTo moves virtual time to t (never backward), firing every timer
+// with a deadline at or before t in (deadline, arm order) order. Timers
+// armed by AfterFunc callbacks during the advance fire too if they land
+// within the window.
+func (c *VirtualClock) AdvanceTo(t time.Time) {
+	for {
+		c.mu.Lock()
+		if len(c.timers) == 0 || c.timers[0].at.After(t) {
+			if t.After(c.now) {
+				c.now = t
+			}
+			c.mu.Unlock()
+			return
+		}
+		tm := heap.Pop(&c.timers).(*vtimer)
+		if tm.at.After(c.now) {
+			c.now = tm.at
+		}
+		c.mu.Unlock()
+		tm.fire()
+	}
+}
+
+// Step advances to the next pending timer's deadline and fires it (plus
+// any others sharing that exact deadline that were armed earlier). It
+// reports whether a timer fired — the fleet's replay loop is simply
+// `for clk.Step() {}`.
+func (c *VirtualClock) Step() bool {
+	c.mu.Lock()
+	if len(c.timers) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	tm := heap.Pop(&c.timers).(*vtimer)
+	if tm.at.After(c.now) {
+		c.now = tm.at
+	}
+	c.mu.Unlock()
+	tm.fire()
+	return true
+}
+
+// Pending reports how many timers are armed.
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// NextDeadline reports the earliest armed deadline and whether one exists.
+func (c *VirtualClock) NextDeadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.timers) == 0 {
+		return time.Time{}, false
+	}
+	return c.timers[0].at, true
+}
+
+// vtimer is one calendar entry. idx is its heap position (-1 once popped
+// or stopped), which makes Stop O(log n) and idempotent.
+type vtimer struct {
+	clock *VirtualClock
+	at    time.Time
+	seq   uint64
+	fn    func()
+	ch    chan time.Time
+	idx   int
+}
+
+func (t *vtimer) C() <-chan time.Time { return t.ch }
+
+func (t *vtimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.clock.timers, t.idx)
+	t.idx = -1
+	return true
+}
+
+func (t *vtimer) fire() {
+	select {
+	case t.ch <- t.at:
+	default:
+	}
+	if t.fn != nil {
+		t.fn()
+	}
+}
+
+// vtimerHeap orders by (fire time, arm sequence) — deterministic ties.
+type vtimerHeap []*vtimer
+
+func (h vtimerHeap) Len() int { return len(h) }
+func (h vtimerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *vtimerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *vtimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockBasics(t *testing.T) {
+	c := Wall()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("wall Since went backward")
+	}
+	tm := c.NewTimer(time.Microsecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("wall timer never fired")
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Microsecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("wall AfterFunc never ran")
+	}
+}
+
+func TestVirtualClockAdvanceFiresInOrder(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewVirtualClock(start)
+	var fired []int
+	c.AfterFunc(30*time.Millisecond, func() { fired = append(fired, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { fired = append(fired, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { fired = append(fired, 2) })
+	// Same deadline as the 20ms timer, armed later: must fire after it.
+	c.AfterFunc(20*time.Millisecond, func() { fired = append(fired, 4) })
+
+	c.Advance(15 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("after 15ms fired=%v, want [1]", fired)
+	}
+	if got := c.Since(start); got != 15*time.Millisecond {
+		t.Fatalf("Since(start)=%v, want 15ms", got)
+	}
+	c.Advance(15 * time.Millisecond)
+	want := []int{1, 2, 4, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired=%v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired=%v, want %v", fired, want)
+		}
+	}
+}
+
+func TestVirtualClockTimerChannelAndStop(t *testing.T) {
+	c := NewVirtualClock(time.Unix(100, 0))
+	tm := c.NewTimer(time.Second)
+	stopped := c.NewTimer(time.Second)
+	if !stopped.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if stopped.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case at := <-tm.C():
+		if want := time.Unix(101, 0); !at.Equal(want) {
+			t.Fatalf("tick at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not tick")
+	}
+	select {
+	case <-stopped.C():
+		t.Fatal("stopped timer ticked")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported true")
+	}
+}
+
+func TestVirtualClockStepAndNested(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	var order []string
+	c.AfterFunc(10*time.Millisecond, func() {
+		order = append(order, "a")
+		// Nested arm inside a callback: fires on a later Step/Advance.
+		c.AfterFunc(5*time.Millisecond, func() { order = append(order, "b") })
+	})
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, "c") })
+
+	steps := 0
+	for c.Step() {
+		steps++
+		if steps > 10 {
+			t.Fatal("Step never drained")
+		}
+	}
+	want := []string{"a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending=%d after drain", c.Pending())
+	}
+	// b armed at t=10ms+5ms fires before c at 20ms.
+	if got := c.Now(); !got.Equal(time.Unix(0, int64(20*time.Millisecond))) {
+		t.Fatalf("final now=%v", got)
+	}
+}
+
+func TestVirtualClockAdvanceToNeverBackward(t *testing.T) {
+	c := NewVirtualClock(time.Unix(50, 0))
+	c.AdvanceTo(time.Unix(40, 0))
+	if got := c.Now(); !got.Equal(time.Unix(50, 0)) {
+		t.Fatalf("clock moved backward to %v", got)
+	}
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline on empty calendar")
+	}
+}

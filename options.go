@@ -1,6 +1,28 @@
 package vnpu
 
-import "github.com/vnpu-sim/vnpu/internal/sim"
+import (
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// Clock abstracts time for the serving stack: WallClock() for
+// production, NewVirtualClock for tests and trace replay (see
+// VirtualClock). Inject one with WithClock.
+type Clock = sim.Clock
+
+// VirtualClock is a Clock whose time only moves when explicitly
+// advanced, with a deterministic calendar of pending timers. The fleet's
+// -virtual trace replay and clock-sensitive tests run on one.
+type VirtualClock = sim.VirtualClock
+
+// WallClock returns the process-wide wall clock (the default).
+func WallClock() Clock { return sim.Wall() }
+
+// NewVirtualClock returns a VirtualClock reading start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return sim.NewVirtualClock(start)
+}
 
 // Option configures the virtual NPU a tenant asks for. Options layer over
 // the plain Request struct: NewRequest (and Job.Options) applies them in
@@ -115,6 +137,29 @@ func WithAgingRounds(rounds int) ClusterOption {
 // from competing with job execution on small hosts.
 func WithMapperWorkers(n int) ClusterOption {
 	return func(c *clusterConfig) { c.mapperWorkers = n }
+}
+
+// WithClock injects the clock every serving-path timestamp and timer
+// reads: the dispatcher's deadline checks and queue-wait accounting, the
+// session pool's TTL janitor, the placement engine's latency stats and
+// negative-result TTL. Default is the wall clock. Inject a VirtualClock
+// to drive a cluster in simulated time — deadlines, TTL expiry and
+// latency percentiles then move only when the clock is advanced.
+func WithClock(clk Clock) ClusterOption {
+	return func(c *clusterConfig) { c.clock = clk }
+}
+
+// WithPlacementNegativeTTL tunes the placement engine's negative-result
+// memoization (default place.DefaultNegativeTTL; zero or negative
+// disables it). A topology that just failed to map on a chip is refused
+// again without re-running the mapper for the TTL, as long as the chip's
+// free capacity has not grown since the failure — commits elsewhere on
+// the chip shift the free-set signature without making the failure any
+// more curable, so repeated map-parks of an unsatisfiable shape coalesce
+// instead of burning a mapper run per shift. Any release or session
+// eviction on the chip clears its memoized failures immediately.
+func WithPlacementNegativeTTL(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.negTTL = &d }
 }
 
 // WithPlacementRegret sets the hits-first regret tolerance in edit-

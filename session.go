@@ -284,7 +284,7 @@ func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key s
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if !job.Deadline.IsZero() && time.Now().After(job.Deadline) {
+	if !job.Deadline.IsZero() && c.clk.Now().After(job.Deadline) {
 		c.disp.ExternalDeadlineMiss(job.Priority.class())
 		return nil, fmt.Errorf("vnpu: job deadline already passed at submit: %w", ErrDeadlineExceeded)
 	}
@@ -310,7 +310,7 @@ func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key s
 	c.disp.ExternalSubmitted(class)
 	t := &sessTask{
 		ctx: ctx, job: job, req: req, key: key,
-		h:   sched.NewHandle[JobReport](tenant, class),
+		h:   sched.NewHandle[JobReport](c.clk, tenant, class),
 		seq: c.disp.Ticket(),
 	}
 	go c.sessionRun(t)
@@ -337,9 +337,9 @@ func (c *Cluster) sessionRun(t *sessTask) {
 	}
 	var deadlineC <-chan time.Time
 	if !t.job.Deadline.IsZero() {
-		timer := time.NewTimer(time.Until(t.job.Deadline))
+		timer := c.clk.NewTimer(t.job.Deadline.Sub(c.clk.Now()))
 		defer timer.Stop()
-		deadlineC = timer.C
+		deadlineC = timer.C()
 	}
 	var lease *sessLease
 	var warm bool
@@ -442,7 +442,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: job canceled before execution: %w", err))
 		return false
 	}
-	if !t.job.Deadline.IsZero() && time.Now().After(t.job.Deadline) {
+	if !t.job.Deadline.IsZero() && c.clk.Now().After(t.job.Deadline) {
 		c.finishSess(t, JobReport{}, fmt.Errorf("vnpu: deadline passed before execution: %w", ErrDeadlineExceeded))
 		return false
 	}
@@ -451,7 +451,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	c.execMu[chip].Lock()
 	// The busy clock starts after the lock: waiting for the chip is queue
 	// time, not execution time, or per-chip busy% would exceed 100%.
-	start := time.Now()
+	start := c.clk.Now()
 	if c.testExecHook != nil {
 		c.testExecHook(chip)
 	}
@@ -467,7 +467,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	}
 	// Measure before Unlock: post-unlock descheduling would otherwise
 	// overlap the next job's locked time and push busy% past 100.
-	busy := time.Since(start)
+	busy := c.clk.Since(start)
 	c.execMu[chip].Unlock()
 	c.sessMu.Lock()
 	c.sessChipJobs[chip]++
