@@ -10,6 +10,7 @@ import (
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/session"
@@ -117,6 +118,19 @@ type Cluster struct {
 	progMu sync.Mutex
 	progs  map[progKey]*progEntry
 
+	// reg is the cluster's metrics registry (always on — counters and
+	// stage histograms are cheap); rec is the lifecycle trace recorder,
+	// nil unless WithTracing enabled it (or a fleet shared its recorder).
+	// shard labels this cluster's metric series and trace events inside
+	// a fleet (0 standalone). See telemetry.go.
+	reg   *obs.Registry
+	rec   *obs.Recorder
+	shard int
+	// sessExec/sessE2E are the session path's handles on the per-class
+	// stage histograms shared with the dispatcher (see initStageHists).
+	sessExec [NumPriorityClasses]*obs.Histogram
+	sessE2E  [NumPriorityClasses]*obs.Histogram
+
 	// testExecHook, when set before any Submit, runs at the start of every
 	// job execution — a test seam for holding jobs on their chips.
 	testExecHook func(chip int)
@@ -159,6 +173,12 @@ type clusterConfig struct {
 	regret          *float64
 	clock           sim.Clock
 	negTTL          *time.Duration
+	tracing         bool
+	traceBuf        int
+	// recorder/shard are set by the fleet (withShardObs) so every shard
+	// writes into one shared recorder under its own shard label.
+	recorder *obs.Recorder
+	shard    int
 }
 
 // WithQueueDepth bounds the admission queue (default
@@ -238,6 +258,14 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	if c.defaultPriority == PriorityDefault {
 		c.defaultPriority = PriorityNormal
 	}
+	c.shard = cc.shard
+	c.reg = obs.NewRegistry()
+	switch {
+	case cc.recorder != nil:
+		c.rec = cc.recorder
+	case cc.tracing:
+		c.rec = obs.NewRecorder(1, cc.traceBuf)
+	}
 	engineChips := make([]place.Chip, len(specs))
 	for i, spec := range specs {
 		sys, err := NewSystem(spec.Config)
@@ -307,13 +335,21 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			ExternalBusy: c.sessionBusy,
 			Reclaim:      c.sessionReclaim,
 			Clock:        cc.clock,
+			StageHist:    c.stageHist,
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
 	disp.SetPrewarm(c.prewarmPlacement)
+	if c.rec != nil {
+		disp.SetObserver(func(job Job, stage obs.Stage, detail string, chip int) {
+			c.trace(&job, stage, detail, chip)
+		})
+	}
 	c.disp = disp
+	c.initStageHists()
+	c.reg.AddCollector(c.collect)
 	if cc.sessionReuse {
 		pool, err := session.New[*sessRes, *sessTask](session.Config[*sessRes]{
 			Destroy:         c.destroySession,
@@ -589,6 +625,15 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 		return nil, fmt.Errorf("vnpu: no chip has both %d cores and %d bytes of memory: %w",
 			job.Topology.NumNodes(), req.MemoryBytes, ErrMemoryExceeded)
 	}
+	// Validation passed: hand the job its trace identity and record the
+	// submit edge (the fleet-shared recorder keeps ids unique across
+	// shards, so a forwarded job keeps one track).
+	if c.rec != nil {
+		if job.obsID == 0 {
+			job.obsID = c.rec.NextJob()
+		}
+		c.trace(&job, obs.StageSubmit, "", -1)
+	}
 	// Session-eligible jobs lease resident vNPUs instead of paying
 	// create→map→run→destroy per job: explicit opt-in via Job.Reusable, or
 	// auto-promotion once the same (tenant, model, topology, options)
@@ -688,46 +733,19 @@ type ClusterStats struct {
 type SchedStats = metrics.SchedStats
 
 // SchedStats returns the per-class scheduler counters.
-func (c *Cluster) SchedStats() SchedStats {
-	return SchedStats{Classes: c.disp.Stats().PerClass}
-}
+func (c *Cluster) SchedStats() SchedStats { return c.Snapshot().Sched }
 
 // Stats returns a snapshot of the cluster's serving counters, covering
 // both serving paths: dispatcher jobs and session-pool jobs alike count
-// toward Submitted/Completed/Failed and the per-chip totals.
-func (c *Cluster) Stats() ClusterStats {
-	ds := c.disp.Stats()
-	// The dispatcher already returns defensive slice copies.
-	s := ClusterStats{
-		Submitted:         ds.Submitted,
-		RejectedQueueFull: ds.RejectedQueueFull,
-		RejectedQuota:     ds.RejectedQuota,
-		Completed:         ds.Completed,
-		Failed:            ds.Failed,
-		ChipJobs:          ds.ChipJobs,
-		ChipBusy:          ds.ChipBusy,
-		HitsFirst:         ds.HitsFirst,
-		MapParked:         ds.MapParked,
-	}
-	c.sessMu.Lock()
-	s.Submitted += c.sessSubmitted
-	s.Completed += c.sessCompleted
-	s.Failed += c.sessFailed
-	for i := range c.sessChipJobs {
-		s.ChipJobs[i] += c.sessChipJobs[i]
-		s.ChipBusy[i] += c.sessChipBusy[i] - c.execWait[i]
-		if s.ChipBusy[i] < 0 {
-			s.ChipBusy[i] = 0
-		}
-	}
-	c.sessMu.Unlock()
-	return s
-}
+// toward Submitted/Completed/Failed and the per-chip totals. It reads
+// through Snapshot (see telemetry.go), the single merge point for both
+// paths' counters.
+func (c *Cluster) Stats() ClusterStats { return c.Snapshot().Cluster }
 
 // PlacementStats returns a snapshot of the placement engine's counters:
 // mapping-cache hits, misses and evictions, plus cumulative and average
 // placement-decision latency.
-func (c *Cluster) PlacementStats() PlacementStats { return c.engine.Stats() }
+func (c *Cluster) PlacementStats() PlacementStats { return c.Snapshot().Placement }
 
 // Pressure reports the cluster's serving load as a routing signal for a
 // fleet's one-shot balancer: admitted-but-unfinished work on both

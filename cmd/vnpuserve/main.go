@@ -28,20 +28,23 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"time"
 
 	"github.com/vnpu-sim/vnpu"
+	"github.com/vnpu-sim/vnpu/internal/benchjson"
 	"github.com/vnpu-sim/vnpu/internal/fleet"
+	"github.com/vnpu-sim/vnpu/internal/obs"
 )
 
 func main() {
@@ -64,6 +67,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "async mapper worker pool size (0 = engine default); cache misses compute on these workers instead of the dispatch path")
 	flag.Float64Var(&cfg.regret, "regret", 0, "hits-first placement regret tolerance in edit-distance units (0 = exact cached fits only; negative disables hits-first dispatch)")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file (for hot-path work)")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (after a final GC) at the end of the run to this file")
+	flag.StringVar(&cfg.tracePath, "trace", "", "record every job's lifecycle transitions and write them as Chrome trace_event JSON (Perfetto-loadable) to this file")
+	flag.StringVar(&cfg.listen, "listen", "", "serve live telemetry on this address for the run's duration: /metrics (Prometheus), /trace(.json), /debug/pprof/ (e.g. :9090)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every job completion")
 	flag.IntVar(&cfg.shards, "shards", 1, "number of independent cluster shards behind the session-affine router (1 = single cluster)")
 	flag.BoolVar(&cfg.virtual, "virtual", false, "replay the trace on the deterministic virtual clock instead of wall time (fleet model; pairs with -shards)")
@@ -112,6 +118,9 @@ type runConfig struct {
 	workers    int
 	regret     float64
 	cpuprofile string
+	memprofile string
+	tracePath  string
+	listen     string
 
 	shards     int
 	virtual    bool
@@ -272,6 +281,9 @@ func run(rc runConfig) error {
 		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
 	}
 	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+	if rc.tracePath != "" {
+		opts = append(opts, vnpu.WithTracing())
+	}
 	if rc.cpuprofile != "" {
 		f, err := os.Create(rc.cpuprofile)
 		if err != nil {
@@ -314,6 +326,7 @@ func run(rc runConfig) error {
 		return err
 	}
 	defer cluster.Close()
+	defer serveTelemetry(rc.listen, cluster.Handler())()
 
 	mixes, err := buildMix(mixCores)
 	if err != nil {
@@ -555,13 +568,17 @@ func run(rc runConfig) error {
 			sum.ColdP50Micros = percentile(coldWaits, 0.50).Microseconds()
 			sum.ColdP99Micros = percentile(coldWaits, 0.99).Microseconds()
 		}
-		data, err := json.MarshalIndent(sum, "", "  ")
-		if err != nil {
+		if err := benchjson.Write(rc.jsonPath, sum); err != nil {
 			return err
 		}
-		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
+	}
+	if rc.tracePath != "" {
+		if err := writeChromeTrace(rc.tracePath, cluster.TraceSnapshot(), cluster.TraceDropped()); err != nil {
 			return err
 		}
+	}
+	if err := writeMemProfile(rc.memprofile); err != nil {
+		return err
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d jobs failed", failed)
@@ -648,6 +665,19 @@ func runVirtual(rc runConfig) error {
 	if tc.DrainShard >= tc.Shards {
 		tc.DrainShard = -1
 	}
+	// The replay never reads the observability taps, so a live scrape on
+	// the -listen goroutine can watch a virtual-time run without
+	// perturbing its determinism.
+	gauges := &fleet.ReplayGauges{}
+	tc.Observe = gauges
+	var rec *obs.Recorder
+	if rc.tracePath != "" {
+		rec = obs.NewRecorder(tc.Shards, 0)
+		tc.Recorder = rec
+	}
+	reg := obs.NewRegistry()
+	reg.AddCollector(gauges.Collect)
+	defer serveTelemetry(rc.listen, obs.NewMux(reg, rec))()
 	fmt.Printf("vnpuserve -virtual: %d shards x %d chips x %d cores (%s), %d jobs at %.0f jobs/s virtual, seed %d",
 		tc.Shards, tc.ChipsPerShard, tc.CoresPerChip, cfg.Name, tc.Jobs, tc.RatePerSec, tc.Seed)
 	if tc.DrainShard >= 0 {
@@ -664,10 +694,13 @@ func runVirtual(rc runConfig) error {
 
 	// Same trace, one shard with the whole fleet's capacity: the warm
 	// pool has every key, so its hit rate bounds what sharding can keep.
+	// The baseline replays untapped — its events would pollute the trace.
 	base := tc
 	base.Shards = 1
 	base.ChipsPerShard = tc.ChipsPerShard * tc.Shards
 	base.DrainShard = -1
+	base.Recorder = nil
+	base.Observe = nil
 	bres, err := fleet.Replay(base)
 	if err != nil {
 		return err
@@ -726,15 +759,16 @@ func runVirtual(rc runConfig) error {
 				Utilization: sh.Utilization,
 			})
 		}
-		data, err := json.MarshalIndent(sum, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := benchjson.Write(rc.jsonPath, sum); err != nil {
 			return err
 		}
 	}
-	return nil
+	if rec != nil {
+		if err := writeChromeTrace(rc.tracePath, rec.Snapshot(), rec.Dropped()); err != nil {
+			return err
+		}
+	}
+	return writeMemProfile(rc.memprofile)
 }
 
 // runFleet drives a real (wall-clock) multi-shard fleet: the Poisson
@@ -761,12 +795,16 @@ func runFleet(rc runConfig) error {
 		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
 	}
 	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+	if rc.tracePath != "" {
+		opts = append(opts, vnpu.WithTracing())
+	}
 
 	f, err := vnpu.NewFleet(cfg, rc.shards, rc.chips, opts...)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	defer serveTelemetry(rc.listen, f.Handler())()
 
 	mixes, err := buildMix(cfg.Cores())
 	if err != nil {
@@ -911,15 +949,65 @@ func runFleet(rc runConfig) error {
 				Completed: int(fs.Shards[i].Completed),
 			})
 		}
-		data, err := json.MarshalIndent(sum, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(rc.jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := benchjson.Write(rc.jsonPath, sum); err != nil {
 			return err
 		}
 	}
+	if rc.tracePath != "" {
+		if err := writeChromeTrace(rc.tracePath, f.TraceSnapshot(), f.TraceDropped()); err != nil {
+			return err
+		}
+	}
+	return writeMemProfile(rc.memprofile)
+}
+
+// serveTelemetry starts the -listen HTTP surface and returns its
+// shutdown func (a no-op when the flag is unset).
+func serveTelemetry(addr string, h http.Handler) func() {
+	if addr == "" {
+		return func() {}
+	}
+	srv := &http.Server{Addr: addr, Handler: h}
+	fmt.Printf("telemetry:     listening on %s (/metrics, /trace, /debug/pprof/)\n", addr)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("telemetry listener: %v", err)
+		}
+	}()
+	return func() { _ = srv.Close() }
+}
+
+// writeChromeTrace exports recorded lifecycle events to path as Chrome
+// trace_event JSON.
+func writeChromeTrace(path string, events []vnpu.TraceEvent, dropped uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace:         %d lifecycle events -> %s (%d overwritten in the ring)\n", len(events), path, dropped)
 	return nil
+}
+
+// writeMemProfile writes a heap profile to path after a GC pass, so the
+// profile reflects retained memory rather than garbage.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // percentile returns the q-quantile of sorted durations by the

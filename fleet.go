@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/fleet"
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/sim"
@@ -31,6 +32,11 @@ type Fleet struct {
 	shards []*Cluster
 	router *fleet.Router
 	clk    sim.Clock
+	// reg aggregates the fleet's own counters plus every shard's
+	// registry; rec is the shared trace recorder (nil unless
+	// WithTracing), one ring per shard. See telemetry.go.
+	reg *obs.Registry
+	rec *obs.Recorder
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -80,9 +86,18 @@ func NewFleet(cfg Config, shards, chipsPerShard int, opts ...ClusterOption) (*Fl
 		clk:    clk,
 		stop:   make(chan struct{}),
 		seen:   make(map[string]uint8),
+		reg:    obs.NewRegistry(),
+	}
+	f.reg.AddCollector(f.collect)
+	// One recorder shared by every shard: per-shard rings keep writers
+	// contention-free, while the shared sequence and job-id counters keep
+	// a forwarded job's events on one trace track.
+	if scratch.tracing {
+		f.rec = obs.NewRecorder(shards, scratch.traceBuf)
 	}
 	for i := 0; i < shards; i++ {
-		c, err := NewCluster(cfg, chipsPerShard, opts...)
+		shardOpts := append(opts[:len(opts):len(opts)], withShardObs(f.rec, i))
+		c, err := NewCluster(cfg, chipsPerShard, shardOpts...)
 		if err != nil {
 			for _, built := range f.shards {
 				_ = built.Close()
@@ -90,6 +105,7 @@ func NewFleet(cfg Config, shards, chipsPerShard int, opts ...ClusterOption) (*Fl
 			return nil, fmt.Errorf("vnpu: booting shard %d: %w", i, err)
 		}
 		f.shards = append(f.shards, c)
+		f.reg.AddSource(c.reg)
 	}
 	f.wg.Add(1)
 	go f.stealLoop()

@@ -1,0 +1,71 @@
+// Package benchjson writes the BENCH_*.json run summaries CI archives.
+// Every emitter in cmd/vnpuserve routes through Write, so each artifact
+// carries the same provenance envelope: a schema version, the VCS
+// revision the binary was built from, and the run timestamp. Trend
+// tooling can then refuse to compare artifacts across schema versions
+// or mixed-revision runs instead of silently plotting nonsense.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// SchemaVersion is stamped into every artifact as "schema_version".
+// Bump it when a summary's field meanings change incompatibly.
+const SchemaVersion = 1
+
+// revision reports the VCS revision baked into the build ("unknown"
+// outside a VCS build; "-dirty" appended when the tree was modified).
+func revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Write marshals payload, stamps the provenance envelope, and writes the
+// artifact to path. The payload must marshal to a JSON object; its own
+// keys win over the envelope's on collision.
+func Write(path string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	doc := map[string]any{
+		"schema_version": SchemaVersion,
+		"git_revision":   revision(),
+		"run_at":         time.Now().UTC().Format(time.RFC3339),
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return fmt.Errorf("benchjson: payload is not a JSON object: %w", err)
+	}
+	for k, v := range fields {
+		doc[k] = v
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/sim"
 )
 
@@ -56,6 +58,38 @@ type TraceConfig struct {
 	RejoinAtFrac float64
 	// Replicas is the router's ring replication (0 = DefaultReplicas).
 	Replicas int
+	// Recorder, when non-nil, captures every job's lifecycle transitions
+	// (submit → admitted → placed/session → executing → done/failed)
+	// stamped from the virtual clock. The replay is single-threaded, so
+	// for a fixed seed the recorded event stream — and any export of it —
+	// is bit-identical across runs. Size it with at least Shards rings.
+	Recorder *obs.Recorder
+	// Observe, when non-nil, is updated atomically as the replay
+	// progresses so a live scrape on another goroutine can watch a
+	// virtual-time run. It never influences the replay.
+	Observe *ReplayGauges
+}
+
+// ReplayGauges mirrors a running replay's headline counters behind
+// atomics, for live scraping while Replay runs on its own goroutine.
+type ReplayGauges struct {
+	Generated atomic.Uint64
+	Completed atomic.Uint64
+	Rejected  atomic.Uint64
+	WarmHits  atomic.Uint64
+	Steals    atomic.Uint64
+	ReHomed   atomic.Uint64
+}
+
+// Collect emits the gauges as registry samples (obs.Registry
+// AddCollector-compatible).
+func (g *ReplayGauges) Collect(emit func(obs.Sample)) {
+	emit(obs.Sample{Name: "vnpu_replay_generated_total", Help: "Trace jobs generated so far.", Value: float64(g.Generated.Load())})
+	emit(obs.Sample{Name: "vnpu_replay_completed_total", Help: "Trace jobs completed so far.", Value: float64(g.Completed.Load())})
+	emit(obs.Sample{Name: "vnpu_replay_rejected_total", Help: "Trace jobs rejected so far.", Value: float64(g.Rejected.Load())})
+	emit(obs.Sample{Name: "vnpu_replay_warm_hits_total", Help: "Trace jobs served on a resident session so far.", Value: float64(g.WarmHits.Load())})
+	emit(obs.Sample{Name: "vnpu_replay_steals_total", Help: "Balancer moves so far.", Value: float64(g.Steals.Load())})
+	emit(obs.Sample{Name: "vnpu_replay_rehomed_total", Help: "Queued jobs re-homed off a draining shard so far.", Value: float64(g.ReHomed.Load())})
 }
 
 // ShardTrace is one shard's replay counters.
@@ -108,6 +142,7 @@ type Result struct {
 type vJob struct {
 	id      int
 	key     int // index into the session-key space, -1 for one-shot
+	tenant  int
 	cores   int
 	service time.Duration
 	class   int // 0 = best-effort (steal-eligible), 1 = normal
@@ -156,6 +191,29 @@ type replay struct {
 	hash      uint64 // FNV-1a running digest
 	start     time.Time
 	last      time.Time
+	// rec/gauges/tenantNames are the observability taps (nil/empty when
+	// off); they read replay state but never influence it — no rng draws,
+	// no timers — so tracing cannot perturb the deterministic ordering.
+	rec         *obs.Recorder
+	gauges      *ReplayGauges
+	tenantNames []string
+}
+
+// ev records one lifecycle event for a job on shard s, stamped from the
+// virtual clock. No-op without a recorder.
+func (r *replay) ev(j *vJob, s int, stage obs.Stage, detail string) {
+	if r.rec == nil {
+		return
+	}
+	r.rec.Record(s, obs.Event{
+		Job:    uint64(j.id),
+		Stage:  stage,
+		Detail: detail,
+		Class:  j.class,
+		Chip:   -1,
+		Tenant: r.tenantNames[j.tenant],
+		At:     r.clk.Now(),
+	})
 }
 
 const (
@@ -207,6 +265,14 @@ func Replay(cfg TraceConfig) (Result, error) {
 		last:     cfg.Start,
 		sojourns: make([]time.Duration, 0, cfg.Jobs),
 		hash:     14695981039346656037, // FNV-1a offset basis
+		rec:      cfg.Recorder,
+		gauges:   cfg.Observe,
+	}
+	if r.rec != nil {
+		r.tenantNames = make([]string, cfg.Tenants)
+		for t := range r.tenantNames {
+			r.tenantNames[t] = fmt.Sprintf("t%d", t)
+		}
 	}
 	total := cfg.ChipsPerShard * cfg.CoresPerChip
 	for i := 0; i < cfg.Shards; i++ {
@@ -283,6 +349,9 @@ func (r *replay) scheduleArrival() {
 	r.clk.AfterFunc(gap, func() {
 		j := r.makeJob()
 		r.generated++
+		if r.gauges != nil {
+			r.gauges.Generated.Add(1)
+		}
 		r.route(j)
 		r.scheduleArrival()
 	})
@@ -301,6 +370,7 @@ func (r *replay) makeJob() *vJob {
 	j := &vJob{
 		id:      r.generated,
 		key:     -1,
+		tenant:  tenant,
 		keyed:   keyed,
 		cores:   2 + model%3,
 		service: time.Duration(150+40*model+r.rng.Intn(100)) * time.Microsecond,
@@ -326,6 +396,12 @@ func (r *replay) route(j *vJob) {
 	}
 	if !ok {
 		r.rejected++
+		if r.gauges != nil {
+			r.gauges.Rejected.Add(1)
+		}
+		// No active shard owns the job; file the terminal event on ring 0
+		// so the rejection is still visible in the trace.
+		r.ev(j, 0, obs.StageFailed, "no-active-shard")
 		return
 	}
 	r.admit(j, shard)
@@ -344,13 +420,18 @@ func (r *replay) pressure(s int) float64 {
 func (r *replay) admit(j *vJob, s int) {
 	sh := r.shards[s]
 	sh.stats.Jobs++
+	r.ev(j, s, obs.StageSubmit, "")
 	if j.keyed {
 		if sess := sh.sessions[j.key]; sess != nil {
 			if sess.running < batchSlots {
+				r.ev(j, s, obs.StageAdmitted, "")
+				r.ev(j, s, obs.StageSession, "warm")
 				r.startWarm(j, s, sess)
 				return
 			}
 			if len(sess.waiting) < r.cfg.MicroQueueDepth {
+				r.ev(j, s, obs.StageAdmitted, "")
+				r.ev(j, s, obs.StageSession, "batched")
 				sess.waiting = append(sess.waiting, j)
 				return
 			}
@@ -358,15 +439,21 @@ func (r *replay) admit(j *vJob, s int) {
 		}
 	}
 	if len(sh.queue) == 0 && r.canStartCold(sh, j) {
+		r.ev(j, s, obs.StageAdmitted, "")
 		r.startCold(j, s)
 		return
 	}
 	if len(sh.queue) < r.cfg.QueueDepth {
+		r.ev(j, s, obs.StageAdmitted, "")
 		sh.queue = append(sh.queue, j)
 		return
 	}
+	r.ev(j, s, obs.StageFailed, "rejected")
 	sh.stats.Rejected++
 	r.rejected++
+	if r.gauges != nil {
+		r.gauges.Rejected.Add(1)
+	}
 }
 
 func (r *replay) canStartCold(sh *vShard, j *vJob) bool {
@@ -387,6 +474,9 @@ func (r *replay) startWarm(j *vJob, s int, sess *vSession) {
 	sess.running++
 	r.warmHits++
 	sh.stats.WarmHits++
+	if r.gauges != nil {
+		r.gauges.WarmHits.Add(1)
+	}
 	r.run(j, s, sess, j.service)
 }
 
@@ -395,10 +485,12 @@ func (r *replay) startWarm(j *vJob, s int, sess *vSession) {
 func (r *replay) startCold(j *vJob, s int) {
 	sh := r.shards[s]
 	sh.free -= j.cores
+	r.ev(j, s, obs.StagePlaced, "miss")
 	service := j.service
 	if j.keyed {
 		sh.sessions[j.key] = &vSession{cores: j.cores, running: 1, since: r.clk.Now()}
 		service += coldOverhead
+		r.ev(j, s, obs.StageSession, "cold")
 	}
 	r.run(j, s, sh.sessions[j.key], service)
 }
@@ -408,6 +500,7 @@ func (r *replay) startCold(j *vJob, s int) {
 func (r *replay) run(j *vJob, s int, sess *vSession, service time.Duration) {
 	sh := r.shards[s]
 	startAt := r.clk.Now()
+	r.ev(j, s, obs.StageExecuting, "")
 	if sess == nil {
 		sh.stats.BusyCoreTime += time.Duration(j.cores) * service
 	}
@@ -428,6 +521,10 @@ func (r *replay) finish(j *vJob, s int, sess *vSession, startAt time.Time) {
 	r.sojourns = append(r.sojourns, now.Sub(j.submit))
 	r.last = now
 	r.fold(uint64(j.id), uint64(startAt.UnixNano()), uint64(now.UnixNano()))
+	r.ev(j, s, obs.StageDone, "")
+	if r.gauges != nil {
+		r.gauges.Completed.Add(1)
+	}
 
 	if sess != nil {
 		sess.running--
@@ -487,8 +584,10 @@ func (r *replay) dispatch(s int) {
 			if sess := sh.sessions[j.key]; sess != nil {
 				sh.queue = sh.queue[1:]
 				if sess.running < batchSlots {
+					r.ev(j, s, obs.StageSession, "warm")
 					r.startWarm(j, s, sess)
 				} else if len(sess.waiting) < r.cfg.MicroQueueDepth {
+					r.ev(j, s, obs.StageSession, "batched")
 					sess.waiting = append(sess.waiting, j)
 				} else {
 					// Saturated micro-queue with a full shard: the real
@@ -539,6 +638,9 @@ func (r *replay) stealInto(s int) {
 		sh.stats.Jobs++
 		vq.stats.Jobs--
 		r.steals++
+		if r.gauges != nil {
+			r.gauges.Steals.Add(1)
+		}
 		r.startCold(j, s)
 		return // one per pass keeps the model simple and bounded
 	}
@@ -557,6 +659,9 @@ func (r *replay) drainShard(s int) {
 	for _, j := range moved {
 		sh.stats.Jobs--
 		r.rehomed++
+		if r.gauges != nil {
+			r.gauges.ReHomed.Add(1)
+		}
 		r.route(j)
 	}
 	for key, sess := range sh.sessions {

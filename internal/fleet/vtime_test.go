@@ -1,8 +1,12 @@
 package fleet
 
 import (
+	"bytes"
+	"hash/fnv"
 	"testing"
 	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
 )
 
 func baseTrace() TraceConfig {
@@ -20,9 +24,27 @@ func baseTrace() TraceConfig {
 	}
 }
 
+// traceHash replays cfg with a recorder attached and digests the Chrome
+// trace export: the whole observability pipeline — event capture through
+// JSON rendering — must be byte-deterministic per seed.
+func traceHash(t *testing.T, cfg TraceConfig) uint64 {
+	t.Helper()
+	cfg.Recorder = obs.NewRecorder(cfg.Shards, 0)
+	if _, err := Replay(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, cfg.Recorder.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return h.Sum64()
+}
+
 // TestReplayDeterminism: the same seed replays to the identical trace —
-// order hash, latencies, and every counter — across runs; a different
-// seed diverges.
+// order hash, latencies, every counter, and the exported lifecycle trace
+// bytes — across runs; a different seed diverges.
 func TestReplayDeterminism(t *testing.T) {
 	cfg := baseTrace()
 	cfg.DrainShard = 1
@@ -60,6 +82,27 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 	if c.OrderHash == a.OrderHash {
 		t.Fatal("different seeds produced the same order hash")
+	}
+
+	// Traced replays stay deterministic too: the recorder taps must not
+	// perturb the replay, and the export must be byte-stable per seed.
+	cfg.Seed = 42
+	th1, th2 := traceHash(t, cfg), traceHash(t, cfg)
+	if th1 != th2 {
+		t.Fatalf("trace export diverged across identical replays: %x != %x", th1, th2)
+	}
+	tracedCfg := cfg
+	tracedCfg.Recorder = obs.NewRecorder(cfg.Shards, 0)
+	traced, err := Replay(tracedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.OrderHash != a.OrderHash {
+		t.Fatalf("attaching a recorder changed the replay: %x != %x", traced.OrderHash, a.OrderHash)
+	}
+	cfg.Seed = 43
+	if th3 := traceHash(t, cfg); th3 == th1 {
+		t.Fatal("different seeds produced the same trace hash")
 	}
 }
 

@@ -1,10 +1,6 @@
 package metrics
 
-import (
-	"math"
-	"sort"
-	"time"
-)
+import "time"
 
 // SchedClassStats is one priority class's serving counters and queueing
 // latency percentiles. The dispatcher (internal/sched) fills it for both
@@ -33,8 +29,10 @@ type SchedClassStats struct {
 	// Promotions counts aging promotions out of the class (starvation
 	// protection at work).
 	Promotions uint64
-	// P50Wait and P99Wait are queueing-latency percentiles over the
-	// class's recent completions (a bounded sample window).
+	// P50Wait and P99Wait are queueing-latency percentiles of the
+	// class's completions, read from its fixed-bucket log-scale wait
+	// histogram (internal/obs): each reports the upper bound of the
+	// bucket holding the rank, so tails are never understated.
 	P50Wait time.Duration
 	P99Wait time.Duration
 }
@@ -52,59 +50,4 @@ func (s SchedStats) DeadlineMisses() uint64 {
 		n += c.DeadlineMisses
 	}
 	return n
-}
-
-// DefaultLatencyWindow is the per-class sample window the scheduler
-// keeps for percentile estimation.
-const DefaultLatencyWindow = 4096
-
-// LatencyRing is a bounded ring of duration samples for percentile
-// estimation over recent traffic. It is not goroutine-safe; callers
-// guard it with their own lock.
-type LatencyRing struct {
-	samples []time.Duration
-	next    int
-	filled  bool
-}
-
-// NewLatencyRing builds a ring holding up to n samples (n <= 0 selects
-// DefaultLatencyWindow).
-func NewLatencyRing(n int) *LatencyRing {
-	if n <= 0 {
-		n = DefaultLatencyWindow
-	}
-	return &LatencyRing{samples: make([]time.Duration, 0, n)}
-}
-
-// Record adds a sample, evicting the oldest once the window is full.
-func (r *LatencyRing) Record(d time.Duration) {
-	if len(r.samples) < cap(r.samples) {
-		r.samples = append(r.samples, d)
-		return
-	}
-	r.filled = true
-	r.samples[r.next] = d
-	r.next = (r.next + 1) % len(r.samples)
-}
-
-// Count reports how many samples the ring currently holds.
-func (r *LatencyRing) Count() int { return len(r.samples) }
-
-// Percentile reports the q-quantile (0 < q <= 1) of the window by the
-// nearest-rank (ceiling) method, so tails are never understated. It
-// returns 0 with no samples.
-func (r *LatencyRing) Percentile(q float64) time.Duration {
-	if len(r.samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), r.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }

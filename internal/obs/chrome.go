@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event entry. Field order (and the
+// struct-based marshalling) keeps the export byte-deterministic for a
+// deterministic event stream, so replay traces can be hashed per seed.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Ph    string      `json:"ph"`
+	Ts    float64     `json:"ts"` // microseconds
+	Dur   float64     `json:"dur,omitempty"`
+	Pid   int         `json:"pid"`
+	Tid   uint64      `json:"tid"`
+	Scope string      `json:"s,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Tenant string `json:"tenant,omitempty"`
+	Class  int    `json:"class"`
+	Detail string `json:"detail,omitempty"`
+	Stage  string `json:"stage,omitempty"`
+	Chip   int    `json:"chip"`
+	Name   string `json:"name,omitempty"`
+}
+
+// WriteChrome renders recorded events as Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing). Each job becomes a track
+// (tid = job id) inside its shard's process (pid = shard); consecutive
+// lifecycle events become "X" complete spans named by the segment's
+// starting stage, and terminal done/failed events become instants.
+// Timestamps are microseconds relative to the earliest event, so wall-
+// clock and virtual-clock traces line up identically in the viewer.
+func WriteChrome(w io.Writer, events []Event) error {
+	evs := append([]Event(nil), events...)
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Job != evs[b].Job {
+			return evs[a].Job < evs[b].Job
+		}
+		return evs[a].Seq < evs[b].Seq
+	})
+
+	var origin time.Time
+	for i, e := range evs {
+		if i == 0 || e.At.Before(origin) {
+			origin = e.At
+		}
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(origin)) / float64(time.Microsecond) }
+
+	var out []chromeEvent
+	shards := map[int]bool{}
+	for i := 0; i < len(evs); {
+		j := i
+		for j < len(evs) && evs[j].Job == evs[i].Job {
+			j++
+		}
+		job := evs[i:j]
+		for k, e := range job {
+			shards[e.Shard] = true
+			name := e.Stage.String()
+			if e.Detail != "" {
+				name += ":" + e.Detail
+			}
+			args := &chromeArgs{Tenant: e.Tenant, Class: e.Class, Detail: e.Detail, Stage: e.Stage.String(), Chip: e.Chip}
+			if e.Stage == StageDone || e.Stage == StageFailed || k == len(job)-1 {
+				out = append(out, chromeEvent{
+					Name: name, Ph: "i", Ts: us(e.At), Pid: e.Shard, Tid: e.Job,
+					Scope: "t", Args: args,
+				})
+				continue
+			}
+			next := job[k+1]
+			dur := us(next.At) - us(e.At)
+			if dur < 0 {
+				dur = 0
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: us(e.At), Dur: dur, Pid: e.Shard, Tid: e.Job,
+				Args: args,
+			})
+		}
+		i = j
+	}
+
+	shardIDs := make([]int, 0, len(shards))
+	for s := range shards {
+		shardIDs = append(shardIDs, s)
+	}
+	sort.Ints(shardIDs)
+	meta := make([]chromeEvent, 0, len(shardIDs))
+	for _, s := range shardIDs {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: s,
+			Args: &chromeArgs{Name: fmt.Sprintf("shard %d", s)},
+		})
+	}
+	out = append(meta, out...)
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range out {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

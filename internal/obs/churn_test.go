@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObsChurn hammers the recorder, a registry histogram, and the
+// Prometheus renderer from concurrent goroutines. It asserts nothing
+// beyond basic conservation — its job is to run under -race in CI and
+// prove the observability plane is safe beside a live serving fleet.
+func TestObsChurn(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	rec := NewRecorder(4, 256)
+	reg := NewRegistry()
+	reg.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "churn_events_total", Value: float64(rec.Dropped())})
+	})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			h := reg.Histogram("churn_latency_seconds", "churn", Label{"w", string(rune('a' + g))})
+			base := time.Unix(0, 0)
+			for i := 0; i < perG; i++ {
+				job := rec.NextJob()
+				rec.Record(g%4, Event{Job: job, Stage: StageSubmit, At: base.Add(time.Duration(i))})
+				rec.Record(g%4, Event{Job: job, Stage: StageDone, At: base.Add(time.Duration(i + 1))})
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(g)
+	}
+	// Concurrent readers: scrape and snapshot while writers run.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = rec.Snapshot()
+				_ = rec.Dropped()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	retained := uint64(len(rec.Snapshot()))
+	if got := retained + rec.Dropped(); got != writers*perG*2 {
+		t.Fatalf("event conservation: %d retained + %d dropped != %d recorded",
+			retained, rec.Dropped(), writers*perG*2)
+	}
+	var total uint64
+	for g := 0; g < writers; g++ {
+		h := reg.Histogram("churn_latency_seconds", "churn", Label{"w", string(rune('a' + g))})
+		total += h.Snapshot().Count
+	}
+	if total != writers*perG {
+		t.Fatalf("histogram count: %d != %d", total, writers*perG)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i covers durations up to
+// 1µs<<i, so the ladder spans 1µs .. ~9.2h in powers of two, plus a
+// final overflow bucket. Fixed log-scale buckets make Observe a handful
+// of atomic adds — no allocation, no sorting, no lock — and make
+// histograms from different shards mergeable by element-wise addition.
+const histBuckets = 36
+
+// Histogram is a fixed-bucket log2 latency histogram safe for
+// concurrent use. The zero value is NOT ready; use NewHistogram.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64 // [histBuckets] = overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d) / 1000 // whole microseconds
+	for i := 0; i < histBuckets; i++ {
+		if us < 1<<uint(i) {
+			return i
+		}
+	}
+	return histBuckets
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Snapshot returns a consistent-enough copy of the histogram for
+// reporting (buckets are read individually; concurrent writers may skew
+// totals by in-flight observations, which reporting tolerates).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, mergeable
+// across shards and queryable for quantiles.
+type HistogramSnapshot struct {
+	Counts [histBuckets + 1]uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Merge adds another snapshot into this one (fleet-level aggregation).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// BucketBound returns bucket i's inclusive upper bound. The overflow
+// bucket reports the largest representable bound.
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// NumBuckets reports the bucket count including the overflow bucket.
+func NumBuckets() int { return histBuckets + 1 }
+
+// Quantile returns the q-quantile (0..1) as the upper bound of the
+// bucket holding the rank — an upper estimate, consistent with how the
+// buckets discretize. Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		if cum > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets)
+}
+
+// Mean returns the average observed duration (exact, from the running
+// sum), or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the live telemetry surface:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/trace         JSON snapshot of the recorder's ring buffers
+//	/trace.json    the same snapshot as Chrome trace_event JSON
+//	/debug/pprof/  the standard pprof handlers (heap, profile, ...)
+//
+// Either reg or rec may be nil; the corresponding endpoints then report
+// 404. The mux is safe to serve while the cluster is under load — every
+// endpoint reads through the registry/recorder snapshot paths.
+func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if rec != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			events := rec.Snapshot()
+			type jsonEvent struct {
+				Seq    uint64 `json:"seq"`
+				Job    uint64 `json:"job"`
+				Stage  string `json:"stage"`
+				Detail string `json:"detail,omitempty"`
+				Class  int    `json:"class"`
+				Shard  int    `json:"shard"`
+				Chip   int    `json:"chip"`
+				Tenant string `json:"tenant,omitempty"`
+				AtNs   int64  `json:"at_ns"`
+			}
+			out := struct {
+				Dropped uint64      `json:"dropped"`
+				Events  []jsonEvent `json:"events"`
+			}{Dropped: rec.Dropped(), Events: make([]jsonEvent, 0, len(events))}
+			for _, e := range events {
+				out.Events = append(out.Events, jsonEvent{
+					Seq: e.Seq, Job: e.Job, Stage: e.Stage.String(), Detail: e.Detail,
+					Class: e.Class, Shard: e.Shard, Chip: e.Chip, Tenant: e.Tenant,
+					AtNs: e.At.UnixNano(),
+				})
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(out)
+		})
+		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChrome(w, rec.Snapshot())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// One observation per decade of the ladder, plus edge cases.
+	h.Observe(0)                     // bucket 0 (< 1µs)
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // 1µs -> bucket 1 (bounds are exclusive above)
+	h.Observe(3 * time.Microsecond)  // bucket 2 (< 4µs)
+	h.Observe(time.Millisecond)      // < 1024µs -> bucket 10
+	h.Observe(-time.Second)          // clamped to 0 -> bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	wantBuckets := map[int]uint64{0: 3, 1: 1, 2: 1, 10: 1}
+	for i, n := range s.Counts {
+		if n != wantBuckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	if s.Sum != 500*time.Nanosecond+time.Microsecond+3*time.Microsecond+time.Millisecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// Quantiles report bucket upper bounds.
+	if got := s.Quantile(0); got != time.Microsecond {
+		t.Fatalf("q0 = %v, want 1µs", got)
+	}
+	if got := s.Quantile(1); got != BucketBound(10) {
+		t.Fatalf("q1 = %v, want %v", got, BucketBound(10))
+	}
+	// rank(q=0.5) = 2, still inside bucket 0 (3 obs); rank(q=0.7) = 3
+	// falls to bucket 1's upper bound.
+	if got := s.Quantile(0.5); got != time.Microsecond {
+		t.Fatalf("q0.5 = %v, want 1µs", got)
+	}
+	if got := s.Quantile(0.7); got != 2*time.Microsecond {
+		t.Fatalf("q0.7 = %v, want 2µs", got)
+	}
+	if got := s.Mean(); got != s.Sum/6 {
+		t.Fatalf("mean = %v, want %v", got, s.Sum/6)
+	}
+}
+
+func TestHistogramOverflowAndMerge(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(200 * time.Hour) // beyond the ladder -> overflow bucket
+	s := h.Snapshot()
+	if s.Counts[NumBuckets()-1] != 1 {
+		t.Fatal("overflow observation not in the overflow bucket")
+	}
+	if got := s.Quantile(0.5); got != BucketBound(NumBuckets()) {
+		t.Fatalf("overflow quantile = %v", got)
+	}
+
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged.Count != 20 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	if merged.Sum != a.Snapshot().Sum+b.Snapshot().Sum {
+		t.Fatal("merged sum mismatch")
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(2, 4)
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		r.Record(0, Event{Job: uint64(i), Stage: StageSubmit, At: base.Add(time.Duration(i))})
+	}
+	r.Record(1, Event{Job: 100, Stage: StageDone, At: base})
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot len = %d, want 5 (4 retained on ring 0 + 1 on ring 1)", len(snap))
+	}
+	// Ring 0 keeps the newest 4 events; ordering is by Seq.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatal("snapshot not seq-ordered")
+		}
+	}
+	if snap[0].Job != 6 {
+		t.Fatalf("oldest retained job = %d, want 6", snap[0].Job)
+	}
+	if last := snap[len(snap)-1]; last.Shard != 1 || last.Job != 100 {
+		t.Fatalf("ring 1 event misplaced: %+v", last)
+	}
+}
+
+func TestRecorderShardClamp(t *testing.T) {
+	r := NewRecorder(1, 2)
+	r.Record(-5, Event{Job: 1})
+	r.Record(99, Event{Job: 2})
+	if got := len(r.Snapshot()); got != 2 {
+		t.Fatalf("events after clamped records = %d", got)
+	}
+}
+
+func sampleEvents() []Event {
+	base := time.Unix(100, 0)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	return []Event{
+		{Seq: 1, Job: 1, Stage: StageSubmit, Class: 1, Shard: 0, Chip: -1, Tenant: "t0", At: at(0)},
+		{Seq: 2, Job: 1, Stage: StageAdmitted, Class: 1, Shard: 0, Chip: -1, Tenant: "t0", At: at(5)},
+		{Seq: 3, Job: 2, Stage: StageSubmit, Class: 0, Shard: 1, Chip: -1, Tenant: "t1", At: at(7)},
+		{Seq: 4, Job: 1, Stage: StagePlaced, Detail: "hit", Class: 1, Shard: 0, Chip: 3, Tenant: "t0", At: at(9)},
+		{Seq: 5, Job: 1, Stage: StageExecuting, Class: 1, Shard: 0, Chip: 3, Tenant: "t0", At: at(12)},
+		{Seq: 6, Job: 2, Stage: StageFailed, Detail: "rejected", Class: 0, Shard: 1, Chip: -1, Tenant: "t1", At: at(14)},
+		{Seq: 7, Job: 1, Stage: StageDone, Class: 1, Shard: 0, Chip: 3, Tenant: "t0", At: at(40)},
+	}
+}
+
+func TestWriteChromeDeterministicAndValid(t *testing.T) {
+	evs := sampleEvents()
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export not byte-deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 2 process_name metas; job 1 renders 4 spans + a done instant, job 2
+	// one span (submit→failed) + a failed instant.
+	var metas, spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if metas != 2 || spans != 5 || instants != 2 {
+		t.Fatalf("event shape: %d metas, %d spans, %d instants", metas, spans, instants)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "vnpu_jobs_submitted_total", Help: "Jobs submitted.", Labels: []Label{{"shard", "0"}}, Value: 42})
+		emit(Sample{Name: "vnpu_jobs_submitted_total", Labels: []Label{{"shard", "1"}}, Value: 7})
+		emit(Sample{Name: "vnpu_session_idle", Help: "Idle resident sessions.", Value: 3})
+		emit(Sample{Name: "vnpu_placement_cache_entries", Help: "Live cache entries.", Value: 1.5})
+	})
+	h := reg.Histogram("vnpu_stage_latency_seconds", "Per-stage latency.",
+		Label{"class", "normal"}, Label{"stage", "queue"})
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+
+	child := NewRegistry()
+	child.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "vnpu_fleet_active_shards", Help: "Shards in the rotation.", Value: 4})
+	})
+	reg.AddSource(child)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Scrapes are stable: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := reg.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("second scrape differed from the first")
+	}
+}
+
+func TestRegistryHistogramReuseAndCycles(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("h_seconds", "h", Label{"k", "v"})
+	b := reg.Histogram("h_seconds", "ignored", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same series returned distinct histograms")
+	}
+	if c := reg.Histogram("h_seconds", "h", Label{"k", "w"}); c == a {
+		t.Fatal("distinct labels shared a histogram")
+	}
+
+	other := NewRegistry()
+	reg.AddSource(other)
+	other.AddSource(reg) // cycle must not hang or duplicate
+	reg.AddSource(reg)   // self-add is ignored
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("# TYPE h_seconds histogram")); n != 1 {
+		t.Fatalf("histogram headered %d times, want 1", n)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one scalar metric reading emitted by a collector. Kind is
+// inferred from the name: a `_total` suffix marks a counter, anything
+// else is exposed as a gauge.
+type Sample struct {
+	Name   string
+	Help   string
+	Labels []Label
+	Value  float64
+}
+
+// histEntry is one registered histogram series.
+type histEntry struct {
+	name   string
+	help   string
+	labels []Label
+	hist   *Histogram
+}
+
+// Registry aggregates metric sources: collector funcs emitting scalar
+// samples, histograms created via Histogram(), and nested child
+// registries (a fleet registry includes each shard's). WritePrometheus
+// renders everything in Prometheus text exposition format with a stable
+// ordering, so output for fixed inputs is byte-identical.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(emit func(Sample))
+	hists      map[string]*histEntry
+	sources    []*Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*histEntry)}
+}
+
+// AddCollector registers a scalar-sample collector invoked on every
+// scrape. Collectors must be safe for concurrent calls.
+func (r *Registry) AddCollector(fn func(emit func(Sample))) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// AddSource nests a child registry; its metrics are included in this
+// registry's exposition.
+func (r *Registry) AddSource(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	r.mu.Lock()
+	r.sources = append(r.sources, src)
+	r.mu.Unlock()
+}
+
+// seriesKey identifies one labeled series.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\x00')
+		b.WriteString(l.Key)
+		b.WriteByte('\x01')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use. Help is set on creation and kept thereafter.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.hists[key]; ok {
+		return e.hist
+	}
+	e := &histEntry{name: name, help: help, labels: append([]Label(nil), labels...), hist: NewHistogram()}
+	r.hists[key] = e
+	return e.hist
+}
+
+// gather collects scalar samples and histogram entries from this
+// registry and all nested sources.
+func (r *Registry) gather(samples *[]Sample, hists *[]*histEntry, seen map[*Registry]bool) {
+	if seen[r] {
+		return
+	}
+	seen[r] = true
+	r.mu.Lock()
+	var collectors []func(func(Sample))
+	collectors = append(collectors, r.collectors...)
+	for _, e := range r.hists {
+		*hists = append(*hists, e)
+	}
+	sources := append([]*Registry(nil), r.sources...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(func(s Sample) { *samples = append(*samples, s) })
+	}
+	for _, src := range sources {
+		src.gather(samples, hists, seen)
+	}
+}
+
+// labelString renders a label set as `{k="v",...}` (empty string when
+// unlabeled). Extra labels are appended after the series' own.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry (and nested sources) in
+// Prometheus text exposition format v0.0.4. Series are sorted by name
+// then label string; histograms expose `_bucket`/`_sum`/`_count` with
+// `le` bounds in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var samples []Sample
+	var hists []*histEntry
+	r.gather(&samples, &hists, make(map[*Registry]bool))
+
+	type line struct {
+		name, help, typ, body string
+	}
+	var lines []line
+
+	for _, s := range samples {
+		typ := "gauge"
+		if strings.HasSuffix(s.Name, "_total") {
+			typ = "counter"
+		}
+		lines = append(lines, line{
+			name: s.Name, help: s.Help, typ: typ,
+			body: fmt.Sprintf("%s%s %s\n", s.Name, labelString(s.Labels), formatValue(s.Value)),
+		})
+	}
+	for _, e := range hists {
+		snap := e.hist.Snapshot()
+		var b strings.Builder
+		var cum uint64
+		for i := 0; i < NumBuckets(); i++ {
+			cum += snap.Counts[i]
+			le := "+Inf"
+			if i < NumBuckets()-1 {
+				le = formatValue(BucketBound(i).Seconds())
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, labelString(e.labels, Label{"le", le}), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, labelString(e.labels), formatValue(snap.Sum.Seconds()))
+		fmt.Fprintf(&b, "%s_count%s %d\n", e.name, labelString(e.labels), snap.Count)
+		lines = append(lines, line{name: e.name, help: e.help, typ: "histogram", body: b.String()})
+	}
+
+	sort.SliceStable(lines, func(a, b int) bool {
+		if lines[a].name != lines[b].name {
+			return lines[a].name < lines[b].name
+		}
+		return lines[a].body < lines[b].body
+	})
+
+	headered := make(map[string]bool)
+	for _, l := range lines {
+		if !headered[l.name] {
+			headered[l.name] = true
+			if l.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", l.name, l.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", l.name, l.typ); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, l.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a float without trailing-zero noise: integers
+// print as integers, fractions with minimal digits.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

@@ -50,6 +50,7 @@ import (
 
 	"github.com/vnpu-sim/vnpu/internal/core"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/sched/queue"
 	"github.com/vnpu-sim/vnpu/internal/sim"
 )
@@ -149,6 +150,13 @@ type Config struct {
 	// selects the wall clock; tests and the fleet's virtual-time replay
 	// inject a sim.VirtualClock.
 	Clock sim.Clock
+	// StageHist, when non-nil, supplies the latency histogram for one
+	// (stage, class) pair, letting the embedder register the dispatcher's
+	// stage timings ("queue", "exec", "e2e") in its own metrics registry.
+	// Nil creates private histograms. Lifecycle trace callbacks are
+	// installed separately with SetObserver (they reference the generic
+	// job type, which Config cannot).
+	StageHist func(stage string, class int) *obs.Histogram
 }
 
 // DefaultQueueDepth is the admission queue bound when none is given.
@@ -289,6 +297,17 @@ func (h *Handle[Result]) Chip() int {
 	}
 }
 
+// Sojourn reports the job's end-to-end age: time from submission to now
+// (or to completion, once finished), on the handle's clock.
+func (h *Handle[Result]) Sojourn() time.Duration {
+	select {
+	case <-h.done:
+		return h.finished.Sub(h.submitted)
+	default:
+		return h.clk.Since(h.submitted)
+	}
+}
+
 // QueueWait reports how long the job sat in the admission queue before
 // being placed on a chip. It is meaningful once Started is closed; for a
 // job that failed before placement it covers submit to failure.
@@ -336,10 +355,16 @@ type turnWaiter struct {
 	ch    chan struct{}
 }
 
-// classState is one priority class's counters and latency window.
+// classState is one priority class's counters and per-stage latency
+// histograms: queue wait (submit → placed), execution, and end-to-end
+// sojourn. Histograms come from Config.StageHist when set, so both
+// serving paths and the embedder's registry share one series per
+// (stage, class).
 type classState struct {
 	stats metrics.SchedClassStats
-	waits *metrics.LatencyRing
+	waits *obs.Histogram // stage "queue"
+	exec  *obs.Histogram // stage "exec"
+	e2e   *obs.Histogram // stage "e2e"
 }
 
 // Dispatcher schedules jobs across chips. Create one with New, feed it
@@ -379,6 +404,11 @@ type Dispatcher[Job, Placement, Result any] struct {
 	// prewarm, when set (SetPrewarm), is called with the next few queued
 	// jobs each time the dispatcher commits to placing one.
 	prewarm func(job Job)
+	// observer, when set (SetObserver), receives one callback per job
+	// lifecycle transition the dispatcher owns: admitted, placed (detail
+	// "hit"/"miss"/"map-parked"), executing, done/failed. Chip is -1 for
+	// off-chip stages. Called outside the dispatcher lock.
+	observer func(job Job, stage obs.Stage, detail string, chip int)
 
 	dispatcherDone chan struct{}
 	workersDone    sync.WaitGroup
@@ -413,8 +443,14 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 		classes:        make([]classState, cfg.Classes),
 		dispatcherDone: make(chan struct{}),
 	}
+	hist := cfg.StageHist
+	if hist == nil {
+		hist = func(string, int) *obs.Histogram { return obs.NewHistogram() }
+	}
 	for i := range d.classes {
-		d.classes[i].waits = metrics.NewLatencyRing(0)
+		d.classes[i].waits = hist("queue", i)
+		d.classes[i].exec = hist("exec", i)
+		d.classes[i].e2e = hist("e2e", i)
 	}
 	d.stats.ChipJobs = make([]int, cfg.Chips)
 	d.stats.ChipBusy = make([]time.Duration, cfg.Chips)
@@ -504,6 +540,9 @@ func (d *Dispatcher[Job, Placement, Result]) Submit(ctx context.Context, tenant 
 	default:
 	}
 	d.mu.Unlock()
+	if d.observer != nil {
+		d.observer(job, obs.StageAdmitted, "", -1)
+	}
 	return h, nil
 }
 
@@ -674,6 +713,18 @@ func (d *Dispatcher[Job, Placement, Result]) SetPrewarm(fn func(job Job)) {
 	d.prewarm = fn
 }
 
+// SetObserver installs the lifecycle trace hook: one callback per
+// transition the dispatcher owns — admitted (Submit succeeded), placed
+// (detail "hit"/"miss"/"map-parked"), executing, and done/failed. Chip
+// is -1 for off-chip stages. The hook is called outside the dispatcher
+// lock and must be cheap and non-blocking (the obs.Recorder qualifies).
+// Install it before the first Submit.
+func (d *Dispatcher[Job, Placement, Result]) SetObserver(fn func(job Job, stage obs.Stage, detail string, chip int)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observer = fn
+}
+
 // Ticket issues an admission sequence ticket from the counter shared
 // with Submit. External serving paths draw one per job at admission time
 // and pass it to WaitTurn, so "older" is well defined across both paths.
@@ -785,7 +836,7 @@ func (d *Dispatcher[Job, Placement, Result]) ExternalDone(class int, wait time.D
 	cs := &d.classes[d.clampClass(class)]
 	if err == nil {
 		cs.stats.Completed++
-		cs.waits.Record(wait)
+		cs.waits.Observe(wait)
 		return
 	}
 	cs.stats.Failed++
@@ -816,8 +867,9 @@ func (d *Dispatcher[Job, Placement, Result]) Stats() Stats {
 	for i := range d.classes {
 		cs := d.classes[i].stats
 		cs.Promotions = promos[i]
-		cs.P50Wait = d.classes[i].waits.Percentile(0.50)
-		cs.P99Wait = d.classes[i].waits.Percentile(0.99)
+		snap := d.classes[i].waits.Snapshot()
+		cs.P50Wait = snap.Quantile(0.50)
+		cs.P99Wait = snap.Quantile(0.99)
 		s.PerClass[i] = cs
 	}
 	return s
@@ -994,7 +1046,7 @@ func (d *Dispatcher[Job, Placement, Result]) tryClaim(t *task[Job, Result], head
 	// scores every chip from its mapping cache (the formerly dominant
 	// per-chip dry-run cost of dispatch).
 	cands, rankErr := d.exec.Rank(t.job)
-	_, ok, placeErr := d.claimFrom(cands, t, head)
+	_, ok, placeErr := d.claimFrom(cands, t, head, "miss")
 	if ok {
 		return true, nil
 	}
@@ -1007,9 +1059,11 @@ func (d *Dispatcher[Job, Placement, Result]) tryClaim(t *task[Job, Result], head
 // claimFrom tries the candidates in score order, claiming the first
 // chip whose Place succeeds and handing the job to that chip's worker;
 // the claimed candidate is returned so hits-first callers can report its
-// score to the executor (see HitObserver). It reports the last Place
-// error when every candidate refused.
-func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *task[Job, Result], head bool) (Candidate, bool, error) {
+// score to the executor (see HitObserver). detail tags the trace event
+// for a successful claim — "hit" for cache-served candidate lists,
+// "miss" for fully ranked ones. It reports the last Place error when
+// every candidate refused.
+func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *task[Job, Result], head bool, detail string) (Candidate, bool, error) {
 	sort.SliceStable(cands, func(i, j int) bool {
 		return cands[i].Score.less(cands[j].Score)
 	})
@@ -1033,6 +1087,9 @@ func (d *Dispatcher[Job, Placement, Result]) claimFrom(cands []Candidate, t *tas
 		d.mu.Unlock()
 		t.h.MarkStarted(chip)
 		d.recordWait(t.h)
+		if d.observer != nil {
+			d.observer(t.job, obs.StagePlaced, detail, chip)
+		}
 		d.deliver(chip, t, pl)
 		return c, true, nil
 	}
@@ -1105,7 +1162,7 @@ func (d *Dispatcher[Job, Placement, Result]) backfillOne() bool {
 			fullRankSpent = true
 			ok, _ = d.tryClaim(t, false)
 		} else {
-			_, ok, _ = d.claimFrom(cr.RankCached(t.job), t, false)
+			_, ok, _ = d.claimFrom(cr.RankCached(t.job), t, false, "hit")
 		}
 		if !ok {
 			continue
@@ -1138,6 +1195,9 @@ func (d *Dispatcher[Job, Placement, Result]) parkForMapping(t *task[Job, Result]
 	d.parked = nil
 	d.checkTurnsLocked()
 	d.mu.Unlock()
+	if d.observer != nil {
+		d.observer(t.job, obs.StagePlaced, "map-parked", -1)
+	}
 	go func() {
 		var deadlineC <-chan time.Time
 		if !t.deadline.IsZero() {
@@ -1181,7 +1241,7 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 	for {
 		if hitsFirst {
 			if cands := ar.RankHit(t.job); len(cands) > 0 {
-				if won, ok, _ := d.claimFrom(cands, t, true); ok {
+				if won, ok, _ := d.claimFrom(cands, t, true, "hit"); ok {
 					d.mu.Lock()
 					d.stats.HitsFirst++
 					d.mu.Unlock()
@@ -1297,11 +1357,10 @@ func (d *Dispatcher[Job, Placement, Result]) place(t *task[Job, Result], it *que
 	}
 }
 
-// recordWait books a queueing-latency sample for a placed job.
+// recordWait books a queueing-latency sample for a placed job. The
+// histogram is atomic; no dispatcher lock is needed.
 func (d *Dispatcher[Job, Placement, Result]) recordWait(h *Handle[Result]) {
-	d.mu.Lock()
-	d.classes[h.class].waits.Record(h.placedAt.Sub(h.submitted))
-	d.mu.Unlock()
+	d.classes[h.class].waits.Observe(h.placedAt.Sub(h.submitted))
 }
 
 // worker executes placed jobs for one chip, in placement order.
@@ -1314,6 +1373,9 @@ func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
 		err := t.ctx.Err()
 		start := d.now()
 		if err == nil {
+			if d.observer != nil {
+				d.observer(t.job, obs.StageExecuting, "", chip)
+			}
 			res, err = d.exec.Execute(t.ctx, chip, p.pl, t.job)
 			executed = true
 		} else {
@@ -1337,6 +1399,7 @@ func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
 		if executed {
 			d.stats.ChipJobs[chip]++
 			d.stats.ChipBusy[chip] += busy
+			d.classes[t.h.class].exec.Observe(busy)
 		}
 		select {
 		case d.freed <- struct{}{}:
@@ -1365,6 +1428,15 @@ func (d *Dispatcher[Job, Placement, Result]) finish(t *task[Job, Result], res Re
 			cs.DeadlineMisses++
 		}
 	}
+	e2e := d.classes[t.h.class].e2e
 	d.mu.Unlock()
+	e2e.Observe(d.cfg.Clock.Since(t.h.submitted))
+	if d.observer != nil {
+		stage := obs.StageDone
+		if err != nil {
+			stage = obs.StageFailed
+		}
+		d.observer(t.job, stage, "", t.h.Chip())
+	}
 	t.h.Finish(res, err)
 }

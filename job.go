@@ -108,6 +108,11 @@ type Job struct {
 	// Submit and threaded through so the execution paths can key the
 	// compiled-program cache without rehashing the model per job.
 	modelSig uint64
+
+	// obsID is the job's lifecycle-trace identity, assigned at Submit
+	// when tracing is on (0 otherwise) and preserved across fleet
+	// forwarding so one job stays one trace track.
+	obsID uint64
 }
 
 // request materializes the job's Request by layering its options.

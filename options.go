@@ -3,6 +3,7 @@ package vnpu
 import (
 	"time"
 
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/sim"
 )
 
@@ -178,4 +179,35 @@ func WithPlacementNegativeTTL(d time.Duration) ClusterOption {
 // rank's choice.
 func WithPlacementRegret(r float64) ClusterOption {
 	return func(c *clusterConfig) { c.regret = &r }
+}
+
+// WithTracing records every job's lifecycle transitions (submit →
+// admitted → placed[hit|miss|map-parked] → session[warm|cold|batched] →
+// executing → done/failed) into per-shard ring buffers stamped from the
+// cluster's clock, so wall-clock and virtual-time runs produce
+// identically shaped traces. Read the window with Cluster.TraceSnapshot
+// or export it as Chrome trace_event JSON (obs.WriteChrome; vnpuserve
+// -trace). Off by default: the hot paths then pay a single nil check
+// per stage. See WithTraceBufferSize for the window bound.
+func WithTracing() ClusterOption {
+	return func(c *clusterConfig) { c.tracing = true }
+}
+
+// WithTraceBufferSize bounds the per-shard trace ring to n events
+// (default obs.DefaultTraceBuffer). Once full, the oldest events are
+// overwritten; the drop count is exported as
+// vnpu_trace_dropped_events_total.
+func WithTraceBufferSize(n int) ClusterOption {
+	return func(c *clusterConfig) { c.traceBuf = n }
+}
+
+// withShardObs is the fleet's internal wiring: every shard writes trace
+// events into one shared recorder under its own shard index, and labels
+// its metric series with that index. Installed by NewFleet; not part of
+// the public option surface.
+func withShardObs(rec *obs.Recorder, shard int) ClusterOption {
+	return func(c *clusterConfig) {
+		c.recorder = rec
+		c.shard = shard
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/metrics"
+	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/session"
@@ -65,12 +66,7 @@ func WithSessionMicroQueue(n int) ClusterOption {
 
 // SessionStats returns a snapshot of the session pool's counters (zero
 // when WithSessionReuse is off).
-func (c *Cluster) SessionStats() SessionStats {
-	if c.pool == nil {
-		return SessionStats{}
-	}
-	return c.pool.Stats()
-}
+func (c *Cluster) SessionStats() SessionStats { return c.Snapshot().Sessions }
 
 // CoreUsage splits one chip's cores by serving state: Allocated counts
 // every core some vNPU holds, WarmIdle the subset held by idle resident
@@ -313,6 +309,7 @@ func (c *Cluster) submitSession(ctx context.Context, job Job, req Request, key s
 		h:   sched.NewHandle[JobReport](c.clk, tenant, class),
 		seq: c.disp.Ticket(),
 	}
+	c.trace(&job, obs.StageAdmitted, "", -1)
 	go c.sessionRun(t)
 	return &Handle{h: t.h}, nil
 }
@@ -352,6 +349,7 @@ func (c *Cluster) sessionRun(t *sessTask) {
 			break
 		}
 		if c.pool.Attach(t.key, t) {
+			c.trace(&t.job, obs.StageSession, "batched", -1)
 			// The handoff consumed no capacity; any wakeup token this
 			// goroutine ate while parked must pass to the next waiter.
 			c.pokeAll()
@@ -400,6 +398,13 @@ func (c *Cluster) sessionRun(t *sessTask) {
 			return
 		}
 	}
+	if c.rec != nil {
+		detail := "cold"
+		if warm {
+			detail = "warm"
+		}
+		c.trace(&t.job, obs.StageSession, detail, lease.Chip())
+	}
 	r := lease.Resource()
 	// Lease the vNPU only after Acquire: the session is busy (hence
 	// unevictable) from here until Next releases it, so the guard lease
@@ -447,6 +452,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 		return false
 	}
 	t.h.MarkStarted(chip)
+	c.trace(&t.job, obs.StageExecuting, "", chip)
 	sys := c.systems[chip]
 	c.execMu[chip].Lock()
 	// The busy clock starts after the lock: waiting for the chip is queue
@@ -473,6 +479,7 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	c.sessChipJobs[chip]++
 	c.sessChipBusy[chip] += busy
 	c.sessMu.Unlock()
+	c.sessExec[t.job.Priority.class()].Observe(busy)
 	if err != nil {
 		c.finishSess(t, JobReport{}, err)
 		return t.ctx.Err() == nil
@@ -501,9 +508,18 @@ func (c *Cluster) finishSess(t *sessTask, rep JobReport, err error) {
 		c.sessFailed++
 	}
 	c.sessMu.Unlock()
+	class := t.job.Priority.class()
+	c.sessE2E[class].Observe(t.h.Sojourn())
+	if c.rec != nil {
+		stage := obs.StageDone
+		if err != nil {
+			stage = obs.StageFailed
+		}
+		c.trace(&t.job, stage, "", t.h.Chip())
+	}
 	c.disp.ReleaseSlot(t.h.Tenant())
 	t.h.Finish(rep, err)
-	c.disp.ExternalDone(t.job.Priority.class(), t.h.QueueWait(), err)
+	c.disp.ExternalDone(class, t.h.QueueWait(), err)
 	c.sessWG.Done()
 }
 

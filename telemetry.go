@@ -1,0 +1,264 @@
+package vnpu
+
+import (
+	"net/http"
+	"strconv"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
+)
+
+// This file is the cluster's observability plane (see internal/obs):
+// the metrics registry every counter family reports into, the lifecycle
+// trace hooks shared by both serving paths, and the unified snapshot
+// that replaces the former per-family ad-hoc field copies.
+
+// TraceEvent is one recorded job lifecycle transition; see
+// Cluster.TraceSnapshot and obs.Event for field semantics.
+type TraceEvent = obs.Event
+
+// Registry exposes the cluster's metrics registry: every serving
+// counter family (ClusterStats, SchedStats, PlacementStats,
+// SessionStats) plus the per-stage latency histograms, scrapeable as
+// Prometheus text via obs.Registry.WritePrometheus or programmatically
+// via collectors. Fleet shards share their registries with the fleet's
+// (see Fleet.Registry).
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// TraceSnapshot copies the retained lifecycle trace events out of the
+// cluster's ring buffers, in record order. It returns nil when tracing
+// is off (see WithTracing).
+func (c *Cluster) TraceSnapshot() []TraceEvent {
+	if c.rec == nil {
+		return nil
+	}
+	return c.rec.Snapshot()
+}
+
+// Handler returns the cluster's live telemetry surface — /metrics
+// (Prometheus text exposition), /trace and /trace.json (the lifecycle
+// trace window, raw and as Chrome trace_event JSON; 404 unless
+// WithTracing is on), and /debug/pprof/. Serve it with http.Server;
+// every endpoint reads through snapshot paths and is safe under load
+// (vnpuserve -listen).
+func (c *Cluster) Handler() http.Handler { return obs.NewMux(c.reg, c.rec) }
+
+// TraceDropped reports how many trace events the ring buffers have
+// overwritten — the truncation of TraceSnapshot's window.
+func (c *Cluster) TraceDropped() uint64 {
+	if c.rec == nil {
+		return 0
+	}
+	return c.rec.Dropped()
+}
+
+// shardLabel is the cluster's shard label value (its index in a fleet,
+// "0" standalone).
+func (c *Cluster) shardLabel() obs.Label {
+	return obs.Label{Key: "shard", Value: strconv.Itoa(c.shard)}
+}
+
+// stageHist is the StageHist provider handed to the scheduler core: one
+// histogram per (stage, priority class), registered in the cluster's
+// registry under the shared vnpu_stage_latency_seconds family so both
+// serving paths and every shard report into mergeable series.
+func (c *Cluster) stageHist(stage string, class int) *obs.Histogram {
+	return c.reg.Histogram("vnpu_stage_latency_seconds",
+		"Serving latency per lifecycle stage and priority class.",
+		obs.Label{Key: "class", Value: Priority(class + 1).String()},
+		c.shardLabel(),
+		obs.Label{Key: "stage", Value: stage},
+	)
+}
+
+// trace records one lifecycle event for a job. It is the single
+// recording seam for both serving paths — the dispatcher calls it via
+// SetObserver, the session path directly — and a no-op when tracing is
+// off, so the hot paths pay one nil check. The pointer spares the hot
+// paths a Job copy per stage.
+func (c *Cluster) trace(job *Job, stage obs.Stage, detail string, chip int) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Record(c.shard, obs.Event{
+		Job:    job.obsID,
+		Stage:  stage,
+		Detail: detail,
+		Class:  job.Priority.class(),
+		Chip:   chip,
+		Tenant: job.tenant(),
+		At:     c.clk.Now(),
+	})
+}
+
+// ClusterSnapshot bundles every per-cluster counter family, captured in
+// one pass: one dispatcher read and one session-counter merge feed all
+// four families, so the former per-accessor ad-hoc copies (each taking
+// the locks again) are gone.
+type ClusterSnapshot struct {
+	Cluster   ClusterStats
+	Sched     SchedStats
+	Placement PlacementStats
+	Sessions  SessionStats
+}
+
+// Snapshot captures every counter family at once. Stats, SchedStats,
+// SessionStats and PlacementStats read through it.
+func (c *Cluster) Snapshot() ClusterSnapshot {
+	ds := c.disp.Stats()
+	// The dispatcher already returns defensive slice copies.
+	s := ClusterStats{
+		Submitted:         ds.Submitted,
+		RejectedQueueFull: ds.RejectedQueueFull,
+		RejectedQuota:     ds.RejectedQuota,
+		Completed:         ds.Completed,
+		Failed:            ds.Failed,
+		ChipJobs:          ds.ChipJobs,
+		ChipBusy:          ds.ChipBusy,
+		HitsFirst:         ds.HitsFirst,
+		MapParked:         ds.MapParked,
+	}
+	c.sessMu.Lock()
+	s.Submitted += c.sessSubmitted
+	s.Completed += c.sessCompleted
+	s.Failed += c.sessFailed
+	for i := range c.sessChipJobs {
+		s.ChipJobs[i] += c.sessChipJobs[i]
+		// Session busy time already includes dispatcher jobs' waits on the
+		// chip lock (execWait); subtract them so per-chip busy stays a
+		// true occupancy.
+		s.ChipBusy[i] += c.sessChipBusy[i] - c.execWait[i]
+		if s.ChipBusy[i] < 0 {
+			s.ChipBusy[i] = 0
+		}
+	}
+	c.sessMu.Unlock()
+	snap := ClusterSnapshot{
+		Cluster:   s,
+		Sched:     SchedStats{Classes: ds.PerClass},
+		Placement: c.engine.Stats(),
+	}
+	if c.pool != nil {
+		snap.Sessions = c.pool.Stats()
+	}
+	return snap
+}
+
+// collect is the cluster registry's scalar collector: one Snapshot
+// feeds every exported counter and gauge, labeled by shard (and chip,
+// class, reason where applicable).
+func (c *Cluster) collect(emit func(obs.Sample)) {
+	snap := c.Snapshot()
+	shard := c.shardLabel()
+	counter := func(name, help string, v float64, labels ...obs.Label) {
+		emit(obs.Sample{Name: name, Help: help, Labels: append(labels, shard), Value: v})
+	}
+
+	cs := snap.Cluster
+	counter("vnpu_jobs_submitted_total", "Jobs admitted past quota and queue checks.", float64(cs.Submitted))
+	counter("vnpu_jobs_completed_total", "Jobs finished successfully.", float64(cs.Completed))
+	counter("vnpu_jobs_failed_total", "Jobs finished with an error.", float64(cs.Failed))
+	counter("vnpu_jobs_rejected_total", "Submissions refused at admission.", float64(cs.RejectedQueueFull),
+		obs.Label{Key: "reason", Value: "queue_full"})
+	counter("vnpu_jobs_rejected_total", "Submissions refused at admission.", float64(cs.RejectedQuota),
+		obs.Label{Key: "reason", Value: "quota"})
+	counter("vnpu_jobs_hits_first_total", "Dispatcher jobs started on a cached placement within the regret bound.", float64(cs.HitsFirst))
+	counter("vnpu_jobs_map_parked_total", "Dispatcher jobs parked on an async mapping.", float64(cs.MapParked))
+	for i := range cs.ChipJobs {
+		chip := obs.Label{Key: "chip", Value: strconv.Itoa(i)}
+		counter("vnpu_chip_jobs_total", "Jobs executed per chip.", float64(cs.ChipJobs[i]), chip)
+		counter("vnpu_chip_busy_seconds_total", "Cumulative execution time per chip.", cs.ChipBusy[i].Seconds(), chip)
+	}
+
+	for i, cl := range snap.Sched.Classes {
+		class := obs.Label{Key: "class", Value: Priority(i + 1).String()}
+		counter("vnpu_class_submitted_total", "Jobs admitted per priority class (both serving paths).", float64(cl.Submitted), class)
+		counter("vnpu_class_completed_total", "Jobs completed per priority class.", float64(cl.Completed), class)
+		counter("vnpu_class_failed_total", "Jobs failed per priority class.", float64(cl.Failed), class)
+		counter("vnpu_class_deadline_misses_total", "Jobs whose deadline passed before placement, per class.", float64(cl.DeadlineMisses), class)
+		counter("vnpu_class_displaced_total", "Queued jobs displaced by higher-class arrivals, per class.", float64(cl.Displaced), class)
+		counter("vnpu_class_backfilled_total", "Jobs placed out of strict order into capacity the head could not use, per class.", float64(cl.Backfilled), class)
+		counter("vnpu_class_promotions_total", "Aging promotions out of the class.", float64(cl.Promotions), class)
+	}
+
+	ps := snap.Placement
+	counter("vnpu_placement_decisions_total", "Placement decisions taken.", float64(ps.Placements))
+	counter("vnpu_placement_cache_hits_total", "Mapping resolutions served from the placement cache.", float64(ps.CacheHits))
+	counter("vnpu_placement_cache_misses_total", "Mapping resolutions that ran the topology mapper.", float64(ps.CacheMisses))
+	counter("vnpu_placement_cache_evictions_total", "Placement cache entries evicted.", float64(ps.CacheEvictions))
+	counter("vnpu_placement_cache_entries", "Placement cache entries resident.", float64(ps.CacheSize))
+	counter("vnpu_placement_decision_seconds_total", "Cumulative time spent in placement decisions.", ps.PlaceTime.Seconds())
+	counter("vnpu_placement_map_seconds_total", "Cumulative time spent inside the topology mapper.", ps.MapTime.Seconds())
+	counter("vnpu_placement_async_maps_total", "Mapping computations scheduled on the async mapper workers.", float64(ps.AsyncMaps))
+	counter("vnpu_placement_prewarm_runs_total", "Speculative mapper computations started by prewarm.", float64(ps.PrewarmRuns))
+	counter("vnpu_placement_prewarm_hits_total", "Cache hits served from prewarmed entries.", float64(ps.PrewarmHits))
+	counter("vnpu_placement_negative_hits_total", "Mapping failures served from the negative-result memo.", float64(ps.NegHits))
+
+	ss := snap.Sessions
+	counter("vnpu_session_warm_hits_total", "Jobs served by an idle resident session.", float64(ss.WarmHits))
+	counter("vnpu_session_cold_creates_total", "Jobs that created a resident session.", float64(ss.ColdCreates))
+	counter("vnpu_session_batched_total", "Jobs co-scheduled onto a busy session's micro-queue.", float64(ss.Batched))
+	counter("vnpu_session_evictions_total", "Idle sessions destroyed, by cause.", float64(ss.EvictedTTL), obs.Label{Key: "cause", Value: "ttl"})
+	counter("vnpu_session_evictions_total", "Idle sessions destroyed, by cause.", float64(ss.EvictedLRU), obs.Label{Key: "cause", Value: "lru"})
+	counter("vnpu_session_evictions_total", "Idle sessions destroyed, by cause.", float64(ss.EvictedPressure), obs.Label{Key: "cause", Value: "pressure"})
+	counter("vnpu_session_idle", "Idle resident sessions.", float64(ss.IdleSessions))
+	counter("vnpu_session_busy", "Busy resident sessions.", float64(ss.BusySessions))
+	counter("vnpu_session_idle_cores", "Chip cores held by idle sessions (warm, reclaimable).", float64(ss.IdleCores))
+
+	if c.rec != nil {
+		counter("vnpu_trace_dropped_events_total", "Lifecycle trace events overwritten in the ring buffers.", float64(c.TraceDropped()))
+	}
+}
+
+// initStageHists fetches the session path's handles on the same stage
+// histograms the dispatcher fills (get-or-create via stageHist, so the
+// pointers are shared).
+func (c *Cluster) initStageHists() {
+	for class := 0; class < NumPriorityClasses; class++ {
+		c.sessExec[class] = c.stageHist("exec", class)
+		c.sessE2E[class] = c.stageHist("e2e", class)
+	}
+}
+
+// Registry exposes the fleet's metrics registry: the fleet's own
+// counters (steals, re-homes, membership transitions) plus every
+// shard's registry as a nested source, so one scrape covers the whole
+// fleet with shard-labeled series.
+func (f *Fleet) Registry() *obs.Registry { return f.reg }
+
+// TraceSnapshot copies the retained lifecycle trace events of every
+// shard, in record order; nil when tracing is off.
+func (f *Fleet) TraceSnapshot() []TraceEvent {
+	if f.rec == nil {
+		return nil
+	}
+	return f.rec.Snapshot()
+}
+
+// TraceDropped reports how many trace events the fleet's ring buffers
+// have overwritten; see Cluster.TraceDropped.
+func (f *Fleet) TraceDropped() uint64 {
+	if f.rec == nil {
+		return 0
+	}
+	return f.rec.Dropped()
+}
+
+// Handler returns the fleet's live telemetry surface; see
+// Cluster.Handler. The /metrics scrape covers every shard (shard-
+// labeled series) and the trace endpoints cover the fleet-wide
+// recorder.
+func (f *Fleet) Handler() http.Handler { return obs.NewMux(f.reg, f.rec) }
+
+// collect emits the fleet's own counters (shard counters come from the
+// nested shard registries).
+func (f *Fleet) collect(emit func(obs.Sample)) {
+	f.mu.Lock()
+	steals, rehomed, rerouted, drains, rejoins := f.steals, f.rehomed, f.rerouted, f.drains, f.rejoins
+	f.mu.Unlock()
+	emit(obs.Sample{Name: "vnpu_fleet_steals_total", Help: "Queued jobs moved off overloaded shards by the balancer.", Value: float64(steals)})
+	emit(obs.Sample{Name: "vnpu_fleet_rehomed_total", Help: "Queued jobs moved off a draining shard.", Value: float64(rehomed)})
+	emit(obs.Sample{Name: "vnpu_fleet_rerouted_total", Help: "Session-affine submissions diverted to a least-pressure shard.", Value: float64(rerouted)})
+	emit(obs.Sample{Name: "vnpu_fleet_drains_total", Help: "Shard drain transitions.", Value: float64(drains)})
+	emit(obs.Sample{Name: "vnpu_fleet_rejoins_total", Help: "Shard rejoin transitions.", Value: float64(rejoins)})
+	emit(obs.Sample{Name: "vnpu_fleet_active_shards", Help: "Shards currently taking traffic.", Value: float64(f.router.ActiveCount())})
+}

@@ -1,0 +1,324 @@
+package vnpu
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracedCluster boots the single-chip decode-serving cluster the tracing
+// benchmarks and tests share (the benchSessionPath workload).
+func tracedCluster(t testing.TB, opts ...ClusterOption) *Cluster {
+	opts = append([]ClusterOption{
+		WithQueueDepth(256), WithSessionReuse(), WithSessionIdleTTL(time.Hour),
+	}, opts...)
+	cluster, err := NewCluster(FPGAConfig(), 1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	return cluster
+}
+
+func decodeJob() Job {
+	return Job{
+		Tenant:   "decode",
+		Model:    DecodeModel(1, 64, 16),
+		Topology: Mesh(2, 4),
+		Reusable: true,
+	}
+}
+
+// TestClusterTraceLifecycle: a traced job's events tell its full story —
+// submit through done, in order, on one job id — on both serving paths.
+func TestClusterTraceLifecycle(t *testing.T) {
+	cluster := tracedCluster(t, WithTracing())
+	ctx := context.Background()
+	job := decodeJob()
+	for i := 0; i < 3; i++ {
+		h, err := cluster.Submit(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One-shot dispatcher-path job.
+	oneshot := job
+	oneshot.Reusable = false
+	h, err := cluster.Submit(ctx, oneshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	events := cluster.TraceSnapshot()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	byJob := map[uint64][]TraceEvent{}
+	for _, e := range events {
+		byJob[e.Job] = append(byJob[e.Job], e)
+	}
+	if len(byJob) != 4 {
+		t.Fatalf("trace covers %d jobs, want 4", len(byJob))
+	}
+	var warm int
+	for id, evs := range byJob {
+		if evs[0].Stage.String() != "submit" {
+			t.Fatalf("job %d starts with %q, want submit", id, evs[0].Stage)
+		}
+		last := evs[len(evs)-1]
+		if last.Stage.String() != "done" {
+			t.Fatalf("job %d ends with %q, want done", id, last.Stage)
+		}
+		if last.Chip < 0 {
+			t.Fatalf("job %d completed off-chip (chip %d)", id, last.Chip)
+		}
+		var executing bool
+		for _, e := range evs {
+			if e.Tenant != "decode" {
+				t.Fatalf("job %d event tenant %q", id, e.Tenant)
+			}
+			switch e.Stage.String() {
+			case "executing":
+				executing = true
+			case "session":
+				if e.Detail == "warm" {
+					warm++
+				}
+			}
+		}
+		if !executing {
+			t.Fatalf("job %d never recorded executing", id)
+		}
+	}
+	if warm == 0 {
+		t.Fatal("repeat decode jobs recorded no warm session events")
+	}
+	if cluster.TraceDropped() != 0 {
+		t.Fatalf("dropped %d events under a tiny load", cluster.TraceDropped())
+	}
+}
+
+// TestTracingOffByDefault: without WithTracing the snapshot is nil and
+// nothing records, while the metrics registry still works.
+func TestTracingOffByDefault(t *testing.T) {
+	cluster := tracedCluster(t)
+	ctx := context.Background()
+	h, err := cluster.Submit(ctx, decodeJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ev := cluster.TraceSnapshot(); ev != nil {
+		t.Fatalf("untraced cluster recorded %d events", len(ev))
+	}
+	var buf bytes.Buffer
+	if err := cluster.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vnpu_jobs_completed_total") {
+		t.Fatal("registry scrape missing completion counter")
+	}
+}
+
+// TestMetricNamesStable pins the exported metric families: renaming or
+// dropping a series breaks dashboards, so it must show up in review as a
+// change to this list.
+func TestMetricNamesStable(t *testing.T) {
+	cluster := tracedCluster(t, WithTracing())
+	var buf bytes.Buffer
+	if err := cluster.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			got[strings.Fields(line)[2]] = true
+		}
+	}
+	want := []string{
+		"vnpu_chip_busy_seconds_total", "vnpu_chip_jobs_total",
+		"vnpu_class_backfilled_total", "vnpu_class_completed_total",
+		"vnpu_class_deadline_misses_total", "vnpu_class_displaced_total",
+		"vnpu_class_failed_total", "vnpu_class_promotions_total",
+		"vnpu_class_submitted_total",
+		"vnpu_jobs_completed_total", "vnpu_jobs_failed_total",
+		"vnpu_jobs_hits_first_total", "vnpu_jobs_map_parked_total",
+		"vnpu_jobs_rejected_total", "vnpu_jobs_submitted_total",
+		"vnpu_placement_async_maps_total", "vnpu_placement_cache_entries",
+		"vnpu_placement_cache_evictions_total", "vnpu_placement_cache_hits_total",
+		"vnpu_placement_cache_misses_total", "vnpu_placement_decision_seconds_total",
+		"vnpu_placement_decisions_total", "vnpu_placement_map_seconds_total",
+		"vnpu_placement_negative_hits_total", "vnpu_placement_prewarm_hits_total",
+		"vnpu_placement_prewarm_runs_total",
+		"vnpu_session_batched_total", "vnpu_session_busy",
+		"vnpu_session_cold_creates_total", "vnpu_session_evictions_total",
+		"vnpu_session_idle", "vnpu_session_idle_cores",
+		"vnpu_session_warm_hits_total",
+		"vnpu_stage_latency_seconds",
+		"vnpu_trace_dropped_events_total",
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("metric family %s missing from the scrape", name)
+		}
+		delete(got, name)
+	}
+	if len(got) > 0 {
+		extra := make([]string, 0, len(got))
+		for name := range got {
+			extra = append(extra, name)
+		}
+		sort.Strings(extra)
+		t.Errorf("unexpected metric families (add to the pinned list): %v", extra)
+	}
+}
+
+// TestTelemetryHandler drives the HTTP surface end to end: /metrics
+// scrapes, /trace returns the lifecycle window, pprof answers.
+func TestTelemetryHandler(t *testing.T) {
+	cluster := tracedCluster(t, WithTracing())
+	ctx := context.Background()
+	h, err := cluster.Submit(ctx, decodeJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := cluster.Handler()
+	for _, path := range []string{"/metrics", "/trace", "/trace.json", "/debug/pprof/"} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 {
+			t.Fatalf("%s: status %d", path, rr.Code)
+		}
+		if rr.Body.Len() == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), `vnpu_stage_latency_seconds_bucket`) {
+		t.Fatal("/metrics missing stage latency histogram")
+	}
+}
+
+// benchSubmit drives the warm decode-serving loop of benchSessionPath
+// with tracing on or off; the pair quantifies the tracing tax on the
+// hottest serving path (every job records ~6 ring events when on).
+func benchSubmit(b *testing.B, traced bool) {
+	var opts []ClusterOption
+	if traced {
+		opts = append(opts, WithTracing())
+	}
+	cluster := tracedCluster(b, opts...)
+	job := decodeJob()
+	ctx := context.Background()
+	// First job is cold; keep the create path out of the measurement.
+	h, err := cluster.Submit(ctx, job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := cluster.Submit(ctx, job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitTraced vs BenchmarkSubmitUntraced: the full per-job
+// tracing cost on the warm session path. CI guards the delta under 5%.
+func BenchmarkSubmitTraced(b *testing.B)   { benchSubmit(b, true) }
+func BenchmarkSubmitUntraced(b *testing.B) { benchSubmit(b, false) }
+
+// TestTracingOverhead is the CI benchmark guard: with
+// OBS_OVERHEAD_GUARD=1 it alternates fixed-size batches of warm decode
+// jobs between persistent steady-state clusters and fails if tracing
+// costs more than 5% per job. Alternating batches makes the variants
+// sample the same machine conditions, and the per-variant minimum is
+// the batch least disturbed by them, while the tracing tax (a fixed
+// per-job cost) is present in every batch.
+//
+// The third cluster is an A/A control: a second untraced cluster whose
+// delta against the reference measures the run's noise floor — mostly
+// where the runtime happened to place each cluster's goroutines, which
+// is fixed at creation and can skew one cluster for a whole run. When
+// the control differs from the reference by more than 3%, the
+// environment cannot resolve a 5% effect and the guard skips rather
+// than emit a verdict that is actually noise.
+func TestTracingOverhead(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GUARD") != "1" {
+		t.Skip("set OBS_OVERHEAD_GUARD=1 to run the tracing overhead guard")
+	}
+	const (
+		rounds = 12
+		batch  = 2000
+	)
+	ctx := context.Background()
+	job := decodeJob()
+	runBatch := func(c *Cluster) time.Duration {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			h, err := c.Submit(ctx, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	untraced := tracedCluster(t)
+	control := tracedCluster(t)
+	traced := tracedCluster(t, WithTracing())
+	clusters := []*Cluster{untraced, control, traced}
+	mins := make([]time.Duration, len(clusters))
+	for i, c := range clusters {
+		runBatch(c) // steady state: resident warm session, hot caches
+		mins[i] = time.Duration(math.MaxInt64)
+	}
+	for r := 0; r < rounds; r++ {
+		for i, c := range clusters {
+			if d := runBatch(c); d < mins[i] {
+				mins[i] = d
+			}
+		}
+	}
+	minUn, minCtl, minTr := mins[0], mins[1], mins[2]
+	noise := math.Abs(float64(minCtl)-float64(minUn)) / float64(minUn) * 100
+	overhead := (float64(minTr) - float64(minUn)) / float64(minUn) * 100
+	t.Logf("best of %d x %d jobs: untraced %v, control %v (%.2f%% noise floor), traced %v: %+.2f%% overhead",
+		rounds, batch, minUn, minCtl, noise, minTr, overhead)
+	if noise > 3 {
+		t.Skipf("A/A noise floor %.2f%% cannot resolve a 5%% effect; skipping verdict", noise)
+	}
+	if overhead > 5 {
+		t.Fatalf("tracing overhead %.2f%% exceeds the 5%% budget (untraced %v, traced %v per %d jobs)",
+			overhead, minUn, minTr, batch)
+	}
+}
