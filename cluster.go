@@ -11,6 +11,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/metrics"
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/session"
@@ -123,8 +124,12 @@ type Cluster struct {
 	// nil unless WithTracing enabled it (or a fleet shared its recorder).
 	// shard labels this cluster's metric series and trace events inside
 	// a fleet (0 standalone). See telemetry.go.
+	// slo is the error-budget tracker, nil unless WithSLO declared
+	// objectives (or a fleet shared its tracker); it taps the same
+	// lifecycle seam as rec but is independent of tracing.
 	reg   *obs.Registry
 	rec   *obs.Recorder
+	slo   *slo.Tracker
 	shard int
 	// sessExec/sessE2E are the session path's handles on the per-class
 	// stage histograms shared with the dispatcher (see initStageHists).
@@ -175,6 +180,11 @@ type clusterConfig struct {
 	negTTL          *time.Duration
 	tracing         bool
 	traceBuf        int
+	// slos are the declared error-budget objectives (WithSLO); sloShared
+	// is the fleet's shared tracker (withSharedSLO), which wins over slos
+	// so every shard scores into one fleet-wide budget.
+	slos      []SLO
+	sloShared *slo.Tracker
 	// recorder/shard are set by the fleet (withShardObs) so every shard
 	// writes into one shared recorder under its own shard label.
 	recorder *obs.Recorder
@@ -266,6 +276,16 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	case cc.tracing:
 		c.rec = obs.NewRecorder(1, cc.traceBuf)
 	}
+	switch {
+	case cc.sloShared != nil:
+		c.slo = cc.sloShared
+	case len(cc.slos) > 0:
+		objs := make([]slo.Objective, len(cc.slos))
+		for i, s := range cc.slos {
+			objs[i] = s.objective()
+		}
+		c.slo = slo.NewTracker(cc.clock.Now, priorityClassNames(), objs...)
+	}
 	engineChips := make([]place.Chip, len(specs))
 	for i, spec := range specs {
 		sys, err := NewSystem(spec.Config)
@@ -342,7 +362,7 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		return nil, err
 	}
 	disp.SetPrewarm(c.prewarmPlacement)
-	if c.rec != nil {
+	if c.rec != nil || c.slo != nil {
 		disp.SetObserver(func(job Job, stage obs.Stage, detail string, chip int) {
 			c.trace(&job, stage, detail, chip)
 		})
@@ -350,6 +370,12 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	c.disp = disp
 	c.initStageHists()
 	c.reg.AddCollector(c.collect)
+	// A fleet-shared tracker is collected once at the fleet level;
+	// registering it per shard would duplicate every vnpu_slo_* series in
+	// the merged scrape.
+	if c.slo != nil && cc.sloShared == nil {
+		c.reg.AddCollector(c.slo.Collect)
+	}
 	if cc.sessionReuse {
 		pool, err := session.New[*sessRes, *sessTask](session.Config[*sessRes]{
 			Destroy:         c.destroySession,
@@ -626,11 +652,15 @@ func (c *Cluster) Submit(ctx context.Context, job Job) (*Handle, error) {
 			job.Topology.NumNodes(), req.MemoryBytes, ErrMemoryExceeded)
 	}
 	// Validation passed: hand the job its trace identity and record the
-	// submit edge (the fleet-shared recorder keeps ids unique across
-	// shards, so a forwarded job keeps one track).
-	if c.rec != nil {
+	// submit edge (the fleet-shared recorder or SLO tracker keeps ids
+	// unique across shards, so a forwarded job keeps one track).
+	if c.rec != nil || c.slo != nil {
 		if job.obsID == 0 {
-			job.obsID = c.rec.NextJob()
+			if c.rec != nil {
+				job.obsID = c.rec.NextJob()
+			} else {
+				job.obsID = c.slo.NextJob()
+			}
 		}
 		c.trace(&job, obs.StageSubmit, "", -1)
 	}

@@ -1,0 +1,130 @@
+// slogate is the CI regression gate over the deterministic SLO +
+// critical-path reports vnpuserve -virtual -sloreport emits: it diffs the
+// current run's attribution profile and error-budget states against a
+// committed baseline and fails on structural regressions — a lifecycle
+// segment's share of total sojourn time doubling (map-park exploding, say),
+// or any (tenant, class) series landing in a worse burn-rate state than
+// the baseline recorded.
+//
+// The comparison is structural, not exact: byte-identity per seed is the
+// determinism test's job, while slogate answers "did where-the-time-goes
+// change shape" so intentional replays with new seeds or job counts still
+// gate meaningfully.
+//
+// Example:
+//
+//	vnpuserve -shards 4 -virtual -sloreport BENCH_slo.json
+//	slogate -baseline ci/slo_baseline.json -current BENCH_slo.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "ci/slo_baseline.json", "committed baseline run report (vnpuserve -sloreport)")
+		currentPath  = flag.String("current", "", "current run report to gate")
+		growth       = flag.Float64("growth", 2.0, "fail when a segment's share exceeds this multiple of the baseline share")
+		slack        = flag.Float64("slack", 0.10, "absolute share growth always tolerated (new small segments, noise)")
+		minShare     = flag.Float64("minshare", 0.01, "ignore segments below this share of total attributed time")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "slogate: -current is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slogate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slogate: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+
+	// An empty current report means the taps broke, not that serving got
+	// infinitely fast.
+	if cur.Jobs == 0 || cur.Attribution.TotalUS == 0 {
+		failures = append(failures, fmt.Sprintf(
+			"current report attributes nothing (%d jobs, %dus total) — the observability taps regressed",
+			cur.Jobs, cur.Attribution.TotalUS))
+	}
+
+	// Attribution shape: no segment may grow its share of the total
+	// sojourn beyond growth x baseline (plus slack for segments too small
+	// to have a stable baseline share).
+	baseShare := map[string]float64{}
+	for _, seg := range base.Attribution.Segments {
+		baseShare[seg.Segment] = seg.Share
+	}
+	for _, seg := range cur.Attribution.Segments {
+		if seg.Share < *minShare {
+			continue
+		}
+		s0 := baseShare[seg.Segment]
+		limit := s0 * *growth
+		if alt := s0 + *slack; alt > limit {
+			limit = alt
+		}
+		if seg.Share > limit {
+			failures = append(failures, fmt.Sprintf(
+				"segment %q share %.1f%% exceeds limit %.1f%% (baseline %.1f%%)",
+				seg.Segment, seg.Share*100, limit*100, s0*100))
+		}
+	}
+
+	// SLO states: no (tenant, class) series may be in a worse burn-rate
+	// state than the baseline recorded for it. Series absent from the
+	// baseline gate against ok — a new tenant must start healthy.
+	baseState := map[string]string{}
+	for _, st := range base.SLO.Objectives {
+		k := st.Tenant + "\x00" + st.Class
+		if slo.StateRank(st.State) > slo.StateRank(baseState[k]) {
+			baseState[k] = st.State
+		}
+	}
+	for _, st := range cur.SLO.Objectives {
+		allowed, ok := baseState[st.Tenant+"\x00"+st.Class]
+		if !ok {
+			allowed = slo.StateOK
+		}
+		if slo.StateRank(st.State) > slo.StateRank(allowed) {
+			failures = append(failures, fmt.Sprintf(
+				"slo %s/%s state %q worse than baseline %q (budget %.1f%%, burn %.2fx fast / %.2fx slow)",
+				st.Tenant, st.Class, st.State, allowed,
+				st.BudgetRemaining*100, st.BurnFast, st.BurnSlow))
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("slogate: %d regression(s) against %s:\n", len(failures), *baselinePath)
+		for _, f := range failures {
+			fmt.Printf("  FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("slogate: ok — %d jobs, %d segments, %d slo series within baseline shape (%s)\n",
+		cur.Jobs, len(cur.Attribution.Segments), len(cur.SLO.Objectives), *baselinePath)
+}
+
+func readReport(path string) (slo.RunReport, error) {
+	var rep slo.RunReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -36,15 +36,18 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/vnpu-sim/vnpu"
 	"github.com/vnpu-sim/vnpu/internal/benchjson"
 	"github.com/vnpu-sim/vnpu/internal/fleet"
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 )
 
 func main() {
@@ -74,6 +77,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "number of independent cluster shards behind the session-affine router (1 = single cluster)")
 	flag.BoolVar(&cfg.virtual, "virtual", false, "replay the trace on the deterministic virtual clock instead of wall time (fleet model; pairs with -shards)")
 	flag.IntVar(&cfg.drainShard, "drain", 1, "shard to drain and rejoin mid-trace when -shards > 1 (-1 disables)")
+	flag.DurationVar(&cfg.sloTarget, "slotarget", 2*time.Millisecond, "per-job sojourn target of the declared wildcard SLO (p99, 99.9% availability; 0 disables SLO tracking)")
+	flag.StringVar(&cfg.sloReport, "sloreport", "", "write the SLO + critical-path attribution report as JSON to this file (deterministic per seed with -virtual)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -83,6 +88,12 @@ func main() {
 			cfg.rateSet = true
 		}
 	})
+	// SIGINT/SIGTERM stop the submit loop, not the process: in-flight jobs
+	// drain, then the trace export, SLO report and -json summary flush as
+	// on a normal exit, so an interrupted -listen run never loses its
+	// telemetry.
+	cfg.stop = make(chan os.Signal, 1)
+	signal.Notify(cfg.stop, os.Interrupt, syscall.SIGTERM)
 	var err error
 	switch {
 	case cfg.virtual:
@@ -127,6 +138,21 @@ type runConfig struct {
 	drainShard int
 	jobsSet    bool
 	rateSet    bool
+
+	sloTarget time.Duration
+	sloReport string
+	stop      chan os.Signal
+}
+
+// interrupted polls the signal channel; true stops the submit loop.
+func (rc *runConfig) interrupted(at int) bool {
+	select {
+	case sig := <-rc.stop:
+		fmt.Printf("-- %v at job %d: stopping submissions, draining in-flight work and flushing reports\n", sig, at)
+		return true
+	default:
+		return false
+	}
 }
 
 // chipConfig resolves the -chip flag to a chip profile.
@@ -197,6 +223,11 @@ type summary struct {
 	RegretSamples uint64  `json:"regret_samples"`
 	RegretAvg     float64 `json:"regret_avg_ted"`
 	RegretP99     float64 `json:"regret_p99_ted"`
+
+	// SLO standing and critical-path attribution of the run (nil when
+	// -slotarget 0 / tracing off respectively).
+	SLO         *slo.Report      `json:"slo,omitempty"`
+	Attribution *slo.Attribution `json:"attribution,omitempty"`
 }
 
 // workloadMix pairs zoo models with topologies that fit the chip.
@@ -284,6 +315,9 @@ func run(rc runConfig) error {
 	if rc.tracePath != "" {
 		opts = append(opts, vnpu.WithTracing())
 	}
+	if rc.sloTarget > 0 {
+		opts = append(opts, vnpu.WithSLO(vnpu.SLO{Target: rc.sloTarget, Window: time.Second}))
+	}
 	if rc.cpuprofile != "" {
 		f, err := os.Create(rc.cpuprofile)
 		if err != nil {
@@ -356,6 +390,9 @@ func run(rc runConfig) error {
 	seenShapes := make(map[string]bool)
 	var rejectedQueue, rejectedQuota, missedAtSubmit int
 	for i := 0; i < rc.jobs; i++ {
+		if rc.interrupted(i) {
+			break
+		}
 		if rc.rate > 0 && i > 0 {
 			time.Sleep(time.Duration(rng.ExpFloat64() / rc.rate * float64(time.Second)))
 		}
@@ -518,6 +555,14 @@ func run(rc runConfig) error {
 		}
 		fmt.Println()
 	}
+	sloRep, sloOK := cluster.SLOReport()
+	if sloOK {
+		printSLO(sloRep)
+	}
+	attr, attrOK := cluster.Attribution()
+	if attrOK {
+		printAttribution(attr)
+	}
 	if rc.jsonPath != "" {
 		var displaced, promoted, backfilled uint64
 		for _, cs := range ss.Classes {
@@ -557,6 +602,12 @@ func run(rc runConfig) error {
 			RegretAvg:      ps.AvgRegret(),
 			RegretP99:      ps.RegretP99,
 		}
+		if sloOK {
+			sum.SLO = &sloRep
+		}
+		if attrOK {
+			sum.Attribution = &attr
+		}
 		if wall > 0 {
 			sum.JobsPerSec = float64(len(waits)) / wall.Seconds()
 		}
@@ -574,6 +625,12 @@ func run(rc runConfig) error {
 	}
 	if rc.tracePath != "" {
 		if err := writeChromeTrace(rc.tracePath, cluster.TraceSnapshot(), cluster.TraceDropped()); err != nil {
+			return err
+		}
+	}
+	if rc.sloReport != "" {
+		run := slo.RunReport{Seed: rc.seed, Jobs: len(waits), SLO: sloRep, Attribution: attr}
+		if err := writeRunReport(rc.sloReport, run); err != nil {
 			return err
 		}
 	}
@@ -622,6 +679,13 @@ type fleetSummary struct {
 	P99Micros        int64          `json:"p99_us"`
 	OrderHash        string         `json:"order_hash,omitempty"`
 	PerShard         []shardSummary `json:"per_shard"`
+
+	// SLO standing and critical-path attribution; with -virtual both are
+	// deterministic per seed, and ReportFingerprint digests the combined
+	// RunReport (the same bytes -sloreport writes).
+	SLO               *slo.Report      `json:"slo,omitempty"`
+	Attribution       *slo.Attribution `json:"attribution,omitempty"`
+	ReportFingerprint string           `json:"report_fingerprint,omitempty"`
 }
 
 // runVirtual replays the fleet trace on the deterministic virtual
@@ -675,6 +739,23 @@ func runVirtual(rc runConfig) error {
 		rec = obs.NewRecorder(tc.Shards, 0)
 		tc.Recorder = rec
 	}
+	// The SLO tracker and critical-path analyzer tap the replay inline:
+	// the recorder's rings would truncate a million-job day, while the
+	// online folds see every event. Both are deterministic given the
+	// seed, so the combined report is byte-identical across runs. (They
+	// stay off the live mux: a wall-clock scrape would rotate the virtual
+	// windows and corrupt the deterministic report.)
+	epoch := time.Unix(0, 0)
+	var tracker *slo.Tracker
+	critic := slo.NewAnalyzer()
+	tc.Sinks = []fleet.EventSink{critic}
+	if rc.sloTarget > 0 {
+		tracker = slo.NewTracker(func() time.Time { return epoch },
+			[]string{"best-effort", "normal", "high", "critical"},
+			slo.Objective{Class: -1, Target: rc.sloTarget, Percentile: 0.99,
+				Availability: 0.999, Window: 250 * time.Millisecond})
+		tc.Sinks = append(tc.Sinks, tracker)
+	}
 	reg := obs.NewRegistry()
 	reg.AddCollector(gauges.Collect)
 	defer serveTelemetry(rc.listen, obs.NewMux(reg, rec))()
@@ -700,6 +781,7 @@ func runVirtual(rc runConfig) error {
 	base.ChipsPerShard = tc.ChipsPerShard * tc.Shards
 	base.DrainShard = -1
 	base.Recorder = nil
+	base.Sinks = nil
 	base.Observe = nil
 	bres, err := fleet.Replay(base)
 	if err != nil {
@@ -724,6 +806,21 @@ func runVirtual(rc runConfig) error {
 		fmt.Printf("  shard %d: %7d jobs   %7d completed   %5d rejected   warm %7d   stolen %d out / %d in   util %5.1f%%\n",
 			i, sh.Jobs, sh.Completed, sh.Rejected, sh.WarmHits, sh.StolenFrom, sh.StolenInto, sh.Utilization*100)
 	}
+
+	// Report time is the replay's virtual end — deterministic, so the
+	// window rotation (and therefore the report bytes) is too.
+	end := epoch.Add(res.VirtualSpan)
+	runRep := slo.RunReport{Seed: tc.Seed, Jobs: res.Jobs, Attribution: critic.Report()}
+	if tracker != nil {
+		runRep.SLO = tracker.Report(end)
+		printSLO(runRep.SLO)
+	}
+	printAttribution(runRep.Attribution)
+	fp, err := slo.Fingerprint(runRep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slo report:    fingerprint %016x (deterministic per seed)\n", fp)
 
 	if rc.jsonPath != "" {
 		sum := fleetSummary{
@@ -759,7 +856,17 @@ func runVirtual(rc runConfig) error {
 				Utilization: sh.Utilization,
 			})
 		}
+		if tracker != nil {
+			sum.SLO = &runRep.SLO
+		}
+		sum.Attribution = &runRep.Attribution
+		sum.ReportFingerprint = fmt.Sprintf("%016x", fp)
 		if err := benchjson.Write(rc.jsonPath, sum); err != nil {
+			return err
+		}
+	}
+	if rc.sloReport != "" {
+		if err := writeRunReport(rc.sloReport, runRep); err != nil {
 			return err
 		}
 	}
@@ -798,6 +905,9 @@ func runFleet(rc runConfig) error {
 	if rc.tracePath != "" {
 		opts = append(opts, vnpu.WithTracing())
 	}
+	if rc.sloTarget > 0 {
+		opts = append(opts, vnpu.WithSLO(vnpu.SLO{Target: rc.sloTarget, Window: time.Second}))
+	}
 
 	f, err := vnpu.NewFleet(cfg, rc.shards, rc.chips, opts...)
 	if err != nil {
@@ -832,6 +942,9 @@ func runFleet(rc runConfig) error {
 	perShardSubmits := make([]int, rc.shards)
 	var refused int
 	for i := 0; i < rc.jobs; i++ {
+		if rc.interrupted(i) {
+			break
+		}
 		if rc.rate > 0 && i > 0 {
 			time.Sleep(time.Duration(rng.ExpFloat64() / rc.rate * float64(time.Second)))
 		}
@@ -923,6 +1036,14 @@ func runFleet(rc runConfig) error {
 		fmt.Printf("sessions:      %.1f%% warm fleet-wide (%d warm / %d batched / %d cold)\n",
 			warmRate*100, warm, batched, cold)
 	}
+	sloRep, sloOK := f.SLOReport()
+	if sloOK {
+		printSLO(sloRep)
+	}
+	attr, attrOK := f.Attribution()
+	if attrOK {
+		printAttribution(attr)
+	}
 
 	if rc.jsonPath != "" {
 		sum := fleetSummary{
@@ -949,12 +1070,24 @@ func runFleet(rc runConfig) error {
 				Completed: int(fs.Shards[i].Completed),
 			})
 		}
+		if sloOK {
+			sum.SLO = &sloRep
+		}
+		if attrOK {
+			sum.Attribution = &attr
+		}
 		if err := benchjson.Write(rc.jsonPath, sum); err != nil {
 			return err
 		}
 	}
 	if rc.tracePath != "" {
 		if err := writeChromeTrace(rc.tracePath, f.TraceSnapshot(), f.TraceDropped()); err != nil {
+			return err
+		}
+	}
+	if rc.sloReport != "" {
+		run := slo.RunReport{Seed: rc.seed, Jobs: len(waits), SLO: sloRep, Attribution: attr}
+		if err := writeRunReport(rc.sloReport, run); err != nil {
 			return err
 		}
 	}
@@ -977,14 +1110,69 @@ func serveTelemetry(addr string, h http.Handler) func() {
 	return func() { _ = srv.Close() }
 }
 
+// printSLO renders the error-budget standing, one line per series.
+func printSLO(rep slo.Report) {
+	if len(rep.Objectives) == 0 {
+		return
+	}
+	fmt.Println("slo:")
+	for _, st := range rep.Objectives {
+		tenant := st.Tenant
+		if tenant == "" {
+			tenant = "*"
+		}
+		fmt.Printf("  %-4s %-12s %-11s  %7d good / %5d bad   budget %6.1f%%   burn %5.2fx fast / %5.2fx slow   p%g %s (target %s)\n",
+			st.State, tenant, st.Class, st.Good, st.Bad, st.BudgetRemaining*100,
+			st.BurnFast, st.BurnSlow, st.Percentile*100,
+			time.Duration(st.ObservedUS)*time.Microsecond,
+			time.Duration(st.TargetUS)*time.Microsecond)
+	}
+}
+
+// printAttribution renders the critical-path breakdown, one line per
+// segment.
+func printAttribution(attr slo.Attribution) {
+	if len(attr.Segments) == 0 {
+		return
+	}
+	fmt.Printf("critical path: %s attributed over %d jobs (%d open, %d forward hops)\n",
+		(time.Duration(attr.TotalUS) * time.Microsecond).Round(time.Millisecond),
+		attr.Jobs, attr.Open, attr.Hops)
+	for _, seg := range attr.Segments {
+		fmt.Printf("  %-12s %5.1f%%   %12s over %d intervals\n",
+			seg.Segment, seg.Share*100,
+			(time.Duration(seg.TotalUS) * time.Microsecond).Round(time.Microsecond),
+			seg.Count)
+	}
+}
+
+// writeRunReport writes the combined SLO + attribution report (the
+// artifact the CI regression gate diffs; byte-deterministic per seed
+// with -virtual).
+func writeRunReport(path string, rep slo.RunReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("slo report:    -> %s\n", path)
+	return nil
+}
+
 // writeChromeTrace exports recorded lifecycle events to path as Chrome
-// trace_event JSON.
+// trace_event JSON, with the ring's drop count in the export metadata.
 func writeChromeTrace(path string, events []vnpu.TraceEvent, dropped uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := obs.WriteChrome(f, events); err != nil {
+	if err := obs.WriteChromeTrace(f, events, dropped); err != nil {
 		f.Close()
 		return err
 	}
@@ -992,6 +1180,9 @@ func writeChromeTrace(path string, events []vnpu.TraceEvent, dropped uint64) err
 		return err
 	}
 	fmt.Printf("trace:         %d lifecycle events -> %s (%d overwritten in the ring)\n", len(events), path, dropped)
+	if dropped > 0 {
+		fmt.Printf("trace:         WARNING: export is incomplete — %d events were overwritten before the flush; raise the ring with WithTraceBufferSize\n", dropped)
+	}
 	return nil
 }
 

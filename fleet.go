@@ -9,6 +9,7 @@ import (
 
 	"github.com/vnpu-sim/vnpu/internal/fleet"
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 	"github.com/vnpu-sim/vnpu/internal/place"
 	"github.com/vnpu-sim/vnpu/internal/sched"
 	"github.com/vnpu-sim/vnpu/internal/sim"
@@ -34,9 +35,12 @@ type Fleet struct {
 	clk    sim.Clock
 	// reg aggregates the fleet's own counters plus every shard's
 	// registry; rec is the shared trace recorder (nil unless
-	// WithTracing), one ring per shard. See telemetry.go.
+	// WithTracing), one ring per shard; slo is the shared error-budget
+	// tracker (nil unless WithSLO), scored by every shard so budgets
+	// follow jobs across forwards. See telemetry.go.
 	reg *obs.Registry
 	rec *obs.Recorder
+	slo *slo.Tracker
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -95,8 +99,22 @@ func NewFleet(cfg Config, shards, chipsPerShard int, opts ...ClusterOption) (*Fl
 	if scratch.tracing {
 		f.rec = obs.NewRecorder(shards, scratch.traceBuf)
 	}
+	// Likewise one SLO tracker: a fleet-wide budget must score a job once
+	// wherever it completes, and the fleet registers its collector exactly
+	// once (the shards skip theirs when handed a shared tracker).
+	if len(scratch.slos) > 0 {
+		objs := make([]slo.Objective, len(scratch.slos))
+		for i, s := range scratch.slos {
+			objs[i] = s.objective()
+		}
+		f.slo = slo.NewTracker(clk.Now, priorityClassNames(), objs...)
+		f.reg.AddCollector(f.slo.Collect)
+	}
 	for i := 0; i < shards; i++ {
 		shardOpts := append(opts[:len(opts):len(opts)], withShardObs(f.rec, i))
+		if f.slo != nil {
+			shardOpts = append(shardOpts, withSharedSLO(f.slo))
+		}
 		c, err := NewCluster(cfg, chipsPerShard, shardOpts...)
 		if err != nil {
 			for _, built := range f.shards {

@@ -64,10 +64,22 @@ type TraceConfig struct {
 	// for a fixed seed the recorded event stream — and any export of it —
 	// is bit-identical across runs. Size it with at least Shards rings.
 	Recorder *obs.Recorder
+	// Sinks receive every lifecycle event inline, in record order — the
+	// hook for online aggregators (SLO trackers, critical-path analyzers)
+	// that must see a whole million-job day rather than the recorder's
+	// ring window. Sinks run on the replay goroutine and must not touch
+	// the replay's rng or clock; a deterministic sink fed a fixed seed
+	// produces a bit-identical report.
+	Sinks []EventSink
 	// Observe, when non-nil, is updated atomically as the replay
 	// progresses so a live scrape on another goroutine can watch a
 	// virtual-time run. It never influences the replay.
 	Observe *ReplayGauges
+}
+
+// EventSink consumes lifecycle events inline during a replay.
+type EventSink interface {
+	Observe(obs.Event)
 }
 
 // ReplayGauges mirrors a running replay's headline counters behind
@@ -191,29 +203,39 @@ type replay struct {
 	hash      uint64 // FNV-1a running digest
 	start     time.Time
 	last      time.Time
-	// rec/gauges/tenantNames are the observability taps (nil/empty when
-	// off); they read replay state but never influence it — no rng draws,
-	// no timers — so tracing cannot perturb the deterministic ordering.
+	// rec/sinks/gauges/tenantNames are the observability taps (nil/empty
+	// when off); they read replay state but never influence it — no rng
+	// draws, no timers — so tracing cannot perturb the deterministic
+	// ordering.
 	rec         *obs.Recorder
+	sinks       []EventSink
 	gauges      *ReplayGauges
 	tenantNames []string
 }
 
 // ev records one lifecycle event for a job on shard s, stamped from the
-// virtual clock. No-op without a recorder.
+// virtual clock, into the recorder and every sink. No-op when both taps
+// are off.
 func (r *replay) ev(j *vJob, s int, stage obs.Stage, detail string) {
-	if r.rec == nil {
+	if r.rec == nil && len(r.sinks) == 0 {
 		return
 	}
-	r.rec.Record(s, obs.Event{
+	e := obs.Event{
 		Job:    uint64(j.id),
 		Stage:  stage,
 		Detail: detail,
 		Class:  j.class,
+		Shard:  s,
 		Chip:   -1,
 		Tenant: r.tenantNames[j.tenant],
 		At:     r.clk.Now(),
-	})
+	}
+	if r.rec != nil {
+		r.rec.Record(s, e)
+	}
+	for _, sink := range r.sinks {
+		sink.Observe(e)
+	}
 }
 
 const (
@@ -266,9 +288,10 @@ func Replay(cfg TraceConfig) (Result, error) {
 		sojourns: make([]time.Duration, 0, cfg.Jobs),
 		hash:     14695981039346656037, // FNV-1a offset basis
 		rec:      cfg.Recorder,
+		sinks:    cfg.Sinks,
 		gauges:   cfg.Observe,
 	}
-	if r.rec != nil {
+	if r.rec != nil || len(r.sinks) > 0 {
 		r.tenantNames = make([]string, cfg.Tenants)
 		for t := range r.tenantNames {
 			r.tenantNames[t] = fmt.Sprintf("t%d", t)
@@ -641,6 +664,7 @@ func (r *replay) stealInto(s int) {
 		if r.gauges != nil {
 			r.gauges.Steals.Add(1)
 		}
+		r.ev(j, victim, obs.StageForwarded, "steal")
 		r.startCold(j, s)
 		return // one per pass keeps the model simple and bounded
 	}
@@ -662,6 +686,7 @@ func (r *replay) drainShard(s int) {
 		if r.gauges != nil {
 			r.gauges.ReHomed.Add(1)
 		}
+		r.ev(j, s, obs.StageForwarded, "drain")
 		r.route(j)
 	}
 	for key, sess := range sh.sessions {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 )
 
 func baseTrace() TraceConfig {
@@ -103,6 +104,73 @@ func TestReplayDeterminism(t *testing.T) {
 	cfg.Seed = 43
 	if th3 := traceHash(t, cfg); th3 == th1 {
 		t.Fatal("different seeds produced the same trace hash")
+	}
+}
+
+// sinkReport replays cfg with the SLO tracker and critical-path analyzer
+// tapped in as event sinks, and digests the combined run report.
+func sinkReport(t *testing.T, cfg TraceConfig) (uint64, uint64) {
+	t.Helper()
+	epoch := time.Unix(0, 0)
+	critic := slo.NewAnalyzer()
+	tracker := slo.NewTracker(func() time.Time { return epoch }, []string{"best-effort", "critical"},
+		slo.Objective{Class: -1, Target: 2 * time.Millisecond, Window: 250 * time.Millisecond})
+	cfg.Sinks = []EventSink{critic, tracker}
+	res, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := slo.RunReport{
+		Seed:        cfg.Seed,
+		Jobs:        res.Jobs,
+		SLO:         tracker.Report(epoch.Add(res.VirtualSpan)),
+		Attribution: critic.Report(),
+	}
+	fp, err := slo.Fingerprint(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, res.OrderHash
+}
+
+// pinnedSinkReportFP is the byte-exact fingerprint of the seed-42
+// drain/rejoin trace's SLO + attribution report. It moves ONLY when the
+// replay, the event taps, or the report encoding change semantics — an
+// intentional change regenerates it (run with -run SinkReport -v and
+// copy the logged value), anything else failing here is a determinism
+// regression.
+const pinnedSinkReportFP uint64 = 0xcd8bb4fa3c94bb89
+
+// TestReplaySinkReportDeterminism: feeding the replay's event stream to
+// the SLO plane's sinks yields a byte-identical report per seed, does
+// not perturb the replay itself, and diverges across seeds.
+func TestReplaySinkReportDeterminism(t *testing.T) {
+	cfg := baseTrace()
+	cfg.DrainShard = 1
+	cfg.DrainAtFrac = 0.3
+	cfg.RejoinAtFrac = 0.6
+
+	bare, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, oh1 := sinkReport(t, cfg)
+	fp2, oh2 := sinkReport(t, cfg)
+	t.Logf("sink report fingerprint: %#016x", fp1)
+	if fp1 != fp2 {
+		t.Fatalf("sink report diverged across identical replays: %016x != %016x", fp1, fp2)
+	}
+	if oh1 != bare.OrderHash || oh2 != bare.OrderHash {
+		t.Fatalf("attaching sinks changed the replay: %x/%x != %x", oh1, oh2, bare.OrderHash)
+	}
+	if fp1 != pinnedSinkReportFP {
+		t.Fatalf("sink report fingerprint %#016x != pinned %#016x — the replay, taps, or report encoding changed semantics; regenerate the pin if intentional", fp1, pinnedSinkReportFP)
+	}
+
+	cfg.Seed = 43
+	fp3, _ := sinkReport(t, cfg)
+	if fp3 == fp1 {
+		t.Fatal("different seeds produced the same sink report")
 	}
 }
 

@@ -39,6 +39,14 @@ type chromeArgs struct {
 // Timestamps are microseconds relative to the earliest event, so wall-
 // clock and virtual-clock traces line up identically in the viewer.
 func WriteChrome(w io.Writer, events []Event) error {
+	return WriteChromeTrace(w, events, 0)
+}
+
+// WriteChromeTrace is WriteChrome with the recorder's drop count stamped
+// into the export's top-level metadata ("droppedEvents"), so a truncated
+// ring window is never mistaken for full coverage when the file is read
+// later.
+func WriteChromeTrace(w io.Writer, events []Event, dropped uint64) error {
 	evs := append([]Event(nil), events...)
 	sort.Slice(evs, func(a, b int) bool {
 		if evs[a].Job != evs[b].Job {
@@ -121,6 +129,6 @@ func WriteChrome(w io.Writer, events []Event) error {
 			return err
 		}
 	}
-	_, err := io.WriteString(w, "\n]}\n")
+	_, err := fmt.Fprintf(w, "\n],\"metadata\":{\"droppedEvents\":%d}}\n", dropped)
 	return err
 }

@@ -95,6 +95,12 @@ func BucketBound(i int) time.Duration {
 // NumBuckets reports the bucket count including the overflow bucket.
 func NumBuckets() int { return histBuckets + 1 }
 
+// BucketIndex maps a duration onto the shared log2 ladder — the bucket
+// whose BucketBound first covers it. External aggregators (the SLO
+// tracker's window histograms) use it to stay mergeable with Histogram
+// snapshots.
+func BucketIndex(d time.Duration) int { return bucketOf(d) }
+
 // Quantile returns the q-quantile (0..1) as the upper bound of the
 // bucket holding the rank — an upper estimate, consistent with how the
 // buckets discretize. Returns 0 on an empty snapshot.

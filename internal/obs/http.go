@@ -6,6 +6,14 @@ import (
 	"net/http/pprof"
 )
 
+// Endpoint is one extra route for NewMux — how owners hang surfaces the
+// obs package cannot know about (the SLO tracker's /debug/slo) off the
+// shared telemetry mux.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewMux builds the live telemetry surface:
 //
 //	/metrics       Prometheus text exposition of reg
@@ -13,11 +21,17 @@ import (
 //	/trace.json    the same snapshot as Chrome trace_event JSON
 //	/debug/pprof/  the standard pprof handlers (heap, profile, ...)
 //
-// Either reg or rec may be nil; the corresponding endpoints then report
-// 404. The mux is safe to serve while the cluster is under load — every
-// endpoint reads through the registry/recorder snapshot paths.
-func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+// plus any extra endpoints. Either reg or rec may be nil; the
+// corresponding endpoints then report 404. The mux is safe to serve
+// while the cluster is under load — every endpoint reads through the
+// registry/recorder snapshot paths.
+func NewMux(reg *Registry, rec *Recorder, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		if e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -56,7 +70,7 @@ func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
 		})
 		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			_ = WriteChrome(w, rec.Snapshot())
+			_ = WriteChromeTrace(w, rec.Snapshot(), rec.Dropped())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

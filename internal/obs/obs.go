@@ -49,12 +49,19 @@ const (
 	StageDone
 	// StageFailed marks completion with an error.
 	StageFailed
+	// StageForwarded marks the job leaving its shard for another —
+	// stolen by the balancer (detail "steal") or re-homed off a draining
+	// shard (detail "drain"). The job's next events record on the
+	// receiving shard; the critical-path analyzer attributes the gap as a
+	// forward hop.
+	StageForwarded
 
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"submit", "admitted", "placed", "session", "executing", "done", "failed",
+	"forwarded",
 }
 
 // String returns the stage's lowercase name (stable; used in trace

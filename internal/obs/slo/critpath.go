@@ -1,0 +1,275 @@
+package slo
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
+)
+
+// The critical-path analyzer answers "where did the time go": it folds
+// each job's lifecycle events into stage-attributed sojourn segments and
+// aggregates them per segment x shard x tenant. Segments are named for
+// what the job was waiting on between two consecutive events:
+//
+//	admission     submit -> admitted (validation, sizing, quota checks)
+//	queue-wait    admitted -> placed (the dispatcher's admission queue)
+//	session-wait  admitted -> session, session[warm|cold] -> executing
+//	batching      session[batched] -> executing (a busy session's line)
+//	map-park      placed[map-parked] -> placed (async mapping wait)
+//	chip-wait     placed -> executing (worker hand-off on the chip)
+//	execution     executing -> done/failed
+//	forward       forwarded -> next event (steal/drain hop re-homing)
+//
+// Intervals attribute to the shard where the wait happened (the earlier
+// event's shard) — a stolen job's queue time stays on its victim shard.
+
+// lastEvent is the analyzer's per-open-job state.
+type lastEvent struct {
+	stage  obs.Stage
+	detail string
+	shard  int
+	at     time.Time
+}
+
+type cellKey struct {
+	segment string
+	shard   int
+	tenant  string
+}
+
+type cellAgg struct {
+	total time.Duration
+	count uint64
+}
+
+// Analyzer folds lifecycle events into the attribution online, so a
+// million-job replay attributes in O(1) memory per open job — no full
+// event buffer needed. Safe for concurrent use; a single-threaded
+// deterministic feed produces a deterministic report.
+type Analyzer struct {
+	mu    sync.Mutex
+	open  map[uint64]lastEvent
+	cells map[cellKey]*cellAgg
+	jobs  uint64
+	hops  uint64
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		open:  make(map[uint64]lastEvent),
+		cells: make(map[cellKey]*cellAgg),
+	}
+}
+
+// segmentOf names the interval between a job's previous event and next.
+func segmentOf(prev lastEvent, next obs.Event) string {
+	switch prev.stage {
+	case obs.StageForwarded:
+		return "forward"
+	case obs.StageSubmit:
+		return "admission"
+	case obs.StageAdmitted:
+		if next.Stage == obs.StageSession {
+			return "session-wait"
+		}
+		return "queue-wait"
+	case obs.StagePlaced:
+		if prev.detail == "map-parked" {
+			return "map-park"
+		}
+		return "chip-wait"
+	case obs.StageSession:
+		if prev.detail == "batched" {
+			return "batching"
+		}
+		return "session-wait"
+	case obs.StageExecuting:
+		return "execution"
+	}
+	return "other"
+}
+
+// Observe folds one lifecycle event. Events must arrive per-job in
+// record order (the recorder's Seq order; any single-threaded feed or
+// Recorder.Snapshot qualifies).
+func (a *Analyzer) Observe(ev obs.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev, ok := a.open[ev.Job]
+	if !ok {
+		if ev.Stage == obs.StageDone || ev.Stage == obs.StageFailed {
+			// Terminal with no history (rejected before admission): a
+			// completed job with nothing to attribute.
+			a.jobs++
+			return
+		}
+		a.open[ev.Job] = lastEvent{stage: ev.Stage, detail: ev.Detail, shard: ev.Shard, at: ev.At}
+		return
+	}
+	if ev.Stage == obs.StageForwarded {
+		a.hops++
+	}
+	if ev.Stage == obs.StageSubmit && prev.stage == obs.StageSubmit {
+		// A re-routed submit right after the original: keep the earlier
+		// timestamp, the admission segment absorbs the hop.
+		return
+	}
+	d := ev.At.Sub(prev.at)
+	if d < 0 {
+		d = 0
+	}
+	key := cellKey{segment: segmentOf(prev, ev), shard: prev.shard, tenant: ev.Tenant}
+	cell := a.cells[key]
+	if cell == nil {
+		cell = &cellAgg{}
+		a.cells[key] = cell
+	}
+	cell.total += d
+	cell.count++
+	if ev.Stage == obs.StageDone || ev.Stage == obs.StageFailed {
+		delete(a.open, ev.Job)
+		a.jobs++
+		return
+	}
+	a.open[ev.Job] = lastEvent{stage: ev.Stage, detail: ev.Detail, shard: ev.Shard, at: ev.At}
+}
+
+// Feed folds a recorded event window (Recorder.Snapshot order).
+func (a *Analyzer) Feed(events []obs.Event) {
+	for _, ev := range events {
+		a.Observe(ev)
+	}
+}
+
+// ShardSlice is one shard's share of a segment.
+type ShardSlice struct {
+	Shard   int   `json:"shard"`
+	TotalUS int64 `json:"total_us"`
+}
+
+// TenantSlice is one tenant's share of a segment.
+type TenantSlice struct {
+	Tenant  string `json:"tenant"`
+	TotalUS int64  `json:"total_us"`
+}
+
+// SegmentStat is one lifecycle segment's attributed time, with its
+// per-shard and per-tenant margins.
+type SegmentStat struct {
+	Segment string `json:"segment"`
+	TotalUS int64  `json:"total_us"`
+	// Share is this segment's fraction of all attributed time.
+	Share     float64       `json:"share"`
+	Count     uint64        `json:"count"`
+	PerShard  []ShardSlice  `json:"per_shard,omitempty"`
+	PerTenant []TenantSlice `json:"per_tenant,omitempty"`
+}
+
+// Attribution is the analyzer's report: where every attributed
+// microsecond of sojourn time went, per segment (with shard and tenant
+// margins), plus hop and completion counts.
+type Attribution struct {
+	Jobs uint64 `json:"jobs"`
+	// Open counts jobs with recorded history but no terminal event —
+	// in flight at report time, or jobs whose early events fell out of a
+	// wrapped trace ring.
+	Open     uint64        `json:"open_jobs"`
+	Hops     uint64        `json:"hops"`
+	TotalUS  int64         `json:"total_us"`
+	Segments []SegmentStat `json:"segments"`
+}
+
+// Report aggregates the folded cells. Output order is deterministic
+// (segments, shards and tenants each sorted), so a deterministic feed
+// renders byte-identical attributions.
+func (a *Analyzer) Report() Attribution {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	type segAgg struct {
+		total   time.Duration
+		count   uint64
+		shards  map[int]time.Duration
+		tenants map[string]time.Duration
+	}
+	segs := map[string]*segAgg{}
+	var grand time.Duration
+	for key, cell := range a.cells {
+		sa := segs[key.segment]
+		if sa == nil {
+			sa = &segAgg{shards: map[int]time.Duration{}, tenants: map[string]time.Duration{}}
+			segs[key.segment] = sa
+		}
+		sa.total += cell.total
+		sa.count += cell.count
+		sa.shards[key.shard] += cell.total
+		sa.tenants[key.tenant] += cell.total
+		grand += cell.total
+	}
+
+	rep := Attribution{
+		Jobs:    a.jobs,
+		Open:    uint64(len(a.open)),
+		Hops:    a.hops,
+		TotalUS: grand.Microseconds(),
+	}
+	names := make([]string, 0, len(segs))
+	for name := range segs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sa := segs[name]
+		st := SegmentStat{
+			Segment: name,
+			TotalUS: sa.total.Microseconds(),
+			Count:   sa.count,
+		}
+		if grand > 0 {
+			st.Share = float64(sa.total) / float64(grand)
+		}
+		shardIDs := make([]int, 0, len(sa.shards))
+		for s := range sa.shards {
+			shardIDs = append(shardIDs, s)
+		}
+		sort.Ints(shardIDs)
+		for _, s := range shardIDs {
+			st.PerShard = append(st.PerShard, ShardSlice{Shard: s, TotalUS: sa.shards[s].Microseconds()})
+		}
+		tenants := make([]string, 0, len(sa.tenants))
+		for tn := range sa.tenants {
+			tenants = append(tenants, tn)
+		}
+		sort.Strings(tenants)
+		for _, tn := range tenants {
+			st.PerTenant = append(st.PerTenant, TenantSlice{Tenant: tn, TotalUS: sa.tenants[tn].Microseconds()})
+		}
+		rep.Segments = append(rep.Segments, st)
+	}
+	return rep
+}
+
+// WriteJSON renders the attribution as indented JSON (stable order).
+func (r Attribution) WriteJSON(w io.Writer) error {
+	return writeIndentedJSON(w, r)
+}
+
+// RunReport is the combined deterministic artifact a replayed serving
+// day emits: the SLO standing and the critical-path attribution, tagged
+// by seed. For a fixed seed the serialized bytes are identical across
+// runs — CI pins the Fingerprint and diffs the attribution profile
+// against a committed baseline.
+type RunReport struct {
+	Seed        int64       `json:"seed"`
+	Jobs        int         `json:"jobs"`
+	SLO         Report      `json:"slo"`
+	Attribution Attribution `json:"attribution"`
+}
+
+// WriteJSON renders the run report as indented JSON.
+func (r RunReport) WriteJSON(w io.Writer) error {
+	return writeIndentedJSON(w, r)
+}

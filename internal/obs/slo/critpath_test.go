@@ -1,0 +1,191 @@
+package slo
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
+)
+
+func cev(job uint64, stage obs.Stage, detail string, shard int, tenant string, at time.Duration) obs.Event {
+	return obs.Event{Job: job, Stage: stage, Detail: detail, Shard: shard, Tenant: tenant, At: epoch.Add(at)}
+}
+
+func segment(t *testing.T, rep Attribution, name string) SegmentStat {
+	t.Helper()
+	for _, s := range rep.Segments {
+		if s.Segment == name {
+			return s
+		}
+	}
+	t.Fatalf("segment %q missing from %+v", name, rep.Segments)
+	return SegmentStat{}
+}
+
+func TestAnalyzerFoldsLifecycleIntoSegments(t *testing.T) {
+	a := NewAnalyzer()
+	a.Feed([]obs.Event{
+		cev(1, obs.StageSubmit, "", 0, "t0", 0),
+		cev(1, obs.StageAdmitted, "", 0, "t0", 2*time.Millisecond),
+		cev(1, obs.StagePlaced, "hit", 0, "t0", 5*time.Millisecond),
+		cev(1, obs.StageExecuting, "", 0, "t0", 6*time.Millisecond),
+		cev(1, obs.StageDone, "", 0, "t0", 16*time.Millisecond),
+	})
+	rep := a.Report()
+	if rep.Jobs != 1 || rep.Open != 0 || rep.Hops != 0 {
+		t.Fatalf("jobs/open/hops = %d/%d/%d, want 1/0/0", rep.Jobs, rep.Open, rep.Hops)
+	}
+	if rep.TotalUS != 16000 {
+		t.Fatalf("total attributed = %dus, want the full 16ms sojourn", rep.TotalUS)
+	}
+	for name, wantUS := range map[string]int64{
+		"admission":  2000,
+		"queue-wait": 3000,
+		"chip-wait":  1000,
+		"execution":  10000,
+	} {
+		seg := segment(t, rep, name)
+		if seg.TotalUS != wantUS || seg.Count != 1 {
+			t.Fatalf("segment %s = %dus x%d, want %dus x1", name, seg.TotalUS, seg.Count, wantUS)
+		}
+	}
+}
+
+func TestAnalyzerSessionBatchingAndMapPark(t *testing.T) {
+	a := NewAnalyzer()
+	a.Feed([]obs.Event{
+		// Warm path through a busy session: admitted -> session[batched]
+		// is session-wait, session[batched] -> executing is batching.
+		cev(1, obs.StageSubmit, "", 0, "t0", 0),
+		cev(1, obs.StageAdmitted, "", 0, "t0", time.Millisecond),
+		cev(1, obs.StageSession, "batched", 0, "t0", 3*time.Millisecond),
+		cev(1, obs.StageExecuting, "", 0, "t0", 7*time.Millisecond),
+		cev(1, obs.StageDone, "", 0, "t0", 8*time.Millisecond),
+		// Cold shape parked on the async mappers: placed[map-parked] ->
+		// placed is map-park.
+		cev(2, obs.StageSubmit, "", 0, "t1", 0),
+		cev(2, obs.StageAdmitted, "", 0, "t1", time.Millisecond),
+		cev(2, obs.StagePlaced, "map-parked", 0, "t1", 2*time.Millisecond),
+		cev(2, obs.StagePlaced, "mapped", 0, "t1", 12*time.Millisecond),
+		cev(2, obs.StageExecuting, "", 0, "t1", 13*time.Millisecond),
+		cev(2, obs.StageDone, "", 0, "t1", 14*time.Millisecond),
+	})
+	rep := a.Report()
+	if got := segment(t, rep, "session-wait").TotalUS; got != 2000 {
+		t.Fatalf("session-wait = %dus, want 2000", got)
+	}
+	if got := segment(t, rep, "batching").TotalUS; got != 4000 {
+		t.Fatalf("batching = %dus, want 4000", got)
+	}
+	if got := segment(t, rep, "map-park").TotalUS; got != 10000 {
+		t.Fatalf("map-park = %dus, want 10000", got)
+	}
+}
+
+func TestAnalyzerAttributesForwardToVictimShard(t *testing.T) {
+	// A job stolen from shard 0 to shard 1: its queue time stays on the
+	// victim shard, the hop itself is the forward segment, and later
+	// waits land on the thief.
+	a := NewAnalyzer()
+	a.Feed([]obs.Event{
+		cev(1, obs.StageSubmit, "", 0, "t0", 0),
+		cev(1, obs.StageAdmitted, "", 0, "t0", time.Millisecond),
+		cev(1, obs.StageForwarded, "steal", 0, "t0", 9*time.Millisecond),
+		cev(1, obs.StageSubmit, "", 1, "t0", 10*time.Millisecond),
+		cev(1, obs.StageExecuting, "", 1, "t0", 11*time.Millisecond),
+		cev(1, obs.StageDone, "", 1, "t0", 15*time.Millisecond),
+	})
+	rep := a.Report()
+	if rep.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", rep.Hops)
+	}
+	qw := segment(t, rep, "queue-wait")
+	if qw.TotalUS != 8000 {
+		t.Fatalf("queue-wait = %dus, want 8000 (admitted -> forwarded)", qw.TotalUS)
+	}
+	if len(qw.PerShard) != 1 || qw.PerShard[0].Shard != 0 {
+		t.Fatalf("queue-wait attributed to %+v, want victim shard 0", qw.PerShard)
+	}
+	fw := segment(t, rep, "forward")
+	if fw.TotalUS != 1000 || fw.PerShard[0].Shard != 0 {
+		t.Fatalf("forward = %dus on %+v, want 1000us on shard 0", fw.TotalUS, fw.PerShard)
+	}
+	ex := segment(t, rep, "execution")
+	if len(ex.PerShard) != 1 || ex.PerShard[0].Shard != 1 {
+		t.Fatalf("execution attributed to %+v, want thief shard 1", ex.PerShard)
+	}
+}
+
+func TestAnalyzerRepeatedSubmitKeepsFirstTimestamp(t *testing.T) {
+	// A re-routed job re-records submit on its new shard; the admission
+	// segment must span from the ORIGINAL submission.
+	a := NewAnalyzer()
+	a.Feed([]obs.Event{
+		cev(1, obs.StageSubmit, "", 0, "t0", 0),
+		cev(1, obs.StageSubmit, "", 1, "t0", 3*time.Millisecond),
+		cev(1, obs.StageAdmitted, "", 1, "t0", 5*time.Millisecond),
+		cev(1, obs.StageDone, "", 1, "t0", 6*time.Millisecond),
+	})
+	rep := a.Report()
+	adm := segment(t, rep, "admission")
+	if adm.TotalUS != 5000 {
+		t.Fatalf("admission = %dus, want 5000 (from first submit)", adm.TotalUS)
+	}
+	if adm.PerShard[0].Shard != 0 {
+		t.Fatalf("admission attributed to %+v, want original shard 0", adm.PerShard)
+	}
+}
+
+func TestAnalyzerCountsOpenAndOrphanJobs(t *testing.T) {
+	a := NewAnalyzer()
+	// In flight at report time: recorded history, no terminal.
+	a.Observe(cev(1, obs.StageSubmit, "", 0, "t0", 0))
+	a.Observe(cev(1, obs.StageAdmitted, "", 0, "t0", time.Millisecond))
+	// Terminal with no history (rejected before admission).
+	a.Observe(cev(2, obs.StageFailed, "rejected", 0, "t0", time.Millisecond))
+	rep := a.Report()
+	if rep.Open != 1 || rep.Jobs != 1 {
+		t.Fatalf("open/jobs = %d/%d, want 1/1", rep.Open, rep.Jobs)
+	}
+}
+
+func TestAnalyzerReportDeterministic(t *testing.T) {
+	feed := func() *Analyzer {
+		a := NewAnalyzer()
+		for j := uint64(0); j < 64; j++ {
+			base := time.Duration(j) * time.Millisecond
+			shard := int(j % 4)
+			tenant := []string{"t0", "t1", "t2"}[j%3]
+			a.Feed([]obs.Event{
+				cev(j, obs.StageSubmit, "", shard, tenant, base),
+				cev(j, obs.StageAdmitted, "", shard, tenant, base+time.Millisecond),
+				cev(j, obs.StagePlaced, "hit", shard, tenant, base+2*time.Millisecond),
+				cev(j, obs.StageExecuting, "", shard, tenant, base+3*time.Millisecond),
+				cev(j, obs.StageDone, "", shard, tenant, base+time.Duration(4+j%5)*time.Millisecond),
+			})
+		}
+		return a
+	}
+	var a, b bytes.Buffer
+	if err := feed().Report().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed().Report().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical feeds rendered different attributions:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+	fpA, err := Fingerprint(feed().Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := Fingerprint(feed().Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpB {
+		t.Fatalf("fingerprints differ: %016x vs %016x", fpA, fpB)
+	}
+}

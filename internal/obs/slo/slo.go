@@ -1,0 +1,472 @@
+// Package slo turns the observability plane's raw lifecycle events into
+// operator answers: per-(tenant, priority-class) latency/availability
+// objectives tracked over sliding windows with error budgets and
+// multi-window burn-rate states (Tracker), and a critical-path analyzer
+// that folds each job's trace into a stage-attributed sojourn breakdown
+// (Analyzer) — "which tenant is burning its budget, and which stage is
+// responsible".
+//
+// Both consumers take the same input, obs.Event streams, and are
+// clock-agnostic: every computation reads event timestamps (and, for
+// reports, a caller-supplied now), never the wall clock. Feeding them
+// from a deterministic virtual-time replay therefore yields
+// byte-identical reports per seed, which CI diffs against committed
+// baselines.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
+)
+
+// Objective is one SLO declaration. The zero values of Percentile,
+// Availability and Window select the defaults (p99, 99.9%, 1 minute).
+type Objective struct {
+	// Tenant scopes the objective to one tenant; "" covers every tenant,
+	// tracked as a separate series per tenant observed (per-tenant error
+	// budgets from one declaration).
+	Tenant string
+	// Class scopes the objective to one priority class (0-based); a
+	// negative class covers all of them, one series per class observed.
+	Class int
+	// Target is the per-job sojourn (submit to done) latency budget: a
+	// job slower than Target, or one that fails, spends error budget.
+	Target time.Duration
+	// Percentile is the conformance quantile the report states the
+	// observed latency at (default 0.99).
+	Percentile float64
+	// Availability is the target good fraction (default 0.999); the
+	// error budget is 1 - Availability of the window's jobs.
+	Availability float64
+	// Window is the sliding error-budget accounting window (default 1m).
+	Window time.Duration
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.Percentile <= 0 || o.Percentile > 1 {
+		o.Percentile = 0.99
+	}
+	if o.Availability <= 0 || o.Availability > 1 {
+		o.Availability = 0.999
+	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	return o
+}
+
+const (
+	// windowBuckets is the sliding window's resolution: the window is
+	// windowBuckets rotating slots, and the fast burn window is the most
+	// recent windowBuckets/fastDivisor of them (the classic multi-window
+	// pairing, e.g. 5m against 1h).
+	windowBuckets = 48
+	fastDivisor   = 12
+	// WarnBurn and PageBurn are the multi-window burn-rate thresholds on
+	// the fast window: warn when the last Window/12 burns budget at >=
+	// WarnBurn (faster than sustainable), page when it burns at >=
+	// PageBurn (the whole budget dies within Window/PageBurn) or the
+	// window's budget is already exhausted. Because the budget period IS
+	// the slow window (burnSlow == fraction of budget spent), the slow
+	// window corroborates at threshold/fastDivisor — enough spend over the
+	// full window to prove the fast window isn't one stray bucket —
+	// rather than at the fast threshold itself, which would be
+	// unreachable below exhaustion.
+	WarnBurn = 1.0
+	PageBurn = 6.0
+	// maxBurn caps the reported burn rate when the error budget is zero
+	// (Availability 1.0): any bad job then burns "infinitely" fast, which
+	// JSON cannot carry.
+	maxBurn = 1e6
+)
+
+// States a series can be in, ordered by severity.
+const (
+	StateOK   = "ok"
+	StateWarn = "warn"
+	StatePage = "page"
+)
+
+// StateRank orders states by severity (ok 0, warn 1, page 2; unknown
+// states rank highest so a gate never mistakes garbage for healthy).
+func StateRank(s string) int {
+	switch s {
+	case StateOK:
+		return 0
+	case StateWarn:
+		return 1
+	case StatePage:
+		return 2
+	}
+	return 3
+}
+
+// window is one series' rotating bucket ring. Buckets carry good/bad
+// counts plus a log2 latency histogram for the window quantile.
+type bucket struct {
+	good, bad uint64
+	lat       []uint64
+}
+
+type seriesKey struct {
+	obj    int
+	tenant string
+	class  int
+}
+
+type series struct {
+	key      seriesKey
+	buckets  [windowBuckets]bucket
+	cur      int
+	curStart time.Time
+	started  bool
+	// lifetime totals, never rotated out.
+	totalGood, totalBad uint64
+}
+
+// rotate advances the ring so the current bucket covers now. A gap wider
+// than the whole window clears every bucket (window rollover).
+func (s *series) rotate(now time.Time, width time.Duration) {
+	if !s.started {
+		s.started = true
+		s.curStart = now
+		return
+	}
+	if now.Before(s.curStart) {
+		return
+	}
+	steps := int(now.Sub(s.curStart) / width)
+	if steps <= 0 {
+		return
+	}
+	if steps >= windowBuckets {
+		for i := range s.buckets {
+			s.buckets[i].good, s.buckets[i].bad = 0, 0
+			for j := range s.buckets[i].lat {
+				s.buckets[i].lat[j] = 0
+			}
+		}
+	} else {
+		for i := 0; i < steps; i++ {
+			s.cur = (s.cur + 1) % windowBuckets
+			b := &s.buckets[s.cur]
+			b.good, b.bad = 0, 0
+			for j := range b.lat {
+				b.lat[j] = 0
+			}
+		}
+	}
+	s.curStart = s.curStart.Add(time.Duration(steps) * width)
+}
+
+// openJob is a job seen submitting but not yet terminal.
+type openJob struct {
+	at     time.Time
+	tenant string
+	class  int
+}
+
+// Tracker scores completed jobs against declared objectives. Feed it
+// lifecycle events with Observe (it keys sojourns off StageSubmit and
+// closes them on StageDone/StageFailed) and read it with Report. Safe
+// for concurrent use; a single-threaded deterministic feed produces a
+// deterministic report.
+type Tracker struct {
+	now        func() time.Time
+	classNames []string
+	jobs       atomic.Uint64
+
+	mu         sync.Mutex
+	objectives []Objective
+	open       map[uint64]openJob
+	series     map[seriesKey]*series
+}
+
+// NewTracker builds a tracker for the given objectives. now supplies
+// report timestamps (the owner's clock — wall or virtual); classNames
+// label class indices in reports and metrics (missing entries render as
+// "class<N>").
+func NewTracker(now func() time.Time, classNames []string, objectives ...Objective) *Tracker {
+	t := &Tracker{
+		now:        now,
+		classNames: append([]string(nil), classNames...),
+		open:       make(map[uint64]openJob),
+		series:     make(map[seriesKey]*series),
+	}
+	for _, o := range objectives {
+		t.objectives = append(t.objectives, o.withDefaults())
+	}
+	return t
+}
+
+// NextJob hands out a job identity for event correlation, for owners
+// that track SLOs without a trace recorder (whose NextJob otherwise
+// plays this role).
+func (t *Tracker) NextJob() uint64 { return t.jobs.Add(1) }
+
+// Objectives returns the tracker's normalized objectives.
+func (t *Tracker) Objectives() []Objective {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Objective(nil), t.objectives...)
+}
+
+// Observe feeds one lifecycle event. Only submit and terminal events
+// matter here — everything between is the Analyzer's business — so the
+// tracker costs two map operations per job regardless of trace verbosity.
+func (t *Tracker) Observe(ev obs.Event) {
+	switch ev.Stage {
+	case obs.StageSubmit:
+		t.mu.Lock()
+		// A re-routed job re-records submit on its new shard; the sojourn
+		// clock keeps running from the first submission.
+		if _, ok := t.open[ev.Job]; !ok {
+			t.open[ev.Job] = openJob{at: ev.At, tenant: ev.Tenant, class: ev.Class}
+		}
+		t.mu.Unlock()
+	case obs.StageDone, obs.StageFailed:
+		t.mu.Lock()
+		o, ok := t.open[ev.Job]
+		if !ok {
+			// Terminal without a submit (rejected before admission, or the
+			// submit predates this tracker): score it as an instant outcome.
+			o = openJob{at: ev.At, tenant: ev.Tenant, class: ev.Class}
+		} else {
+			delete(t.open, ev.Job)
+		}
+		t.record(ev.At, o.tenant, o.class, ev.At.Sub(o.at), ev.Stage == obs.StageFailed)
+		t.mu.Unlock()
+	}
+}
+
+// record scores one finished job against every matching objective.
+// Caller holds t.mu.
+func (t *Tracker) record(at time.Time, tenant string, class int, sojourn time.Duration, failed bool) {
+	if sojourn < 0 {
+		sojourn = 0
+	}
+	for i := range t.objectives {
+		o := &t.objectives[i]
+		if o.Tenant != "" && o.Tenant != tenant {
+			continue
+		}
+		if o.Class >= 0 && o.Class != class {
+			continue
+		}
+		k := seriesKey{obj: i, tenant: tenant, class: class}
+		s := t.series[k]
+		if s == nil {
+			s = &series{key: k}
+			for j := range s.buckets {
+				s.buckets[j].lat = make([]uint64, obs.NumBuckets())
+			}
+			t.series[k] = s
+		}
+		s.rotate(at, o.Window/windowBuckets)
+		b := &s.buckets[s.cur]
+		if !failed && sojourn <= o.Target {
+			b.good++
+			s.totalGood++
+		} else {
+			b.bad++
+			s.totalBad++
+		}
+		b.lat[obs.BucketIndex(sojourn)]++
+	}
+}
+
+// Status is one series' report line: the objective it scores, the
+// window's counts, the observed conformance quantile, and the error-
+// budget arithmetic (remaining fraction, fast/slow burn rates, state).
+type Status struct {
+	Tenant       string  `json:"tenant"`
+	Class        string  `json:"class"`
+	TargetUS     int64   `json:"target_us"`
+	Percentile   float64 `json:"percentile"`
+	Availability float64 `json:"availability"`
+	WindowMS     int64   `json:"window_ms"`
+	Good         uint64  `json:"good"`
+	Bad          uint64  `json:"bad"`
+	TotalGood    uint64  `json:"total_good"`
+	TotalBad     uint64  `json:"total_bad"`
+	// ObservedUS is the window's latency at the objective's percentile
+	// (log2-bucket upper bound, the histogram ladder's discretization).
+	ObservedUS int64 `json:"observed_quantile_us"`
+	// BudgetRemaining is the window's unspent error-budget fraction:
+	// 1 means no bad jobs, 0 exactly exhausted, negative overdrawn.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// BurnFast/BurnSlow are the budget spend rates over the short
+	// (Window/12) and full windows, in budgets-per-window; 1.0 means
+	// spending exactly the sustainable rate.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	State    string  `json:"state"`
+
+	classIdx int
+	objIdx   int
+}
+
+// Report is the tracker's full standing, one Status per live series.
+type Report struct {
+	Objectives []Status `json:"objectives"`
+}
+
+// className renders a class index with the tracker's names.
+func (t *Tracker) className(class int) string {
+	if class >= 0 && class < len(t.classNames) {
+		return t.classNames[class]
+	}
+	return fmt.Sprintf("class%d", class)
+}
+
+// Report scores every series as of now. Series order is deterministic
+// (objective, then tenant, then class), so a deterministic feed renders
+// byte-identical reports.
+func (t *Tracker) Report(now time.Time) Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := Report{Objectives: make([]Status, 0, len(t.series))}
+	for _, s := range t.series {
+		o := t.objectives[s.key.obj]
+		s.rotate(now, o.Window/windowBuckets)
+
+		var slowGood, slowBad, fastGood, fastBad uint64
+		var hist obs.HistogramSnapshot
+		fastBuckets := windowBuckets / fastDivisor
+		for i := 0; i < windowBuckets; i++ {
+			// Walk backwards from the current bucket so the first
+			// fastBuckets slots are the freshest.
+			idx := (s.cur - i + windowBuckets) % windowBuckets
+			b := &s.buckets[idx]
+			slowGood += b.good
+			slowBad += b.bad
+			if i < fastBuckets {
+				fastGood += b.good
+				fastBad += b.bad
+			}
+			for j, n := range b.lat {
+				hist.Counts[j] += n
+				hist.Count += n
+			}
+		}
+
+		budget := 1 - o.Availability
+		burn := func(good, bad uint64) float64 {
+			if bad == 0 {
+				return 0
+			}
+			frac := float64(bad) / float64(good+bad)
+			if budget <= 0 {
+				return maxBurn
+			}
+			return math.Min(frac/budget, maxBurn)
+		}
+		burnSlow := burn(slowGood, slowBad)
+		burnFast := burn(fastGood, fastBad)
+		remaining := 1 - burnSlow
+
+		state := StateOK
+		switch {
+		case slowBad > 0 && remaining <= 0:
+			state = StatePage
+		case burnFast >= PageBurn && burnSlow >= PageBurn/fastDivisor:
+			state = StatePage
+		case burnFast >= WarnBurn && burnSlow >= WarnBurn/fastDivisor:
+			state = StateWarn
+		}
+
+		rep.Objectives = append(rep.Objectives, Status{
+			Tenant:          s.key.tenant,
+			Class:           t.className(s.key.class),
+			TargetUS:        o.Target.Microseconds(),
+			Percentile:      o.Percentile,
+			Availability:    o.Availability,
+			WindowMS:        o.Window.Milliseconds(),
+			Good:            slowGood,
+			Bad:             slowBad,
+			TotalGood:       s.totalGood,
+			TotalBad:        s.totalBad,
+			ObservedUS:      hist.Quantile(o.Percentile).Microseconds(),
+			BudgetRemaining: remaining,
+			BurnFast:        burnFast,
+			BurnSlow:        burnSlow,
+			State:           state,
+			classIdx:        s.key.class,
+			objIdx:          s.key.obj,
+		})
+	}
+	sort.Slice(rep.Objectives, func(a, b int) bool {
+		x, y := rep.Objectives[a], rep.Objectives[b]
+		if x.objIdx != y.objIdx {
+			return x.objIdx < y.objIdx
+		}
+		if x.Tenant != y.Tenant {
+			return x.Tenant < y.Tenant
+		}
+		return x.classIdx < y.classIdx
+	})
+	return rep
+}
+
+// writeIndentedJSON is the one JSON renderer every report shares:
+// struct-ordered fields, one-space indent, trailing newline — stable
+// bytes for goldens and fingerprints.
+func writeIndentedJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+// WriteJSON renders the report as indented JSON (stable field and series
+// order — goldenable and hashable).
+func (r Report) WriteJSON(w io.Writer) error {
+	return writeIndentedJSON(w, r)
+}
+
+// ServeHTTP makes the tracker its own /debug/slo endpoint.
+func (t *Tracker) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = t.Report(t.now()).WriteJSON(w)
+}
+
+// Collect emits the vnpu_slo_* metric families (obs.Registry
+// AddCollector-compatible): per-series good/bad counters, budget
+// remaining, fast/slow burn rates, and the numeric state (0 ok, 1 warn,
+// 2 page).
+func (t *Tracker) Collect(emit func(obs.Sample)) {
+	rep := t.Report(t.now())
+	for _, st := range rep.Objectives {
+		labels := []obs.Label{
+			{Key: "class", Value: st.Class},
+			{Key: "tenant", Value: st.Tenant},
+		}
+		emit(obs.Sample{Name: "vnpu_slo_good_total", Help: "Jobs inside their SLO (window lifetime).", Labels: labels, Value: float64(st.TotalGood)})
+		emit(obs.Sample{Name: "vnpu_slo_bad_total", Help: "Jobs outside their SLO: failed or slower than target (lifetime).", Labels: labels, Value: float64(st.TotalBad)})
+		emit(obs.Sample{Name: "vnpu_slo_budget_remaining", Help: "Unspent error-budget fraction of the sliding window (1 untouched, 0 exhausted, negative overdrawn).", Labels: labels, Value: st.BudgetRemaining})
+		emit(obs.Sample{Name: "vnpu_slo_burn_rate", Help: "Error-budget spend rate in budgets-per-window; 1.0 is the sustainable rate.", Labels: append([]obs.Label{{Key: "burn_window", Value: "fast"}}, labels...), Value: st.BurnFast})
+		emit(obs.Sample{Name: "vnpu_slo_burn_rate", Help: "Error-budget spend rate in budgets-per-window; 1.0 is the sustainable rate.", Labels: append([]obs.Label{{Key: "burn_window", Value: "slow"}}, labels...), Value: st.BurnSlow})
+		emit(obs.Sample{Name: "vnpu_slo_state", Help: "Multi-window burn-rate state: 0 ok, 1 warn, 2 page.", Labels: labels, Value: float64(StateRank(st.State))})
+	}
+}
+
+// Fingerprint digests any JSON-renderable report (FNV-1a over its
+// serialized bytes) — the determinism pin for replay-driven reports.
+func Fingerprint(v interface{}) (uint64, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64(), nil
+}

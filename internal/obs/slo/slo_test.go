@@ -1,0 +1,299 @@
+package slo
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var epoch = time.Unix(0, 0)
+
+// score feeds one complete job: a submit sojourn before doneAt, then the
+// terminal event. Bucket placement keys off the terminal timestamp.
+func score(tr *Tracker, job uint64, tenant string, class int, doneAt time.Time, sojourn time.Duration, failed bool) {
+	tr.Observe(obs.Event{Job: job, Stage: obs.StageSubmit, Tenant: tenant, Class: class, At: doneAt.Add(-sojourn)})
+	stage := obs.StageDone
+	if failed {
+		stage = obs.StageFailed
+	}
+	tr.Observe(obs.Event{Job: job, Stage: stage, Tenant: tenant, Class: class, At: doneAt})
+}
+
+// testTracker tracks every (tenant, class) against a 1ms target over a
+// 48s window, so each ring bucket is exactly one second and the fast
+// window is the last four.
+func testTracker() *Tracker {
+	return NewTracker(func() time.Time { return epoch }, []string{"be", "crit"},
+		Objective{Class: -1, Target: time.Millisecond, Availability: 0.9, Window: 48 * time.Second})
+}
+
+func onlyStatus(t *testing.T, rep Report) Status {
+	t.Helper()
+	if len(rep.Objectives) != 1 {
+		t.Fatalf("want 1 series, got %d: %+v", len(rep.Objectives), rep.Objectives)
+	}
+	return rep.Objectives[0]
+}
+
+func TestEmptyTrackerReportsNoSeries(t *testing.T) {
+	tr := testTracker()
+	if rep := tr.Report(epoch); len(rep.Objectives) != 0 {
+		t.Fatalf("empty tracker reported %d series", len(rep.Objectives))
+	}
+}
+
+func TestEmptyWindowIsOK(t *testing.T) {
+	// A series whose window has no samples (all rotated out) must read as
+	// a full budget at zero burn, not a division-by-zero artifact.
+	tr := testTracker()
+	for j := uint64(0); j < 10; j++ {
+		score(tr, j, "t0", 0, epoch, 10*time.Millisecond, false) // all bad: slower than target
+	}
+	st := onlyStatus(t, tr.Report(epoch))
+	if st.State != StatePage {
+		t.Fatalf("overdrawn window state = %q, want page", st.State)
+	}
+	// Two full windows later the ring has rolled over completely.
+	st = onlyStatus(t, tr.Report(epoch.Add(96*time.Second)))
+	if st.Good != 0 || st.Bad != 0 {
+		t.Fatalf("rolled-over window counts = %d/%d, want 0/0", st.Good, st.Bad)
+	}
+	if st.BudgetRemaining != 1 || st.BurnFast != 0 || st.BurnSlow != 0 {
+		t.Fatalf("rolled-over window budget/burns = %v/%v/%v, want 1/0/0",
+			st.BudgetRemaining, st.BurnFast, st.BurnSlow)
+	}
+	if st.State != StateOK {
+		t.Fatalf("rolled-over window state = %q, want ok", st.State)
+	}
+	if st.TotalBad != 10 {
+		t.Fatalf("lifetime bad = %d, want 10 (totals never rotate out)", st.TotalBad)
+	}
+}
+
+func TestBudgetExactlyExhaustedPages(t *testing.T) {
+	// Availability 0.9 over 10 jobs: exactly one bad job spends exactly
+	// the whole budget — remaining hits 0, and 0 must already page.
+	tr := testTracker()
+	for j := uint64(0); j < 9; j++ {
+		score(tr, j, "t0", 0, epoch, time.Microsecond, false)
+	}
+	score(tr, 9, "t0", 0, epoch, time.Microsecond, true) // failed: bad regardless of latency
+	st := onlyStatus(t, tr.Report(epoch))
+	if st.Good != 9 || st.Bad != 1 {
+		t.Fatalf("counts = %d/%d, want 9/1", st.Good, st.Bad)
+	}
+	if st.BudgetRemaining > 1e-12 || st.BudgetRemaining < -1e-12 {
+		t.Fatalf("budget remaining = %v, want 0 (to float epsilon)", st.BudgetRemaining)
+	}
+	if st.State != StatePage {
+		t.Fatalf("exactly-exhausted state = %q, want page", st.State)
+	}
+}
+
+func TestWarnOnFastBurnWithBudgetLeft(t *testing.T) {
+	// 190 good jobs 44s ago (outside the 4s fast window), then 10 bad +
+	// 90 good now: fast burn = (10/100)/0.1 = 1.0, slow burn =
+	// (10/290)/0.1 ≈ 0.34 — unsustainable recent spend, budget mostly
+	// intact. Warn, not page.
+	tr := testTracker()
+	job := uint64(0)
+	for i := 0; i < 190; i++ {
+		score(tr, job, "t0", 0, epoch, time.Microsecond, false)
+		job++
+	}
+	late := epoch.Add(44 * time.Second)
+	for i := 0; i < 90; i++ {
+		score(tr, job, "t0", 0, late, time.Microsecond, false)
+		job++
+	}
+	for i := 0; i < 10; i++ {
+		score(tr, job, "t0", 0, late, time.Microsecond, true)
+		job++
+	}
+	st := onlyStatus(t, tr.Report(late))
+	if st.State != StateWarn {
+		t.Fatalf("state = %q (burn %v fast / %v slow, budget %v), want warn",
+			st.State, st.BurnFast, st.BurnSlow, st.BudgetRemaining)
+	}
+	if st.BudgetRemaining <= 0 {
+		t.Fatalf("budget remaining = %v, want > 0", st.BudgetRemaining)
+	}
+}
+
+func TestPageOnFastBurnBeforeExhaustion(t *testing.T) {
+	// 900 good jobs 44s ago, then 60 bad + 40 good now: fast burn =
+	// (60/100)/0.1 = 6.0 >= PageBurn with 40% of the budget still left —
+	// page on rate, not on exhaustion.
+	tr := testTracker()
+	job := uint64(0)
+	for i := 0; i < 900; i++ {
+		score(tr, job, "t0", 0, epoch, time.Microsecond, false)
+		job++
+	}
+	late := epoch.Add(44 * time.Second)
+	for i := 0; i < 40; i++ {
+		score(tr, job, "t0", 0, late, time.Microsecond, false)
+		job++
+	}
+	for i := 0; i < 60; i++ {
+		score(tr, job, "t0", 0, late, time.Microsecond, true)
+		job++
+	}
+	st := onlyStatus(t, tr.Report(late))
+	if st.State != StatePage {
+		t.Fatalf("state = %q (burn %v fast / %v slow, budget %v), want page",
+			st.State, st.BurnFast, st.BurnSlow, st.BudgetRemaining)
+	}
+	if st.BudgetRemaining <= 0 {
+		t.Fatalf("budget remaining = %v, want > 0 (page must come from rate)", st.BudgetRemaining)
+	}
+}
+
+func TestSlowJobSpendsBudget(t *testing.T) {
+	tr := testTracker()
+	score(tr, 0, "t0", 0, epoch, 5*time.Millisecond, false) // done, but over the 1ms target
+	st := onlyStatus(t, tr.Report(epoch))
+	if st.Good != 0 || st.Bad != 1 {
+		t.Fatalf("slow job scored %d/%d, want 0 good / 1 bad", st.Good, st.Bad)
+	}
+}
+
+func TestTerminalWithoutSubmitScoresInstant(t *testing.T) {
+	tr := testTracker()
+	tr.Observe(obs.Event{Job: 7, Stage: obs.StageFailed, Tenant: "t0", Class: 1, At: epoch})
+	st := onlyStatus(t, tr.Report(epoch))
+	if st.Bad != 1 {
+		t.Fatalf("orphan terminal scored bad = %d, want 1", st.Bad)
+	}
+	if st.Class != "crit" {
+		t.Fatalf("class rendered %q, want crit", st.Class)
+	}
+}
+
+func TestWildcardObjectiveFansOutPerSeries(t *testing.T) {
+	// One declaration with Tenant "" and Class -1 tracks a separate
+	// series per (tenant, class) observed, in deterministic order.
+	tr := testTracker()
+	score(tr, 0, "beta", 1, epoch, time.Microsecond, false)
+	score(tr, 1, "alpha", 0, epoch, time.Microsecond, false)
+	score(tr, 2, "alpha", 1, epoch, time.Microsecond, true)
+	rep := tr.Report(epoch)
+	if len(rep.Objectives) != 3 {
+		t.Fatalf("want 3 series, got %d", len(rep.Objectives))
+	}
+	order := []struct {
+		tenant, class string
+	}{{"alpha", "be"}, {"alpha", "crit"}, {"beta", "crit"}}
+	for i, want := range order {
+		got := rep.Objectives[i]
+		if got.Tenant != want.tenant || got.Class != want.class {
+			t.Fatalf("series %d = %s/%s, want %s/%s", i, got.Tenant, got.Class, want.tenant, want.class)
+		}
+	}
+}
+
+func TestZeroBudgetObjectiveClampsBurn(t *testing.T) {
+	// Availability 1.0 leaves no error budget: any bad job burns
+	// "infinitely" fast, reported clamped so JSON stays finite.
+	tr := NewTracker(func() time.Time { return epoch }, nil,
+		Objective{Class: -1, Target: time.Millisecond, Availability: 1.0, Window: 48 * time.Second})
+	score(tr, 0, "t0", 0, epoch, time.Microsecond, true)
+	st := onlyStatus(t, tr.Report(epoch))
+	if st.BurnSlow != maxBurn || st.BurnFast != maxBurn {
+		t.Fatalf("zero-budget burns = %v/%v, want clamp %v", st.BurnFast, st.BurnSlow, float64(maxBurn))
+	}
+	if st.State != StatePage {
+		t.Fatalf("zero-budget state = %q, want page", st.State)
+	}
+}
+
+func TestDebugSLOGolden(t *testing.T) {
+	// Pins the /debug/slo JSON shape: two objectives (a tenant-scoped one
+	// and a wildcard), a healthy series, a paging series, and a warn
+	// series, rendered exactly as the endpoint serves them.
+	tr := NewTracker(func() time.Time { return epoch.Add(44 * time.Second) }, []string{"best-effort", "normal", "high", "critical"},
+		Objective{Tenant: "decode", Class: 3, Target: 2 * time.Millisecond, Window: 48 * time.Second},
+		Objective{Class: -1, Target: time.Millisecond, Availability: 0.9, Window: 48 * time.Second},
+	)
+	job := uint64(0)
+	late := epoch.Add(44 * time.Second)
+	// decode/critical: healthy under both the tenant-scoped objective and
+	// the wildcard.
+	for i := 0; i < 190; i++ {
+		score(tr, job, "decode", 3, epoch, time.Microsecond, false)
+		job++
+	}
+	for i := 0; i < 100; i++ {
+		score(tr, job, "decode", 3, late, time.Microsecond, false)
+		job++
+	}
+	// embed/normal: fast window burns at exactly the sustainable rate —
+	// warn under the wildcard.
+	for i := 0; i < 190; i++ {
+		score(tr, job, "embed", 1, epoch, time.Microsecond, false)
+		job++
+	}
+	for i := 0; i < 90; i++ {
+		score(tr, job, "embed", 1, late, time.Microsecond, false)
+		job++
+	}
+	for i := 0; i < 10; i++ {
+		score(tr, job, "embed", 1, late, 300*time.Microsecond, true)
+		job++
+	}
+	// prefill/best-effort: budget overdrawn, pages.
+	for i := 0; i < 4; i++ {
+		score(tr, job, "prefill", 0, late, 10*time.Millisecond, false)
+		job++
+	}
+	for i := 0; i < 4; i++ {
+		score(tr, job, "prefill", 0, late, 100*time.Microsecond, false)
+		job++
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Report(epoch.Add(44 * time.Second)).WriteJSON(&buf); err != nil {
+		t.Fatalf("write report: %v", err)
+	}
+	golden := filepath.Join("testdata", "debug_slo.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("/debug/slo shape drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestFingerprintStableAcrossIdenticalFeeds(t *testing.T) {
+	build := func() *Tracker {
+		tr := testTracker()
+		for j := uint64(0); j < 50; j++ {
+			score(tr, j, "t0", int(j%2), epoch.Add(time.Duration(j)*time.Second), time.Duration(j)*time.Microsecond, j%7 == 0)
+		}
+		return tr
+	}
+	a, err := Fingerprint(build().Report(epoch.Add(50 * time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(build().Report(epoch.Add(50 * time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical feeds fingerprinted %016x vs %016x", a, b)
+	}
+}

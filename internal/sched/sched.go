@@ -633,7 +633,6 @@ func (d *Dispatcher[Job, Placement, Result]) Steal(maxClass, max int) []Stolen[J
 		return nil
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	items := d.q.InOrder(d.q.Len())
 	var out []Stolen[Job, Result]
 	for i := len(items) - 1; i >= 0 && len(out) < max; i-- {
@@ -670,6 +669,15 @@ func (d *Dispatcher[Job, Placement, Result]) Steal(maxClass, max int) []Stolen[J
 	}
 	if len(out) > 0 {
 		d.checkTurnsLocked()
+	}
+	observer := d.observer
+	d.mu.Unlock()
+	// The observer contract is lock-free delivery; emit the forwarded
+	// events only after the dispatcher lock is released.
+	if observer != nil {
+		for _, st := range out {
+			observer(st.Job, obs.StageForwarded, "steal", -1)
+		}
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 	"github.com/vnpu-sim/vnpu/internal/sim"
 )
 
@@ -195,10 +196,70 @@ func WithTracing() ClusterOption {
 
 // WithTraceBufferSize bounds the per-shard trace ring to n events
 // (default obs.DefaultTraceBuffer). Once full, the oldest events are
-// overwritten; the drop count is exported as
-// vnpu_trace_dropped_events_total.
+// overwritten; the drop count is exported as vnpu_trace_dropped_total
+// and stamped into Chrome exports as metadata.droppedEvents.
 func WithTraceBufferSize(n int) ClusterOption {
 	return func(c *clusterConfig) { c.traceBuf = n }
+}
+
+// SLO declares one service-level objective for the cluster's error-
+// budget tracker (WithSLO): jobs matching Tenant and Priority must
+// finish successfully within Target at the given Percentile, and at
+// least Availability of them must be good, measured over a sliding
+// Window.
+type SLO struct {
+	// Tenant scopes the objective to one tenant; empty covers every
+	// tenant, with the tracker keeping an independent budget series per
+	// tenant it sees.
+	Tenant string
+	// Priority scopes the objective to one class; PriorityDefault covers
+	// all classes, with an independent series per class.
+	Priority Priority
+	// Target is the per-job end-to-end sojourn bound (submit to done). A
+	// job is good when it completes without error within Target.
+	Target time.Duration
+	// Percentile is the latency quantile reported alongside the budget
+	// (default 0.99). The budget itself counts per-job good/bad outcomes.
+	Percentile float64
+	// Availability is the good fraction the budget protects (default
+	// 0.999, i.e. a 0.1% error budget).
+	Availability float64
+	// Window is the sliding budget window (default one minute).
+	Window time.Duration
+}
+
+// objective lowers the public declaration onto the tracker's form.
+func (s SLO) objective() slo.Objective {
+	class := -1
+	if s.Priority != PriorityDefault {
+		class = s.Priority.class()
+	}
+	return slo.Objective{
+		Tenant:       s.Tenant,
+		Class:        class,
+		Target:       s.Target,
+		Percentile:   s.Percentile,
+		Availability: s.Availability,
+		Window:       s.Window,
+	}
+}
+
+// WithSLO installs per-(tenant, class) error-budget tracking for the
+// given objectives. The tracker watches both serving paths through the
+// same lifecycle seam as tracing (but independently of it — tracing may
+// stay off), maintains multi-window burn rates per matching series, and
+// surfaces them at /debug/slo on Handler's mux plus the vnpu_slo_*
+// metric families on /metrics. Read it programmatically with
+// Cluster.SLOReport / Fleet.SLOReport.
+func WithSLO(objectives ...SLO) ClusterOption {
+	return func(c *clusterConfig) { c.slos = append(c.slos, objectives...) }
+}
+
+// withSharedSLO is the fleet's internal wiring: every shard scores jobs
+// into one fleet-wide tracker, whose collector the fleet registers
+// exactly once (a shard-level registration would duplicate the series).
+func withSharedSLO(tr *slo.Tracker) ClusterOption {
+	return func(c *clusterConfig) { c.sloShared = tr }
 }
 
 // withShardObs is the fleet's internal wiring: every shard writes trace

@@ -398,7 +398,7 @@ func (c *Cluster) sessionRun(t *sessTask) {
 			return
 		}
 	}
-	if c.rec != nil {
+	if c.rec != nil || c.slo != nil {
 		detail := "cold"
 		if warm {
 			detail = "warm"
@@ -510,7 +510,7 @@ func (c *Cluster) finishSess(t *sessTask, rep JobReport, err error) {
 	c.sessMu.Unlock()
 	class := t.job.Priority.class()
 	c.sessE2E[class].Observe(t.h.Sojourn())
-	if c.rec != nil {
+	if c.rec != nil || c.slo != nil {
 		stage := obs.StageDone
 		if err != nil {
 			stage = obs.StageFailed

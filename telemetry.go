@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"github.com/vnpu-sim/vnpu/internal/obs"
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 )
 
 // This file is the cluster's observability plane (see internal/obs):
@@ -37,10 +38,57 @@ func (c *Cluster) TraceSnapshot() []TraceEvent {
 // Handler returns the cluster's live telemetry surface — /metrics
 // (Prometheus text exposition), /trace and /trace.json (the lifecycle
 // trace window, raw and as Chrome trace_event JSON; 404 unless
-// WithTracing is on), and /debug/pprof/. Serve it with http.Server;
-// every endpoint reads through snapshot paths and is safe under load
-// (vnpuserve -listen).
-func (c *Cluster) Handler() http.Handler { return obs.NewMux(c.reg, c.rec) }
+// WithTracing is on), /debug/slo (the error-budget report; 404 unless
+// WithSLO declared objectives), and /debug/pprof/. Serve it with
+// http.Server; every endpoint reads through snapshot paths and is safe
+// under load (vnpuserve -listen).
+func (c *Cluster) Handler() http.Handler {
+	return obs.NewMux(c.reg, c.rec, sloEndpoints(c.slo)...)
+}
+
+// sloEndpoints hangs the tracker's report handler off the telemetry mux
+// (empty when no objectives are declared).
+func sloEndpoints(tr *slo.Tracker) []obs.Endpoint {
+	if tr == nil {
+		return nil
+	}
+	return []obs.Endpoint{{Path: "/debug/slo", Handler: tr}}
+}
+
+// priorityClassNames is the class-index → label-name table shared by the
+// SLO tracker and the metric families (index 0 = PriorityBestEffort).
+func priorityClassNames() []string {
+	names := make([]string, NumPriorityClasses)
+	for i := range names {
+		names[i] = Priority(i + 1).String()
+	}
+	return names
+}
+
+// SLOReport computes the current error-budget report — one Status per
+// (objective, tenant, class) series with window counts, budget
+// remaining, fast/slow burn rates and the ok/warn/page state. The
+// boolean is false when WithSLO declared no objectives.
+func (c *Cluster) SLOReport() (slo.Report, bool) {
+	if c.slo == nil {
+		return slo.Report{}, false
+	}
+	return c.slo.Report(c.clk.Now()), true
+}
+
+// Attribution folds the retained trace window into a critical-path
+// report: per-segment sojourn totals (queue-wait, map-park, batching,
+// execution, ...) with per-shard and per-tenant margins. It covers the
+// ring window only — check TraceDropped for truncation — and returns
+// false when tracing is off.
+func (c *Cluster) Attribution() (slo.Attribution, bool) {
+	if c.rec == nil {
+		return slo.Attribution{}, false
+	}
+	a := slo.NewAnalyzer()
+	a.Feed(c.rec.Snapshot())
+	return a.Report(), true
+}
 
 // TraceDropped reports how many trace events the ring buffers have
 // overwritten — the truncation of TraceSnapshot's window.
@@ -72,22 +120,30 @@ func (c *Cluster) stageHist(stage string, class int) *obs.Histogram {
 
 // trace records one lifecycle event for a job. It is the single
 // recording seam for both serving paths — the dispatcher calls it via
-// SetObserver, the session path directly — and a no-op when tracing is
-// off, so the hot paths pay one nil check. The pointer spares the hot
-// paths a Job copy per stage.
+// SetObserver, the session path directly — feeding the trace recorder
+// and the SLO tracker alike, and a no-op when both are off, so the hot
+// paths pay two nil checks. The pointer spares the hot paths a Job copy
+// per stage.
 func (c *Cluster) trace(job *Job, stage obs.Stage, detail string, chip int) {
-	if c.rec == nil {
+	if c.rec == nil && c.slo == nil {
 		return
 	}
-	c.rec.Record(c.shard, obs.Event{
+	e := obs.Event{
 		Job:    job.obsID,
 		Stage:  stage,
 		Detail: detail,
 		Class:  job.Priority.class(),
+		Shard:  c.shard,
 		Chip:   chip,
 		Tenant: job.tenant(),
 		At:     c.clk.Now(),
-	})
+	}
+	if c.rec != nil {
+		c.rec.Record(c.shard, e)
+	}
+	if c.slo != nil {
+		c.slo.Observe(e)
+	}
 }
 
 // ClusterSnapshot bundles every per-cluster counter family, captured in
@@ -205,7 +261,7 @@ func (c *Cluster) collect(emit func(obs.Sample)) {
 	counter("vnpu_session_idle_cores", "Chip cores held by idle sessions (warm, reclaimable).", float64(ss.IdleCores))
 
 	if c.rec != nil {
-		counter("vnpu_trace_dropped_events_total", "Lifecycle trace events overwritten in the ring buffers.", float64(c.TraceDropped()))
+		counter("vnpu_trace_dropped_total", "Lifecycle trace events overwritten in the ring buffers.", float64(c.TraceDropped()))
 	}
 }
 
@@ -245,9 +301,33 @@ func (f *Fleet) TraceDropped() uint64 {
 
 // Handler returns the fleet's live telemetry surface; see
 // Cluster.Handler. The /metrics scrape covers every shard (shard-
-// labeled series) and the trace endpoints cover the fleet-wide
-// recorder.
-func (f *Fleet) Handler() http.Handler { return obs.NewMux(f.reg, f.rec) }
+// labeled series), the trace endpoints cover the fleet-wide recorder,
+// and /debug/slo reports the fleet-wide error budgets.
+func (f *Fleet) Handler() http.Handler {
+	return obs.NewMux(f.reg, f.rec, sloEndpoints(f.slo)...)
+}
+
+// SLOReport computes the fleet-wide error-budget report; see
+// Cluster.SLOReport. Every shard scores into one shared tracker, so the
+// budgets cover jobs wherever they ran (including forwarded ones).
+func (f *Fleet) SLOReport() (slo.Report, bool) {
+	if f.slo == nil {
+		return slo.Report{}, false
+	}
+	return f.slo.Report(f.clk.Now()), true
+}
+
+// Attribution folds the fleet's retained trace window into a critical-
+// path report; see Cluster.Attribution. Forward hops (steals) appear as
+// the "forward" segment attributed to the victim shard.
+func (f *Fleet) Attribution() (slo.Attribution, bool) {
+	if f.rec == nil {
+		return slo.Attribution{}, false
+	}
+	a := slo.NewAnalyzer()
+	a.Feed(f.rec.Snapshot())
+	return a.Report(), true
+}
 
 // collect emits the fleet's own counters (shard counters come from the
 // nested shard registries).

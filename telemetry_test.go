@@ -3,6 +3,7 @@ package vnpu
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/obs/slo"
 )
 
 // tracedCluster boots the single-chip decode-serving cluster the tracing
@@ -138,7 +141,17 @@ func TestTracingOffByDefault(t *testing.T) {
 // dropping a series breaks dashboards, so it must show up in review as a
 // change to this list.
 func TestMetricNamesStable(t *testing.T) {
-	cluster := tracedCluster(t, WithTracing())
+	cluster := tracedCluster(t, WithTracing(),
+		WithSLO(SLO{Target: time.Second, Window: time.Minute}))
+	// The SLO families appear once a job has been scored.
+	ctx := context.Background()
+	h, err := cluster.Submit(ctx, decodeJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := cluster.Registry().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -168,8 +181,10 @@ func TestMetricNamesStable(t *testing.T) {
 		"vnpu_session_cold_creates_total", "vnpu_session_evictions_total",
 		"vnpu_session_idle", "vnpu_session_idle_cores",
 		"vnpu_session_warm_hits_total",
+		"vnpu_slo_bad_total", "vnpu_slo_budget_remaining",
+		"vnpu_slo_burn_rate", "vnpu_slo_good_total", "vnpu_slo_state",
 		"vnpu_stage_latency_seconds",
-		"vnpu_trace_dropped_events_total",
+		"vnpu_trace_dropped_total",
 	}
 	for _, name := range want {
 		if !got[name] {
@@ -215,6 +230,57 @@ func TestTelemetryHandler(t *testing.T) {
 	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
 	if !strings.Contains(rr.Body.String(), `vnpu_stage_latency_seconds_bucket`) {
 		t.Fatal("/metrics missing stage latency histogram")
+	}
+}
+
+// TestDebugSLOEndpoint: a cluster with declared objectives serves its
+// error-budget standing at /debug/slo, and the SLO plane works without a
+// trace recorder attached (the tracker hands out job ids itself).
+func TestDebugSLOEndpoint(t *testing.T) {
+	cluster := tracedCluster(t,
+		WithSLO(SLO{Target: time.Second, Window: time.Minute},
+			SLO{Tenant: "decode", Priority: PriorityNormal, Target: time.Second}))
+	ctx := context.Background()
+	h, err := cluster.Submit(ctx, decodeJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	cluster.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/slo: status %d", rr.Code)
+	}
+	var rep slo.Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/debug/slo: not JSON: %v\n%s", err, rr.Body.Bytes())
+	}
+	// One series under the wildcard objective, one under the
+	// tenant-scoped one.
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("/debug/slo: %d series, want 2:\n%s", len(rep.Objectives), rr.Body.Bytes())
+	}
+	for _, st := range rep.Objectives {
+		if st.Tenant != "decode" {
+			t.Fatalf("series tenant %q, want decode", st.Tenant)
+		}
+		if st.Good+st.Bad != 1 {
+			t.Fatalf("series scored %d jobs, want 1", st.Good+st.Bad)
+		}
+		if st.State != slo.StateOK {
+			t.Fatalf("one fast job put the series at %q, want ok", st.State)
+		}
+	}
+
+	rep2, ok := cluster.SLOReport()
+	if !ok {
+		t.Fatal("SLOReport unavailable with objectives declared")
+	}
+	if len(rep2.Objectives) != 2 {
+		t.Fatalf("SLOReport: %d series, want 2", len(rep2.Objectives))
 	}
 }
 
