@@ -279,6 +279,72 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
 }
 
+// benchChipConcurrency drives four disjoint 4x4 vNPUs on one 16x16 chip
+// and reports jobs per second. With slots=1 the dispatcher serializes
+// execution (the pre-timing-domain behavior); with slots=4 the four
+// regions execute overlapped in their own timing domains. The ratio
+// between the two arms is the spatial-concurrency win; simulation is
+// CPU-bound, so realizing it needs GOMAXPROCS >= the region count (on a
+// single-CPU host the arms tie, minus GC pressure from the co-resident
+// runs' working sets).
+func benchChipConcurrency(b *testing.B, slots int) {
+	cfg := SimConfig()
+	cfg.Name = "sim-16x16"
+	cfg.MeshRows, cfg.MeshCols = 16, 16
+	cluster, err := NewCluster(cfg, 1, WithQueueDepth(64), WithChipSlots(slots))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+
+	model, err := ModelByName("alexnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const regions = 4
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles := make([]*Handle, regions)
+		for r := 0; r < regions; r++ {
+			h, err := cluster.Submit(ctx, Job{
+				Tenant:   fmt.Sprintf("region-%d", r),
+				Model:    model,
+				Topology: Mesh(4, 4),
+				// Enough simulated iterations that execution, not the
+				// create path, dominates each job — the regime where
+				// serialized execution was the throughput ceiling.
+				Iterations: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[r] = h
+		}
+		for _, h := range handles {
+			if _, err := h.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*regions)/time.Since(start).Seconds(), "jobs/s")
+	if slots > 1 {
+		b.ReportMetric(cluster.Stats().ExecOverlapAvg, "overlap")
+	}
+}
+
+// BenchmarkChipConcurrency measures overlapped execution of four
+// disjoint 4x4 vNPUs on a 16x16 chip; compare against
+// BenchmarkChipConcurrencySerialized for the speedup (target: >=2x).
+func BenchmarkChipConcurrency(b *testing.B) { benchChipConcurrency(b, 4) }
+
+// BenchmarkChipConcurrencySerialized is the slots=1 baseline: the same
+// four-region workload behind a single execution slot, reproducing the
+// old chip-wide execution lock.
+func BenchmarkChipConcurrencySerialized(b *testing.B) { benchChipConcurrency(b, 1) }
+
 // benchSessionPath drives a steady stream of identical small decode-phase
 // jobs at a single chip, with or without the session pool — the warm/cold
 // comparison behind the session-reuse PR. The simulated work is identical

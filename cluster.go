@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
@@ -24,9 +25,11 @@ import (
 // plus per-tenant in-flight quotas), and are placed by the placement
 // engine — the chip whose free region matches the requested topology best
 // (minimum topology edit distance), with ties going to the cheapest chip
-// class and then the least-loaded chip. One worker goroutine per chip
-// executes placed jobs in order; when no chip can host a job, dispatch
-// parks until a finishing job frees capacity.
+// class and then the least-loaded chip. Each chip runs a small pool of
+// execution slots (WithChipSlots): spatially disjoint vNPUs execute
+// concurrently, each in its own timing domain, while overlapping regions
+// serialize on a per-chip region lock. When no chip can host a job,
+// dispatch parks until a finishing job frees capacity.
 //
 // Placement decisions are cached: scored topology mappings are memoized
 // per (chip class, free-set signature, requested topology, strategy) and
@@ -55,11 +58,31 @@ type Cluster struct {
 	// would admit jobs that then head-of-line-block the FIFO dispatcher.
 	chipCaps []chipCap
 
-	// execMu serializes workload execution (and the timing reset before
-	// it) per chip. The dispatcher's one-worker-per-chip design used to
-	// guarantee this implicitly; session goroutines execute on chips too,
-	// so the invariant is now a lock.
-	execMu []sync.Mutex
+	// regions admits concurrent executions per chip: each executing job
+	// claims its vNPU's core set and waits only on claims that intersect
+	// it. The hypervisor hands out disjoint core sets, so on the serving
+	// paths the wait is normally zero — the lock is the safety net that
+	// turns an isolation bug into serialization instead of timing
+	// corruption. A vNPU without a timing domain claims the whole chip
+	// (its reset is chip-global). chipNodes caches each chip's full node
+	// list for those exclusive claims.
+	regions   []*chipRegions
+	chipNodes [][]topo.NodeID
+
+	// coreNanos is the per-chip occupancy integral: each finished
+	// execution adds its duration times the cores it held, so
+	// Snapshot's ChipBusy (coreNanos / chip cores) stays a true
+	// occupancy (<= wall clock) even when executions overlap.
+	coreNanos []atomic.Int64
+	// curJobs counts executions in flight per chip (the
+	// vnpu_chip_concurrent_jobs gauge); overlap histograms the
+	// concurrency level sampled at each execution start, feeding
+	// ClusterStats.ExecOverlapAvg and ChipConcurrencyP99.
+	curJobs []atomic.Int64
+	overlap [overlapLevels]atomic.Uint64
+	// regionWait observes how long each execution waited to claim its
+	// region (vnpu_exec_region_wait_seconds).
+	regionWait *obs.Histogram
 
 	// pool holds resident session vNPUs when WithSessionReuse is on (nil
 	// otherwise); see session.go for the serving path built on it.
@@ -85,13 +108,6 @@ type Cluster struct {
 	sessCompleted uint64
 	sessFailed    uint64
 	sessChipJobs  []int
-	sessChipBusy  []time.Duration
-	// execWait accumulates, per chip, the time dispatcher jobs spent
-	// waiting on execMu while session jobs held the chip. The session
-	// holder books that time as its own busy time, so Stats subtracts it
-	// from the dispatcher's wall-clock measurement to keep per-chip busy
-	// a true occupancy (<= 100%).
-	execWait []time.Duration
 
 	// defaultPriority is the class PriorityDefault resolves to;
 	// priorityCaps clamps specific tenants' classes (see
@@ -175,6 +191,7 @@ type clusterConfig struct {
 	priorityCaps    map[string]Priority
 	agingRounds     int
 	mapperWorkers   int
+	chipSlots       int
 	regret          *float64
 	clock           sim.Clock
 	negTTL          *time.Duration
@@ -227,6 +244,21 @@ func WithPlacementCacheSize(n int) ClusterOption {
 // DefaultQueueDepth is the admission-queue bound when none is given.
 const DefaultQueueDepth = sched.DefaultQueueDepth
 
+// DefaultChipSlots is the per-chip execution-slot count when
+// WithChipSlots is not given.
+const DefaultChipSlots = 4
+
+// WithChipSlots sets how many dispatcher jobs may execute concurrently
+// on one chip (default DefaultChipSlots). Spatially disjoint vNPUs run
+// overlapped, each inside its own timing domain, so every job still
+// observes the cycle timeline it would see alone on the chip; jobs whose
+// core regions overlap — which the hypervisor's disjoint allocations
+// make rare to impossible — serialize on the chip's region lock. n = 1
+// restores the fully serialized execution model.
+func WithChipSlots(n int) ClusterOption {
+	return func(c *clusterConfig) { c.chipSlots = n }
+}
+
 // PlacementStats is a snapshot of the placement engine's counters: cache
 // hits/misses/evictions and placement-decision latency.
 type PlacementStats = metrics.PlacementStats
@@ -255,21 +287,28 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	c := &Cluster{
 		clk:             cc.clock,
 		systems:         make([]*System, len(specs)),
-		execMu:          make([]sync.Mutex, len(specs)),
+		regions:         make([]*chipRegions, len(specs)),
+		chipNodes:       make([][]topo.NodeID, len(specs)),
+		coreNanos:       make([]atomic.Int64, len(specs)),
+		curJobs:         make([]atomic.Int64, len(specs)),
 		progs:           make(map[progKey]*progEntry),
 		sessChipJobs:    make([]int, len(specs)),
-		sessChipBusy:    make([]time.Duration, len(specs)),
-		execWait:        make([]time.Duration, len(specs)),
 		seen:            make(map[session.Key]uint8),
 		capFreed:        make(chan struct{}, 1),
 		defaultPriority: cc.defaultPriority,
 		priorityCaps:    cc.priorityCaps,
+	}
+	for i := range c.regions {
+		c.regions[i] = newChipRegions()
 	}
 	if c.defaultPriority == PriorityDefault {
 		c.defaultPriority = PriorityNormal
 	}
 	c.shard = cc.shard
 	c.reg = obs.NewRegistry()
+	c.regionWait = c.reg.Histogram("vnpu_exec_region_wait_seconds",
+		"Time each execution waited to claim its core region on the chip.",
+		c.shardLabel())
 	switch {
 	case cc.recorder != nil:
 		c.rec = cc.recorder
@@ -293,6 +332,7 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			return nil, fmt.Errorf("vnpu: booting chip %d: %w", i, err)
 		}
 		c.systems[i] = sys
+		c.chipNodes[i] = sys.dev.Graph().Nodes()
 		if n := spec.Config.Cores(); n > c.maxCores {
 			c.maxCores = n
 		}
@@ -336,10 +376,15 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		c.queueDepth = DefaultQueueDepth
 	}
 	c.tenantQuota = cc.tenantQuota
+	slots := cc.chipSlots
+	if slots <= 0 {
+		slots = DefaultChipSlots
+	}
 	disp, err := sched.New[Job, *VirtualNPU, JobReport](
 		(*clusterExec)(c),
 		sched.Config{
 			Chips:       len(specs),
+			ChipSlots:   slots,
 			QueueDepth:  cc.queueDepth,
 			Classes:     NumPriorityClasses,
 			AgingRounds: cc.agingRounds,
@@ -745,7 +790,11 @@ type ClusterStats struct {
 	Failed uint64
 	// ChipJobs counts executed jobs per chip.
 	ChipJobs []int
-	// ChipBusy is the cumulative wall-clock execution time per chip.
+	// ChipBusy is the per-chip occupancy integral: each execution's
+	// duration weighted by the fraction of the chip's cores its vNPU
+	// held. Unlike a wall-clock sum over possibly overlapping
+	// executions, it never exceeds elapsed time, so busy/wall stays a
+	// true per-chip utilization.
 	ChipBusy []time.Duration
 	// HitsFirst counts dispatcher jobs started through the hits-first
 	// fast path (a cached placement within the regret bound).
@@ -753,6 +802,12 @@ type ClusterStats struct {
 	// MapParked counts dispatcher jobs that parked on an async mapping
 	// instead of blocking the dispatch loop on a mapper run.
 	MapParked uint64
+	// ExecOverlapAvg is the mean number of executions in flight on a
+	// chip, sampled at each execution's start (1 = fully serialized).
+	ExecOverlapAvg float64
+	// ChipConcurrencyP99 is the 99th percentile of the same
+	// concurrency-level samples.
+	ChipConcurrencyP99 float64
 }
 
 // SchedStats is a per-class snapshot of the scheduler core: submissions,
@@ -825,8 +880,10 @@ func (c *Cluster) flushSessions() int {
 
 // clusterExec adapts the Cluster to the dispatcher's Executor interface.
 // Rank and Place run on the dispatcher goroutine, Execute and Release on
-// the owning chip's worker — the hypervisor's and engine's own locks cover
-// that concurrency, and execution itself is serialized per chip by design.
+// one of the owning chip's execution slots — the hypervisor's and
+// engine's own locks cover that concurrency, and execution itself is
+// admitted by the chip's region lock: disjoint vNPUs overlap in their
+// private timing domains, overlapping ones serialize.
 type clusterExec Cluster
 
 // placeRequest projects a job's Request onto the placement engine's.
@@ -959,22 +1016,29 @@ func (e *clusterExec) Place(chip int, job Job) (*VirtualNPU, error) {
 		_ = e.systems[chip].Destroy(v)
 		return nil, err
 	}
+	// Give the vNPU its private timing domain so Execute can overlap it
+	// with disjoint neighbors. The hypervisor hands out disjoint core
+	// sets, so an overlap failure here means the placement view is
+	// corrupt — undo the create rather than execute on shared timing.
+	if err := v.OpenDomain(); err != nil {
+		nodes := append([]topo.NodeID(nil), v.Nodes()...)
+		_ = e.systems[chip].Destroy(v)
+		_ = e.engine.Release(chip, nodes)
+		return nil, err
+	}
 	return v, nil
 }
 
 // Execute runs the job on its placed vNPU. The program comes from the
 // cluster's compile-once cache — admission sizing already compiled the
 // shape, so repeat one-shot traffic runs a cached program rebased to its
-// vNPU instead of recompiling per job. The chip's transient timing
-// state is reset first: each time-multiplexed job gets a fresh cycle
-// timeline. Execution on a chip is serialized by execMu — the worker
-// goroutine alone no longer suffices, since session goroutines execute
-// on the same chips. The job's context cancels mid-run: the simulator
-// polls it between timeline events.
+// vNPU instead of recompiling per job. The vNPU's private timing domain
+// is reset first (ResetForRun): each job gets a fresh cycle timeline
+// without disturbing neighbors executing concurrently on the same chip.
+// The region claim admits the execution — normally immediately, since
+// placed vNPUs hold disjoint cores. The job's context cancels mid-run:
+// the simulator polls it between timeline events.
 func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job Job) (JobReport, error) {
-	if e.testExecHook != nil {
-		e.testExecHook(chip)
-	}
 	if err := ctx.Err(); err != nil {
 		return JobReport{}, err
 	}
@@ -984,33 +1048,21 @@ func (e *clusterExec) Execute(ctx context.Context, chip int, v *VirtualNPU, job 
 		// Defensive: only Submit-built jobs carry the fingerprint.
 		sig = modelSignature(job.Model)
 	}
-	// Resolve the program before taking the chip: a cache hit costs a
-	// map lookup (plus a rebase copy), and a miss compiles without
-	// holding up whatever session traffic shares the chip.
+	// Resolve the program before claiming the region: a cache hit costs
+	// a map lookup (plus a rebase copy), and a miss compiles without
+	// holding cores another job might be waiting on.
 	cm, err := (*Cluster)(e).compileFor(chip, v, job.Model, sig)
 	if err != nil {
 		return JobReport{}, err
 	}
-	enter := e.clk.Now()
-	e.execMu[chip].Lock()
-	locked := e.clk.Now()
-	sys.dev.ResetTiming()
-	sys.ResetTransients(v)
-	rep, err := sys.RunCompiled(ctx, v, cm, job.Iterations)
-	held := e.clk.Since(locked)
-	e.execMu[chip].Unlock()
-	// The chip worker's busy clock wraps this whole call, but only the
-	// locked region is chip occupancy: the wait for execMu is time a
-	// session holder already books as its own, and with a pool in play it
-	// would double-count. Record the non-locked remainder so Stats can
-	// take it back out of the worker's measurement.
-	if e.pool != nil {
-		if outside := e.clk.Since(enter) - held; outside > 0 {
-			e.sessMu.Lock()
-			e.execWait[chip] += outside
-			e.sessMu.Unlock()
-		}
+	claim := (*Cluster)(e).acquireRegion(chip, v)
+	if e.testExecHook != nil {
+		e.testExecHook(chip)
 	}
+	start := e.clk.Now()
+	v.ResetForRun()
+	rep, err := sys.RunCompiled(ctx, v, cm, job.Iterations)
+	(*Cluster)(e).releaseRegion(chip, claim, v.NumCores(), e.clk.Since(start))
 	if err != nil {
 		return JobReport{}, err
 	}

@@ -216,6 +216,11 @@ type summary struct {
 	ColdP99Micros int64   `json:"cold_shape_p99_us"`
 	ColdShapeJobs int     `json:"cold_shape_jobs"`
 
+	// Spatial-concurrency facts: mean and p99 of the number of vNPUs
+	// executing overlapped on a chip (1.0 = the old serialized regime).
+	ExecOverlapAvg     float64 `json:"exec_overlap_avg"`
+	ChipConcurrencyP99 float64 `json:"chip_concurrency_p99"`
+
 	// Hits-first quality facts: how often the negative-result TTL
 	// short-circuited a doomed mapping, and how much placement cost the
 	// hits-first shortcut realized versus the async rank's eventual best.
@@ -540,6 +545,10 @@ func run(rc runConfig) error {
 			sess.Evicted(), sess.EvictedTTL, sess.EvictedLRU, sess.EvictedPressure,
 			sess.IdleSessions+sess.BusySessions)
 	}
+	if stats.ExecOverlapAvg > 0 {
+		fmt.Printf("concurrency:   %.2f vNPUs executing overlapped per chip on average   p99 %.0f\n",
+			stats.ExecOverlapAvg, stats.ChipConcurrencyP99)
+	}
 	fmt.Println("per chip:")
 	usage := cluster.CoreUsage()
 	for i := 0; i < cluster.Chips(); i++ {
@@ -597,10 +606,14 @@ func run(rc runConfig) error {
 			PrewarmHits:    ps.PrewarmHits,
 			PrewarmWasted:  ps.PrewarmWasted,
 			ColdShapeJobs:  len(coldWaits),
-			NegHits:        ps.NegHits,
-			RegretSamples:  ps.RegretSamples,
-			RegretAvg:      ps.AvgRegret(),
-			RegretP99:      ps.RegretP99,
+
+			ExecOverlapAvg:     stats.ExecOverlapAvg,
+			ChipConcurrencyP99: stats.ChipConcurrencyP99,
+
+			NegHits:       ps.NegHits,
+			RegretSamples: ps.RegretSamples,
+			RegretAvg:     ps.AvgRegret(),
+			RegretP99:     ps.RegretP99,
 		}
 		if sloOK {
 			sum.SLO = &sloRep

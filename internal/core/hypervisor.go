@@ -63,7 +63,9 @@ const guestVABase = 1 << 32
 // and the read-side accessors may be called from multiple goroutines (the
 // cluster dispatcher places vNPUs while chip workers destroy finished
 // ones). Executing workloads on the device is not covered by this lock —
-// the serving layer serializes execution per chip.
+// the serving layer runs each vNPU inside its own timing domain (see
+// VNPU.OpenDomain) and serializes only overlapping core regions, so
+// disjoint vNPUs execute concurrently.
 type Hypervisor struct {
 	dev *npu.Device
 
@@ -402,6 +404,10 @@ func (h *Hypervisor) Destroy(vm VMID) error {
 	if v.Leased() {
 		return fmt.Errorf("core: vNPU %d has an active session lease: %w", vm, ErrLeased)
 	}
+	// Release the timing domain first so its cores are claimable by the
+	// next domain; releaseCore then installs fresh bare-metal ports,
+	// which also unwinds any bank binding.
+	v.closeDomain()
 	for _, node := range v.nodes {
 		if err := h.releaseCore(node); err != nil {
 			return err

@@ -69,6 +69,14 @@ type VNPU struct {
 	port        *mem.Port
 	kvBytes     int64
 
+	// dom, when non-nil, is the vNPU's private timing domain: NoC link
+	// calendars and HBM channel calendars scoped to this vNPU, letting
+	// spatially disjoint vNPUs execute concurrently on one chip. Opened
+	// by the serving layer (OpenDomain) — the synchronous experiments
+	// leave it nil and keep the shared chip-global timeline, which is
+	// what lets them model cross-vNPU contention deliberately.
+	dom *npu.Domain
+
 	// leases counts serving-layer leases on this vNPU (a resident session
 	// holds one while a job executes on it). Destroy refuses a leased
 	// vNPU, so a pool bug — evicting a session mid-execution — surfaces
@@ -143,7 +151,69 @@ func (f *vnpuFabric) Transfer(start sim.Cycles, src, dst topo.NodeID, size int) 
 	if err != nil {
 		return start, err
 	}
+	if f.v.dom != nil {
+		return f.v.dom.NoC().Transfer(start+VRouterNoCOverheadCycles, path, size, int(f.v.id))
+	}
 	return f.v.dev.NoC().Transfer(start+VRouterNoCOverheadCycles, path, size, int(f.v.id))
+}
+
+// OpenDomain gives the vNPU a private timing domain: NoC link calendars
+// scoped to its routes and a private HBM calendar bank its core ports
+// rebind into. After this, the vNPU's execution shares no transient
+// timing state with other vNPUs, so the serving layer may run it
+// concurrently with disjoint neighbors on the same chip. The device
+// enforces core-set disjointness across open domains (ErrDomainOverlap).
+// Idempotent once open; Destroy closes the domain.
+func (v *VNPU) OpenDomain() error {
+	if v.dom != nil {
+		return nil
+	}
+	dom, err := v.dev.OpenDomain(v.nodes)
+	if err != nil {
+		return fmt.Errorf("core: vNPU %d: %w", v.id, err)
+	}
+	for _, node := range v.nodes {
+		c, err := v.dev.Core(node)
+		if err != nil {
+			dom.Close()
+			return err
+		}
+		if p := c.Port(); p != nil {
+			p.UseBank(dom.Bank())
+		}
+	}
+	v.dom = dom
+	return nil
+}
+
+// HasDomain reports whether a private timing domain is open. The
+// serving layer's region lock uses it: a domain-less vNPU must execute
+// exclusively on its chip, a domained one only needs its own cores.
+func (v *VNPU) HasDomain() bool { return v.dom != nil }
+
+// closeDomain releases the vNPU's timing domain, if open. Port bindings
+// are not unwound here: Destroy's releaseCore installs fresh bare-metal
+// ports anyway, which is the only path that closes domains.
+func (v *VNPU) closeDomain() {
+	if v.dom != nil {
+		v.dom.Close()
+		v.dom = nil
+	}
+}
+
+// ResetForRun clears the vNPU's per-job transient timing state so its
+// next run starts from cycle zero. With a timing domain open the reset
+// is fully scoped to the domain — neighbors keep executing undisturbed.
+// Without one (the serialized model) it falls back to the chip-global
+// timing reset plus this vNPU's core transients, so the caller must
+// hold exclusive execution on the chip.
+func (v *VNPU) ResetForRun() {
+	if v.dom != nil {
+		v.dom.Reset()
+		return
+	}
+	v.dev.ResetTiming()
+	v.dev.ResetCoreTransients(v.nodes)
 }
 
 // path returns (and caches) the route between two of the vNPU's physical

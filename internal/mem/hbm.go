@@ -61,7 +61,12 @@ func (h *HBM) Port(channels ...int) (*Port, error) {
 			return nil, fmt.Errorf("mem: channel %d out of range [0,%d)", c, len(h.channels))
 		}
 	}
-	return &Port{hbm: h, channels: channels}, nil
+	p := &Port{hbm: h, channels: channels}
+	p.cals = make([]*sim.Calendar, len(channels))
+	for i, c := range channels {
+		p.cals[i] = &h.channels[c]
+	}
+	return p, nil
 }
 
 // Reset clears all channel reservations for a fresh run.
@@ -72,13 +77,63 @@ func (h *HBM) Reset() {
 }
 
 // Port is a virtual NPU's view of the HBM: a channel subset and an
-// optional bandwidth cap (the vChunk access counter, §4.2).
+// optional bandwidth cap (the vChunk access counter, §4.2). A port books
+// its bursts either into the chip-global channel calendars (the default,
+// for the serialized execution model) or — after UseBank — into a vNPU
+// timing domain's private Bank, so spatially disjoint vNPUs can execute
+// concurrently without sharing transient timing state.
 type Port struct {
 	hbm      *HBM
 	channels []int
-	counter  *AccessCounter
-	bytes    int64
+	// cals[i] is the calendar bursts on channels[i] reserve into: the
+	// HBM's own calendar by default, a Bank's private one after UseBank.
+	cals    []*sim.Calendar
+	counter *AccessCounter
+	bytes   int64
 }
+
+// Bank is a private set of HBM channel calendars — the memory half of a
+// vNPU timing domain. Every port of one vNPU binds to the same bank
+// (UseBank), so the vNPU's cores still contend with each other on their
+// channel share exactly as they would on a freshly reset chip, while
+// never observing (or perturbing) other vNPUs' reservations.
+type Bank struct {
+	cals map[int]*sim.Calendar // physical channel index -> private calendar
+}
+
+// NewBank returns an empty bank; calendars materialize per physical
+// channel as ports bind to it.
+func NewBank() *Bank { return &Bank{cals: make(map[int]*sim.Calendar)} }
+
+func (b *Bank) calendar(c int) *sim.Calendar {
+	cal, ok := b.cals[c]
+	if !ok {
+		cal = &sim.Calendar{}
+		b.cals[c] = cal
+	}
+	return cal
+}
+
+// Reset clears every private calendar so the domain's next job starts
+// from cycle zero. It touches no chip-global state.
+func (b *Bank) Reset() {
+	for _, cal := range b.cals {
+		cal.Reset()
+	}
+}
+
+// UseBank rebinds the port's bursts into the bank's private calendars
+// (keyed by the port's physical channel indices). The channel subset and
+// the access counter are unchanged — only where reservations land moves.
+func (p *Port) UseBank(b *Bank) {
+	p.cals = make([]*sim.Calendar, len(p.channels))
+	for i, c := range p.channels {
+		p.cals[i] = b.calendar(c)
+	}
+}
+
+// Channels returns a copy of the port's physical channel indices.
+func (p *Port) Channels() []int { return append([]int(nil), p.channels...) }
 
 // SetBandwidthCap installs an access counter limiting this port to
 // maxBytes per window of windowCycles. A nil-safe zero maxBytes removes
@@ -118,15 +173,15 @@ func (p *Port) Transfer(at sim.Cycles, size int) (done sim.Cycles) {
 	}
 	dur := sim.Cycles((size + p.hbm.bytesPerCycle - 1) / p.hbm.bytesPerCycle)
 	// Place the burst in the earliest idle gap across the port's channels
-	// (ties to the lowest channel index, keeping runs deterministic).
-	best := p.channels[0]
-	bestStart := p.hbm.channels[best].Probe(at, dur)
-	for _, c := range p.channels[1:] {
-		if s := p.hbm.channels[c].Probe(at, dur); s < bestStart {
-			best, bestStart = c, s
+	// (ties to the first-listed channel, keeping runs deterministic).
+	best := 0
+	bestStart := p.cals[0].Probe(at, dur)
+	for i := 1; i < len(p.cals); i++ {
+		if s := p.cals[i].Probe(at, dur); s < bestStart {
+			best, bestStart = i, s
 		}
 	}
-	start := p.hbm.channels[best].Reserve(at, dur)
+	start := p.cals[best].Reserve(at, dur)
 	p.bytes += int64(size)
 	return start + dur + p.hbm.latency
 }

@@ -42,6 +42,11 @@ type PlacementStats struct {
 	// negative-result memo across free-set churn — each one a mapper run
 	// (and likely a map-park) the TTL coalesced away.
 	NegHits uint64
+	// MapWorkers is the mapper worker-pool size at snapshot time. The
+	// pool sizes itself to demand between one resident worker and the
+	// configured bound, so this gauge shows how much mapping concurrency
+	// the traffic actually provoked.
+	MapWorkers int
 	// Realized hits-first regret, in edit-distance units: for each sampled
 	// hits-first dispatch, how much cheaper the full rank's eventual best
 	// mapping was than the cached candidate the job actually started on

@@ -12,6 +12,7 @@ package noc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/vnpu-sim/vnpu/internal/sim"
 	"github.com/vnpu-sim/vnpu/internal/topo"
@@ -73,15 +74,22 @@ const Unowned = 0
 // and b->a directions of a mesh link have independent bandwidth, as in
 // real full-duplex NoCs.
 //
-// Transfer is not safe for concurrent use (execution on a chip is
-// serialized by the caller), but ownership tags are: the hypervisor may
-// SetOwner from one goroutine while a transfer reads owners from another,
-// so the owner map carries its own lock.
+// Network.Transfer books into the chip-global link calendars and is not
+// safe for concurrent use — callers on that path (the synchronous
+// experiments) serialize execution themselves. Concurrent execution goes
+// through per-vNPU Domains instead, whose private calendars never alias;
+// statistics are atomic and ownership tags carry their own lock, so
+// domains may transfer concurrently with each other and with hypervisor
+// SetOwner calls.
 type Network struct {
 	graph *topo.Graph
 	cfg   Config
 	links map[[2]topo.NodeID]*sim.Resource
-	stats Stats
+
+	transfers    atomic.Uint64
+	packets      atomic.Uint64
+	bytes        atomic.Int64
+	interference atomic.Uint64
 
 	ownerMu sync.Mutex
 	owner   map[topo.NodeID]int // core -> virtual NPU tag (Unowned = none)
@@ -122,16 +130,31 @@ func (n *Network) Owner(core topo.NodeID) int {
 	return n.owner[core]
 }
 
-// Stats returns cumulative network statistics.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the cumulative network statistics,
+// covering transfers through the global calendars and every Domain.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Transfers:        n.transfers.Load(),
+		Packets:          n.packets.Load(),
+		Bytes:            n.bytes.Load(),
+		InterferenceHops: n.interference.Load(),
+	}
+}
 
 // ResetStats clears counters but keeps link state.
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	n.transfers.Store(0)
+	n.packets.Store(0)
+	n.bytes.Store(0)
+	n.interference.Store(0)
+}
 
-// ResetTiming clears every link's reservation calendar so a fresh
+// ResetTiming clears every chip-global link calendar so a fresh
 // execution can start from cycle zero. Ownership tags and statistics are
-// kept. The serving layer calls this between time-multiplexed jobs on a
-// chip; it must not run concurrently with a Transfer.
+// kept. The synchronous execution model (experiments running several
+// vNPUs in one shared timeline) calls this between runs; it must not run
+// concurrently with a Network.Transfer. Domains hold their own calendars
+// and are unaffected — concurrent serving resets per domain instead.
 func (n *Network) ResetTiming() {
 	for _, l := range n.links {
 		l.Reset()
@@ -148,6 +171,57 @@ func (n *Network) link(a, b topo.NodeID) *sim.Resource {
 	return l
 }
 
+// Domain is one vNPU's private timing scope over the network: the same
+// topology, timing parameters, ownership tags and statistics as the
+// owning Network, but link reservations land in calendars only this
+// domain sees. Disjoint vNPUs' domains therefore execute concurrently
+// with no timing coupling — each observes exactly the link state it
+// would see solo on a freshly reset chip. A domain materializes a
+// private calendar for any link a path touches, including links outside
+// the vNPU's region (an unconfined vNPU's DOR path may cross foreign
+// cores; under the serialized model those links were freshly reset per
+// run, so a private empty calendar is cycle-identical).
+//
+// A Domain is not safe for concurrent use with itself — one job runs in
+// a domain at a time — but distinct domains, and a domain alongside
+// hypervisor SetOwner calls, are safe.
+type Domain struct {
+	net   *Network
+	links map[[2]topo.NodeID]*sim.Resource
+}
+
+// NewDomain creates a private timing scope over the network.
+func (n *Network) NewDomain() *Domain {
+	return &Domain{net: n, links: make(map[[2]topo.NodeID]*sim.Resource)}
+}
+
+func (d *Domain) link(a, b topo.NodeID) *sim.Resource {
+	key := [2]topo.NodeID{a, b}
+	l, ok := d.links[key]
+	if !ok {
+		l = &sim.Resource{}
+		d.links[key] = l
+	}
+	return l
+}
+
+// ResetTiming clears the domain's private link calendars so its next job
+// starts from cycle zero. Other domains and the chip-global calendars
+// are untouched.
+func (d *Domain) ResetTiming() {
+	for _, l := range d.links {
+		l.Reset()
+	}
+}
+
+// Transfer is Network.Transfer scoped to the domain's private link
+// calendars. Interference accounting still reads the shared ownership
+// map, so cross-vNPU route crossings are observed even though timing is
+// isolated.
+func (d *Domain) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) (sim.Cycles, error) {
+	return d.net.transfer(at, path, size, vm, d.link)
+}
+
 // Transfer moves size bytes along path (a sequence of adjacent cores,
 // path[0] = source, path[len-1] = destination) starting no earlier than
 // `at`, splitting the payload into routing packets. It returns the arrival
@@ -162,6 +236,12 @@ func (n *Network) link(a, b topo.NodeID) *sim.Resource {
 // crossing flows grows with path length, the effect that punishes poor
 // topology mappings in Fig 18.
 func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) (sim.Cycles, error) {
+	return n.transfer(at, path, size, vm, n.link)
+}
+
+// transfer is the shared wormhole-timing core, parameterized by the
+// calendar scope (the chip-global link map or one domain's private map).
+func (n *Network) transfer(at sim.Cycles, path []topo.NodeID, size int, vm int, link func(a, b topo.NodeID) *sim.Resource) (sim.Cycles, error) {
 	if len(path) < 2 {
 		return at, fmt.Errorf("noc: path needs at least 2 nodes, got %d", len(path))
 	}
@@ -171,7 +251,7 @@ func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) 
 		if !n.graph.HasEdge(path[i], path[i+1]) {
 			return at, fmt.Errorf("noc: no link %d -> %d", path[i], path[i+1])
 		}
-		links[i] = n.link(path[i], path[i+1])
+		links[i] = link(path[i], path[i+1])
 	}
 	if size <= 0 {
 		return at + n.cfg.HandshakeCycles, nil
@@ -180,12 +260,14 @@ func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) 
 	// Interference: hops through routers owned by someone else. The source
 	// and destination belong to the flow, intermediate routers may not.
 	n.ownerMu.Lock()
+	var crossings uint64
 	for _, node := range path[1 : len(path)-1] {
 		if o := n.owner[node]; o != Unowned && o != vm {
-			n.stats.InterferenceHops++
+			crossings++
 		}
 	}
 	n.ownerMu.Unlock()
+	n.interference.Add(crossings)
 
 	cursor := at + n.cfg.HandshakeCycles
 	var arrival sim.Cycles
@@ -211,10 +293,10 @@ func (n *Network) Transfer(at sim.Cycles, path []topo.NodeID, size int, vm int) 
 		arrival = start + sim.Cycles(hops)*n.cfg.HopCycles + dur
 		// The next packet can inject once the first link frees.
 		cursor = start + dur
-		n.stats.Packets++
+		n.packets.Add(1)
 		remaining -= pkt
 	}
-	n.stats.Transfers++
-	n.stats.Bytes += int64(size)
+	n.transfers.Add(1)
+	n.bytes.Add(int64(size))
 	return arrival, nil
 }

@@ -1,12 +1,19 @@
 package npu
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/vnpu-sim/vnpu/internal/mem"
 	"github.com/vnpu-sim/vnpu/internal/noc"
 	"github.com/vnpu-sim/vnpu/internal/topo"
 )
+
+// ErrDomainOverlap reports an OpenDomain call whose core set intersects
+// an already open timing domain — spatial isolation requires disjoint
+// regions, so overlapping domains are refused outright.
+var ErrDomainOverlap = errors.New("npu: core set overlaps an open timing domain")
 
 // Device is one physical inter-core connected NPU chip.
 type Device struct {
@@ -16,6 +23,9 @@ type Device struct {
 	hbm   *mem.HBM
 	cores map[topo.NodeID]*Core
 	ctrl  *Controller
+
+	domMu    sync.Mutex
+	domOwner map[topo.NodeID]*Domain // core -> open timing domain
 }
 
 // NewDevice builds a chip from the configuration.
@@ -25,11 +35,12 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	g := topo.Mesh2D(cfg.MeshRows, cfg.MeshCols)
 	d := &Device{
-		cfg:   cfg,
-		graph: g,
-		net:   noc.New(g, cfg.NoC),
-		hbm:   mem.NewHBM(cfg.HBMChannels, cfg.HBMBytesPerCycle, cfg.HBMLatency),
-		cores: make(map[topo.NodeID]*Core, cfg.Cores()),
+		cfg:      cfg,
+		graph:    g,
+		net:      noc.New(g, cfg.NoC),
+		hbm:      mem.NewHBM(cfg.HBMChannels, cfg.HBMBytesPerCycle, cfg.HBMLatency),
+		cores:    make(map[topo.NodeID]*Core, cfg.Cores()),
+		domOwner: make(map[topo.NodeID]*Domain),
 	}
 	for _, id := range g.Nodes() {
 		port, err := d.hbm.Port() // default: all channels
@@ -62,12 +73,20 @@ func (d *Device) HBM() *mem.HBM { return d.hbm }
 // Controller returns the NPU controller.
 func (d *Device) Controller() *Controller { return d.ctrl }
 
-// ResetTiming clears the transient reservation state of the chip's shared
-// resources — HBM channel calendars and NoC links — so the next Run starts
-// from cycle zero. vNPU allocations, ownership tags and translator state
-// are untouched (see ResetCoreTransients for per-core state). The serving
-// layer calls this between time-multiplexed jobs; it must not run
-// concurrently with an active Run on this device.
+// ResetTiming clears the transient reservation state of the chip's
+// GLOBAL shared resources — the chip-wide HBM channel calendars and NoC
+// link calendars — so the next synchronous Run starts from cycle zero.
+// vNPU allocations, ownership tags and translator state are untouched
+// (see ResetCoreTransients for per-core state).
+//
+// This is the reset of the serialized execution model: the experiments
+// that deliberately run several vNPUs in ONE shared timeline (to measure
+// cross-vNPU memory/NoC contention) reset the whole chip between
+// combined runs and must not call it concurrently with an active Run.
+// The concurrent serving paths never call it per job anymore — each vNPU
+// executes inside its own timing Domain and resets only that
+// (Domain.Reset), which is what lets spatially disjoint vNPUs run
+// overlapped on one chip.
 func (d *Device) ResetTiming() {
 	d.hbm.Reset()
 	d.net.ResetTiming()
@@ -75,12 +94,15 @@ func (d *Device) ResetTiming() {
 
 // ResetCoreTransients clears the per-job microarchitectural transients of
 // the given cores: translation TLBs, RTT lookup hints and bandwidth-cap
-// buckets. Together with ResetTiming it makes a resident (session-pooled)
-// vNPU timing-equivalent to a freshly created one — reuse skips the
-// create path, not the per-job state reset. Translation mappings and
-// cumulative statistics are untouched. The caller must own the cores (be
-// their vNPU's executor): unlike ResetTiming, this touches per-core state
-// that the hypervisor configures on other, unowned cores concurrently.
+// buckets. Together with a timing reset (ResetTiming for the shared
+// timeline, Domain.Reset for a concurrent per-vNPU one) it makes a
+// resident (session-pooled) vNPU timing-equivalent to a freshly created
+// one — reuse skips the create path, not the per-job state reset.
+// Translation mappings and cumulative statistics are untouched. The
+// caller must own the cores (be their vNPU's executor): this touches
+// per-core state that the hypervisor configures on other, unowned cores
+// concurrently — which is also exactly why it is safe under overlapped
+// execution, where each holder resets only its own disjoint core set.
 func (d *Device) ResetCoreTransients(nodes []topo.NodeID) {
 	for _, n := range nodes {
 		c, ok := d.cores[n]
@@ -92,6 +114,80 @@ func (d *Device) ResetCoreTransients(nodes []topo.NodeID) {
 		}
 		if c.dma.Port != nil {
 			c.dma.Port.ResetTransient()
+		}
+	}
+}
+
+// Domain is one vNPU's private timing scope on the chip: a per-region
+// NoC link-calendar scope and a private HBM channel-calendar bank. Jobs
+// executing in distinct domains share no transient timing state, so
+// spatially disjoint vNPUs run concurrently while each observes exactly
+// the cycle timeline it would see alone on a freshly reset chip.
+type Domain struct {
+	dev   *Device
+	nodes []topo.NodeID
+	noc   *noc.Domain
+	bank  *mem.Bank
+}
+
+// OpenDomain opens a timing domain over the given cores. It enforces the
+// spatial-isolation invariant at creation: the core set must be disjoint
+// from every other open domain's, or it fails with ErrDomainOverlap.
+// Binding the vNPU's ports into the domain's bank is the caller's job
+// (the core layer does it, since it owns the ports).
+func (d *Device) OpenDomain(nodes []topo.NodeID) (*Domain, error) {
+	for _, n := range nodes {
+		if _, ok := d.cores[n]; !ok {
+			return nil, fmt.Errorf("npu: no core at node %d", n)
+		}
+	}
+	d.domMu.Lock()
+	defer d.domMu.Unlock()
+	for _, n := range nodes {
+		if other := d.domOwner[n]; other != nil {
+			return nil, fmt.Errorf("npu: core %d is held by another domain: %w", n, ErrDomainOverlap)
+		}
+	}
+	dom := &Domain{
+		dev:   d,
+		nodes: append([]topo.NodeID(nil), nodes...),
+		noc:   d.net.NewDomain(),
+		bank:  mem.NewBank(),
+	}
+	for _, n := range nodes {
+		d.domOwner[n] = dom
+	}
+	return dom, nil
+}
+
+// NoC returns the domain's private network timing scope.
+func (dm *Domain) NoC() *noc.Domain { return dm.noc }
+
+// Bank returns the domain's private HBM calendar bank.
+func (dm *Domain) Bank() *mem.Bank { return dm.bank }
+
+// Nodes returns the cores the domain holds.
+func (dm *Domain) Nodes() []topo.NodeID { return dm.nodes }
+
+// Reset clears the domain's per-job transient state — private NoC link
+// calendars, the private HBM bank, and the owned cores' transients — so
+// the next job in this domain starts from cycle zero. It never touches
+// state outside the domain, which is the property that lets neighbors
+// keep executing while this reset runs.
+func (dm *Domain) Reset() {
+	dm.noc.ResetTiming()
+	dm.bank.Reset()
+	dm.dev.ResetCoreTransients(dm.nodes)
+}
+
+// Close releases the domain's cores so a future domain may claim them.
+// The caller must ensure no job is executing in the domain.
+func (dm *Domain) Close() {
+	dm.dev.domMu.Lock()
+	defer dm.dev.domMu.Unlock()
+	for _, n := range dm.nodes {
+		if dm.dev.domOwner[n] == dm {
+			delete(dm.dev.domOwner, n)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package npu
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// TestOpenDomainRejectsOverlap pins the spatial-isolation invariant at
+// its enforcement point: a timing domain whose core set intersects an
+// open domain's must be refused at creation. The hypervisor never hands
+// out overlapping core sets, so this device-level check is the only
+// place the violation can surface.
+func TestOpenDomainRejectsOverlap(t *testing.T) {
+	d, err := NewDevice(FPGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := d.OpenDomain([]topo.NodeID{0, 1})
+	if err != nil {
+		t.Fatalf("OpenDomain({0,1}): %v", err)
+	}
+	if _, err := d.OpenDomain([]topo.NodeID{1, 2}); !errors.Is(err, ErrDomainOverlap) {
+		t.Fatalf("OpenDomain({1,2}) over held core 1 = %v, want ErrDomainOverlap", err)
+	}
+	// Disjoint cores are unaffected by the conflict.
+	second, err := d.OpenDomain([]topo.NodeID{2, 3})
+	if err != nil {
+		t.Fatalf("OpenDomain({2,3}) disjoint: %v", err)
+	}
+	second.Close()
+
+	// Closing releases the cores for a future claimant.
+	first.Close()
+	retry, err := d.OpenDomain([]topo.NodeID{1, 2})
+	if err != nil {
+		t.Fatalf("OpenDomain({1,2}) after Close: %v", err)
+	}
+	retry.Close()
+
+	if _, err := d.OpenDomain([]topo.NodeID{0, 99}); err == nil {
+		t.Fatal("OpenDomain over a nonexistent core must fail")
+	}
+}

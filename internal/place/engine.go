@@ -261,6 +261,12 @@ type Engine struct {
 	// worker count instead of one goroutine per (caller, chip). When the
 	// queue is full, blocking callers overflow onto their own goroutines
 	// (progress over strict bounds) and speculations are dropped.
+	//
+	// The pool sizes itself to demand between one resident worker and the
+	// WithWorkers bound: every enqueue that leaves a backlog spawns a
+	// worker (growLocked), and a worker that drains the queue retires, so
+	// idle clusters do not keep mapper goroutines parked while mapping
+	// bursts still fan out. PlacementStats.MapWorkers reports the size.
 	tasks     chan func()
 	quit      chan struct{}
 	workerWG  sync.WaitGroup
@@ -279,6 +285,7 @@ type Engine struct {
 	stats     metrics.PlacementStats
 	cacheSize int
 	workers   int
+	active    int // mapper workers currently running (1..workers)
 	closed    bool
 
 	// Realized-regret sampling (see ObserveRegret): a bounded ring of
@@ -383,23 +390,50 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 		}
 		e.chips = append(e.chips, cs)
 	}
-	// Start the worker pool only once every chip validated, so an error
-	// return leaks no goroutines.
-	for i := 0; i < e.workers; i++ {
-		e.workerWG.Add(1)
-		go func() {
-			defer e.workerWG.Done()
-			for {
-				select {
-				case fn := <-e.tasks:
-					fn()
-				case <-e.quit:
-					return
-				}
-			}
-		}()
-	}
+	// Start one resident worker only once every chip validated, so an
+	// error return leaks no goroutines; the pool grows toward e.workers
+	// on demand (see growLocked).
+	e.active = 1
+	e.workerWG.Add(1)
+	go e.worker(true)
 	return e, nil
+}
+
+// worker drains mapper tasks. The resident worker lives until Close; an
+// adaptively spawned one retires as soon as it finds the queue empty, so
+// the pool shrinks back to its floor when a mapping burst passes.
+func (e *Engine) worker(resident bool) {
+	defer e.workerWG.Done()
+	for {
+		select {
+		case fn := <-e.tasks:
+			fn()
+			if resident {
+				continue
+			}
+			e.mu.Lock()
+			if len(e.tasks) == 0 && e.active > 1 {
+				e.active--
+				e.mu.Unlock()
+				return
+			}
+			e.mu.Unlock()
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// growLocked spawns a worker when accepted work is backing up and the
+// pool is below its bound. Caller holds the engine mutex; the closed
+// check keeps the workerWG.Add ordered before Close's Wait.
+func (e *Engine) growLocked() {
+	if e.closed || e.active >= e.workers || len(e.tasks) == 0 {
+		return
+	}
+	e.active++
+	e.workerWG.Add(1)
+	go e.worker(false)
 }
 
 // Close stops the mapper worker pool. Callers must not have placements
@@ -441,6 +475,7 @@ func (e *Engine) trySubmit(fn func()) bool {
 	}
 	select {
 	case e.tasks <- fn:
+		e.growLocked()
 		return true
 	default:
 		return false
@@ -526,6 +561,7 @@ func (e *Engine) Stats() metrics.PlacementStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.stats
+	s.MapWorkers = e.active
 	if e.cache != nil {
 		s.CacheSize = e.cache.len()
 	}

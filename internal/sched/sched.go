@@ -3,8 +3,10 @@
 // earliest-deadline-first within a class, aging against starvation — see
 // internal/sched/queue), per-tenant in-flight quotas, executor-ranked
 // placement across chips (the vnpu package backs Rank with the
-// internal/place engine and its mapping cache), and one worker goroutine
-// per chip that executes placed jobs in order.
+// internal/place engine and its mapping cache), and a configurable number
+// of execution slots per chip (Config.ChipSlots) whose workers execute
+// placed jobs — one slot preserves strict per-chip order; more slots let
+// an executor overlap spatially disjoint placements on one chip.
 //
 // The dispatcher is generic over the job, placement and result types so it
 // stays independent of the virtualization layer; the public vnpu package
@@ -31,9 +33,11 @@
 // with ErrDeadlineExceeded instead of occupying a chip after its SLO is
 // already lost.
 //
-// Placement claims chip resources immediately (Place), so several jobs can
-// be resident on a chip while its worker executes them one at a time —
-// the time-multiplexing model of the underlying simulator. When no chip
+// Placement claims chip resources immediately (Place), so several jobs
+// can be resident on a chip while its workers execute them — one at a
+// time with a single slot (the historical time-multiplexing model), or
+// overlapped across ChipSlots workers when the executor isolates their
+// timing (per-vNPU timing domains). When no chip
 // can host the best queued job, the dispatcher parks until some worker
 // releases a placement (retry-on-destroy backpressure) or the job's
 // context is canceled; if nothing is in flight anywhere, the failure is
@@ -157,6 +161,14 @@ type Config struct {
 	// installed separately with SetObserver (they reference the generic
 	// job type, which Config cannot).
 	StageHist func(stage string, class int) *obs.Histogram
+	// ChipSlots is how many worker goroutines execute placed jobs per
+	// chip. <= 0 selects 1 (strict per-chip execution order — the
+	// historical time-multiplexing model). With more slots, an executor
+	// that supports concurrent execution of spatially disjoint placements
+	// (per-vNPU timing domains) overlaps jobs on one chip; per-chip
+	// execution order is then no longer strict, and worker-measured
+	// ChipBusy may exceed wall-clock time.
+	ChipSlots int
 }
 
 // DefaultQueueDepth is the admission queue bound when none is given.
@@ -177,8 +189,12 @@ type Stats struct {
 	Failed uint64
 	// ChipJobs counts jobs executed per chip.
 	ChipJobs []int
-	// ChipBusy is the cumulative wall-clock execution time per chip; over
-	// a load generator's run it yields per-chip utilization.
+	// ChipBusy is the cumulative worker-measured execution time per chip.
+	// With one execution slot per chip it yields per-chip utilization
+	// over a load generator's run; with several slots overlapped jobs
+	// each contribute their full duration, so the sum may exceed
+	// wall-clock time (embedders wanting occupancy should integrate per
+	// held core instead, as the cluster does).
 	ChipBusy []time.Duration
 	// HitsFirst counts jobs started through the hits-first fast path: a
 	// cached placement within the executor's regret bound, claimed
@@ -454,13 +470,21 @@ func New[Job, Placement, Result any](exec Executor[Job, Placement, Result], cfg 
 	}
 	d.stats.ChipJobs = make([]int, cfg.Chips)
 	d.stats.ChipBusy = make([]time.Duration, cfg.Chips)
+	slots := cfg.ChipSlots
+	if slots <= 0 {
+		slots = 1
+	}
 	for i := range d.work {
 		// One queue's worth of buffered placements per chip; a chip that
 		// accumulates more than that backpressures the dispatcher (the
-		// send in place() blocks, but stays cancelable).
+		// send in place() blocks, but stays cancelable). ChipSlots workers
+		// drain the same channel, so placed jobs overlap when the executor
+		// allows it.
 		d.work[i] = make(chan placed[Job, Placement, Result], cfg.QueueDepth)
-		d.workersDone.Add(1)
-		go d.worker(i)
+		for s := 0; s < slots; s++ {
+			d.workersDone.Add(1)
+			go d.worker(i)
+		}
 	}
 	go d.dispatch()
 	return d, nil
@@ -1371,7 +1395,10 @@ func (d *Dispatcher[Job, Placement, Result]) recordWait(h *Handle[Result]) {
 	d.classes[h.class].waits.Observe(h.placedAt.Sub(h.submitted))
 }
 
-// worker executes placed jobs for one chip, in placement order.
+// worker executes placed jobs for one chip. With a single slot per chip
+// jobs run in placement order; with several slots the chip's workers
+// drain one channel concurrently, so order across overlapped jobs is
+// whatever the executor's region locking admits.
 func (d *Dispatcher[Job, Placement, Result]) worker(chip int) {
 	defer d.workersDone.Done()
 	for p := range d.work[chip] {

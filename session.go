@@ -454,15 +454,15 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	t.h.MarkStarted(chip)
 	c.trace(&t.job, obs.StageExecuting, "", chip)
 	sys := c.systems[chip]
-	c.execMu[chip].Lock()
-	// The busy clock starts after the lock: waiting for the chip is queue
-	// time, not execution time, or per-chip busy% would exceed 100%.
+	claim := c.acquireRegion(chip, r.v)
+	// The busy clock starts after the claim: waiting for a conflicting
+	// region is queue time, not execution time, or per-chip busy% would
+	// exceed 100%.
 	start := c.clk.Now()
 	if c.testExecHook != nil {
 		c.testExecHook(chip)
 	}
-	sys.dev.ResetTiming()
-	sys.ResetTransients(r.v)
+	r.v.ResetForRun()
 	var rep Report
 	var err error
 	if r.cm == nil {
@@ -471,13 +471,12 @@ func (c *Cluster) execSession(chip int, r *sessRes, t *sessTask, warm bool) (fat
 	if err == nil {
 		rep, err = sys.RunCompiled(t.ctx, r.v, r.cm, t.job.Iterations)
 	}
-	// Measure before Unlock: post-unlock descheduling would otherwise
-	// overlap the next job's locked time and push busy% past 100.
+	// Measure before releasing the claim: post-release descheduling
+	// would otherwise bleed into the next job's execution time.
 	busy := c.clk.Since(start)
-	c.execMu[chip].Unlock()
+	c.releaseRegion(chip, claim, r.v.NumCores(), busy)
 	c.sessMu.Lock()
 	c.sessChipJobs[chip]++
-	c.sessChipBusy[chip] += busy
 	c.sessMu.Unlock()
 	c.sessExec[t.job.Priority.class()].Observe(busy)
 	if err != nil {
@@ -569,6 +568,14 @@ func (c *Cluster) createSession(req Request, class int) (int, *sessRes, error) {
 			// The engine's mirror disagrees with the hypervisor — undo
 			// the create rather than serve from a corrupted view.
 			_ = c.systems[cand.Chip].Destroy(v)
+			return 0, nil, err
+		}
+		// The resident vNPU executes inside its own timing domain for
+		// its whole lifetime, so warm jobs overlap disjoint neighbors.
+		// An overlap failure means the placement view is corrupt — undo
+		// the create rather than serve on shared timing.
+		if err := v.OpenDomain(); err != nil {
+			_ = c.destroySession(cand.Chip, &sessRes{v: v, class: class})
 			return 0, nil, err
 		}
 		return cand.Chip, &sessRes{v: v, class: class}, nil

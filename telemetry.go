@@ -3,6 +3,7 @@ package vnpu
 import (
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/vnpu-sim/vnpu/internal/obs"
 	"github.com/vnpu-sim/vnpu/internal/obs/slo"
@@ -161,7 +162,11 @@ type ClusterSnapshot struct {
 // SessionStats and PlacementStats read through it.
 func (c *Cluster) Snapshot() ClusterSnapshot {
 	ds := c.disp.Stats()
-	// The dispatcher already returns defensive slice copies.
+	// The dispatcher already returns defensive slice copies. Its
+	// worker-measured ChipBusy is deliberately not used: with several
+	// execution slots per chip the workers' wall-clock sums can exceed
+	// elapsed time. ChipBusy instead comes from the cluster's occupancy
+	// integral, which both execution paths feed (releaseRegion).
 	s := ClusterStats{
 		Submitted:         ds.Submitted,
 		RejectedQueueFull: ds.RejectedQueueFull,
@@ -169,9 +174,31 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 		Completed:         ds.Completed,
 		Failed:            ds.Failed,
 		ChipJobs:          ds.ChipJobs,
-		ChipBusy:          ds.ChipBusy,
+		ChipBusy:          make([]time.Duration, len(c.systems)),
 		HitsFirst:         ds.HitsFirst,
 		MapParked:         ds.MapParked,
+	}
+	for i := range s.ChipBusy {
+		if cores := c.chipCaps[i].cores; cores > 0 {
+			s.ChipBusy[i] = time.Duration(c.coreNanos[i].Load() / int64(cores))
+		}
+	}
+	var levels, samples uint64
+	for lvl := 1; lvl <= overlapLevels; lvl++ {
+		n := c.overlap[lvl-1].Load()
+		samples += n
+		levels += uint64(lvl) * n
+	}
+	if samples > 0 {
+		s.ExecOverlapAvg = float64(levels) / float64(samples)
+		var cum uint64
+		for lvl := 1; lvl <= overlapLevels; lvl++ {
+			cum += c.overlap[lvl-1].Load()
+			if float64(cum) >= 0.99*float64(samples) {
+				s.ChipConcurrencyP99 = float64(lvl)
+				break
+			}
+		}
 	}
 	c.sessMu.Lock()
 	s.Submitted += c.sessSubmitted
@@ -179,13 +206,6 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 	s.Failed += c.sessFailed
 	for i := range c.sessChipJobs {
 		s.ChipJobs[i] += c.sessChipJobs[i]
-		// Session busy time already includes dispatcher jobs' waits on the
-		// chip lock (execWait); subtract them so per-chip busy stays a
-		// true occupancy.
-		s.ChipBusy[i] += c.sessChipBusy[i] - c.execWait[i]
-		if s.ChipBusy[i] < 0 {
-			s.ChipBusy[i] = 0
-		}
 	}
 	c.sessMu.Unlock()
 	snap := ClusterSnapshot{
@@ -222,7 +242,8 @@ func (c *Cluster) collect(emit func(obs.Sample)) {
 	for i := range cs.ChipJobs {
 		chip := obs.Label{Key: "chip", Value: strconv.Itoa(i)}
 		counter("vnpu_chip_jobs_total", "Jobs executed per chip.", float64(cs.ChipJobs[i]), chip)
-		counter("vnpu_chip_busy_seconds_total", "Cumulative execution time per chip.", cs.ChipBusy[i].Seconds(), chip)
+		counter("vnpu_chip_busy_seconds_total", "Per-chip occupancy: execution time weighted by the core fraction held.", cs.ChipBusy[i].Seconds(), chip)
+		counter("vnpu_chip_concurrent_jobs", "Jobs currently executing on the chip.", float64(c.curJobs[i].Load()), chip)
 	}
 
 	for i, cl := range snap.Sched.Classes {
@@ -248,6 +269,7 @@ func (c *Cluster) collect(emit func(obs.Sample)) {
 	counter("vnpu_placement_prewarm_runs_total", "Speculative mapper computations started by prewarm.", float64(ps.PrewarmRuns))
 	counter("vnpu_placement_prewarm_hits_total", "Cache hits served from prewarmed entries.", float64(ps.PrewarmHits))
 	counter("vnpu_placement_negative_hits_total", "Mapping failures served from the negative-result memo.", float64(ps.NegHits))
+	counter("vnpu_placement_map_workers", "Mapper worker-pool size (adaptive between 1 and the configured bound).", float64(ps.MapWorkers))
 
 	ss := snap.Sessions
 	counter("vnpu_session_warm_hits_total", "Jobs served by an idle resident session.", float64(ss.WarmHits))

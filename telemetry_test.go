@@ -163,11 +163,13 @@ func TestMetricNamesStable(t *testing.T) {
 		}
 	}
 	want := []string{
-		"vnpu_chip_busy_seconds_total", "vnpu_chip_jobs_total",
+		"vnpu_chip_busy_seconds_total", "vnpu_chip_concurrent_jobs",
+		"vnpu_chip_jobs_total",
 		"vnpu_class_backfilled_total", "vnpu_class_completed_total",
 		"vnpu_class_deadline_misses_total", "vnpu_class_displaced_total",
 		"vnpu_class_failed_total", "vnpu_class_promotions_total",
 		"vnpu_class_submitted_total",
+		"vnpu_exec_region_wait_seconds",
 		"vnpu_jobs_completed_total", "vnpu_jobs_failed_total",
 		"vnpu_jobs_hits_first_total", "vnpu_jobs_map_parked_total",
 		"vnpu_jobs_rejected_total", "vnpu_jobs_submitted_total",
@@ -175,6 +177,7 @@ func TestMetricNamesStable(t *testing.T) {
 		"vnpu_placement_cache_evictions_total", "vnpu_placement_cache_hits_total",
 		"vnpu_placement_cache_misses_total", "vnpu_placement_decision_seconds_total",
 		"vnpu_placement_decisions_total", "vnpu_placement_map_seconds_total",
+		"vnpu_placement_map_workers",
 		"vnpu_placement_negative_hits_total", "vnpu_placement_prewarm_hits_total",
 		"vnpu_placement_prewarm_runs_total",
 		"vnpu_session_batched_total", "vnpu_session_busy",
