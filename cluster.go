@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +126,23 @@ type Cluster struct {
 	// cached placement of cost <= regret instead of waiting for its full
 	// rank (see WithPlacementRegret). Negative disables hits-first.
 	regret float64
+	// Regret auto-tuning (WithPlacementRegretTarget): when regretAuto is
+	// set, RankHit reads the live bound from regretBound (float64 bits)
+	// instead of the static regret, and maybeRetuneRegret periodically
+	// adjusts it so the regretPct-quantile of the realized regret window
+	// stays at or under regretGoal as fragmentation shifts.
+	regretAuto  bool
+	regretPct   float64
+	regretGoal  float64
+	regretBound atomic.Uint64
+	regretObsN  atomic.Uint64
+
+	// timing is the cluster-wide timing backend (nil = analytic default);
+	// every chip's System routes RunCompiled through it. See timing.go.
+	timing TimingBackend
+	// chipSlots echoes the per-chip execution-slot bound; execSaturated
+	// compares in-flight executions against it.
+	chipSlots int
 
 	// progMu guards progs, the compiled-program cache keyed by (model
 	// fingerprint, core count, weight zone): admission sizing compiles a
@@ -193,6 +211,9 @@ type clusterConfig struct {
 	mapperWorkers   int
 	chipSlots       int
 	regret          *float64
+	regretTargetPct *float64
+	regretTarget    float64
+	timing          TimingBackend
 	clock           sim.Clock
 	negTTL          *time.Duration
 	tracing         bool
@@ -332,6 +353,9 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 			return nil, fmt.Errorf("vnpu: booting chip %d: %w", i, err)
 		}
 		c.systems[i] = sys
+		if cc.timing != nil {
+			sys.SetTimingBackend(cc.timing)
+		}
 		c.chipNodes[i] = sys.dev.Graph().Nodes()
 		if n := spec.Config.Cores(); n > c.maxCores {
 			c.maxCores = n
@@ -368,9 +392,23 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		return nil, err
 	}
 	c.engine = engine
+	c.timing = cc.timing
 	if cc.regret != nil {
 		c.regret = *cc.regret
 	}
+	if cc.regretTargetPct != nil {
+		c.regretAuto = true
+		c.regretPct = *cc.regretTargetPct
+		c.regretGoal = cc.regretTarget
+		// Start at the static bound when one was given (never below the
+		// goal, which trivially satisfies the objective), and let the
+		// controller grow it as evidence accumulates.
+		c.storeRegretBound(maxFloat(c.regret, c.regretGoal))
+	}
+	// Chip-saturation probe for the mapper pool's adaptive sizing: when
+	// every chip's execution slots are full, mapping faster cannot start
+	// jobs sooner, so the pool declines growth and sheds workers.
+	engine.SetSaturationProbe(c.execSaturated)
 	c.queueDepth = cc.queueDepth
 	if c.queueDepth <= 0 {
 		c.queueDepth = DefaultQueueDepth
@@ -380,6 +418,7 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 	if slots <= 0 {
 		slots = DefaultChipSlots
 	}
+	c.chipSlots = slots
 	disp, err := sched.New[Job, *VirtualNPU, JobReport](
 		(*clusterExec)(c),
 		sched.Config{
@@ -442,6 +481,99 @@ func NewCluster(cfg Config, chips int, opts ...ClusterOption) (*Cluster, error) 
 		c.pool = pool
 	}
 	return c, nil
+}
+
+// execSaturated reports that every chip's execution slots are full — the
+// signal that chip workers, not mapping, bound throughput right now. The
+// mapper pool's growth consults it (see place.Engine.SetSaturationProbe):
+// with all slots busy, a job whose mapping resolves sooner still waits
+// for a slot, while an extra mapper goroutine competes with the
+// simulator for CPU. Reads per-chip in-flight counters only; never
+// takes locks (it runs under the engine mutex).
+func (c *Cluster) execSaturated() bool {
+	for i := range c.curJobs {
+		if c.curJobs[i].Load() < int64(c.chipSlots) {
+			return false
+		}
+	}
+	return true
+}
+
+// storeRegretBound/loadRegretBound keep the live auto-tuned bound in an
+// atomic so RankHit (dispatcher goroutine) and the retuner (execution
+// slots) never contend on a lock.
+func (c *Cluster) storeRegretBound(b float64) { c.regretBound.Store(math.Float64bits(b)) }
+func (c *Cluster) loadRegretBound() float64   { return math.Float64frombits(c.regretBound.Load()) }
+
+// RegretBound reports the hits-first regret bound currently in force:
+// the live auto-tuned value under WithPlacementRegretTarget, the static
+// WithPlacementRegret value otherwise.
+func (c *Cluster) RegretBound() float64 {
+	if c.regretAuto {
+		return c.loadRegretBound()
+	}
+	return c.regret
+}
+
+// regretRetuneEvery is how many sampled hits-first dispatches pass
+// between retune evaluations, and regretMinSamples how much evidence the
+// window must hold before the controller moves the bound at all.
+const (
+	regretRetuneEvery = 64
+	regretMinSamples  = 32
+)
+
+// maybeRetuneRegret runs the regret controller every regretRetuneEvery
+// sampled hits-first dispatches: it polls the realized-regret window's
+// target quantile and moves the live bound toward the largest value that
+// still holds the objective (see retuneRegretBound). Cheap enough for
+// the execution path — most calls are one atomic increment.
+func (c *Cluster) maybeRetuneRegret() {
+	if !c.regretAuto {
+		return
+	}
+	if c.regretObsN.Add(1)%regretRetuneEvery != 0 {
+		return
+	}
+	q, n := c.engine.RegretQuantile(c.regretPct)
+	if n < regretMinSamples {
+		return
+	}
+	c.storeRegretBound(retuneRegretBound(c.loadRegretBound(), q, c.regretGoal))
+}
+
+// retuneRegretBound is the controller step: with the realized quantile q
+// over the goal, shrink multiplicatively toward the goal (a bound equal
+// to the goal satisfies the objective trivially, since realized regret
+// never exceeds the bound); with q comfortably under it, grow the bound
+// to admit more hits-first dispatches. The dead band between the two
+// keeps the bound from oscillating on noisy windows.
+func retuneRegretBound(cur, q, goal float64) float64 {
+	switch {
+	case q > goal:
+		cur /= 2
+		if cur < goal {
+			cur = goal
+		}
+	case q < goal/2:
+		cur = cur*1.25 + 0.25
+		if cur > regretBoundCap {
+			cur = regretBoundCap
+		}
+	}
+	return cur
+}
+
+// regretBoundCap keeps a runaway grown bound finite; at this size every
+// cached placement qualifies for hits-first anyway (edit-distance costs
+// are far smaller on any real mesh).
+const regretBoundCap = 1 << 20
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // prewarmPlacement is the dispatcher's speculation hook: schedule the
@@ -963,17 +1095,32 @@ func (e *clusterExec) RankCached(job Job) []sched.Candidate {
 // WithPlacementRegret. Price/load tiebreaks among the returned
 // candidates are the ordinary scoring.
 func (e *clusterExec) RankHit(job Job) []sched.Candidate {
-	if e.regret < 0 {
+	bound, ok := (*Cluster)(e).hitsFirstBound()
+	if !ok {
 		return nil
 	}
 	cands := e.engine.PlaceHit(placeRequest(job.request()))
 	eligible := cands[:0]
 	for _, c := range cands {
-		if c.Cost <= e.regret {
+		if c.Cost <= bound {
 			eligible = append(eligible, c)
 		}
 	}
 	return e.scoreCandidates(eligible)
+}
+
+// hitsFirstBound resolves the regret bound in force for this dispatch:
+// the live auto-tuned value under WithPlacementRegretTarget, the static
+// WithPlacementRegret value otherwise. ok=false disables hits-first
+// entirely (negative static bound, no auto-tuning).
+func (c *Cluster) hitsFirstBound() (bound float64, ok bool) {
+	if c.regretAuto {
+		return c.loadRegretBound(), true
+	}
+	if c.regret < 0 {
+		return 0, false
+	}
+	return c.regret, true
 }
 
 // RankAsync hands the job's missing mappings to the engine's async
@@ -981,7 +1128,7 @@ func (e *clusterExec) RankHit(job Job) []sched.Candidate {
 // job on — or nil when every chip is already answered (or hits-first is
 // disabled), telling the dispatcher to rank synchronously.
 func (e *clusterExec) RankAsync(job Job) <-chan struct{} {
-	if e.regret < 0 {
+	if _, ok := (*Cluster)(e).hitsFirstBound(); !ok {
 		return nil
 	}
 	return e.engine.MapAsync(placeRequest(job.request()))
@@ -994,6 +1141,7 @@ func (e *clusterExec) RankAsync(job Job) <-chan struct{} {
 // place.Engine.ObserveRegret; PlacementStats reports the distribution.
 func (e *clusterExec) ObserveHit(job Job, cost float64) {
 	e.engine.ObserveRegret(placeRequest(job.request()), cost)
+	(*Cluster)(e).maybeRetuneRegret()
 }
 
 // Place creates the job's vNPU on the chosen chip, reusing the engine's

@@ -69,6 +69,9 @@ func main() {
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable run summary (jobs/s, warm-hit rate, latency percentiles, per-class stats) to this file")
 	flag.IntVar(&cfg.workers, "workers", 0, "async mapper worker pool size (0 = engine default); cache misses compute on these workers instead of the dispatch path")
 	flag.Float64Var(&cfg.regret, "regret", 0, "hits-first placement regret tolerance in edit-distance units (0 = exact cached fits only; negative disables hits-first dispatch)")
+	flag.Float64Var(&cfg.regretPct, "regret-target", 0, "auto-tune the hits-first bound so this realized-regret quantile (e.g. 0.99) stays at the -regret value; 0 keeps the static bound")
+	flag.StringVar(&cfg.timing, "timing", "analytic", "timing backend for job executions: analytic (full simulation every run) or fast (memoized replay of cycle-identical warm runs)")
+	flag.BoolVar(&cfg.grounded, "grounded", false, "with -virtual: ground the replay's service times in probe-chip cycle simulations through the -timing backend instead of the synthetic formula (lower -jobs with -timing analytic)")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file (for hot-path work)")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (after a final GC) at the end of the run to this file")
 	flag.StringVar(&cfg.tracePath, "trace", "", "record every job's lifecycle transitions and write them as Chrome trace_event JSON (Perfetto-loadable) to this file")
@@ -128,6 +131,9 @@ type runConfig struct {
 
 	workers    int
 	regret     float64
+	regretPct  float64
+	timing     string
+	grounded   bool
 	cpuprofile string
 	memprofile string
 	tracePath  string
@@ -167,6 +173,142 @@ func chipConfig(name string) (vnpu.Config, error) {
 	default:
 		return vnpu.Config{}, fmt.Errorf("unknown chip %q (want fpga, sim or sim48)", name)
 	}
+}
+
+// timingBackend resolves the -timing flag. The analytic default returns
+// nil — the cluster's built-in direct path — so the flag's zero value
+// changes nothing; "fast" returns one shared memoizing backend for the
+// whole run (sound across chips and shards: the memo key covers the
+// chip's timing configuration).
+func timingBackend(name string) (vnpu.TimingBackend, error) {
+	switch name {
+	case "analytic":
+		return nil, nil
+	case "fast":
+		return vnpu.FastTimingBackend(0), nil
+	default:
+		return nil, fmt.Errorf("unknown timing backend %q (want analytic or fast)", name)
+	}
+}
+
+// timingProbe grounds service times in cycle simulations: one probe chip
+// (always the 48-core sim config, so every zoo mix shape fits
+// domain-isolated side by side) with the chosen timing backend, each
+// model compiled onto its own resident vNPU. service() is a
+// fleet.TraceConfig ServiceTime: it reruns the model through the backend
+// — full simulation under analytic, a memo replay under fast after the
+// first run — and converts the makespan to virtual time at the chip
+// clock.
+type timingProbe struct {
+	sys     *vnpu.System
+	backend vnpu.TimingBackend
+	vs      []*vnpu.VirtualNPU
+	cms     []*vnpu.CompiledModel
+	freqMHz float64
+}
+
+func newTimingProbe(backendName string, models int) (*timingProbe, error) {
+	cfg := vnpu.SimConfig48()
+	sys, err := vnpu.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := timingBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	if backend != nil {
+		sys.SetTimingBackend(backend)
+	}
+	mixes, err := buildMix(cfg.Cores())
+	if err != nil {
+		return nil, err
+	}
+	p := &timingProbe{sys: sys, backend: backend, freqMHz: float64(cfg.FreqMHz)}
+	for i := 0; i < models; i++ {
+		mx := mixes[i%len(mixes)]
+		mem, err := sys.ModelMemoryBytes(mx.model, mx.topo.NumNodes())
+		if err != nil {
+			return nil, fmt.Errorf("probe: sizing %s: %w", mx.model.Name, err)
+		}
+		v, err := sys.Create(vnpu.Request{Topology: mx.topo, MemoryBytes: mem})
+		if err != nil {
+			return nil, fmt.Errorf("probe: creating vNPU for %s: %w", mx.model.Name, err)
+		}
+		if err := v.OpenDomain(); err != nil {
+			return nil, fmt.Errorf("probe: opening domain for %s: %w", mx.model.Name, err)
+		}
+		cm, err := sys.CompileFor(v, mx.model)
+		if err != nil {
+			return nil, fmt.Errorf("probe: compiling %s: %w", mx.model.Name, err)
+		}
+		p.vs = append(p.vs, v)
+		p.cms = append(p.cms, cm)
+	}
+	return p, nil
+}
+
+// service implements fleet.TraceConfig.ServiceTime: deterministic in
+// (model, jitter), so grounded replays keep a reproducible OrderHash —
+// and the same hash under either backend, since memo replays are
+// cycle-identical to the simulation they recorded.
+func (p *timingProbe) service(_, model, jitter int) time.Duration {
+	i := model % len(p.vs)
+	p.vs[i].ResetForRun()
+	rep, err := p.sys.RunCompiled(context.Background(), p.vs[i], p.cms[i], 1)
+	if err != nil {
+		// The probe models never fail after construction; keep the replay
+		// alive on the synthetic formula if one somehow does.
+		return time.Duration(150+40*model+jitter) * time.Microsecond
+	}
+	us := float64(rep.Cycles) / p.freqMHz
+	return time.Duration(us*float64(time.Microsecond)) + time.Duration(jitter)*time.Microsecond
+}
+
+// stats reports the probe backend's memo counters (zeros under analytic).
+func (p *timingProbe) stats() vnpu.TimingStats {
+	if p.backend == nil {
+		return vnpu.TimingStats{Backend: "analytic"}
+	}
+	return p.backend.Stats()
+}
+
+// measureFastSpeedup microbenchmarks the fast backend against the
+// analytic reference on the probe chip: the same grounded service calls,
+// warm in both cases (compiled programs, resident vNPUs), differing only
+// in whether the timing model re-simulates or replays the memo. The
+// ratio lands in the -json reports as fast_vs_analytic_speedup.
+func measureFastSpeedup(models int) (float64, error) {
+	ap, err := newTimingProbe("analytic", models)
+	if err != nil {
+		return 0, err
+	}
+	fp, err := newTimingProbe("fast", models)
+	if err != nil {
+		return 0, err
+	}
+	const rounds = 8
+	for i := 0; i < models; i++ {
+		fp.service(0, i, 0) // record each key once: steady state is all hits
+	}
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < models; i++ {
+			ap.service(0, i, 0)
+		}
+	}
+	analytic := time.Since(t0)
+	t1 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < models; i++ {
+			fp.service(0, i, 0)
+		}
+	}
+	fast := time.Since(t1)
+	if fast <= 0 {
+		fast = time.Nanosecond
+	}
+	return float64(analytic) / float64(fast), nil
 }
 
 // classSummary is one priority class's slice of the -json report.
@@ -228,6 +370,20 @@ type summary struct {
 	RegretSamples uint64  `json:"regret_samples"`
 	RegretAvg     float64 `json:"regret_avg_ted"`
 	RegretP99     float64 `json:"regret_p99_ted"`
+
+	// Timing-backend facts: which backend timed executions, how its memo
+	// performed, and the microbenchmarked fast-vs-analytic speedup of one
+	// warm grounded service call (0 under the analytic backend, where no
+	// A/B ran).
+	TimingBackend string  `json:"timing_backend"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
+	MemoHits      uint64  `json:"memo_hits"`
+	MemoMisses    uint64  `json:"memo_misses"`
+	FastSpeedup   float64 `json:"fast_vs_analytic_speedup"`
+
+	// Regret auto-tuning facts (zero unless -regret-target).
+	RegretTargetPct float64 `json:"regret_target_pct"`
+	RegretBound     float64 `json:"regret_bound_ted"`
 
 	// SLO standing and critical-path attribution of the run (nil when
 	// -slotarget 0 / tracing off respectively).
@@ -317,6 +473,16 @@ func run(rc runConfig) error {
 		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
 	}
 	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+	if rc.regretPct > 0 {
+		opts = append(opts, vnpu.WithPlacementRegretTarget(rc.regretPct, rc.regret))
+	}
+	backend, err := timingBackend(rc.timing)
+	if err != nil {
+		return err
+	}
+	if backend != nil {
+		opts = append(opts, vnpu.WithTimingBackend(backend))
+	}
 	if rc.tracePath != "" {
 		opts = append(opts, vnpu.WithTracing())
 	}
@@ -529,6 +695,19 @@ func run(rc runConfig) error {
 			ps.NegHits, ps.RegretSamples,
 			ps.AvgRegret(), ps.RegretP50, ps.RegretP99, ps.RegretMax)
 	}
+	if rc.regretPct > 0 {
+		fmt.Printf("regret tuner:  p%g target %.2f TED   live bound %.2f TED   %d pool-growth vetoes\n",
+			rc.regretPct*100, rc.regret, cluster.RegretBound(), ps.MapGrowVetoed)
+	}
+	ts := cluster.TimingStats()
+	var speedup float64
+	if rc.timing == "fast" {
+		if speedup, err = measureFastSpeedup(len(mixes)); err != nil {
+			return err
+		}
+		fmt.Printf("timing:        fast backend   memo %.1f%% hit (%d hit / %d miss / %d bypassed, %d entries)   warm replay %.1fx vs analytic\n",
+			ts.HitRate()*100, ts.Hits, ts.Misses, ts.Bypassed, ts.Entries, speedup)
+	}
 	if len(coldWaits) > 0 {
 		sort.Slice(coldWaits, func(i, j int) bool { return coldWaits[i] < coldWaits[j] })
 		fmt.Printf("cold shapes:   %d jobs   time-to-start p50 %s   p99 %s\n",
@@ -614,6 +793,15 @@ func run(rc runConfig) error {
 			RegretSamples: ps.RegretSamples,
 			RegretAvg:     ps.AvgRegret(),
 			RegretP99:     ps.RegretP99,
+
+			TimingBackend: ts.Backend,
+			MemoHitRate:   ts.HitRate(),
+			MemoHits:      ts.Hits,
+			MemoMisses:    ts.Misses,
+			FastSpeedup:   speedup,
+
+			RegretTargetPct: rc.regretPct,
+			RegretBound:     cluster.RegretBound(),
 		}
 		if sloOK {
 			sum.SLO = &sloRep
@@ -693,6 +881,14 @@ type fleetSummary struct {
 	OrderHash        string         `json:"order_hash,omitempty"`
 	PerShard         []shardSummary `json:"per_shard"`
 
+	// Timing-backend facts; Grounded marks a -virtual replay whose
+	// service times came from probe-chip cycle simulations through the
+	// backend rather than the synthetic formula.
+	TimingBackend string  `json:"timing_backend"`
+	Grounded      bool    `json:"grounded,omitempty"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
+	FastSpeedup   float64 `json:"fast_vs_analytic_speedup"`
+
 	// SLO standing and critical-path attribution; with -virtual both are
 	// deterministic per seed, and ReportFingerprint digests the combined
 	// RunReport (the same bytes -sloreport writes).
@@ -742,6 +938,24 @@ func runVirtual(rc runConfig) error {
 	if tc.DrainShard >= tc.Shards {
 		tc.DrainShard = -1
 	}
+	if _, err := timingBackend(rc.timing); err != nil {
+		return err
+	}
+	// -grounded swaps the replay's synthetic service-time formula for
+	// probe-chip cycle simulations through the -timing backend: virtual
+	// time then reflects the measured per-model makespans, and under the
+	// fast backend every repeat of a model is a memo replay instead of a
+	// re-simulation — the replay's wall time drops while OrderHash stays
+	// reproducible per seed (and equal across backends, since memo
+	// replays are cycle-identical).
+	var probe *timingProbe
+	if rc.grounded {
+		probe, err = newTimingProbe(rc.timing, tc.Models)
+		if err != nil {
+			return err
+		}
+		tc.ServiceTime = probe.service
+	}
 	// The replay never reads the observability taps, so a live scrape on
 	// the -listen goroutine can watch a virtual-time run without
 	// perturbing its determinism.
@@ -776,6 +990,9 @@ func runVirtual(rc runConfig) error {
 		tc.Shards, tc.ChipsPerShard, tc.CoresPerChip, cfg.Name, tc.Jobs, tc.RatePerSec, tc.Seed)
 	if tc.DrainShard >= 0 {
 		fmt.Printf(", drain shard %d at 40%% / rejoin at 70%%", tc.DrainShard)
+	}
+	if rc.grounded {
+		fmt.Printf(", grounded service times (%s timing backend)", rc.timing)
 	}
 	fmt.Println()
 
@@ -814,6 +1031,22 @@ func runVirtual(rc runConfig) error {
 		res.WarmRate*100, bres.WarmRate*100, (bres.WarmRate-res.WarmRate)*100)
 	fmt.Printf("churn:         %d steals, %d re-homed by drain   order hash %016x\n",
 		res.Steals, res.ReHomed, res.OrderHash)
+	groundedTiming := vnpu.TimingStats{Backend: rc.timing}
+	var groundedSpeedup float64
+	if probe != nil {
+		groundedTiming = probe.stats()
+		if rc.timing == "fast" {
+			if groundedSpeedup, err = measureFastSpeedup(tc.Models); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("timing:        grounded on %s backend   memo %.1f%% hit (%d hit / %d miss)",
+			groundedTiming.Backend, groundedTiming.HitRate()*100, groundedTiming.Hits, groundedTiming.Misses)
+		if groundedSpeedup > 0 {
+			fmt.Printf("   warm replay %.1fx vs analytic", groundedSpeedup)
+		}
+		fmt.Println()
+	}
 	fmt.Println("per shard:")
 	for i, sh := range res.PerShard {
 		fmt.Printf("  shard %d: %7d jobs   %7d completed   %5d rejected   warm %7d   stolen %d out / %d in   util %5.1f%%\n",
@@ -857,6 +1090,11 @@ func runVirtual(rc runConfig) error {
 			P50Micros:        res.P50.Microseconds(),
 			P99Micros:        res.P99.Microseconds(),
 			OrderHash:        fmt.Sprintf("%016x", res.OrderHash),
+
+			TimingBackend: groundedTiming.Backend,
+			Grounded:      rc.grounded,
+			MemoHitRate:   groundedTiming.HitRate(),
+			FastSpeedup:   groundedSpeedup,
 		}
 		for _, sh := range res.PerShard {
 			sum.PerShard = append(sum.PerShard, shardSummary{
@@ -915,6 +1153,19 @@ func runFleet(rc runConfig) error {
 		opts = append(opts, vnpu.WithMapperWorkers(rc.workers))
 	}
 	opts = append(opts, vnpu.WithPlacementRegret(rc.regret))
+	if rc.regretPct > 0 {
+		opts = append(opts, vnpu.WithPlacementRegretTarget(rc.regretPct, rc.regret))
+	}
+	// One backend across every shard: the memo key covers the chip
+	// configuration, so shards sharing a memo is sound and lets a model
+	// warmed on one shard replay on all of them.
+	backend, err := timingBackend(rc.timing)
+	if err != nil {
+		return err
+	}
+	if backend != nil {
+		opts = append(opts, vnpu.WithTimingBackend(backend))
+	}
 	if rc.tracePath != "" {
 		opts = append(opts, vnpu.WithTracing())
 	}
@@ -1049,6 +1300,16 @@ func runFleet(rc runConfig) error {
 		fmt.Printf("sessions:      %.1f%% warm fleet-wide (%d warm / %d batched / %d cold)\n",
 			warmRate*100, warm, batched, cold)
 	}
+	fleetTiming := vnpu.TimingStats{Backend: "analytic"}
+	var fleetSpeedup float64
+	if backend != nil {
+		fleetTiming = backend.Stats()
+		if fleetSpeedup, err = measureFastSpeedup(len(mixes)); err != nil {
+			return err
+		}
+		fmt.Printf("timing:        fast backend   memo %.1f%% hit fleet-wide (%d hit / %d miss)   warm replay %.1fx vs analytic\n",
+			fleetTiming.HitRate()*100, fleetTiming.Hits, fleetTiming.Misses, fleetSpeedup)
+	}
 	sloRep, sloOK := f.SLOReport()
 	if sloOK {
 		printSLO(sloRep)
@@ -1076,6 +1337,10 @@ func runFleet(rc runConfig) error {
 			WarmRate:      warmRate,
 			P50Micros:     p50.Microseconds(),
 			P99Micros:     p99.Microseconds(),
+
+			TimingBackend: fleetTiming.Backend,
+			MemoHitRate:   fleetTiming.HitRate(),
+			FastSpeedup:   fleetSpeedup,
 		}
 		for i := range fs.Shards {
 			sum.PerShard = append(sum.PerShard, shardSummary{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/vnpu-sim/vnpu/internal/isa"
@@ -83,6 +84,11 @@ type VNPU struct {
 	// as a typed ErrLeased instead of yanking cores out from under a
 	// running job.
 	leases atomic.Int32
+
+	// fpOnce/fp lazily cache the timing-geometry fingerprint (the
+	// geometry is immutable after creation); see TimingFingerprint.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 type memBlock struct {

@@ -75,6 +75,17 @@ type TraceConfig struct {
 	// progresses so a live scrape on another goroutine can watch a
 	// virtual-time run. It never influences the replay.
 	Observe *ReplayGauges
+	// ServiceTime, when non-nil, replaces the built-in synthetic
+	// service-time formula: it receives the job's tenant and model
+	// indices plus the formula's own jitter draw (0..99, taken from the
+	// trace rng in the same position either way, so installing a timer
+	// never shifts the rng sequence) and returns the job's service
+	// duration. This is how a caller grounds the behavioral replay in
+	// measured cycle timings — vnpuserve builds one over a probe chip's
+	// timing backend, so memoized timing replays feed virtual time. The
+	// timer must be deterministic in its arguments or OrderHash loses
+	// its meaning; nil reproduces the historical formula byte-for-byte.
+	ServiceTime func(tenant, model, jitter int) time.Duration
 }
 
 // EventSink consumes lifecycle events inline during a replay.
@@ -390,13 +401,18 @@ func (r *replay) makeJob() *vJob {
 	if r.rng.Float64() < 0.3 {
 		class = 0
 	}
+	jitter := r.rng.Intn(100)
+	service := time.Duration(150+40*model+jitter) * time.Microsecond
+	if r.cfg.ServiceTime != nil {
+		service = r.cfg.ServiceTime(tenant, model, jitter)
+	}
 	j := &vJob{
 		id:      r.generated,
 		key:     -1,
 		tenant:  tenant,
 		keyed:   keyed,
 		cores:   2 + model%3,
-		service: time.Duration(150+40*model+r.rng.Intn(100)) * time.Microsecond,
+		service: service,
 		class:   class,
 		submit:  r.clk.Now(),
 	}

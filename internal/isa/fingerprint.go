@@ -1,0 +1,56 @@
+package isa
+
+import "encoding/binary"
+
+// Fingerprint returns a content hash over the program: every core's
+// instruction stream, in ascending core order, with every instruction
+// field folded in. Two programs with equal fingerprints execute
+// identically on identical hardware, which is what lets the timing
+// memo key on it. The hash is computed once and cached; call it only
+// after the program is fully built (compilers construct then freeze —
+// Append after the first Fingerprint call would go unobserved).
+func (p *Program) Fingerprint() uint64 {
+	if fp := p.fp.Load(); fp != 0 {
+		return fp
+	}
+	fp := p.fingerprint()
+	if fp == 0 {
+		fp = 1 // reserve 0 as the "not yet computed" sentinel
+	}
+	p.fp.Store(fp)
+	return fp
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (p *Program) fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	var buf [8]byte
+	fold := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		for _, b := range buf {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+	}
+	for _, id := range p.Cores() {
+		stream := p.streams[id]
+		fold(uint64(id))
+		fold(uint64(len(stream)))
+		for _, in := range stream {
+			fold(uint64(in.Op))
+			fold(in.VAddr)
+			fold(uint64(in.Size))
+			fold(uint64(in.SPAddr))
+			fold(uint64(uint32(in.M))<<32 | uint64(uint32(in.K)))
+			fold(uint64(uint32(in.N))<<32 | uint64(uint32(in.H)))
+			fold(uint64(uint32(in.W))<<32 | uint64(uint32(in.C)))
+			fold(uint64(uint32(in.OC))<<32 | uint64(uint32(in.KDim)))
+			fold(uint64(in.Peer)<<16 | uint64(in.Tag))
+		}
+	}
+	return h
+}

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Program is a spatial NPU program: one instruction stream per core.
@@ -10,6 +11,10 @@ import (
 // from send/receive pairs and barriers, exactly as on the real device.
 type Program struct {
 	streams map[CoreID][]Instr
+	// fp caches the content fingerprint (0 = not yet computed); see
+	// Fingerprint. Rebase and Remap return fresh programs, so a derived
+	// program re-hashes rather than inheriting a stale value.
+	fp atomic.Uint64
 }
 
 // NewProgram returns an empty program.

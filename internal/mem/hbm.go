@@ -69,6 +69,28 @@ func (h *HBM) Port(channels ...int) (*Port, error) {
 	return p, nil
 }
 
+// TimingFingerprint hashes the parameters that determine burst timing:
+// channel count, per-channel bandwidth and access latency. Equal
+// fingerprints mean identical Transfer timelines for identical request
+// sequences, the property the timing memo relies on.
+func (h *HBM) TimingFingerprint() uint64 {
+	return foldU64(0x68626d, // "hbm"
+		uint64(len(h.channels)), uint64(h.bytesPerCycle), uint64(h.latency))
+}
+
+// foldU64 is FNV-1a over a sequence of uint64 words.
+func foldU64(vs ...uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
 // Reset clears all channel reservations for a fresh run.
 func (h *HBM) Reset() {
 	for i := range h.channels {
@@ -130,6 +152,21 @@ func (p *Port) UseBank(b *Bank) {
 	for i, c := range p.channels {
 		p.cals[i] = b.calendar(c)
 	}
+}
+
+// TimingFingerprint hashes the port's timing-relevant shape: the HBM it
+// fronts, its physical channel subset (order matters — ties break to the
+// first-listed channel) and any bandwidth-cap parameters.
+func (p *Port) TimingFingerprint() uint64 {
+	vs := make([]uint64, 0, len(p.channels)+5)
+	vs = append(vs, 0x706f7274, p.hbm.TimingFingerprint(), uint64(len(p.channels))) // "port"
+	for _, c := range p.channels {
+		vs = append(vs, uint64(c))
+	}
+	if p.counter != nil {
+		vs = append(vs, uint64(p.counter.MaxBytes), uint64(p.counter.Window))
+	}
+	return foldU64(vs...)
 }
 
 // Channels returns a copy of the port's physical channel indices.

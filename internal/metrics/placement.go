@@ -47,6 +47,11 @@ type PlacementStats struct {
 	// configured bound, so this gauge shows how much mapping concurrency
 	// the traffic actually provoked.
 	MapWorkers int
+	// MapGrowVetoed counts pool-growth opportunities declined because the
+	// saturation probe reported the chip execution slots — not mapping —
+	// as the bottleneck: spawning another mapper there would steal CPU
+	// from the simulator without improving time-to-start.
+	MapGrowVetoed uint64
 	// Realized hits-first regret, in edit-distance units: for each sampled
 	// hits-first dispatch, how much cheaper the full rank's eventual best
 	// mapping was than the cached candidate the job actually started on

@@ -26,6 +26,11 @@ type Device struct {
 
 	domMu    sync.Mutex
 	domOwner map[topo.NodeID]*Domain // core -> open timing domain
+
+	// fpOnce/fp lazily cache the chip's timing fingerprint (the
+	// configuration is immutable after NewDevice); see TimingFingerprint.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewDevice builds a chip from the configuration.

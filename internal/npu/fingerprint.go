@@ -1,0 +1,65 @@
+package npu
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// TimingFingerprint hashes every chip-level parameter that shapes
+// execution timing: mesh geometry, compute-unit dimensions, scratchpad
+// split, the NoC timing profile, the HBM timing profile, and the
+// heterogeneous kind table. It deliberately excludes mutable per-core
+// state (kind assignments, translator choice, port bindings) — those are
+// per-vNPU geometry and are folded in by the vNPU's own fingerprint.
+// The configuration is immutable after NewDevice, so the hash is
+// computed once.
+func (d *Device) TimingFingerprint() uint64 {
+	d.fpOnce.Do(func() {
+		h := newFolder()
+		h.fold(0x6368697,
+			uint64(d.cfg.MeshRows), uint64(d.cfg.MeshCols),
+			uint64(d.cfg.SystolicDim), uint64(d.cfg.VectorLanes),
+			uint64(d.cfg.ScratchpadBytes), uint64(d.cfg.MetaZoneBytes),
+			d.net.TimingFingerprint(), d.hbm.TimingFingerprint())
+		kinds := make([]string, 0, len(d.cfg.Kinds))
+		for k := range d.cfg.Kinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			prof := d.cfg.Kinds[k]
+			h.fold(uint64(len(k)))
+			h.foldBytes([]byte(k))
+			h.fold(math.Float64bits(prof.MatmulScale), math.Float64bits(prof.VectorScale))
+		}
+		d.fp = h.sum()
+	})
+	return d.fp
+}
+
+// folder is an incremental FNV-1a 64 hasher over words and bytes.
+type folder struct{ h uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newFolder() *folder { return &folder{h: fnvOffset} }
+
+func (f *folder) fold(vs ...uint64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		f.foldBytes(buf[:])
+	}
+}
+
+func (f *folder) foldBytes(bs []byte) {
+	for _, b := range bs {
+		f.h = (f.h ^ uint64(b)) * fnvPrime
+	}
+}
+
+func (f *folder) sum() uint64 { return f.h }

@@ -294,6 +294,15 @@ type Engine struct {
 	regretRing []float64
 	regretNext int
 	regretLive int
+
+	// saturated, when set (SetSaturationProbe), reports that the chip
+	// execution slots — not mapping — are the current bottleneck. The
+	// adaptive pool then stops growing and lets non-resident workers
+	// retire early: a deeper mapper backlog cannot delay job starts when
+	// every execution slot is already busy, while extra mapper goroutines
+	// do steal CPU from the simulator. Read under e.mu; the probe must
+	// not call back into the engine.
+	saturated func() bool
 }
 
 // Option tunes the engine.
@@ -399,9 +408,21 @@ func New(chips []Chip, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
+// SetSaturationProbe installs the chip-saturation signal the adaptive
+// pool consults (see the saturated field). Install before serving
+// traffic. A nil probe restores pure backlog-driven sizing.
+func (e *Engine) SetSaturationProbe(fn func() bool) {
+	e.mu.Lock()
+	e.saturated = fn
+	e.mu.Unlock()
+}
+
 // worker drains mapper tasks. The resident worker lives until Close; an
-// adaptively spawned one retires as soon as it finds the queue empty, so
-// the pool shrinks back to its floor when a mapping burst passes.
+// adaptively spawned one retires as soon as it finds the queue empty —
+// or the saturation probe reports chip workers as the bottleneck, so
+// the pool sheds mapper CPU back to the simulator even while a backlog
+// remains (the backlog cannot delay job starts when every execution
+// slot is busy; the resident worker keeps draining it).
 func (e *Engine) worker(resident bool) {
 	defer e.workerWG.Done()
 	for {
@@ -412,7 +433,7 @@ func (e *Engine) worker(resident bool) {
 				continue
 			}
 			e.mu.Lock()
-			if len(e.tasks) == 0 && e.active > 1 {
+			if e.active > 1 && (len(e.tasks) == 0 || (e.saturated != nil && e.saturated())) {
 				e.active--
 				e.mu.Unlock()
 				return
@@ -425,10 +446,17 @@ func (e *Engine) worker(resident bool) {
 }
 
 // growLocked spawns a worker when accepted work is backing up and the
-// pool is below its bound. Caller holds the engine mutex; the closed
-// check keeps the workerWG.Add ordered before Close's Wait.
+// pool is below its bound — unless the saturation probe reports the
+// chip execution slots as the bottleneck, in which case growth is
+// declined (MapGrowVetoed counts the declines). Caller holds the engine
+// mutex; the closed check keeps the workerWG.Add ordered before Close's
+// Wait.
 func (e *Engine) growLocked() {
 	if e.closed || e.active >= e.workers || len(e.tasks) == 0 {
+		return
+	}
+	if e.saturated != nil && e.saturated() {
+		e.stats.MapGrowVetoed++
 		return
 	}
 	e.active++
@@ -576,6 +604,28 @@ func (e *Engine) Stats() metrics.PlacementStats {
 		s.RegretP99 = rank(0.99)
 	}
 	return s
+}
+
+// RegretQuantile reports the q-quantile (q in [0, 1]) of the sliding
+// realized-regret window plus the window's sample count. The regret
+// auto-tuner polls it to hold the WithPlacementRegretTarget objective;
+// callers should require a minimum n before acting on the value.
+func (e *Engine) RegretQuantile(q float64) (value float64, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n = len(e.regretRing)
+	if n == 0 {
+		return 0, 0
+	}
+	window := append([]float64(nil), e.regretRing...)
+	sort.Float64s(window)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return window[int(q*float64(n-1))], n
 }
 
 // ObserveRegret measures the realized regret of one hits-first dispatch:

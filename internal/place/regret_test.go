@@ -1,0 +1,110 @@
+package place_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vnpu-sim/vnpu/internal/place"
+	"github.com/vnpu-sim/vnpu/internal/topo"
+)
+
+// waitSamples polls until the sliding regret window holds n samples
+// (ObserveRegret records off the caller's goroutine).
+func waitSamples(t *testing.T, e *place.Engine, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, got := e.RegretQuantile(0.5); got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, got := e.RegretQuantile(0.5)
+			t.Fatalf("regret window has %d samples, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRegretQuantile feeds known hit costs through ObserveRegret on a
+// fully-free chip — where the eventual best cached cost is 0, so each
+// sample equals its hit cost — and checks the window quantiles the
+// auto-tuner polls.
+func TestRegretQuantile(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip()})
+	defer e.Close()
+	req := place.Request{Topology: topo.Mesh2D(2, 2)}
+
+	if v, n := e.RegretQuantile(0.99); v != 0 || n != 0 {
+		t.Fatalf("empty window = (%v, %d), want (0, 0)", v, n)
+	}
+	costs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, c := range costs {
+		e.ObserveRegret(req, c)
+	}
+	waitSamples(t, e, len(costs))
+
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 5}, {1, 10},
+		{-1, 1},   // clamped to 0
+		{2, 10},   // clamped to 1
+		{0.99, 9}, // int(0.99 * 9) = 8 -> 9th smallest
+	} {
+		if v, n := e.RegretQuantile(tc.q); v != tc.want || n != len(costs) {
+			t.Errorf("RegretQuantile(%v) = (%v, %d), want (%v, %d)", tc.q, v, n, tc.want, len(costs))
+		}
+	}
+	s := e.Stats()
+	if s.RegretSamples != uint64(len(costs)) || s.RegretMax != 10 || s.RegretSum != 55 {
+		t.Fatalf("cumulative regret stats %+v", s)
+	}
+}
+
+// TestSaturationVetoesMapperGrowth pins the shrink-on-saturation
+// satellite: while the saturation probe reports every chip execution
+// slot busy, the adaptive mapper pool declines to grow past its
+// resident worker — a mapping backlog cannot delay job starts when no
+// slot could run them — and counts each declined growth.
+func TestSaturationVetoesMapperGrowth(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip()}, place.WithWorkers(8))
+	defer e.Close()
+	e.SetSaturationProbe(func() bool { return true })
+
+	// A near-chip-sized mapping pins the resident worker, so the distinct
+	// small topologies behind it keep the queue non-empty and every
+	// submission attempts (and is denied) growth.
+	e.Prewarm(place.Request{Topology: topo.Mesh2D(5, 6)})
+	for i := 2; i < 12; i++ {
+		e.Prewarm(place.Request{Topology: topo.Chain(i)})
+	}
+	if got := e.Stats().MapGrowVetoed; got == 0 {
+		t.Fatalf("no growth veto recorded: stats %+v", e.Stats())
+	}
+	if got := e.Stats().MapWorkers; got != 1 {
+		t.Fatalf("pool grew to %d workers under saturation, want 1", got)
+	}
+}
+
+// TestSaturationClearedAllowsGrowth is the counterpart: with the probe
+// reporting free slots, backlog-driven growth proceeds as before.
+func TestSaturationClearedAllowsGrowth(t *testing.T) {
+	e := newEngine(t, []place.Chip{simChip()}, place.WithWorkers(8))
+	defer e.Close()
+	e.SetSaturationProbe(func() bool { return false })
+
+	// Growth happens synchronously inside the submission that observes a
+	// backlog, so the pool is visibly grown right after the batch (the
+	// extra workers retire only once the queue drains).
+	e.Prewarm(place.Request{Topology: topo.Mesh2D(5, 6)})
+	for i := 2; i < 12; i++ {
+		e.Prewarm(place.Request{Topology: topo.Chain(i)})
+	}
+	if got := e.Stats().MapWorkers; got <= 1 {
+		t.Fatalf("pool did not grow: stats %+v", e.Stats())
+	}
+	if got := e.Stats().MapGrowVetoed; got != 0 {
+		t.Fatalf("unsaturated growth recorded %d vetoes", got)
+	}
+}

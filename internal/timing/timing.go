@@ -1,0 +1,222 @@
+// Package timing is the pluggable timing-backend seam of the serving
+// stack: every job execution's cycle outcome — the makespan and per-core
+// occupancy the analytic NoC link-calendar / HBM channel-calendar
+// simulation produces — flows through a Backend, so the simulation
+// strategy is swappable without touching the execution paths.
+//
+// Two backends ship today. Analytic is the reference: a pass-through to
+// the full deterministic simulation. Memo is the fast path for warm
+// serving and virtual replay: because a vNPU's private timing domain
+// makes execution a pure function of (program, domain geometry,
+// iterations) — reuse is cycle-identical, property-tested since the
+// session pool landed — a bounded LRU can replay the stored result
+// instead of re-simulating. First run simulates and records; repeats
+// are a map lookup plus a per-core stats copy.
+//
+// The seam is also where a future co-simulation client (BookSim2-style
+// external timing service over a line protocol) would plug in: implement
+// Backend, translate simulate() into protocol traffic, and the serving
+// stack above needs no changes.
+package timing
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+)
+
+// Key identifies one memoizable execution: the program's content
+// fingerprint, the executing vNPU's timing-geometry fingerprint, and the
+// iteration count. Equal keys produce byte-identical npu.Results when
+// the run is memoable (private timing domain, no instrumentation
+// callbacks), which is the invariant Memo relies on.
+type Key struct {
+	// Prog is isa.Program.Fingerprint() of the compiled program.
+	Prog uint64
+	// Geom is core.VNPU.TimingFingerprint() of the executing vNPU.
+	Geom uint64
+	// Iters is the run's iteration count.
+	Iters int
+}
+
+// Backend produces the timing outcome of one execution. simulate runs
+// the full analytic model; a backend may call it (and must, at least
+// once per distinct key) or serve an equivalent result another way.
+// memoable reports that the result is a pure function of key: the run
+// executes inside a private timing domain that was reset to cycle zero,
+// with no instrumentation callbacks observing intermediate events. A
+// backend must not serve a cached result when memoable is false.
+//
+// Implementations must be safe for concurrent use: the serving paths
+// call Run from every chip's execution slots at once.
+type Backend interface {
+	// Name identifies the backend ("analytic", "fast", ...).
+	Name() string
+	// Run produces the result for key, calling simulate as needed.
+	Run(key Key, memoable bool, simulate func() (npu.Result, error)) (npu.Result, error)
+	// Stats snapshots the backend's counters.
+	Stats() Stats
+}
+
+// Stats snapshots a backend's memoization counters. The analytic
+// backend reports zeros (every run simulates; nothing is cached).
+type Stats struct {
+	// Backend names the implementation the stats describe.
+	Backend string
+	// Hits counts runs served from the memo without simulating.
+	Hits uint64
+	// Misses counts memoable runs that simulated and recorded.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Bypassed counts runs that were not memoable (no private timing
+	// domain, or instrumentation callbacks attached) and simulated
+	// without touching the memo.
+	Bypassed uint64
+	// Entries is the current memo size.
+	Entries int
+}
+
+// HitRate reports hits over memoable runs (hits + misses), in [0, 1].
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Analytic is the reference backend: every run walks the full
+// deterministic simulation. Zero-cost to share — it is stateless.
+type Analytic struct{}
+
+// Name implements Backend.
+func (Analytic) Name() string { return "analytic" }
+
+// Run implements Backend by always simulating.
+func (Analytic) Run(_ Key, _ bool, simulate func() (npu.Result, error)) (npu.Result, error) {
+	return simulate()
+}
+
+// Stats implements Backend.
+func (Analytic) Stats() Stats { return Stats{Backend: "analytic"} }
+
+// DefaultMemoEntries bounds the memo when NewMemo is given n <= 0. The
+// working set is (distinct programs) x (distinct vNPU geometries) x
+// (iteration counts) — steady serving traffic has a few dozen of each,
+// so 4096 leaves generous headroom while bounding worst-case footprint
+// to entries x per-core-stats size.
+const DefaultMemoEntries = 4096
+
+// Memo is the fast backend: a bounded LRU over simulated results. A
+// memoable run with a recorded key replays the stored makespan and
+// per-core occupancy in O(cores) instead of re-walking the calendars;
+// everything else falls through to the simulation.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recent; values are *memoEntry
+	cap     int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	bypassed  atomic.Uint64
+}
+
+type memoEntry struct {
+	key Key
+	res npu.Result
+}
+
+// NewMemo builds a fast memoizing backend bounded to n entries
+// (DefaultMemoEntries when n <= 0).
+func NewMemo(n int) *Memo {
+	if n <= 0 {
+		n = DefaultMemoEntries
+	}
+	return &Memo{
+		entries: make(map[Key]*list.Element, n),
+		lru:     list.New(),
+		cap:     n,
+	}
+}
+
+// Name implements Backend.
+func (m *Memo) Name() string { return "fast" }
+
+// Run implements Backend: replay on hit, simulate-and-record on miss,
+// plain simulate when the run is not memoable. Concurrent misses on the
+// same key may both simulate (single-flight would serialize disjoint
+// domains on the memo lock for a result that is identical either way);
+// last writer wins and both results are correct.
+func (m *Memo) Run(key Key, memoable bool, simulate func() (npu.Result, error)) (npu.Result, error) {
+	if !memoable {
+		m.bypassed.Add(1)
+		return simulate()
+	}
+	m.mu.Lock()
+	if el, ok := m.entries[key]; ok {
+		m.lru.MoveToFront(el)
+		res := copyResult(el.Value.(*memoEntry).res)
+		m.mu.Unlock()
+		m.hits.Add(1)
+		return res, nil
+	}
+	m.mu.Unlock()
+	res, err := simulate()
+	if err != nil {
+		// Errors (cancellation, program faults) are not outcomes of the
+		// timing model; never cache them.
+		return res, err
+	}
+	m.misses.Add(1)
+	stored := copyResult(res)
+	m.mu.Lock()
+	if el, ok := m.entries[key]; ok {
+		// A racing miss recorded first; refresh recency and keep ours out.
+		m.lru.MoveToFront(el)
+	} else {
+		m.entries[key] = m.lru.PushFront(&memoEntry{key: key, res: stored})
+		for m.lru.Len() > m.cap {
+			oldest := m.lru.Back()
+			m.lru.Remove(oldest)
+			delete(m.entries, oldest.Value.(*memoEntry).key)
+			m.evictions.Add(1)
+		}
+	}
+	m.mu.Unlock()
+	return res, nil
+}
+
+// Stats implements Backend.
+func (m *Memo) Stats() Stats {
+	m.mu.Lock()
+	entries := m.lru.Len()
+	m.mu.Unlock()
+	return Stats{
+		Backend:   "fast",
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Bypassed:  m.bypassed.Load(),
+		Entries:   entries,
+	}
+}
+
+// copyResult deep-copies the per-core map so callers and the memo never
+// alias mutable state.
+func copyResult(r npu.Result) npu.Result {
+	if r.PerCore == nil {
+		return r
+	}
+	per := make(map[isa.CoreID]npu.CoreStats, len(r.PerCore))
+	for id, st := range r.PerCore {
+		per[id] = st
+	}
+	r.PerCore = per
+	return r
+}

@@ -1,0 +1,258 @@
+package timing
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/vnpu-sim/vnpu/internal/isa"
+	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/sim"
+)
+
+// fakeResult builds a distinguishable Result for a key.
+func fakeResult(n int) npu.Result {
+	return npu.Result{
+		Cycles:     sim.Cycles(1000 * n),
+		Iterations: n,
+		PerCore: map[isa.CoreID]npu.CoreStats{
+			0: {Instrs: n, Compute: sim.Cycles(n)},
+			1: {Instrs: 2 * n, Comm: sim.Cycles(3 * n)},
+		},
+	}
+}
+
+func key(n int) Key { return Key{Prog: uint64(n), Geom: uint64(n << 8), Iters: 1} }
+
+func TestAnalyticAlwaysSimulates(t *testing.T) {
+	var calls int
+	b := Analytic{}
+	for i := 0; i < 3; i++ {
+		res, err := b.Run(key(1), true, func() (npu.Result, error) {
+			calls++
+			return fakeResult(7), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != 7000 {
+			t.Fatalf("cycles = %d", res.Cycles)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("analytic simulated %d times, want 3", calls)
+	}
+	if s := b.Stats(); s.Hits != 0 || s.Misses != 0 || s.Backend != "analytic" {
+		t.Fatalf("analytic stats = %+v", s)
+	}
+}
+
+func TestMemoHitReplaysIdenticalResult(t *testing.T) {
+	m := NewMemo(8)
+	var calls int
+	simulate := func() (npu.Result, error) { calls++; return fakeResult(3), nil }
+
+	first, err := m.Run(key(3), true, simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Run(key(3), true, simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("simulated %d times, want 1", calls)
+	}
+	if second.Cycles != first.Cycles || second.Iterations != first.Iterations {
+		t.Fatalf("replay differs: %+v vs %+v", second, first)
+	}
+	if len(second.PerCore) != len(first.PerCore) {
+		t.Fatalf("per-core size differs")
+	}
+	for id, st := range first.PerCore {
+		if second.PerCore[id] != st {
+			t.Fatalf("core %d stats differ: %+v vs %+v", id, second.PerCore[id], st)
+		}
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestMemoDistinctKeysMiss(t *testing.T) {
+	m := NewMemo(8)
+	base := key(1)
+	variants := []Key{
+		{Prog: base.Prog + 1, Geom: base.Geom, Iters: base.Iters},
+		{Prog: base.Prog, Geom: base.Geom + 1, Iters: base.Iters},
+		{Prog: base.Prog, Geom: base.Geom, Iters: base.Iters + 1},
+	}
+	var calls int
+	simulate := func() (npu.Result, error) { calls++; return fakeResult(calls), nil }
+	if _, err := m.Run(base, true, simulate); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range variants {
+		if _, err := m.Run(k, true, simulate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("simulated %d times, want 4 (every key component must miss)", calls)
+	}
+}
+
+func TestMemoBypassSkipsCache(t *testing.T) {
+	m := NewMemo(8)
+	var calls int
+	simulate := func() (npu.Result, error) { calls++; return fakeResult(1), nil }
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run(key(1), false, simulate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("bypass simulated %d times, want 3", calls)
+	}
+	s := m.Stats()
+	if s.Bypassed != 3 || s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// A later memoable run with the same key must still miss: bypassed
+	// results were never recorded.
+	if _, err := m.Run(key(1), true, simulate); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("memoable run after bypasses reused a result it must not")
+	}
+}
+
+func TestMemoLRUEviction(t *testing.T) {
+	m := NewMemo(2)
+	simulate := func(n int) func() (npu.Result, error) {
+		return func() (npu.Result, error) { return fakeResult(n), nil }
+	}
+	m.Run(key(1), true, simulate(1))
+	m.Run(key(2), true, simulate(2))
+	m.Run(key(1), true, simulate(1)) // refresh 1: LRU order is now [1, 2]
+	m.Run(key(3), true, simulate(3)) // evicts 2
+	s := m.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	var calls int
+	count := func() (npu.Result, error) { calls++; return fakeResult(9), nil }
+	m.Run(key(1), true, count)
+	m.Run(key(3), true, count)
+	if calls != 0 {
+		t.Fatalf("resident keys simulated %d times, want 0", calls)
+	}
+	m.Run(key(2), true, count)
+	if calls != 1 {
+		t.Fatalf("evicted key did not re-simulate")
+	}
+}
+
+func TestMemoNeverCachesErrors(t *testing.T) {
+	m := NewMemo(8)
+	boom := errors.New("canceled")
+	if _, err := m.Run(key(1), true, func() (npu.Result, error) {
+		return npu.Result{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var calls int
+	if _, err := m.Run(key(1), true, func() (npu.Result, error) {
+		calls++
+		return fakeResult(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("error outcome was cached")
+	}
+	if s := m.Stats(); s.Entries != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestMemoHitIsDeepCopy: a caller mutating its returned per-core map
+// must not corrupt the memo (and vice versa).
+func TestMemoHitIsDeepCopy(t *testing.T) {
+	m := NewMemo(8)
+	m.Run(key(1), true, func() (npu.Result, error) { return fakeResult(2), nil })
+	first, _ := m.Run(key(1), true, nil)
+	first.PerCore[0] = npu.CoreStats{Instrs: 999}
+	second, _ := m.Run(key(1), true, nil)
+	if second.PerCore[0].Instrs == 999 {
+		t.Fatal("hit aliases a previously returned map")
+	}
+	if second.PerCore[0] != fakeResult(2).PerCore[0] {
+		t.Fatalf("replay corrupted: %+v", second.PerCore[0])
+	}
+}
+
+// TestMemoStoreIsDeepCopy: mutating the result the simulation returned
+// (as the executor's caller may) must not corrupt the stored entry.
+func TestMemoStoreIsDeepCopy(t *testing.T) {
+	m := NewMemo(8)
+	res, _ := m.Run(key(1), true, func() (npu.Result, error) { return fakeResult(2), nil })
+	res.PerCore[1] = npu.CoreStats{Comm: 12345}
+	replay, _ := m.Run(key(1), true, nil)
+	if replay.PerCore[1].Comm == 12345 {
+		t.Fatal("store aliases the simulated result's map")
+	}
+}
+
+// TestMemoConcurrent hammers one memo from many goroutines under -race:
+// racing misses on the same key are allowed to simulate twice, but every
+// returned result must be the (identical) recorded outcome and counters
+// must stay coherent.
+func TestMemoConcurrent(t *testing.T) {
+	m := NewMemo(16)
+	const goroutines = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := key(i % 4)
+				want := fakeResult(i % 4)
+				res, err := m.Run(k, true, func() (npu.Result, error) {
+					return fakeResult(i % 4), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Cycles != want.Cycles {
+					t.Errorf("goroutine %d: cycles %d, want %d", g, res.Cycles, want.Cycles)
+					return
+				}
+				res.PerCore[0] = npu.CoreStats{Instrs: -1} // must not corrupt the memo
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Hits+s.Misses != goroutines*rounds {
+		t.Fatalf("hits %d + misses %d != %d", s.Hits, s.Misses, goroutines*rounds)
+	}
+	if s.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", s.Entries)
+	}
+}
+
+func TestNewMemoDefaultCapacity(t *testing.T) {
+	m := NewMemo(0)
+	if m.cap != DefaultMemoEntries {
+		t.Fatalf("cap = %d", m.cap)
+	}
+}

@@ -182,6 +182,27 @@ func WithPlacementRegret(r float64) ClusterOption {
 	return func(c *clusterConfig) { c.regret = &r }
 }
 
+// WithPlacementRegretTarget replaces the static hits-first bound with a
+// closed-loop one: the cluster adjusts the live regret bound so the
+// pct-quantile (0 < pct <= 1, e.g. 0.99) of the realized regret
+// distribution — sampled per hits-first dispatch into the window
+// PlacementStats reports — stays at or under target edit-distance units.
+// The controller grows the bound while realized regret runs comfortably
+// under the target (admitting more dispatches to the fast path) and
+// shrinks it toward the target when the quantile overshoots, so the
+// bound tracks fleet fragmentation instead of being hand-tuned per
+// workload. A WithPlacementRegret value, when also given, seeds the
+// bound; it is never tuned below target (a bound of target satisfies
+// the objective trivially, since realized regret cannot exceed the
+// bound in force when the job dispatched). Read the live bound with
+// Cluster.RegretBound.
+func WithPlacementRegretTarget(pct, target float64) ClusterOption {
+	return func(c *clusterConfig) {
+		c.regretTargetPct = &pct
+		c.regretTarget = target
+	}
+}
+
 // WithTracing records every job's lifecycle transitions (submit →
 // admitted → placed[hit|miss|map-parked] → session[warm|cold|batched] →
 // executing → done/failed) into per-shard ring buffers stamped from the

@@ -1,0 +1,97 @@
+package vnpu
+
+import "testing"
+
+// TestRetuneRegretBound pins the controller's transfer function: halve
+// toward (never below) the goal on overshoot, grow multiplicatively
+// (capped) while realized regret runs at less than half the goal, hold
+// in the comfortable band between.
+func TestRetuneRegretBound(t *testing.T) {
+	cases := []struct {
+		name         string
+		cur, q, goal float64
+		want         float64
+	}{
+		{"overshoot halves", 8, 3, 2, 4},
+		{"overshoot floors at goal", 3, 5, 2, 2},
+		{"deep overshoot still floors", 2, 100, 2, 2},
+		{"comfortable grows", 4, 0.5, 2, 4*1.25 + 0.25},
+		{"zero bound can grow off zero", 0, 0, 2, 0.25},
+		{"band holds", 4, 1.5, 2, 4},
+		{"exactly goal holds", 4, 2, 2, 4},
+		{"exactly half-goal holds", 4, 1, 2, 4},
+		{"growth caps", regretBoundCap, 0, 2, regretBoundCap},
+	}
+	for _, c := range cases {
+		if got := retuneRegretBound(c.cur, c.q, c.goal); got != c.want {
+			t.Errorf("%s: retune(%v, %v, %v) = %v, want %v", c.name, c.cur, c.q, c.goal, got, c.want)
+		}
+	}
+}
+
+// TestRegretBoundResolution covers how the dispatch path resolves the
+// hits-first bound across the option combinations: static, disabled,
+// auto-tuned, and auto seeded by a static value.
+func TestRegretBoundResolution(t *testing.T) {
+	newC := func(t *testing.T, opts ...ClusterOption) *Cluster {
+		t.Helper()
+		c, err := NewCluster(SimConfig(), 1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	t.Run("default static zero", func(t *testing.T) {
+		c := newC(t)
+		if b, ok := c.hitsFirstBound(); !ok || b != 0 {
+			t.Fatalf("bound = %v, %v; want 0, true", b, ok)
+		}
+		if c.RegretBound() != 0 {
+			t.Fatalf("RegretBound = %v", c.RegretBound())
+		}
+	})
+	t.Run("static", func(t *testing.T) {
+		c := newC(t, WithPlacementRegret(3))
+		if b, ok := c.hitsFirstBound(); !ok || b != 3 {
+			t.Fatalf("bound = %v, %v; want 3, true", b, ok)
+		}
+	})
+	t.Run("negative disables hits-first", func(t *testing.T) {
+		c := newC(t, WithPlacementRegret(-1))
+		if _, ok := c.hitsFirstBound(); ok {
+			t.Fatal("hits-first enabled under a negative regret")
+		}
+	})
+	t.Run("auto seeds at goal", func(t *testing.T) {
+		c := newC(t, WithPlacementRegretTarget(0.99, 2))
+		if b, ok := c.hitsFirstBound(); !ok || b != 2 {
+			t.Fatalf("bound = %v, %v; want 2, true", b, ok)
+		}
+		if c.RegretBound() != 2 {
+			t.Fatalf("RegretBound = %v", c.RegretBound())
+		}
+	})
+	t.Run("auto seeded by larger static", func(t *testing.T) {
+		c := newC(t, WithPlacementRegret(5), WithPlacementRegretTarget(0.99, 2))
+		if b, ok := c.hitsFirstBound(); !ok || b != 5 {
+			t.Fatalf("bound = %v, %v; want 5 (static seed), true", b, ok)
+		}
+	})
+	t.Run("auto enables hits-first over negative static", func(t *testing.T) {
+		// The tuner owns the bound; a negative seed means "start from the
+		// goal", not "stay disabled".
+		c := newC(t, WithPlacementRegret(-1), WithPlacementRegretTarget(0.99, 2))
+		if b, ok := c.hitsFirstBound(); !ok || b != 2 {
+			t.Fatalf("bound = %v, %v; want 2, true", b, ok)
+		}
+	})
+	t.Run("store and load round-trip", func(t *testing.T) {
+		c := newC(t, WithPlacementRegretTarget(0.99, 2))
+		c.storeRegretBound(7.5)
+		if got := c.RegretBound(); got != 7.5 {
+			t.Fatalf("RegretBound after store = %v", got)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/vnpu-sim/vnpu/internal/core"
 	"github.com/vnpu-sim/vnpu/internal/isa"
 	"github.com/vnpu-sim/vnpu/internal/npu"
+	"github.com/vnpu-sim/vnpu/internal/timing"
 	"github.com/vnpu-sim/vnpu/internal/workload"
 )
 
@@ -15,6 +16,10 @@ import (
 type System struct {
 	dev *npu.Device
 	hv  *core.Hypervisor
+	// timing is the backend every RunCompiled outcome flows through
+	// (nil = the analytic reference, with zero indirection overhead).
+	// Set before serving traffic; not synchronized against in-flight runs.
+	timing timing.Backend
 }
 
 // NewSystem boots a chip with the given configuration and takes hypervisor
@@ -146,15 +151,56 @@ func (s *System) CompileFor(v *VirtualNPU, m Model) (*CompiledModel, error) {
 	}, nil
 }
 
+// SetTimingBackend installs the timing backend every later RunCompiled
+// flows through (nil restores the direct analytic path). The cluster
+// wires WithTimingBackend through here; direct System users may call it
+// themselves. Install before running traffic — the field is read
+// without synchronization on the execution paths.
+func (s *System) SetTimingBackend(b timing.Backend) { s.timing = b }
+
+// TimingBackendName reports the active backend ("analytic" when none is
+// installed).
+func (s *System) TimingBackendName() string {
+	if s.timing == nil {
+		return "analytic"
+	}
+	return s.timing.Name()
+}
+
 // RunCompiled executes a precompiled model on the virtual NPU it was
 // compiled for; a mismatched vNPU (different core count or memory base)
 // is rejected rather than silently mis-addressed.
+//
+// The run's timing outcome flows through the system's timing backend
+// (SetTimingBackend): the default analytic backend always walks the
+// full simulation, while the fast backend may replay a memoized result
+// when the run is memoable — executing inside the vNPU's private timing
+// domain (freshly reset by the caller via ResetForRun), where the
+// outcome is a pure function of (program, geometry, iterations).
 func (s *System) RunCompiled(ctx context.Context, v *VirtualNPU, cm *CompiledModel, iters int) (Report, error) {
 	if cm.cores != v.NumCores() || cm.vaBase != v.MemBase() {
 		return Report{}, fmt.Errorf("vnpu: model %q was compiled for %d cores at VA 0x%x, vNPU has %d cores at 0x%x",
 			cm.model, cm.cores, cm.vaBase, v.NumCores(), v.MemBase())
 	}
-	res, err := s.dev.Run(cm.prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters, Ctx: ctx})
+	simulate := func() (npu.Result, error) {
+		return s.dev.Run(cm.prog, v.Placement(), v.Fabric(), npu.RunOptions{Iterations: iters, Ctx: ctx})
+	}
+	var res npu.Result
+	var err error
+	if s.timing == nil {
+		res, err = simulate()
+	} else {
+		keyIters := iters
+		if keyIters <= 0 {
+			keyIters = 1 // the executor normalizes 0 to 1; key identically
+		}
+		key := timing.Key{Prog: cm.prog.Fingerprint(), Geom: v.TimingFingerprint(), Iters: keyIters}
+		// Memoable only inside a private timing domain: the domain-less
+		// (serialized, shared-timeline) model deliberately couples timing
+		// across vNPUs to observe contention, so its results are not a
+		// pure function of the key.
+		res, err = s.timing.Run(key, v.HasDomain(), simulate)
+	}
 	if err != nil {
 		return Report{}, err
 	}

@@ -156,6 +156,7 @@ type ClusterSnapshot struct {
 	Sched     SchedStats
 	Placement PlacementStats
 	Sessions  SessionStats
+	Timing    TimingStats
 }
 
 // Snapshot captures every counter family at once. Stats, SchedStats,
@@ -212,6 +213,7 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 		Cluster:   s,
 		Sched:     SchedStats{Classes: ds.PerClass},
 		Placement: c.engine.Stats(),
+		Timing:    c.TimingStats(),
 	}
 	if c.pool != nil {
 		snap.Sessions = c.pool.Stats()
@@ -270,6 +272,13 @@ func (c *Cluster) collect(emit func(obs.Sample)) {
 	counter("vnpu_placement_prewarm_hits_total", "Cache hits served from prewarmed entries.", float64(ps.PrewarmHits))
 	counter("vnpu_placement_negative_hits_total", "Mapping failures served from the negative-result memo.", float64(ps.NegHits))
 	counter("vnpu_placement_map_workers", "Mapper worker-pool size (adaptive between 1 and the configured bound).", float64(ps.MapWorkers))
+	counter("vnpu_placement_map_grow_vetoed_total", "Mapper-pool growth declined because chip execution slots were saturated.", float64(ps.MapGrowVetoed))
+
+	ts := snap.Timing
+	backend := obs.Label{Key: "backend", Value: ts.Backend}
+	counter("vnpu_timing_memo_hits_total", "Job executions replayed from the timing memo instead of re-simulating.", float64(ts.Hits), backend)
+	counter("vnpu_timing_memo_misses_total", "Memoable job executions that ran the simulator and stored their timing.", float64(ts.Misses), backend)
+	counter("vnpu_timing_memo_evictions_total", "Timing memo entries evicted to honor the capacity bound.", float64(ts.Evictions), backend)
 
 	ss := snap.Sessions
 	counter("vnpu_session_warm_hits_total", "Jobs served by an idle resident session.", float64(ss.WarmHits))

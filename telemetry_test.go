@@ -177,7 +177,7 @@ func TestMetricNamesStable(t *testing.T) {
 		"vnpu_placement_cache_evictions_total", "vnpu_placement_cache_hits_total",
 		"vnpu_placement_cache_misses_total", "vnpu_placement_decision_seconds_total",
 		"vnpu_placement_decisions_total", "vnpu_placement_map_seconds_total",
-		"vnpu_placement_map_workers",
+		"vnpu_placement_map_grow_vetoed_total", "vnpu_placement_map_workers",
 		"vnpu_placement_negative_hits_total", "vnpu_placement_prewarm_hits_total",
 		"vnpu_placement_prewarm_runs_total",
 		"vnpu_session_batched_total", "vnpu_session_busy",
@@ -187,6 +187,8 @@ func TestMetricNamesStable(t *testing.T) {
 		"vnpu_slo_bad_total", "vnpu_slo_budget_remaining",
 		"vnpu_slo_burn_rate", "vnpu_slo_good_total", "vnpu_slo_state",
 		"vnpu_stage_latency_seconds",
+		"vnpu_timing_memo_evictions_total", "vnpu_timing_memo_hits_total",
+		"vnpu_timing_memo_misses_total",
 		"vnpu_trace_dropped_total",
 	}
 	for _, name := range want {
